@@ -1,0 +1,1 @@
+bench/datasets.ml: Graph Hashtbl Kaskade_gen Kaskade_graph Kaskade_views Lazy Materialize View

@@ -1,0 +1,1 @@
+bench/queries.ml: Datasets Printf

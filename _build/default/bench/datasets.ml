@@ -1,0 +1,129 @@
+(* Benchmark datasets: laptop-scale stand-ins for the paper's Table
+   III networks (see DESIGN.md for the substitution argument). Sizes
+   are chosen so the full suite completes in minutes; every generator
+   is seeded, so runs are reproducible. *)
+
+open Kaskade_graph
+open Kaskade_views
+
+type dataset = {
+  name : string;
+  kind : string;  (* paper Table III "Type" column *)
+  graph : Graph.t Lazy.t;
+  heterogeneous : bool;
+  summarized_types : string list;  (* empty for homogeneous *)
+  connector_types : string * string;  (* endpoints of the 2-hop connector *)
+  source_label : string;  (* anchor type for Q1-Q4 *)
+}
+
+let scale = ref 1.0
+
+let sc n = int_of_float (float_of_int n *. !scale)
+
+let prov_raw =
+  {
+    name = "prov (raw)";
+    kind = "Data lineage";
+    graph =
+      lazy
+        (Kaskade_gen.Provenance_gen.(
+           generate
+             {
+               default with
+               jobs = sc 4_000;
+               files = sc 8_000;
+               tasks_per_job = 6;
+               machines = 100;
+               users = 400;
+               seed = 42;
+             }));
+    heterogeneous = true;
+    summarized_types = Kaskade_gen.Provenance_gen.summarized_types;
+    connector_types = ("Job", "Job");
+    source_label = "Job";
+  }
+
+let dblp =
+  {
+    name = "dblp-net";
+    kind = "Publications";
+    graph =
+      lazy
+        (Kaskade_gen.Dblp_gen.(
+           generate { default with authors = sc 6_000; pubs = sc 10_000; venues = 100; zipf_exponent = 2.1; seed = 7 }));
+    heterogeneous = true;
+    summarized_types = Kaskade_gen.Dblp_gen.summarized_types;
+    connector_types = ("Author", "Author");
+    source_label = "Author";
+  }
+
+let soc_livejournal =
+  {
+    name = "soc-livejournal";
+    kind = "Social network";
+    graph =
+      lazy
+        (Kaskade_gen.Powerlaw_gen.(
+           generate { vertices = sc 3_000; edges = sc 12_000; exponent = 2.4; seed = 11 }));
+    heterogeneous = false;
+    summarized_types = [];
+    connector_types = ("V", "V");
+    source_label = "V";
+  }
+
+let roadnet =
+  {
+    name = "roadnet-usa";
+    kind = "Road network";
+    graph =
+      lazy
+        (Kaskade_gen.Road_gen.(
+           generate { default with width = sc 100; height = sc 100; seed = 23 }));
+    heterogeneous = false;
+    summarized_types = [];
+    connector_types = ("V", "V");
+    source_label = "V";
+  }
+
+let all = [ prov_raw; dblp; soc_livejournal; roadnet ]
+let heterogeneous = [ prov_raw; dblp ]
+let homogeneous = [ soc_livejournal; roadnet ]
+
+(* Derived graphs, memoized per dataset. *)
+
+let filter_cache : (string, Graph.t) Hashtbl.t = Hashtbl.create 8
+let connector_cache : (string, Graph.t) Hashtbl.t = Hashtbl.create 8
+
+(* The summarized ("filter") graph: the vertex-inclusion summarizer of
+   §VII-B, keeping the query-relevant types. Homogeneous datasets are
+   their own filter graph. *)
+let filter_graph d =
+  match Hashtbl.find_opt filter_cache d.name with
+  | Some g -> g
+  | None ->
+    let g =
+      if d.summarized_types = [] then Lazy.force d.graph
+      else
+        (Materialize.materialize (Lazy.force d.graph)
+           (View.Summarizer (View.Vertex_inclusion d.summarized_types)))
+          .Materialize.graph
+    in
+    Hashtbl.add filter_cache d.name g;
+    g
+
+(* The 2-hop connector over the filter graph (job-to-job,
+   author-to-author, or vertex-to-vertex), as in §VII-F. *)
+let connector_graph d =
+  match Hashtbl.find_opt connector_cache d.name with
+  | Some g -> g
+  | None ->
+    let src_type, dst_type = d.connector_types in
+    let g =
+      (Materialize.k_hop_connector (filter_graph d) ~src_type ~dst_type ~k:2).Materialize.graph
+    in
+    Hashtbl.add connector_cache d.name g;
+    g
+
+let connector_edge_type d =
+  let src_type, dst_type = d.connector_types in
+  View.connector_edge_type (View.K_hop { src_type; dst_type; k = 2 })

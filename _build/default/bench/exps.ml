@@ -1,0 +1,381 @@
+(* One function per reproduced table/figure. Each prints the paper-
+   shaped rows; EXPERIMENTS.md records the expected shapes. *)
+
+open Kaskade_graph
+open Kaskade_util
+open Kaskade_views
+
+let now () = Unix.gettimeofday ()
+
+let time_once f =
+  let t0 = now () in
+  let result = f () in
+  (result, now () -. t0)
+
+(* Median of [reps] timed runs (first run warms caches and is
+   included; medians are robust to it). Queries that already take
+   seconds are measured once — their variance is relatively small and
+   the suite must stay minutes-long. *)
+let time_median ?(reps = 3) f =
+  let first = snd (time_once f) in
+  if first > 2.0 then first
+  else begin
+    let times = first :: List.init (reps - 1) (fun _ -> snd (time_once f)) in
+    let sorted = List.sort compare times in
+    List.nth sorted (List.length sorted / 2)
+  end
+
+let header title =
+  Printf.printf "\n=== %s ===\n%!" title
+
+(* ------------------------------------------------------------------ *)
+(* Table III: datasets                                                 *)
+
+let table3 () =
+  header "Table III: networks used for evaluation";
+  let rows =
+    List.concat_map
+      (fun (d : Datasets.dataset) ->
+        let g = Lazy.force d.Datasets.graph in
+        let base =
+          [ d.Datasets.name; d.Datasets.kind; Table.fmt_int (Graph.n_vertices g);
+            Table.fmt_int (Graph.n_edges g) ]
+        in
+        if d.Datasets.heterogeneous then begin
+          let f = Datasets.filter_graph d in
+          [ base;
+            [ d.Datasets.name ^ " (summarized)"; d.Datasets.kind; Table.fmt_int (Graph.n_vertices f);
+              Table.fmt_int (Graph.n_edges f) ] ]
+        end
+        else [ base ])
+      Datasets.all
+  in
+  Table.print ~aligns:[ Table.Left; Table.Left; Table.Right; Table.Right ]
+    ~header:[ "Short Name"; "Type"; "|V|"; "|E|" ] rows
+
+(* ------------------------------------------------------------------ *)
+(* Table IV: query workload                                            *)
+
+let table4 () =
+  header "Table IV: query workload (parsed and classified)";
+  let d = Datasets.prov_raw in
+  let rows =
+    List.map
+      (fun (q : Queries.bench_query) ->
+        (* Parse both variants to prove they are well-formed. *)
+        let ok text =
+          match text with
+          | None -> "n/a"
+          | Some src -> begin
+            match Kaskade.parse src with _ -> "yes" | exception _ -> "PARSE ERROR"
+          end
+        in
+        [ q.Queries.id;
+          (match q.Queries.raw with
+          | Some _ ->
+            (match q.Queries.id with
+            | "Q1" -> "Job Blast Radius"
+            | "Q2" -> "Ancestors"
+            | "Q3" -> "Descendants"
+            | "Q4" -> "Path lengths"
+            | "Q5" -> "Edge Count"
+            | "Q6" -> "Vertex Count"
+            | "Q7" -> "Community Detection"
+            | _ -> "Largest Community")
+          | None -> "-");
+          q.Queries.operation; q.Queries.result_kind; ok q.Queries.raw; ok q.Queries.over_connector ])
+      (Queries.workload d)
+  in
+  Table.print ~header:[ "Query"; "Name"; "Operation"; "Result"; "parses"; "rewrite parses" ] rows
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 5: view size estimation                                        *)
+
+let fig5 () =
+  header "Fig. 5: 2-hop connector size — estimated vs actual (edge-prefix sweep)";
+  List.iter
+    (fun (d : Datasets.dataset) ->
+      let g = Lazy.force d.Datasets.graph in
+      let m = Graph.n_edges g in
+      let prefixes = List.filter (fun n -> n <= m) [ 10_000; 30_000; 100_000; 300_000 ] in
+      let prefixes = if prefixes = [] then [ m ] else prefixes @ [ m ] in
+      let rows =
+        List.map
+          (fun n ->
+            let sub, _ = Subgraph.edge_prefix g n in
+            let stats = Gstats.compute sub in
+            let actual = Kaskade_algo.Paths.count_k_walks sub ~k:2 in
+            let est50 = Kaskade.Estimator.estimate_paths stats ~k:2 ~alpha:50.0 in
+            let est95 = Kaskade.Estimator.estimate_paths stats ~k:2 ~alpha:95.0 in
+            let er =
+              Kaskade.Estimator.erdos_renyi ~n:(Graph.n_vertices sub) ~m:(Graph.n_edges sub) ~k:2
+            in
+            [ Table.fmt_int (Graph.n_edges sub); Table.fmt_sci est50; Table.fmt_sci est95;
+              Table.fmt_sci actual; Table.fmt_sci er ])
+          prefixes
+      in
+      Printf.printf "\n-- %s --\n" d.Datasets.name;
+      Table.print
+        ~aligns:[ Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+        ~header:[ "graph edges"; "est alpha=50"; "est alpha=95"; "actual 2-hop"; "Erdos-Renyi (Eq.1)" ]
+        rows)
+    Datasets.all
+
+(* Ablation: estimator accuracy degrades with k, as the paper notes
+   ("similar to cardinality estimation for joins, the larger the k,
+   the less accurate our estimator"). *)
+let fig5k () =
+  header "Fig. 5 ablation: estimator accuracy vs k (prov)";
+  let g = Datasets.filter_graph Datasets.prov_raw in
+  let stats = Gstats.compute g in
+  let rows =
+    List.map
+      (fun k ->
+        let actual = Kaskade_algo.Paths.count_k_walks g ~k in
+        let est95 = Kaskade.Estimator.estimate_paths stats ~k ~alpha:95.0 in
+        let est50 = Kaskade.Estimator.estimate_paths stats ~k ~alpha:50.0 in
+        let ratio = if actual > 0.0 then est95 /. actual else 0.0 in
+        [ string_of_int k; Table.fmt_sci est50; Table.fmt_sci est95; Table.fmt_sci actual;
+          Printf.sprintf "%.2f" ratio ])
+      [ 1; 2; 3; 4; 5; 6 ]
+  in
+  Table.print
+    ~aligns:[ Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+    ~header:[ "k"; "est alpha=50"; "est alpha=95"; "actual k-walks"; "est95/actual" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 6: size reduction                                              *)
+
+let fig6 () =
+  header "Fig. 6: effective graph size — raw vs summarizer vs 2-hop connector";
+  let rows =
+    List.concat_map
+      (fun (d : Datasets.dataset) ->
+        let g = Lazy.force d.Datasets.graph in
+        let f = Datasets.filter_graph d in
+        let c = Datasets.connector_graph d in
+        let row stage g' =
+          [ d.Datasets.name; stage; Table.fmt_int (Graph.n_vertices g'); Table.fmt_int (Graph.n_edges g') ]
+        in
+        [ row "raw" g; row "filter" f; row "connector" c ])
+      Datasets.heterogeneous
+  in
+  Table.print ~aligns:[ Table.Left; Table.Left; Table.Right; Table.Right ]
+    ~header:[ "dataset"; "stage"; "vertices"; "edges" ] rows
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 7: query runtimes                                              *)
+
+let run_query ctx src =
+  match Kaskade_exec.Executor.run_string ctx src with
+  | Kaskade_exec.Executor.Table t -> Kaskade_exec.Row.n_rows t
+  | Kaskade_exec.Executor.Affected n -> n
+
+let fig7_dataset (d : Datasets.dataset) =
+  let base = Datasets.filter_graph d in
+  let conn = Datasets.connector_graph d in
+  let base_ctx = Kaskade_exec.Executor.create base in
+  let conn_ctx = Kaskade_exec.Executor.create conn in
+  let base_label = if d.Datasets.heterogeneous then "filter" else "raw" in
+  let rows =
+    List.filter_map
+      (fun (q : Queries.bench_query) ->
+        match (q.Queries.raw, q.Queries.over_connector) with
+        | Some raw_src, Some conn_src ->
+          Printf.printf "  %s...%!" q.Queries.id;
+          let rows_raw = ref 0 and rows_conn = ref 0 in
+          let t_raw = time_median (fun () -> rows_raw := run_query base_ctx raw_src) in
+          let t_conn = time_median (fun () -> rows_conn := run_query conn_ctx conn_src) in
+          let speedup = if t_conn > 0.0 then t_raw /. t_conn else 0.0 in
+          Printf.printf " %.2fs / %.2fs\n%!" t_raw t_conn;
+          Some
+            [ q.Queries.id; Printf.sprintf "%.4f" t_raw; Printf.sprintf "%.4f" t_conn;
+              Printf.sprintf "%.1fx" speedup; Table.fmt_int !rows_raw; Table.fmt_int !rows_conn ]
+        | _ -> None)
+      (Queries.workload d)
+  in
+  Printf.printf "\n-- %s (%s vs connector) --\n" d.Datasets.name base_label;
+  Table.print
+    ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+    ~header:[ "query"; base_label ^ " (s)"; "connector (s)"; "speedup"; "rows(base)"; "rows(conn)" ]
+    rows
+
+let fig7 () =
+  header "Fig. 7: total query runtimes, filter/raw vs 2-hop connector";
+  List.iter fig7_dataset Datasets.all
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 8: degree distributions                                        *)
+
+let fig8 () =
+  header "Fig. 8: out-degree distribution CCDF and power-law fit";
+  let rows =
+    List.map
+      (fun (d : Datasets.dataset) ->
+        let g = Lazy.force d.Datasets.graph in
+        let r = Kaskade_algo.Degree_dist.of_graph g in
+        let points =
+          (* A few CCDF sample points (deg, count-above). *)
+          let all = r.Kaskade_algo.Degree_dist.ccdf in
+          let total = List.length all in
+          List.filteri (fun i _ -> i = 0 || i = total / 2 || i = total - 1) all
+          |> List.map (fun (deg, cnt) -> Printf.sprintf "(%d, %d)" deg cnt)
+          |> String.concat " "
+        in
+        [ d.Datasets.name; Table.fmt_int r.Kaskade_algo.Degree_dist.n;
+          string_of_int r.Kaskade_algo.Degree_dist.max_degree;
+          Printf.sprintf "%.2f" r.Kaskade_algo.Degree_dist.alpha;
+          Printf.sprintf "%.3f" r.Kaskade_algo.Degree_dist.r2; points ])
+      Datasets.all
+  in
+  Table.print ~header:[ "dataset"; "n"; "max deg"; "ccdf slope"; "r2 (power-law fit)"; "ccdf samples" ] rows
+
+(* ------------------------------------------------------------------ *)
+(* Tables I & II: view catalog                                         *)
+
+let catalog () =
+  header "Tables I & II: connector and summarizer catalog (materialized on a small prov instance)";
+  let g = Kaskade_gen.Provenance_gen.(generate { default with jobs = 400; files = 800; seed = 1 }) in
+  let views =
+    [ View.Connector (View.K_hop { src_type = "Job"; dst_type = "Job"; k = 2 });
+      View.Connector (View.K_hop { src_type = "File"; dst_type = "File"; k = 2 });
+      View.Connector (View.Same_vertex_type { vtype = "Job" });
+      View.Connector (View.Same_edge_type { etype = "WRITES_TO" });
+      View.Connector View.Source_to_sink;
+      View.Summarizer (View.Vertex_inclusion [ "Job"; "File" ]);
+      View.Summarizer (View.Vertex_removal [ "Task"; "Machine" ]);
+      View.Summarizer (View.Edge_inclusion [ "WRITES_TO"; "IS_READ_BY" ]);
+      View.Summarizer (View.Edge_removal [ "SUBMITTED" ]);
+      View.Summarizer
+        (View.Vertex_aggregator
+           { vtype = "Job"; group_prop = "pipelineName"; agg_prop = "CPU"; agg = View.Agg_sum });
+      View.Summarizer (View.Subgraph_aggregator { agg_prop = "CPU"; agg = View.Agg_sum });
+      View.Summarizer (View.Ego_aggregator { k = 2; agg_prop = "CPU"; agg = View.Agg_sum }) ]
+  in
+  let rows =
+    List.map
+      (fun v ->
+        let m, dt = time_once (fun () -> Materialize.materialize g v) in
+        [ View.name v; View.describe v; Table.fmt_int (Graph.n_vertices m.Materialize.graph);
+          Table.fmt_int (Graph.n_edges m.Materialize.graph); Printf.sprintf "%.3f" dt ])
+      views
+  in
+  Table.print ~header:[ "view"; "description"; "|V|"; "|E|"; "build (s)" ] rows
+
+(* ------------------------------------------------------------------ *)
+(* Enumeration ablation (§IV)                                          *)
+
+let enum () =
+  header "Enumeration ablation: constraint injection vs schema-only search (paper §IV)";
+  let schema = Kaskade_gen.Provenance_gen.schema in
+  let q1 = Kaskade.parse (Option.get (Queries.q1 Datasets.prov_raw).Queries.raw) in
+  let constrained, t_c = time_once (fun () -> Kaskade.Enumerate.enumerate schema q1) in
+  Printf.printf "constraint-based (Listing 1 over the 5-type prov schema):\n";
+  Printf.printf "  candidates=%d inference_steps=%d time=%.4fs\n"
+    (List.length constrained.Kaskade.Enumerate.candidates)
+    constrained.Kaskade.Enumerate.inference_steps t_c;
+  List.iter
+    (fun (c : Kaskade.Enumerate.candidate) ->
+      Printf.printf "    %-24s %s\n" (View.name c.Kaskade.Enumerate.view)
+        (View.describe c.Kaskade.Enumerate.view))
+    constrained.Kaskade.Enumerate.candidates;
+  Printf.printf "\nschema-only (no query constraints), growing max K:\n";
+  let rows =
+    List.map
+      (fun max_k ->
+        let e, t = time_once (fun () -> Kaskade.Enumerate.enumerate_unconstrained schema ~max_k) in
+        [ string_of_int max_k; string_of_int (List.length e.Kaskade.Enumerate.candidates);
+          Table.fmt_int e.Kaskade.Enumerate.inference_steps; Printf.sprintf "%.4f" t ])
+      [ 2; 4; 6; 8; 10; 12 ]
+  in
+  Table.print ~aligns:[ Table.Right; Table.Right; Table.Right; Table.Right ]
+    ~header:[ "max K"; "candidates"; "inference steps"; "time (s)" ] rows
+
+(* ------------------------------------------------------------------ *)
+(* View selection budget sweep (§V-B)                                  *)
+
+let select () =
+  header "View selection: knapsack budget sweep over the Q1-Q4 workload (paper §V-B)";
+  let d = Datasets.prov_raw in
+  let g = Datasets.filter_graph d in
+  let stats = Gstats.compute g in
+  let schema = Graph.schema g in
+  let queries =
+    List.filter_map
+      (fun (q : Queries.bench_query) -> Option.map Kaskade.parse q.Queries.raw)
+      [ Queries.q1 d; Queries.q2 d; Queries.q3 d; Queries.q4 d ]
+  in
+  let m = Graph.n_edges g in
+  let budgets = [ m / 100; m / 10; m; 10 * m; 100 * m ] in
+  let rows =
+    List.concat_map
+      (fun budget ->
+        List.map
+          (fun solver ->
+            let name =
+              match solver with
+              | Kaskade.Selection.Branch_and_bound -> "branch&bound"
+              | Kaskade.Selection.Dp -> "dp"
+              | Kaskade.Selection.Greedy -> "greedy"
+            in
+            let sel = Kaskade.Selection.select ~solver stats schema ~queries ~budget_edges:budget in
+            [ Table.fmt_int budget; name;
+              String.concat " " (List.map View.name sel.Kaskade.Selection.chosen);
+              Table.fmt_int sel.Kaskade.Selection.total_weight;
+              Printf.sprintf "%.4f" sel.Kaskade.Selection.total_value ])
+          (if budget = m then
+             [ Kaskade.Selection.Branch_and_bound; Kaskade.Selection.Greedy ]
+           else [ Kaskade.Selection.Branch_and_bound ]))
+      budgets
+  in
+  Table.print ~header:[ "budget (edges)"; "solver"; "chosen views"; "used"; "value" ] rows
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: the whole Kaskade loop on the blast-radius workload     *)
+
+let e2e () =
+  header "End-to-end: enumerate -> select -> materialize -> rewrite -> run (Q1/Q2 on prov)";
+  let d = Datasets.prov_raw in
+  let g = Datasets.filter_graph d in
+  let ks = Kaskade.create g in
+  let queries =
+    List.filter_map
+      (fun (q : Queries.bench_query) -> Option.map Kaskade.parse q.Queries.raw)
+      [ Queries.q1 d; Queries.q2 d ]
+  in
+  let budget = 10 * Graph.n_edges g in
+  let sel, t_select =
+    time_once (fun () -> Kaskade.select_views ks ~queries ~budget_edges:budget)
+  in
+  Printf.printf "selection (%d candidates considered, %.3fs): %s\n"
+    (List.length sel.Kaskade.Selection.reports) t_select
+    (String.concat ", " (List.map View.name sel.Kaskade.Selection.chosen));
+  let entries, t_mat = time_once (fun () -> Kaskade.materialize_selected ks sel) in
+  List.iter
+    (fun (e : Catalog.entry) ->
+      Printf.printf "materialized %s: %d edges\n"
+        (View.name e.Catalog.materialized.Materialize.view)
+        e.Catalog.size_edges)
+    entries;
+  Printf.printf "materialization: %.3fs\n" t_mat;
+  let rows = List.map
+      (fun q ->
+        let t_raw = time_median (fun () -> ignore (Kaskade.run_raw ks q)) in
+        let how = ref "raw" in
+        let t_view =
+          time_median (fun () ->
+              let _, target = Kaskade.run ks q in
+              how := (match target with Kaskade.Raw -> "raw" | Kaskade.Via_view v -> v))
+        in
+        [ (match q with _ -> Kaskade_query.Pretty.to_string q |> fun s -> String.sub s 0 (Stdlib.min 48 (String.length s)) ^ "...");
+          Printf.sprintf "%.4f" t_raw; Printf.sprintf "%.4f" t_view; !how;
+          Printf.sprintf "%.1fx" (if t_view > 0.0 then t_raw /. t_view else 0.0) ])
+      queries
+  in
+  Table.print ~header:[ "query"; "raw (s)"; "kaskade (s)"; "answered via"; "speedup" ] rows
+
+let all_experiments =
+  [ ("table3", table3); ("table4", table4); ("fig5", fig5); ("fig6", fig6); ("fig7", fig7);
+    ("fig5k", fig5k); ("fig8", fig8); ("catalog", catalog); ("enum", enum); ("select", select);
+    ("e2e", e2e) ]

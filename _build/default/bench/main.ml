@@ -1,0 +1,114 @@
+(* Benchmark harness entry point.
+
+   Usage:
+     bench/main.exe                 run every experiment
+     bench/main.exe fig7 table3     run selected experiments
+     bench/main.exe --scale 0.5 ... shrink/grow datasets
+     bench/main.exe --bechamel      Bechamel micro-benchmarks (one
+                                    Test.make per reproduced artifact)
+
+   Experiment ids: table3 table4 fig5 fig6 fig7 fig8 catalog enum
+   select (see DESIGN.md's experiment index). *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  (* One Test.make per table/figure: each measures the experiment's
+     representative unit of work so Bechamel's statistics apply. *)
+  let d = Datasets.prov_raw in
+  let filter = Datasets.filter_graph d in
+  let conn = Datasets.connector_graph d in
+  let filter_ctx = Kaskade_exec.Executor.create filter in
+  let conn_ctx = Kaskade_exec.Executor.create conn in
+  let q4 = Queries.q4 d in
+  let schema = Kaskade_gen.Provenance_gen.schema in
+  let q1_parsed = Kaskade.parse (Option.get (Queries.q1 d).Queries.raw) in
+  let small =
+    Kaskade_gen.Provenance_gen.(generate { default with jobs = 500; files = 1_000; seed = 3 })
+  in
+  let small_stats = Kaskade_graph.Gstats.compute small in
+  let tests =
+    [ Test.make ~name:"table3/generate-prov"
+        (Staged.stage (fun () ->
+             ignore
+               Kaskade_gen.Provenance_gen.(
+                 generate { default with jobs = 500; files = 1_000; seed = 3 })));
+      Test.make ~name:"table4/parse-workload"
+        (Staged.stage (fun () ->
+             List.iter
+               (fun (q : Queries.bench_query) ->
+                 match q.Queries.raw with Some s -> ignore (Kaskade.parse s) | None -> ())
+               (Queries.workload d)));
+      Test.make ~name:"fig5/estimate-2hop"
+        (Staged.stage (fun () ->
+             ignore (Kaskade.Estimator.estimate_paths small_stats ~k:2 ~alpha:95.0)));
+      Test.make ~name:"fig6/materialize-connector"
+        (Staged.stage (fun () ->
+             ignore
+               (Kaskade_views.Materialize.k_hop_connector small ~src_type:"Job" ~dst_type:"Job"
+                  ~k:2)));
+      Test.make ~name:"fig7/q4-filter"
+        (Staged.stage (fun () ->
+             ignore (Kaskade_exec.Executor.run_string filter_ctx (Option.get q4.Queries.raw))));
+      Test.make ~name:"fig7/q4-connector"
+        (Staged.stage (fun () ->
+             ignore
+               (Kaskade_exec.Executor.run_string conn_ctx (Option.get q4.Queries.over_connector))));
+      Test.make ~name:"fig8/degree-dist"
+        (Staged.stage (fun () -> ignore (Kaskade_algo.Degree_dist.of_graph small)));
+      Test.make ~name:"enum/constraint-based"
+        (Staged.stage (fun () -> ignore (Kaskade.Enumerate.enumerate schema q1_parsed)));
+      Test.make ~name:"select/knapsack"
+        (Staged.stage (fun () ->
+             ignore
+               (Kaskade.Selection.select small_stats schema ~queries:[ q1_parsed ]
+                  ~budget_edges:100_000)))
+    ]
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed =
+        Analyze.all
+          (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |])
+          Toolkit.Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "%-32s %14.0f ns/run\n%!" name est
+          | _ -> Printf.printf "%-32s (no estimate)\n%!" name)
+        analyzed)
+    tests
+
+let () =
+  let rec parse (scale, bechamel, ids) = function
+    | [] -> (scale, bechamel, List.rev ids)
+    | "--scale" :: v :: rest -> parse (float_of_string v, bechamel, ids) rest
+    | "--bechamel" :: rest -> parse (scale, true, ids) rest
+    | id :: rest -> parse (scale, bechamel, id :: ids) rest
+  in
+  let scale, bechamel, selected =
+    parse (1.0, false, []) (List.tl (Array.to_list Sys.argv))
+  in
+  Datasets.scale := scale;
+  if bechamel then bechamel_tests ()
+  else begin
+    let to_run =
+      if selected = [] then Exps.all_experiments
+      else
+        List.map
+          (fun id ->
+            match List.assoc_opt id Exps.all_experiments with
+            | Some f -> (id, f)
+            | None ->
+              Printf.eprintf "unknown experiment %s (known: %s)\n" id
+                (String.concat " " (List.map fst Exps.all_experiments));
+              exit 1)
+          selected
+    in
+    let t0 = Unix.gettimeofday () in
+    List.iter (fun (_, f) -> f ()) to_run;
+    Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)
+  end

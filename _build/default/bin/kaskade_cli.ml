@@ -1,0 +1,231 @@
+(* Command-line front end:
+
+     kaskade_cli generate --dataset prov --edges 50000
+     kaskade_cli enumerate --dataset prov --query "MATCH ... RETURN ..."
+     kaskade_cli select --dataset prov --budget 100000 --query "..."
+     kaskade_cli run --dataset prov --query "..." [--no-views]
+     kaskade_cli stats --dataset dblp
+
+   Datasets are generated on the fly (deterministic seeds); see
+   lib/gen for the generators' shapes. *)
+
+open Cmdliner
+open Kaskade_graph
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log view selection and rewriting decisions.")
+
+let build_dataset name edges seed =
+  match name with
+  | "prov" ->
+    Kaskade_gen.Provenance_gen.(generate (scaled ~edges ~seed))
+  | "prov-summarized" ->
+    let raw = Kaskade_gen.Provenance_gen.(generate (scaled ~edges ~seed)) in
+    (Kaskade_views.Materialize.materialize raw
+       (Kaskade_views.View.Summarizer
+          (Kaskade_views.View.Vertex_inclusion Kaskade_gen.Provenance_gen.summarized_types)))
+      .Kaskade_views.Materialize.graph
+  | "dblp" -> Kaskade_gen.Dblp_gen.(generate (scaled ~edges ~seed))
+  | "soc" -> Kaskade_gen.Powerlaw_gen.(generate (scaled ~edges ~seed))
+  | "road" -> Kaskade_gen.Road_gen.(generate (scaled ~edges ~seed))
+  | other -> failwith ("unknown dataset " ^ other ^ " (try: prov prov-summarized dblp soc road)")
+
+let dataset_arg =
+  Arg.(value & opt string "prov" & info [ "d"; "dataset" ] ~docv:"NAME"
+         ~doc:"Dataset: prov, prov-summarized, dblp, soc or road.")
+
+let graph_file_arg =
+  Arg.(value & opt (some string) None & info [ "g"; "graph" ] ~docv:"FILE"
+         ~doc:"Load the graph from a kaskade-graph file instead of generating a dataset.")
+
+let out_arg =
+  Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE"
+         ~doc:"Also save the graph to FILE (kaskade-graph format).")
+
+let load_or_generate graph_file name edges seed =
+  match graph_file with
+  | Some path -> Kaskade_graph.Gio.load path
+  | None -> build_dataset name edges seed
+
+let edges_arg =
+  Arg.(value & opt int 50_000 & info [ "edges" ] ~docv:"N" ~doc:"Approximate edge count.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"Generator seed.")
+
+let query_arg =
+  Arg.(required & opt (some string) None & info [ "q"; "query" ] ~docv:"QUERY"
+         ~doc:"Query in the hybrid MATCH/SELECT language.")
+
+let budget_arg =
+  Arg.(value & opt int 1_000_000 & info [ "budget" ] ~docv:"EDGES"
+         ~doc:"View materialization budget in edges (knapsack capacity).")
+
+let generate_cmd =
+  let run name edges seed out =
+    let g = build_dataset name edges seed in
+    Format.printf "%a@." Graph.pp_summary g;
+    Format.printf "%a@." Gstats.pp (Gstats.compute g);
+    match out with
+    | Some path ->
+      Kaskade_graph.Gio.save g path;
+      Printf.printf "saved to %s\n" path
+    | None -> ()
+  in
+  Cmd.v (Cmd.info "generate" ~doc:"Generate a dataset, print statistics, optionally save it.")
+    Term.(const run $ dataset_arg $ edges_arg $ seed_arg $ out_arg)
+
+let stats_cmd =
+  let run name edges seed graph_file =
+    let g = load_or_generate graph_file name edges seed in
+    Format.printf "%a@." Gstats.pp (Gstats.compute g);
+    let r = Kaskade_algo.Degree_dist.of_graph g in
+    Format.printf "degree distribution: %a@." Kaskade_algo.Degree_dist.pp r
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Degree statistics and power-law fit of a dataset.")
+    Term.(const run $ dataset_arg $ edges_arg $ seed_arg $ graph_file_arg)
+
+let enumerate_cmd =
+  let run name edges seed graph_file query =
+    let g = load_or_generate graph_file name edges seed in
+    let ks = Kaskade.create g in
+    let q = Kaskade.parse query in
+    let e = Kaskade.enumerate_views ks q in
+    Printf.printf "%d candidates (%d inference steps):\n"
+      (List.length e.Kaskade.Enumerate.candidates) e.Kaskade.Enumerate.inference_steps;
+    List.iter
+      (fun (c : Kaskade.Enumerate.candidate) ->
+        Printf.printf "  %-26s %s\n"
+          (Kaskade_views.View.name c.Kaskade.Enumerate.view)
+          (Kaskade_views.View.describe c.Kaskade.Enumerate.view))
+      e.Kaskade.Enumerate.candidates
+  in
+  Cmd.v (Cmd.info "enumerate" ~doc:"Constraint-based view enumeration for a query.")
+    Term.(const run $ dataset_arg $ edges_arg $ seed_arg $ graph_file_arg $ query_arg)
+
+let select_cmd =
+  let run name edges seed graph_file query budget =
+    let g = load_or_generate graph_file name edges seed in
+    let ks = Kaskade.create g in
+    let q = Kaskade.parse query in
+    let sel = Kaskade.select_views ks ~queries:[ q ] ~budget_edges:budget in
+    List.iter
+      (fun (r : Kaskade.Selection.candidate_report) ->
+        Printf.printf "%-26s size=%12.0f cost=%12.0f improvement=%8.2f value=%.6f%s\n"
+          (Kaskade_views.View.name r.Kaskade.Selection.view)
+          r.Kaskade.Selection.est_size r.Kaskade.Selection.creation_cost
+          r.Kaskade.Selection.improvement r.Kaskade.Selection.value
+          (if r.Kaskade.Selection.chosen then "  <- chosen" else ""))
+      sel.Kaskade.Selection.reports
+  in
+  Cmd.v (Cmd.info "select" ~doc:"Knapsack view selection for a workload under a budget.")
+    Term.(const run $ dataset_arg $ edges_arg $ seed_arg $ graph_file_arg $ query_arg $ budget_arg)
+
+let run_cmd =
+  let no_views =
+    Arg.(value & flag & info [ "no-views" ] ~doc:"Evaluate on the raw graph only.")
+  in
+  let run verbose name edges seed graph_file query budget no_views =
+    setup_logs verbose;
+    let g = load_or_generate graph_file name edges seed in
+    let ks = Kaskade.create g in
+    let q = Kaskade.parse query in
+    if not no_views then begin
+      let sel = Kaskade.select_views ks ~queries:[ q ] ~budget_edges:budget in
+      let entries = Kaskade.materialize_selected ks sel in
+      List.iter
+        (fun (e : Kaskade_views.Catalog.entry) ->
+          Printf.printf "materialized %s (%d edges)\n"
+            (Kaskade_views.View.name
+               e.Kaskade_views.Catalog.materialized.Kaskade_views.Materialize.view)
+            e.Kaskade_views.Catalog.size_edges)
+        entries
+    end;
+    let t0 = Unix.gettimeofday () in
+    let result, how = if no_views then (Kaskade.run_raw ks q, Kaskade.Raw) else Kaskade.run ks q in
+    let dt = Unix.gettimeofday () -. t0 in
+    let target, target_graph =
+      match how with
+      | Kaskade.Raw -> ("raw graph", g)
+      | Kaskade.Via_view v ->
+        ( "view " ^ v,
+          (Option.get (Kaskade_views.Catalog.find_by_name (Kaskade.catalog ks) v))
+            .Kaskade_views.Catalog.materialized.Kaskade_views.Materialize.graph )
+    in
+    (match result with
+    | Kaskade_exec.Executor.Table t ->
+      Format.printf "%a@." (Kaskade_exec.Row.pp target_graph) t;
+      Printf.printf "%d rows" (Kaskade_exec.Row.n_rows t)
+    | Kaskade_exec.Executor.Affected n -> Printf.printf "updated %d entities" n);
+    Printf.printf " via %s in %.3fs\n" target dt
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Answer a query, transparently using materialized views.")
+    Term.(const run $ verbose_arg $ dataset_arg $ edges_arg $ seed_arg $ graph_file_arg $ query_arg $ budget_arg $ no_views)
+
+let repl_cmd =
+  let run verbose name edges seed graph_file budget =
+    setup_logs verbose;
+    let g = load_or_generate graph_file name edges seed in
+    let ks = Kaskade.create g in
+    Format.printf "%a@." Graph.pp_summary g;
+    print_endline "kaskade repl — enter a query per line; :views to list, :quit to exit";
+    let rec loop () =
+      print_string "kaskade> ";
+      match read_line () with
+      | exception End_of_file -> ()
+      | ":quit" | ":q" -> ()
+      | ":views" ->
+        List.iter
+          (fun (e : Kaskade_views.Catalog.entry) ->
+            Printf.printf "  %s (%d edges)\n"
+              (Kaskade_views.View.name
+                 e.Kaskade_views.Catalog.materialized.Kaskade_views.Materialize.view)
+              e.Kaskade_views.Catalog.size_edges)
+          (Kaskade_views.Catalog.entries (Kaskade.catalog ks));
+        loop ()
+      | "" -> loop ()
+      | line -> begin
+        (try
+           let q = Kaskade.parse line in
+           (* Opportunistically select + materialize for each new query. *)
+           let sel = Kaskade.select_views ks ~queries:[ q ] ~budget_edges:budget in
+           ignore (Kaskade.materialize_selected ks sel);
+           let t0 = Unix.gettimeofday () in
+           let result, how = Kaskade.run ks q in
+           let dt = Unix.gettimeofday () -. t0 in
+           let target_graph =
+             match how with
+             | Kaskade.Raw -> g
+             | Kaskade.Via_view v ->
+               (Option.get (Kaskade_views.Catalog.find_by_name (Kaskade.catalog ks) v))
+                 .Kaskade_views.Catalog.materialized.Kaskade_views.Materialize.graph
+           in
+           (match result with
+           | Kaskade_exec.Executor.Table t ->
+             Format.printf "%a@." (Kaskade_exec.Row.pp target_graph) t;
+             Printf.printf "%d rows" (Kaskade_exec.Row.n_rows t)
+           | Kaskade_exec.Executor.Affected n -> Printf.printf "updated %d entities" n);
+           Printf.printf " (%.3fs, %s)\n"
+             dt
+             (match how with Kaskade.Raw -> "raw" | Kaskade.Via_view v -> "via " ^ v)
+         with
+        | Kaskade_query.Qparser.Parse_error msg -> Printf.printf "parse error: %s\n" msg
+        | Kaskade_query.Analyze.Semantic_error msg -> Printf.printf "semantic error: %s\n" msg
+        | Invalid_argument msg -> Printf.printf "error: %s\n" msg);
+        loop ()
+      end
+    in
+    loop ()
+  in
+  Cmd.v (Cmd.info "repl" ~doc:"Interactive query loop with transparent view selection.")
+    Term.(const run $ verbose_arg $ dataset_arg $ edges_arg $ seed_arg $ graph_file_arg $ budget_arg)
+
+let () =
+  let doc = "Kaskade: graph views for efficient graph analytics (ICDE 2020 reproduction)." in
+  let info = Cmd.info "kaskade_cli" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ generate_cmd; stats_cmd; enumerate_cmd; select_cmd; run_cmd; repl_cmd ]))

@@ -1,0 +1,1 @@
+examples/blast_radius.mli:

@@ -1,0 +1,1 @@
+examples/coauthorship.ml: Format Graph Kaskade Kaskade_exec Kaskade_gen Kaskade_graph Kaskade_views List Printf String Unix

@@ -1,0 +1,1 @@
+examples/live_views.ml: Builder Graph Kaskade_gen Kaskade_graph Kaskade_util Kaskade_views List Maintain Materialize Printf Schema Unix Value View

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Builder Format Graph Kaskade Kaskade_exec Kaskade_graph Kaskade_query Kaskade_views List Option Printf Schema String Value

@@ -1,0 +1,1 @@
+examples/road_reachability.ml: Format Graph Kaskade Kaskade_algo Kaskade_exec Kaskade_gen Kaskade_graph Kaskade_query Kaskade_views List Printf String Value

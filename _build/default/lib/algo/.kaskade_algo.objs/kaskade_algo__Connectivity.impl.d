@@ -1,0 +1,1 @@
+lib/algo/connectivity.ml: Graph Kaskade_graph Kaskade_util Union_find

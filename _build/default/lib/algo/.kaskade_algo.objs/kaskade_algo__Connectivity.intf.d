@@ -1,0 +1,1 @@
+lib/algo/connectivity.mli: Kaskade_graph Kaskade_util

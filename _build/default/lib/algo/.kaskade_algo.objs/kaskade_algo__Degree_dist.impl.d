@@ -1,0 +1,1 @@
+lib/algo/degree_dist.ml: Array Format Graph Kaskade_graph Kaskade_util Schema Stats Stdlib

@@ -1,0 +1,1 @@
+lib/algo/degree_dist.mli: Format Kaskade_graph

@@ -1,0 +1,1 @@
+lib/algo/label_prop.ml: Array Graph Hashtbl Kaskade_graph List

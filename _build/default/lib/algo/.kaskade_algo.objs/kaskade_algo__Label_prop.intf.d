@@ -1,0 +1,1 @@
+lib/algo/label_prop.mli: Hashtbl Kaskade_graph

@@ -1,0 +1,1 @@
+lib/algo/paths.ml: Array Graph Hashtbl Kaskade_graph

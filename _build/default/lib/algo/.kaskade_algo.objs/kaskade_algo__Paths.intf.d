@@ -1,0 +1,1 @@
+lib/algo/paths.mli: Kaskade_graph

@@ -1,0 +1,1 @@
+lib/algo/traverse.ml: Array Graph Kaskade_graph List Stdlib Value

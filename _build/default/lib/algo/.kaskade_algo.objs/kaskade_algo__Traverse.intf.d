@@ -1,0 +1,1 @@
+lib/algo/traverse.mli: Kaskade_graph

@@ -1,0 +1,67 @@
+open Kaskade_graph
+
+let run g ~passes =
+  let n = Graph.n_vertices g in
+  let labels = Array.init n (fun v -> v) in
+  let counts = Hashtbl.create 16 in
+  for _ = 1 to passes do
+    let next = Array.make n 0 in
+    for v = 0 to n - 1 do
+      Hashtbl.reset counts;
+      let bump l =
+        match Hashtbl.find_opt counts l with
+        | Some c -> Hashtbl.replace counts l (c + 1)
+        | None -> Hashtbl.add counts l 1
+      in
+      Graph.iter_out g v (fun ~dst ~etype:_ ~eid:_ -> bump labels.(dst));
+      Graph.iter_in g v (fun ~src ~etype:_ ~eid:_ -> bump labels.(src));
+      if Hashtbl.length counts = 0 then next.(v) <- labels.(v)
+      else begin
+        (* Most frequent label; ties towards the smaller label. *)
+        let best_label = ref max_int and best_count = ref 0 in
+        Hashtbl.iter
+          (fun l c ->
+            if c > !best_count || (c = !best_count && l < !best_label) then begin
+              best_label := l;
+              best_count := c
+            end)
+          counts;
+        next.(v) <- !best_label
+      end
+    done;
+    Array.blit next 0 labels 0 n
+  done;
+  labels
+
+let community_sizes labels =
+  let h = Hashtbl.create 64 in
+  Array.iter
+    (fun l ->
+      match Hashtbl.find_opt h l with
+      | Some c -> Hashtbl.replace h l (c + 1)
+      | None -> Hashtbl.add h l 1)
+    labels;
+  h
+
+let largest_community g ~labels ?count_type () =
+  let h = Hashtbl.create 64 in
+  Array.iteri
+    (fun v l ->
+      let counted = match count_type with None -> true | Some ty -> Graph.vertex_type g v = ty in
+      if counted then begin
+        match Hashtbl.find_opt h l with
+        | Some c -> Hashtbl.replace h l (c + 1)
+        | None -> Hashtbl.add h l 1
+      end)
+    labels;
+  let best_label = ref (-1) and best_count = ref (-1) in
+  Hashtbl.iter
+    (fun l c ->
+      if c > !best_count || (c = !best_count && l < !best_label) then begin
+        best_label := l;
+        best_count := c
+      end)
+    h;
+  let members = ref [] in
+  Array.iteri (fun v l -> if l = !best_label then members := v :: !members) labels;
+  (!best_label, List.rev !members)

@@ -1,0 +1,20 @@
+(** Synchronous label-propagation community detection — the stand-in
+    for the APOC label-propagation UDF used by the paper's Q7/Q8. On a
+    2-hop connector the paper runs "around half as many iterations"
+    and obtains similar job groupings; {!run} exposes the pass count
+    so the rewritten query can do exactly that. *)
+
+val run : Kaskade_graph.Graph.t -> passes:int -> int array
+(** [run g ~passes] returns a community label per vertex. Labels start
+    as vertex ids; each pass every vertex adopts the most frequent
+    label among its (undirected) neighbours, ties broken towards the
+    smaller label; updates are synchronous, so the result is
+    deterministic. *)
+
+val community_sizes : int array -> (int, int) Hashtbl.t
+
+val largest_community :
+  Kaskade_graph.Graph.t -> labels:int array -> ?count_type:int -> unit -> int * int list
+(** Paper Q8: the community label with the most member vertices
+    (restricted to vertices of [count_type] when given, e.g. counting
+    only Job vertices) and its member list. *)

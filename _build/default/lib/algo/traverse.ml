@@ -1,0 +1,82 @@
+open Kaskade_graph
+
+type dir = Out | In | Both
+
+let iter_neighbors g v dir f =
+  (match dir with
+  | Out | Both -> Graph.iter_out g v (fun ~dst ~etype:_ ~eid -> f dst eid)
+  | In -> ());
+  match dir with
+  | In | Both -> Graph.iter_in g v (fun ~src ~etype:_ ~eid -> f src eid)
+  | Out -> ()
+
+let bfs_levels g ~src ?(dir = Out) ?(max_hops = max_int) () =
+  let n = Graph.n_vertices g in
+  let dist = Array.make n (-1) in
+  dist.(src) <- 0;
+  let frontier = ref [ src ] in
+  let hop = ref 0 in
+  while !frontier <> [] && !hop < max_hops do
+    incr hop;
+    let next = ref [] in
+    List.iter
+      (fun v ->
+        iter_neighbors g v dir (fun u _ ->
+            if dist.(u) < 0 then begin
+              dist.(u) <- !hop;
+              next := u :: !next
+            end))
+      !frontier;
+    frontier := !next
+  done;
+  dist
+
+let reachable_within g ~src ~max_hops ?(dir = Out) () =
+  let dist = bfs_levels g ~src ~dir ~max_hops () in
+  let out = ref [] in
+  for v = Graph.n_vertices g - 1 downto 0 do
+    if dist.(v) > 0 then out := v :: !out
+  done;
+  !out
+
+let descendants g ~src ~max_hops = reachable_within g ~src ~max_hops ~dir:Out ()
+let ancestors g ~src ~max_hops = reachable_within g ~src ~max_hops ~dir:In ()
+
+let endpoints_in_range g ~src ~lo ~hi ?(dir = Out) () =
+  let dist = bfs_levels g ~src ~dir ~max_hops:hi () in
+  let out = ref [] in
+  for v = Graph.n_vertices g - 1 downto 0 do
+    if dist.(v) >= lo && dist.(v) <= hi then out := (v, dist.(v)) :: !out
+  done;
+  !out
+
+let max_timestamp_paths g ~src ~max_hops ~prop =
+  let n = Graph.n_vertices g in
+  let dist = Array.make n (-1) in
+  let best = Array.make n min_int in
+  dist.(src) <- 0;
+  best.(src) <- 0;
+  let frontier = ref [ src ] in
+  let hop = ref 0 in
+  while !frontier <> [] && !hop < max_hops do
+    incr hop;
+    let next = ref [] in
+    List.iter
+      (fun v ->
+        Graph.iter_out g v (fun ~dst ~etype:_ ~eid ->
+            if dist.(dst) < 0 then begin
+              dist.(dst) <- !hop;
+              let w =
+                match Graph.eprop g eid prop with Some (Value.Int ts) -> ts | _ -> 0
+              in
+              best.(dst) <- Stdlib.max best.(v) w;
+              next := dst :: !next
+            end))
+      !frontier;
+    frontier := !next
+  done;
+  let out = ref [] in
+  for v = n - 1 downto 0 do
+    if dist.(v) > 0 then out := (v, best.(v)) :: !out
+  done;
+  !out

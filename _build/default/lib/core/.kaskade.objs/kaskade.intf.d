@@ -1,0 +1,1 @@
+lib/core/kaskade.mli: Enumerate Estimator Facts Kaskade_exec Kaskade_graph Kaskade_query Kaskade_views Rewrite Rules Selection

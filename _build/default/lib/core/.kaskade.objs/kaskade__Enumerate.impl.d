@@ -1,0 +1,1 @@
+lib/core/enumerate.ml: Db Engine Facts Hashtbl Kaskade_graph Kaskade_prolog Kaskade_query Kaskade_views List Prelude Printf Rewrite Rules Term View

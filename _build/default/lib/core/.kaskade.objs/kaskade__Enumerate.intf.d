@@ -1,0 +1,1 @@
+lib/core/enumerate.mli: Kaskade_graph Kaskade_prolog Kaskade_query Kaskade_views

@@ -1,0 +1,1 @@
+lib/core/estimator.ml: Gstats Kaskade_graph Kaskade_views List Schema View

@@ -1,0 +1,1 @@
+lib/core/estimator.mli: Kaskade_graph Kaskade_views

@@ -1,0 +1,1 @@
+lib/core/facts.ml: Analyze Db Hashtbl Kaskade_graph Kaskade_prolog Kaskade_query List Schema String Term

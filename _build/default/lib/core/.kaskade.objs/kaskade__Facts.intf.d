@@ -1,0 +1,1 @@
+lib/core/facts.mli: Kaskade_graph Kaskade_prolog Kaskade_query

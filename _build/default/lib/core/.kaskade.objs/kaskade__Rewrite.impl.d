@@ -1,0 +1,1 @@
+lib/core/rewrite.ml: Analyze Array Ast Kaskade_graph Kaskade_query Kaskade_views List Option Schema Stdlib View

@@ -1,0 +1,1 @@
+lib/core/rewrite.mli: Kaskade_graph Kaskade_query Kaskade_views

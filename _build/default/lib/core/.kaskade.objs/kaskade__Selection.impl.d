@@ -1,0 +1,1 @@
+lib/core/selection.ml: Cost Enumerate Estimator Gstats Hashtbl Kaskade_exec Kaskade_graph Kaskade_knapsack Kaskade_views List Rewrite Schema Stdlib String View

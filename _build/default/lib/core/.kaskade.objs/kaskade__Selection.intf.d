@@ -1,0 +1,1 @@
+lib/core/selection.mli: Kaskade_graph Kaskade_query Kaskade_views

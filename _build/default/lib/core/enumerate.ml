@@ -1,0 +1,131 @@
+open Kaskade_prolog
+open Kaskade_views
+
+type candidate = { view : View.t; bridges : (string * string) option }
+
+type enumeration = {
+  candidates : candidate list;
+  inference_steps : int;
+  facts : Term.t list;
+}
+
+let atom_exn = function
+  | Term.Atom a -> a
+  | t -> invalid_arg ("Enumerate: expected atom, got " ^ Term.to_string t)
+
+let int_exn = function
+  | Term.Int n -> n
+  | t -> invalid_arg ("Enumerate: expected integer, got " ^ Term.to_string t)
+
+let dedupe candidates =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun c ->
+      let key = View.name c.view in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    candidates
+
+let engine_with schema_rules facts =
+  let db = Prelude.db_with_prelude () in
+  Db.load db schema_rules;
+  Facts.assert_all db facts;
+  Engine.create db
+
+(* A summarizerRemoveEdges rewrite is only safe when every pattern
+   edge is explicitly labeled (unlabeled and variable-length edges may
+   traverse any type). *)
+let all_edges_labeled summary =
+  summary.Kaskade_query.Analyze.var_length_paths = []
+  && List.for_all (fun (_, _, et) -> et <> None) summary.Kaskade_query.Analyze.edges
+
+let enumerate schema query =
+  let summary = Kaskade_query.Analyze.check schema query in
+  let facts = Facts.query_facts schema query @ Facts.schema_facts schema in
+  let eng = engine_with Rules.all facts in
+  Engine.reset_steps eng;
+  let out = ref [] in
+  let push view bridges = out := { view; bridges } :: !out in
+  (* K-hop connectors (including the same-vertex-type special case). *)
+  List.iter
+    (fun sol ->
+      let x = atom_exn (List.assoc "X" sol) and y = atom_exn (List.assoc "Y" sol) in
+      let xt = atom_exn (List.assoc "XTYPE" sol) and yt = atom_exn (List.assoc "YTYPE" sol) in
+      let k = int_exn (List.assoc "K" sol) in
+      push (View.Connector (View.K_hop { src_type = xt; dst_type = yt; k })) (Some (x, y)))
+    (Engine.all_solutions eng "kHopConnector(X, Y, XTYPE, YTYPE, K)");
+  (* Variable-length same-vertex-type connectors. *)
+  List.iter
+    (fun sol ->
+      let x = atom_exn (List.assoc "X" sol) and y = atom_exn (List.assoc "Y" sol) in
+      let vt = atom_exn (List.assoc "VTYPE" sol) in
+      push (View.Connector (View.Same_vertex_type { vtype = vt })) (Some (x, y)))
+    (Engine.all_solutions eng "connectorSameVertexType(X, Y, VTYPE)");
+  (* Source-to-sink connectors. *)
+  List.iter
+    (fun sol ->
+      let x = atom_exn (List.assoc "X" sol) and y = atom_exn (List.assoc "Y" sol) in
+      push (View.Connector View.Source_to_sink) (Some (x, y)))
+    (Engine.all_solutions eng "sourceToSinkConnector(X, Y)");
+  (* Same-edge-type connectors. *)
+  List.iter
+    (fun sol ->
+      let et = atom_exn (List.assoc "ETYPE" sol) in
+      push (View.Connector (View.Same_edge_type { etype = et })) None)
+    (Engine.all_solutions eng "sameEdgeTypeConnector(ETYPE)");
+  (* Vertex-inclusion summarizer. The Prolog template proposes the
+     types the query *mentions*; variable-length segments also
+     traverse intermediate types, so close the set under schema-walk
+     membership (Rewrite.traversal_types) — keeping only the mentioned
+     types would sever the paths the query must follow. Only emitted
+     when it actually drops something. *)
+  List.iter
+    (fun sol ->
+      match Term.to_list (List.assoc "TYPES" sol) with
+      | Some types ->
+        let mentioned = List.map atom_exn types in
+        let closed =
+          match Rewrite.traversal_types schema query with
+          | Some needed -> List.sort_uniq compare (mentioned @ needed)
+          | None -> mentioned
+        in
+        if List.length closed < Kaskade_graph.Schema.n_vertex_types schema then
+          push (View.Summarizer (View.Vertex_inclusion closed)) None
+      | None -> ())
+    (Engine.all_solutions eng "summarizerVertexInclusion(TYPES)");
+  (* Edge-removal summarizer, when provably safe. *)
+  if all_edges_labeled summary then begin
+    let removable =
+      List.filter_map
+        (fun sol -> Some (atom_exn (List.assoc "ETYPE_REMOVE" sol)))
+        (Engine.all_solutions eng "summarizerRemoveEdges(ETYPE_REMOVE)")
+    in
+    if removable <> [] then
+      push (View.Summarizer (View.Edge_removal (List.sort_uniq compare removable))) None
+  end;
+  { candidates = dedupe (List.rev !out); inference_steps = Engine.steps eng; facts }
+
+let enumerate_unconstrained schema ~max_k =
+  let facts = Facts.schema_facts schema in
+  let eng = engine_with (Rules.mining_rules ^ Rules.unconstrained_templates) facts in
+  Engine.reset_steps eng;
+  let out = ref [] in
+  List.iter
+    (fun sol ->
+      let xt = atom_exn (List.assoc "XTYPE" sol) and yt = atom_exn (List.assoc "YTYPE" sol) in
+      let k = int_exn (List.assoc "K" sol) in
+      out :=
+        { view = View.Connector (View.K_hop { src_type = xt; dst_type = yt; k }); bridges = None }
+        :: !out)
+    (Engine.all_solutions eng
+       (Printf.sprintf "kHopConnectorNoQuery(XTYPE, YTYPE, %d, K)" max_k));
+  List.iter
+    (fun sol ->
+      let vt = atom_exn (List.assoc "VTYPE" sol) in
+      out :=
+        { view = View.Connector (View.Same_vertex_type { vtype = vt }); bridges = None } :: !out)
+    (Engine.all_solutions eng "connectorSameVertexTypeNoQuery(VTYPE)");
+  { candidates = dedupe (List.rev !out); inference_steps = Engine.steps eng; facts }

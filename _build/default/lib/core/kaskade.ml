@@ -1,0 +1,138 @@
+module Facts = Facts
+module Rules = Rules
+module Enumerate = Enumerate
+module Estimator = Estimator
+module Selection = Selection
+module Rewrite = Rewrite
+
+open Kaskade_graph
+open Kaskade_views
+open Kaskade_exec
+
+let log_src = Logs.Src.create "kaskade" ~doc:"Kaskade view selection and rewriting"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type t = {
+  graph : Graph.t;
+  schema : Schema.t;
+  stats : Gstats.t;
+  catalog : Catalog.t;
+  alpha : float;
+  mode : Executor.mode;
+  ctxs : (string, Executor.ctx) Hashtbl.t;  (* "" = base graph *)
+  view_stats : (string, Gstats.t) Hashtbl.t;
+}
+
+type run_target = Raw | Via_view of string
+
+let create ?(alpha = 95.0) ?(mode = Executor.Distinct_endpoints) graph =
+  {
+    graph;
+    schema = Graph.schema graph;
+    stats = Gstats.compute graph;
+    catalog = Catalog.create graph;
+    alpha;
+    mode;
+    ctxs = Hashtbl.create 8;
+    view_stats = Hashtbl.create 8;
+  }
+
+let graph t = t.graph
+let schema t = t.schema
+let stats t = t.stats
+let catalog t = t.catalog
+
+let parse = Kaskade_query.Qparser.parse
+
+let ctx_for t name g =
+  match Hashtbl.find_opt t.ctxs name with
+  | Some ctx -> ctx
+  | None ->
+    let ctx = Executor.create ~mode:t.mode ~planner:true g in
+    Hashtbl.add t.ctxs name ctx;
+    ctx
+
+let base_ctx t = ctx_for t "" t.graph
+
+let view_ctx t name =
+  match Catalog.find_by_name t.catalog name with
+  | Some entry -> ctx_for t name entry.Catalog.materialized.Materialize.graph
+  | None -> raise Not_found
+
+let stats_for_view t name g =
+  match Hashtbl.find_opt t.view_stats name with
+  | Some s -> s
+  | None ->
+    let s = Gstats.compute g in
+    Hashtbl.add t.view_stats name s;
+    s
+
+let enumerate_views t q = Enumerate.enumerate t.schema q
+
+let select_views ?solver ?query_weights t ~queries ~budget_edges =
+  let sel =
+    Selection.select ~alpha:t.alpha ?solver ?query_weights t.stats t.schema ~queries ~budget_edges
+  in
+  Log.info (fun k ->
+      k "selection over %d queries (budget %d edges): chose [%s], weight %d"
+        (List.length queries) budget_edges
+        (String.concat "; " (List.map View.name sel.Selection.chosen))
+        sel.Selection.total_weight);
+  sel
+
+let materialize t view =
+  match Catalog.find t.catalog view with
+  | Some entry -> entry
+  | None ->
+    let m = Materialize.materialize t.graph view in
+    Log.info (fun k ->
+        k "materialized %s: %d vertices, %d edges (cost %.0f)" (View.name view)
+          (Graph.n_vertices m.Materialize.graph)
+          (Graph.n_edges m.Materialize.graph)
+          m.Materialize.build_cost);
+    Catalog.add t.catalog m;
+    (* Invalidate any stale per-view state. *)
+    Hashtbl.remove t.ctxs (View.name view);
+    Hashtbl.remove t.view_stats (View.name view);
+    Option.get (Catalog.find t.catalog view)
+
+let materialize_selected t (sel : Selection.t) = List.map (materialize t) sel.Selection.chosen
+
+let best_rewriting t q =
+  let raw_cost = Cost.eval_cost t.stats t.schema q in
+  let best = ref None in
+  List.iter
+    (fun (entry : Catalog.entry) ->
+      let view = entry.materialized.Materialize.view in
+      match Rewrite.rewrite t.schema q view with
+      | Some rw ->
+        let vg = entry.materialized.Materialize.graph in
+        let vstats = stats_for_view t (View.name view) vg in
+        let cost = Cost.eval_cost vstats (Graph.schema vg) rw.Rewrite.rewritten in
+        if cost < raw_cost then begin
+          match !best with
+          | Some (_, _, best_cost) when best_cost <= cost -> ()
+          | _ -> best := Some (rw, entry, cost)
+        end
+      | None -> ())
+    (Catalog.entries t.catalog);
+  Option.map (fun (rw, entry, _) -> (rw, entry)) !best
+
+let run_raw t q = Executor.run (base_ctx t) q
+
+let run_on_view t name q =
+  match Catalog.find_by_name t.catalog name with
+  | Some _ -> Executor.run (view_ctx t name) q
+  | None -> raise Not_found
+
+let run t q =
+  match best_rewriting t q with
+  | Some (rw, entry) ->
+    let name = View.name entry.materialized.Materialize.view in
+    Log.debug (fun k ->
+        k "answering via %s: %s" name (Kaskade_query.Pretty.to_string rw.Rewrite.rewritten));
+    (Executor.run (view_ctx t name) rw.Rewrite.rewritten, Via_view name)
+  | None ->
+    Log.debug (fun k -> k "no materialized view helps; answering on the base graph");
+    (run_raw t q, Raw)

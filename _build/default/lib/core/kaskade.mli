@@ -1,0 +1,84 @@
+(** The Kaskade system facade (paper Fig. 2): a graph plus workload
+    analyzer (view selection), view enumerator, query rewriter, and
+    execution engine, wired together.
+
+    {[
+      let ks = Kaskade.create graph in
+      let q = Kaskade.parse "SELECT ... FROM (MATCH ...)" in
+      (* choose + materialize views for a workload under a budget *)
+      let sel = Kaskade.select_views ks ~queries:[ q ] ~budget_edges:100_000 in
+      Kaskade.materialize_selected ks sel;
+      (* transparently answer from the best materialized view *)
+      let result, how = Kaskade.run ks q in
+      ...
+    ]} *)
+
+(** Re-exported components (see each module's own documentation). *)
+
+module Facts = Facts
+module Rules = Rules
+module Enumerate = Enumerate
+module Estimator = Estimator
+module Selection = Selection
+module Rewrite = Rewrite
+
+type t
+
+type run_target =
+  | Raw  (** Answered on the base graph. *)
+  | Via_view of string  (** Answered over the named materialized view. *)
+
+val create :
+  ?alpha:float -> ?mode:Kaskade_exec.Executor.mode -> Kaskade_graph.Graph.t -> t
+(** [alpha] (default 95) parameterizes view-size estimation — the
+    operating point the paper recommends (§VII-D). *)
+
+val graph : t -> Kaskade_graph.Graph.t
+val schema : t -> Kaskade_graph.Schema.t
+val stats : t -> Kaskade_graph.Gstats.t
+val catalog : t -> Kaskade_views.Catalog.t
+
+val parse : string -> Kaskade_query.Ast.t
+(** Parse the hybrid query language (re-export of [Qparser.parse]). *)
+
+val enumerate_views : t -> Kaskade_query.Ast.t -> Enumerate.enumeration
+(** Constraint-based view enumeration for one query (§IV). *)
+
+val select_views :
+  ?solver:Selection.solver ->
+  ?query_weights:float list ->
+  t ->
+  queries:Kaskade_query.Ast.t list ->
+  budget_edges:int ->
+  Selection.t
+(** Workload analysis (§V-B). Does not materialize anything. *)
+
+val materialize : t -> Kaskade_views.View.t -> Kaskade_views.Catalog.entry
+(** Execute a view definition against the base graph and register the
+    result. Idempotent per view name. *)
+
+val materialize_selected : t -> Selection.t -> Kaskade_views.Catalog.entry list
+
+val best_rewriting :
+  t -> Kaskade_query.Ast.t -> (Rewrite.rewriting * Kaskade_views.Catalog.entry) option
+(** Among materialized views, the rewriting with the lowest estimated
+    evaluation cost — [None] when no view helps (§V-C). *)
+
+val run : t -> Kaskade_query.Ast.t -> Kaskade_exec.Executor.result * run_target
+(** View-based evaluation: rewrite over the cheapest applicable
+    materialized view, falling back to the base graph. *)
+
+val run_raw : t -> Kaskade_query.Ast.t -> Kaskade_exec.Executor.result
+(** Always evaluate on the base graph. *)
+
+val run_on_view : t -> string -> Kaskade_query.Ast.t -> Kaskade_exec.Executor.result
+(** Evaluate a (already rewritten) query on a named materialized view.
+    Raises [Not_found] for unknown views. *)
+
+val base_ctx : t -> Kaskade_exec.Executor.ctx
+(** The base graph's executor context (analytics state such as Q7's
+    community labels lives here between queries). *)
+
+val view_ctx : t -> string -> Kaskade_exec.Executor.ctx
+(** Executor context of a materialized view (persistent per view, so a
+    CALL pipeline like Q7 -> Q8 behaves on views too). *)

@@ -1,0 +1,41 @@
+(** View-based query rewriting (paper §V-C). Given a query and a view,
+    produce the equivalent query over the view:
+
+    - k-hop connector: contract a uniformly-directed pattern segment
+      between two endpoint-typed vertices into a single connector edge
+      whose hop bounds are divided by k (Listing 1 -> Listing 4:
+      [-\[r*0..8\]->] between two WRITES_TO/IS_READ_BY hops becomes
+      [-\[:JOB_TO_JOB_2HOP*1..5\]->]). Interior vertices must not be
+      referenced outside the segment. A total hop range [\[L, H\]]
+      maps to [\[max 1 (ceil L/k), floor H/k\]]; the rewrite is
+      refused when that range is empty.
+    - summarizers: the query text is unchanged; rewriting checks the
+      query only touches surviving vertex/edge types, and execution
+      targets the summarized graph.
+
+    Rewrites are single-view, as in the paper ("combining multiple
+    views in a single rewriting is left as future work"). *)
+
+type rewriting = {
+  original : Kaskade_query.Ast.t;
+  rewritten : Kaskade_query.Ast.t;  (** Equal to [original] for summarizers. *)
+  view : Kaskade_views.View.t;
+}
+
+val rewrite :
+  Kaskade_graph.Schema.t -> Kaskade_query.Ast.t -> Kaskade_views.View.t -> rewriting option
+(** [None] when the view cannot answer the query. *)
+
+val merge_chains : Kaskade_query.Ast.pattern list -> Kaskade_query.Ast.pattern list
+(** Normalize a pattern list by concatenating patterns that chain on a
+    shared endpoint variable (exposed for tests). *)
+
+val traversal_types :
+  Kaskade_graph.Schema.t -> Kaskade_query.Ast.t -> string list option
+(** Every vertex type the query's patterns can touch — the types its
+    variables carry plus every intermediate type on a schema walk
+    realizing a variable-length segment. This is the minimal sound
+    keep-set for a vertex-inclusion summarizer: keeping only the
+    *mentioned* types would sever the very paths a [*lo..hi] edge
+    must traverse. [None] when an endpoint type of a variable-length
+    segment cannot be determined. *)

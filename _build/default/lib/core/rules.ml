@@ -1,0 +1,186 @@
+let mining_rules =
+  {|
+% =====================================================================
+% Schema constraint mining rules (paper Listing 2).
+% =====================================================================
+
+% Paper-verbatim acyclic variant: K-length directed paths over the
+% schema graph that never revisit a vertex type.
+schemaKHopPathAcyclic(X, Y, K) :-
+  schemaKHopPathAcyclic(X, Y, K, []).
+schemaKHopPathAcyclic(X, Y, 1, _) :-
+  schemaEdge(X, Y, _).
+schemaKHopPathAcyclic(X, Y, K, Trail) :-
+  schemaEdge(X, Z, _), not(member(Z, Trail)),
+  schemaKHopPathAcyclic(Z, Y, K1, [X|Trail]), K is K1 + 1.
+
+% Bounded cycle-permitting variant used by the view templates: are
+% K-length paths between types X and Y feasible over the schema?
+% K must be bound (the query constraints bind it).
+schemaKHopPath(X, Y, K) :-
+  integer(K), K >= 1, schemaKHopPathStep(X, Y, K).
+schemaKHopPathStep(X, Y, 1) :-
+  schemaEdge(X, Y, _).
+schemaKHopPathStep(X, Y, K) :-
+  K > 1, schemaEdge(X, Z, _), K1 is K - 1,
+  schemaKHopPathStep(Z, Y, K1).
+
+% Generator variant for unconstrained enumeration (ablation): all
+% schema K-hop paths with K up to MaxK.
+schemaKHopPathUpTo(X, Y, MaxK, K) :-
+  schemaVertex(X), schemaVertex(Y),
+  between(1, MaxK, K), schemaKHopPath(X, Y, K).
+
+% Does any directed path exist between two schema types?
+schemaPath(X, Y) :- schemaPathTrail(X, Y, [X]).
+schemaPathTrail(X, Y, _) :- schemaEdge(X, Y, _).
+schemaPathTrail(X, Y, Trail) :-
+  schemaEdge(X, Z, _), not(member(Z, Trail)),
+  schemaPathTrail(Z, Y, [Z|Trail]).
+
+% =====================================================================
+% Query constraint mining rules (paper Listing 6).
+% =====================================================================
+
+% Hop counts realizable by a variable-length pattern edge.
+queryKHopVariableLengthPath(X, Y, K) :-
+  queryVariableLengthPath(X, Y, LOWER, UPPER),
+  between(LOWER, UPPER, K).
+
+% Hop counts realizable between two query vertices, chaining single
+% edges and variable-length segments. A visited trail guards against
+% cyclic MATCH patterns (no effect on acyclic ones).
+queryKHopPath(X, Y, K) :- queryKHopPathT(X, Y, K, [X]).
+queryKHopPathT(X, Y, 1, _) :- queryEdge(X, Y).
+queryKHopPathT(X, Y, K, _) :- queryKHopVariableLengthPath(X, Y, K).
+queryKHopPathT(X, Y, K, Trail) :-
+  queryEdge(X, Z), not(member(Z, Trail)),
+  queryKHopPathT(Z, Y, K1, [Z|Trail]), K is K1 + 1.
+queryKHopPathT(X, Y, K, Trail) :-
+  queryKHopVariableLengthPath(X, Z, K2), not(member(Z, Trail)),
+  queryKHopPathT(Z, Y, K1, [Z|Trail]), K is K1 + K2.
+
+% Existence of any path between query vertices.
+queryPath(X, Y) :- queryPathTrail(X, Y, [X]).
+queryPathTrail(X, Y, _) :- queryEdge(X, Y).
+queryPathTrail(X, Y, _) :- queryVariableLengthPath(X, Y, _, _).
+queryPathTrail(X, Y, Trail) :-
+  queryEdge(X, Z), not(member(Z, Trail)),
+  queryPathTrail(Z, Y, [Z|Trail]).
+queryPathTrail(X, Y, Trail) :-
+  queryVariableLengthPath(X, Z, _, _), not(member(Z, Trail)),
+  queryPathTrail(Z, Y, [Z|Trail]).
+
+% Query-graph degrees, sources and sinks (single edges and
+% variable-length segments both count as incident).
+queryIncomingVertices(X, INLIST) :-
+  queryVertex(X),
+  findall(SRC, queryAnyEdge(SRC, X), INLIST).
+queryOutgoingVertices(X, OUTLIST) :-
+  queryVertex(X),
+  findall(DST, queryAnyEdge(X, DST), OUTLIST).
+queryAnyEdge(X, Y) :- queryEdge(X, Y).
+queryAnyEdge(X, Y) :- queryVariableLengthPath(X, Y, _, _).
+queryVertexInDegree(X, D) :-
+  queryIncomingVertices(X, INLIST), length(INLIST, D).
+queryVertexOutDegree(X, D) :-
+  queryOutgoingVertices(X, OUTLIST), length(OUTLIST, D).
+queryVertexSource(X) :- queryVertexInDegree(X, 0).
+queryVertexSink(X) :- queryVertexOutDegree(X, 0).
+
+% Ego-centric K-hop neighborhood of a query vertex (paper Listing 5).
+queryVertexKHopNbors(K, X, LIST) :-
+  queryVertex(X),
+  findall(SRC, queryKHopPath(SRC, X, K), INLIST),
+  findall(DST, queryKHopPath(X, DST, K), OUTLIST),
+  append(INLIST, OUTLIST, TMPLIST), sort(TMPLIST, LIST).
+|}
+
+let view_templates =
+  {|
+% =====================================================================
+% Connector view templates (paper Listing 3).
+% =====================================================================
+
+% K-hop connector between projected query vertices X and Y: feasible
+% when the query realizes a K-hop path between them AND the schema
+% admits K-hop paths between their types.
+kHopConnector(X, Y, XTYPE, YTYPE, K) :-
+  % query constraints
+  queryVertexType(X, XTYPE),
+  queryVertexType(Y, YTYPE),
+  queryReturned(X), queryReturned(Y),
+  queryKHopPath(X, Y, K),
+  % schema constraints
+  schemaKHopPath(XTYPE, YTYPE, K).
+
+% K-hop connector where both endpoints share a vertex type.
+kHopConnectorSameVertexType(X, Y, VTYPE, K) :-
+  kHopConnector(X, Y, VTYPE, VTYPE, K).
+
+% Variable-length connector between same-type endpoints.
+connectorSameVertexType(X, Y, VTYPE) :-
+  % query constraints
+  queryVertexType(X, VTYPE),
+  queryVertexType(Y, VTYPE),
+  queryReturned(X), queryReturned(Y),
+  queryPath(X, Y),
+  % schema constraints
+  schemaPath(VTYPE, VTYPE).
+
+% Source-to-sink variable-length connector.
+sourceToSinkConnector(X, Y) :-
+  % query constraints
+  queryVertexSource(X),
+  queryVertexSink(Y),
+  queryPath(X, Y),
+  % schema constraints
+  queryVertexType(X, XTYPE),
+  queryVertexType(Y, YTYPE),
+  schemaPath(XTYPE, YTYPE).
+
+% Same-edge-type connector: the query traverses edges of one type
+% whose domain equals its range (so multi-hop paths compose).
+sameEdgeTypeConnector(ETYPE) :-
+  queryEdgeType(_, _, ETYPE),
+  schemaEdge(T, T, ETYPE).
+
+% =====================================================================
+% Summarizer view templates (paper Listing 5, type-level filters).
+% =====================================================================
+
+% Keep exactly the vertex types the query mentions.
+summarizerVertexInclusion(TYPES) :-
+  setof(T, X^queryVertexType(X, T), TYPES).
+
+% Drop vertex types the query never touches (with their edges).
+summarizerRemoveVertices(VTYPE_REMOVE) :-
+  schemaVertex(VTYPE_REMOVE),
+  not(queryVertexType(_, VTYPE_REMOVE)).
+
+% Keep exactly the edge types the query mentions.
+summarizerEdgeInclusion(ETYPES) :-
+  setof(E, X^Y^queryEdgeType(X, Y, E), ETYPES).
+
+% Drop edge types the query never traverses explicitly. Only safe when
+% the query has no unlabeled or variable-length edges (which may
+% traverse any type); the enumerator checks that side condition.
+summarizerRemoveEdges(ETYPE_REMOVE) :-
+  schemaEdge(_, _, ETYPE_REMOVE),
+  not(queryEdgeType(_, _, ETYPE_REMOVE)).
+|}
+
+let all = mining_rules ^ view_templates
+
+let unconstrained_templates =
+  {|
+% Ablation: view templates with the query constraints stripped —
+% enumeration is driven purely by the schema, bounded by MaxK. This is
+% the M^k space the paper's §IV argues constraint injection avoids.
+kHopConnectorNoQuery(XTYPE, YTYPE, MaxK, K) :-
+  schemaKHopPathUpTo(XTYPE, YTYPE, MaxK, K).
+
+connectorSameVertexTypeNoQuery(VTYPE) :-
+  schemaVertex(VTYPE),
+  schemaPath(VTYPE, VTYPE).
+|}

@@ -1,0 +1,1 @@
+lib/exec/cost.ml: Ast Gstats Hashtbl Kaskade_graph Kaskade_query List Schema Stdlib

@@ -1,0 +1,1 @@
+lib/exec/cost.mli: Kaskade_graph Kaskade_query

@@ -1,0 +1,1 @@
+lib/exec/executor.ml: Analyze Array Ast Graph Gstats Hashtbl Kaskade_algo Kaskade_graph Kaskade_query Lazy List Option Planner Qparser Row Schema Stdlib String Value Vindex

@@ -1,0 +1,1 @@
+lib/exec/executor.mli: Kaskade_graph Kaskade_query Row

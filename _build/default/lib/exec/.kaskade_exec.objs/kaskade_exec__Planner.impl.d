@@ -1,0 +1,1 @@
+lib/exec/planner.ml: Array Ast Gstats Hashtbl Kaskade_graph Kaskade_query List Schema

@@ -1,0 +1,1 @@
+lib/exec/planner.mli: Kaskade_graph Kaskade_query

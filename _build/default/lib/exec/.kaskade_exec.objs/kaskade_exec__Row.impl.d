@@ -1,0 +1,1 @@
+lib/exec/row.ml: Array Format Graph Kaskade_graph List Printf Stdlib String Value

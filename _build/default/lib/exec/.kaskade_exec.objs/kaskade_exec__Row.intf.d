@@ -1,0 +1,1 @@
+lib/exec/row.mli: Format Kaskade_graph

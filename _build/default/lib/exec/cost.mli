@@ -1,0 +1,32 @@
+(** Cardinality-based query cost model — the stand-in for Neo4j's
+    cost-based optimizer that the paper uses as its
+    [EvalCost(q)] proxy (§V-A). The cost of a query is the sum of
+    estimated intermediate result sizes along its MATCH pipeline:
+    label scans cost the label cardinality; each single-hop expand
+    multiplies by the source type's mean out-degree; a [*lo..hi]
+    expand multiplies by [sum over h in lo..hi of deg^h]. Relational
+    stages (WHERE / GROUP BY) add a pass over their input. *)
+
+type estimate = {
+  total_cost : float;  (** Sum of operator output cardinalities. *)
+  match_rows : float;  (** Estimated rows out of the MATCH pipeline. *)
+}
+
+val estimate :
+  ?deg_override:(string -> float option) ->
+  Kaskade_graph.Gstats.t ->
+  Kaskade_graph.Schema.t ->
+  Kaskade_query.Ast.t ->
+  estimate
+(** [deg_override label] substitutes the branching factor for vertices
+    labelled [label] — how selection prices a query over a view that
+    is not materialized yet (e.g. a connector edge whose mean degree
+    is estimated-size / source-count). *)
+
+val eval_cost :
+  ?deg_override:(string -> float option) ->
+  Kaskade_graph.Gstats.t ->
+  Kaskade_graph.Schema.t ->
+  Kaskade_query.Ast.t ->
+  float
+(** [(estimate ...).total_cost]. *)

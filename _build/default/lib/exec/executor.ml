@@ -1,0 +1,602 @@
+open Kaskade_graph
+open Kaskade_query
+
+type mode = Distinct_endpoints | All_trails
+
+type ctx = {
+  g : Graph.t;
+  mode : mode;
+  planner : bool;
+  stats : Gstats.t Lazy.t;
+  indexes : Vindex.t Lazy.t;
+  mutable communities : int array option;
+}
+
+type result = Table of Row.table | Affected of int
+
+let create ?(mode = Distinct_endpoints) ?(planner = false) g =
+  {
+    g;
+    mode;
+    planner;
+    stats = lazy (Gstats.compute g);
+    indexes = lazy (Vindex.create g);
+    communities = None;
+  }
+let graph ctx = ctx.g
+let mode ctx = ctx.mode
+let communities ctx = ctx.communities
+
+let table_exn = function
+  | Table t -> t
+  | Affected _ -> invalid_arg "Executor.table_exn: result is not a table"
+
+(* Unbound slot sentinel. *)
+let unbound = Row.Prim Value.Null
+let is_bound = function Row.Prim Value.Null -> false | _ -> true
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation                                               *)
+
+let rec eval_expr g (env : string -> Row.rval) (e : Ast.expr) : Row.rval =
+  match e with
+  | Ast.Var v -> env v
+  | Ast.Prop (v, p) -> begin
+    match env v with
+    | Row.V vid -> Row.Prim (Graph.vprop_or_null g vid p)
+    | Row.E eid -> Row.Prim (Graph.eprop_or_null g eid p)
+    | Row.Prim _ -> Row.Prim Value.Null
+  end
+  | Ast.Lit v -> Row.Prim v
+  | Ast.Unop (Ast.Neg, e) -> begin
+    match eval_expr g env e with
+    | Row.Prim (Value.Int n) -> Row.Prim (Value.Int (-n))
+    | Row.Prim (Value.Float f) -> Row.Prim (Value.Float (-.f))
+    | _ -> Row.Prim Value.Null
+  end
+  | Ast.Unop (Ast.Not, e) -> begin
+    match eval_expr g env e with
+    | Row.Prim v -> Row.Prim (Value.Bool (not (Value.is_truthy v)))
+    | _ -> Row.Prim (Value.Bool false)
+  end
+  | Ast.Binop (op, a, b) -> eval_binop g env op a b
+  | Ast.Agg _ | Ast.Count_star ->
+    invalid_arg "Executor: aggregate in a non-aggregating position"
+
+and eval_binop g env op a b =
+  let va = eval_expr g env a and vb = eval_expr g env b in
+  let prim f =
+    match (va, vb) with
+    | Row.Prim x, Row.Prim y -> Row.Prim (f x y)
+    | _ -> invalid_arg "Executor: arithmetic on a graph entity"
+  in
+  match op with
+  | Ast.Add -> prim Value.add
+  | Ast.Sub -> prim Value.sub
+  | Ast.Mul -> prim Value.mul
+  | Ast.Div -> prim Value.div
+  | Ast.Eq -> Row.Prim (Value.Bool (Row.rval_equal va vb))
+  | Ast.Ne -> Row.Prim (Value.Bool (not (Row.rval_equal va vb)))
+  | Ast.Lt -> Row.Prim (Value.Bool (Row.rval_compare va vb < 0))
+  | Ast.Le -> Row.Prim (Value.Bool (Row.rval_compare va vb <= 0))
+  | Ast.Gt -> Row.Prim (Value.Bool (Row.rval_compare va vb > 0))
+  | Ast.Ge -> Row.Prim (Value.Bool (Row.rval_compare va vb >= 0))
+  | Ast.And ->
+    Row.Prim (Value.Bool (truthy va && truthy vb))
+  | Ast.Or -> Row.Prim (Value.Bool (truthy va || truthy vb))
+
+and truthy = function Row.Prim v -> Value.is_truthy v | Row.V _ | Row.E _ -> true
+
+(* ------------------------------------------------------------------ *)
+(* Pattern matching                                                    *)
+
+type slots = { index : (string, int) Hashtbl.t; mutable width : int }
+
+let slot slots name =
+  match Hashtbl.find_opt slots.index name with
+  | Some i -> i
+  | None ->
+    let i = slots.width in
+    slots.width <- i + 1;
+    Hashtbl.add slots.index name i;
+    i
+
+let collect_slots (patterns : Ast.pattern list) =
+  let slots = { index = Hashtbl.create 16; width = 0 } in
+  List.iter
+    (fun (p : Ast.pattern) ->
+      (match p.p_start.n_var with Some v -> ignore (slot slots v) | None -> ());
+      List.iter
+        (fun ((e : Ast.edge_pat), (n : Ast.node_pat)) ->
+          (match e.e_var with Some v -> ignore (slot slots v) | None -> ());
+          match n.n_var with Some v -> ignore (slot slots v) | None -> ())
+        p.p_steps)
+    patterns;
+  slots
+
+let label_ok g (n : Ast.node_pat) v =
+  match n.n_label with
+  | None -> true
+  | Some l -> String.equal (Graph.vertex_type_name g v) l
+
+(* Distinct-endpoint var-length expansion: emit (endpoint, hops) once
+   per endpoint whose walk length can fall in [lo, hi].
+
+   For lo <= 1 a plain BFS is exact — any vertex first reached at hop
+   d <= hi has a walk of length d >= lo — except the source itself,
+   which BFS never revisits; a cyclic walk back to the source is
+   detected when a frontier vertex points at it (this is what makes
+   connector rewrites preserve j -> ... -> j self-pairs). For lo >= 2
+   BFS under-approximates (a vertex at distance < lo may still have a
+   longer walk), so exact per-level reachable sets are used instead. *)
+let var_length_endpoints g ~src ~lo ~hi ~etype ~(dir : Ast.edge_dir) emit =
+  let neighbors u f =
+    match dir with
+    | Ast.Fwd ->
+      Graph.iter_out g u (fun ~dst ~etype:et ~eid:_ ->
+          match etype with
+          | Some want when et <> want -> ()
+          | _ -> f dst)
+    | Ast.Bwd ->
+      Graph.iter_in g u (fun ~src:s ~etype:et ~eid:_ ->
+          match etype with
+          | Some want when et <> want -> ()
+          | _ -> f s)
+  in
+  if lo <= 1 then begin
+    let dist = Hashtbl.create 64 in
+    Hashtbl.add dist src 0;
+    if lo = 0 then emit src 0;
+    let src_emitted = ref (lo = 0) in
+    let frontier = ref [ src ] in
+    let hop = ref 0 in
+    while !frontier <> [] && !hop < hi do
+      incr hop;
+      let next = ref [] in
+      let visit u =
+        neighbors u (fun v ->
+            if v = src && not !src_emitted && !hop >= lo then begin
+              src_emitted := true;
+              emit src !hop
+            end;
+            if not (Hashtbl.mem dist v) then begin
+              Hashtbl.add dist v !hop;
+              if !hop >= lo then emit v !hop;
+              next := v :: !next
+            end)
+      in
+      List.iter visit !frontier;
+      frontier := !next
+    done
+  end
+  else begin
+    (* Exact walk semantics: level.(h) = vertices reachable by a walk
+       of exactly h steps. *)
+    let emitted = Hashtbl.create 64 in
+    let cur = ref (Hashtbl.create 16) in
+    Hashtbl.add !cur src ();
+    (try
+       for h = 1 to hi do
+         let next = Hashtbl.create 32 in
+         Hashtbl.iter (fun u () -> neighbors u (fun v -> Hashtbl.replace next v ())) !cur;
+         if Hashtbl.length next = 0 then raise Exit;
+         if h >= lo then
+           Hashtbl.iter
+             (fun v () ->
+               if not (Hashtbl.mem emitted v) then begin
+                 Hashtbl.add emitted v ();
+                 emit v h
+               end)
+             next;
+         cur := next
+       done
+     with Exit -> ())
+  end
+
+(* All-trails var-length expansion: DFS over distinct-edge trails,
+   emitting each endpoint once per trail reaching it. Exponential. *)
+let var_length_trails g ~src ~lo ~hi ~etype ~(dir : Ast.edge_dir) emit =
+  let used = Hashtbl.create 16 in
+  let rec dfs v depth =
+    if depth >= lo then emit v depth;
+    if depth < hi then begin
+      let step eid u =
+        if not (Hashtbl.mem used eid) then begin
+          Hashtbl.add used eid ();
+          dfs u (depth + 1);
+          Hashtbl.remove used eid
+        end
+      in
+      match dir with
+      | Ast.Fwd ->
+        Graph.iter_out g v (fun ~dst ~etype:et ~eid ->
+            match etype with
+            | Some want when et <> want -> ()
+            | _ -> step eid dst)
+      | Ast.Bwd ->
+        Graph.iter_in g v (fun ~src:s ~etype:et ~eid ->
+            match etype with
+            | Some want when et <> want -> ()
+            | _ -> step eid s)
+    end
+  in
+  dfs src 0
+
+(* Top-level conjunctive equality [var.prop = literal] in a WHERE
+   clause — the predicate shape an index probe can serve. *)
+let rec equality_probe (e : Ast.expr) var =
+  match e with
+  | Ast.Binop (Ast.Eq, Ast.Prop (v, p), Ast.Lit value) when v = var -> Some (p, value)
+  | Ast.Binop (Ast.Eq, Ast.Lit value, Ast.Prop (v, p)) when v = var -> Some (p, value)
+  | Ast.Binop (Ast.And, a, b) -> begin
+    match equality_probe a var with Some _ as r -> r | None -> equality_probe b var
+  end
+  | _ -> None
+
+let eval_match ctx (mb : Ast.match_block) : Row.table =
+  let g = ctx.g in
+  let schema = Graph.schema g in
+  let slots = collect_slots mb.patterns in
+  let env_of_row (row : Row.rval array) name =
+    match Hashtbl.find_opt slots.index name with
+    | Some i -> row.(i)
+    | None -> Row.Prim Value.Null
+  in
+  let initial = [ Array.make (Stdlib.max slots.width 1) unbound ] in
+  let expand_pattern rows (p : Ast.pattern) =
+    let out = ref [] in
+    let emit row = out := row :: !out in
+    (* Walk the steps from a bound start vertex. *)
+    let rec steps row cur = function
+      | [] -> emit row
+      | ((e : Ast.edge_pat), (n : Ast.node_pat)) :: rest ->
+        let accept_vertex ?edge_rval v =
+          if label_ok g n v then begin
+            match n.n_var with
+            | Some name ->
+              let i = Hashtbl.find slots.index name in
+              if is_bound row.(i) then begin
+                if Row.rval_equal row.(i) (Row.V v) then bind_edge row e edge_rval (fun row -> steps row v rest)
+              end
+              else begin
+                let row' = Array.copy row in
+                row'.(i) <- Row.V v;
+                bind_edge row' e edge_rval (fun row -> steps row v rest)
+              end
+            | None -> bind_edge row e edge_rval (fun row -> steps row v rest)
+          end
+        in
+        (match e.e_len with
+        | Ast.Single -> begin
+          let etype = Option.map (Schema.edge_type_id schema) e.e_label in
+          match e.e_dir with
+          | Ast.Fwd ->
+            Graph.iter_out g cur (fun ~dst ~etype:et ~eid ->
+                match etype with
+                | Some want when et <> want -> ()
+                | _ -> accept_vertex ~edge_rval:(Row.E eid) dst)
+          | Ast.Bwd ->
+            Graph.iter_in g cur (fun ~src ~etype:et ~eid ->
+                match etype with
+                | Some want when et <> want -> ()
+                | _ -> accept_vertex ~edge_rval:(Row.E eid) src)
+        end
+        | Ast.Var_length (lo, hi) ->
+          let etype = Option.map (Schema.edge_type_id schema) e.e_label in
+          let emit_endpoint v hops =
+            accept_vertex ~edge_rval:(Row.Prim (Value.Int hops)) v
+          in
+          (match ctx.mode with
+          | Distinct_endpoints -> var_length_endpoints g ~src:cur ~lo ~hi ~etype ~dir:e.e_dir emit_endpoint
+          | All_trails -> var_length_trails g ~src:cur ~lo ~hi ~etype ~dir:e.e_dir emit_endpoint))
+    and bind_edge row (e : Ast.edge_pat) edge_rval k =
+      match (e.e_var, edge_rval) with
+      | Some name, Some rv ->
+        let i = Hashtbl.find slots.index name in
+        let row' = Array.copy row in
+        row'.(i) <- rv;
+        k row'
+      | _ -> k row
+    in
+    List.iter
+      (fun row ->
+        let start (v : int) =
+          if label_ok g p.p_start v then begin
+            match p.p_start.n_var with
+            | Some name ->
+              let i = Hashtbl.find slots.index name in
+              if is_bound row.(i) then begin
+                if Row.rval_equal row.(i) (Row.V v) then steps row v p.p_steps
+              end
+              else begin
+                let row' = Array.copy row in
+                row'.(i) <- Row.V v;
+                steps row' v p.p_steps
+              end
+            | None -> steps row v p.p_steps
+          end
+        in
+        (* If the start variable is already bound, resume from it
+           directly instead of scanning. *)
+        let bound_start =
+          match p.p_start.n_var with
+          | Some name -> begin
+            match env_of_row row name with Row.V v -> Some v | _ -> None
+          end
+          | None -> None
+        in
+        (* An equality predicate on the start variable turns the scan
+           into an index probe. *)
+        let index_probe =
+          match (bound_start, p.p_start.n_var, mb.m_where) with
+          | None, Some var, Some cond -> equality_probe cond var
+          | _ -> None
+        in
+        match (bound_start, index_probe) with
+        | Some v, _ -> start v
+        | None, Some (prop, value) ->
+          List.iter start (Vindex.lookup (Lazy.force ctx.indexes) ~prop value)
+        | None, None -> begin
+          match p.p_start.n_label with
+          | Some l -> Array.iter start (Graph.vertices_of_type_name g l)
+          | None ->
+            for v = 0 to Graph.n_vertices g - 1 do
+              start v
+            done
+        end)
+      rows;
+    List.rev !out
+  in
+  let rows = List.fold_left expand_pattern initial mb.patterns in
+  let rows =
+    match mb.m_where with
+    | None -> rows
+    | Some cond -> List.filter (fun row -> truthy (eval_expr g (env_of_row row) cond)) rows
+  in
+  let cols = Array.of_list (List.mapi Ast.item_name mb.returns) in
+  let project row =
+    Array.of_list (List.map (fun (it : Ast.select_item) -> eval_expr g (env_of_row row) it.item_expr) mb.returns)
+  in
+  { Row.cols; rows = List.map project rows }
+
+(* ------------------------------------------------------------------ *)
+(* SELECT blocks                                                       *)
+
+let rec eval_agg g rows env_of_row (e : Ast.expr) : Row.rval =
+  match e with
+  | Ast.Count_star -> Row.Prim (Value.Int (List.length rows))
+  | Ast.Agg (kind, inner) -> begin
+    let values =
+      List.filter_map
+        (fun row ->
+          match eval_expr g (env_of_row row) inner with
+          | Row.Prim Value.Null -> None
+          | v -> Some v)
+        rows
+    in
+    match kind with
+    | Ast.Count -> Row.Prim (Value.Int (List.length values))
+    | Ast.Sum ->
+      Row.Prim
+        (List.fold_left
+           (fun acc v ->
+             match v with
+             | Row.Prim p -> Value.add acc p
+             | _ -> invalid_arg "SUM over a graph entity")
+           (Value.Int 0) values)
+    | Ast.Avg -> begin
+      let total =
+        List.fold_left
+          (fun acc v ->
+            match v with
+            | Row.Prim p -> begin
+              match Value.to_float p with Some f -> acc +. f | None -> acc
+            end
+            | _ -> invalid_arg "AVG over a graph entity")
+          0.0 values
+      in
+      match values with
+      | [] -> Row.Prim Value.Null
+      | _ -> Row.Prim (Value.Float (total /. float_of_int (List.length values)))
+    end
+    | Ast.Min -> begin
+      match values with
+      | [] -> Row.Prim Value.Null
+      | first :: rest ->
+        List.fold_left (fun acc v -> if Row.rval_compare v acc < 0 then v else acc) first rest
+    end
+    | Ast.Max -> begin
+      match values with
+      | [] -> Row.Prim Value.Null
+      | first :: rest ->
+        List.fold_left (fun acc v -> if Row.rval_compare v acc > 0 then v else acc) first rest
+    end
+  end
+  | Ast.Binop (op, a, b) when Ast.has_aggregate e ->
+    let va = eval_agg g rows env_of_row a and vb = eval_agg g rows env_of_row b in
+    combine_binop op va vb
+  | Ast.Unop (Ast.Neg, inner) when Ast.has_aggregate e -> begin
+    match eval_agg g rows env_of_row inner with
+    | Row.Prim (Value.Int n) -> Row.Prim (Value.Int (-n))
+    | Row.Prim (Value.Float f) -> Row.Prim (Value.Float (-.f))
+    | _ -> Row.Prim Value.Null
+  end
+  | _ -> begin
+    (* Non-aggregate expression inside an aggregating projection:
+       evaluate on a representative row (SQL-style, the group key). *)
+    match rows with
+    | [] -> Row.Prim Value.Null
+    | row :: _ -> eval_expr g (env_of_row row) e
+  end
+
+and combine_binop op va vb =
+  let prim f =
+    match (va, vb) with
+    | Row.Prim x, Row.Prim y -> Row.Prim (f x y)
+    | _ -> invalid_arg "Executor: arithmetic on a graph entity"
+  in
+  match op with
+  | Ast.Add -> prim Value.add
+  | Ast.Sub -> prim Value.sub
+  | Ast.Mul -> prim Value.mul
+  | Ast.Div -> prim Value.div
+  | Ast.Eq -> Row.Prim (Value.Bool (Row.rval_equal va vb))
+  | Ast.Ne -> Row.Prim (Value.Bool (not (Row.rval_equal va vb)))
+  | Ast.Lt -> Row.Prim (Value.Bool (Row.rval_compare va vb < 0))
+  | Ast.Le -> Row.Prim (Value.Bool (Row.rval_compare va vb <= 0))
+  | Ast.Gt -> Row.Prim (Value.Bool (Row.rval_compare va vb > 0))
+  | Ast.Ge -> Row.Prim (Value.Bool (Row.rval_compare va vb >= 0))
+  | Ast.And | Ast.Or -> invalid_arg "Executor: boolean combination of aggregates"
+
+let rec eval_select ctx (sb : Ast.select_block) : Row.table =
+  let g = ctx.g in
+  let source =
+    match sb.from with
+    | Ast.From_match mb -> eval_match ctx mb
+    | Ast.From_select inner -> eval_select ctx inner
+  in
+  let env_of_row (row : Row.rval array) name =
+    match Row.col_index source name with
+    | i -> row.(i)
+    | exception Not_found -> Row.Prim Value.Null
+  in
+  let rows =
+    match sb.s_where with
+    | None -> source.rows
+    | Some cond -> List.filter (fun row -> truthy (eval_expr g (env_of_row row) cond)) source.rows
+  in
+  let any_agg = List.exists (fun (it : Ast.select_item) -> Ast.has_aggregate it.item_expr) sb.items in
+  let cols = Array.of_list (List.mapi Ast.item_name sb.items) in
+  (* ORDER BY / LIMIT run over the projected output (aliases in
+     scope); applied by [finish] below. *)
+  let finish (result : Row.table) =
+    let rows = result.Row.rows in
+    (* DISTINCT before ORDER BY / LIMIT, SQL-style. *)
+    let rows =
+      if not sb.Ast.distinct then rows
+      else begin
+        let seen = Hashtbl.create 64 in
+        List.filter
+          (fun row ->
+            let key = Array.to_list row in
+            if Hashtbl.mem seen key then false
+            else begin
+              Hashtbl.add seen key ();
+              true
+            end)
+          rows
+      end
+    in
+    let rows =
+      if sb.order_by = [] then rows
+      else begin
+        let out_env (row : Row.rval array) name =
+          match Row.col_index result name with
+          | i -> row.(i)
+          | exception Not_found -> Row.Prim Value.Null
+        in
+        let key row = List.map (fun (e, _) -> eval_expr g (out_env row) e) sb.order_by in
+        let dirs = List.map snd sb.order_by in
+        let cmp a b =
+          let rec go ks dirs =
+            match (ks, dirs) with
+            | (ka, kb) :: krest, dir :: drest ->
+              let c = Row.rval_compare ka kb in
+              if c <> 0 then (match dir with Ast.Asc -> c | Ast.Desc -> -c) else go krest drest
+            | _ -> 0
+          in
+          go (List.combine (key a) (key b)) dirs
+        in
+        List.stable_sort cmp rows
+      end
+    in
+    let rows =
+      match sb.limit with
+      | Some n ->
+        let rec take k = function [] -> [] | x :: rest when k > 0 -> x :: take (k - 1) rest | _ -> [] in
+        take n rows
+      | None -> rows
+    in
+    { result with Row.rows }
+  in
+  if sb.group_by = [] && not any_agg then begin
+    let project row =
+      Array.of_list
+        (List.map (fun (it : Ast.select_item) -> eval_expr g (env_of_row row) it.item_expr) sb.items)
+    in
+    finish { Row.cols; rows = List.map project rows }
+  end
+  else begin
+    (* Hash grouping on the GROUP BY key (all rows in one group when
+       the key list is empty). *)
+    let groups : (Row.rval list, Row.rval array list) Hashtbl.t = Hashtbl.create 64 in
+    let order = ref [] in
+    (* SQL semantics: an aggregate with no GROUP BY always produces
+       exactly one row, even over empty input (count 0, null avg). *)
+    if sb.group_by = [] then begin
+      order := [ [] ];
+      Hashtbl.add groups [] []
+    end;
+    List.iter
+      (fun row ->
+        let key = List.map (fun e -> eval_expr g (env_of_row row) e) sb.group_by in
+        (match Hashtbl.find_opt groups key with
+        | Some existing -> Hashtbl.replace groups key (row :: existing)
+        | None ->
+          order := key :: !order;
+          Hashtbl.add groups key [ row ]))
+      rows;
+    let result_rows =
+      List.rev_map
+        (fun key ->
+          let members = List.rev (Hashtbl.find groups key) in
+          Array.of_list
+            (List.map (fun (it : Ast.select_item) -> eval_agg g members env_of_row it.item_expr) sb.items))
+        !order
+    in
+    finish { Row.cols; rows = result_rows }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* CALL procedures                                                     *)
+
+let eval_call ctx (c : Ast.proc_call) : result =
+  match (c.proc, c.proc_args) with
+  | "algo.labelPropagation", [ Value.Int passes ] ->
+    let labels = Kaskade_algo.Label_prop.run ctx.g ~passes in
+    ctx.communities <- Some labels;
+    Affected (Graph.n_vertices ctx.g)
+  | "algo.largestCommunity", [ Value.Str type_name ] -> begin
+    match ctx.communities with
+    | None -> invalid_arg "algo.largestCommunity: run algo.labelPropagation first"
+    | Some labels ->
+      let count_type =
+        if type_name = "" then None
+        else Some (Schema.vertex_type_id (Graph.schema ctx.g) type_name)
+      in
+      let label, members =
+        Kaskade_algo.Label_prop.largest_community ctx.g ~labels ?count_type ()
+      in
+      Table
+        {
+          Row.cols = [| "vertex"; "community" |];
+          rows = List.map (fun v -> [| Row.V v; Row.Prim (Value.Int label) |]) members;
+        }
+  end
+  | name, _ -> invalid_arg ("Executor: unknown procedure or bad arguments: " ^ name)
+
+let run ctx (q : Ast.t) : result =
+  match q with
+  | Ast.Call c -> eval_call ctx c
+  | Ast.Match_only _ | Ast.Select _ -> begin
+    ignore (Analyze.check (Graph.schema ctx.g) q);
+    let q =
+      if ctx.planner then Planner.optimize (Lazy.force ctx.stats) (Graph.schema ctx.g) q else q
+    in
+    match q with
+    | Ast.Match_only mb -> Table (eval_match ctx mb)
+    | Ast.Select sb -> Table (eval_select ctx sb)
+    | Ast.Call c -> eval_call ctx c
+  end
+
+let run_string ctx src = run ctx (Qparser.parse src)

@@ -1,0 +1,52 @@
+(** Query evaluation over a frozen graph — the execution-engine half
+    of the Neo4j substitution. Evaluates MATCH pattern pipelines
+    (typed scans, typed expands, variable-length expansion), WHERE
+    filters, SELECT projections and GROUP BY aggregation, and CALL
+    procedures (label propagation, largest community).
+
+    Variable-length semantics: Cypher enumerates trails, whose count
+    is exponential; what the paper's queries consume after GROUP BY is
+    the set of distinct endpoints. The default
+    {!Distinct_endpoints} mode therefore expands a [*lo..hi] edge by
+    BFS and emits each reachable endpoint once (with its hop
+    distance); {!All_trails} enumerates trails exactly and is intended
+    for small graphs and ground-truth tests. *)
+
+type mode = Distinct_endpoints | All_trails
+
+type ctx
+(** Execution context: graph, mode, and mutable analytics state
+    (community labels written by Q7, read by Q8). *)
+
+type result =
+  | Table of Row.table
+  | Affected of int  (** CALL procedures that update state report how
+      many entities they touched. *)
+
+val create : ?mode:mode -> ?planner:bool -> Kaskade_graph.Graph.t -> ctx
+(** [planner] (default false) runs [Planner.optimize] on every query
+    before evaluation — same results, anchored at the most selective
+    node. *)
+
+val graph : ctx -> Kaskade_graph.Graph.t
+val mode : ctx -> mode
+
+val run : ctx -> Kaskade_query.Ast.t -> result
+(** Raises [Analyze.Semantic_error] on invalid queries and
+    [Invalid_argument] on unknown CALL procedures. *)
+
+val run_string : ctx -> string -> result
+(** Parse then {!run}. *)
+
+val communities : ctx -> int array option
+(** Labels computed by the last [algo.labelPropagation] call. *)
+
+val table_exn : result -> Row.table
+(** Raises [Invalid_argument] when the result is not a table. *)
+
+(** Supported CALL procedures:
+    - [algo.labelPropagation(passes)] — synchronous label propagation;
+      stores labels in the context; returns [Affected |V|].
+    - [algo.largestCommunity(type_name)] — vertices of the largest
+      community, sized by members of [type_name] (pass [""] to count
+      all); returns a table [(vertex, label)]. *)

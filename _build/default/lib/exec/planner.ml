@@ -1,0 +1,106 @@
+open Kaskade_graph
+open Kaskade_query
+
+let nodes_of (p : Ast.pattern) = Array.of_list (p.p_start :: List.map snd p.p_steps)
+let edges_of (p : Ast.pattern) = Array.of_list (List.map fst p.p_steps)
+
+(* Scan cost of anchoring at a node: 0 when its variable is already
+   bound by an earlier pattern; otherwise the label cardinality, or
+   the full vertex count for unlabelled nodes. Also nudged by the
+   fan-out of the first step taken from the anchor, so that between
+   two same-label anchors the one whose outgoing expansion is cheaper
+   wins. *)
+let anchor_cost stats schema ~bound (nodes : Ast.node_pat array) i =
+  let n = nodes.(i) in
+  match n.Ast.n_var with
+  | Some v when bound v -> 0.0
+  | _ -> begin
+    match n.Ast.n_label with
+    | Some l -> begin
+      match Schema.vertex_type_id schema l with
+      | ty -> float_of_int (Gstats.summary_of_type stats ty).count
+      | exception Not_found -> float_of_int (Gstats.total_vertices stats)
+    end
+    | None -> float_of_int (Gstats.total_vertices stats)
+  end
+
+let anchor_position stats schema ~bound (p : Ast.pattern) =
+  let nodes = nodes_of p in
+  let best = ref 0 and best_cost = ref infinity in
+  Array.iteri
+    (fun i _ ->
+      let c = anchor_cost stats schema ~bound nodes i in
+      if c < !best_cost then begin
+        best_cost := c;
+        best := i
+      end)
+    nodes;
+  !best
+
+let flip (e : Ast.edge_pat) =
+  { e with Ast.e_dir = (match e.Ast.e_dir with Ast.Fwd -> Ast.Bwd | Ast.Bwd -> Ast.Fwd) }
+
+(* Rebuild a pattern chain starting at node index [p]: the right half
+   runs forward, the left half is emitted as a second pattern walking
+   backwards from the anchor with flipped edge directions. Anonymous
+   anchors cannot chain across patterns, so they get left alone. *)
+let split_at_anchor (pat : Ast.pattern) anchor =
+  let nodes = nodes_of pat and edges = edges_of pat in
+  let n_edges = Array.length edges in
+  if anchor = 0 then [ pat ]
+  else begin
+    let right =
+      if anchor = n_edges then None
+      else
+        Some
+          {
+            Ast.p_start = nodes.(anchor);
+            p_steps = List.init (n_edges - anchor) (fun i -> (edges.(anchor + i), nodes.(anchor + i + 1)));
+          }
+    in
+    let left =
+      {
+        Ast.p_start = nodes.(anchor);
+        p_steps = List.init anchor (fun i -> (flip edges.(anchor - i - 1), nodes.(anchor - i - 1)));
+      }
+    in
+    match right with None -> [ left ] | Some r -> [ r; left ]
+  end
+
+let bound_vars_of (p : Ast.pattern) =
+  let acc = ref [] in
+  (match p.Ast.p_start.Ast.n_var with Some v -> acc := v :: !acc | None -> ());
+  List.iter
+    (fun ((e : Ast.edge_pat), (n : Ast.node_pat)) ->
+      (match e.Ast.e_var with Some v -> acc := v :: !acc | None -> ());
+      match n.Ast.n_var with Some v -> acc := v :: !acc | None -> ())
+    p.Ast.p_steps;
+  !acc
+
+let optimize_match stats schema (mb : Ast.match_block) =
+  let bound = Hashtbl.create 16 in
+  let is_bound v = Hashtbl.mem bound v in
+  let patterns =
+    List.concat_map
+      (fun (p : Ast.pattern) ->
+        let anchor = anchor_position stats schema ~bound:is_bound p in
+        (* Splitting at an anonymous anchor would lose the join. *)
+        let anchor =
+          if anchor > 0 && (nodes_of p).(anchor).Ast.n_var = None then 0 else anchor
+        in
+        let out = split_at_anchor p anchor in
+        List.iter (fun p' -> List.iter (fun v -> Hashtbl.replace bound v ()) (bound_vars_of p')) out;
+        out)
+      mb.Ast.patterns
+  in
+  { mb with Ast.patterns }
+
+let optimize stats schema (q : Ast.t) =
+  let rec map_source = function
+    | Ast.From_match mb -> Ast.From_match (optimize_match stats schema mb)
+    | Ast.From_select sb -> Ast.From_select { sb with Ast.from = map_source sb.Ast.from }
+  in
+  match q with
+  | Ast.Select sb -> Ast.Select { sb with Ast.from = map_source sb.Ast.from }
+  | Ast.Match_only mb -> Ast.Match_only (optimize_match stats schema mb)
+  | Ast.Call _ -> q

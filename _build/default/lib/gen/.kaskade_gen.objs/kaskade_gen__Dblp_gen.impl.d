@@ -1,0 +1,1 @@
+lib/gen/dblp_gen.ml: Array Builder Graph Hashtbl Kaskade_graph Kaskade_util Printf Prng Schema Stdlib Value

@@ -1,0 +1,1 @@
+lib/gen/dblp_gen.mli: Kaskade_graph

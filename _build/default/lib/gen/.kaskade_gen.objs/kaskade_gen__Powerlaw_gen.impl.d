@@ -1,0 +1,1 @@
+lib/gen/powerlaw_gen.ml: Array Builder Graph Hashtbl Kaskade_graph Kaskade_util Printf Prng Schema Stdlib Value

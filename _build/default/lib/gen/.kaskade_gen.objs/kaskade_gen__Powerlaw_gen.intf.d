@@ -1,0 +1,1 @@
+lib/gen/powerlaw_gen.mli: Kaskade_graph

@@ -1,0 +1,1 @@
+lib/gen/provenance_gen.mli: Kaskade_graph

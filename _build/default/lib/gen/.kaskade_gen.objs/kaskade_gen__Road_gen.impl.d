@@ -1,0 +1,1 @@
+lib/gen/road_gen.ml: Array Builder Graph Kaskade_graph Kaskade_util Printf Prng Schema Stdlib Value

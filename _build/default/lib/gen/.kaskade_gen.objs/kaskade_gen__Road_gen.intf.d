@@ -1,0 +1,1 @@
+lib/gen/road_gen.mli: Kaskade_graph

@@ -1,0 +1,79 @@
+open Kaskade_util
+open Kaskade_graph
+
+type config = {
+  authors : int;
+  pubs : int;
+  venues : int;
+  max_authors_per_pub : int;
+  zipf_exponent : float;
+  seed : int;
+}
+
+let default =
+  { authors = 2_000; pubs = 3_000; venues = 50; max_authors_per_pub = 6; zipf_exponent = 1.8; seed = 7 }
+
+(* Each pub contributes ~avg_authors * 2 (AUTHORED + HAS_AUTHOR) + 1
+   (PUBLISHED_IN) edges; avg Zipf(6, 1.8) is about 1.8. *)
+let scaled ~edges ~seed =
+  let per_pub = 5 in
+  let pubs = Stdlib.max 10 (edges / per_pub) in
+  { default with pubs; authors = Stdlib.max 10 (2 * pubs / 3); venues = Stdlib.max 5 (pubs / 200); seed }
+
+let schema =
+  Schema.define
+    ~vertices:[ "Author"; "Pub"; "Venue" ]
+    ~edges:
+      [ ("Author", "AUTHORED", "Pub");
+        ("Pub", "HAS_AUTHOR", "Author");
+        ("Pub", "PUBLISHED_IN", "Venue") ]
+
+let summarized_types = [ "Author"; "Pub" ]
+
+let generate cfg =
+  let rng = Prng.create cfg.seed in
+  let b = Builder.create schema in
+  let author_ids =
+    Array.init cfg.authors (fun i ->
+        Builder.add_vertex b ~vtype:"Author"
+          ~props:[ ("name", Value.Str (Printf.sprintf "author_%d" i)) ] ())
+  in
+  let venue_ids =
+    Array.init cfg.venues (fun i ->
+        Builder.add_vertex b ~vtype:"Venue"
+          ~props:[ ("name", Value.Str (Printf.sprintf "venue_%d" i)) ] ())
+  in
+  let ts = ref 0 in
+  let next_ts () =
+    ts := !ts + 1 + Prng.int rng 3;
+    Value.Int !ts
+  in
+  for p = 0 to cfg.pubs - 1 do
+    let pub =
+      Builder.add_vertex b ~vtype:"Pub"
+        ~props:
+          [ ("title", Value.Str (Printf.sprintf "pub_%d" p));
+            ("year", Value.Int (1990 + Prng.int rng 35)) ]
+        ()
+    in
+    let n_authors = Prng.zipf rng ~n:cfg.max_authors_per_pub ~s:cfg.zipf_exponent in
+    let chosen = Hashtbl.create 4 in
+    let attempts = ref 0 in
+    while Hashtbl.length chosen < n_authors && !attempts < 10 * n_authors do
+      incr attempts;
+      (* Zipf-ranked author selection: a few prolific authors write a
+         disproportionate share of papers. *)
+      let rank = Prng.zipf rng ~n:cfg.authors ~s:cfg.zipf_exponent in
+      Hashtbl.replace chosen author_ids.(rank - 1) ()
+    done;
+    Hashtbl.iter
+      (fun a () ->
+        ignore (Builder.add_edge b ~src:a ~dst:pub ~etype:"AUTHORED"
+                  ~props:[ ("timestamp", next_ts ()) ] ());
+        ignore (Builder.add_edge b ~src:pub ~dst:a ~etype:"HAS_AUTHOR"
+                  ~props:[ ("timestamp", next_ts ()) ] ()))
+      chosen;
+    ignore (Builder.add_edge b ~src:pub ~dst:(Prng.choose rng venue_ids) ~etype:"PUBLISHED_IN"
+              ~props:[ ("timestamp", next_ts ()) ] ())
+  done;
+  Graph.freeze b

@@ -1,0 +1,30 @@
+(** Synthetic publications network standing in for GraphDBLP
+    (paper Table III: 5.1M vertices — authors, articles, venues).
+
+    Schema:
+    - vertex types: [Author], [Pub], [Venue]
+    - edge types: [(Author)-[:AUTHORED]->(Pub)],
+      [(Pub)-[:HAS_AUTHOR]->(Author)], [(Pub)-[:PUBLISHED_IN]->(Venue)]
+
+    [AUTHORED]/[HAS_AUTHOR] mirror each other so that
+    author-pub-author 2-hop paths exist in the directed graph — the
+    co-authorship connector the paper materializes. Author
+    productivity is Zipf-skewed (power-law, Fig. 8). *)
+
+type config = {
+  authors : int;
+  pubs : int;
+  venues : int;
+  max_authors_per_pub : int;
+  zipf_exponent : float;
+  seed : int;
+}
+
+val default : config
+val scaled : edges:int -> seed:int -> config
+val schema : Kaskade_graph.Schema.t
+val generate : config -> Kaskade_graph.Graph.t
+
+val summarized_types : string list
+(** [\["Author"; "Pub"\]] — the paper's summarized dblp graph keeps
+    authors and publications only. *)

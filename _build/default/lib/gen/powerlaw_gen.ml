@@ -1,0 +1,41 @@
+open Kaskade_util
+open Kaskade_graph
+
+type config = { vertices : int; edges : int; exponent : float; seed : int }
+
+let default = { vertices = 2_000; edges = 10_000; exponent = 2.2; seed = 11 }
+
+let scaled ~edges ~seed = { default with vertices = Stdlib.max 10 (edges / 5); edges; seed }
+
+let schema = Schema.define ~vertices:[ "V" ] ~edges:[ ("V", "LINK", "V") ]
+
+(* Chung-Lu: endpoint i drawn with probability proportional to
+   w_i = (i+1)^(-1/(exponent-1)); sampling both endpoints from the
+   weight distribution yields expected degrees proportional to w. We
+   sample via the Zipf rank trick with s = 1/(exponent-1). *)
+let generate cfg =
+  let rng = Prng.create cfg.seed in
+  let b = Builder.create schema in
+  let ids =
+    Array.init cfg.vertices (fun i ->
+        Builder.add_vertex b ~vtype:"V" ~props:[ ("name", Value.Str (Printf.sprintf "v_%d" i)) ] ())
+  in
+  let s = 1.0 /. (cfg.exponent -. 1.0) in
+  let seen = Hashtbl.create (2 * cfg.edges) in
+  let ts = ref 0 in
+  let added = ref 0 in
+  let attempts = ref 0 in
+  let max_attempts = 20 * cfg.edges in
+  while !added < cfg.edges && !attempts < max_attempts do
+    incr attempts;
+    let u = Prng.zipf rng ~n:cfg.vertices ~s - 1 in
+    let v = Prng.zipf rng ~n:cfg.vertices ~s - 1 in
+    if u <> v && not (Hashtbl.mem seen (u, v)) then begin
+      Hashtbl.add seen (u, v) ();
+      ts := !ts + 1;
+      ignore (Builder.add_edge b ~src:ids.(u) ~dst:ids.(v) ~etype:"LINK"
+                ~props:[ ("timestamp", Value.Int !ts) ] ());
+      incr added
+    end
+  done;
+  Graph.freeze b

@@ -1,0 +1,18 @@
+(** Chung-Lu power-law homogeneous digraph standing in for
+    soc-livejournal (paper Table III): single vertex type [V], single
+    edge type [LINK], degree distribution following a power law —
+    exactly the regime where the paper's Fig. 5 shows 2-hop
+    connectors exceeding the raw graph size. *)
+
+type config = {
+  vertices : int;
+  edges : int;  (** Target; actuals land within a few percent (self
+      loops and duplicates are rejected). *)
+  exponent : float;  (** Power-law exponent, typically 2.1-2.5. *)
+  seed : int;
+}
+
+val default : config
+val scaled : edges:int -> seed:int -> config
+val schema : Kaskade_graph.Schema.t
+val generate : config -> Kaskade_graph.Graph.t

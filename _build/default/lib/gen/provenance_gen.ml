@@ -1,0 +1,148 @@
+open Kaskade_util
+open Kaskade_graph
+
+type config = {
+  jobs : int;
+  files : int;
+  machines : int;
+  users : int;
+  tasks_per_job : int;
+  writes_per_job : int;
+  reads_per_job : int;
+  pipelines : int;
+  zipf_exponent : float;
+  seed : int;
+}
+
+let default =
+  {
+    jobs = 1_000;
+    files = 2_000;
+    machines = 50;
+    users = 100;
+    tasks_per_job = 2;
+    writes_per_job = 4;
+    reads_per_job = 6;
+    pipelines = 20;
+    zipf_exponent = 1.6;
+    seed = 42;
+  }
+
+(* Edges per job in the default shape: tasks_per_job (HAS_TASK +
+   RUNS_ON = 2*tasks) + ~writes/2 + ~reads/2 + 1 (SUBMITTED). *)
+let scaled ~edges ~seed =
+  let per_job =
+    (2 * default.tasks_per_job)
+    + (default.writes_per_job / 2)
+    + (default.reads_per_job / 2)
+    + 1
+  in
+  let jobs = Stdlib.max 10 (edges / per_job) in
+  {
+    default with
+    jobs;
+    files = 2 * jobs;
+    machines = Stdlib.max 10 (jobs / 20);
+    users = Stdlib.max 10 (jobs / 10);
+    seed;
+  }
+
+let schema =
+  Schema.define
+    ~vertices:[ "Job"; "File"; "Task"; "Machine"; "User" ]
+    ~edges:
+      [ ("Job", "WRITES_TO", "File");
+        ("File", "IS_READ_BY", "Job");
+        ("Job", "HAS_TASK", "Task");
+        ("Task", "RUNS_ON", "Machine");
+        ("User", "SUBMITTED", "Job") ]
+
+let summarized_types = [ "Job"; "File" ]
+
+let generate cfg =
+  let rng = Prng.create cfg.seed in
+  let b = Builder.create schema in
+  let job_ids =
+    Array.init cfg.jobs (fun i ->
+        Builder.add_vertex b ~vtype:"Job"
+          ~props:
+            [ ("name", Value.Str (Printf.sprintf "job_%d" i));
+              ("CPU", Value.Float (1.0 +. Prng.float rng 500.0));
+              ("pipelineName", Value.Str (Printf.sprintf "pipeline_%d" (Prng.int rng cfg.pipelines))) ]
+          ())
+  in
+  let file_ids =
+    Array.init cfg.files (fun i ->
+        Builder.add_vertex b ~vtype:"File"
+          ~props:
+            [ ("path", Value.Str (Printf.sprintf "/data/file_%d" i));
+              ("bytes", Value.Int (1 + Prng.int rng 1_000_000_000)) ]
+          ())
+  in
+  let machine_ids = Array.init cfg.machines (fun i ->
+      Builder.add_vertex b ~vtype:"Machine"
+        ~props:[ ("host", Value.Str (Printf.sprintf "machine_%d" i)) ] ())
+  in
+  let user_ids = Array.init cfg.users (fun i ->
+      Builder.add_vertex b ~vtype:"User"
+        ~props:[ ("login", Value.Str (Printf.sprintf "user_%d" i)) ] ())
+  in
+  let ts = ref 0 in
+  let next_ts () =
+    ts := !ts + 1 + Prng.int rng 5;
+    Value.Int !ts
+  in
+  (* A permutation of files establishes lineage order: job j writes
+     "later" files and reads "earlier" ones, so job-file-job chains
+     mostly flow forward as in a real lineage DAG. *)
+  let file_order = Array.copy file_ids in
+  Prng.shuffle rng file_order;
+  let writer_assigned = Array.make cfg.files false in
+  Array.iteri
+    (fun j job ->
+      (* Writes: Zipf-skewed count; prefer files in this job's slice so
+         every file ends up written by some job. *)
+      let n_writes = Prng.zipf rng ~n:cfg.writes_per_job ~s:cfg.zipf_exponent in
+      let base = j * cfg.files / Stdlib.max 1 cfg.jobs in
+      for w = 0 to n_writes - 1 do
+        let slot = (base + w + Prng.int rng 3) mod cfg.files in
+        let f = file_order.(slot) in
+        ignore (Builder.add_edge b ~src:job ~dst:f ~etype:"WRITES_TO"
+                  ~props:[ ("timestamp", next_ts ()) ] ());
+        writer_assigned.(slot) <- true
+      done;
+      (* Reads: file chosen by Zipf popularity over the earlier slice,
+         creating the hot files responsible for the power-law tail. *)
+      let n_reads = Prng.zipf rng ~n:cfg.reads_per_job ~s:cfg.zipf_exponent in
+      let upper = Stdlib.max 1 base in
+      for _ = 1 to n_reads do
+        let rank = Prng.zipf rng ~n:upper ~s:cfg.zipf_exponent in
+        let f = file_order.(rank - 1) in
+        ignore (Builder.add_edge b ~src:f ~dst:job ~etype:"IS_READ_BY"
+                  ~props:[ ("timestamp", next_ts ()) ] ())
+      done;
+      (* Tasks and the machine they run on. *)
+      let n_tasks = Stdlib.max 1 (Prng.int_in rng (cfg.tasks_per_job / 2) (cfg.tasks_per_job * 3 / 2)) in
+      for k = 0 to n_tasks - 1 do
+        let task =
+          Builder.add_vertex b ~vtype:"Task"
+            ~props:[ ("name", Value.Str (Printf.sprintf "task_%d_%d" j k)) ] ()
+        in
+        ignore (Builder.add_edge b ~src:job ~dst:task ~etype:"HAS_TASK"
+                  ~props:[ ("timestamp", next_ts ()) ] ());
+        ignore (Builder.add_edge b ~src:task ~dst:(Prng.choose rng machine_ids) ~etype:"RUNS_ON"
+                  ~props:[ ("timestamp", next_ts ()) ] ())
+      done;
+      (* Submitting user. *)
+      ignore (Builder.add_edge b ~src:(Prng.choose rng user_ids) ~dst:job ~etype:"SUBMITTED"
+                ~props:[ ("timestamp", next_ts ()) ] ()))
+    job_ids;
+  (* Orphan files (never written) get a writer, matching the paper's
+     "all files being created or consumed by some job". *)
+  Array.iteri
+    (fun slot assigned ->
+      if not assigned then
+        ignore (Builder.add_edge b ~src:(Prng.choose rng job_ids) ~dst:file_order.(slot)
+                  ~etype:"WRITES_TO" ~props:[ ("timestamp", next_ts ()) ] ()))
+    writer_assigned;
+  Graph.freeze b

@@ -1,0 +1,42 @@
+(** Synthetic data-lineage (provenance) graph, substituting for the
+    proprietary Microsoft cluster graph of the paper (§I-A, Table III).
+
+    Schema — the motivating heterogeneous network of Fig. 1/3:
+    - vertex types: [Job], [File], [Task], [Machine], [User]
+    - edge types:
+      [(Job)-[:WRITES_TO]->(File)], [(File)-[:IS_READ_BY]->(Job)],
+      [(Job)-[:HAS_TASK]->(Task)], [(Task)-[:RUNS_ON]->(Machine)],
+      [(User)-[:SUBMITTED]->(Job)]
+
+    Structural properties preserved from the paper: no job-job or
+    file-file edges (the constraint Kaskade mines), power-law file
+    fan-out (hot datasets read by many jobs, Fig. 8), and job
+    properties ([CPU], [pipelineName]) consumed by the blast-radius
+    query Q1. Every edge carries a [timestamp] (used by Q4). *)
+
+type config = {
+  jobs : int;
+  files : int;
+  machines : int;
+  users : int;
+  tasks_per_job : int;  (** Mean; actual counts vary by +-50%. *)
+  writes_per_job : int;  (** Max writes; per-job counts are Zipf-skewed. *)
+  reads_per_job : int;  (** Max reads; file popularity is Zipf-skewed. *)
+  pipelines : int;  (** Distinct pipelineName values. *)
+  zipf_exponent : float;
+  seed : int;
+}
+
+val default : config
+(** ~7k vertices / ~30k edges — quick tests and examples. *)
+
+val scaled : edges:int -> seed:int -> config
+(** Scale the default shape to approximately the requested edge
+    count. *)
+
+val schema : Kaskade_graph.Schema.t
+val generate : config -> Kaskade_graph.Graph.t
+
+val summarized_types : string list
+(** [\["Job"; "File"\]] — the vertex types the paper's summarizer
+    keeps for the query workload (§VII-B "prov summarized"). *)

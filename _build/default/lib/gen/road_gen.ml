@@ -1,0 +1,40 @@
+open Kaskade_util
+open Kaskade_graph
+
+type config = { width : int; height : int; keep_prob : float; seed : int }
+
+let default = { width = 50; height = 50; keep_prob = 0.9; seed = 23 }
+
+(* Each kept lattice edge becomes two directed edges; a full W*H grid
+   has ~2*W*H undirected edges. *)
+let scaled ~edges ~seed =
+  let cells = Stdlib.max 16 (edges / 4) in
+  let side = int_of_float (sqrt (float_of_int cells)) in
+  { default with width = side; height = side; seed }
+
+let schema = Schema.define ~vertices:[ "V" ] ~edges:[ ("V", "ROAD", "V") ]
+
+let generate cfg =
+  let rng = Prng.create cfg.seed in
+  let b = Builder.create schema in
+  let id x y = (y * cfg.width) + x in
+  let ids =
+    Array.init (cfg.width * cfg.height) (fun i ->
+        Builder.add_vertex b ~vtype:"V" ~props:[ ("name", Value.Str (Printf.sprintf "n_%d" i)) ] ())
+  in
+  let ts = ref 0 in
+  let connect u v =
+    ts := !ts + 1;
+    let w = Value.Int (1 + Prng.int rng 10) in
+    ignore (Builder.add_edge b ~src:ids.(u) ~dst:ids.(v) ~etype:"ROAD"
+              ~props:[ ("timestamp", Value.Int !ts); ("length", w) ] ());
+    ignore (Builder.add_edge b ~src:ids.(v) ~dst:ids.(u) ~etype:"ROAD"
+              ~props:[ ("timestamp", Value.Int !ts); ("length", w) ] ())
+  in
+  for y = 0 to cfg.height - 1 do
+    for x = 0 to cfg.width - 1 do
+      if x + 1 < cfg.width && Prng.float rng 1.0 < cfg.keep_prob then connect (id x y) (id (x + 1) y);
+      if y + 1 < cfg.height && Prng.float rng 1.0 < cfg.keep_prob then connect (id x y) (id x (y + 1))
+    done
+  done;
+  Graph.freeze b

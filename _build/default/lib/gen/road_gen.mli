@@ -1,0 +1,17 @@
+(** Perturbed 2-D lattice standing in for roadnet-usa (paper Table
+    III): homogeneous, near-uniform degree (<= 4 out-neighbours), no
+    power law, long shortest paths — the regime where the paper finds
+    the median-degree estimator tracks connector size and path
+    queries benefit from contraction. *)
+
+type config = {
+  width : int;
+  height : int;
+  keep_prob : float;  (** Probability each lattice edge exists. *)
+  seed : int;
+}
+
+val default : config
+val scaled : edges:int -> seed:int -> config
+val schema : Kaskade_graph.Schema.t
+val generate : config -> Kaskade_graph.Graph.t

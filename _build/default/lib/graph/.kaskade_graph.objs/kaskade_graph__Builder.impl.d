@@ -1,0 +1,1 @@
+lib/graph/builder.ml: Int_vec Kaskade_util List Printf Props Schema

@@ -1,0 +1,1 @@
+lib/graph/builder.mli: Kaskade_util Props Schema Value

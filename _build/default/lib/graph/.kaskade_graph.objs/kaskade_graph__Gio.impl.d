@@ -1,0 +1,1 @@
+lib/graph/gio.ml: Buffer Builder Char Fun Graph List Printf Schema String Value

@@ -1,0 +1,1 @@
+lib/graph/graph.ml: Array Builder Format Int_vec Kaskade_util Props Schema Table

@@ -1,0 +1,1 @@
+lib/graph/graph.mli: Builder Format Schema Value

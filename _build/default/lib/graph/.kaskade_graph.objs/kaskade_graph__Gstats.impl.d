@@ -1,0 +1,1 @@
+lib/graph/gstats.ml: Array Format Graph Kaskade_util List Schema Stdlib Table

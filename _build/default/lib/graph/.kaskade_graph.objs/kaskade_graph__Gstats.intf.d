@@ -1,0 +1,1 @@
+lib/graph/gstats.mli: Format Graph

@@ -1,0 +1,1 @@
+lib/graph/schema.ml: Array Format Hashtbl List String

@@ -1,0 +1,1 @@
+lib/graph/schema.mli: Format

@@ -1,0 +1,1 @@
+lib/graph/subgraph.ml: Array Builder Graph List Schema

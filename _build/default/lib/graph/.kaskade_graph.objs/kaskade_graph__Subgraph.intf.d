@@ -1,0 +1,1 @@
+lib/graph/subgraph.mli: Graph Schema

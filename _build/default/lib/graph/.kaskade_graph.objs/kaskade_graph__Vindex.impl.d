@@ -1,0 +1,1 @@
+lib/graph/vindex.ml: Graph Hashtbl List Value

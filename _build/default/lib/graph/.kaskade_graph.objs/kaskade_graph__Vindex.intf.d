@@ -1,0 +1,1 @@
+lib/graph/vindex.mli: Graph Value

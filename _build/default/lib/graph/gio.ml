@@ -1,0 +1,136 @@
+exception Format_error of string * int
+
+let magic = "kaskade-graph 1"
+
+let encode_str s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      if c = '%' || c = ' ' || c = '\t' || c = '\n' || c = '=' then
+        Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c))
+      else Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let decode_str s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if s.[!i] = '%' && !i + 2 < n then begin
+      Buffer.add_char buf (Char.chr (int_of_string ("0x" ^ String.sub s (!i + 1) 2)));
+      i := !i + 3
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let encode_value = function
+  | Value.Null -> "n:"
+  | Value.Bool b -> "b:" ^ string_of_bool b
+  | Value.Int n -> "i:" ^ string_of_int n
+  | Value.Float f -> "f:" ^ Printf.sprintf "%h" f
+  | Value.Str s -> "s:" ^ encode_str s
+
+let decode_value line_no s =
+  if String.length s < 2 || s.[1] <> ':' then raise (Format_error ("bad value " ^ s, line_no));
+  let payload = String.sub s 2 (String.length s - 2) in
+  match s.[0] with
+  | 'n' -> Value.Null
+  | 'b' -> Value.Bool (bool_of_string payload)
+  | 'i' -> Value.Int (int_of_string payload)
+  | 'f' -> Value.Float (float_of_string payload)
+  | 's' -> Value.Str (decode_str payload)
+  | c -> raise (Format_error (Printf.sprintf "unknown value tag %c" c, line_no))
+
+let encode_props props =
+  String.concat " " (List.map (fun (k, v) -> encode_str k ^ "=" ^ encode_value v) props)
+
+let decode_props line_no fields =
+  List.map
+    (fun field ->
+      match String.index_opt field '=' with
+      | Some i ->
+        ( decode_str (String.sub field 0 i),
+          decode_value line_no (String.sub field (i + 1) (String.length field - i - 1)) )
+      | None -> raise (Format_error ("bad property " ^ field, line_no)))
+    fields
+
+let to_string g =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf '\n';
+  let schema = Graph.schema g in
+  List.iter (fun t -> Buffer.add_string buf ("vtype " ^ encode_str t ^ "\n")) (Schema.vertex_types schema);
+  List.iter
+    (fun (d : Schema.edge_def) ->
+      Buffer.add_string buf
+        (Printf.sprintf "etype %s %s %s\n" (encode_str d.src) (encode_str d.name) (encode_str d.dst)))
+    (Schema.edge_defs schema);
+  for v = 0 to Graph.n_vertices g - 1 do
+    let props = Graph.vertex_props g v in
+    Buffer.add_string buf
+      (Printf.sprintf "v %d %s%s\n" v
+         (encode_str (Graph.vertex_type_name g v))
+         (if props = [] then "" else " " ^ encode_props props))
+  done;
+  Graph.iter_edges g (fun ~eid ~src ~dst ~etype ->
+      let props = Graph.edge_props g eid in
+      Buffer.add_string buf
+        (Printf.sprintf "e %d %d %s%s\n" src dst
+           (encode_str (Schema.edge_type_name schema etype))
+           (if props = [] then "" else " " ^ encode_props props)));
+  Buffer.contents buf
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let vtypes = ref [] and etypes = ref [] in
+  let vertex_lines = ref [] and edge_lines = ref [] in
+  List.iteri
+    (fun idx line ->
+      let line_no = idx + 1 in
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then ()
+      else if line_no = 1 then begin
+        if line <> magic then raise (Format_error ("bad magic: " ^ line, line_no))
+      end
+      else begin
+        match String.split_on_char ' ' line with
+        | "vtype" :: name :: [] -> vtypes := decode_str name :: !vtypes
+        | "etype" :: src :: name :: dst :: [] ->
+          etypes := (decode_str src, decode_str name, decode_str dst) :: !etypes
+        | "v" :: id :: ty :: props -> vertex_lines := (line_no, int_of_string id, decode_str ty, props) :: !vertex_lines
+        | "e" :: src :: dst :: ty :: props ->
+          edge_lines := (line_no, int_of_string src, int_of_string dst, decode_str ty, props) :: !edge_lines
+        | _ -> raise (Format_error ("unrecognized line: " ^ line, line_no))
+      end)
+    lines;
+  let schema = Schema.define ~vertices:(List.rev !vtypes) ~edges:(List.rev !etypes) in
+  let b = Builder.create schema in
+  List.iter
+    (fun (line_no, id, ty, props) ->
+      let got = Builder.add_vertex b ~vtype:ty ~props:(decode_props line_no props) () in
+      if got <> id then
+        raise (Format_error (Printf.sprintf "vertex ids must be dense and ordered (expected %d, got %d)" got id, line_no)))
+    (List.rev !vertex_lines);
+  List.iter
+    (fun (line_no, src, dst, ty, props) ->
+      try ignore (Builder.add_edge b ~src ~dst ~etype:ty ~props:(decode_props line_no props) ())
+      with Invalid_argument msg -> raise (Format_error (msg, line_no)))
+    (List.rev !edge_lines);
+  Graph.freeze b
+
+let save g path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string g))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      really_input_string ic n |> of_string)

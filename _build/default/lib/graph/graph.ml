@@ -1,0 +1,155 @@
+open Kaskade_util
+
+type t = {
+  schema : Schema.t;
+  n : int;
+  m : int;
+  vtype : int array;
+  out_off : int array;
+  out_dst : int array;
+  out_etype : int array;
+  out_eid : int array;
+  in_off : int array;
+  in_src : int array;
+  in_etype : int array;
+  in_eid : int array;
+  e_src : int array;
+  e_dst : int array;
+  e_type : int array;
+  vprops : Props.t;
+  eprops : Props.t;
+  by_type : int array array;
+}
+
+let freeze builder =
+  let schema = Builder.schema builder in
+  let vtypes = Builder.internal_vtypes builder in
+  let e_src_v, e_dst_v, e_type_v = Builder.internal_edges builder in
+  let vprops, eprops = Builder.internal_props builder in
+  let n = Int_vec.length vtypes in
+  let m = Int_vec.length e_src_v in
+  let vtype = Int_vec.to_array vtypes in
+  let e_src = Int_vec.to_array e_src_v in
+  let e_dst = Int_vec.to_array e_dst_v in
+  let e_type = Int_vec.to_array e_type_v in
+  (* Counting sort into CSR, both directions. *)
+  let out_off = Array.make (n + 1) 0 in
+  let in_off = Array.make (n + 1) 0 in
+  for e = 0 to m - 1 do
+    out_off.(e_src.(e) + 1) <- out_off.(e_src.(e) + 1) + 1;
+    in_off.(e_dst.(e) + 1) <- in_off.(e_dst.(e) + 1) + 1
+  done;
+  for v = 1 to n do
+    out_off.(v) <- out_off.(v) + out_off.(v - 1);
+    in_off.(v) <- in_off.(v) + in_off.(v - 1)
+  done;
+  let out_dst = Array.make m 0 and out_etype = Array.make m 0 and out_eid = Array.make m 0 in
+  let in_src = Array.make m 0 and in_etype = Array.make m 0 and in_eid = Array.make m 0 in
+  let out_cursor = Array.copy out_off and in_cursor = Array.copy in_off in
+  for e = 0 to m - 1 do
+    let s = e_src.(e) and d = e_dst.(e) and ty = e_type.(e) in
+    let oi = out_cursor.(s) in
+    out_cursor.(s) <- oi + 1;
+    out_dst.(oi) <- d;
+    out_etype.(oi) <- ty;
+    out_eid.(oi) <- e;
+    let ii = in_cursor.(d) in
+    in_cursor.(d) <- ii + 1;
+    in_src.(ii) <- s;
+    in_etype.(ii) <- ty;
+    in_eid.(ii) <- e
+  done;
+  let ntypes = Schema.n_vertex_types schema in
+  let counts = Array.make ntypes 0 in
+  Array.iter (fun ty -> counts.(ty) <- counts.(ty) + 1) vtype;
+  let by_type = Array.map (fun c -> Array.make c 0) counts in
+  let cursors = Array.make ntypes 0 in
+  Array.iteri
+    (fun v ty ->
+      by_type.(ty).(cursors.(ty)) <- v;
+      cursors.(ty) <- cursors.(ty) + 1)
+    vtype;
+  {
+    schema;
+    n;
+    m;
+    vtype;
+    out_off;
+    out_dst;
+    out_etype;
+    out_eid;
+    in_off;
+    in_src;
+    in_etype;
+    in_eid;
+    e_src;
+    e_dst;
+    e_type;
+    vprops;
+    eprops;
+    by_type;
+  }
+
+let schema t = t.schema
+let n_vertices t = t.n
+let n_edges t = t.m
+
+let vertex_type t v = t.vtype.(v)
+let vertex_type_name t v = Schema.vertex_type_name t.schema t.vtype.(v)
+let vertices_of_type t ty = t.by_type.(ty)
+let vertices_of_type_name t name = t.by_type.(Schema.vertex_type_id t.schema name)
+let count_of_type t ty = Array.length t.by_type.(ty)
+
+let out_degree t v = t.out_off.(v + 1) - t.out_off.(v)
+let in_degree t v = t.in_off.(v + 1) - t.in_off.(v)
+
+let iter_out t v f =
+  for i = t.out_off.(v) to t.out_off.(v + 1) - 1 do
+    f ~dst:t.out_dst.(i) ~etype:t.out_etype.(i) ~eid:t.out_eid.(i)
+  done
+
+let iter_in t v f =
+  for i = t.in_off.(v) to t.in_off.(v + 1) - 1 do
+    f ~src:t.in_src.(i) ~etype:t.in_etype.(i) ~eid:t.in_eid.(i)
+  done
+
+let iter_out_etype t v ~etype f =
+  for i = t.out_off.(v) to t.out_off.(v + 1) - 1 do
+    if t.out_etype.(i) = etype then f ~dst:t.out_dst.(i) ~eid:t.out_eid.(i)
+  done
+
+let iter_in_etype t v ~etype f =
+  for i = t.in_off.(v) to t.in_off.(v + 1) - 1 do
+    if t.in_etype.(i) = etype then f ~src:t.in_src.(i) ~eid:t.in_eid.(i)
+  done
+
+let out_neighbors t v =
+  Array.init (out_degree t v) (fun i -> t.out_dst.(t.out_off.(v) + i))
+
+let iter_edges t f =
+  for e = 0 to t.m - 1 do
+    f ~eid:e ~src:t.e_src.(e) ~dst:t.e_dst.(e) ~etype:t.e_type.(e)
+  done
+
+let edge_endpoints t e = (t.e_src.(e), t.e_dst.(e))
+let edge_type t e = t.e_type.(e)
+
+let vprop t v key = Props.get t.vprops v key
+let vprop_or_null t v key = Props.get_or_null t.vprops v key
+let eprop t e key = Props.get t.eprops e key
+let eprop_or_null t e key = Props.get_or_null t.eprops e key
+
+let vertex_props t v = Props.entity_props t.vprops v
+let edge_props t e = Props.entity_props t.eprops e
+let vertex_prop_keys t = Props.keys t.vprops
+let edge_prop_keys t = Props.keys t.eprops
+
+let out_degrees_of_type t ty = Array.map (fun v -> out_degree t v) t.by_type.(ty)
+let all_out_degrees t = Array.init t.n (fun v -> out_degree t v)
+
+let pp_summary ppf t =
+  Format.fprintf ppf "|V|=%s |E|=%s" (Table.fmt_int t.n) (Table.fmt_int t.m);
+  Array.iteri
+    (fun ty vs ->
+      Format.fprintf ppf " %s:%s" (Schema.vertex_type_name t.schema ty) (Table.fmt_int (Array.length vs)))
+    t.by_type

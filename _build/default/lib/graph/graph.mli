@@ -1,0 +1,63 @@
+(** Frozen, immutable property graph in CSR (compressed sparse row)
+    form — the in-memory execution substrate standing in for Neo4j's
+    store. Both out- and in-adjacency are materialized so traversals
+    run in either direction; edges keep their builder ids so
+    properties survive freezing. *)
+
+type t
+
+val freeze : Builder.t -> t
+(** O(V + E). The builder may keep being used afterwards; the frozen
+    graph shares property tables but copies topology. *)
+
+val schema : t -> Schema.t
+val n_vertices : t -> int
+val n_edges : t -> int
+
+val vertex_type : t -> int -> int
+val vertex_type_name : t -> int -> string
+val vertices_of_type : t -> int -> int array
+(** Shared array — do not mutate. *)
+
+val vertices_of_type_name : t -> string -> int array
+val count_of_type : t -> int -> int
+
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+
+val iter_out : t -> int -> (dst:int -> etype:int -> eid:int -> unit) -> unit
+val iter_in : t -> int -> (src:int -> etype:int -> eid:int -> unit) -> unit
+
+val iter_out_etype : t -> int -> etype:int -> (dst:int -> eid:int -> unit) -> unit
+(** Out-edges restricted to one edge type. *)
+
+val iter_in_etype : t -> int -> etype:int -> (src:int -> eid:int -> unit) -> unit
+
+val out_neighbors : t -> int -> int array
+(** Fresh array of destination ids (possibly with duplicates for
+    parallel edges). *)
+
+val iter_edges : t -> (eid:int -> src:int -> dst:int -> etype:int -> unit) -> unit
+val edge_endpoints : t -> int -> int * int
+val edge_type : t -> int -> int
+
+val vprop : t -> int -> string -> Value.t option
+val vprop_or_null : t -> int -> string -> Value.t
+val eprop : t -> int -> string -> Value.t option
+val eprop_or_null : t -> int -> string -> Value.t
+
+val vertex_props : t -> int -> (string * Value.t) list
+(** All properties of a vertex (sorted by name). O(#columns). *)
+
+val edge_props : t -> int -> (string * Value.t) list
+val vertex_prop_keys : t -> string list
+val edge_prop_keys : t -> string list
+
+val out_degrees_of_type : t -> int -> int array
+(** Fresh array: out-degree of every vertex of the given type, in
+    vertex order — the raw input to the degree-percentile estimator. *)
+
+val all_out_degrees : t -> int array
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-line [|V|, |E|] plus per-type counts. *)

@@ -1,0 +1,19 @@
+(** Column-oriented property storage: one sparse column per property
+    name, keyed by entity (vertex or edge) id. *)
+
+type t
+
+val create : unit -> t
+val set : t -> int -> string -> Value.t -> unit
+val get : t -> int -> string -> Value.t option
+val get_or_null : t -> int -> string -> Value.t
+val keys : t -> string list
+(** Property names present, sorted. *)
+
+val column_size : t -> string -> int
+(** Number of entities carrying the property; 0 if unknown. *)
+
+val iter_column : t -> string -> (int -> Value.t -> unit) -> unit
+val entity_props : t -> int -> (string * Value.t) list
+(** All properties of one entity, sorted by name (slow path, for
+    display and tests). *)

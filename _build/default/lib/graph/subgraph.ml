@@ -1,0 +1,49 @@
+type mapping = { old_of_new_vertex : int array; new_of_old_vertex : int array }
+
+let restrict ?(vertex_pred = fun _ -> true) ?(edge_pred = fun ~eid:_ ~src:_ ~dst:_ ~etype:_ -> true)
+    ?schema g =
+  let old_schema = Graph.schema g in
+  let new_schema = match schema with Some s -> s | None -> old_schema in
+  let n = Graph.n_vertices g in
+  let new_of_old = Array.make n (-1) in
+  let b = Builder.create new_schema in
+  for v = 0 to n - 1 do
+    if vertex_pred v then begin
+      let tname = Graph.vertex_type_name g v in
+      if Schema.has_vertex_type new_schema tname then begin
+        let id = Builder.add_vertex b ~vtype:tname () in
+        new_of_old.(v) <- id
+      end
+      else if schema = None then
+        invalid_arg ("Subgraph.restrict: vertex type " ^ tname ^ " missing from schema")
+      (* With an explicit restricted schema, vertices of dropped types
+         are silently excluded — that is the point of restricting. *)
+    end
+  done;
+  let old_of_new = Array.make (Builder.vertex_count b) 0 in
+  Array.iteri (fun old_v new_v -> if new_v >= 0 then old_of_new.(new_v) <- old_v) new_of_old;
+  Graph.iter_edges g (fun ~eid ~src ~dst ~etype ->
+      let s = new_of_old.(src) and d = new_of_old.(dst) in
+      if s >= 0 && d >= 0 && edge_pred ~eid ~src ~dst ~etype then begin
+        let ename = Schema.edge_type_name old_schema etype in
+        if Schema.has_edge_type new_schema ename then begin
+          let new_eid = Builder.add_edge b ~src:s ~dst:d ~etype:ename () in
+          List.iter (fun (k, v) -> Builder.set_edge_prop b new_eid k v) (Graph.edge_props g eid)
+        end
+      end);
+  Array.iteri
+    (fun new_v old_v ->
+      List.iter (fun (k, v) -> Builder.set_vertex_prop b new_v k v) (Graph.vertex_props g old_v))
+    old_of_new;
+  (Graph.freeze b, { old_of_new_vertex = old_of_new; new_of_old_vertex = new_of_old })
+
+let edge_prefix g n =
+  let touched = Array.make (Graph.n_vertices g) false in
+  Graph.iter_edges g (fun ~eid ~src ~dst ~etype:_ ->
+      if eid < n then begin
+        touched.(src) <- true;
+        touched.(dst) <- true
+      end);
+  restrict ~vertex_pred:(fun v -> touched.(v))
+    ~edge_pred:(fun ~eid ~src:_ ~dst:_ ~etype:_ -> eid < n)
+    g

@@ -1,0 +1,25 @@
+(** Derive new graphs from existing ones: predicate-based restriction
+    (the engine-level primitive behind summarizer views) and edge
+    prefixes (the "first n edges" sweep of the paper's Fig. 5). *)
+
+type mapping = {
+  old_of_new_vertex : int array;  (** New vertex id -> original id. *)
+  new_of_old_vertex : int array;  (** Original id -> new id or -1. *)
+}
+
+val restrict :
+  ?vertex_pred:(int -> bool) ->
+  ?edge_pred:(eid:int -> src:int -> dst:int -> etype:int -> bool) ->
+  ?schema:Schema.t ->
+  Graph.t ->
+  Graph.t * mapping
+(** Copy of the graph keeping vertices satisfying [vertex_pred]
+    (default: all) and edges satisfying [edge_pred] (default: all)
+    whose endpoints both survive. Vertex and edge properties are
+    copied. [schema] substitutes a (restricted) schema whose vertex /
+    edge type names must cover every surviving element — otherwise
+    [Invalid_argument]. *)
+
+val edge_prefix : Graph.t -> int -> Graph.t * mapping
+(** Subgraph of the first [n] edges (by edge id, i.e. insertion order)
+    and the vertices they touch. *)

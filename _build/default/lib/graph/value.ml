@@ -1,0 +1,71 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+
+let equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> x = y
+  | Int x, Float y | Float y, Int x -> float_of_int x = y
+  | Str x, Str y -> String.equal x y
+  | _ -> false
+
+let rank = function Null -> 0 | Bool _ -> 1 | Int _ | Float _ -> 2 | Str _ -> 3
+
+let compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Stdlib.compare x y
+  | Int x, Int y -> Stdlib.compare x y
+  | Float x, Float y -> Stdlib.compare x y
+  | Int x, Float y -> Stdlib.compare (float_of_int x) y
+  | Float x, Int y -> Stdlib.compare x (float_of_int y)
+  | Str x, Str y -> String.compare x y
+  | _ -> Stdlib.compare (rank a) (rank b)
+
+let to_float = function
+  | Int n -> Some (float_of_int n)
+  | Float f -> Some f
+  | Bool b -> Some (if b then 1.0 else 0.0)
+  | Null | Str _ -> None
+
+let is_truthy = function Null | Bool false -> false | _ -> true
+
+let arith name fi ff a b =
+  match (a, b) with
+  | Null, _ | _, Null -> Null
+  | Int x, Int y -> fi x y
+  | (Int _ | Float _), (Int _ | Float _) -> begin
+    match (to_float a, to_float b) with
+    | Some x, Some y -> ff x y
+    | _ -> assert false
+  end
+  | _ -> invalid_arg ("Value." ^ name ^ ": non-numeric operands")
+
+let add a b =
+  match (a, b) with
+  | Str x, Str y -> Str (x ^ y)
+  | _ -> arith "add" (fun x y -> Int (x + y)) (fun x y -> Float (x +. y)) a b
+
+let sub = arith "sub" (fun x y -> Int (x - y)) (fun x y -> Float (x -. y))
+let mul = arith "mul" (fun x y -> Int (x * y)) (fun x y -> Float (x *. y))
+
+let div a b =
+  arith "div"
+    (fun x y -> if y = 0 then invalid_arg "Value.div: division by zero" else Int (x / y))
+    (fun x y -> Float (x /. y))
+    a b
+
+let pp ppf = function
+  | Null -> Format.pp_print_string ppf "null"
+  | Bool b -> Format.pp_print_bool ppf b
+  | Int n -> Format.pp_print_int ppf n
+  | Float f -> Format.fprintf ppf "%g" f
+  | Str s -> Format.fprintf ppf "%S" s
+
+let to_string v = Format.asprintf "%a" pp v

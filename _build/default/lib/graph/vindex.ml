@@ -1,0 +1,32 @@
+type t = {
+  g : Graph.t;
+  tables : (string, (Value.t, int list) Hashtbl.t) Hashtbl.t;
+  mutable builds : int;
+}
+
+let create g = { g; tables = Hashtbl.create 8; builds = 0 }
+
+let build t prop =
+  let table = Hashtbl.create 1024 in
+  for v = Graph.n_vertices t.g - 1 downto 0 do
+    match Graph.vprop t.g v prop with
+    | Some value -> begin
+      match Hashtbl.find_opt table value with
+      | Some ids -> Hashtbl.replace table value (v :: ids)
+      | None -> Hashtbl.add table value [ v ]
+    end
+    | None -> ()
+  done;
+  t.builds <- t.builds + 1;
+  Hashtbl.add t.tables prop table;
+  table
+
+let lookup t ~prop value =
+  let table =
+    match Hashtbl.find_opt t.tables prop with Some tbl -> tbl | None -> build t prop
+  in
+  match Hashtbl.find_opt table value with Some ids -> ids | None -> []
+
+let indexed_props t = Hashtbl.fold (fun k _ acc -> k :: acc) t.tables [] |> List.sort compare
+
+let build_count t = t.builds

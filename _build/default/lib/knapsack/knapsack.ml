@@ -1,0 +1,106 @@
+type item = { id : int; weight : int; value : float }
+
+type solution = { chosen : int list; total_weight : int; total_value : float }
+
+let empty_solution = { chosen = []; total_weight = 0; total_value = 0.0 }
+
+let finish chosen items =
+  let by_id = Hashtbl.create 16 in
+  List.iter (fun it -> Hashtbl.replace by_id it.id it) items;
+  let chosen = List.sort_uniq compare chosen in
+  let total_weight = List.fold_left (fun acc id -> acc + (Hashtbl.find by_id id).weight) 0 chosen in
+  let total_value = List.fold_left (fun acc id -> acc +. (Hashtbl.find by_id id).value) 0.0 chosen in
+  { chosen; total_weight; total_value }
+
+let viable ~capacity items =
+  List.filter (fun it -> it.value > 0.0 && it.weight <= capacity && it.weight >= 0) items
+
+let density it = if it.weight <= 0 then infinity else it.value /. float_of_int it.weight
+
+let by_density items = List.sort (fun a b -> compare (density b) (density a)) items
+
+(* Fractional-relaxation bound for the suffix starting at [idx]. *)
+let fractional_bound sorted idx remaining_cap =
+  let n = Array.length sorted in
+  let rec go i cap acc =
+    if i >= n || cap <= 0 then acc
+    else begin
+      let it = sorted.(i) in
+      if it.weight <= cap then go (i + 1) (cap - it.weight) (acc +. it.value)
+      else acc +. (density it *. float_of_int cap)
+    end
+  in
+  go idx remaining_cap 0.0
+
+let solve_greedy ~capacity items =
+  let items = viable ~capacity items in
+  let sorted = by_density items in
+  let _, chosen =
+    List.fold_left
+      (fun (cap, acc) it -> if it.weight <= cap then (cap - it.weight, it.id :: acc) else (cap, acc))
+      (capacity, []) sorted
+  in
+  finish chosen items
+
+let solve_dp ~capacity items =
+  if capacity < 0 then invalid_arg "Knapsack.solve_dp: negative capacity";
+  let items = viable ~capacity items in
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  (* Full table: best.(i).(w) = best value using items 0..i-1 within
+     weight w. Memory O(n * capacity) — this solver is the testing
+     oracle; selection at scale uses branch and bound. *)
+  let best = Array.make_matrix (n + 1) (capacity + 1) 0.0 in
+  for i = 1 to n do
+    let it = arr.(i - 1) in
+    for w = 0 to capacity do
+      let without = best.(i - 1).(w) in
+      let with_item =
+        if it.weight <= w then best.(i - 1).(w - it.weight) +. it.value else neg_infinity
+      in
+      best.(i).(w) <- Stdlib.max without with_item
+    done
+  done;
+  let chosen = ref [] in
+  let w = ref capacity in
+  for i = n downto 1 do
+    if best.(i).(!w) > best.(i - 1).(!w) then begin
+      chosen := arr.(i - 1).id :: !chosen;
+      w := !w - arr.(i - 1).weight
+    end
+  done;
+  finish !chosen items
+
+exception Done
+
+let solve_branch_and_bound ?(node_limit = 1_000_000) ~capacity items =
+  if capacity < 0 then invalid_arg "Knapsack.solve_branch_and_bound: negative capacity";
+  let items = viable ~capacity items in
+  if items = [] then empty_solution
+  else begin
+    let sorted = Array.of_list (by_density items) in
+    let n = Array.length sorted in
+    let best_value = ref 0.0 in
+    let best_chosen = ref [] in
+    let nodes = ref 0 in
+    (* Depth-first with bound pruning; density order makes the greedy
+       branch first, so good incumbents appear early. *)
+    let rec go i cap value chosen =
+      incr nodes;
+      if !nodes > node_limit then raise Done;
+      if value > !best_value then begin
+        best_value := value;
+        best_chosen := chosen
+      end;
+      if i < n then begin
+        let bound = value +. fractional_bound sorted i cap in
+        if bound > !best_value then begin
+          let it = sorted.(i) in
+          if it.weight <= cap then go (i + 1) (cap - it.weight) (value +. it.value) (it.id :: chosen);
+          go (i + 1) cap value chosen
+        end
+      end
+    in
+    (try go 0 capacity 0.0 [] with Done -> ());
+    finish !best_chosen items
+  end

@@ -1,0 +1,29 @@
+(** 0-1 knapsack solvers, replacing the Google OR-tools
+    branch-and-bound solver the paper uses for view selection (§V-B:
+    items = candidate views, weight = estimated size, value =
+    performance improvement / creation cost, capacity = space
+    budget). *)
+
+type item = { id : int; weight : int; value : float }
+
+type solution = {
+  chosen : int list;  (** Item ids, ascending. *)
+  total_weight : int;
+  total_value : float;
+}
+
+val solve_branch_and_bound : ?node_limit:int -> capacity:int -> item list -> solution
+(** Exact best-first branch and bound with the fractional-relaxation
+    upper bound. [node_limit] (default 1_000_000) caps the search; on
+    hitting the cap the best solution found so far is returned (it is
+    always feasible). Items with non-positive value are never chosen;
+    items heavier than the capacity are skipped. *)
+
+val solve_dp : capacity:int -> item list -> solution
+(** Exact dynamic program, O(n * capacity) — intended for modest
+    capacities and for cross-checking the branch-and-bound solver in
+    tests. *)
+
+val solve_greedy : capacity:int -> item list -> solution
+(** Density-ordered greedy heuristic (the classical lower bound);
+    used as an ablation baseline for the selection experiment. *)

@@ -1,0 +1,1 @@
+lib/prolog/bindings.ml: Array Hashtbl Kaskade_util String Term

@@ -1,0 +1,1 @@
+lib/prolog/bindings.mli: Term

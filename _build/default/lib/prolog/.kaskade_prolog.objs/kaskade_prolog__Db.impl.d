@@ -1,0 +1,1 @@
+lib/prolog/db.ml: Hashtbl List Parser Term

@@ -1,0 +1,1 @@
+lib/prolog/db.mli: Parser Term

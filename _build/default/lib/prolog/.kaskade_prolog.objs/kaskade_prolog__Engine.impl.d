@@ -1,0 +1,1 @@
+lib/prolog/engine.ml: Array Bindings Db Format Hashtbl List Parser Stdlib Term

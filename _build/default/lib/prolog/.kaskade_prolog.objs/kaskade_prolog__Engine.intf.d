@@ -1,0 +1,1 @@
+lib/prolog/engine.mli: Db Term

@@ -1,0 +1,1 @@
+lib/prolog/lexer.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/prolog/parser.ml: Array Format Hashtbl Lexer List String Term

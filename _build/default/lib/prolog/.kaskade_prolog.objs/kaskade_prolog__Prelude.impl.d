@@ -1,0 +1,1 @@
+lib/prolog/prelude.ml: Db Engine

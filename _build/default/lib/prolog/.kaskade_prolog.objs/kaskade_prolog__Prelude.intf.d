@@ -1,0 +1,1 @@
+lib/prolog/prelude.mli: Db Engine

@@ -1,0 +1,1 @@
+lib/prolog/term.mli: Format

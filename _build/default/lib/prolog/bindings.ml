@@ -1,0 +1,62 @@
+type t = {
+  tbl : (int, Term.t) Hashtbl.t;
+  trail : Kaskade_util.Int_vec.t;
+  mutable next_var : int;
+}
+
+let create () = { tbl = Hashtbl.create 256; trail = Kaskade_util.Int_vec.create (); next_var = 0 }
+
+let fresh t =
+  let id = t.next_var in
+  t.next_var <- id + 1;
+  id
+
+let reserve t bound = if bound > t.next_var then t.next_var <- bound
+
+let mark t = Kaskade_util.Int_vec.length t.trail
+
+let undo_to t m =
+  let len = Kaskade_util.Int_vec.length t.trail in
+  for i = len - 1 downto m do
+    Hashtbl.remove t.tbl (Kaskade_util.Int_vec.get t.trail i)
+  done;
+  Kaskade_util.Int_vec.truncate t.trail m
+
+let rec walk t term =
+  match term with
+  | Term.Var i -> begin
+    match Hashtbl.find_opt t.tbl i with Some bound -> walk t bound | None -> term
+  end
+  | _ -> term
+
+let rec resolve t term =
+  match walk t term with
+  | (Term.Atom _ | Term.Int _ | Term.Var _) as r -> r
+  | Term.Compound (f, args) -> Term.Compound (f, Array.map (resolve t) args)
+
+let bind t i term =
+  Hashtbl.replace t.tbl i term;
+  Kaskade_util.Int_vec.push t.trail i
+
+let rec unify t a b =
+  let a = walk t a and b = walk t b in
+  match (a, b) with
+  | Term.Var i, Term.Var j when i = j -> true
+  | Term.Var i, other | other, Term.Var i ->
+    bind t i other;
+    true
+  | Term.Atom x, Term.Atom y -> String.equal x y
+  | Term.Int x, Term.Int y -> x = y
+  | Term.Compound (f, xs), Term.Compound (g, ys) ->
+    String.equal f g
+    && Array.length xs = Array.length ys
+    && begin
+         let ok = ref true in
+         let i = ref 0 in
+         while !ok && !i < Array.length xs do
+           if not (unify t xs.(!i) ys.(!i)) then ok := false;
+           incr i
+         done;
+         !ok
+       end
+  | _ -> false

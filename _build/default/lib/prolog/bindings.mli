@@ -1,0 +1,30 @@
+(** Mutable variable bindings with a trail, so the solver can undo the
+    effects of a failed branch in O(bindings made on that branch). *)
+
+type t
+
+val create : unit -> t
+
+val fresh : t -> int
+(** Allocate a fresh variable id (above every id seen so far). *)
+
+val reserve : t -> int -> unit
+(** Ensure ids below the given bound are never handed out by {!fresh}
+    (call before injecting a parsed term with its own numbering). *)
+
+val mark : t -> int
+(** Current trail position — pass to {!undo_to} to roll back. *)
+
+val undo_to : t -> int -> unit
+
+val walk : t -> Term.t -> Term.t
+(** Chase variable bindings at the top level only. *)
+
+val resolve : t -> Term.t -> Term.t
+(** Deep substitution: replace every bound variable recursively. *)
+
+val unify : t -> Term.t -> Term.t -> bool
+(** Attempt unification, recording new bindings on the trail. On
+    failure the caller must {!undo_to} its mark (partial bindings may
+    remain otherwise). No occurs check — same default as SWI-Prolog,
+    and the Kaskade rule library never builds cyclic terms. *)

@@ -1,0 +1,52 @@
+(** SLD resolution engine with negation-as-failure, cut, if-then-else,
+    arithmetic, and the all-solutions builtins Kaskade's view templates
+    rely on ([findall/3], [setof/3], [between/3], ...). This is the
+    stand-in for SWI-Prolog in the paper's architecture (Fig. 2).
+
+    A step budget guards against runaway recursion: every resolution
+    step decrements it and {!Budget_exceeded} is raised at zero. The
+    step counter is also the measurement used by the constraint-
+    injection ablation (paper §IV claims constraints let the engine
+    "early-stop on branches that do not yield feasible rewritings"). *)
+
+type t
+
+exception Budget_exceeded of int
+(** Carries the configured budget. *)
+
+exception Runtime_error of string
+(** Type errors, unbound goals, bad arithmetic, unknown predicates
+    called in error mode, ... *)
+
+val create : ?step_limit:int -> ?unknown_fails:bool -> Db.t -> t
+(** [create db] builds an engine over the clause database. Default
+    step limit: 50 million. With [unknown_fails] (default [true]),
+    calling an undefined predicate fails silently, as most mining
+    rules expect; otherwise it raises {!Runtime_error}. *)
+
+val db : t -> Db.t
+val steps : t -> int
+(** Resolution steps consumed since creation. *)
+
+val reset_steps : t -> unit
+
+val query :
+  t -> string -> ((string * Term.t) list -> [ `Continue | `Stop ]) -> unit
+(** [query t src f] parses [src] as a goal and calls [f] with the
+    resolved bindings of the goal's named variables, once per
+    solution, until exhaustion or [`Stop]. *)
+
+val all_solutions : t -> string -> (string * Term.t) list list
+(** Every solution's named-variable bindings, in discovery order. *)
+
+val first_solution : t -> string -> (string * Term.t) list option
+
+val holds : t -> string -> bool
+(** True iff the goal has at least one solution. *)
+
+val solve_term :
+  t -> Term.t -> vars:(string * int) list -> ((string * Term.t) list -> [ `Continue | `Stop ]) -> unit
+(** Like {!query} for a pre-parsed goal with its variable map. *)
+
+val consult : t -> string -> unit
+(** Load additional program text into the engine's database. *)

@@ -1,0 +1,156 @@
+type token =
+  | ATOM of string
+  | VAR of string
+  | INT of int
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | BAR
+  | DOT
+  | EOF
+
+exception Lex_error of string * int
+
+let pp_token = function
+  | ATOM s -> Printf.sprintf "atom(%s)" s
+  | VAR s -> Printf.sprintf "var(%s)" s
+  | INT n -> Printf.sprintf "int(%d)" n
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | COMMA -> ","
+  | BAR -> "|"
+  | DOT -> "."
+  | EOF -> "<eof>"
+
+let is_lower c = c >= 'a' && c <= 'z'
+let is_upper c = (c >= 'A' && c <= 'Z') || c = '_'
+let is_digit c = c >= '0' && c <= '9'
+let is_alnum c = is_lower c || is_upper c || is_digit c
+let is_symbol_char c = String.contains "+-*/\\^<>=~:.?@#&$" c
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let emit tok = tokens := tok :: !tokens in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '%' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '/' && peek 1 = Some '*' then begin
+      let start = !i in
+      i := !i + 2;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '*' && peek 1 = Some '/' then begin
+          closed := true;
+          i := !i + 2
+        end
+        else incr i
+      done;
+      if not !closed then raise (Lex_error ("unterminated block comment", start))
+    end
+    else if c = '(' then begin
+      emit LPAREN;
+      incr i
+    end
+    else if c = ')' then begin
+      emit RPAREN;
+      incr i
+    end
+    else if c = '[' then begin
+      emit LBRACKET;
+      incr i
+    end
+    else if c = ']' then begin
+      emit RBRACKET;
+      incr i
+    end
+    else if c = ',' then begin
+      emit COMMA;
+      incr i
+    end
+    else if c = '|' then begin
+      emit BAR;
+      incr i
+    end
+    else if c = '!' then begin
+      emit (ATOM "!");
+      incr i
+    end
+    else if c = ';' then begin
+      emit (ATOM ";");
+      incr i
+    end
+    else if c = '\'' then begin
+      let start = !i in
+      incr i;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '\'' then
+          if peek 1 = Some '\'' then begin
+            Buffer.add_char buf '\'';
+            i := !i + 2
+          end
+          else begin
+            closed := true;
+            incr i
+          end
+        else if src.[!i] = '\\' && !i + 1 < n then begin
+          let esc = src.[!i + 1] in
+          let ch = match esc with 'n' -> '\n' | 't' -> '\t' | '\\' -> '\\' | '\'' -> '\'' | other -> other in
+          Buffer.add_char buf ch;
+          i := !i + 2
+        end
+        else begin
+          Buffer.add_char buf src.[!i];
+          incr i
+        end
+      done;
+      if not !closed then raise (Lex_error ("unterminated quoted atom", start));
+      emit (ATOM (Buffer.contents buf))
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        incr i
+      done;
+      emit (INT (int_of_string (String.sub src start (!i - start))))
+    end
+    else if is_lower c then begin
+      let start = !i in
+      while !i < n && is_alnum src.[!i] do
+        incr i
+      done;
+      emit (ATOM (String.sub src start (!i - start)))
+    end
+    else if is_upper c then begin
+      let start = !i in
+      while !i < n && is_alnum src.[!i] do
+        incr i
+      done;
+      emit (VAR (String.sub src start (!i - start)))
+    end
+    else if is_symbol_char c then begin
+      let start = !i in
+      while !i < n && is_symbol_char src.[!i] do
+        incr i
+      done;
+      let sym = String.sub src start (!i - start) in
+      (* A lone '.' (not part of a longer symbol) terminates a clause. *)
+      if sym = "." then emit DOT else emit (ATOM sym)
+    end
+    else raise (Lex_error (Printf.sprintf "unexpected character %C" c, !i))
+  done;
+  emit EOF;
+  List.rev !tokens

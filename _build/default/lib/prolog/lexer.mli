@@ -1,0 +1,23 @@
+(** Tokenizer for ISO-flavoured Prolog source (the syntax of the
+    paper's Listings 2, 3, 5 and 6). Supports [%] line comments and
+    [/* ... */] block comments, quoted atoms, integers, named
+    variables, and symbolic operators. *)
+
+type token =
+  | ATOM of string     (* foo, 'Job', + , =< , ... *)
+  | VAR of string      (* X, _Trail, _ *)
+  | INT of int
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | BAR
+  | DOT                (* end of clause *)
+  | EOF
+
+exception Lex_error of string * int
+(** Message and (0-based) position in the input. *)
+
+val tokenize : string -> token list
+val pp_token : token -> string

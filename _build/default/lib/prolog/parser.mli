@@ -1,0 +1,30 @@
+(** Operator-precedence parser for Prolog terms and programs.
+
+    Handles the standard operator table (clause neck [:-], control
+    [;], [->], [,], negation [\+], comparison/arithmetic operators),
+    compound terms, and list syntax — enough to parse the paper's
+    constraint-mining rules and view templates verbatim. *)
+
+exception Parse_error of string
+
+type clause = {
+  head : Term.t;
+  body : Term.t;  (** [Atom "true"] for facts. *)
+  nvars : int;  (** Number of distinct variables; ids are [0..nvars-1]. *)
+}
+
+val parse_term : string -> Term.t * (string * int) list
+(** Parse a single term (no trailing dot required); also returns the
+    variable-name -> id mapping so callers can report bindings by
+    name. Underscore variables are anonymous (each occurrence fresh)
+    and omitted from the mapping. *)
+
+val parse_program : string -> clause list
+(** Parse a sequence of dot-terminated clauses. A term [H :- B] yields
+    head/body; any other term is a fact. *)
+
+val parse_query : string -> Term.t * (string * int) list
+(** Like {!parse_term} but tolerates a trailing dot. *)
+
+val clause_of_term : Term.t -> clause
+(** Split a (already-numbered) term into head/body. *)

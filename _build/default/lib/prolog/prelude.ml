@@ -1,0 +1,88 @@
+let source =
+  {|
+% ---- list predicates -------------------------------------------------
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+
+memberchk(X, L) :- member(X, L), !.
+
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+
+reverse(L, R) :- reverse_acc(L, [], R).
+reverse_acc([], Acc, Acc).
+reverse_acc([H|T], Acc, R) :- reverse_acc(T, [H|Acc], R).
+
+last([X], X).
+last([_|T], X) :- last(T, X).
+
+nth0(0, [X|_], X).
+nth0(N, [_|T], X) :- N > 0, N1 is N - 1, nth0(N1, T, X).
+
+nth1(N, L, X) :- N >= 1, N0 is N - 1, nth0(N0, L, X).
+
+sum_list([], 0).
+sum_list([H|T], S) :- sum_list(T, S1), S is S1 + H.
+
+max_list([X], X).
+max_list([H|T], M) :- max_list(T, M1), M is max(H, M1).
+
+min_list([X], X).
+min_list([H|T], M) :- min_list(T, M1), M is min(H, M1).
+
+numlist(L, H, [L]) :- L =:= H.
+numlist(L, H, [L|T]) :- L < H, L1 is L + 1, numlist(L1, H, T).
+
+select(X, [X|T], T).
+select(X, [H|T], [H|R]) :- select(X, T, R).
+
+subtract([], _, []).
+subtract([H|T], L, R) :- memberchk(H, L), subtract(T, L, R).
+subtract([H|T], L, [H|R]) :- \+ memberchk(H, L), subtract(T, L, R).
+
+intersection([], _, []).
+intersection([H|T], L, [H|R]) :- memberchk(H, L), intersection(T, L, R).
+intersection([H|T], L, R) :- \+ memberchk(H, L), intersection(T, L, R).
+
+union([], L, L).
+union([H|T], L, R) :- memberchk(H, L), union(T, L, R).
+union([H|T], L, [H|R]) :- \+ memberchk(H, L), union(T, L, R).
+
+exclude(_, [], []).
+exclude(G, [H|T], R) :- exclude(G, T, R1), ( call(G, H) -> R = R1 ; R = [H|R1] ).
+
+include(_, [], []).
+include(G, [H|T], R) :- include(G, T, R1), ( call(G, H) -> R = [H|R1] ; R = R1 ).
+
+% ---- higher-order ----------------------------------------------------
+maplist(_, []).
+maplist(G, [H|T]) :- call(G, H), maplist(G, T).
+
+maplist(_, [], []).
+maplist(G, [X|Xs], [Y|Ys]) :- call(G, X, Y), maplist(G, Xs, Ys).
+
+maplist(_, [], [], []).
+maplist(G, [X|Xs], [Y|Ys], [Z|Zs]) :- call(G, X, Y, Z), maplist(G, Xs, Ys, Zs).
+
+foldl(_, [], Acc, Acc).
+foldl(G, [X|Xs], Acc0, Acc) :- call(G, X, Acc0, Acc1), foldl(G, Xs, Acc1, Acc).
+
+foldl(_, [], [], Acc, Acc).
+foldl(G, [X|Xs], [Y|Ys], Acc0, Acc) :- call(G, X, Y, Acc0, Acc1), foldl(G, Xs, Ys, Acc1, Acc).
+
+% convlist(G, In, Out): map with G, dropping elements on which G fails.
+convlist(_, [], []).
+convlist(G, [X|Xs], Out) :-
+  convlist(G, Xs, Rest),
+  ( call(G, X, Y) -> Out = [Y|Rest] ; Out = Rest ).
+
+% ---- misc ------------------------------------------------------------
+succ_or_zero(N) :- N >= 0.
+|}
+
+let db_with_prelude () =
+  let db = Db.create () in
+  Db.load db source;
+  db
+
+let engine () = Engine.create (db_with_prelude ())

@@ -1,0 +1,13 @@
+(** Library predicates written in Prolog itself ([member/2],
+    [append/3], [foldl/4..6], [convlist/3], ...), mirroring the subset
+    of the SWI-Prolog library that the paper's constraint-mining rules
+    and view templates use (Listings 2, 3, 5, 6). *)
+
+val source : string
+(** Program text; load with [Db.load] or [Engine.consult]. *)
+
+val db_with_prelude : unit -> Db.t
+(** Fresh clause database pre-loaded with {!source}. *)
+
+val engine : unit -> Engine.t
+(** Fresh engine over {!db_with_prelude}. *)

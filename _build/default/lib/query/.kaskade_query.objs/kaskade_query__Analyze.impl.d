@@ -1,0 +1,1 @@
+lib/query/analyze.ml: Ast Format Hashtbl Kaskade_graph List Printf Schema

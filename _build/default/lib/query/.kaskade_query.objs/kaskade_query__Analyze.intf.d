@@ -1,0 +1,1 @@
+lib/query/analyze.mli: Ast Kaskade_graph

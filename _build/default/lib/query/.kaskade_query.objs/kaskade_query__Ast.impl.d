@@ -1,0 +1,1 @@
+lib/query/ast.ml: Kaskade_graph List Printf

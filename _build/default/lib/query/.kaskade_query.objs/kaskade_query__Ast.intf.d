@@ -1,0 +1,1 @@
+lib/query/ast.mli: Kaskade_graph

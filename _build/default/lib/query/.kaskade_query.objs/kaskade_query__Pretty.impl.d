@@ -1,0 +1,1 @@
+lib/query/pretty.ml: Ast Buffer Kaskade_graph List Option Printf String

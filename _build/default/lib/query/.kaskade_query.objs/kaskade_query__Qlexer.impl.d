@@ -1,0 +1,1 @@
+lib/query/qlexer.ml: Buffer List Printf String

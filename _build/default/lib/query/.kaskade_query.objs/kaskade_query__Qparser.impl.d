@@ -1,0 +1,1 @@
+lib/query/qparser.ml: Ast Format Kaskade_graph List Qlexer String

@@ -1,0 +1,1 @@
+lib/query/qparser.mli: Ast

@@ -1,0 +1,27 @@
+(** Semantic analysis of a query against a graph schema: label
+    existence, domain/range compatibility of edge patterns, consistent
+    variable usage — plus the typed pattern summary that Kaskade's
+    constraint miner turns into Prolog facts (paper §IV-A1). *)
+
+exception Semantic_error of string
+
+type summary = {
+  vertex_types : (string * string) list;
+      (** Pattern variable -> vertex type, declared or inferred from
+          adjacent edge labels. Variables whose type cannot be pinned
+          down are absent. *)
+  edges : (string * string * string option) list;
+      (** Single-hop pattern edges as (src_var, dst_var, edge_type),
+          normalized to forward direction. *)
+  var_length_paths : (string * string * int * int) list;
+      (** (src_var, dst_var, lo, hi) for every variable-length pattern
+          edge, normalized to forward direction. *)
+  returned_vars : string list;
+      (** Vertex variables projected out of the innermost MATCH. *)
+}
+
+val check : Kaskade_graph.Schema.t -> Ast.t -> summary
+(** Validate and summarize; raises {!Semantic_error} with a readable
+    message on the first violation. *)
+
+val infer_vertex_type : summary -> string -> string option

@@ -1,0 +1,117 @@
+type node_pat = { n_var : string option; n_label : string option }
+
+type edge_len = Single | Var_length of int * int
+
+type edge_dir = Fwd | Bwd
+
+type edge_pat = {
+  e_var : string option;
+  e_label : string option;
+  e_len : edge_len;
+  e_dir : edge_dir;
+}
+
+type pattern = { p_start : node_pat; p_steps : (edge_pat * node_pat) list }
+
+type binop = Add | Sub | Mul | Div | Eq | Ne | Lt | Le | Gt | Ge | And | Or
+type unop = Neg | Not
+type agg = Sum | Avg | Min | Max | Count
+
+type expr =
+  | Var of string
+  | Prop of string * string
+  | Lit of Kaskade_graph.Value.t
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Agg of agg * expr
+  | Count_star
+
+type select_item = { item_expr : expr; alias : string option }
+
+type match_block = { patterns : pattern list; m_where : expr option; returns : select_item list }
+
+type sort_dir = Asc | Desc
+
+type source = From_match of match_block | From_select of select_block
+
+and select_block = {
+  distinct : bool;
+  items : select_item list;
+  from : source;
+  s_where : expr option;
+  group_by : expr list;
+  order_by : (expr * sort_dir) list;
+  limit : int option;
+}
+
+type proc_call = { proc : string; proc_args : Kaskade_graph.Value.t list }
+
+type t = Select of select_block | Match_only of match_block | Call of proc_call
+
+let binop_symbol = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "AND"
+  | Or -> "OR"
+
+let agg_name = function Sum -> "SUM" | Avg -> "AVG" | Min -> "MIN" | Max -> "MAX" | Count -> "COUNT"
+
+let rec expr_to_string = function
+  | Var v -> v
+  | Prop (v, p) -> v ^ "." ^ p
+  | Lit (Kaskade_graph.Value.Str s) -> "'" ^ s ^ "'"
+  | Lit v -> Kaskade_graph.Value.to_string v
+  | Binop (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr_to_string a) (binop_symbol op) (expr_to_string b)
+  | Unop (Neg, e) -> "(-" ^ expr_to_string e ^ ")"
+  | Unop (Not, e) -> "(NOT " ^ expr_to_string e ^ ")"
+  | Agg (a, e) -> Printf.sprintf "%s(%s)" (agg_name a) (expr_to_string e)
+  | Count_star -> "COUNT(*)"
+
+let item_name i item =
+  match item.alias with
+  | Some a -> a
+  | None -> begin
+    match item.item_expr with
+    | Var v -> v
+    | Prop (v, p) -> v ^ "." ^ p
+    | _ -> Printf.sprintf "col%d" i
+  end
+
+let rec has_aggregate = function
+  | Agg _ | Count_star -> true
+  | Binop (_, a, b) -> has_aggregate a || has_aggregate b
+  | Unop (_, e) -> has_aggregate e
+  | Var _ | Prop _ | Lit _ -> false
+
+let rec map_block f (mb : match_block) = { mb with patterns = List.map f mb.patterns }
+
+and map_source f = function
+  | From_match mb -> From_match (map_block f mb)
+  | From_select sb -> From_select (map_select f sb)
+
+and map_select f (sb : select_block) = { sb with from = map_source f sb.from }
+
+let map_patterns f = function
+  | Select sb -> Select (map_select f sb)
+  | Match_only mb -> Match_only (map_block f mb)
+  | Call c -> Call c
+
+let rec blocks_of_source = function
+  | From_match mb -> [ mb ]
+  | From_select sb -> blocks_of_source sb.from
+
+let match_blocks_of = function
+  | Select sb -> blocks_of_source sb.from
+  | Match_only mb -> [ mb ]
+  | Call _ -> []
+
+let patterns_of q = List.concat_map (fun mb -> mb.patterns) (match_blocks_of q)

@@ -1,0 +1,83 @@
+(** Abstract syntax of Kaskade's hybrid query language (paper §III-B):
+    Cypher graph patterns for path traversals wrapped in SQL-ish
+    relational constructs (SELECT / WHERE / GROUP BY) for filtering
+    and aggregation, plus CALL statements for the analytics procedures
+    the paper drives through APOC (Q7). *)
+
+type node_pat = {
+  n_var : string option;  (** Binding variable, e.g. [q_j1]. *)
+  n_label : string option;  (** Vertex type, e.g. [Job]. *)
+}
+
+type edge_len =
+  | Single
+  | Var_length of int * int  (** [*lo..hi] — the paper's [-\[r*0..8\]->]. *)
+
+type edge_dir = Fwd | Bwd
+
+type edge_pat = {
+  e_var : string option;
+  e_label : string option;  (** Edge type, e.g. [WRITES_TO]. *)
+  e_len : edge_len;
+  e_dir : edge_dir;
+}
+
+type pattern = { p_start : node_pat; p_steps : (edge_pat * node_pat) list }
+
+type binop = Add | Sub | Mul | Div | Eq | Ne | Lt | Le | Gt | Ge | And | Or
+type unop = Neg | Not
+type agg = Sum | Avg | Min | Max | Count
+
+type expr =
+  | Var of string
+  | Prop of string * string  (** [a.prop] *)
+  | Lit of Kaskade_graph.Value.t
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Agg of agg * expr
+  | Count_star
+
+type select_item = { item_expr : expr; alias : string option }
+
+type match_block = {
+  patterns : pattern list;
+  m_where : expr option;
+  returns : select_item list;
+}
+
+type sort_dir = Asc | Desc
+
+type source = From_match of match_block | From_select of select_block
+
+and select_block = {
+  distinct : bool;
+  items : select_item list;
+  from : source;
+  s_where : expr option;
+  group_by : expr list;
+  order_by : (expr * sort_dir) list;
+  limit : int option;
+}
+
+type proc_call = { proc : string; proc_args : Kaskade_graph.Value.t list }
+
+type t =
+  | Select of select_block
+  | Match_only of match_block
+  | Call of proc_call
+
+val item_name : int -> select_item -> string
+(** Output column name: the alias if given, otherwise a readable
+    rendering of the expression; [int] is the column position used
+    for fallback names. *)
+
+val expr_to_string : expr -> string
+val has_aggregate : expr -> bool
+val map_patterns : (pattern -> pattern) -> t -> t
+(** Rewrite every MATCH pattern in place (used by the view-based query
+    rewriter). *)
+
+val patterns_of : t -> pattern list
+(** All patterns of the outermost MATCH block(s), depth-first. *)
+
+val match_blocks_of : t -> match_block list

@@ -1,0 +1,93 @@
+let node_to_string (n : Ast.node_pat) =
+  match (n.n_var, n.n_label) with
+  | Some v, Some l -> Printf.sprintf "(%s:%s)" v l
+  | Some v, None -> Printf.sprintf "(%s)" v
+  | None, Some l -> Printf.sprintf "(:%s)" l
+  | None, None -> "()"
+
+let edge_to_string (e : Ast.edge_pat) =
+  let body =
+    let var = Option.value e.e_var ~default:"" in
+    let label = match e.e_label with Some l -> ":" ^ l | None -> "" in
+    let len =
+      match e.e_len with
+      | Ast.Single -> ""
+      | Ast.Var_length (_, hi) when hi = max_int -> "*"
+      | Ast.Var_length (lo, hi) when lo = hi -> Printf.sprintf "*%d" lo
+      | Ast.Var_length (lo, hi) -> Printf.sprintf "*%d..%d" lo hi
+    in
+    var ^ label ^ len
+  in
+  match e.e_dir with
+  | Ast.Fwd -> Printf.sprintf "-[%s]->" body
+  | Ast.Bwd -> Printf.sprintf "<-[%s]-" body
+
+let pattern_to_string (p : Ast.pattern) =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (node_to_string p.p_start);
+  List.iter
+    (fun (e, n) ->
+      Buffer.add_string buf (edge_to_string e);
+      Buffer.add_string buf (node_to_string n))
+    p.p_steps;
+  Buffer.contents buf
+
+let item_to_string (it : Ast.select_item) =
+  match it.alias with
+  | Some a when a = "*" -> "*"
+  | Some a -> Ast.expr_to_string it.item_expr ^ " AS " ^ a
+  | None -> Ast.expr_to_string it.item_expr
+
+let items_to_string items = String.concat ", " (List.map item_to_string items)
+
+let match_to_string (mb : Ast.match_block) =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "MATCH ";
+  Buffer.add_string buf (String.concat ", " (List.map pattern_to_string mb.patterns));
+  (match mb.m_where with
+  | Some e -> Buffer.add_string buf (" WHERE " ^ Ast.expr_to_string e)
+  | None -> ());
+  Buffer.add_string buf (" RETURN " ^ items_to_string mb.returns);
+  Buffer.contents buf
+
+let rec select_to_string (sb : Ast.select_block) =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    ("SELECT " ^ (if sb.Ast.distinct then "DISTINCT " else "") ^ items_to_string sb.items ^ " FROM (");
+  (match sb.from with
+  | Ast.From_match mb -> Buffer.add_string buf (match_to_string mb)
+  | Ast.From_select inner -> Buffer.add_string buf (select_to_string inner));
+  Buffer.add_string buf ")";
+  (match sb.s_where with
+  | Some e -> Buffer.add_string buf (" WHERE " ^ Ast.expr_to_string e)
+  | None -> ());
+  (match sb.group_by with
+  | [] -> ()
+  | gs -> Buffer.add_string buf (" GROUP BY " ^ String.concat ", " (List.map Ast.expr_to_string gs)));
+  (match sb.order_by with
+  | [] -> ()
+  | os ->
+    Buffer.add_string buf
+      (" ORDER BY "
+      ^ String.concat ", "
+          (List.map
+             (fun (e, dir) ->
+               Ast.expr_to_string e ^ (match dir with Ast.Asc -> "" | Ast.Desc -> " DESC"))
+             os)));
+  (match sb.limit with
+  | Some n -> Buffer.add_string buf (" LIMIT " ^ string_of_int n)
+  | None -> ());
+  Buffer.contents buf
+
+let to_string = function
+  | Ast.Select sb -> select_to_string sb
+  | Ast.Match_only mb -> match_to_string mb
+  | Ast.Call c ->
+    Printf.sprintf "CALL %s(%s)" c.proc
+      (String.concat ", "
+         (List.map
+            (fun v ->
+              match v with
+              | Kaskade_graph.Value.Str s -> "'" ^ s ^ "'"
+              | other -> Kaskade_graph.Value.to_string other)
+            c.proc_args))

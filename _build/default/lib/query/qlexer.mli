@@ -1,0 +1,24 @@
+(** Tokenizer for the hybrid query language. Keywords are recognized
+    case-insensitively; identifiers keep their case (vertex/edge type
+    names are case-sensitive, matching Cypher). *)
+
+type token =
+  | IDENT of string
+  | KEYWORD of string  (** Uppercased: SELECT, MATCH, WHERE, ... *)
+  | INT_LIT of int
+  | FLOAT_LIT of float
+  | STRING_LIT of string
+  | LPAREN | RPAREN
+  | LBRACKET | RBRACKET
+  | COMMA | DOT | COLON | STAR | DOTDOT
+  | ARROW_RIGHT      (** [->] *)
+  | DASH             (** [-] *)
+  | LEFT_ARROW_DASH  (** [<-] *)
+  | PLUS | SLASH
+  | EQ | NE | LT | LE | GT | GE
+  | EOF
+
+exception Lex_error of string * int
+
+val tokenize : string -> token list
+val pp_token : token -> string

@@ -1,0 +1,473 @@
+open Qlexer
+
+exception Parse_error of string
+
+type state = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> EOF | t :: _ -> t
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+let expect st tok =
+  if peek st = tok then advance st
+  else fail "expected %s, found %s" (pp_token tok) (pp_token (peek st))
+
+let expect_keyword st kw =
+  match peek st with
+  | KEYWORD k when k = kw -> advance st
+  | t -> fail "expected %s, found %s" kw (pp_token t)
+
+let ident st =
+  match peek st with
+  | IDENT s ->
+    advance st;
+    s
+  | t -> fail "expected identifier, found %s" (pp_token t)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+
+let rec parse_expr_prec st = parse_or st
+
+and parse_or st =
+  let left = parse_and st in
+  match peek st with
+  | KEYWORD "OR" ->
+    advance st;
+    Ast.Binop (Ast.Or, left, parse_or st)
+  | _ -> left
+
+and parse_and st =
+  let left = parse_not st in
+  match peek st with
+  | KEYWORD "AND" ->
+    advance st;
+    Ast.Binop (Ast.And, left, parse_and st)
+  | _ -> left
+
+and parse_not st =
+  match peek st with
+  | KEYWORD "NOT" ->
+    advance st;
+    Ast.Unop (Ast.Not, parse_not st)
+  | _ -> parse_cmp st
+
+and parse_cmp st =
+  let left = parse_add st in
+  let op =
+    match peek st with
+    | EQ -> Some Ast.Eq
+    | NE -> Some Ast.Ne
+    | LT -> Some Ast.Lt
+    | LE -> Some Ast.Le
+    | GT -> Some Ast.Gt
+    | GE -> Some Ast.Ge
+    | _ -> None
+  in
+  match op with
+  | Some op ->
+    advance st;
+    Ast.Binop (op, left, parse_add st)
+  | None -> left
+
+and parse_add st =
+  let rec loop left =
+    match peek st with
+    | PLUS ->
+      advance st;
+      loop (Ast.Binop (Ast.Add, left, parse_mul st))
+    | DASH ->
+      advance st;
+      loop (Ast.Binop (Ast.Sub, left, parse_mul st))
+    | _ -> left
+  in
+  loop (parse_mul st)
+
+and parse_mul st =
+  let rec loop left =
+    match peek st with
+    | STAR ->
+      advance st;
+      loop (Ast.Binop (Ast.Mul, left, parse_unary st))
+    | SLASH ->
+      advance st;
+      loop (Ast.Binop (Ast.Div, left, parse_unary st))
+    | _ -> left
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | DASH ->
+    advance st;
+    Ast.Unop (Ast.Neg, parse_unary st)
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | INT_LIT n ->
+    advance st;
+    Ast.Lit (Kaskade_graph.Value.Int n)
+  | FLOAT_LIT f ->
+    advance st;
+    Ast.Lit (Kaskade_graph.Value.Float f)
+  | STRING_LIT s ->
+    advance st;
+    Ast.Lit (Kaskade_graph.Value.Str s)
+  | KEYWORD "TRUE" ->
+    advance st;
+    Ast.Lit (Kaskade_graph.Value.Bool true)
+  | KEYWORD "FALSE" ->
+    advance st;
+    Ast.Lit (Kaskade_graph.Value.Bool false)
+  | KEYWORD "NULL" ->
+    advance st;
+    Ast.Lit Kaskade_graph.Value.Null
+  | KEYWORD ("SUM" | "AVG" | "MIN" | "MAX" | "COUNT") -> parse_agg st
+  | LPAREN ->
+    advance st;
+    let e = parse_expr_prec st in
+    expect st RPAREN;
+    e
+  | IDENT name ->
+    advance st;
+    if peek st = DOT then begin
+      advance st;
+      let prop = ident st in
+      Ast.Prop (name, prop)
+    end
+    else Ast.Var name
+  | t -> fail "unexpected token in expression: %s" (pp_token t)
+
+and parse_agg st =
+  let kind =
+    match peek st with
+    | KEYWORD "SUM" -> Ast.Sum
+    | KEYWORD "AVG" -> Ast.Avg
+    | KEYWORD "MIN" -> Ast.Min
+    | KEYWORD "MAX" -> Ast.Max
+    | KEYWORD "COUNT" -> Ast.Count
+    | t -> fail "expected aggregate, found %s" (pp_token t)
+  in
+  advance st;
+  expect st LPAREN;
+  if kind = Ast.Count && peek st = STAR then begin
+    advance st;
+    expect st RPAREN;
+    Ast.Count_star
+  end
+  else begin
+    let e = parse_expr_prec st in
+    expect st RPAREN;
+    Ast.Agg (kind, e)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Patterns                                                            *)
+
+let parse_node st =
+  expect st LPAREN;
+  let n_var =
+    match peek st with
+    | IDENT v ->
+      advance st;
+      Some v
+    | _ -> None
+  in
+  let n_label =
+    if peek st = COLON then begin
+      advance st;
+      Some (ident st)
+    end
+    else None
+  in
+  expect st RPAREN;
+  { Ast.n_var; n_label }
+
+let parse_var_length st =
+  (* Already past '*'. Forms: '*', '*k', '*lo..hi'. *)
+  match peek st with
+  | INT_LIT lo -> begin
+    advance st;
+    match peek st with
+    | DOTDOT -> begin
+      advance st;
+      match peek st with
+      | INT_LIT hi ->
+        advance st;
+        Ast.Var_length (lo, hi)
+      | t -> fail "expected upper bound after '..', found %s" (pp_token t)
+    end
+    | _ -> Ast.Var_length (lo, lo)
+  end
+  | _ -> Ast.Var_length (1, max_int)
+
+let parse_edge_body st =
+  expect st LBRACKET;
+  let e_var =
+    match peek st with
+    | IDENT v ->
+      advance st;
+      Some v
+    | _ -> None
+  in
+  let e_label =
+    if peek st = COLON then begin
+      advance st;
+      Some (ident st)
+    end
+    else None
+  in
+  let e_len =
+    if peek st = STAR then begin
+      advance st;
+      parse_var_length st
+    end
+    else Ast.Single
+  in
+  expect st RBRACKET;
+  (e_var, e_label, e_len)
+
+let parse_edge st =
+  match peek st with
+  | DASH -> begin
+    advance st;
+    let e_var, e_label, e_len = parse_edge_body st in
+    match peek st with
+    | ARROW_RIGHT ->
+      advance st;
+      { Ast.e_var; e_label; e_len; e_dir = Ast.Fwd }
+    | DASH ->
+      (* -[..]- undirected: treat as forward (our generators mirror
+         edges when both directions are meaningful). *)
+      advance st;
+      { Ast.e_var; e_label; e_len; e_dir = Ast.Fwd }
+    | t -> fail "expected -> after edge, found %s" (pp_token t)
+  end
+  | LEFT_ARROW_DASH -> begin
+    advance st;
+    let e_var, e_label, e_len = parse_edge_body st in
+    match peek st with
+    | DASH ->
+      advance st;
+      { Ast.e_var; e_label; e_len; e_dir = Ast.Bwd }
+    | t -> fail "expected - after <-[..], found %s" (pp_token t)
+  end
+  | t -> fail "expected edge pattern, found %s" (pp_token t)
+
+let parse_pattern st =
+  let start = parse_node st in
+  let rec steps acc =
+    match peek st with
+    | DASH | LEFT_ARROW_DASH ->
+      let e = parse_edge st in
+      let n = parse_node st in
+      steps ((e, n) :: acc)
+    | _ -> List.rev acc
+  in
+  { Ast.p_start = start; p_steps = steps [] }
+
+let parse_patterns st =
+  let first = parse_pattern st in
+  let rec more acc =
+    match peek st with
+    | COMMA ->
+      advance st;
+      more (parse_pattern st :: acc)
+    | LPAREN -> more (parse_pattern st :: acc)  (* juxtaposed patterns *)
+    | _ -> List.rev acc
+  in
+  more [ first ]
+
+(* ------------------------------------------------------------------ *)
+(* Blocks                                                              *)
+
+let parse_select_item st =
+  if peek st = STAR then begin
+    advance st;
+    { Ast.item_expr = Ast.Count_star; alias = Some "*" }
+  end
+  else begin
+    let e = parse_expr_prec st in
+    let alias =
+      match peek st with
+      | KEYWORD "AS" ->
+        advance st;
+        Some (ident st)
+      | _ -> None
+    in
+    { Ast.item_expr = e; alias }
+  end
+
+let parse_items st =
+  let first = parse_select_item st in
+  let rec more acc =
+    match peek st with
+    | COMMA ->
+      advance st;
+      more (parse_select_item st :: acc)
+    | _ -> List.rev acc
+  in
+  more [ first ]
+
+let rec parse_match_block st =
+  expect_keyword st "MATCH";
+  let patterns = parse_patterns st in
+  let m_where =
+    match peek st with
+    | KEYWORD "WHERE" ->
+      advance st;
+      Some (parse_expr_prec st)
+    | _ -> None
+  in
+  expect_keyword st "RETURN";
+  let returns = parse_items st in
+  { Ast.patterns; m_where; returns }
+
+and parse_select_block st =
+  expect_keyword st "SELECT";
+  let distinct =
+    match peek st with
+    | KEYWORD "DISTINCT" ->
+      advance st;
+      true
+    | _ -> false
+  in
+  let items = parse_items st in
+  expect_keyword st "FROM";
+  expect st LPAREN;
+  let from =
+    match peek st with
+    | KEYWORD "SELECT" -> Ast.From_select (parse_select_block st)
+    | KEYWORD "MATCH" -> Ast.From_match (parse_match_block st)
+    | t -> fail "expected SELECT or MATCH in FROM, found %s" (pp_token t)
+  in
+  expect st RPAREN;
+  let s_where =
+    match peek st with
+    | KEYWORD "WHERE" ->
+      advance st;
+      Some (parse_expr_prec st)
+    | _ -> None
+  in
+  let group_by =
+    match peek st with
+    | KEYWORD "GROUP" ->
+      advance st;
+      expect_keyword st "BY";
+      let first = parse_expr_prec st in
+      let rec more acc =
+        match peek st with
+        | COMMA ->
+          advance st;
+          more (parse_expr_prec st :: acc)
+        | _ -> List.rev acc
+      in
+      more [ first ]
+    | _ -> []
+  in
+  let order_by =
+    match peek st with
+    | KEYWORD "ORDER" ->
+      advance st;
+      expect_keyword st "BY";
+      let order_item () =
+        let e = parse_expr_prec st in
+        match peek st with
+        | IDENT d when String.uppercase_ascii d = "DESC" ->
+          advance st;
+          (e, Ast.Desc)
+        | IDENT a when String.uppercase_ascii a = "ASC" ->
+          advance st;
+          (e, Ast.Asc)
+        | _ -> (e, Ast.Asc)
+      in
+      let first = order_item () in
+      let rec more acc =
+        match peek st with
+        | COMMA ->
+          advance st;
+          more (order_item () :: acc)
+        | _ -> List.rev acc
+      in
+      more [ first ]
+    | _ -> []
+  in
+  let limit =
+    match peek st with
+    | KEYWORD "LIMIT" -> begin
+      advance st;
+      match peek st with
+      | INT_LIT n ->
+        advance st;
+        Some n
+      | t -> fail "expected integer after LIMIT, found %s" (pp_token t)
+    end
+    | _ -> None
+  in
+  { Ast.distinct; items; from; s_where; group_by; order_by; limit }
+
+let parse_call st =
+  expect_keyword st "CALL";
+  let name = ident st in
+  (* Dotted procedure names: algo.labelPropagation *)
+  let name =
+    if peek st = DOT then begin
+      advance st;
+      name ^ "." ^ ident st
+    end
+    else name
+  in
+  expect st LPAREN;
+  let args =
+    if peek st = RPAREN then []
+    else begin
+      let lit () =
+        match peek st with
+        | INT_LIT n ->
+          advance st;
+          Kaskade_graph.Value.Int n
+        | FLOAT_LIT f ->
+          advance st;
+          Kaskade_graph.Value.Float f
+        | STRING_LIT s ->
+          advance st;
+          Kaskade_graph.Value.Str s
+        | t -> fail "expected literal argument in CALL, found %s" (pp_token t)
+      in
+      let first = lit () in
+      let rec more acc =
+        match peek st with
+        | COMMA ->
+          advance st;
+          more (lit () :: acc)
+        | _ -> List.rev acc
+      in
+      more [ first ]
+    end
+  in
+  expect st RPAREN;
+  { Ast.proc = name; proc_args = args }
+
+let parse src =
+  let st = { toks = Qlexer.tokenize src } in
+  let q =
+    match peek st with
+    | KEYWORD "SELECT" -> Ast.Select (parse_select_block st)
+    | KEYWORD "MATCH" -> Ast.Match_only (parse_match_block st)
+    | KEYWORD "CALL" -> Ast.Call (parse_call st)
+    | t -> fail "query must start with SELECT, MATCH or CALL; found %s" (pp_token t)
+  in
+  (match peek st with
+  | EOF -> ()
+  | t -> fail "trailing input after query: %s" (pp_token t));
+  q
+
+let parse_expr src =
+  let st = { toks = Qlexer.tokenize src } in
+  let e = parse_expr_prec st in
+  (match peek st with
+  | EOF -> ()
+  | t -> fail "trailing input after expression: %s" (pp_token t));
+  e

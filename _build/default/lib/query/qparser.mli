@@ -1,0 +1,10 @@
+(** Recursive-descent parser for the hybrid query language. Accepts
+    the paper's Listing 1/4 style: SQL SELECT blocks whose FROM source
+    is either a nested SELECT or a Cypher MATCH block; patterns inside
+    a MATCH may be separated by commas or juxtaposed. *)
+
+exception Parse_error of string
+
+val parse : string -> Ast.t
+val parse_expr : string -> Ast.expr
+(** For tests. *)

@@ -1,0 +1,54 @@
+type 'a t = { mutable data : (float * 'a) array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+let is_empty t = t.len = 0
+let size t = t.len
+
+let swap t i j =
+  let tmp = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if fst t.data.(i) < fst t.data.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.len && fst t.data.(l) < fst t.data.(!smallest) then smallest := l;
+  if r < t.len && fst t.data.(r) < fst t.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t prio v =
+  if t.len = Array.length t.data then begin
+    let cap = Stdlib.max 16 (2 * Array.length t.data) in
+    let data = Array.make cap (prio, v) in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end;
+  t.data.(t.len) <- (prio, v);
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.data.(0) <- t.data.(t.len);
+      sift_down t 0
+    end;
+    Some top
+  end
+
+let peek t = if t.len = 0 then None else Some t.data.(0)

@@ -1,0 +1,17 @@
+(** Binary min-heap keyed by float priority, used by the
+    branch-and-bound knapsack solver (best-first search) and by
+    weighted traversals. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> float -> 'a -> unit
+(** [push h priority value]. Lower priority pops first. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Removes and returns the minimum, or [None] when empty. *)
+
+val peek : 'a t -> (float * 'a) option

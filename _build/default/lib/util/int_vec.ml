@@ -1,0 +1,46 @@
+type t = { mutable data : int array; mutable len : int }
+
+let create ?(capacity = 16) () = { data = Array.make (Stdlib.max 1 capacity) 0; len = 0 }
+
+let length t = t.len
+
+let grow t =
+  let cap = Array.length t.data in
+  let data = Array.make (2 * cap) 0 in
+  Array.blit t.data 0 data 0 t.len;
+  t.data <- data
+
+let push t x =
+  if t.len = Array.length t.data then grow t;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let check t i name = if i < 0 || i >= t.len then invalid_arg ("Int_vec." ^ name ^ ": index out of bounds")
+
+let get t i =
+  check t i "get";
+  t.data.(i)
+
+let set t i x =
+  check t i "set";
+  t.data.(i) <- x
+
+let clear t = t.len <- 0
+
+let truncate t n =
+  if n < 0 || n > t.len then invalid_arg "Int_vec.truncate: bad length";
+  t.len <- n
+
+let to_array t = Array.sub t.data 0 t.len
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let of_array a = { data = (if Array.length a = 0 then Array.make 1 0 else Array.copy a); len = Array.length a }
+
+let sort_in_place t =
+  let a = to_array t in
+  Array.sort compare a;
+  Array.blit a 0 t.data 0 t.len

@@ -1,0 +1,25 @@
+(** Growable array of ints — the workhorse buffer for building CSR
+    adjacency (amortized O(1) push, contiguous storage). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val length : t -> int
+val push : t -> int -> unit
+val get : t -> int -> int
+(** Raises [Invalid_argument] when out of bounds. *)
+
+val set : t -> int -> int -> unit
+val clear : t -> unit
+(** Resets length to 0 without shrinking capacity. *)
+
+val truncate : t -> int -> unit
+(** [truncate t n] drops elements beyond index [n-1] in O(1). Raises
+    [Invalid_argument] if [n] exceeds the current length. *)
+
+val to_array : t -> int array
+(** Fresh array of exactly [length t] elements. *)
+
+val iter : (int -> unit) -> t -> unit
+val of_array : int array -> t
+val sort_in_place : t -> unit

@@ -1,0 +1,99 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    sqrt (acc /. float_of_int n)
+  end
+
+let nearest_rank sorted p =
+  let n = Array.length sorted in
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+  sorted.(Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)))
+
+let percentile xs p =
+  if Array.length xs = 0 then invalid_arg "Stats.percentile: empty array";
+  if p <= 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of (0, 100]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  nearest_rank sorted p
+
+let percentiles xs ps =
+  if Array.length xs = 0 then invalid_arg "Stats.percentiles: empty array";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  List.map
+    (fun p ->
+      if p <= 0.0 || p > 100.0 then invalid_arg "Stats.percentiles: p out of (0, 100]";
+      (p, nearest_rank sorted p))
+    ps
+
+let histogram xs =
+  let h = Hashtbl.create 64 in
+  Array.iter
+    (fun x ->
+      match Hashtbl.find_opt h x with
+      | Some c -> Hashtbl.replace h x (c + 1)
+      | None -> Hashtbl.add h x 1)
+    xs;
+  h
+
+let ccdf xs =
+  let h = histogram xs in
+  let distinct = Hashtbl.fold (fun k _ acc -> k :: acc) h [] in
+  let distinct = List.sort compare distinct in
+  let total = Array.length xs in
+  (* Walking ascending values, [above] counts samples > current value. *)
+  let _, rows =
+    List.fold_left
+      (fun (above, rows) d ->
+        let count_d = Hashtbl.find h d in
+        let above' = above - count_d in
+        (above', (d, above') :: rows))
+      (total, []) distinct
+  in
+  List.rev rows
+
+let linear_fit pts =
+  let n = float_of_int (List.length pts) in
+  if n < 2.0 then (0.0, 0.0, 0.0)
+  else begin
+    let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 pts in
+    let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 pts in
+    let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 pts in
+    let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 pts in
+    let denom = (n *. sxx) -. (sx *. sx) in
+    if abs_float denom < 1e-12 then (0.0, sy /. n, 0.0)
+    else begin
+      let slope = ((n *. sxy) -. (sx *. sy)) /. denom in
+      let intercept = (sy -. (slope *. sx)) /. n in
+      let ybar = sy /. n in
+      let ss_tot = List.fold_left (fun a (_, y) -> a +. ((y -. ybar) ** 2.0)) 0.0 pts in
+      let ss_res =
+        List.fold_left
+          (fun a (x, y) ->
+            let fy = (slope *. x) +. intercept in
+            a +. ((y -. fy) ** 2.0))
+          0.0 pts
+      in
+      let r2 = if ss_tot < 1e-12 then 1.0 else 1.0 -. (ss_res /. ss_tot) in
+      (slope, intercept, r2)
+    end
+  end
+
+let power_law_fit degrees =
+  let rows = ccdf degrees in
+  let pts =
+    List.filter_map
+      (fun (d, above) ->
+        if d > 0 && above > 0 then Some (log (float_of_int d), log (float_of_int above))
+        else None)
+      rows
+  in
+  let slope, _, r2 = linear_fit pts in
+  (slope, r2)

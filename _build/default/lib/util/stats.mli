@@ -1,0 +1,36 @@
+(** Descriptive statistics used by Kaskade's view-size estimator and by
+    the degree-distribution experiments (paper §V-A, §VII-D, Fig. 8). *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 on the empty array. *)
+
+val stddev : float array -> float
+(** Population standard deviation; 0 on arrays of length < 2. *)
+
+val percentile : int array -> float -> int
+(** [percentile xs p] is the [p]-th percentile (0 < p <= 100) using the
+    nearest-rank method on a sorted copy of [xs]. Raises
+    [Invalid_argument] on an empty array or out-of-range [p]. The
+    paper's estimator uses the 50th/90th/95th/100th out-degree. *)
+
+val percentiles : int array -> float list -> (float * int) list
+(** Batch version of {!percentile}: sorts once. *)
+
+val ccdf : int array -> (int * int) list
+(** [ccdf degrees] is the complementary cumulative degree distribution:
+    for each distinct value [d] (ascending), the number of samples
+    strictly greater than [d] — the quantity plotted in Fig. 8. *)
+
+val linear_fit : (float * float) list -> float * float * float
+(** [linear_fit pts] is [(slope, intercept, r2)] of the least-squares
+    line through [pts]. [r2] is the coefficient of determination
+    (1 on a perfect fit, 0 when the fit explains nothing). *)
+
+val power_law_fit : int array -> float * float
+(** [power_law_fit degrees] fits [freq(deg > x) ~ C * x^alpha] by
+    linear regression on the log-log CCDF (zero-degree entries are
+    skipped); returns [(alpha, r2)]. The paper reports goodness of
+    linear fit on log-log CCDF plots. *)
+
+val histogram : int array -> (int, int) Hashtbl.t
+(** Value -> multiplicity. *)

@@ -1,0 +1,17 @@
+(** Disjoint-set forest with path compression and union by rank.
+    Backs the connected-components analysis of generated graphs. *)
+
+type t
+
+val create : int -> t
+(** [create n] — singletons [0..n-1]. *)
+
+val find : t -> int -> int
+val union : t -> int -> int -> unit
+val same : t -> int -> int -> bool
+
+val count : t -> int
+(** Number of disjoint sets. *)
+
+val component_sizes : t -> (int, int) Hashtbl.t
+(** Root -> component size. *)

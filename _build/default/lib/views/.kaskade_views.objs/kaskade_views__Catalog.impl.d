@@ -1,0 +1,1 @@
+lib/views/catalog.ml: Graph Hashtbl Kaskade_graph List Materialize View

@@ -1,0 +1,1 @@
+lib/views/catalog.mli: Kaskade_graph Materialize View

@@ -1,0 +1,1 @@
+lib/views/definition.ml: Kaskade_graph List Printf Schema String View

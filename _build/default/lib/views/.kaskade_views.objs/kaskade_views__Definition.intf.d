@@ -1,0 +1,1 @@
+lib/views/definition.mli: Kaskade_graph View

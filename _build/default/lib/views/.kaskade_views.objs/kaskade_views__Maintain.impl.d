@@ -1,0 +1,1 @@
+lib/views/maintain.ml: Array Builder Graph Hashtbl Kaskade_graph List Materialize Schema Stdlib View

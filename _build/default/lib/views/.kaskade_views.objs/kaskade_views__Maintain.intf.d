@@ -1,0 +1,1 @@
+lib/views/maintain.mli: Kaskade_graph Materialize

@@ -1,0 +1,1 @@
+lib/views/materialize.ml: Array Builder Graph Hashtbl Kaskade_algo Kaskade_graph Kaskade_util List Schema String Subgraph Value View

@@ -1,0 +1,1 @@
+lib/views/materialize.mli: Kaskade_graph View

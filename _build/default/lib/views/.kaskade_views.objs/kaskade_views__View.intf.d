@@ -1,0 +1,1 @@
+lib/views/view.mli:

@@ -1,0 +1,34 @@
+open Kaskade_graph
+
+type entry = {
+  materialized : Materialize.materialized;
+  size_edges : int;
+  size_vertices : int;
+}
+
+type t = { base : Graph.t; entries : (string, entry) Hashtbl.t }
+
+let create base = { base; entries = Hashtbl.create 16 }
+let base t = t.base
+
+let add t (m : Materialize.materialized) =
+  let entry =
+    {
+      materialized = m;
+      size_edges = Graph.n_edges m.graph;
+      size_vertices = Graph.n_vertices m.graph;
+    }
+  in
+  Hashtbl.replace t.entries (View.name m.view) entry
+
+let find_by_name t name = Hashtbl.find_opt t.entries name
+let find t view = find_by_name t (View.name view)
+let mem t view = Hashtbl.mem t.entries (View.name view)
+
+let entries t =
+  Hashtbl.fold (fun _ e acc -> e :: acc) t.entries []
+  |> List.sort (fun a b -> View.compare a.materialized.view b.materialized.view)
+
+let total_size_edges t = Hashtbl.fold (fun _ e acc -> acc + e.size_edges) t.entries 0
+
+let remove t view = Hashtbl.remove t.entries (View.name view)

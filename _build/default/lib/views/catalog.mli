@@ -1,0 +1,26 @@
+(** Registry of materialized views over one base graph — what the
+    paper's execution engine consults during view-based query
+    rewriting (§V-C: "pruning those it has not materialized"). *)
+
+type entry = {
+  materialized : Materialize.materialized;
+  size_edges : int;
+  size_vertices : int;
+}
+
+type t
+
+val create : Kaskade_graph.Graph.t -> t
+val base : t -> Kaskade_graph.Graph.t
+
+val add : t -> Materialize.materialized -> unit
+(** Replaces any previous entry for the same view name. *)
+
+val find : t -> View.t -> entry option
+val find_by_name : t -> string -> entry option
+val mem : t -> View.t -> bool
+val entries : t -> entry list
+(** Sorted by view name. *)
+
+val total_size_edges : t -> int
+val remove : t -> View.t -> unit

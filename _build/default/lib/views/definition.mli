@@ -1,0 +1,14 @@
+(** Defining queries for views. The paper defines a graph view as "the
+    graph query Q to be executed against G" (§III-C) and Kaskade's
+    workload analyzer "translates those views to Cypher and executes
+    them against the graph to perform the actual materialization"
+    (§V-B). This module produces that query text; the test suite
+    checks that evaluating it returns exactly the edge set
+    {!Materialize} builds. *)
+
+val defining_query : Kaskade_graph.Schema.t -> View.t -> string option
+(** The query whose result rows are the view's edges (for connectors:
+    one row per contracted (src, dst) pair) or vertices (for
+    inclusion summarizers). [None] for views whose definition is not
+    expressible in the query language (aggregators, source-to-sink —
+    these need degree predicates the language does not have). *)

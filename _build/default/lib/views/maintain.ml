@@ -1,0 +1,172 @@
+open Kaskade_graph
+
+type delta = { added : (int * int) list }
+
+let connector_types (view : Materialize.materialized) =
+  match view.Materialize.view with
+  | View.Connector (View.K_hop { src_type; dst_type; k = 2 }) -> (src_type, dst_type)
+  | v ->
+    invalid_arg
+      ("Maintain: incremental maintenance only supports k=2 connectors, got " ^ View.name v)
+
+let delta_of_insert base ~view ~src ~dst =
+  let src_type, dst_type = connector_types view in
+  let schema = Graph.schema base in
+  let src_ty = Schema.vertex_type_id schema src_type in
+  let dst_ty = Schema.vertex_type_id schema dst_type in
+  let vg = view.Materialize.graph in
+  let new_of_old = view.Materialize.new_of_old in
+  (* Existing connector pairs involving the affected endpoints, for
+     dedup (also in base ids). *)
+  let existing = Hashtbl.create 64 in
+  let note_existing old_u =
+    if old_u >= 0 && old_u < Array.length new_of_old && new_of_old.(old_u) >= 0 then
+      Graph.iter_out vg new_of_old.(old_u) (fun ~dst:w ~etype:_ ~eid:_ ->
+          (* Map the view-vertex back to a base id by scanning is
+             avoided: record pairs keyed on view ids instead. *)
+          Hashtbl.replace existing (new_of_old.(old_u), w) ())
+  in
+  let pair_exists u w =
+    u < Array.length new_of_old && w < Array.length new_of_old
+    && new_of_old.(u) >= 0 && new_of_old.(w) >= 0
+    && Hashtbl.mem existing (new_of_old.(u), new_of_old.(w))
+  in
+  let added = ref [] in
+  let seen = Hashtbl.create 16 in
+  let emit u w =
+    if not (Hashtbl.mem seen (u, w)) then begin
+      Hashtbl.add seen (u, w) ();
+      if not (pair_exists u w) then added := (u, w) :: !added
+    end
+  in
+  (* Paths u' -> src -> dst (dst must have the connector's range type). *)
+  if Graph.vertex_type base dst = dst_ty then begin
+    Graph.iter_in base src (fun ~src:u' ~etype:_ ~eid:_ ->
+        if Graph.vertex_type base u' = src_ty then begin
+          note_existing u';
+          emit u' dst
+        end)
+  end;
+  (* Paths src -> dst -> v' (src must have the domain type). *)
+  if Graph.vertex_type base src = src_ty then begin
+    note_existing src;
+    Graph.iter_out base dst (fun ~dst:v' ~etype:_ ~eid:_ ->
+        if Graph.vertex_type base v' = dst_ty then emit src v')
+  end;
+  { added = List.rev !added }
+
+(* Multiplicity of base edges a -> b. *)
+let edge_count base a b =
+  let c = ref 0 in
+  Graph.iter_out base a (fun ~dst ~etype:_ ~eid:_ -> if dst = b then incr c);
+  !c
+
+(* 2-walk support of the pair (a, b) after removing one (u, v) edge
+   instance: sum over mids of cnt(a -> mid) * cnt(mid -> b), with the
+   deleted instance discounted. *)
+let support_without base ~a ~b ~u ~v =
+  let total = ref 0 in
+  let mids = Hashtbl.create 8 in
+  Graph.iter_out base a (fun ~dst:mid ~etype:_ ~eid:_ ->
+      if not (Hashtbl.mem mids mid) then begin
+        Hashtbl.add mids mid ();
+        let out = edge_count base mid b in
+        let inc = edge_count base a mid in
+        (* One (u, v) instance vanishes: discount the walks that used
+           it as first hop (a = u, mid = v) or as second hop (mid = u,
+           b = v). Both at once needs u = v, which a contracted 2-path
+           cannot have. *)
+        let through_deleted =
+          if a = u && mid = v then out else if mid = u && b = v then inc else 0
+        in
+        total := !total + (inc * out) - through_deleted
+      end);
+  !total
+
+let delta_of_delete base ~view ~src ~dst =
+  let src_type, dst_type = connector_types view in
+  let schema = Graph.schema base in
+  let src_ty = Schema.vertex_type_id schema src_type in
+  let dst_ty = Schema.vertex_type_id schema dst_type in
+  let removed = ref [] in
+  let seen = Hashtbl.create 16 in
+  let consider a b =
+    if (not (Hashtbl.mem seen (a, b)))
+       && Graph.vertex_type base a = src_ty
+       && Graph.vertex_type base b = dst_ty
+    then begin
+      Hashtbl.add seen (a, b) ();
+      if support_without base ~a ~b ~u:src ~v:dst <= 0 then removed := (a, b) :: !removed
+    end
+  in
+  (* Pairs whose 2-paths could use the deleted edge as second hop. *)
+  if Graph.vertex_type base dst = dst_ty then
+    Graph.iter_in base src (fun ~src:a ~etype:_ ~eid:_ -> consider a dst);
+  (* ... or as first hop. *)
+  if Graph.vertex_type base src = src_ty then
+    Graph.iter_out base dst (fun ~dst:b ~etype:_ ~eid:_ -> consider src b);
+  { added = List.rev !removed }
+
+let apply_delete base ~view ~src ~dst =
+  let d = delta_of_delete base ~view ~src ~dst in
+  let doomed = Hashtbl.create 8 in
+  let new_of_old = view.Materialize.new_of_old in
+  List.iter
+    (fun (a, b) ->
+      if a < Array.length new_of_old && b < Array.length new_of_old
+         && new_of_old.(a) >= 0 && new_of_old.(b) >= 0
+      then Hashtbl.replace doomed (new_of_old.(a), new_of_old.(b)) ())
+    d.added;
+  let vg = view.Materialize.graph in
+  let b = Builder.create (Graph.schema vg) in
+  for v = 0 to Graph.n_vertices vg - 1 do
+    ignore (Builder.add_vertex b ~vtype:(Graph.vertex_type_name vg v) ~props:(Graph.vertex_props vg v) ())
+  done;
+  Graph.iter_edges vg (fun ~eid ~src:s ~dst:t ~etype ->
+      if not (Hashtbl.mem doomed (s, t)) then
+        ignore
+          (Builder.add_edge b ~src:s ~dst:t ~etype:(Schema.edge_type_name (Graph.schema vg) etype)
+             ~props:(Graph.edge_props vg eid) ()));
+  { view with Materialize.graph = Graph.freeze b }
+
+let apply base ~view ~src ~dst =
+  let src_type, dst_type = connector_types view in
+  let d = delta_of_insert base ~view ~src ~dst in
+  let vg = view.Materialize.graph in
+  let edge_name = View.connector_edge_type (View.K_hop { src_type; dst_type; k = 2 }) in
+  (* Rebuild a builder from the existing view graph, then append. *)
+  let b = Builder.create (Graph.schema vg) in
+  for v = 0 to Graph.n_vertices vg - 1 do
+    ignore (Builder.add_vertex b ~vtype:(Graph.vertex_type_name vg v) ~props:(Graph.vertex_props vg v) ())
+  done;
+  Graph.iter_edges vg (fun ~eid ~src:s ~dst:t ~etype ->
+      ignore
+        (Builder.add_edge b ~src:s ~dst:t ~etype:(Schema.edge_type_name (Graph.schema vg) etype)
+           ~props:(Graph.edge_props vg eid) ()));
+  (* Grow the id mapping if needed and make sure the delta's endpoints
+     exist in the view. *)
+  let n_base = Graph.n_vertices base in
+  let new_of_old = Array.make n_base (-1) in
+  Array.blit view.Materialize.new_of_old 0 new_of_old 0
+    (Stdlib.min n_base (Array.length view.Materialize.new_of_old));
+  let ensure_vertex old_v =
+    if new_of_old.(old_v) < 0 then begin
+      let id =
+        Builder.add_vertex b ~vtype:(Graph.vertex_type_name base old_v)
+          ~props:(Graph.vertex_props base old_v) ()
+      in
+      new_of_old.(old_v) <- id
+    end;
+    new_of_old.(old_v)
+  in
+  List.iter
+    (fun (u, w) ->
+      let u' = ensure_vertex u and w' = ensure_vertex w in
+      ignore (Builder.add_edge b ~src:u' ~dst:w' ~etype:edge_name ()))
+    d.added;
+  {
+    view with
+    Materialize.graph = Graph.freeze b;
+    new_of_old;
+    build_cost = view.Materialize.build_cost +. float_of_int (List.length d.added);
+  }

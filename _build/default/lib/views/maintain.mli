@@ -1,0 +1,62 @@
+(** Incremental maintenance of 2-hop connector views — the extension
+    the paper defers to its lineage (Zhuge & Garcia-Molina, ICDE'98:
+    "Graph structured views and their incremental maintenance").
+
+    When an edge (u, v) is inserted into the base graph, the only new
+    k=2 contracted paths are those that use it: [u' -> u -> v] for
+    in-neighbours [u'] of [u], and [u -> v -> v'] for out-neighbours
+    [v'] of [v]. The delta is therefore computable in
+    O(indeg(u) + outdeg(v)) without touching the rest of the view —
+    compared to the full O(sum indeg*outdeg) rebuild. *)
+
+type delta = {
+  added : (int * int) list;
+      (** New connector edges as (src, dst) pairs in *base-graph* ids;
+          deduplicated, and already-present pairs are excluded. *)
+}
+
+val delta_of_insert :
+  Kaskade_graph.Graph.t ->
+  view:Materialize.materialized ->
+  src:int ->
+  dst:int ->
+  delta
+(** [delta_of_insert base ~view ~src ~dst] — connector edges that
+    inserting base edge (src, dst) creates for a k=2 connector view.
+    Raises [Invalid_argument] if the view is not a k=2 connector. The
+    edge itself must NOT yet be present in [base] (the delta is
+    computed against the pre-insertion adjacency). *)
+
+val apply :
+  Kaskade_graph.Graph.t ->
+  view:Materialize.materialized ->
+  src:int ->
+  dst:int ->
+  Materialize.materialized
+(** Refreshed view: the delta's edges are appended to the view graph
+    (vertices and properties preserved; new endpoint vertices are
+    added if the inserted edge touches base vertices absent from the
+    view). The result satisfies: apply = full re-materialization over
+    the updated base graph, up to edge order (property tested). *)
+
+val delta_of_delete :
+  Kaskade_graph.Graph.t ->
+  view:Materialize.materialized ->
+  src:int ->
+  dst:int ->
+  delta
+(** Connector edges that deleting ONE base edge (src, dst) destroys:
+    an affected pair is removed only when no alternative 2-hop path
+    supports it (parallel edges counted exactly). [base] must still
+    contain the edge (the delta is computed against pre-deletion
+    adjacency); the [delta]'s [added] list holds the pairs to REMOVE. *)
+
+val apply_delete :
+  Kaskade_graph.Graph.t ->
+  view:Materialize.materialized ->
+  src:int ->
+  dst:int ->
+  Materialize.materialized
+(** Refreshed view with the doomed connector edges dropped. Equal to
+    re-materializing over the base graph minus the edge (property
+    tested). *)

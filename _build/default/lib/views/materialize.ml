@@ -1,0 +1,382 @@
+open Kaskade_graph
+
+type materialized = {
+  view : View.t;
+  graph : Graph.t;
+  new_of_old : int array;
+  build_cost : float;
+}
+
+let aggregate fn values =
+  match fn with
+  | View.Agg_count -> Value.Int (List.length values)
+  | View.Agg_sum ->
+    List.fold_left (fun acc v -> match v with Value.Null -> acc | _ -> Value.add acc v) (Value.Int 0) values
+  | View.Agg_min -> begin
+    match values with
+    | [] -> Value.Null
+    | first :: rest -> List.fold_left (fun a v -> if Value.compare v a < 0 then v else a) first rest
+  end
+  | View.Agg_max -> begin
+    match values with
+    | [] -> Value.Null
+    | first :: rest -> List.fold_left (fun a v -> if Value.compare v a > 0 then v else a) first rest
+  end
+
+(* --------------------------------------------------------------- *)
+(* Connectors                                                        *)
+
+(* Vertices of the endpoint types, copied into a fresh builder. *)
+let endpoint_builder g types edge_decls =
+  let uniq = List.sort_uniq compare types in
+  let schema = Schema.define ~vertices:uniq ~edges:edge_decls in
+  let b = Builder.create schema in
+  let new_of_old = Array.make (Graph.n_vertices g) (-1) in
+  List.iter
+    (fun tname ->
+      Array.iter
+        (fun v ->
+          let id = Builder.add_vertex b ~vtype:tname ~props:(Graph.vertex_props g v) () in
+          new_of_old.(v) <- id)
+        (Graph.vertices_of_type_name g tname))
+    uniq;
+  (b, new_of_old)
+
+(* Exact-k forward reachability with path multiplicities: level sets
+   as (vertex -> path count) tables. *)
+let exact_k_reach g ~src ~k ~cost =
+  let cur = Hashtbl.create 16 in
+  Hashtbl.add cur src 1.0;
+  let cur = ref cur in
+  for _ = 1 to k do
+    let next = Hashtbl.create 32 in
+    Hashtbl.iter
+      (fun v cnt ->
+        Graph.iter_out g v (fun ~dst ~etype:_ ~eid:_ ->
+            incr cost;
+            match Hashtbl.find_opt next dst with
+            | Some c -> Hashtbl.replace next dst (c +. cnt)
+            | None -> Hashtbl.add next dst cnt))
+      !cur;
+    cur := next
+  done;
+  !cur
+
+let connector_k_hop ?(dedupe = true) ?(with_path_counts = false) g ~src_type ~dst_type ~k =
+  let view = View.Connector (View.K_hop { src_type; dst_type; k }) in
+  let edge_name = View.connector_edge_type (View.K_hop { src_type; dst_type; k }) in
+  let b, new_of_old =
+    endpoint_builder g [ src_type; dst_type ] [ (src_type, edge_name, dst_type) ]
+  in
+  let dst_ty = Schema.vertex_type_id (Graph.schema g) dst_type in
+  let cost = ref 0 in
+  Array.iter
+    (fun u ->
+      let reach = exact_k_reach g ~src:u ~k ~cost in
+      Hashtbl.iter
+        (fun w cnt ->
+          if Graph.vertex_type g w = dst_ty then begin
+            let props =
+              if with_path_counts then [ ("paths", Value.Int (int_of_float cnt)) ] else []
+            in
+            if dedupe then
+              ignore (Builder.add_edge b ~src:new_of_old.(u) ~dst:new_of_old.(w) ~etype:edge_name ~props ())
+            else
+              for _ = 1 to int_of_float cnt do
+                ignore (Builder.add_edge b ~src:new_of_old.(u) ~dst:new_of_old.(w) ~etype:edge_name ())
+              done
+          end)
+        reach)
+    (Graph.vertices_of_type_name g src_type);
+  { view; graph = Graph.freeze b; new_of_old; build_cost = float_of_int !cost }
+
+let connector_same_vertex_type g ~vtype =
+  let view = View.Connector (View.Same_vertex_type { vtype }) in
+  let edge_name = View.connector_edge_type (View.Same_vertex_type { vtype }) in
+  let b, new_of_old = endpoint_builder g [ vtype ] [ (vtype, edge_name, vtype) ] in
+  let ty = Schema.vertex_type_id (Graph.schema g) vtype in
+  let cost = ref 0 in
+  let n = Graph.n_vertices g in
+  Array.iter
+    (fun u ->
+      (* BFS transitive reachability. *)
+      let seen = Array.make n false in
+      seen.(u) <- true;
+      let frontier = ref [ u ] in
+      while !frontier <> [] do
+        let next = ref [] in
+        List.iter
+          (fun v ->
+            Graph.iter_out g v (fun ~dst ~etype:_ ~eid:_ ->
+                incr cost;
+                if not seen.(dst) then begin
+                  seen.(dst) <- true;
+                  next := dst :: !next
+                end))
+          !frontier;
+        frontier := !next
+      done;
+      for w = 0 to n - 1 do
+        if seen.(w) && w <> u && Graph.vertex_type g w = ty then
+          ignore (Builder.add_edge b ~src:new_of_old.(u) ~dst:new_of_old.(w) ~etype:edge_name ())
+      done)
+    (Graph.vertices_of_type_name g vtype);
+  { view; graph = Graph.freeze b; new_of_old; build_cost = float_of_int !cost }
+
+let connector_same_edge_type g ~etype =
+  let view = View.Connector (View.Same_edge_type { etype }) in
+  let edge_name = View.connector_edge_type (View.Same_edge_type { etype }) in
+  let schema = Graph.schema g in
+  let etid = Schema.edge_type_id schema etype in
+  let src_type = Schema.vertex_type_name schema (Schema.edge_src schema etid) in
+  let dst_type = Schema.vertex_type_name schema (Schema.edge_dst schema etid) in
+  (* Paths of a single edge type require domain = range beyond one
+     hop; for heterogeneous edge types this is single-hop closure. *)
+  let b, new_of_old =
+    endpoint_builder g [ src_type; dst_type ] [ (src_type, edge_name, dst_type) ]
+  in
+  let cost = ref 0 in
+  let n = Graph.n_vertices g in
+  Array.iter
+    (fun u ->
+      let seen = Array.make n false in
+      seen.(u) <- true;
+      let frontier = ref [ u ] in
+      while !frontier <> [] do
+        let next = ref [] in
+        List.iter
+          (fun v ->
+            Graph.iter_out_etype g v ~etype:etid (fun ~dst ~eid:_ ->
+                incr cost;
+                if not seen.(dst) then begin
+                  seen.(dst) <- true;
+                  next := dst :: !next
+                end))
+          !frontier;
+        frontier := !next
+      done;
+      for w = 0 to n - 1 do
+        if seen.(w) && w <> u && new_of_old.(w) >= 0
+           && Graph.vertex_type_name g w = dst_type then
+          ignore (Builder.add_edge b ~src:new_of_old.(u) ~dst:new_of_old.(w) ~etype:edge_name ())
+      done)
+    (Graph.vertices_of_type_name g src_type);
+  { view; graph = Graph.freeze b; new_of_old; build_cost = float_of_int !cost }
+
+let connector_source_to_sink g =
+  let view = View.Connector View.Source_to_sink in
+  let edge_name = View.connector_edge_type View.Source_to_sink in
+  let schema = Schema.define ~vertices:[ "V" ] ~edges:[ ("V", edge_name, "V") ] in
+  let b = Builder.create schema in
+  let n = Graph.n_vertices g in
+  let new_of_old = Array.make n (-1) in
+  let is_endpoint v = Graph.in_degree g v = 0 || Graph.out_degree g v = 0 in
+  for v = 0 to n - 1 do
+    if is_endpoint v then begin
+      let props =
+        ("orig_type", Value.Str (Graph.vertex_type_name g v)) :: Graph.vertex_props g v
+      in
+      new_of_old.(v) <- Builder.add_vertex b ~vtype:"V" ~props ()
+    end
+  done;
+  let cost = ref 0 in
+  for u = 0 to n - 1 do
+    if Graph.in_degree g u = 0 && Graph.out_degree g u > 0 then begin
+      let seen = Array.make n false in
+      seen.(u) <- true;
+      let frontier = ref [ u ] in
+      while !frontier <> [] do
+        let next = ref [] in
+        List.iter
+          (fun v ->
+            Graph.iter_out g v (fun ~dst ~etype:_ ~eid:_ ->
+                incr cost;
+                if not seen.(dst) then begin
+                  seen.(dst) <- true;
+                  next := dst :: !next
+                end))
+          !frontier;
+        frontier := !next
+      done;
+      for w = 0 to n - 1 do
+        if seen.(w) && w <> u && Graph.out_degree g w = 0 then
+          ignore (Builder.add_edge b ~src:new_of_old.(u) ~dst:new_of_old.(w) ~etype:edge_name ())
+      done
+    end
+  done;
+  { view; graph = Graph.freeze b; new_of_old; build_cost = float_of_int !cost }
+
+(* --------------------------------------------------------------- *)
+(* Summarizers                                                       *)
+
+let summarize_inclusion g view keep_types =
+  let schema = Graph.schema g in
+  let restricted = Schema.restrict schema ~keep_vertices:keep_types in
+  let keep = Hashtbl.create 8 in
+  List.iter
+    (fun tname ->
+      match Schema.vertex_type_id schema tname with
+      | ty -> Hashtbl.replace keep ty ()
+      | exception Not_found -> invalid_arg ("Materialize: unknown vertex type " ^ tname))
+    keep_types;
+  let sub, mapping =
+    Subgraph.restrict ~vertex_pred:(fun v -> Hashtbl.mem keep (Graph.vertex_type g v))
+      ~schema:restricted g
+  in
+  {
+    view;
+    graph = sub;
+    new_of_old = mapping.Subgraph.new_of_old_vertex;
+    build_cost = float_of_int (Graph.n_edges g);
+  }
+
+let summarize_edge_filter g view keep_edge_types =
+  let schema = Graph.schema g in
+  let keep = Hashtbl.create 8 in
+  List.iter
+    (fun ename ->
+      match Schema.edge_type_id schema ename with
+      | ty -> Hashtbl.replace keep ty ()
+      | exception Not_found -> invalid_arg ("Materialize: unknown edge type " ^ ename))
+    keep_edge_types;
+  let new_schema =
+    Schema.define
+      ~vertices:(Schema.vertex_types schema)
+      ~edges:
+        (List.filter_map
+           (fun (d : Schema.edge_def) ->
+             if Hashtbl.mem keep (Schema.edge_type_id schema d.name) then Some (d.src, d.name, d.dst)
+             else None)
+           (Schema.edge_defs schema))
+  in
+  let sub, mapping =
+    Subgraph.restrict ~edge_pred:(fun ~eid:_ ~src:_ ~dst:_ ~etype -> Hashtbl.mem keep etype)
+      ~schema:new_schema g
+  in
+  {
+    view;
+    graph = sub;
+    new_of_old = mapping.Subgraph.new_of_old_vertex;
+    build_cost = float_of_int (Graph.n_edges g);
+  }
+
+let complement_vertex_types schema drop =
+  List.filter (fun t -> not (List.mem t drop)) (Schema.vertex_types schema)
+
+let complement_edge_types schema drop =
+  List.filter_map
+    (fun (d : Schema.edge_def) -> if List.mem d.name drop then None else Some d.name)
+    (Schema.edge_defs schema)
+
+let summarize_vertex_aggregator g view ~vtype ~group_prop ~agg_prop ~agg =
+  let schema = Graph.schema g in
+  let target_ty = Schema.vertex_type_id schema vtype in
+  (* Group key -> supervertex members. *)
+  let groups : (Value.t, int list) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun v ->
+      let key = Graph.vprop_or_null g v group_prop in
+      match Hashtbl.find_opt groups key with
+      | Some members -> Hashtbl.replace groups key (v :: members)
+      | None -> Hashtbl.add groups key [ v ])
+    (Graph.vertices_of_type g target_ty);
+  let b = Builder.create schema in
+  let new_of_old = Array.make (Graph.n_vertices g) (-1) in
+  (* Pass-through vertices. *)
+  for v = 0 to Graph.n_vertices g - 1 do
+    if Graph.vertex_type g v <> target_ty then
+      new_of_old.(v) <-
+        Builder.add_vertex b ~vtype:(Graph.vertex_type_name g v) ~props:(Graph.vertex_props g v) ()
+  done;
+  (* Supervertices. *)
+  Hashtbl.iter
+    (fun key members ->
+      let values = List.map (fun v -> Graph.vprop_or_null g v agg_prop) members in
+      let super =
+        Builder.add_vertex b ~vtype
+          ~props:
+            [ (group_prop, key);
+              (agg_prop, aggregate agg values);
+              ("members", Value.Int (List.length members)) ]
+          ()
+      in
+      List.iter (fun v -> new_of_old.(v) <- super) members)
+    groups;
+  (* Re-route edges; drop self-loops produced by contraction. *)
+  Graph.iter_edges g (fun ~eid ~src ~dst ~etype ->
+      let s = new_of_old.(src) and d = new_of_old.(dst) in
+      if s >= 0 && d >= 0 && s <> d then
+        ignore
+          (Builder.add_edge b ~src:s ~dst:d ~etype:(Schema.edge_type_name schema etype)
+             ~props:(Graph.edge_props g eid) ()));
+  { view; graph = Graph.freeze b; new_of_old; build_cost = float_of_int (Graph.n_edges g) }
+
+let summarize_subgraph_aggregator g view ~agg_prop ~agg =
+  let uf = Kaskade_algo.Connectivity.components g in
+  let schema = Schema.define ~vertices:[ "Group" ] ~edges:[] in
+  let b = Builder.create schema in
+  let super_of_root = Hashtbl.create 64 in
+  let members_of_root : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+  let n = Graph.n_vertices g in
+  for v = 0 to n - 1 do
+    let r = Kaskade_util.Union_find.find uf v in
+    match Hashtbl.find_opt members_of_root r with
+    | Some ms -> Hashtbl.replace members_of_root r (v :: ms)
+    | None -> Hashtbl.add members_of_root r [ v ]
+  done;
+  let new_of_old = Array.make n (-1) in
+  Hashtbl.iter
+    (fun root members ->
+      let values = List.map (fun v -> Graph.vprop_or_null g v agg_prop) members in
+      let super =
+        Builder.add_vertex b ~vtype:"Group"
+          ~props:[ (agg_prop, aggregate agg values); ("members", Value.Int (List.length members)) ]
+          ()
+      in
+      Hashtbl.add super_of_root root super;
+      List.iter (fun v -> new_of_old.(v) <- super) members)
+    members_of_root;
+  { view; graph = Graph.freeze b; new_of_old; build_cost = float_of_int (Graph.n_edges g) }
+
+let summarize_ego_aggregator g view ~k ~agg_prop ~agg =
+  let schema = Graph.schema g in
+  let b = Builder.create schema in
+  let n = Graph.n_vertices g in
+  let ego_prop = "ego_" ^ String.lowercase_ascii (View.agg_name agg) ^ "_" ^ agg_prop in
+  let new_of_old = Array.make n (-1) in
+  for v = 0 to n - 1 do
+    let nbors = Kaskade_algo.Traverse.reachable_within g ~src:v ~max_hops:k ~dir:Kaskade_algo.Traverse.Both () in
+    let values = List.map (fun u -> Graph.vprop_or_null g u agg_prop) nbors in
+    let props = (ego_prop, aggregate agg values) :: Graph.vertex_props g v in
+    new_of_old.(v) <- Builder.add_vertex b ~vtype:(Graph.vertex_type_name g v) ~props ()
+  done;
+  Graph.iter_edges g (fun ~eid ~src ~dst ~etype ->
+      ignore
+        (Builder.add_edge b ~src:new_of_old.(src) ~dst:new_of_old.(dst)
+           ~etype:(Schema.edge_type_name schema etype) ~props:(Graph.edge_props g eid) ()));
+  { view; graph = Graph.freeze b; new_of_old; build_cost = float_of_int (k * Graph.n_edges g) }
+
+(* --------------------------------------------------------------- *)
+
+let materialize ?(dedupe = true) ?(with_path_counts = false) g view =
+  match view with
+  | View.Connector (View.K_hop { src_type; dst_type; k }) ->
+    connector_k_hop ~dedupe ~with_path_counts g ~src_type ~dst_type ~k
+  | View.Connector (View.Same_vertex_type { vtype }) -> connector_same_vertex_type g ~vtype
+  | View.Connector (View.Same_edge_type { etype }) -> connector_same_edge_type g ~etype
+  | View.Connector View.Source_to_sink -> connector_source_to_sink g
+  | View.Summarizer (View.Vertex_inclusion types) -> summarize_inclusion g view types
+  | View.Summarizer (View.Vertex_removal types) ->
+    summarize_inclusion g view (complement_vertex_types (Graph.schema g) types)
+  | View.Summarizer (View.Edge_inclusion types) -> summarize_edge_filter g view types
+  | View.Summarizer (View.Edge_removal types) ->
+    summarize_edge_filter g view (complement_edge_types (Graph.schema g) types)
+  | View.Summarizer (View.Vertex_aggregator { vtype; group_prop; agg_prop; agg }) ->
+    summarize_vertex_aggregator g view ~vtype ~group_prop ~agg_prop ~agg
+  | View.Summarizer (View.Subgraph_aggregator { agg_prop; agg }) ->
+    summarize_subgraph_aggregator g view ~agg_prop ~agg
+  | View.Summarizer (View.Ego_aggregator { k; agg_prop; agg }) ->
+    summarize_ego_aggregator g view ~k ~agg_prop ~agg
+
+let k_hop_connector ?dedupe ?with_path_counts g ~src_type ~dst_type ~k =
+  materialize ?dedupe ?with_path_counts g (View.Connector (View.K_hop { src_type; dst_type; k }))

@@ -1,0 +1,41 @@
+(** Turn view descriptors into physical graphs (the paper's "view
+    creation": §II executes enumerated views against the raw graph to
+    materialize them).
+
+    Connector outputs contain only the connector's endpoint vertex
+    types (properties copied) plus the contracted-edge type named by
+    [View.connector_edge_type]. Summarizer outputs keep the original
+    types they preserve. The source-to-sink connector, whose endpoints
+    can mix vertex types, re-types every vertex to ["V"] and records
+    the original type in an [orig_type] property. *)
+
+type materialized = {
+  view : View.t;
+  graph : Kaskade_graph.Graph.t;
+  new_of_old : int array;
+      (** Original vertex id -> id in the view graph, or [-1] when the
+          vertex does not appear. For aggregators this maps members to
+          their supervertex. *)
+  build_cost : float;
+      (** Edges examined while materializing — the I/O-proportional
+          creation cost of §V-A. *)
+}
+
+val materialize :
+  ?dedupe:bool -> ?with_path_counts:bool -> Kaskade_graph.Graph.t -> View.t -> materialized
+(** [dedupe] (default [true]) collapses parallel contracted paths into
+    one connector edge; with [with_path_counts] the surviving edge
+    carries the path multiplicity in an integer [paths] property.
+    [dedupe:false] keeps one edge per path — faithful to the paper's
+    size analysis, but exponential on dense graphs; prefer counting
+    via [Kaskade_algo.Paths] for sizes. *)
+
+val k_hop_connector :
+  ?dedupe:bool ->
+  ?with_path_counts:bool ->
+  Kaskade_graph.Graph.t ->
+  src_type:string ->
+  dst_type:string ->
+  k:int ->
+  materialized
+(** Direct entry point for the connector the paper's experiments use. *)

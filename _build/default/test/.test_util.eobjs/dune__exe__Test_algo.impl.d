@@ -1,0 +1,1 @@
+test/test_algo.ml: Alcotest Array Builder Connectivity Degree_dist Graph Hashtbl Kaskade_algo Kaskade_graph Kaskade_util Label_prop List Paths QCheck QCheck_alcotest Schema Stdlib Traverse Value

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Builder Cost Executor Graph Gstats Kaskade_exec Kaskade_gen Kaskade_graph Kaskade_query Kaskade_util List Planner Printf QCheck QCheck_alcotest Row Schema Value

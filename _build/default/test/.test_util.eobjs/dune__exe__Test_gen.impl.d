@@ -1,0 +1,1 @@
+test/test_gen.ml: Alcotest Array Dblp_gen Graph Hashtbl Kaskade_gen Kaskade_graph Kaskade_util Powerlaw_gen Provenance_gen Road_gen Schema Stdlib Value

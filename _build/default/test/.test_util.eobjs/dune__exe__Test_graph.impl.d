@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Builder Filename Gio Graph Gstats Kaskade_gen Kaskade_graph Kaskade_util List Printf QCheck QCheck_alcotest Schema Subgraph Sys Value Vindex

@@ -1,0 +1,1 @@
+test/test_knapsack.ml: Alcotest Kaskade_knapsack List Printf QCheck QCheck_alcotest String

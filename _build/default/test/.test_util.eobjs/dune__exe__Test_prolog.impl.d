@@ -1,0 +1,1 @@
+test/test_prolog.ml: Alcotest Bindings Buffer Db Engine Gen Kaskade_prolog Lexer List Parser Prelude Printf QCheck QCheck_alcotest String Term

@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Analyze Ast Kaskade_gen Kaskade_graph Kaskade_query List Pretty Qlexer Qparser

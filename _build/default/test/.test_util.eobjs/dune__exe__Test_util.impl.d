@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Gen Hashtbl Heap Int_vec Kaskade_util List Prng QCheck QCheck_alcotest Stats String Table Union_find

@@ -1,0 +1,699 @@
+open Kaskade_graph
+open Kaskade_views
+module K = Kaskade
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* Substring containment without the Str dependency. *)
+let string_contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let prov_schema = Kaskade_gen.Provenance_gen.schema
+
+let lineage_schema =
+  Schema.define ~vertices:[ "Job"; "File" ]
+    ~edges:[ ("Job", "WRITES_TO", "File"); ("File", "IS_READ_BY", "Job") ]
+
+(* Paper Listing 1. *)
+let q1_text =
+  "SELECT A.pipelineName, AVG(T_CPU) FROM (SELECT A, SUM(B.CPU) AS T_CPU FROM (MATCH (q_j1:Job)-[:WRITES_TO]->(q_f1:File) (q_f1:File)-[r*0..8]->(q_f2:File) (q_f2:File)-[:IS_READ_BY]->(q_j2:Job) RETURN q_j1 as A, q_j2 as B) GROUP BY A, B) GROUP BY A.pipelineName"
+
+let q2_text = "MATCH (j:Job)<-[r*1..4]-(anc:Job) RETURN j, anc"
+let _q3_text = "MATCH (j:Job)-[r*1..4]->(desc:Job) RETURN j, desc"
+
+let q1 = K.parse q1_text
+let q2 = K.parse q2_text
+
+let view_names (e : K.Enumerate.enumeration) =
+  List.map (fun (c : K.Enumerate.candidate) -> View.name c.K.Enumerate.view) e.K.Enumerate.candidates
+
+(* ------------------------------------------------------------------ *)
+(* Facts (paper §IV-A1)                                                *)
+
+let test_query_facts_listing1 () =
+  let facts = K.Facts.query_facts lineage_schema q1 in
+  let s = K.Facts.facts_to_string facts in
+  let contains needle = string_contains s needle in
+  (* The exact facts of §IV-A1. *)
+  List.iter
+    (fun f -> check_bool f true (contains f))
+    [ "queryVertex(q_f1)."; "queryVertex(q_f2)."; "queryVertex(q_j1)."; "queryVertex(q_j2).";
+      "queryVertexType(q_f1, 'File')."; "queryVertexType(q_j1, 'Job').";
+      "queryEdge(q_j1, q_f1)."; "queryEdge(q_f2, q_j2).";
+      "queryEdgeType(q_j1, q_f1, 'WRITES_TO')."; "queryEdgeType(q_f2, q_j2, 'IS_READ_BY').";
+      "queryVariableLengthPath(q_f1, q_f2, 0, 8)." ]
+
+let test_query_facts_returned () =
+  let facts = K.Facts.query_facts lineage_schema q1 in
+  let s = K.Facts.facts_to_string facts in
+  check_bool "q_j1 projected" true (string_contains s "queryReturned(q_j1).")
+
+let test_schema_facts () =
+  let s = K.Facts.facts_to_string (K.Facts.schema_facts lineage_schema) in
+  List.iter
+    (fun f ->
+      check_bool f true (string_contains s f))
+    [ "schemaVertex('Job')."; "schemaVertex('File').";
+      "schemaEdge('Job', 'File', 'WRITES_TO')."; "schemaEdge('File', 'Job', 'IS_READ_BY')." ]
+
+let test_homogeneous_untyped_vars_typed () =
+  let homo = Schema.define ~vertices:[ "V" ] ~edges:[ ("V", "LINK", "V") ] in
+  let q = K.parse "MATCH (a)-[r*1..4]->(b) RETURN a, b" in
+  let s = K.Facts.facts_to_string (K.Facts.query_facts homo q) in
+  check_bool "a typed V" true (string_contains s "queryVertexType(a, 'V')")
+
+(* ------------------------------------------------------------------ *)
+(* Enumeration (paper §IV-B)                                           *)
+
+let test_enumeration_matches_paper_example () =
+  (* §IV-B: for Listing 1, the kHopConnector instantiations for
+     (q_j1, q_j2) are exactly K in {2, 4, 6, 8, 10}. *)
+  let e = K.Enumerate.enumerate lineage_schema q1 in
+  let khops =
+    List.filter_map
+      (fun (c : K.Enumerate.candidate) ->
+        match c.K.Enumerate.view with
+        | View.Connector (View.K_hop { src_type = "Job"; dst_type = "Job"; k }) -> Some k
+        | _ -> None)
+      e.K.Enumerate.candidates
+  in
+  Alcotest.(check (list int)) "paper's K values" [ 2; 4; 6; 8; 10 ] (List.sort compare khops)
+
+let test_enumeration_bridges () =
+  let e = K.Enumerate.enumerate lineage_schema q1 in
+  let bridge =
+    List.find_map
+      (fun (c : K.Enumerate.candidate) ->
+        match c.K.Enumerate.view with
+        | View.Connector (View.K_hop { k = 2; _ }) -> c.K.Enumerate.bridges
+        | _ -> None)
+      e.K.Enumerate.candidates
+  in
+  check_bool "bridges q_j1 -> q_j2" true (bridge = Some ("q_j1", "q_j2"))
+
+let test_enumeration_summarizer () =
+  let e = K.Enumerate.enumerate prov_schema q1 in
+  check_bool "keep Job+File summarizer" true
+    (List.mem "KEEP_V_FILE_JOB" (view_names e))
+
+let test_enumeration_no_summarizer_when_all_types_used () =
+  (* Over the two-type schema, Q1 touches both types: no inclusion
+     summarizer is proposed. *)
+  let e = K.Enumerate.enumerate lineage_schema q1 in
+  check_bool "no KEEP view" true
+    (not (List.exists (fun n -> String.length n > 5 && String.sub n 0 5 = "KEEP_") (view_names e)))
+
+let test_enumeration_q2_even_hops_only () =
+  let e = K.Enumerate.enumerate lineage_schema q2 in
+  let khops =
+    List.filter_map
+      (fun (c : K.Enumerate.candidate) ->
+        match c.K.Enumerate.view with
+        | View.Connector (View.K_hop { k; _ }) -> Some k
+        | _ -> None)
+      e.K.Enumerate.candidates
+  in
+  Alcotest.(check (list int)) "schema rules out odd K" [ 2; 4 ] (List.sort compare khops)
+
+let test_enumeration_constraint_pruning () =
+  (* The §IV claim: injected constraints shrink the search. On the
+     full 5-type provenance schema the schema-only space grows with
+     the number of k-length type paths (the paper's M^k argument). *)
+  let constrained = K.Enumerate.enumerate prov_schema q1 in
+  let unconstrained = K.Enumerate.enumerate_unconstrained prov_schema ~max_k:10 in
+  check_bool "fewer candidates" true
+    (List.length constrained.K.Enumerate.candidates
+     < List.length unconstrained.K.Enumerate.candidates);
+  check_bool "fewer inference steps" true
+    (constrained.K.Enumerate.inference_steps < unconstrained.K.Enumerate.inference_steps)
+
+let test_enumeration_unconstrained_space () =
+  (* Schema 2-cycle: Job->File->Job. k-hop type paths up to 10 exist
+     for every k (Job start for even k to Job, odd to File, plus File
+     starts): 2 paths per k and 2 same-type closures. *)
+  let e = K.Enumerate.enumerate_unconstrained lineage_schema ~max_k:10 in
+  check_int "schema-only candidates" 22 (List.length e.K.Enumerate.candidates)
+
+let test_enumeration_deterministic () =
+  let a = view_names (K.Enumerate.enumerate lineage_schema q1) in
+  let b = view_names (K.Enumerate.enumerate lineage_schema q1) in
+  Alcotest.(check (list string)) "stable" a b
+
+let test_enumeration_homogeneous () =
+  let homo = Schema.define ~vertices:[ "V" ] ~edges:[ ("V", "LINK", "V") ] in
+  let q = K.parse "MATCH (a)-[r*1..4]->(b) RETURN a, b" in
+  let e = K.Enumerate.enumerate homo q in
+  let khops =
+    List.filter_map
+      (fun (c : K.Enumerate.candidate) ->
+        match c.K.Enumerate.view with
+        | View.Connector (View.K_hop { k; _ }) -> Some k
+        | _ -> None)
+      e.K.Enumerate.candidates
+  in
+  Alcotest.(check (list int)) "every k feasible" [ 1; 2; 3; 4 ] (List.sort compare khops)
+
+
+(* ------------------------------------------------------------------ *)
+(* Rule library semantics (paper Listings 2 and 6)                     *)
+
+let engine_for schema query =
+  let facts = K.Facts.query_facts schema query @ K.Facts.schema_facts schema in
+  let db = Kaskade_prolog.Prelude.db_with_prelude () in
+  Kaskade_prolog.Db.load db K.Rules.all;
+  K.Facts.assert_all db facts;
+  Kaskade_prolog.Engine.create db
+
+let test_rules_schema_khop () =
+  let e = engine_for lineage_schema q1 in
+  let holds = Kaskade_prolog.Engine.holds e in
+  check_bool "2-hop job-job feasible" true (holds "schemaKHopPath('Job', 'Job', 2)");
+  check_bool "4-hop job-job feasible" true (holds "schemaKHopPath('Job', 'Job', 4)");
+  check_bool "3-hop job-job infeasible" false (holds "schemaKHopPath('Job', 'Job', 3)");
+  check_bool "1-hop job-file feasible" true (holds "schemaKHopPath('Job', 'File', 1)")
+
+let test_rules_acyclic_variant_matches_paper () =
+  (* The paper's Listing 2 as written: the type trail blocks K = 4
+     job-to-job paths on the two-type schema — the divergence from its
+     own §IV-B example that DESIGN.md documents. *)
+  let e = engine_for lineage_schema q1 in
+  let holds = Kaskade_prolog.Engine.holds e in
+  check_bool "acyclic 2-hop ok" true (holds "schemaKHopPathAcyclic('Job', 'Job', 2)");
+  check_bool "acyclic rejects 4-hop" false (holds "schemaKHopPathAcyclic('Job', 'Job', 4)")
+
+let test_rules_query_khop () =
+  let e = engine_for lineage_schema q1 in
+  let ks =
+    List.filter_map
+      (fun b ->
+        match List.assoc "K" b with Kaskade_prolog.Term.Int k -> Some k | _ -> None)
+      (Kaskade_prolog.Engine.all_solutions e "queryKHopPath(q_j1, q_j2, K)")
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check (list int)) "K = 2..10 realizable" [ 2; 3; 4; 5; 6; 7; 8; 9; 10 ] ks
+
+let test_rules_sources_sinks () =
+  let e = engine_for lineage_schema q1 in
+  let holds = Kaskade_prolog.Engine.holds e in
+  (* In Listing 1's pattern, q_j1 has no incoming pattern edge and
+     q_j2 no outgoing one. *)
+  check_bool "q_j1 source" true (holds "queryVertexSource(q_j1)");
+  check_bool "q_j2 sink" true (holds "queryVertexSink(q_j2)");
+  check_bool "q_f1 not source" false (holds "queryVertexSource(q_f1)")
+
+let test_rules_khop_nbors () =
+  let e = engine_for lineage_schema q1 in
+  match Kaskade_prolog.Engine.first_solution e "queryVertexKHopNbors(1, q_f1, L)" with
+  | Some b -> begin
+    match Kaskade_prolog.Term.to_list (List.assoc "L" b) with
+    | Some items ->
+      (* 1-hop pattern neighbours of q_f1: q_j1 (incoming edge), q_f2
+         (the variable-length edge admits K = 1), and q_j2 (the
+         variable-length edge also admits K = 0, collapsing q_f1 and
+         q_f2, whose read edge then puts q_j2 one hop away). *)
+      Alcotest.(check (list string)) "ego neighbourhood" [ "q_f2"; "q_j1"; "q_j2" ]
+        (List.sort compare (List.map Kaskade_prolog.Term.to_string items))
+    | None -> Alcotest.fail "not a list"
+  end
+  | None -> Alcotest.fail "no solution"
+
+(* ------------------------------------------------------------------ *)
+(* Estimator (paper §V-A, Eq. 1-3)                                     *)
+
+let test_erdos_renyi_formula () =
+  (* n=4, m=3, k=2: C(4,3) * (3 / C(4,2))^2 = 4 * 0.25 = 1. *)
+  Alcotest.(check (float 1e-9)) "eq 1" 1.0 (K.Estimator.erdos_renyi ~n:4 ~m:3 ~k:2);
+  Alcotest.(check (float 1e-9)) "degenerate" 0.0 (K.Estimator.erdos_renyi ~n:2 ~m:1 ~k:2);
+  Alcotest.(check (float 1e-9)) "no edges" 0.0 (K.Estimator.erdos_renyi ~n:10 ~m:0 ~k:2)
+
+let uniform_graph () =
+  (* 4 vertices in a directed cycle: every out-degree exactly 1. *)
+  let schema = Schema.define ~vertices:[ "V" ] ~edges:[ ("V", "E", "V") ] in
+  let b = Builder.create schema in
+  let ids = Array.init 4 (fun _ -> Builder.add_vertex b ~vtype:"V" ()) in
+  Array.iteri (fun i v -> ignore (Builder.add_edge b ~src:v ~dst:ids.((i + 1) mod 4) ~etype:"E" ())) ids;
+  Graph.freeze b
+
+let test_homogeneous_estimator () =
+  let stats = Gstats.compute (uniform_graph ()) in
+  (* n * deg^k = 4 * 1^3. *)
+  Alcotest.(check (float 1e-9)) "eq 2" 4.0 (K.Estimator.homogeneous stats ~k:3 ~alpha:95.0)
+
+let test_heterogeneous_estimator () =
+  let b = Builder.create lineage_schema in
+  let j = Array.init 2 (fun _ -> Builder.add_vertex b ~vtype:"Job" ()) in
+  let f = Array.init 2 (fun _ -> Builder.add_vertex b ~vtype:"File" ()) in
+  ignore (Builder.add_edge b ~src:j.(0) ~dst:f.(0) ~etype:"WRITES_TO" ());
+  ignore (Builder.add_edge b ~src:j.(1) ~dst:f.(1) ~etype:"WRITES_TO" ());
+  ignore (Builder.add_edge b ~src:f.(0) ~dst:j.(1) ~etype:"IS_READ_BY" ());
+  let g = Graph.freeze b in
+  let stats = Gstats.compute g in
+  (* deg95(Job)=1, deg95(File)=1: 2*1 + 2*1 = 4. *)
+  Alcotest.(check (float 1e-9)) "eq 3" 4.0 (K.Estimator.heterogeneous stats ~k:2 ~alpha:95.0)
+
+let test_typed_chain () =
+  let g = Kaskade_gen.Provenance_gen.(generate { default with jobs = 100; files = 200; seed = 4 }) in
+  let stats = Gstats.compute g in
+  let est =
+    K.Estimator.typed_chain stats (Graph.schema g) ~src_type:"Job" ~dst_type:"Job" ~k:2 ~alpha:100.0
+  in
+  (* alpha=100 is an upper bound on the number of 2-walks. *)
+  let actual =
+    Kaskade_algo.Paths.count_k_walks_between g ~k:2
+      ~src_type:(Schema.vertex_type_id (Graph.schema g) "Job")
+      ~dst_type:(Schema.vertex_type_id (Graph.schema g) "Job")
+  in
+  check_bool "alpha=100 upper-bounds walks" true (est >= actual);
+  Alcotest.(check (float 1e-9)) "no odd-hop job-job paths" 0.0
+    (K.Estimator.typed_chain stats (Graph.schema g) ~src_type:"Job" ~dst_type:"Job" ~k:3 ~alpha:95.0)
+
+let test_er_underestimates_powerlaw () =
+  (* The paper's observation: the ER estimator underestimates path
+     counts on skewed real graphs by orders of magnitude. *)
+  let g =
+    Kaskade_gen.Powerlaw_gen.(generate { default with vertices = 2_000; edges = 10_000; seed = 7 })
+  in
+  let actual = Kaskade_algo.Paths.count_k_walks g ~k:2 in
+  let er = K.Estimator.erdos_renyi ~n:(Graph.n_vertices g) ~m:(Graph.n_edges g) ~k:2 in
+  check_bool "ER well below actual" true (er < actual /. 2.0)
+
+let test_view_size_summarizer () =
+  let g = Kaskade_gen.Provenance_gen.(generate { default with jobs = 100; files = 200; seed = 4 }) in
+  let stats = Gstats.compute g in
+  let est =
+    K.Estimator.view_size stats (Graph.schema g) ~alpha:95.0
+      (View.Summarizer (View.Vertex_inclusion [ "Job"; "File" ]))
+  in
+  check_bool "smaller than raw graph" true (est < float_of_int (Graph.n_edges g));
+  check_bool "positive" true (est > 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Rewrite (paper §V-C)                                                *)
+
+let conn2 = View.Connector (View.K_hop { src_type = "Job"; dst_type = "Job"; k = 2 })
+
+let test_rewrite_listing1_to_listing4_shape () =
+  match K.Rewrite.rewrite lineage_schema q1 conn2 with
+  | Some rw -> begin
+    match Kaskade_query.Ast.patterns_of rw.K.Rewrite.rewritten with
+    | [ { Kaskade_query.Ast.p_start; p_steps = [ (e, p_end) ] } ] ->
+      check_bool "start is Job" true (p_start.Kaskade_query.Ast.n_label = Some "Job");
+      check_bool "end is Job" true (p_end.Kaskade_query.Ast.n_label = Some "Job");
+      check_bool "connector edge" true (e.Kaskade_query.Ast.e_label = Some "JOB_TO_JOB_2HOP");
+      check_bool "halved hops" true (e.Kaskade_query.Ast.e_len = Kaskade_query.Ast.Var_length (1, 5))
+    | _ -> Alcotest.fail "expected a single contracted pattern"
+  end
+  | None -> Alcotest.fail "rewrite refused"
+
+let test_rewrite_refuses_uncovering_k () =
+  (* A 4-hop connector covers only multiples of 4 and must be refused
+     for the 2..10-hop segment. *)
+  let conn4 = View.Connector (View.K_hop { src_type = "Job"; dst_type = "Job"; k = 4 }) in
+  check_bool "refused" true (K.Rewrite.rewrite lineage_schema q1 conn4 = None)
+
+let test_rewrite_backward_segment () =
+  match K.Rewrite.rewrite lineage_schema q2 conn2 with
+  | Some rw -> begin
+    match Kaskade_query.Ast.patterns_of rw.K.Rewrite.rewritten with
+    | [ { Kaskade_query.Ast.p_steps = [ (e, _) ]; _ } ] ->
+      check_bool "stays backward" true (e.Kaskade_query.Ast.e_dir = Kaskade_query.Ast.Bwd);
+      check_bool "hops 1..2" true (e.Kaskade_query.Ast.e_len = Kaskade_query.Ast.Var_length (1, 2))
+    | _ -> Alcotest.fail "single pattern expected"
+  end
+  | None -> Alcotest.fail "rewrite refused"
+
+let test_rewrite_preserves_interior_reference () =
+  (* If a middle vertex is projected, contraction across it must not
+     happen. *)
+  let q = K.parse "MATCH (a:Job)-[:WRITES_TO]->(f:File)-[:IS_READ_BY]->(b:Job) RETURN a, f, b" in
+  check_bool "refused when interior used" true (K.Rewrite.rewrite lineage_schema q conn2 = None)
+
+let test_rewrite_homogeneous_odd_hops_refused () =
+  let homo = Schema.define ~vertices:[ "V" ] ~edges:[ ("V", "LINK", "V") ] in
+  let q = K.parse "MATCH (a:V)-[r*1..4]->(b:V) RETURN a, b" in
+  let conn = View.Connector (View.K_hop { src_type = "V"; dst_type = "V"; k = 2 }) in
+  (* Odd hop counts are feasible on a homogeneous schema; a 2-hop
+     connector cannot cover them. *)
+  check_bool "refused" true (K.Rewrite.rewrite homo q conn = None)
+
+let test_rewrite_homogeneous_even_range () =
+  let homo = Schema.define ~vertices:[ "V" ] ~edges:[ ("V", "LINK", "V") ] in
+  let q = K.parse "MATCH (a:V)-[r*2..2]->(b:V) RETURN a, b" in
+  let conn = View.Connector (View.K_hop { src_type = "V"; dst_type = "V"; k = 2 }) in
+  match K.Rewrite.rewrite homo q conn with
+  | Some rw -> begin
+    match Kaskade_query.Ast.patterns_of rw.K.Rewrite.rewritten with
+    | [ { Kaskade_query.Ast.p_steps = [ (e, _) ]; _ } ] ->
+      check_bool "single connector hop" true (e.Kaskade_query.Ast.e_len = Kaskade_query.Ast.Single)
+    | _ -> Alcotest.fail "pattern shape"
+  end
+  | None -> Alcotest.fail "refused"
+
+let test_rewrite_summarizer_applicability () =
+  let keep = View.Summarizer (View.Vertex_inclusion [ "Job"; "File" ]) in
+  (* Q1 only touches Job/File: applicable (query unchanged). *)
+  (match K.Rewrite.rewrite prov_schema q1 keep with
+  | Some rw ->
+    check_string "identity rewrite" (Kaskade_query.Pretty.to_string q1)
+      (Kaskade_query.Pretty.to_string rw.K.Rewrite.rewritten)
+  | None -> Alcotest.fail "should apply");
+  (* A query touching Users is not answerable from the view. *)
+  let qu = K.parse "MATCH (u:User)-[:SUBMITTED]->(j:Job) RETURN u, j" in
+  check_bool "user query refused" true (K.Rewrite.rewrite prov_schema qu keep = None)
+
+let test_rewrite_edge_removal_applicability () =
+  let drop = View.Summarizer (View.Edge_removal [ "SUBMITTED" ]) in
+  let q_ok = K.parse "MATCH (a:Job)-[:WRITES_TO]->(f:File) RETURN a, f" in
+  check_bool "applies" true (K.Rewrite.rewrite prov_schema q_ok drop <> None);
+  let q_bad = K.parse "MATCH (u:User)-[:SUBMITTED]->(j:Job) RETURN u, j" in
+  check_bool "refused" true (K.Rewrite.rewrite prov_schema q_bad drop = None)
+
+let test_merge_chains () =
+  let q = K.parse "MATCH (a:Job)-[:WRITES_TO]->(f:File), (f:File)-[:IS_READ_BY]->(b:Job) RETURN a, b" in
+  let merged = K.Rewrite.merge_chains (Kaskade_query.Ast.patterns_of q) in
+  check_int "one chain" 1 (List.length merged);
+  match merged with
+  | [ { Kaskade_query.Ast.p_steps; _ } ] -> check_int "two steps" 2 (List.length p_steps)
+  | _ -> Alcotest.fail "merge shape"
+
+let test_rewrite_same_vertex_type_not_mechanized () =
+  let v = View.Connector (View.Same_vertex_type { vtype = "Job" }) in
+  check_bool "not mechanized" true (K.Rewrite.rewrite lineage_schema q1 v = None)
+
+(* ------------------------------------------------------------------ *)
+(* Selection (paper §V-B)                                              *)
+
+let prov_graph () = Kaskade_gen.Provenance_gen.(generate { default with jobs = 300; files = 600; seed = 42 })
+
+let test_selection_picks_2hop () =
+  let g = prov_graph () in
+  let stats = Gstats.compute g in
+  let sel =
+    K.Selection.select stats (Graph.schema g) ~queries:[ q1; q2 ] ~budget_edges:1_000_000
+  in
+  let chosen = List.map View.name sel.K.Selection.chosen in
+  check_bool "2-hop connector chosen" true (List.mem "JOB_TO_JOB_2HOP" chosen)
+
+let test_selection_budget_zero () =
+  let g = prov_graph () in
+  let stats = Gstats.compute g in
+  let sel = K.Selection.select stats (Graph.schema g) ~queries:[ q1 ] ~budget_edges:0 in
+  check_int "nothing chosen" 0 (List.length sel.K.Selection.chosen)
+
+let test_selection_respects_budget () =
+  let g = prov_graph () in
+  let stats = Gstats.compute g in
+  let sel = K.Selection.select stats (Graph.schema g) ~queries:[ q1; q2 ] ~budget_edges:5_000 in
+  check_bool "weight under budget" true (sel.K.Selection.total_weight <= 5_000)
+
+let test_selection_infeasible_k_zero_value () =
+  let g = prov_graph () in
+  let stats = Gstats.compute g in
+  let sel = K.Selection.select stats (Graph.schema g) ~queries:[ q1 ] ~budget_edges:1_000_000 in
+  List.iter
+    (fun (r : K.Selection.candidate_report) ->
+      match r.K.Selection.view with
+      | View.Connector (View.K_hop { k; _ }) when k > 2 ->
+        Alcotest.(check (float 1e-9)) "k>2 connectors worthless for Q1" 0.0 r.K.Selection.improvement
+      | _ -> ())
+    sel.K.Selection.reports
+
+let test_selection_solvers_agree () =
+  let g = prov_graph () in
+  let stats = Gstats.compute g in
+  let bnb =
+    K.Selection.select ~solver:K.Selection.Branch_and_bound stats (Graph.schema g)
+      ~queries:[ q1 ] ~budget_edges:100_000
+  in
+  let dp =
+    K.Selection.select ~solver:K.Selection.Dp stats (Graph.schema g) ~queries:[ q1 ]
+      ~budget_edges:100_000
+  in
+  Alcotest.(check (float 1e-9)) "same optimum" bnb.K.Selection.total_value dp.K.Selection.total_value
+
+let test_selection_query_weights () =
+  let g = prov_graph () in
+  let stats = Gstats.compute g in
+  let sel =
+    K.Selection.select ~query_weights:[ 10.0 ] stats (Graph.schema g) ~queries:[ q1 ]
+      ~budget_edges:1_000_000
+  in
+  let base = K.Selection.select stats (Graph.schema g) ~queries:[ q1 ] ~budget_edges:1_000_000 in
+  let imp sel' =
+    List.fold_left (fun acc (r : K.Selection.candidate_report) -> acc +. r.K.Selection.improvement)
+      0.0 sel'.K.Selection.reports
+  in
+  check_bool "weights scale improvement" true (imp sel > (5.0 *. imp base))
+
+(* ------------------------------------------------------------------ *)
+(* Facade end-to-end                                                   *)
+
+let test_facade_end_to_end_equivalence () =
+  let g = prov_graph () in
+  let ks = K.create g in
+  let sel = K.select_views ks ~queries:[ q1 ] ~budget_edges:2_000_000 in
+  ignore (K.materialize_selected ks sel);
+  (* Distinct (A, B) job-pair equivalence raw vs view-based. *)
+  let pairs_query =
+    K.parse
+      "MATCH (q_j1:Job)-[:WRITES_TO]->(q_f1:File) (q_f1:File)-[r*0..8]->(q_f2:File) (q_f2:File)-[:IS_READ_BY]->(q_j2:Job) RETURN q_j1 as A, q_j2 as B"
+  in
+  let to_set (t : Kaskade_exec.Row.table) =
+    List.sort_uniq compare
+      (List.map
+         (fun row ->
+           match row with
+           | [| Kaskade_exec.Row.V a; Kaskade_exec.Row.V b |] ->
+             let name g' v = match Graph.vprop g' v "name" with Some (Value.Str s) -> s | _ -> "?" in
+             ignore name;
+             (a, b)
+           | _ -> (-1, -1))
+         t.Kaskade_exec.Row.rows)
+  in
+  let raw = Kaskade_exec.Executor.table_exn (K.run_raw ks pairs_query) in
+  let via, how = K.run ks pairs_query in
+  let via = Kaskade_exec.Executor.table_exn via in
+  (match how with
+  | K.Via_view _ -> ()
+  | K.Raw -> Alcotest.fail "expected a view-based answer");
+  (* Vertex ids differ between graphs; compare by name. *)
+  let names_of g' t =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun row ->
+           match row with
+           | [| Kaskade_exec.Row.V a; Kaskade_exec.Row.V b |] -> begin
+             match (Graph.vprop g' a "name", Graph.vprop g' b "name") with
+             | Some (Value.Str x), Some (Value.Str y) -> Some (x, y)
+             | _ -> None
+           end
+           | _ -> None)
+         t.Kaskade_exec.Row.rows)
+  in
+  ignore to_set;
+  let view_graph =
+    match how with
+    | K.Via_view name -> begin
+      match Catalog.find_by_name (K.catalog ks) name with
+      | Some e -> e.Catalog.materialized.Materialize.graph
+      | None -> Alcotest.fail "view missing"
+    end
+    | K.Raw -> g
+  in
+  Alcotest.(check (list (pair string string)))
+    "distinct pairs identical" (names_of g raw) (names_of view_graph via)
+
+let test_facade_run_raw_when_no_views () =
+  let g = prov_graph () in
+  let ks = K.create g in
+  let _, how = K.run ks q1 in
+  check_bool "raw" true (how = K.Raw)
+
+let test_facade_materialize_idempotent () =
+  let g = prov_graph () in
+  let ks = K.create g in
+  let a = K.materialize ks conn2 in
+  let b = K.materialize ks conn2 in
+  check_int "same entry" a.Catalog.size_edges b.Catalog.size_edges;
+  check_int "one catalog entry" 1 (List.length (Catalog.entries (K.catalog ks)))
+
+let test_facade_q7_q8_pipeline_on_view () =
+  let g = prov_graph () in
+  let ks = K.create g in
+  ignore (K.materialize ks conn2);
+  let ctx = K.view_ctx ks "JOB_TO_JOB_2HOP" in
+  (match Kaskade_exec.Executor.run_string ctx "CALL algo.labelPropagation(5)" with
+  | Kaskade_exec.Executor.Affected _ -> ()
+  | _ -> Alcotest.fail "LP failed");
+  let t =
+    Kaskade_exec.Executor.table_exn
+      (Kaskade_exec.Executor.run_string ctx "CALL algo.largestCommunity('Job')")
+  in
+  check_bool "community found on view" true (Kaskade_exec.Row.n_rows t > 0)
+
+let test_facade_enumerate_via_facade () =
+  let g = prov_graph () in
+  let ks = K.create g in
+  let e = K.enumerate_views ks q1 in
+  check_bool "candidates found" true (List.length e.K.Enumerate.candidates >= 5)
+
+let test_facade_run_on_view_unknown () =
+  let g = prov_graph () in
+  let ks = K.create g in
+  check_bool "not found" true
+    (try
+       ignore (K.run_on_view ks "NOPE" q1);
+       false
+     with Not_found -> true)
+
+
+(* ------------------------------------------------------------------ *)
+(* Property: rewrite equivalence on random graphs                      *)
+
+let summarize_to_lineage g =
+  (Materialize.materialize g (View.Summarizer (View.Vertex_inclusion [ "Job"; "File" ])))
+    .Materialize.graph
+
+let distinct_name_pairs g (t : Kaskade_exec.Row.table) =
+  List.sort_uniq compare
+    (List.filter_map
+       (fun row ->
+         match row with
+         | [| Kaskade_exec.Row.V a; Kaskade_exec.Row.V b |] -> begin
+           match (Graph.vprop g a "name", Graph.vprop g b "name") with
+           | Some (Value.Str x), Some (Value.Str y) -> Some (x, y)
+           | _ -> None
+         end
+         | _ -> None)
+       t.Kaskade_exec.Row.rows)
+
+let pairs_of ctx g src =
+  distinct_name_pairs g (Kaskade_exec.Executor.table_exn (Kaskade_exec.Executor.run_string ctx src))
+
+(* For random lineage graphs and several query shapes, the distinct
+   endpoint pairs of the raw query equal those of its rewriting over a
+   freshly materialized 2-hop connector. *)
+let prop_rewrite_equivalent =
+  let shapes =
+    [ "MATCH (a:Job)-[:WRITES_TO]->(f1:File) (f1:File)-[r*0..6]->(f2:File) (f2:File)-[:IS_READ_BY]->(b:Job) RETURN a, b";
+      "MATCH (a:Job)<-[r*1..4]-(b:Job) RETURN a, b";
+      "MATCH (a:Job)-[r*2..6]->(b:Job) RETURN a, b" ]
+  in
+  QCheck.Test.make ~name:"connector rewrite preserves distinct pairs" ~count:25
+    QCheck.(triple (8 -- 40) (0 -- 500) (0 -- 2))
+    (fun (jobs, seed, shape_idx) ->
+      let g =
+        summarize_to_lineage
+          Kaskade_gen.Provenance_gen.(
+            generate { default with jobs; files = 2 * jobs; seed = seed + 3 })
+      in
+      let schema = Graph.schema g in
+      let q = K.parse (List.nth shapes shape_idx) in
+      match K.Rewrite.rewrite schema q conn2 with
+      | None -> QCheck.Test.fail_report "rewrite refused"
+      | Some rw ->
+        let view = Materialize.k_hop_connector g ~src_type:"Job" ~dst_type:"Job" ~k:2 in
+        let raw_ctx = Kaskade_exec.Executor.create g in
+        let conn_ctx = Kaskade_exec.Executor.create view.Materialize.graph in
+        let raw_pairs = pairs_of raw_ctx g (Kaskade_query.Pretty.to_string q) in
+        let conn_pairs =
+          pairs_of conn_ctx view.Materialize.graph
+            (Kaskade_query.Pretty.to_string rw.K.Rewrite.rewritten)
+        in
+        raw_pairs = conn_pairs)
+
+(* The all-trails executor agrees with distinct-endpoints on pair
+   *sets* for the workload's lo<=1 ranges (tiny graphs only). *)
+let prop_modes_agree =
+  QCheck.Test.make ~name:"trail and distinct modes agree on endpoint sets" ~count:15
+    QCheck.(pair (4 -- 10) (0 -- 200))
+    (fun (jobs, seed) ->
+      let g =
+        summarize_to_lineage
+          Kaskade_gen.Provenance_gen.(
+            generate { default with jobs; files = jobs; writes_per_job = 2; reads_per_job = 2; seed })
+      in
+      let src = "MATCH (a:Job)-[r*1..4]->(b:Job) RETURN a, b" in
+      let d = Kaskade_exec.Executor.create g in
+      let t = Kaskade_exec.Executor.create ~mode:Kaskade_exec.Executor.All_trails g in
+      pairs_of d g src = pairs_of t g src)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest [ prop_rewrite_equivalent; prop_modes_agree ]
+
+let () =
+  Alcotest.run "kaskade_core"
+    [
+      ( "facts",
+        [
+          Alcotest.test_case "listing 1 facts" `Quick test_query_facts_listing1;
+          Alcotest.test_case "returned vars" `Quick test_query_facts_returned;
+          Alcotest.test_case "schema facts" `Quick test_schema_facts;
+          Alcotest.test_case "homogeneous typing" `Quick test_homogeneous_untyped_vars_typed;
+        ] );
+      ( "enumerate",
+        [
+          Alcotest.test_case "paper §IV-B example" `Quick test_enumeration_matches_paper_example;
+          Alcotest.test_case "bridge variables" `Quick test_enumeration_bridges;
+          Alcotest.test_case "summarizer candidate" `Quick test_enumeration_summarizer;
+          Alcotest.test_case "no trivial summarizer" `Quick test_enumeration_no_summarizer_when_all_types_used;
+          Alcotest.test_case "Q2 even hops" `Quick test_enumeration_q2_even_hops_only;
+          Alcotest.test_case "constraint pruning" `Quick test_enumeration_constraint_pruning;
+          Alcotest.test_case "unconstrained space" `Quick test_enumeration_unconstrained_space;
+          Alcotest.test_case "deterministic" `Quick test_enumeration_deterministic;
+          Alcotest.test_case "homogeneous" `Quick test_enumeration_homogeneous;
+        ] );
+      ( "rules",
+        [
+          Alcotest.test_case "schemaKHopPath parity" `Quick test_rules_schema_khop;
+          Alcotest.test_case "acyclic variant (paper Listing 2)" `Quick test_rules_acyclic_variant_matches_paper;
+          Alcotest.test_case "queryKHopPath range" `Quick test_rules_query_khop;
+          Alcotest.test_case "query sources/sinks" `Quick test_rules_sources_sinks;
+          Alcotest.test_case "ego neighbourhood rule" `Quick test_rules_khop_nbors;
+        ] );
+      ( "estimator",
+        [
+          Alcotest.test_case "Erdos-Renyi (Eq. 1)" `Quick test_erdos_renyi_formula;
+          Alcotest.test_case "homogeneous (Eq. 2)" `Quick test_homogeneous_estimator;
+          Alcotest.test_case "heterogeneous (Eq. 3)" `Quick test_heterogeneous_estimator;
+          Alcotest.test_case "typed chain bound" `Quick test_typed_chain;
+          Alcotest.test_case "ER underestimates power law" `Quick test_er_underestimates_powerlaw;
+          Alcotest.test_case "summarizer size" `Quick test_view_size_summarizer;
+        ] );
+      ( "rewrite",
+        [
+          Alcotest.test_case "Listing 1 -> Listing 4" `Quick test_rewrite_listing1_to_listing4_shape;
+          Alcotest.test_case "uncovering k refused" `Quick test_rewrite_refuses_uncovering_k;
+          Alcotest.test_case "backward segment" `Quick test_rewrite_backward_segment;
+          Alcotest.test_case "interior reference blocks" `Quick test_rewrite_preserves_interior_reference;
+          Alcotest.test_case "homogeneous odd hops refused" `Quick test_rewrite_homogeneous_odd_hops_refused;
+          Alcotest.test_case "homogeneous even range" `Quick test_rewrite_homogeneous_even_range;
+          Alcotest.test_case "summarizer applicability" `Quick test_rewrite_summarizer_applicability;
+          Alcotest.test_case "edge removal applicability" `Quick test_rewrite_edge_removal_applicability;
+          Alcotest.test_case "merge chains" `Quick test_merge_chains;
+          Alcotest.test_case "same-vertex-type not mechanized" `Quick test_rewrite_same_vertex_type_not_mechanized;
+        ] );
+      ( "selection",
+        [
+          Alcotest.test_case "picks 2-hop" `Quick test_selection_picks_2hop;
+          Alcotest.test_case "budget zero" `Quick test_selection_budget_zero;
+          Alcotest.test_case "respects budget" `Quick test_selection_respects_budget;
+          Alcotest.test_case "infeasible k worthless" `Quick test_selection_infeasible_k_zero_value;
+          Alcotest.test_case "solvers agree" `Quick test_selection_solvers_agree;
+          Alcotest.test_case "query weights" `Quick test_selection_query_weights;
+        ] );
+      ("properties", qcheck_cases);
+      ( "facade",
+        [
+          Alcotest.test_case "end-to-end equivalence" `Quick test_facade_end_to_end_equivalence;
+          Alcotest.test_case "raw without views" `Quick test_facade_run_raw_when_no_views;
+          Alcotest.test_case "materialize idempotent" `Quick test_facade_materialize_idempotent;
+          Alcotest.test_case "Q7/Q8 pipeline on view" `Quick test_facade_q7_q8_pipeline_on_view;
+          Alcotest.test_case "enumerate via facade" `Quick test_facade_enumerate_via_facade;
+          Alcotest.test_case "run_on_view unknown" `Quick test_facade_run_on_view_unknown;
+        ] );
+    ]

@@ -1,0 +1,695 @@
+open Kaskade_graph
+open Kaskade_exec
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let lineage_schema = Kaskade_gen.Provenance_gen.schema
+
+(* j0 writes f0, f1; f0 read by j1; f1 read by j1 and j2; j2 writes f2;
+   user u0 submitted j0, j1; u1 submitted j2. *)
+let small_lineage () =
+  let b = Builder.create lineage_schema in
+  let j =
+    Array.init 3 (fun i ->
+        Builder.add_vertex b ~vtype:"Job"
+          ~props:
+            [ ("name", Value.Str (Printf.sprintf "j%d" i));
+              ("CPU", Value.Float (float_of_int (10 * (i + 1))));
+              ("pipelineName", Value.Str (if i < 2 then "alpha" else "beta")) ]
+          ())
+  in
+  let f =
+    Array.init 3 (fun i ->
+        Builder.add_vertex b ~vtype:"File"
+          ~props:[ ("name", Value.Str (Printf.sprintf "f%d" i)) ] ())
+  in
+  let u = Array.init 2 (fun i ->
+      Builder.add_vertex b ~vtype:"User" ~props:[ ("name", Value.Str (Printf.sprintf "u%d" i)) ] ())
+  in
+  let ts = ref 0 in
+  let edge s d t =
+    incr ts;
+    ignore (Builder.add_edge b ~src:s ~dst:d ~etype:t ~props:[ ("timestamp", Value.Int !ts) ] ())
+  in
+  edge j.(0) f.(0) "WRITES_TO";
+  edge j.(0) f.(1) "WRITES_TO";
+  edge f.(0) j.(1) "IS_READ_BY";
+  edge f.(1) j.(1) "IS_READ_BY";
+  edge f.(1) j.(2) "IS_READ_BY";
+  edge j.(2) f.(2) "WRITES_TO";
+  edge u.(0) j.(0) "SUBMITTED";
+  edge u.(0) j.(1) "SUBMITTED";
+  edge u.(1) j.(2) "SUBMITTED";
+  (Graph.freeze b, j, f, u)
+
+
+(* First MATCH pattern of a query (planner tests). *)
+module Ast_patterns = struct
+  let first q = match Kaskade_query.Ast.patterns_of q with p :: _ -> Some p | [] -> None
+end
+
+let table ctx src = Executor.table_exn (Executor.run_string ctx src)
+
+let names g t col =
+  List.map
+    (fun row ->
+      match row.(Row.col_index t col) with
+      | Row.V v -> begin
+        match Graph.vprop g v "name" with Some (Value.Str s) -> s | _ -> "?"
+      end
+      | other -> Row.rval_to_string g other)
+    t.Row.rows
+  |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* MATCH basics                                                        *)
+
+let test_scan_by_label () =
+  let g, _, _, _ = small_lineage () in
+  let ctx = Executor.create g in
+  let t = table ctx "MATCH (j:Job) RETURN j" in
+  Alcotest.(check (list string)) "all jobs" [ "j0"; "j1"; "j2" ] (names g t "j")
+
+let test_scan_all () =
+  let g, _, _, _ = small_lineage () in
+  let ctx = Executor.create g in
+  check_int "all vertices" (Graph.n_vertices g) (Row.n_rows (table ctx "MATCH (n) RETURN n"))
+
+let test_single_edge_expand () =
+  let g, _, _, _ = small_lineage () in
+  let ctx = Executor.create g in
+  let t = table ctx "MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j, f" in
+  check_int "three writes" 3 (Row.n_rows t)
+
+let test_backward_edge () =
+  let g, _, _, _ = small_lineage () in
+  let ctx = Executor.create g in
+  let t = table ctx "MATCH (f:File)<-[:WRITES_TO]-(j:Job) RETURN f, j" in
+  check_int "same three writes" 3 (Row.n_rows t)
+
+let test_two_hop_chain () =
+  let g, _, _, _ = small_lineage () in
+  let ctx = Executor.create g in
+  let t = table ctx "MATCH (a:Job)-[:WRITES_TO]->(f:File)-[:IS_READ_BY]->(b:Job) RETURN a, b" in
+  (* j0-f0-j1, j0-f1-j1, j0-f1-j2 *)
+  check_int "three 2-hop paths" 3 (Row.n_rows t)
+
+let test_shared_var_join () =
+  let g, _, _, _ = small_lineage () in
+  let ctx = Executor.create g in
+  let t =
+    table ctx
+      "MATCH (a:Job)-[:WRITES_TO]->(f:File), (f:File)-[:IS_READ_BY]->(b:Job) RETURN a, f, b"
+  in
+  check_int "join on f" 3 (Row.n_rows t)
+
+let test_unknown_label_rejected () =
+  let g, _, _, _ = small_lineage () in
+  let ctx = Executor.create g in
+  check_bool "semantic error" true
+    (try
+       ignore (table ctx "MATCH (x:Ghost) RETURN x");
+       false
+     with Kaskade_query.Analyze.Semantic_error _ -> true)
+
+let test_edge_var_binding () =
+  let g, _, _, _ = small_lineage () in
+  let ctx = Executor.create g in
+  let t = table ctx "MATCH (j:Job)-[e:WRITES_TO]->(f:File) WHERE e.timestamp > 1 RETURN j, f" in
+  check_int "filter on edge prop" 2 (Row.n_rows t)
+
+(* ------------------------------------------------------------------ *)
+(* Variable-length paths                                               *)
+
+let test_var_length_distinct () =
+  let g, _, _, _ = small_lineage () in
+  let ctx = Executor.create g in
+  let t = table ctx "MATCH (f:File)-[r*1..4]->(n:Job) RETURN f, n" in
+  (* Distinct (file, job) pairs within 4 hops: f0->{j1,j2(f0-j1? no...)}:
+     f0->j1 (1 hop), then j1 has no out-edges beyond... j1 writes
+     nothing, so from f0: {j1}. f1->{j1, j2}, plus f1->j2->... j2
+     writes f2, f2 read by nobody; f2->{} ; also f0->j1 only.
+     Pairs: (f0,j1), (f1,j1), (f1,j2). Wait f0: 1-hop j1; j1 no
+     out-edges. And (f1,j2)->f2: f2 is File not Job. Total 3. *)
+  check_int "distinct pairs" 3 (Row.n_rows t)
+
+let test_var_length_zero_lo () =
+  let g, _, _, _ = small_lineage () in
+  let ctx = Executor.create g in
+  let t = table ctx "MATCH (f:File)-[r*0..2]->(x:File) RETURN f, x" in
+  (* lo=0 pairs every file with itself (3) plus 2-hop file-file pairs:
+     f0->j1->(nothing), f1->j1/j2->...: f1-j2-f2. So 3 + 1 = 4. *)
+  check_int "self plus 2-hop" 4 (Row.n_rows t)
+
+let test_var_length_trails_multiplicity () =
+  let g, _, _, _ = small_lineage () in
+  let ctx = Executor.create ~mode:Executor.All_trails g in
+  let t = table ctx "MATCH (a:Job)-[r*2..2]->(b:Job) RETURN a, b" in
+  (* Trails of length exactly 2 between jobs: j0-f0-j1, j0-f1-j1,
+     j0-f1-j2 — multiplicity preserved. *)
+  check_int "three trails" 3 (Row.n_rows t)
+
+let test_var_length_modes_agree_on_sets () =
+  let g, _, _, _ = small_lineage () in
+  let distinct = Executor.create g in
+  let trails = Executor.create ~mode:Executor.All_trails g in
+  let set_of ctx =
+    let t = table ctx "MATCH (a:Job)-[r*1..3]->(x) RETURN a, x" in
+    List.sort_uniq compare
+      (List.map (fun row -> (row.(0), row.(1))) t.Row.rows)
+  in
+  check_bool "same endpoint sets" true (set_of distinct = set_of trails)
+
+let test_var_length_cycle_self_pair () =
+  (* a -> b -> a cycle: distinct-endpoint expansion must report the
+     source as reachable at hop 2 (connector-rewrite soundness). *)
+  let schema = Schema.define ~vertices:[ "V" ] ~edges:[ ("V", "E", "V") ] in
+  let b = Builder.create schema in
+  let v0 = Builder.add_vertex b ~vtype:"V" ~props:[ ("name", Value.Str "v0") ] () in
+  let v1 = Builder.add_vertex b ~vtype:"V" ~props:[ ("name", Value.Str "v1") ] () in
+  ignore (Builder.add_edge b ~src:v0 ~dst:v1 ~etype:"E" ());
+  ignore (Builder.add_edge b ~src:v1 ~dst:v0 ~etype:"E" ());
+  let g = Graph.freeze b in
+  let ctx = Executor.create g in
+  let t = table ctx "MATCH (a)-[r*1..2]->(b) RETURN a, b" in
+  check_int "both self-pairs found" 4 (Row.n_rows t)
+
+let test_var_length_lo2_walk_semantics () =
+  (* Line 0->1->2: with *2..2 only vertex 2 qualifies; vertex 1 is at
+     distance 1 and has no length-2 walk. *)
+  let schema = Schema.define ~vertices:[ "V" ] ~edges:[ ("V", "E", "V") ] in
+  let b = Builder.create schema in
+  let ids = Array.init 3 (fun i -> Builder.add_vertex b ~vtype:"V" ~props:[ ("name", Value.Str (Printf.sprintf "v%d" i)) ] ()) in
+  ignore (Builder.add_edge b ~src:ids.(0) ~dst:ids.(1) ~etype:"E" ());
+  ignore (Builder.add_edge b ~src:ids.(1) ~dst:ids.(2) ~etype:"E" ());
+  let g = Graph.freeze b in
+  let ctx = Executor.create g in
+  let t = table ctx "MATCH (a)-[r*2..2]->(b) RETURN a, b" in
+  check_int "exactly one length-2 pair" 1 (Row.n_rows t)
+
+let test_var_length_etype_filter () =
+  let g, _, _, _ = small_lineage () in
+  let ctx = Executor.create g in
+  let t = table ctx "MATCH (j:Job)-[r:WRITES_TO*1..4]->(x) RETURN j, x" in
+  (* WRITES_TO-only paths have length exactly 1 (File has no
+     WRITES_TO out-edges). *)
+  check_int "typed var-length" 3 (Row.n_rows t)
+
+(* ------------------------------------------------------------------ *)
+(* WHERE / projections / aggregation                                   *)
+
+let test_where_on_vertex_prop () =
+  let g, _, _, _ = small_lineage () in
+  let ctx = Executor.create g in
+  let t = table ctx "MATCH (j:Job) WHERE j.CPU > 15 RETURN j" in
+  Alcotest.(check (list string)) "filtered" [ "j1"; "j2" ] (names g t "j")
+
+let test_projection_props () =
+  let g, _, _, _ = small_lineage () in
+  let ctx = Executor.create g in
+  let t = table ctx "MATCH (j:Job) RETURN j.name AS n, j.CPU AS c" in
+  check_int "rows" 3 (Row.n_rows t);
+  Alcotest.(check (array string)) "cols" [| "n"; "c" |] t.Row.cols
+
+let test_count_star () =
+  let g, _, _, _ = small_lineage () in
+  let ctx = Executor.create g in
+  let t = table ctx "SELECT COUNT(*) FROM (MATCH (a)-[r]->(b) RETURN a)" in
+  match t.Row.rows with
+  | [ [| Row.Prim (Value.Int n) |] ] -> check_int "edge count" (Graph.n_edges g) n
+  | _ -> Alcotest.fail "bad count"
+
+let test_group_by_aggregates () =
+  let g, _, _, _ = small_lineage () in
+  let ctx = Executor.create g in
+  let t =
+    table ctx
+      "SELECT j.pipelineName, SUM(j.CPU), COUNT(*), MIN(j.CPU), MAX(j.CPU) FROM (MATCH (j:Job) RETURN j) GROUP BY j.pipelineName"
+  in
+  check_int "two pipelines" 2 (Row.n_rows t);
+  let by_name =
+    List.map
+      (fun row ->
+        match (row.(0), row.(1), row.(2), row.(3), row.(4)) with
+        | Row.Prim (Value.Str p), Row.Prim s, Row.Prim (Value.Int c), Row.Prim mn, Row.Prim mx ->
+          (p, (s, c, mn, mx))
+        | _ -> Alcotest.fail "row shape")
+      t.Row.rows
+  in
+  let s, c, mn, mx = List.assoc "alpha" by_name in
+  check_bool "sum alpha" true (Value.equal s (Value.Float 30.0));
+  check_int "count alpha" 2 c;
+  check_bool "min alpha" true (Value.equal mn (Value.Float 10.0));
+  check_bool "max alpha" true (Value.equal mx (Value.Float 20.0))
+
+let test_avg () =
+  let g, _, _, _ = small_lineage () in
+  let ctx = Executor.create g in
+  let t = table ctx "SELECT AVG(j.CPU) FROM (MATCH (j:Job) RETURN j)" in
+  match t.Row.rows with
+  | [ [| Row.Prim (Value.Float a) |] ] -> Alcotest.(check (float 1e-9)) "avg" 20.0 a
+  | _ -> Alcotest.fail "bad avg"
+
+let test_nested_select () =
+  let g, _, _, _ = small_lineage () in
+  let ctx = Executor.create g in
+  let t =
+    table ctx
+      "SELECT AVG(total) FROM (SELECT u, COUNT(*) AS total FROM (MATCH (u:User)-[:SUBMITTED]->(j:Job) RETURN u, j) GROUP BY u)"
+  in
+  match t.Row.rows with
+  | [ [| Row.Prim (Value.Float a) |] ] -> Alcotest.(check (float 1e-9)) "avg submissions" 1.5 a
+  | _ -> Alcotest.fail "bad nested"
+
+let test_select_where () =
+  let g, _, _, _ = small_lineage () in
+  let ctx = Executor.create g in
+  let t =
+    table ctx
+      "SELECT j FROM (MATCH (j:Job) RETURN j) WHERE j.CPU >= 20"
+  in
+  check_int "filtered outer" 2 (Row.n_rows t)
+
+let test_group_by_vertex () =
+  let g, _, _, _ = small_lineage () in
+  let ctx = Executor.create g in
+  let t =
+    table ctx
+      "SELECT a, COUNT(*) FROM (MATCH (a:Job)-[:WRITES_TO]->(f:File) RETURN a, f) GROUP BY a"
+  in
+  check_int "two writers" 2 (Row.n_rows t)
+
+let test_listing1_full () =
+  let g, _, _, _ = small_lineage () in
+  let ctx = Executor.create g in
+  let t =
+    table ctx
+      "SELECT A.pipelineName, AVG(T_CPU) FROM (SELECT A, SUM(B.CPU) AS T_CPU FROM (MATCH (q_j1:Job)-[:WRITES_TO]->(q_f1:File) (q_f1:File)-[r*0..8]->(q_f2:File) (q_f2:File)-[:IS_READ_BY]->(q_j2:Job) RETURN q_j1 as A, q_j2 as B) GROUP BY A, B) GROUP BY A.pipelineName"
+  in
+  (* Only j0 and j2 write; j2's file is read by nobody, so only j0
+     (pipeline alpha) produces rows. *)
+  check_int "one pipeline row" 1 (Row.n_rows t)
+
+
+let test_order_by_limit () =
+  let g, _, _, _ = small_lineage () in
+  let ctx = Executor.create g in
+  let t = table ctx "SELECT j.name AS n, j.CPU AS c FROM (MATCH (j:Job) RETURN j) ORDER BY c DESC LIMIT 2" in
+  check_int "limited" 2 (Row.n_rows t);
+  (match t.Row.rows with
+  | [ first; second ] ->
+    check_bool "descending" true
+      (Row.rval_compare first.(1) second.(1) > 0)
+  | _ -> Alcotest.fail "rows");
+  let asc = table ctx "SELECT j.name AS n FROM (MATCH (j:Job) RETURN j) ORDER BY j.name" in
+  (match asc.Row.rows with
+  | [ a; _; c ] ->
+    check_bool "ascending names" true (Row.rval_compare a.(0) c.(0) < 0)
+  | _ -> Alcotest.fail "rows")
+
+let test_order_by_aggregate_alias () =
+  let g, _, _, _ = small_lineage () in
+  let ctx = Executor.create g in
+  let t =
+    table ctx
+      "SELECT j.pipelineName AS p, SUM(j.CPU) AS total FROM (MATCH (j:Job) RETURN j) GROUP BY j.pipelineName ORDER BY total DESC LIMIT 1"
+  in
+  match t.Row.rows with
+  | [ [| Row.Prim (Value.Str p); _ |] ] -> Alcotest.(check string) "top pipeline" "alpha" p
+  | _ -> Alcotest.fail "shape"
+
+
+let test_index_probe_scan () =
+  let g, _, _, _ = small_lineage () in
+  let ctx = Executor.create g in
+  (* Equality on the start variable: the executor probes the on-demand
+     index instead of scanning; results identical to the scan path. *)
+  let t = table ctx "MATCH (j:Job)-[:WRITES_TO]->(f:File) WHERE j.name = 'j0' RETURN j, f" in
+  check_int "j0 writes two files" 2 (Row.n_rows t);
+  let t2 = table ctx "MATCH (j:Job) WHERE j.name = 'nope' RETURN j" in
+  check_int "no match" 0 (Row.n_rows t2)
+
+let prop_index_probe_equivalent =
+  QCheck.Test.make ~name:"index probe = scan results" ~count:20
+    QCheck.(pair (10 -- 60) (0 -- 300))
+    (fun (jobs, seed) ->
+      let g = Kaskade_gen.Provenance_gen.(generate { default with jobs; files = jobs; seed }) in
+      let ctx = Executor.create g in
+      let rng = Kaskade_util.Prng.create (seed + 1) in
+      let target = Printf.sprintf "job_%d" (Kaskade_util.Prng.int rng jobs) in
+      let probed =
+        table ctx
+          (Printf.sprintf "MATCH (j:Job)-[:WRITES_TO]->(f:File) WHERE j.name = '%s' RETURN j, f" target)
+      in
+      (* Force the scan path by filtering on a non-start variable. *)
+      let scanned =
+        table ctx
+          (Printf.sprintf
+             "MATCH (f:File)<-[:WRITES_TO]-(j:Job) WHERE j.name = '%s' RETURN j, f" target)
+      in
+      (* Both queries RETURN j, f — same column order. *)
+      List.sort_uniq compare probed.Row.rows = List.sort_uniq compare scanned.Row.rows)
+
+
+let test_select_distinct () =
+  let g, _, _, _ = small_lineage () in
+  let ctx = Executor.create g in
+  let dup = table ctx "SELECT j.pipelineName AS p FROM (MATCH (j:Job) RETURN j)" in
+  check_int "with duplicates" 3 (Row.n_rows dup);
+  let t = table ctx "SELECT DISTINCT j.pipelineName AS p FROM (MATCH (j:Job) RETURN j)" in
+  check_int "distinct pipelines" 2 (Row.n_rows t);
+  (* DISTINCT composes with ORDER BY / LIMIT. *)
+  let t2 =
+    table ctx
+      "SELECT DISTINCT j.pipelineName AS p FROM (MATCH (j:Job) RETURN j) ORDER BY p DESC LIMIT 1"
+  in
+  match t2.Row.rows with
+  | [ [| Row.Prim (Value.Str p) |] ] -> Alcotest.(check string) "beta first desc" "beta" p
+  | _ -> Alcotest.fail "shape"
+
+(* ------------------------------------------------------------------ *)
+(* CALL procedures                                                     *)
+
+let test_call_label_propagation () =
+  let g, _, _, _ = small_lineage () in
+  let ctx = Executor.create g in
+  (match Executor.run_string ctx "CALL algo.labelPropagation(5)" with
+  | Executor.Affected n -> check_int "touches all vertices" (Graph.n_vertices g) n
+  | _ -> Alcotest.fail "expected Affected");
+  check_bool "labels stored" true (Executor.communities ctx <> None)
+
+let test_call_largest_community () =
+  let g, _, _, _ = small_lineage () in
+  let ctx = Executor.create g in
+  ignore (Executor.run_string ctx "CALL algo.labelPropagation(5)");
+  let t = table ctx "CALL algo.largestCommunity('Job')" in
+  check_bool "nonempty" true (Row.n_rows t > 0)
+
+let test_call_largest_requires_lp () =
+  let g, _, _, _ = small_lineage () in
+  let ctx = Executor.create g in
+  check_bool "raises without LP" true
+    (try
+       ignore (table ctx "CALL algo.largestCommunity('Job')");
+       false
+     with Invalid_argument _ -> true)
+
+let test_call_unknown_proc () =
+  let g, _, _, _ = small_lineage () in
+  let ctx = Executor.create g in
+  check_bool "unknown proc" true
+    (try
+       ignore (Executor.run_string ctx "CALL algo.bogus(1)");
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Cost model                                                          *)
+
+let test_cost_monotone_in_path_length () =
+  (* A denser graph, where each expansion has branching factor > 1. *)
+  let g = Kaskade_gen.Provenance_gen.(generate { default with jobs = 100; files = 150; seed = 2 }) in
+  let stats = Gstats.compute g in
+  let schema = Graph.schema g in
+  let cost src = Cost.eval_cost stats schema (Kaskade_query.Qparser.parse src) in
+  let c1 = cost "MATCH (a:Job)-[:WRITES_TO]->(f:File) RETURN a" in
+  let c2 = cost "MATCH (a:Job)-[:WRITES_TO]->(f:File)-[:IS_READ_BY]->(b:Job) RETURN a" in
+  check_bool "longer pattern costs more" true (c2 > c1)
+
+let test_cost_var_length_grows () =
+  let g, _, _, _ = small_lineage () in
+  let stats = Gstats.compute g in
+  let schema = Graph.schema g in
+  let cost src = Cost.eval_cost stats schema (Kaskade_query.Qparser.parse src) in
+  let short = cost "MATCH (f:File)-[r*1..2]->(x) RETURN f" in
+  let long = cost "MATCH (f:File)-[r*1..8]->(x) RETURN f" in
+  check_bool "wider range costs more" true (long >= short)
+
+let test_cost_deg_override () =
+  let g, _, _, _ = small_lineage () in
+  let stats = Gstats.compute g in
+  let schema = Graph.schema g in
+  let q = Kaskade_query.Qparser.parse "MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j" in
+  let base = Cost.eval_cost stats schema q in
+  let boosted =
+    Cost.eval_cost ~deg_override:(fun l -> if l = "Job" then Some 50.0 else None) stats schema q
+  in
+  check_bool "override raises cost" true (boosted > base)
+
+let test_cost_scan_label_cheaper () =
+  let g, _, _, _ = small_lineage () in
+  let stats = Gstats.compute g in
+  let schema = Graph.schema g in
+  let cost src = Cost.eval_cost stats schema (Kaskade_query.Qparser.parse src) in
+  check_bool "typed scan cheaper than full scan" true
+    (cost "MATCH (j:Job) RETURN j" < cost "MATCH (n) RETURN n")
+
+
+
+(* ------------------------------------------------------------------ *)
+(* Planner                                                             *)
+
+let row_set (t : Row.table) = List.sort_uniq compare t.Row.rows
+
+let test_planner_anchor_choice () =
+  let g, _, _, _ = small_lineage () in
+  let stats = Gstats.compute g in
+  let schema = Graph.schema g in
+  (* Users (2) are rarer than Jobs (3): anchor at the User end. *)
+  let q = Kaskade_query.Qparser.parse "MATCH (j:Job)<-[:SUBMITTED]-(u:User) RETURN j, u" in
+  (match Ast_patterns.first q with
+  | Some p ->
+    check_int "anchor at user" 1 (Planner.anchor_position stats schema ~bound:(fun _ -> false) p)
+  | None -> Alcotest.fail "no pattern");
+  (* An unlabelled head loses to any labelled node. *)
+  let q2 = Kaskade_query.Qparser.parse "MATCH (x)-[:WRITES_TO]->(f:File) RETURN x, f" in
+  match Ast_patterns.first q2 with
+  | Some p ->
+    check_int "anchor at file" 1 (Planner.anchor_position stats schema ~bound:(fun _ -> false) p)
+  | None -> Alcotest.fail "no pattern"
+
+let test_planner_bound_var_wins () =
+  let g, _, _, _ = small_lineage () in
+  let stats = Gstats.compute g in
+  let schema = Graph.schema g in
+  let q = Kaskade_query.Qparser.parse "MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j, f" in
+  match Ast_patterns.first q with
+  | Some p ->
+    check_int "bound j beats File scan" 0
+      (Planner.anchor_position stats schema ~bound:(fun v -> v = "j") p)
+  | None -> Alcotest.fail "no pattern"
+
+let test_planner_preserves_results () =
+  let g, _, _, _ = small_lineage () in
+  let plain = Executor.create g in
+  let planned = Executor.create ~planner:true g in
+  List.iter
+    (fun src ->
+      let a = row_set (table plain src) and b = row_set (table planned src) in
+      if a <> b then Alcotest.failf "planner changed results of %s" src)
+    [ "MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j, f";
+      "MATCH (x)-[:WRITES_TO]->(f:File) RETURN x, f";
+      "MATCH (u:User)-[:SUBMITTED]->(j:Job)-[:WRITES_TO]->(f:File) RETURN u, f";
+      "MATCH (a:Job)-[:WRITES_TO]->(f:File) (f:File)-[r*0..4]->(g2:File) RETURN a, g2";
+      "MATCH (f:File)<-[:WRITES_TO]-(j:Job)<-[:SUBMITTED]-(u:User) RETURN f, u";
+      "SELECT COUNT(*) FROM (MATCH (a)-[r]->(b) RETURN a)" ]
+
+let prop_planner_equivalent =
+  QCheck.Test.make ~name:"planner preserves result sets" ~count:20
+    QCheck.(pair (10 -- 50) (0 -- 300))
+    (fun (jobs, seed) ->
+      let g = Kaskade_gen.Provenance_gen.(generate { default with jobs; files = 2 * jobs; seed }) in
+      let plain = Executor.create g in
+      let planned = Executor.create ~planner:true g in
+      List.for_all
+        (fun src -> row_set (table plain src) = row_set (table planned src))
+        [ "MATCH (x)-[:WRITES_TO]->(f:File)-[:IS_READ_BY]->(b:Job) RETURN x, b";
+          "MATCH (t:Task)<-[:HAS_TASK]-(j:Job)-[:WRITES_TO]->(f:File) RETURN t, f";
+          "MATCH (j:Job)-[r*1..3]->(x) RETURN j, x" ])
+
+(* ------------------------------------------------------------------ *)
+(* Edge cases                                                          *)
+
+let test_null_propagation () =
+  let g, _, _, _ = small_lineage () in
+  let ctx = Executor.create g in
+  (* Files have no CPU: comparisons with Null are falsy, so the filter
+     keeps nothing. *)
+  let t = table ctx "MATCH (f:File) WHERE f.CPU > 0 RETURN f" in
+  check_int "null comparisons fail" 0 (Row.n_rows t)
+
+let test_missing_prop_projects_null () =
+  let g, _, _, _ = small_lineage () in
+  let ctx = Executor.create g in
+  let t = table ctx "MATCH (f:File) RETURN f.CPU" in
+  check_int "rows" 3 (Row.n_rows t);
+  List.iter
+    (fun row -> check_bool "null" true (Row.rval_equal row.(0) (Row.Prim Value.Null)))
+    t.Row.rows
+
+let test_avg_of_empty_group () =
+  let g, _, _, _ = small_lineage () in
+  let ctx = Executor.create g in
+  (* WHERE keeps nothing; SQL still yields a single aggregate row,
+     with a NULL average. *)
+  let t = table ctx "SELECT AVG(j.CPU) FROM (MATCH (j:Job) RETURN j) WHERE j.CPU > 1000" in
+  match t.Row.rows with
+  | [ [| v |] ] -> check_bool "null avg" true (Row.rval_equal v (Row.Prim Value.Null))
+  | _ -> Alcotest.fail "expected exactly one aggregate row"
+
+let test_sum_skips_nulls () =
+  let g, _, _, _ = small_lineage () in
+  let ctx = Executor.create g in
+  (* Mixed vertex set: only jobs carry CPU; SUM ignores nulls. *)
+  let t = table ctx "SELECT SUM(n.CPU) FROM (MATCH (n) RETURN n)" in
+  match t.Row.rows with
+  | [ [| Row.Prim v |] ] -> check_bool "sum over jobs only" true (Value.equal v (Value.Float 60.0))
+  | _ -> Alcotest.fail "bad shape"
+
+let test_count_vs_count_star () =
+  let g, _, _, _ = small_lineage () in
+  let ctx = Executor.create g in
+  let t =
+    table ctx "SELECT COUNT(*), COUNT(n.CPU) FROM (MATCH (n) RETURN n)"
+  in
+  match t.Row.rows with
+  | [ [| Row.Prim (Value.Int all); Row.Prim (Value.Int non_null) |] ] ->
+    check_int "count star counts rows" (Graph.n_vertices g) all;
+    check_int "count expr skips nulls" 3 non_null
+  | _ -> Alcotest.fail "bad shape"
+
+let test_string_predicates () =
+  let g, _, _, _ = small_lineage () in
+  let ctx = Executor.create g in
+  let t = table ctx "MATCH (j:Job) WHERE j.pipelineName = 'alpha' RETURN j" in
+  check_int "string equality" 2 (Row.n_rows t);
+  let t2 = table ctx "MATCH (j:Job) WHERE j.pipelineName <> 'alpha' RETURN j" in
+  check_int "string inequality" 1 (Row.n_rows t2)
+
+let test_arithmetic_in_projection () =
+  let g, _, _, _ = small_lineage () in
+  let ctx = Executor.create g in
+  let t = table ctx "MATCH (j:Job) WHERE j.CPU * 2 >= 40 RETURN j.CPU + 1 AS c" in
+  check_int "two jobs qualify" 2 (Row.n_rows t);
+  List.iter
+    (fun row ->
+      match row.(0) with
+      | Row.Prim (Value.Float c) -> check_bool "bumped" true (c = 21.0 || c = 31.0)
+      | _ -> Alcotest.fail "expected float")
+    t.Row.rows
+
+let test_triple_nested_select () =
+  let g, _, _, _ = small_lineage () in
+  let ctx = Executor.create g in
+  let t =
+    table ctx
+      "SELECT MAX(avg_cpu) FROM (SELECT p, AVG(c) AS avg_cpu FROM (SELECT j.pipelineName AS p, j.CPU AS c FROM (MATCH (j:Job) RETURN j)) GROUP BY p)"
+  in
+  match t.Row.rows with
+  | [ [| Row.Prim (Value.Float m) |] ] -> Alcotest.(check (float 1e-9)) "max of avgs" 30.0 m
+  | _ -> Alcotest.fail "bad shape"
+
+let test_self_join_same_var () =
+  let g, _, _, _ = small_lineage () in
+  let ctx = Executor.create g in
+  (* (a)-->(a) requires a self loop; none exist. *)
+  let t = table ctx "MATCH (a:Job)-[:WRITES_TO]->(f:File)<-[:WRITES_TO]-(a:Job) RETURN a, f" in
+  (* Both endpoints are the same var: only genuine (a writes f) rows
+     where the same a matches twice. *)
+  check_int "self-join consistency" 3 (Row.n_rows t)
+
+let test_empty_graph () =
+  let schema = Schema.define ~vertices:[ "V" ] ~edges:[ ("V", "E", "V") ] in
+  let g = Graph.freeze (Builder.create schema) in
+  let ctx = Executor.create g in
+  check_int "scan empty" 0 (Row.n_rows (table ctx "MATCH (n:V) RETURN n"));
+  let t = table ctx "SELECT COUNT(*) FROM (MATCH (n:V) RETURN n)" in
+  match t.Row.rows with
+  | [ [| Row.Prim (Value.Int 0) |] ] -> ()
+  | _ -> Alcotest.fail "count on empty graph"
+
+let test_var_length_unbounded () =
+  let g, _, _, _ = small_lineage () in
+  let ctx = Executor.create g in
+  (* `*` = 1..infinity terminates because BFS exhausts the frontier. *)
+  let t = table ctx "MATCH (f:File)-[r*]->(x) RETURN f, x" in
+  check_bool "terminates with results" true (Row.n_rows t > 0)
+
+let () =
+  Alcotest.run "kaskade_exec"
+    [
+      ( "match",
+        [
+          Alcotest.test_case "scan by label" `Quick test_scan_by_label;
+          Alcotest.test_case "scan all" `Quick test_scan_all;
+          Alcotest.test_case "single expand" `Quick test_single_edge_expand;
+          Alcotest.test_case "backward edge" `Quick test_backward_edge;
+          Alcotest.test_case "two-hop chain" `Quick test_two_hop_chain;
+          Alcotest.test_case "shared-var join" `Quick test_shared_var_join;
+          Alcotest.test_case "unknown label rejected" `Quick test_unknown_label_rejected;
+          Alcotest.test_case "edge var binding" `Quick test_edge_var_binding;
+        ] );
+      ( "var_length",
+        [
+          Alcotest.test_case "distinct endpoints" `Quick test_var_length_distinct;
+          Alcotest.test_case "zero lower bound" `Quick test_var_length_zero_lo;
+          Alcotest.test_case "trail multiplicity" `Quick test_var_length_trails_multiplicity;
+          Alcotest.test_case "modes agree on sets" `Quick test_var_length_modes_agree_on_sets;
+          Alcotest.test_case "cycle self-pair" `Quick test_var_length_cycle_self_pair;
+          Alcotest.test_case "lo=2 walk semantics" `Quick test_var_length_lo2_walk_semantics;
+          Alcotest.test_case "edge-type filter" `Quick test_var_length_etype_filter;
+        ] );
+      ( "relational",
+        [
+          Alcotest.test_case "where on vertex prop" `Quick test_where_on_vertex_prop;
+          Alcotest.test_case "projection" `Quick test_projection_props;
+          Alcotest.test_case "count(*)" `Quick test_count_star;
+          Alcotest.test_case "group by + aggregates" `Quick test_group_by_aggregates;
+          Alcotest.test_case "avg" `Quick test_avg;
+          Alcotest.test_case "nested select" `Quick test_nested_select;
+          Alcotest.test_case "outer where" `Quick test_select_where;
+          Alcotest.test_case "group by vertex" `Quick test_group_by_vertex;
+          Alcotest.test_case "listing 1 end-to-end" `Quick test_listing1_full;
+          Alcotest.test_case "order by / limit" `Quick test_order_by_limit;
+          Alcotest.test_case "order by aggregate alias" `Quick test_order_by_aggregate_alias;
+          Alcotest.test_case "index probe" `Quick test_index_probe_scan;
+          Alcotest.test_case "select distinct" `Quick test_select_distinct;
+          QCheck_alcotest.to_alcotest prop_index_probe_equivalent;
+        ] );
+      ( "call",
+        [
+          Alcotest.test_case "label propagation" `Quick test_call_label_propagation;
+          Alcotest.test_case "largest community" `Quick test_call_largest_community;
+          Alcotest.test_case "largest requires LP" `Quick test_call_largest_requires_lp;
+          Alcotest.test_case "unknown procedure" `Quick test_call_unknown_proc;
+        ] );
+      ( "planner",
+        [
+          Alcotest.test_case "anchor choice" `Quick test_planner_anchor_choice;
+          Alcotest.test_case "bound variable wins" `Quick test_planner_bound_var_wins;
+          Alcotest.test_case "results preserved" `Quick test_planner_preserves_results;
+          QCheck_alcotest.to_alcotest prop_planner_equivalent;
+        ] );
+      ( "edge_cases",
+        [
+          Alcotest.test_case "null comparisons" `Quick test_null_propagation;
+          Alcotest.test_case "missing prop is null" `Quick test_missing_prop_projects_null;
+          Alcotest.test_case "empty aggregate group" `Quick test_avg_of_empty_group;
+          Alcotest.test_case "sum skips nulls" `Quick test_sum_skips_nulls;
+          Alcotest.test_case "count vs count(*)" `Quick test_count_vs_count_star;
+          Alcotest.test_case "string predicates" `Quick test_string_predicates;
+          Alcotest.test_case "arithmetic projection" `Quick test_arithmetic_in_projection;
+          Alcotest.test_case "triple nesting" `Quick test_triple_nested_select;
+          Alcotest.test_case "repeated variable" `Quick test_self_join_same_var;
+          Alcotest.test_case "empty graph" `Quick test_empty_graph;
+          Alcotest.test_case "unbounded var-length" `Quick test_var_length_unbounded;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "monotone in path length" `Quick test_cost_monotone_in_path_length;
+          Alcotest.test_case "var-length growth" `Quick test_cost_var_length_grows;
+          Alcotest.test_case "deg override" `Quick test_cost_deg_override;
+          Alcotest.test_case "typed scan cheaper" `Quick test_cost_scan_label_cheaper;
+        ] );
+    ]

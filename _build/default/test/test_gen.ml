@@ -1,0 +1,234 @@
+open Kaskade_graph
+open Kaskade_gen
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Provenance generator                                                *)
+
+let prov_small = Provenance_gen.{ default with jobs = 200; files = 400; seed = 5 }
+
+let test_prov_counts () =
+  let g = Provenance_gen.generate prov_small in
+  check_int "jobs" 200 (Array.length (Graph.vertices_of_type_name g "Job"));
+  check_int "files" 400 (Array.length (Graph.vertices_of_type_name g "File"));
+  check_bool "has tasks" true (Array.length (Graph.vertices_of_type_name g "Task") > 0);
+  check_bool "edges exist" true (Graph.n_edges g > 500)
+
+let test_prov_determinism () =
+  let a = Provenance_gen.generate prov_small in
+  let b = Provenance_gen.generate prov_small in
+  check_int "same |V|" (Graph.n_vertices a) (Graph.n_vertices b);
+  check_int "same |E|" (Graph.n_edges a) (Graph.n_edges b);
+  (* Edge-by-edge equality. *)
+  let same = ref true in
+  Graph.iter_edges a (fun ~eid ~src ~dst ~etype ->
+      let s, d = Graph.edge_endpoints b eid in
+      if s <> src || d <> dst || Graph.edge_type b eid <> etype then same := false);
+  check_bool "identical edge streams" true !same
+
+let test_prov_seed_changes_graph () =
+  let a = Provenance_gen.generate prov_small in
+  let b = Provenance_gen.generate { prov_small with Provenance_gen.seed = 6 } in
+  let differs = ref false in
+  let m = Stdlib.min (Graph.n_edges a) (Graph.n_edges b) in
+  (try
+     for e = 0 to m - 1 do
+       if Graph.edge_endpoints a e <> Graph.edge_endpoints b e then begin
+         differs := true;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  check_bool "different seed, different graph" true (!differs || Graph.n_edges a <> Graph.n_edges b)
+
+let test_prov_every_file_written () =
+  let g = Provenance_gen.generate prov_small in
+  (* The paper's invariant: all files are created by some job. *)
+  let writes = Schema.edge_type_id (Graph.schema g) "WRITES_TO" in
+  Array.iter
+    (fun f ->
+      let written = ref false in
+      Graph.iter_in g f (fun ~src:_ ~etype ~eid:_ -> if etype = writes then written := true);
+      if not !written then Alcotest.failf "file %d has no writer" f)
+    (Graph.vertices_of_type_name g "File")
+
+let test_prov_job_props () =
+  let g = Provenance_gen.generate prov_small in
+  Array.iter
+    (fun j ->
+      (match Graph.vprop g j "CPU" with
+      | Some (Value.Float c) -> check_bool "CPU positive" true (c > 0.0)
+      | _ -> Alcotest.fail "missing CPU");
+      match Graph.vprop g j "pipelineName" with
+      | Some (Value.Str _) -> ()
+      | _ -> Alcotest.fail "missing pipelineName")
+    (Graph.vertices_of_type_name g "Job")
+
+let test_prov_no_job_job_edges () =
+  (* Schema-level guarantee, verified on the instance: 1-hop neighbors
+     of a Job are never Jobs. *)
+  let g = Provenance_gen.generate prov_small in
+  Array.iter
+    (fun j ->
+      Graph.iter_out g j (fun ~dst ~etype:_ ~eid:_ ->
+          if Graph.vertex_type_name g dst = "Job" then Alcotest.fail "job-job edge"))
+    (Graph.vertices_of_type_name g "Job")
+
+let test_prov_scaled () =
+  let cfg = Provenance_gen.scaled ~edges:30_000 ~seed:1 in
+  let g = Provenance_gen.generate cfg in
+  let m = Graph.n_edges g in
+  check_bool "within 2x of target" true (m > 15_000 && m < 60_000)
+
+let test_prov_timestamps_monotone_positive () =
+  let g = Provenance_gen.generate prov_small in
+  let ok = ref true in
+  Graph.iter_edges g (fun ~eid ~src:_ ~dst:_ ~etype:_ ->
+      match Graph.eprop g eid "timestamp" with
+      | Some (Value.Int t) -> if t <= 0 then ok := false
+      | _ -> ok := false);
+  check_bool "every edge stamped" true !ok
+
+(* ------------------------------------------------------------------ *)
+(* DBLP generator                                                      *)
+
+let dblp_small = Dblp_gen.{ default with authors = 300; pubs = 500; seed = 5 }
+
+let test_dblp_counts () =
+  let g = Dblp_gen.generate dblp_small in
+  check_int "authors" 300 (Array.length (Graph.vertices_of_type_name g "Author"));
+  check_int "pubs" 500 (Array.length (Graph.vertices_of_type_name g "Pub"));
+  check_bool "venues" true (Array.length (Graph.vertices_of_type_name g "Venue") > 0)
+
+let test_dblp_mirrored_authorship () =
+  (* AUTHORED and HAS_AUTHOR must mirror each other so author-pub-
+     author 2-hop paths exist. *)
+  let g = Dblp_gen.generate dblp_small in
+  let authored = Schema.edge_type_id (Graph.schema g) "AUTHORED" in
+  let has_author = Schema.edge_type_id (Graph.schema g) "HAS_AUTHOR" in
+  let fwd = Hashtbl.create 256 and bwd = Hashtbl.create 256 in
+  Graph.iter_edges g (fun ~eid:_ ~src ~dst ~etype ->
+      if etype = authored then Hashtbl.replace fwd (src, dst) ()
+      else if etype = has_author then Hashtbl.replace bwd (dst, src) ());
+  check_int "mirror cardinality" (Hashtbl.length fwd) (Hashtbl.length bwd);
+  Hashtbl.iter (fun k () -> if not (Hashtbl.mem bwd k) then Alcotest.fail "unmirrored edge") fwd
+
+let test_dblp_every_pub_has_author_and_venue () =
+  let g = Dblp_gen.generate dblp_small in
+  let has_author = Schema.edge_type_id (Graph.schema g) "HAS_AUTHOR" in
+  let published = Schema.edge_type_id (Graph.schema g) "PUBLISHED_IN" in
+  Array.iter
+    (fun p ->
+      let authors = ref 0 and venues = ref 0 in
+      Graph.iter_out g p (fun ~dst:_ ~etype ~eid:_ ->
+          if etype = has_author then incr authors else if etype = published then incr venues);
+      check_bool "has author" true (!authors >= 1);
+      check_int "one venue" 1 !venues)
+    (Graph.vertices_of_type_name g "Pub")
+
+(* ------------------------------------------------------------------ *)
+(* Power-law generator                                                 *)
+
+let pl_small = Powerlaw_gen.{ default with vertices = 500; edges = 2_500; seed = 3 }
+
+let test_powerlaw_size () =
+  let g = Powerlaw_gen.generate pl_small in
+  check_int "vertices" 500 (Graph.n_vertices g);
+  check_bool "edges near target" true (Graph.n_edges g > 2_000 && Graph.n_edges g <= 2_500)
+
+let test_powerlaw_no_self_loops_or_dups () =
+  let g = Powerlaw_gen.generate pl_small in
+  let seen = Hashtbl.create 1024 in
+  Graph.iter_edges g (fun ~eid:_ ~src ~dst ~etype:_ ->
+      if src = dst then Alcotest.fail "self loop";
+      if Hashtbl.mem seen (src, dst) then Alcotest.fail "duplicate edge";
+      Hashtbl.add seen (src, dst) ())
+
+let test_powerlaw_skew () =
+  let g = Powerlaw_gen.generate Powerlaw_gen.{ default with vertices = 2_000; edges = 10_000; seed = 3 } in
+  let degrees = Graph.all_out_degrees g in
+  let dmax = Array.fold_left Stdlib.max 0 degrees in
+  let mean = float_of_int (Graph.n_edges g) /. float_of_int (Graph.n_vertices g) in
+  check_bool "heavy tail (max >> mean)" true (float_of_int dmax > 8.0 *. mean);
+  let alpha, r2 = Kaskade_util.Stats.power_law_fit degrees in
+  check_bool "negative power-law slope" true (alpha < -0.8);
+  check_bool "reasonable log-log fit" true (r2 > 0.7)
+
+(* ------------------------------------------------------------------ *)
+(* Road generator                                                      *)
+
+let road_small = Road_gen.{ default with width = 20; height = 20; seed = 3 }
+
+let test_road_size () =
+  let g = Road_gen.generate road_small in
+  check_int "vertices" 400 (Graph.n_vertices g);
+  check_bool "edges" true (Graph.n_edges g > 0)
+
+let test_road_bounded_degree () =
+  let g = Road_gen.generate road_small in
+  let dmax = Array.fold_left Stdlib.max 0 (Graph.all_out_degrees g) in
+  check_bool "lattice degree <= 4" true (dmax <= 4)
+
+let test_road_symmetric () =
+  let g = Road_gen.generate road_small in
+  let seen = Hashtbl.create 1024 in
+  Graph.iter_edges g (fun ~eid:_ ~src ~dst ~etype:_ -> Hashtbl.replace seen (src, dst) ());
+  Hashtbl.iter
+    (fun (s, d) () -> if not (Hashtbl.mem seen (d, s)) then Alcotest.fail "asymmetric road edge")
+    seen
+
+let test_road_not_power_law () =
+  let g = Road_gen.generate Road_gen.{ default with width = 40; height = 40; seed = 3 } in
+  let _, r2 = Kaskade_util.Stats.power_law_fit (Graph.all_out_degrees g) in
+  (* Near-constant degree has nothing resembling a power-law tail;
+     contrast with the power-law generator's fit above. *)
+  check_bool "no heavy tail" true
+    (let dmax = Array.fold_left Stdlib.max 0 (Graph.all_out_degrees g) in
+     dmax <= 4 && r2 <= 1.0)
+
+let test_road_edge_lengths () =
+  let g = Road_gen.generate road_small in
+  let ok = ref true in
+  Graph.iter_edges g (fun ~eid ~src:_ ~dst:_ ~etype:_ ->
+      match Graph.eprop g eid "length" with
+      | Some (Value.Int l) -> if l < 1 || l > 10 then ok := false
+      | _ -> ok := false);
+  check_bool "length prop in [1,10]" true !ok
+
+let () =
+  Alcotest.run "kaskade_gen"
+    [
+      ( "provenance",
+        [
+          Alcotest.test_case "counts" `Quick test_prov_counts;
+          Alcotest.test_case "deterministic" `Quick test_prov_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_prov_seed_changes_graph;
+          Alcotest.test_case "every file written" `Quick test_prov_every_file_written;
+          Alcotest.test_case "job properties" `Quick test_prov_job_props;
+          Alcotest.test_case "no job-job edges" `Quick test_prov_no_job_job_edges;
+          Alcotest.test_case "scaled config" `Quick test_prov_scaled;
+          Alcotest.test_case "edge timestamps" `Quick test_prov_timestamps_monotone_positive;
+        ] );
+      ( "dblp",
+        [
+          Alcotest.test_case "counts" `Quick test_dblp_counts;
+          Alcotest.test_case "mirrored authorship" `Quick test_dblp_mirrored_authorship;
+          Alcotest.test_case "pub completeness" `Quick test_dblp_every_pub_has_author_and_venue;
+        ] );
+      ( "powerlaw",
+        [
+          Alcotest.test_case "size" `Quick test_powerlaw_size;
+          Alcotest.test_case "simple digraph" `Quick test_powerlaw_no_self_loops_or_dups;
+          Alcotest.test_case "degree skew" `Quick test_powerlaw_skew;
+        ] );
+      ( "road",
+        [
+          Alcotest.test_case "size" `Quick test_road_size;
+          Alcotest.test_case "bounded degree" `Quick test_road_bounded_degree;
+          Alcotest.test_case "symmetric" `Quick test_road_symmetric;
+          Alcotest.test_case "uniform degrees" `Quick test_road_not_power_law;
+          Alcotest.test_case "edge lengths" `Quick test_road_edge_lengths;
+        ] );
+    ]

@@ -1,0 +1,447 @@
+open Kaskade_graph
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* The paper's provenance schema (Fig. 1 / §III-A). *)
+let lineage_schema =
+  Schema.define ~vertices:[ "Job"; "File" ]
+    ~edges:[ ("Job", "WRITES_TO", "File"); ("File", "IS_READ_BY", "Job") ]
+
+(* Small lineage instance used across cases: j0 writes f0, f1; f0 read
+   by j1; f1 read by j1 and j2; j2 writes f2. *)
+let small_lineage () =
+  let b = Builder.create lineage_schema in
+  let j = Array.init 3 (fun i -> Builder.add_vertex b ~vtype:"Job" ~props:[ ("name", Value.Str (Printf.sprintf "j%d" i)); ("CPU", Value.Float (float_of_int (10 * (i + 1)))) ] ()) in
+  let f = Array.init 3 (fun i -> Builder.add_vertex b ~vtype:"File" ~props:[ ("name", Value.Str (Printf.sprintf "f%d" i)) ] ()) in
+  ignore (Builder.add_edge b ~src:j.(0) ~dst:f.(0) ~etype:"WRITES_TO" ~props:[ ("timestamp", Value.Int 1) ] ());
+  ignore (Builder.add_edge b ~src:j.(0) ~dst:f.(1) ~etype:"WRITES_TO" ~props:[ ("timestamp", Value.Int 2) ] ());
+  ignore (Builder.add_edge b ~src:f.(0) ~dst:j.(1) ~etype:"IS_READ_BY" ~props:[ ("timestamp", Value.Int 3) ] ());
+  ignore (Builder.add_edge b ~src:f.(1) ~dst:j.(1) ~etype:"IS_READ_BY" ~props:[ ("timestamp", Value.Int 4) ] ());
+  ignore (Builder.add_edge b ~src:f.(1) ~dst:j.(2) ~etype:"IS_READ_BY" ~props:[ ("timestamp", Value.Int 5) ] ());
+  ignore (Builder.add_edge b ~src:j.(2) ~dst:f.(2) ~etype:"WRITES_TO" ~props:[ ("timestamp", Value.Int 6) ] ());
+  (Graph.freeze b, j, f)
+
+(* ------------------------------------------------------------------ *)
+(* Value                                                               *)
+
+let test_value_arith () =
+  check_bool "int add" true (Value.equal (Value.add (Value.Int 2) (Value.Int 3)) (Value.Int 5));
+  check_bool "mixed add" true (Value.equal (Value.add (Value.Int 2) (Value.Float 0.5)) (Value.Float 2.5));
+  check_bool "str concat" true (Value.equal (Value.add (Value.Str "a") (Value.Str "b")) (Value.Str "ab"));
+  check_bool "null propagates" true (Value.equal (Value.add Value.Null (Value.Int 1)) Value.Null);
+  check_bool "sub" true (Value.equal (Value.sub (Value.Int 5) (Value.Int 3)) (Value.Int 2));
+  check_bool "mul" true (Value.equal (Value.mul (Value.Float 2.0) (Value.Int 3)) (Value.Float 6.0))
+
+let test_value_compare () =
+  check_bool "int/float numeric" true (Value.compare (Value.Int 2) (Value.Float 2.5) < 0);
+  check_bool "equal across kinds" true (Value.equal (Value.Int 2) (Value.Float 2.0));
+  check_bool "null smallest" true (Value.compare Value.Null (Value.Bool false) < 0);
+  check_bool "strings" true (Value.compare (Value.Str "a") (Value.Str "b") < 0)
+
+let test_value_truthiness () =
+  check_bool "null falsy" false (Value.is_truthy Value.Null);
+  check_bool "false falsy" false (Value.is_truthy (Value.Bool false));
+  check_bool "zero truthy (cypherish)" true (Value.is_truthy (Value.Int 0))
+
+let test_value_div_by_zero () =
+  Alcotest.check_raises "div0" (Invalid_argument "Value.div: division by zero") (fun () ->
+      ignore (Value.div (Value.Int 1) (Value.Int 0)))
+
+(* ------------------------------------------------------------------ *)
+(* Schema                                                              *)
+
+let test_schema_lookup () =
+  check_int "vertex id" 0 (Schema.vertex_type_id lineage_schema "Job");
+  check_string "vertex name" "File" (Schema.vertex_type_name lineage_schema 1);
+  check_int "edge id" 0 (Schema.edge_type_id lineage_schema "WRITES_TO");
+  check_int "edge src" 0 (Schema.edge_src lineage_schema 0);
+  check_int "edge dst" 1 (Schema.edge_dst lineage_schema 0)
+
+let test_schema_duplicate () =
+  Alcotest.check_raises "dup vertex" (Invalid_argument "Schema: duplicate vertex type A") (fun () ->
+      ignore (Schema.define ~vertices:[ "A"; "A" ] ~edges:[]))
+
+let test_schema_unknown_endpoint () =
+  Alcotest.check_raises "unknown type" (Invalid_argument "Schema: unknown vertex type B") (fun () ->
+      ignore (Schema.define ~vertices:[ "A" ] ~edges:[ ("A", "e", "B") ]))
+
+let test_schema_edges_from () =
+  Alcotest.(check (list int)) "from Job" [ 0 ] (Schema.edge_types_from lineage_schema 0);
+  Alcotest.(check (list int)) "between" [ 1 ] (Schema.edge_types_between lineage_schema 1 0)
+
+let test_schema_homogeneous () =
+  check_bool "lineage is hetero" false (Schema.is_homogeneous lineage_schema);
+  let homo = Schema.define ~vertices:[ "V" ] ~edges:[ ("V", "LINK", "V") ] in
+  check_bool "single type is homo" true (Schema.is_homogeneous homo)
+
+let test_schema_restrict () =
+  let s =
+    Schema.define ~vertices:[ "A"; "B"; "C" ]
+      ~edges:[ ("A", "ab", "B"); ("B", "bc", "C"); ("A", "ac", "C") ]
+  in
+  let r = Schema.restrict s ~keep_vertices:[ "A"; "B" ] in
+  Alcotest.(check (list string)) "vertices" [ "A"; "B" ] (Schema.vertex_types r);
+  check_int "edges" 1 (Schema.n_edge_types r)
+
+let test_schema_add_edge_type () =
+  let s = Schema.add_edge_type lineage_schema ~src:"Job" ~name:"JOB_TO_JOB_2HOP" ~dst:"Job" in
+  check_bool "new edge" true (Schema.has_edge_type s "JOB_TO_JOB_2HOP");
+  check_int "old edges kept" 3 (Schema.n_edge_types s)
+
+(* ------------------------------------------------------------------ *)
+(* Builder                                                             *)
+
+let test_builder_domain_range () =
+  let b = Builder.create lineage_schema in
+  let j = Builder.add_vertex b ~vtype:"Job" () in
+  let f = Builder.add_vertex b ~vtype:"File" () in
+  ignore (Builder.add_edge b ~src:j ~dst:f ~etype:"WRITES_TO" ());
+  (* The paper's core structural constraint: a File cannot write. *)
+  check_bool "file-file edge rejected" true
+    (try
+       ignore (Builder.add_edge b ~src:f ~dst:f ~etype:"WRITES_TO" ());
+       false
+     with Invalid_argument _ -> true);
+  check_bool "job-job edge rejected" true
+    (try
+       ignore (Builder.add_edge b ~src:j ~dst:j ~etype:"IS_READ_BY" ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_builder_unknown_types () =
+  let b = Builder.create lineage_schema in
+  check_bool "unknown vertex type" true
+    (try
+       ignore (Builder.add_vertex b ~vtype:"Ghost" ());
+       false
+     with Invalid_argument _ -> true);
+  let j = Builder.add_vertex b ~vtype:"Job" () in
+  check_bool "unknown edge type" true
+    (try
+       ignore (Builder.add_edge b ~src:j ~dst:j ~etype:"GHOST" ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_builder_out_of_range () =
+  let b = Builder.create lineage_schema in
+  ignore (Builder.add_vertex b ~vtype:"Job" ());
+  check_bool "bad endpoint" true
+    (try
+       ignore (Builder.add_edge b ~src:0 ~dst:99 ~etype:"WRITES_TO" ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Graph (CSR invariants)                                              *)
+
+let test_graph_counts () =
+  let g, _, _ = small_lineage () in
+  check_int "vertices" 6 (Graph.n_vertices g);
+  check_int "edges" 6 (Graph.n_edges g);
+  check_int "jobs" 3 (Graph.count_of_type g 0);
+  check_int "files" 3 (Graph.count_of_type g 1)
+
+let test_graph_adjacency () =
+  let g, j, f = small_lineage () in
+  check_int "j0 out-degree" 2 (Graph.out_degree g j.(0));
+  check_int "f1 out-degree" 2 (Graph.out_degree g f.(1));
+  check_int "j1 in-degree" 2 (Graph.in_degree g j.(1));
+  let neighbors = Array.to_list (Graph.out_neighbors g j.(0)) |> List.sort compare in
+  Alcotest.(check (list int)) "j0 writes f0 f1" [ f.(0); f.(1) ] neighbors
+
+let test_graph_degree_sum () =
+  let g, _, _ = small_lineage () in
+  let out_sum = ref 0 and in_sum = ref 0 in
+  for v = 0 to Graph.n_vertices g - 1 do
+    out_sum := !out_sum + Graph.out_degree g v;
+    in_sum := !in_sum + Graph.in_degree g v
+  done;
+  check_int "sum out = m" (Graph.n_edges g) !out_sum;
+  check_int "sum in = m" (Graph.n_edges g) !in_sum
+
+let test_graph_edge_endpoints () =
+  let g, j, f = small_lineage () in
+  let s, d = Graph.edge_endpoints g 0 in
+  check_int "edge 0 src" j.(0) s;
+  check_int "edge 0 dst" f.(0) d;
+  check_string "edge 0 type" "WRITES_TO" (Schema.edge_type_name (Graph.schema g) (Graph.edge_type g 0))
+
+let test_graph_iter_etype () =
+  let g, _, f = small_lineage () in
+  let count = ref 0 in
+  let etype = Schema.edge_type_id (Graph.schema g) "IS_READ_BY" in
+  Graph.iter_out_etype g f.(1) ~etype (fun ~dst:_ ~eid:_ -> incr count);
+  check_int "f1 read edges" 2 !count
+
+let test_graph_props () =
+  let g, j, _ = small_lineage () in
+  check_bool "CPU" true (Graph.vprop g j.(1) "CPU" = Some (Value.Float 20.0));
+  check_bool "missing is None" true (Graph.vprop g j.(1) "nope" = None);
+  check_bool "missing or_null" true (Value.equal (Graph.vprop_or_null g j.(1) "nope") Value.Null);
+  check_bool "edge ts" true (Graph.eprop g 0 "timestamp" = Some (Value.Int 1));
+  check_int "props listed" 2 (List.length (Graph.vertex_props g j.(0)))
+
+(* Property: freezing a random schema-valid graph preserves exactly
+   the edge multiset, via both out- and in-CSR. *)
+let prop_csr_roundtrip =
+  QCheck.Test.make ~name:"CSR adjacency = inserted edge multiset" ~count:50
+    QCheck.(pair (2 -- 30) (0 -- 120))
+    (fun (n, m) ->
+      let schema = Schema.define ~vertices:[ "V" ] ~edges:[ ("V", "E", "V") ] in
+      let b = Builder.create schema in
+      let rng = Kaskade_util.Prng.create (n + (m * 1000)) in
+      let ids = Array.init n (fun _ -> Builder.add_vertex b ~vtype:"V" ()) in
+      let inserted = ref [] in
+      for _ = 1 to m do
+        let s = Kaskade_util.Prng.choose rng ids and d = Kaskade_util.Prng.choose rng ids in
+        ignore (Builder.add_edge b ~src:s ~dst:d ~etype:"E" ());
+        inserted := (s, d) :: !inserted
+      done;
+      let g = Graph.freeze b in
+      let from_out = ref [] in
+      for v = 0 to n - 1 do
+        Graph.iter_out g v (fun ~dst ~etype:_ ~eid:_ -> from_out := (v, dst) :: !from_out)
+      done;
+      let from_in = ref [] in
+      for v = 0 to n - 1 do
+        Graph.iter_in g v (fun ~src ~etype:_ ~eid:_ -> from_in := (src, v) :: !from_in)
+      done;
+      let norm l = List.sort compare l in
+      norm !inserted = norm !from_out && norm !inserted = norm !from_in)
+
+(* ------------------------------------------------------------------ *)
+(* Subgraph                                                            *)
+
+let test_subgraph_restrict_vertices () =
+  let g, _, _ = small_lineage () in
+  let keep_jobs v = Graph.vertex_type_name g v = "Job" in
+  let sub, mapping =
+    Subgraph.restrict ~vertex_pred:keep_jobs
+      ~schema:(Schema.restrict (Graph.schema g) ~keep_vertices:[ "Job" ])
+      g
+  in
+  check_int "only jobs" 3 (Graph.n_vertices sub);
+  check_int "no edges survive" 0 (Graph.n_edges sub);
+  check_int "mapping round trip" 3
+    (Array.fold_left (fun acc x -> if x >= 0 then acc + 1 else acc) 0 mapping.Subgraph.new_of_old_vertex)
+
+let test_subgraph_restrict_props_copied () =
+  let g, j, _ = small_lineage () in
+  let sub, mapping = Subgraph.restrict ~vertex_pred:(fun v -> v = j.(1)) ~schema:(Schema.restrict (Graph.schema g) ~keep_vertices:[ "Job" ]) g in
+  let new_id = mapping.Subgraph.new_of_old_vertex.(j.(1)) in
+  check_bool "prop copied" true (Graph.vprop sub new_id "CPU" = Some (Value.Float 20.0))
+
+let test_subgraph_edge_prefix () =
+  let g, _, _ = small_lineage () in
+  let sub, _ = Subgraph.edge_prefix g 3 in
+  check_int "3 edges" 3 (Graph.n_edges sub);
+  check_bool "touched vertices only" true (Graph.n_vertices sub <= 6);
+  let sub_all, _ = Subgraph.edge_prefix g 100 in
+  check_int "prefix beyond m keeps all" 6 (Graph.n_edges sub_all)
+
+let test_subgraph_edge_filter () =
+  let g, _, _ = small_lineage () in
+  let writes = Schema.edge_type_id (Graph.schema g) "WRITES_TO" in
+  let sub, _ = Subgraph.restrict ~edge_pred:(fun ~eid:_ ~src:_ ~dst:_ ~etype -> etype = writes) g in
+  check_int "writes only" 3 (Graph.n_edges sub);
+  check_int "all vertices kept" 6 (Graph.n_vertices sub)
+
+(* ------------------------------------------------------------------ *)
+(* Gstats                                                              *)
+
+let test_gstats_summary () =
+  let g, _, _ = small_lineage () in
+  let stats = Gstats.compute g in
+  check_int "total vertices" 6 (Gstats.total_vertices stats);
+  check_int "total edges" 6 (Gstats.total_edges stats);
+  let job = Gstats.summary_of_type stats 0 in
+  check_int "jobs" 3 job.Gstats.count;
+  check_int "job max out-deg" 2 job.Gstats.deg100;
+  check_bool "job is source" true job.Gstats.is_source
+
+let test_gstats_percentiles_match_stats () =
+  let g, _, _ = small_lineage () in
+  let stats = Gstats.compute g in
+  let degrees = Graph.out_degrees_of_type g 0 in
+  check_int "p50 agrees"
+    (Kaskade_util.Stats.percentile degrees 50.0)
+    (Gstats.out_degree_percentile stats ~vtype:0 ~alpha:50.0)
+
+let test_gstats_means () =
+  let g, _, _ = small_lineage () in
+  let stats = Gstats.compute g in
+  Alcotest.(check (float 1e-9)) "job mean out-deg" 1.0 (Gstats.out_degree_mean stats ~vtype:0);
+  Alcotest.(check (float 1e-9)) "global mean" 1.0 (Gstats.global_out_degree_mean stats)
+
+let test_gstats_etype_counts () =
+  let g, _, _ = small_lineage () in
+  let stats = Gstats.compute g in
+  check_int "writes" 3 (Gstats.edge_type_count stats ~etype:0);
+  check_int "reads" 3 (Gstats.edge_type_count stats ~etype:1);
+  Alcotest.(check (float 1e-9)) "job writes-only mean" 1.0
+    (Gstats.out_degree_mean_for_etypes stats ~vtype:0 ~etypes:[ 0 ])
+
+let test_gstats_sources () =
+  let g, _, _ = small_lineage () in
+  let stats = Gstats.compute g in
+  Alcotest.(check (list int)) "both types are sources" [ 0; 1 ] (Gstats.source_types stats)
+
+
+(* ------------------------------------------------------------------ *)
+(* Gio (serialization)                                                 *)
+
+let graphs_equal a b =
+  Graph.n_vertices a = Graph.n_vertices b
+  && Graph.n_edges a = Graph.n_edges b
+  && begin
+       let ok = ref true in
+       for v = 0 to Graph.n_vertices a - 1 do
+         if Graph.vertex_type_name a v <> Graph.vertex_type_name b v then ok := false;
+         if Graph.vertex_props a v <> Graph.vertex_props b v then ok := false
+       done;
+       Graph.iter_edges a (fun ~eid ~src ~dst ~etype ->
+           let s, d = Graph.edge_endpoints b eid in
+           if s <> src || d <> dst || Graph.edge_type b eid <> etype then ok := false;
+           if Graph.edge_props a eid <> Graph.edge_props b eid then ok := false);
+       !ok
+     end
+
+let test_gio_roundtrip () =
+  let g, _, _ = small_lineage () in
+  let back = Gio.of_string (Gio.to_string g) in
+  check_bool "roundtrip" true (graphs_equal g back)
+
+let test_gio_special_chars () =
+  let schema = Schema.define ~vertices:[ "V" ] ~edges:[ ("V", "E", "V") ] in
+  let b = Builder.create schema in
+  let v0 = Builder.add_vertex b ~vtype:"V"
+      ~props:[ ("weird key", Value.Str "has = and %\nnewline"); ("f", Value.Float 1.5);
+               ("neg", Value.Int (-3)); ("t", Value.Bool true); ("nothing", Value.Null) ] () in
+  ignore (Builder.add_edge b ~src:v0 ~dst:v0 ~etype:"E" ());
+  let g = Graph.freeze b in
+  let back = Gio.of_string (Gio.to_string g) in
+  check_bool "special chars survive" true (graphs_equal g back)
+
+let test_gio_file_roundtrip () =
+  let g, _, _ = small_lineage () in
+  let path = Filename.temp_file "kaskade" ".graph" in
+  Gio.save g path;
+  let back = Gio.load path in
+  Sys.remove path;
+  check_bool "file roundtrip" true (graphs_equal g back)
+
+let test_gio_bad_magic () =
+  check_bool "raises" true
+    (try ignore (Gio.of_string "nonsense\n"); false with Gio.Format_error _ -> true)
+
+let test_gio_schema_enforced () =
+  (* A file-file edge violates the schema and must be rejected. *)
+  let text = "kaskade-graph 1\nvtype Job\nvtype File\netype Job WRITES_TO File\nv 0 File\nv 1 File\ne 0 1 WRITES_TO\n" in
+  check_bool "raises" true
+    (try ignore (Gio.of_string text); false with Gio.Format_error _ -> true)
+
+let prop_gio_roundtrip_random =
+  QCheck.Test.make ~name:"Gio roundtrip on random provenance graphs" ~count:20
+    QCheck.(pair (5 -- 30) (0 -- 500))
+    (fun (jobs, seed) ->
+      let g = Kaskade_gen.Provenance_gen.(generate { default with jobs; files = 2 * jobs; seed }) in
+      graphs_equal g (Gio.of_string (Gio.to_string g)))
+
+
+(* ------------------------------------------------------------------ *)
+(* Vindex                                                              *)
+
+let test_vindex_lookup () =
+  let g, j, _ = small_lineage () in
+  let idx = Vindex.create g in
+  Alcotest.(check (list int)) "by name" [ j.(1) ] (Vindex.lookup idx ~prop:"name" (Value.Str "j1"));
+  Alcotest.(check (list int)) "missing value" [] (Vindex.lookup idx ~prop:"name" (Value.Str "nope"));
+  Alcotest.(check (list int)) "missing prop" [] (Vindex.lookup idx ~prop:"ghost" (Value.Str "x"))
+
+let test_vindex_lazy_build () =
+  let g, _, _ = small_lineage () in
+  let idx = Vindex.create g in
+  check_int "no builds yet" 0 (Vindex.build_count idx);
+  ignore (Vindex.lookup idx ~prop:"name" (Value.Str "j0"));
+  ignore (Vindex.lookup idx ~prop:"name" (Value.Str "j1"));
+  check_int "one build for repeated probes" 1 (Vindex.build_count idx);
+  Alcotest.(check (list string)) "indexed" [ "name" ] (Vindex.indexed_props idx)
+
+let test_vindex_multi_match () =
+  let g, j, _ = small_lineage () in
+  let idx = Vindex.create g in
+  (* CPU 20.0 belongs only to j1; CPU values are per-vertex here, but
+     shared values must return every holder. *)
+  Alcotest.(check (list int)) "float key" [ j.(1) ]
+    (Vindex.lookup idx ~prop:"CPU" (Value.Float 20.0))
+
+let qcheck_cases = List.map QCheck_alcotest.to_alcotest [ prop_csr_roundtrip; prop_gio_roundtrip_random ]
+
+let () =
+  Alcotest.run "kaskade_graph"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_value_arith;
+          Alcotest.test_case "compare" `Quick test_value_compare;
+          Alcotest.test_case "truthiness" `Quick test_value_truthiness;
+          Alcotest.test_case "division by zero" `Quick test_value_div_by_zero;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "lookup" `Quick test_schema_lookup;
+          Alcotest.test_case "duplicate rejected" `Quick test_schema_duplicate;
+          Alcotest.test_case "unknown endpoint rejected" `Quick test_schema_unknown_endpoint;
+          Alcotest.test_case "edges_from / between" `Quick test_schema_edges_from;
+          Alcotest.test_case "homogeneity" `Quick test_schema_homogeneous;
+          Alcotest.test_case "restrict" `Quick test_schema_restrict;
+          Alcotest.test_case "add_edge_type" `Quick test_schema_add_edge_type;
+        ] );
+      ( "builder",
+        [
+          Alcotest.test_case "domain/range enforced" `Quick test_builder_domain_range;
+          Alcotest.test_case "unknown types rejected" `Quick test_builder_unknown_types;
+          Alcotest.test_case "endpoint range" `Quick test_builder_out_of_range;
+        ] );
+      ( "graph",
+        [
+          Alcotest.test_case "counts" `Quick test_graph_counts;
+          Alcotest.test_case "adjacency" `Quick test_graph_adjacency;
+          Alcotest.test_case "degree sums" `Quick test_graph_degree_sum;
+          Alcotest.test_case "edge endpoints" `Quick test_graph_edge_endpoints;
+          Alcotest.test_case "typed iteration" `Quick test_graph_iter_etype;
+          Alcotest.test_case "properties" `Quick test_graph_props;
+        ] );
+      ( "subgraph",
+        [
+          Alcotest.test_case "restrict vertices" `Quick test_subgraph_restrict_vertices;
+          Alcotest.test_case "props copied" `Quick test_subgraph_restrict_props_copied;
+          Alcotest.test_case "edge prefix" `Quick test_subgraph_edge_prefix;
+          Alcotest.test_case "edge filter" `Quick test_subgraph_edge_filter;
+        ] );
+      ( "gstats",
+        [
+          Alcotest.test_case "summary" `Quick test_gstats_summary;
+          Alcotest.test_case "percentiles agree with Stats" `Quick test_gstats_percentiles_match_stats;
+          Alcotest.test_case "means" `Quick test_gstats_means;
+          Alcotest.test_case "edge type counts" `Quick test_gstats_etype_counts;
+          Alcotest.test_case "source types" `Quick test_gstats_sources;
+        ] );
+      ( "vindex",
+        [
+          Alcotest.test_case "lookup" `Quick test_vindex_lookup;
+          Alcotest.test_case "lazy build" `Quick test_vindex_lazy_build;
+          Alcotest.test_case "typed keys" `Quick test_vindex_multi_match;
+        ] );
+      ( "gio",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_gio_roundtrip;
+          Alcotest.test_case "special characters" `Quick test_gio_special_chars;
+          Alcotest.test_case "file roundtrip" `Quick test_gio_file_roundtrip;
+          Alcotest.test_case "bad magic" `Quick test_gio_bad_magic;
+          Alcotest.test_case "schema enforced" `Quick test_gio_schema_enforced;
+        ] );
+      ("properties", qcheck_cases);
+    ]

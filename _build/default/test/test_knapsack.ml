@@ -1,0 +1,123 @@
+open Kaskade_knapsack.Knapsack
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+let item id weight value = { id; weight; value }
+
+let test_bnb_basic () =
+  let items = [ item 0 10 60.0; item 1 20 100.0; item 2 30 120.0 ] in
+  let s = solve_branch_and_bound ~capacity:50 items in
+  check_float "classic optimum" 220.0 s.total_value;
+  Alcotest.(check (list int)) "chosen" [ 1; 2 ] s.chosen;
+  check_int "weight" 50 s.total_weight
+
+let test_dp_basic () =
+  let items = [ item 0 10 60.0; item 1 20 100.0; item 2 30 120.0 ] in
+  let s = solve_dp ~capacity:50 items in
+  check_float "dp optimum" 220.0 s.total_value
+
+let test_greedy_can_be_suboptimal () =
+  (* Density order picks the small dense item, missing the optimum. *)
+  let items = [ item 0 1 2.0; item 1 10 10.0 ] in
+  let g = solve_greedy ~capacity:10 items in
+  let opt = solve_dp ~capacity:10 items in
+  check_float "greedy" 2.0 g.total_value;
+  check_float "optimal" 10.0 opt.total_value
+
+let test_zero_capacity () =
+  let items = [ item 0 1 5.0 ] in
+  let s = solve_branch_and_bound ~capacity:0 items in
+  check_float "nothing fits" 0.0 s.total_value;
+  Alcotest.(check (list int)) "empty" [] s.chosen
+
+let test_oversized_items_skipped () =
+  let items = [ item 0 100 50.0; item 1 5 1.0 ] in
+  let s = solve_branch_and_bound ~capacity:10 items in
+  Alcotest.(check (list int)) "only the fitting item" [ 1 ] s.chosen
+
+let test_nonpositive_value_skipped () =
+  let items = [ item 0 1 0.0; item 1 1 (-3.0); item 2 1 2.0 ] in
+  let s = solve_branch_and_bound ~capacity:10 items in
+  Alcotest.(check (list int)) "positive value only" [ 2 ] s.chosen
+
+let test_empty_items () =
+  let s = solve_branch_and_bound ~capacity:10 [] in
+  check_float "empty" 0.0 s.total_value
+
+let test_negative_capacity () =
+  Alcotest.check_raises "negative capacity"
+    (Invalid_argument "Knapsack.solve_dp: negative capacity") (fun () ->
+      ignore (solve_dp ~capacity:(-1) []))
+
+let test_node_limit_feasible () =
+  let items = List.init 30 (fun i -> item i (1 + (i mod 7)) (float_of_int (1 + (i mod 5)))) in
+  let s = solve_branch_and_bound ~node_limit:50 ~capacity:40 items in
+  check_bool "feasible under tiny node budget" true (s.total_weight <= 40)
+
+let test_all_fit () =
+  let items = [ item 0 1 1.0; item 1 2 2.0; item 2 3 3.0 ] in
+  let s = solve_branch_and_bound ~capacity:100 items in
+  check_float "take everything" 6.0 s.total_value
+
+(* Properties: B&B matches the DP optimum; greedy never beats it;
+   solutions are feasible and self-consistent. *)
+let random_instance =
+  QCheck.make
+    ~print:(fun (cap, items) ->
+      Printf.sprintf "cap=%d items=[%s]" cap
+        (String.concat "; " (List.map (fun (w, v) -> Printf.sprintf "(%d, %.1f)" w v) items)))
+    QCheck.Gen.(
+      pair (0 -- 50)
+        (list_size (0 -- 12) (pair (1 -- 20) (float_bound_inclusive 25.0))))
+
+let items_of spec = List.mapi (fun i (w, v) -> item i w v) spec
+
+let prop_bnb_equals_dp =
+  QCheck.Test.make ~name:"branch-and-bound matches DP optimum" ~count:300 random_instance
+    (fun (cap, spec) ->
+      let items = items_of spec in
+      let a = solve_branch_and_bound ~capacity:cap items in
+      let b = solve_dp ~capacity:cap items in
+      abs_float (a.total_value -. b.total_value) < 1e-6)
+
+let prop_greedy_bounded =
+  QCheck.Test.make ~name:"greedy never exceeds optimum, always feasible" ~count:300 random_instance
+    (fun (cap, spec) ->
+      let items = items_of spec in
+      let g = solve_greedy ~capacity:cap items in
+      let opt = solve_dp ~capacity:cap items in
+      g.total_value <= opt.total_value +. 1e-6 && g.total_weight <= cap)
+
+let prop_solution_consistent =
+  QCheck.Test.make ~name:"reported totals match the chosen set" ~count:300 random_instance
+    (fun (cap, spec) ->
+      let items = items_of spec in
+      let s = solve_branch_and_bound ~capacity:cap items in
+      let lookup id = List.find (fun it -> it.id = id) items in
+      let w = List.fold_left (fun acc id -> acc + (lookup id).weight) 0 s.chosen in
+      let v = List.fold_left (fun acc id -> acc +. (lookup id).value) 0.0 s.chosen in
+      w = s.total_weight && abs_float (v -. s.total_value) < 1e-6 && w <= cap)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest [ prop_bnb_equals_dp; prop_greedy_bounded; prop_solution_consistent ]
+
+let () =
+  Alcotest.run "kaskade_knapsack"
+    [
+      ( "solvers",
+        [
+          Alcotest.test_case "bnb classic" `Quick test_bnb_basic;
+          Alcotest.test_case "dp classic" `Quick test_dp_basic;
+          Alcotest.test_case "greedy suboptimal" `Quick test_greedy_can_be_suboptimal;
+          Alcotest.test_case "zero capacity" `Quick test_zero_capacity;
+          Alcotest.test_case "oversized skipped" `Quick test_oversized_items_skipped;
+          Alcotest.test_case "non-positive value skipped" `Quick test_nonpositive_value_skipped;
+          Alcotest.test_case "empty items" `Quick test_empty_items;
+          Alcotest.test_case "negative capacity" `Quick test_negative_capacity;
+          Alcotest.test_case "node limit" `Quick test_node_limit_feasible;
+          Alcotest.test_case "all fit" `Quick test_all_fit;
+        ] );
+      ("properties", qcheck_cases);
+    ]

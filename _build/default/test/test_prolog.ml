@@ -1,0 +1,513 @@
+open Kaskade_prolog
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let fresh_engine ?(src = "") () =
+  let e = Prelude.engine () in
+  if src <> "" then Engine.consult e src;
+  e
+
+let first_binding e goal var =
+  match Engine.first_solution e goal with
+  | Some bindings -> Term.to_string (List.assoc var bindings)
+  | None -> "<no solution>"
+
+let all_bindings e goal var =
+  List.map (fun b -> Term.to_string (List.assoc var b)) (Engine.all_solutions e goal)
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+
+let test_lexer_basic () =
+  let toks = Lexer.tokenize "foo(X, 'Hello World', 42)." in
+  check_int "token count" 10 (List.length toks);
+  match toks with
+  | Lexer.ATOM "foo" :: Lexer.LPAREN :: Lexer.VAR "X" :: Lexer.COMMA :: Lexer.ATOM "Hello World" :: _ ->
+    ()
+  | _ -> Alcotest.fail "unexpected token stream"
+
+let test_lexer_comments () =
+  let toks = Lexer.tokenize "a. % line comment\n/* block\ncomment */ b." in
+  check_int "comments dropped" 5 (List.length toks)
+
+let test_lexer_operators () =
+  let toks = Lexer.tokenize "X is Y + 1" in
+  check_bool "has is" true (List.mem (Lexer.ATOM "is") toks);
+  check_bool "has plus" true (List.mem (Lexer.ATOM "+") toks)
+
+let test_lexer_quoted_escape () =
+  match Lexer.tokenize "'it''s'" with
+  | [ Lexer.ATOM "it's"; Lexer.EOF ] -> ()
+  | _ -> Alcotest.fail "quote escape failed"
+
+let test_lexer_error () =
+  Alcotest.check_raises "unterminated" (Lexer.Lex_error ("unterminated quoted atom", 0)) (fun () ->
+      ignore (Lexer.tokenize "'oops"))
+
+let test_lexer_negative_via_parser () =
+  let t, _ = Parser.parse_term "-5" in
+  check_string "negative literal" "-5" (Term.to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+
+let test_parser_fact () =
+  let t, _ = Parser.parse_term "edge(a, b)" in
+  check_string "fact" "edge(a, b)" (Term.to_string t)
+
+let test_parser_clause () =
+  let cs = Parser.parse_program "p(X) :- q(X), r(X)." in
+  check_int "one clause" 1 (List.length cs);
+  let c = List.hd cs in
+  check_string "head" "p(_G0)" (Term.to_string c.Parser.head);
+  check_bool "body is conjunction" true
+    (match c.Parser.body with Term.Compound (",", _) -> true | _ -> false)
+
+let test_parser_operator_precedence () =
+  let t, _ = Parser.parse_term "X is 1 + 2 * 3" in
+  match t with
+  | Term.Compound ("is", [| _; Term.Compound ("+", [| Term.Int 1; Term.Compound ("*", _) |]) |]) -> ()
+  | _ -> Alcotest.fail ("wrong precedence: " ^ Term.to_string t)
+
+let test_parser_left_assoc () =
+  let t, _ = Parser.parse_term "1 - 2 - 3" in
+  match t with
+  | Term.Compound ("-", [| Term.Compound ("-", [| Term.Int 1; Term.Int 2 |]); Term.Int 3 |]) -> ()
+  | _ -> Alcotest.fail ("wrong associativity: " ^ Term.to_string t)
+
+let test_parser_lists () =
+  let t, _ = Parser.parse_term "[1, 2 | T]" in
+  match t with
+  | Term.Compound (".", [| Term.Int 1; Term.Compound (".", [| Term.Int 2; Term.Var _ |]) |]) -> ()
+  | _ -> Alcotest.fail ("wrong list: " ^ Term.to_string t)
+
+let test_parser_empty_list () =
+  let t, _ = Parser.parse_term "[]" in
+  check_bool "nil" true (Term.equal t Term.nil)
+
+let test_parser_var_identity () =
+  let t, vars = Parser.parse_term "p(X, Y, X)" in
+  check_int "two distinct vars" 2 (List.length vars);
+  match t with
+  | Term.Compound ("p", [| Term.Var a; Term.Var b; Term.Var c |]) ->
+    check_bool "X shared" true (a = c);
+    check_bool "Y distinct" true (a <> b)
+  | _ -> Alcotest.fail "bad term"
+
+let test_parser_anonymous_vars () =
+  let t, vars = Parser.parse_term "p(_, _)" in
+  check_int "anon not named" 0 (List.length vars);
+  match t with
+  | Term.Compound ("p", [| Term.Var a; Term.Var b |]) -> check_bool "each _ fresh" true (a <> b)
+  | _ -> Alcotest.fail "bad term"
+
+let test_parser_program_multi () =
+  let cs = Parser.parse_program "a. b. c(X) :- a, b." in
+  check_int "three clauses" 3 (List.length cs)
+
+let test_parser_error () =
+  check_bool "raises" true
+    (try
+       ignore (Parser.parse_program "p(X :- q.");
+       false
+     with Parser.Parse_error _ -> true)
+
+let test_parser_negation_sugar () =
+  let t, _ = Parser.parse_term "\\+ p(X)" in
+  match t with Term.Compound ("\\+", _) -> () | _ -> Alcotest.fail "negation parse"
+
+(* ------------------------------------------------------------------ *)
+(* Terms                                                               *)
+
+let test_term_list_roundtrip () =
+  let items = [ Term.int 1; Term.atom "x"; Term.var 0 ] in
+  match Term.to_list (Term.list_of items) with
+  | Some back -> check_bool "roundtrip" true (List.for_all2 Term.equal items back)
+  | None -> Alcotest.fail "not a list"
+
+let test_term_compare_order () =
+  check_bool "var < int" true (Term.compare (Term.var 0) (Term.int 5) < 0);
+  check_bool "int < atom" true (Term.compare (Term.int 5) (Term.atom "a") < 0);
+  check_bool "atom < compound" true
+    (Term.compare (Term.atom "z") (Term.compound "a" [ Term.int 1 ]) < 0)
+
+let test_term_vars_of () =
+  let t, _ = Parser.parse_term "f(X, g(Y, X), Z)" in
+  check_int "distinct vars" 3 (List.length (Term.vars_of t))
+
+let test_term_rename () =
+  let t = Term.compound "f" [ Term.var 0; Term.var 1 ] in
+  let r = Term.rename ~offset:10 t in
+  check_int "max var" 11 (Term.max_var r)
+
+(* ------------------------------------------------------------------ *)
+(* Unification                                                         *)
+
+let test_unify_basic () =
+  let b = Bindings.create () in
+  check_bool "var binds" true (Bindings.unify b (Term.var 0) (Term.atom "a"));
+  check_string "resolved" "a" (Term.to_string (Bindings.resolve b (Term.var 0)))
+
+let test_unify_shared_vars () =
+  let b = Bindings.create () in
+  let t1 = Term.compound "f" [ Term.var 0; Term.var 0 ] in
+  let t2 = Term.compound "f" [ Term.atom "a"; Term.var 1 ] in
+  check_bool "unifies" true (Bindings.unify b t1 t2);
+  check_string "transitively bound" "a" (Term.to_string (Bindings.resolve b (Term.var 1)))
+
+let test_unify_mismatch () =
+  let b = Bindings.create () in
+  check_bool "atom clash" false (Bindings.unify b (Term.atom "a") (Term.atom "b"));
+  check_bool "arity clash" false
+    (Bindings.unify b (Term.compound "f" [ Term.int 1 ]) (Term.compound "f" [ Term.int 1; Term.int 2 ]))
+
+let test_unify_undo () =
+  let b = Bindings.create () in
+  let m = Bindings.mark b in
+  ignore (Bindings.unify b (Term.var 0) (Term.atom "a"));
+  Bindings.undo_to b m;
+  match Bindings.walk b (Term.var 0) with
+  | Term.Var 0 -> ()
+  | t -> Alcotest.fail ("binding survived undo: " ^ Term.to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Engine semantics                                                    *)
+
+let family =
+  {|
+    parent(tom, bob). parent(tom, liz).
+    parent(bob, ann). parent(bob, pat).
+    parent(pat, jim).
+    ancestor(X, Y) :- parent(X, Y).
+    ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).
+  |}
+
+let test_engine_facts () =
+  let e = fresh_engine ~src:family () in
+  check_bool "fact holds" true (Engine.holds e "parent(tom, bob)");
+  check_bool "fact fails" false (Engine.holds e "parent(bob, tom)")
+
+let test_engine_recursion () =
+  let e = fresh_engine ~src:family () in
+  let descendants = all_bindings e "ancestor(tom, X)" "X" in
+  Alcotest.(check (list string)) "all descendants" [ "bob"; "liz"; "ann"; "pat"; "jim" ] descendants
+
+let test_engine_conjunction_backtracking () =
+  let e = fresh_engine ~src:family () in
+  let pairs = Engine.all_solutions e "parent(X, Y), parent(Y, Z)" in
+  check_int "grandparent pairs" 3 (List.length pairs)
+
+let test_engine_arithmetic () =
+  let e = fresh_engine () in
+  check_string "is" "7" (first_binding e "X is 1 + 2 * 3" "X");
+  check_string "mod" "2" (first_binding e "X is 17 mod 5" "X");
+  check_string "neg" "-4" (first_binding e "X is 3 - 7" "X");
+  check_string "max" "9" (first_binding e "X is max(4, 9)" "X");
+  check_bool "comparison" true (Engine.holds e "3 < 4, 4 =< 4, 5 > 1, 2 >= 2, 3 =:= 3, 3 =\\= 4")
+
+let test_engine_division_by_zero () =
+  let e = fresh_engine () in
+  check_bool "raises" true
+    (try
+       ignore (Engine.holds e "X is 1 / 0");
+       false
+     with Engine.Runtime_error _ -> true)
+
+let test_engine_between () =
+  let e = fresh_engine () in
+  Alcotest.(check (list string)) "between enumerates" [ "2"; "3"; "4" ]
+    (all_bindings e "between(2, 4, X)" "X");
+  check_bool "between checks" true (Engine.holds e "between(1, 10, 5)");
+  check_bool "between rejects" false (Engine.holds e "between(1, 10, 11)")
+
+let test_engine_negation () =
+  let e = fresh_engine ~src:family () in
+  check_bool "naf holds" true (Engine.holds e "not(parent(jim, _))");
+  check_bool "naf fails" false (Engine.holds e "\\+ parent(tom, bob)");
+  check_string "no leak" "tom" (first_binding e "X = tom, \\+ parent(X, jim)" "X")
+
+let test_engine_findall () =
+  let e = fresh_engine ~src:family () in
+  check_string "findall list" "[bob, liz]" (first_binding e "findall(C, parent(tom, C), L)" "L");
+  check_string "findall empty" "[]" (first_binding e "findall(C, parent(jim, C), L)" "L")
+
+let test_engine_setof () =
+  let e = fresh_engine ~src:"p(3). p(1). p(3). p(2)." () in
+  check_string "sorted dedup" "[1, 2, 3]" (first_binding e "setof(X, p(X), L)" "L");
+  check_bool "setof empty fails" false (Engine.holds e "setof(X, q_undefined(X), _)")
+
+let test_engine_setof_witness () =
+  let e = fresh_engine ~src:"r(a, 1). r(b, 2). r(a, 3)." () in
+  check_string "witness stripped" "[a, b]" (first_binding e "setof(X, Y^r(X, Y), L)" "L")
+
+let test_engine_sort_msort () =
+  let e = fresh_engine () in
+  check_string "sort dedups" "[1, 2, 3]" (first_binding e "sort([3, 1, 2, 3], L)" "L");
+  check_string "msort keeps" "[1, 2, 3, 3]" (first_binding e "msort([3, 1, 2, 3], L)" "L")
+
+let test_engine_length () =
+  let e = fresh_engine () in
+  check_string "length of list" "3" (first_binding e "length([a, b, c], N)" "N");
+  check_bool "length generates" true (Engine.holds e "length(L, 2), L = [a, b]")
+
+let test_engine_if_then_else () =
+  let e = fresh_engine ~src:family () in
+  check_string "then" "yes" (first_binding e "( parent(tom, bob) -> R = yes ; R = no )" "R");
+  check_string "else" "no" (first_binding e "( parent(bob, tom) -> R = yes ; R = no )" "R")
+
+let test_engine_cut () =
+  let e = fresh_engine ~src:"first(X) :- member(X, [1, 2, 3]), !." () in
+  Alcotest.(check (list string)) "cut stops at first" [ "1" ] (all_bindings e "first(X)" "X")
+
+let test_engine_call_n () =
+  let e = fresh_engine ~src:"add(X, Y, Z) :- Z is X + Y." () in
+  check_string "call/4" "5" (first_binding e "call(add, 2, 3, Z)" "Z");
+  check_string "call partial" "5" (first_binding e "G = add(2), call(G, 3, Z)" "Z")
+
+let test_engine_assertz () =
+  let e = fresh_engine () in
+  check_bool "assert" true (Engine.holds e "assertz(dynamic_fact(42))");
+  check_string "asserted visible" "42" (first_binding e "dynamic_fact(X)" "X")
+
+let test_engine_structural_eq () =
+  let e = fresh_engine () in
+  check_bool "==" true (Engine.holds e "f(a, 1) == f(a, 1)");
+  check_bool "\\== with vars" true (Engine.holds e "X \\== Y");
+  check_bool "@< order" true (Engine.holds e "1 @< a, a @< f(a)")
+
+let test_engine_unknown_predicate_fails () =
+  let e = fresh_engine () in
+  check_bool "silently fails" false (Engine.holds e "totally_unknown(1)")
+
+let test_engine_budget () =
+  let db = Prelude.db_with_prelude () in
+  Db.load db "loop :- loop.";
+  let e = Engine.create ~step_limit:10_000 db in
+  check_bool "budget raises" true
+    (try
+       ignore (Engine.holds e "loop");
+       false
+     with Engine.Budget_exceeded _ -> true)
+
+let test_engine_steps_counted () =
+  let e = fresh_engine ~src:family () in
+  Engine.reset_steps e;
+  ignore (Engine.all_solutions e "ancestor(tom, X)");
+  check_bool "steps > 0" true (Engine.steps e > 0)
+
+let test_engine_atom_concat () =
+  let e = fresh_engine () in
+  check_string "concat" "foo_2" (first_binding e "atom_concat(foo_, 2, R)" "R")
+
+let test_engine_aggregate_all () =
+  let e = fresh_engine ~src:"v(1). v(2). v(3)." () in
+  check_string "count" "3" (first_binding e "aggregate_all(count(X), v(X), N)" "N");
+  check_string "sum" "6" (first_binding e "aggregate_all(sum(X), v(X), N)" "N")
+
+
+let test_engine_if_then_no_else () =
+  let e = fresh_engine ~src:family () in
+  check_bool "then-only succeeds" true (Engine.holds e "( parent(tom, bob) -> true )");
+  check_bool "then-only fails" false (Engine.holds e "( parent(bob, tom) -> true )")
+
+let test_engine_nested_findall () =
+  let e = fresh_engine ~src:family () in
+  check_string "list of lists" "[[ann, pat], []]"
+    (first_binding e "findall(L, ( member(P, [bob, liz]), findall(C, parent(P, C), L) ), LS)" "LS")
+
+let test_engine_ite_condition_binds () =
+  let e = fresh_engine ~src:family () in
+  (* Bindings from the first solution of the condition persist into
+     the then-branch. *)
+  check_string "cond binding flows" "bob"
+    (first_binding e "( parent(tom, X) -> R = X ; R = none )" "R")
+
+let test_engine_deep_recursion_trail () =
+  (* A long chain exercises trail growth/undo. *)
+  let chain = Buffer.create 1024 in
+  for i = 0 to 200 do
+    Buffer.add_string chain (Printf.sprintf "e(n%d, n%d). " i (i + 1))
+  done;
+  Buffer.add_string chain "path(X, Y) :- e(X, Y). path(X, Y) :- e(X, Z), path(Z, Y).";
+  let e = fresh_engine ~src:(Buffer.contents chain) () in
+  check_bool "long chain reachable" true (Engine.holds e "path(n0, n201)");
+  check_bool "unreachable" false (Engine.holds e "path(n201, n0)")
+
+let test_term_pp_quoting () =
+  check_string "quoted atom" "'Hello World'" (Term.to_string (Term.atom "Hello World"));
+  check_string "plain atom" "abc" (Term.to_string (Term.atom "abc"));
+  check_string "operator atom" ":-" (Term.to_string (Term.atom ":-"))
+
+let test_engine_var_goal_error () =
+  let e = fresh_engine () in
+  check_bool "unbound goal raises" true
+    (try ignore (Engine.holds e "X"); false with Engine.Runtime_error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Prelude library predicates                                          *)
+
+let test_prelude_member_append () =
+  let e = fresh_engine () in
+  Alcotest.(check (list string)) "member" [ "1"; "2"; "3" ] (all_bindings e "member(X, [1, 2, 3])" "X");
+  check_string "append" "[1, 2, 3, 4]" (first_binding e "append([1, 2], [3, 4], L)" "L");
+  check_int "splits" 4 (List.length (Engine.all_solutions e "append(A, B, [1, 2, 3])"))
+
+let test_prelude_reverse_last_nth () =
+  let e = fresh_engine () in
+  check_string "reverse" "[3, 2, 1]" (first_binding e "reverse([1, 2, 3], L)" "L");
+  check_string "last" "3" (first_binding e "last([1, 2, 3], X)" "X");
+  check_string "nth0" "b" (first_binding e "nth0(1, [a, b, c], X)" "X");
+  check_string "nth1" "a" (first_binding e "nth1(1, [a, b, c], X)" "X")
+
+let test_prelude_sum_max_min () =
+  let e = fresh_engine () in
+  check_string "sum_list" "10" (first_binding e "sum_list([1, 2, 3, 4], S)" "S");
+  check_string "max_list" "9" (first_binding e "max_list([3, 9, 1], M)" "M");
+  check_string "min_list" "1" (first_binding e "min_list([3, 9, 1], M)" "M")
+
+let test_prelude_maplist_foldl () =
+  let e = fresh_engine ~src:"double(X, Y) :- Y is 2 * X. plus(X, A, B) :- B is A + X." () in
+  check_string "maplist/3" "[2, 4, 6]" (first_binding e "maplist(double, [1, 2, 3], L)" "L");
+  check_string "foldl/4" "6" (first_binding e "foldl(plus, [1, 2, 3], 0, S)" "S")
+
+let test_prelude_convlist () =
+  let e = fresh_engine ~src:"pos_double(X, Y) :- X > 0, Y is 2 * X." () in
+  check_string "convlist drops failures" "[2, 6]"
+    (first_binding e "convlist(pos_double, [1, -2, 3], L)" "L")
+
+let test_prelude_include_exclude () =
+  let e = fresh_engine ~src:"pos(X) :- X > 0." () in
+  check_string "include" "[1, 3]" (first_binding e "include(pos, [1, -2, 3], L)" "L");
+  check_string "exclude" "[-2]" (first_binding e "exclude(pos, [1, -2, 3], L)" "L")
+
+let test_prelude_set_ops () =
+  let e = fresh_engine () in
+  check_string "subtract" "[1, 3]" (first_binding e "subtract([1, 2, 3], [2], L)" "L");
+  check_string "intersection" "[2]" (first_binding e "intersection([1, 2, 3], [2, 4], L)" "L");
+  check_string "union" "[1, 3, 2, 4]" (first_binding e "union([1, 2, 3], [2, 4], L)" "L")
+
+let test_prelude_numlist_select () =
+  let e = fresh_engine () in
+  check_string "numlist" "[2, 3, 4]" (first_binding e "numlist(2, 4, L)" "L");
+  check_int "select enumerates" 3 (List.length (Engine.all_solutions e "select(X, [1, 2, 3], R)"))
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+
+let small_int_list = QCheck.(list_of_size Gen.(0 -- 8) (0 -- 20))
+
+let list_term xs = "[" ^ String.concat ", " (List.map string_of_int xs) ^ "]"
+
+let prop_reverse_involution =
+  QCheck.Test.make ~name:"reverse twice is identity (via engine)" ~count:50 small_int_list (fun xs ->
+      let e = fresh_engine () in
+      let goal = Printf.sprintf "reverse(%s, R1), reverse(R1, R2)" (list_term xs) in
+      match Engine.first_solution e goal with
+      | Some b -> Term.to_string (List.assoc "R2" b) = list_term xs
+      | None -> false)
+
+let prop_append_length =
+  QCheck.Test.make ~name:"append length adds (via engine)" ~count:50
+    (QCheck.pair small_int_list small_int_list) (fun (xs, ys) ->
+      let e = fresh_engine () in
+      let goal = Printf.sprintf "append(%s, %s, L), length(L, N)" (list_term xs) (list_term ys) in
+      match Engine.first_solution e goal with
+      | Some b -> Term.to_string (List.assoc "N" b) = string_of_int (List.length xs + List.length ys)
+      | None -> false)
+
+let prop_sort_sorted =
+  QCheck.Test.make ~name:"sort output is sorted and deduped" ~count:50 small_int_list (fun xs ->
+      let e = fresh_engine () in
+      match Engine.first_solution e (Printf.sprintf "sort(%s, L)" (list_term xs)) with
+      | Some b -> Term.to_string (List.assoc "L" b) = list_term (List.sort_uniq compare xs)
+      | None -> false)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest [ prop_reverse_involution; prop_append_length; prop_sort_sorted ]
+
+let () =
+  Alcotest.run "kaskade_prolog"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basic" `Quick test_lexer_basic;
+          Alcotest.test_case "comments" `Quick test_lexer_comments;
+          Alcotest.test_case "operators" `Quick test_lexer_operators;
+          Alcotest.test_case "quoted escape" `Quick test_lexer_quoted_escape;
+          Alcotest.test_case "error" `Quick test_lexer_error;
+          Alcotest.test_case "negative int" `Quick test_lexer_negative_via_parser;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "fact" `Quick test_parser_fact;
+          Alcotest.test_case "clause" `Quick test_parser_clause;
+          Alcotest.test_case "precedence" `Quick test_parser_operator_precedence;
+          Alcotest.test_case "left assoc" `Quick test_parser_left_assoc;
+          Alcotest.test_case "lists" `Quick test_parser_lists;
+          Alcotest.test_case "empty list" `Quick test_parser_empty_list;
+          Alcotest.test_case "var identity" `Quick test_parser_var_identity;
+          Alcotest.test_case "anonymous vars" `Quick test_parser_anonymous_vars;
+          Alcotest.test_case "multi clause program" `Quick test_parser_program_multi;
+          Alcotest.test_case "parse error" `Quick test_parser_error;
+          Alcotest.test_case "negation sugar" `Quick test_parser_negation_sugar;
+        ] );
+      ( "term",
+        [
+          Alcotest.test_case "list roundtrip" `Quick test_term_list_roundtrip;
+          Alcotest.test_case "standard order" `Quick test_term_compare_order;
+          Alcotest.test_case "vars_of" `Quick test_term_vars_of;
+          Alcotest.test_case "rename" `Quick test_term_rename;
+        ] );
+      ( "unify",
+        [
+          Alcotest.test_case "basic" `Quick test_unify_basic;
+          Alcotest.test_case "shared vars" `Quick test_unify_shared_vars;
+          Alcotest.test_case "mismatch" `Quick test_unify_mismatch;
+          Alcotest.test_case "undo" `Quick test_unify_undo;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "facts" `Quick test_engine_facts;
+          Alcotest.test_case "recursion" `Quick test_engine_recursion;
+          Alcotest.test_case "conjunction backtracking" `Quick test_engine_conjunction_backtracking;
+          Alcotest.test_case "arithmetic" `Quick test_engine_arithmetic;
+          Alcotest.test_case "division by zero" `Quick test_engine_division_by_zero;
+          Alcotest.test_case "between" `Quick test_engine_between;
+          Alcotest.test_case "negation" `Quick test_engine_negation;
+          Alcotest.test_case "findall" `Quick test_engine_findall;
+          Alcotest.test_case "setof" `Quick test_engine_setof;
+          Alcotest.test_case "setof with witness" `Quick test_engine_setof_witness;
+          Alcotest.test_case "sort/msort" `Quick test_engine_sort_msort;
+          Alcotest.test_case "length" `Quick test_engine_length;
+          Alcotest.test_case "if-then-else" `Quick test_engine_if_then_else;
+          Alcotest.test_case "cut" `Quick test_engine_cut;
+          Alcotest.test_case "call/N" `Quick test_engine_call_n;
+          Alcotest.test_case "assertz" `Quick test_engine_assertz;
+          Alcotest.test_case "structural equality" `Quick test_engine_structural_eq;
+          Alcotest.test_case "unknown predicate" `Quick test_engine_unknown_predicate_fails;
+          Alcotest.test_case "step budget" `Quick test_engine_budget;
+          Alcotest.test_case "steps counted" `Quick test_engine_steps_counted;
+          Alcotest.test_case "atom_concat" `Quick test_engine_atom_concat;
+          Alcotest.test_case "aggregate_all" `Quick test_engine_aggregate_all;
+          Alcotest.test_case "if-then without else" `Quick test_engine_if_then_no_else;
+          Alcotest.test_case "nested findall" `Quick test_engine_nested_findall;
+          Alcotest.test_case "ite condition binding" `Quick test_engine_ite_condition_binds;
+          Alcotest.test_case "deep recursion" `Quick test_engine_deep_recursion_trail;
+          Alcotest.test_case "atom quoting" `Quick test_term_pp_quoting;
+          Alcotest.test_case "unbound goal" `Quick test_engine_var_goal_error;
+        ] );
+      ( "prelude",
+        [
+          Alcotest.test_case "member/append" `Quick test_prelude_member_append;
+          Alcotest.test_case "reverse/last/nth" `Quick test_prelude_reverse_last_nth;
+          Alcotest.test_case "sum/max/min" `Quick test_prelude_sum_max_min;
+          Alcotest.test_case "maplist/foldl" `Quick test_prelude_maplist_foldl;
+          Alcotest.test_case "convlist" `Quick test_prelude_convlist;
+          Alcotest.test_case "include/exclude" `Quick test_prelude_include_exclude;
+          Alcotest.test_case "set operations" `Quick test_prelude_set_ops;
+          Alcotest.test_case "numlist/select" `Quick test_prelude_numlist_select;
+        ] );
+      ("properties", qcheck_cases);
+    ]

@@ -1,0 +1,297 @@
+open Kaskade_util
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Prng                                                                *)
+
+let test_prng_determinism () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    check_bool "same stream" true (Prng.next_int64 a = Prng.next_int64 b)
+  done
+
+let test_prng_distinct_seeds () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Prng.next_int64 a = Prng.next_int64 b then incr same
+  done;
+  check_bool "streams differ" true (!same < 5)
+
+let test_prng_int_range () =
+  let rng = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Prng.int rng 17 in
+    check_bool "in range" true (x >= 0 && x < 17)
+  done
+
+let test_prng_int_in () =
+  let rng = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Prng.int_in rng (-3) 4 in
+    check_bool "in range" true (x >= -3 && x <= 4)
+  done
+
+let test_prng_int_invalid () =
+  let rng = Prng.create 7 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Prng.int: bound must be positive") (fun () ->
+      ignore (Prng.int rng 0))
+
+let test_prng_float_range () =
+  let rng = Prng.create 9 in
+  for _ = 1 to 1000 do
+    let x = Prng.float rng 2.5 in
+    check_bool "in range" true (x >= 0.0 && x < 2.5)
+  done
+
+let test_prng_zipf_bounds () =
+  let rng = Prng.create 11 in
+  for _ = 1 to 2000 do
+    let x = Prng.zipf rng ~n:50 ~s:1.5 in
+    check_bool "rank in bounds" true (x >= 1 && x <= 50)
+  done
+
+let test_prng_zipf_skew () =
+  (* Rank 1 must dominate: with s = 1.5 over 100 ranks, rank 1 should
+     hold well over a tenth of the mass. *)
+  let rng = Prng.create 13 in
+  let ones = ref 0 in
+  let total = 10_000 in
+  for _ = 1 to total do
+    if Prng.zipf rng ~n:100 ~s:1.5 = 1 then incr ones
+  done;
+  check_bool "rank-1 frequency is dominant" true (!ones > total / 10)
+
+let test_prng_zipf_n1 () =
+  let rng = Prng.create 17 in
+  check_int "n=1 is constant" 1 (Prng.zipf rng ~n:1 ~s:2.0)
+
+let test_prng_geometric () =
+  let rng = Prng.create 19 in
+  for _ = 1 to 1000 do
+    check_bool "non-negative" true (Prng.geometric rng ~p:0.3 >= 0)
+  done;
+  check_int "p=1 is zero" 0 (Prng.geometric rng ~p:1.0)
+
+let test_prng_shuffle_permutation () =
+  let rng = Prng.create 21 in
+  let a = Array.init 50 (fun i -> i) in
+  Prng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_prng_split_independent () =
+  let rng = Prng.create 23 in
+  let child = Prng.split rng in
+  check_bool "split stream differs" true (Prng.next_int64 rng <> Prng.next_int64 child)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+
+let test_percentile_nearest_rank () =
+  let xs = [| 15; 20; 35; 40; 50 |] in
+  check_int "p30" 20 (Stats.percentile xs 30.0);
+  check_int "p40" 20 (Stats.percentile xs 40.0);
+  check_int "p50" 35 (Stats.percentile xs 50.0);
+  check_int "p100" 50 (Stats.percentile xs 100.0)
+
+let test_percentile_single () =
+  check_int "singleton" 7 (Stats.percentile [| 7 |] 50.0)
+
+let test_percentile_errors () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty array") (fun () ->
+      ignore (Stats.percentile [||] 50.0));
+  Alcotest.check_raises "p out of range" (Invalid_argument "Stats.percentile: p out of (0, 100]")
+    (fun () -> ignore (Stats.percentile [| 1 |] 0.0))
+
+let test_percentiles_batch () =
+  let xs = [| 5; 1; 3; 2; 4 |] in
+  let rows = Stats.percentiles xs [ 20.0; 60.0; 100.0 ] in
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "batch matches singles"
+    [ (20.0, 1); (60.0, 3); (100.0, 5) ]
+    rows
+
+let test_mean_stddev () =
+  check_float "mean" 2.5 (Stats.mean [| 1.0; 2.0; 3.0; 4.0 |]);
+  check_float "mean empty" 0.0 (Stats.mean [||]);
+  let sd = Stats.stddev [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  check_float "stddev" 2.0 sd
+
+let test_ccdf () =
+  let rows = Stats.ccdf [| 1; 1; 2; 3 |] in
+  Alcotest.(check (list (pair int int))) "ccdf" [ (1, 2); (2, 1); (3, 0) ] rows
+
+let test_ccdf_monotone_qcheck =
+  QCheck.Test.make ~name:"ccdf counts are non-increasing" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 50) (0 -- 20))
+    (fun xs ->
+      let rows = Stats.ccdf (Array.of_list xs) in
+      let counts = List.map snd rows in
+      List.for_all2 (fun a b -> a >= b)
+        (List.filteri (fun i _ -> i < List.length counts - 1) counts)
+        (List.tl counts))
+
+let test_linear_fit_exact () =
+  let slope, intercept, r2 = Stats.linear_fit [ (0.0, 1.0); (1.0, 3.0); (2.0, 5.0) ] in
+  check_float "slope" 2.0 slope;
+  check_float "intercept" 1.0 intercept;
+  check_float "r2" 1.0 r2
+
+let test_power_law_fit () =
+  (* Degrees drawn so freq(deg > x) ~ x^-1; the fit should find a
+     negative slope with a strong r^2. *)
+  let degrees = Array.init 1000 (fun i -> 1 + (1000 / (i + 1))) in
+  let alpha, r2 = Stats.power_law_fit degrees in
+  check_bool "negative slope" true (alpha < -0.5);
+  check_bool "good fit" true (r2 > 0.9)
+
+let test_histogram () =
+  let h = Stats.histogram [| 1; 2; 2; 3; 3; 3 |] in
+  check_int "count 3" 3 (Hashtbl.find h 3);
+  check_int "count 1" 1 (Hashtbl.find h 1)
+
+(* ------------------------------------------------------------------ *)
+(* Int_vec                                                             *)
+
+let test_int_vec_push_get () =
+  let v = Int_vec.create () in
+  for i = 0 to 99 do
+    Int_vec.push v (i * i)
+  done;
+  check_int "length" 100 (Int_vec.length v);
+  check_int "get 7" 49 (Int_vec.get v 7);
+  Int_vec.set v 7 0;
+  check_int "set" 0 (Int_vec.get v 7)
+
+let test_int_vec_bounds () =
+  let v = Int_vec.of_array [| 1; 2; 3 |] in
+  Alcotest.check_raises "get oob" (Invalid_argument "Int_vec.get: index out of bounds") (fun () ->
+      ignore (Int_vec.get v 3))
+
+let test_int_vec_truncate () =
+  let v = Int_vec.of_array [| 1; 2; 3; 4 |] in
+  Int_vec.truncate v 2;
+  check_int "len" 2 (Int_vec.length v);
+  Int_vec.push v 9;
+  Alcotest.(check (array int)) "contents" [| 1; 2; 9 |] (Int_vec.to_array v)
+
+let test_int_vec_sort () =
+  let v = Int_vec.of_array [| 3; 1; 2 |] in
+  Int_vec.sort_in_place v;
+  Alcotest.(check (array int)) "sorted" [| 1; 2; 3 |] (Int_vec.to_array v)
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                                *)
+
+let test_heap_ordering () =
+  let h = Heap.create () in
+  List.iter (fun (p, v) -> Heap.push h p v) [ (3.0, "c"); (1.0, "a"); (2.0, "b") ];
+  Alcotest.(check (option (pair (float 0.0) string))) "peek" (Some (1.0, "a")) (Heap.peek h);
+  Alcotest.(check (option (pair (float 0.0) string))) "pop1" (Some (1.0, "a")) (Heap.pop h);
+  Alcotest.(check (option (pair (float 0.0) string))) "pop2" (Some (2.0, "b")) (Heap.pop h);
+  Alcotest.(check (option (pair (float 0.0) string))) "pop3" (Some (3.0, "c")) (Heap.pop h);
+  check_bool "empty" true (Heap.pop h = None)
+
+let test_heap_sorted_qcheck =
+  QCheck.Test.make ~name:"heap pops in priority order" ~count:200
+    QCheck.(list_of_size Gen.(0 -- 100) (float_range (-100.0) 100.0))
+    (fun prios ->
+      let h = Heap.create () in
+      List.iter (fun p -> Heap.push h p ()) prios;
+      let rec drain acc = match Heap.pop h with None -> List.rev acc | Some (p, ()) -> drain (p :: acc) in
+      let popped = drain [] in
+      popped = List.sort compare prios)
+
+(* ------------------------------------------------------------------ *)
+(* Union_find                                                          *)
+
+let test_union_find_basic () =
+  let uf = Union_find.create 6 in
+  check_int "initial sets" 6 (Union_find.count uf);
+  Union_find.union uf 0 1;
+  Union_find.union uf 2 3;
+  Union_find.union uf 1 2;
+  check_int "after unions" 3 (Union_find.count uf);
+  check_bool "same" true (Union_find.same uf 0 3);
+  check_bool "not same" false (Union_find.same uf 0 4)
+
+let test_union_find_sizes () =
+  let uf = Union_find.create 5 in
+  Union_find.union uf 0 1;
+  Union_find.union uf 1 2;
+  let sizes = Union_find.component_sizes uf in
+  let root = Union_find.find uf 0 in
+  check_int "big component" 3 (Hashtbl.find sizes root)
+
+(* ------------------------------------------------------------------ *)
+(* Table                                                               *)
+
+let test_fmt_int () =
+  Alcotest.(check string) "thousands" "1,234,567" (Table.fmt_int 1234567);
+  Alcotest.(check string) "negative" "-1,000" (Table.fmt_int (-1000));
+  Alcotest.(check string) "small" "42" (Table.fmt_int 42)
+
+let test_table_render () =
+  let s = Table.render ~header:[ "a"; "b" ] [ [ "1"; "2" ]; [ "30"; "40" ] ] in
+  check_bool "has header" true (String.length s > 0);
+  check_bool "contains row" true
+    (String.split_on_char '\n' s |> List.exists (fun line -> String.length line > 0))
+
+let qcheck_cases = List.map QCheck_alcotest.to_alcotest [ test_ccdf_monotone_qcheck; test_heap_sorted_qcheck ]
+
+let () =
+  Alcotest.run "kaskade_util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_prng_determinism;
+          Alcotest.test_case "distinct seeds" `Quick test_prng_distinct_seeds;
+          Alcotest.test_case "int range" `Quick test_prng_int_range;
+          Alcotest.test_case "int_in range" `Quick test_prng_int_in;
+          Alcotest.test_case "invalid bound" `Quick test_prng_int_invalid;
+          Alcotest.test_case "float range" `Quick test_prng_float_range;
+          Alcotest.test_case "zipf bounds" `Quick test_prng_zipf_bounds;
+          Alcotest.test_case "zipf skew" `Quick test_prng_zipf_skew;
+          Alcotest.test_case "zipf n=1" `Quick test_prng_zipf_n1;
+          Alcotest.test_case "geometric" `Quick test_prng_geometric;
+          Alcotest.test_case "shuffle permutation" `Quick test_prng_shuffle_permutation;
+          Alcotest.test_case "split independence" `Quick test_prng_split_independent;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "percentile nearest rank" `Quick test_percentile_nearest_rank;
+          Alcotest.test_case "percentile singleton" `Quick test_percentile_single;
+          Alcotest.test_case "percentile errors" `Quick test_percentile_errors;
+          Alcotest.test_case "percentiles batch" `Quick test_percentiles_batch;
+          Alcotest.test_case "mean/stddev" `Quick test_mean_stddev;
+          Alcotest.test_case "ccdf" `Quick test_ccdf;
+          Alcotest.test_case "linear fit" `Quick test_linear_fit_exact;
+          Alcotest.test_case "power-law fit" `Quick test_power_law_fit;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+        ] );
+      ( "int_vec",
+        [
+          Alcotest.test_case "push/get/set" `Quick test_int_vec_push_get;
+          Alcotest.test_case "bounds" `Quick test_int_vec_bounds;
+          Alcotest.test_case "truncate" `Quick test_int_vec_truncate;
+          Alcotest.test_case "sort" `Quick test_int_vec_sort;
+        ] );
+      ( "heap",
+        [ Alcotest.test_case "ordering" `Quick test_heap_ordering ] );
+      ( "union_find",
+        [
+          Alcotest.test_case "basic" `Quick test_union_find_basic;
+          Alcotest.test_case "component sizes" `Quick test_union_find_sizes;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "fmt_int" `Quick test_fmt_int;
+          Alcotest.test_case "render" `Quick test_table_render;
+        ] );
+      ("properties", qcheck_cases);
+    ]

@@ -1,0 +1,632 @@
+open Kaskade_graph
+open Kaskade_views
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let lineage_schema = Kaskade_gen.Provenance_gen.schema
+
+let small_lineage () =
+  let b = Builder.create lineage_schema in
+  let j =
+    Array.init 3 (fun i ->
+        Builder.add_vertex b ~vtype:"Job"
+          ~props:
+            [ ("name", Value.Str (Printf.sprintf "j%d" i));
+              ("CPU", Value.Float (float_of_int (10 * (i + 1))));
+              ("pipelineName", Value.Str (if i < 2 then "alpha" else "beta")) ]
+          ())
+  in
+  let f =
+    Array.init 3 (fun i ->
+        Builder.add_vertex b ~vtype:"File" ~props:[ ("name", Value.Str (Printf.sprintf "f%d" i)) ] ())
+  in
+  let t0 = Builder.add_vertex b ~vtype:"Task" ~props:[ ("name", Value.Str "t0") ] () in
+  let m0 = Builder.add_vertex b ~vtype:"Machine" ~props:[ ("name", Value.Str "m0") ] () in
+  let u0 = Builder.add_vertex b ~vtype:"User" ~props:[ ("name", Value.Str "u0") ] () in
+  let edge s d t = ignore (Builder.add_edge b ~src:s ~dst:d ~etype:t ()) in
+  edge j.(0) f.(0) "WRITES_TO";
+  edge j.(0) f.(1) "WRITES_TO";
+  edge f.(0) j.(1) "IS_READ_BY";
+  edge f.(1) j.(1) "IS_READ_BY";
+  edge f.(1) j.(2) "IS_READ_BY";
+  edge j.(2) f.(2) "WRITES_TO";
+  edge j.(0) t0 "HAS_TASK";
+  edge t0 m0 "RUNS_ON";
+  edge u0 j.(0) "SUBMITTED";
+  (Graph.freeze b, j, f)
+
+let edge_name_pairs g =
+  let out = ref [] in
+  Graph.iter_edges g (fun ~eid:_ ~src ~dst ~etype:_ ->
+      let n v = match Graph.vprop g v "name" with Some (Value.Str s) -> s | _ -> "?" in
+      out := (n src, n dst) :: !out);
+  List.sort compare !out
+
+(* ------------------------------------------------------------------ *)
+(* View descriptors                                                    *)
+
+let test_view_names () =
+  check_string "k-hop name" "JOB_TO_JOB_2HOP"
+    (View.name (View.Connector (View.K_hop { src_type = "Job"; dst_type = "Job"; k = 2 })));
+  check_string "summarizer name" "KEEP_V_FILE_JOB"
+    (View.name (View.Summarizer (View.Vertex_inclusion [ "File"; "Job" ])));
+  check_string "source-sink" "SOURCE_TO_SINK" (View.name (View.Connector View.Source_to_sink))
+
+let test_view_equality () =
+  let a = View.Connector (View.K_hop { src_type = "Job"; dst_type = "Job"; k = 2 }) in
+  let b = View.Connector (View.K_hop { src_type = "Job"; dst_type = "Job"; k = 2 }) in
+  let c = View.Connector (View.K_hop { src_type = "Job"; dst_type = "Job"; k = 4 }) in
+  check_bool "equal" true (View.equal a b);
+  check_bool "distinct" false (View.equal a c)
+
+let test_view_describe () =
+  check_bool "describe mentions hops" true
+    (String.length (View.describe (View.Connector (View.K_hop { src_type = "Job"; dst_type = "Job"; k = 2 }))) > 0)
+
+(* ------------------------------------------------------------------ *)
+(* k-hop connectors                                                    *)
+
+let test_khop_connector_edges () =
+  let g, _, _ = small_lineage () in
+  let m = Materialize.k_hop_connector g ~src_type:"Job" ~dst_type:"Job" ~k:2 in
+  (* Distinct job pairs via job-file-job: (j0,j1), (j0,j2). *)
+  Alcotest.(check (list (pair string string)))
+    "connector edges"
+    [ ("j0", "j1"); ("j0", "j2") ]
+    (edge_name_pairs m.Materialize.graph);
+  check_int "only jobs" 3 (Graph.n_vertices m.Materialize.graph)
+
+let test_khop_connector_matches_paths_count () =
+  let g = Kaskade_gen.Provenance_gen.(generate { default with jobs = 150; files = 300; seed = 9 }) in
+  let m = Materialize.k_hop_connector g ~src_type:"Job" ~dst_type:"Job" ~k:2 in
+  let expected =
+    Kaskade_algo.Paths.count_2hop_pairs g
+      ~src_type:(Schema.vertex_type_id (Graph.schema g) "Job")
+      ~dst_type:(Schema.vertex_type_id (Graph.schema g) "Job")
+  in
+  check_int "edge count = distinct 2-hop pairs" expected (Graph.n_edges m.Materialize.graph)
+
+let test_khop_path_counts () =
+  let g, _, _ = small_lineage () in
+  let m =
+    Materialize.k_hop_connector ~with_path_counts:true g ~src_type:"Job" ~dst_type:"Job" ~k:2
+  in
+  let vg = m.Materialize.graph in
+  (* (j0,j1) has two contracted paths (via f0 and f1). *)
+  let found = ref 0 in
+  Graph.iter_edges vg (fun ~eid ~src ~dst ~etype:_ ->
+      let n v = match Graph.vprop vg v "name" with Some (Value.Str s) -> s | _ -> "?" in
+      if n src = "j0" && n dst = "j1" then begin
+        match Graph.eprop vg eid "paths" with
+        | Some (Value.Int c) -> found := c
+        | _ -> ()
+      end);
+  check_int "path multiplicity" 2 !found
+
+let test_khop_no_dedupe () =
+  let g, _, _ = small_lineage () in
+  let m = Materialize.k_hop_connector ~dedupe:false g ~src_type:"Job" ~dst_type:"Job" ~k:2 in
+  (* One edge per 2-hop path: 3 paths. *)
+  check_int "parallel edges" 3 (Graph.n_edges m.Materialize.graph)
+
+let test_khop_props_copied () =
+  let g, j, _ = small_lineage () in
+  let m = Materialize.k_hop_connector g ~src_type:"Job" ~dst_type:"Job" ~k:2 in
+  let new_j1 = m.Materialize.new_of_old.(j.(1)) in
+  check_bool "CPU copied" true (Graph.vprop m.Materialize.graph new_j1 "CPU" = Some (Value.Float 20.0))
+
+let test_khop_file_to_file () =
+  let g, _, _ = small_lineage () in
+  let m = Materialize.k_hop_connector g ~src_type:"File" ~dst_type:"File" ~k:2 in
+  (* f0->j1->(writes nothing): none; f1->j2->f2. *)
+  Alcotest.(check (list (pair string string))) "file connector" [ ("f1", "f2") ]
+    (edge_name_pairs m.Materialize.graph)
+
+let test_khop_build_cost_positive () =
+  let g, _, _ = small_lineage () in
+  let m = Materialize.k_hop_connector g ~src_type:"Job" ~dst_type:"Job" ~k:2 in
+  check_bool "cost counted" true (m.Materialize.build_cost > 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Other connectors                                                    *)
+
+let test_same_vertex_type_connector () =
+  let g, _, _ = small_lineage () in
+  let m = Materialize.materialize g (View.Connector (View.Same_vertex_type { vtype = "Job" })) in
+  (* Transitive job-to-job reachability: j0 reaches j1, j2. *)
+  Alcotest.(check (list (pair string string)))
+    "closure edges"
+    [ ("j0", "j1"); ("j0", "j2") ]
+    (edge_name_pairs m.Materialize.graph)
+
+let test_same_edge_type_connector () =
+  let g, _, _ = small_lineage () in
+  let m = Materialize.materialize g (View.Connector (View.Same_edge_type { etype = "WRITES_TO" })) in
+  (* WRITES_TO is Job->File; single-hop closure = the write edges. *)
+  check_int "three write paths" 3 (Graph.n_edges m.Materialize.graph)
+
+let test_source_to_sink_connector () =
+  let g, _, _ = small_lineage () in
+  let m = Materialize.materialize g (View.Connector View.Source_to_sink) in
+  let vg = m.Materialize.graph in
+  check_bool "has edges" true (Graph.n_edges vg > 0);
+  (* u0 is the only source with out-edges reaching m0 / f2 / j1 sinks. *)
+  let sources_in_view =
+    List.filter (fun (s, _) -> s = "u0") (edge_name_pairs vg)
+  in
+  check_bool "u0 reaches sinks" true (List.length sources_in_view >= 2);
+  (* Original types preserved as a property. *)
+  let ok = ref true in
+  for v = 0 to Graph.n_vertices vg - 1 do
+    match Graph.vprop vg v "orig_type" with Some (Value.Str _) -> () | _ -> ok := false
+  done;
+  check_bool "orig_type recorded" true !ok
+
+(* ------------------------------------------------------------------ *)
+(* Summarizers                                                         *)
+
+let test_vertex_inclusion () =
+  let g, _, _ = small_lineage () in
+  let m = Materialize.materialize g (View.Summarizer (View.Vertex_inclusion [ "Job"; "File" ])) in
+  let vg = m.Materialize.graph in
+  check_int "jobs+files" 6 (Graph.n_vertices vg);
+  check_int "lineage edges only" 6 (Graph.n_edges vg);
+  check_bool "no Task type" false (Schema.has_vertex_type (Graph.schema vg) "Task")
+
+let test_vertex_removal () =
+  let g, _, _ = small_lineage () in
+  let m =
+    Materialize.materialize g
+      (View.Summarizer (View.Vertex_removal [ "Task"; "Machine"; "User" ]))
+  in
+  check_int "same as inclusion" 6 (Graph.n_vertices m.Materialize.graph)
+
+let test_edge_inclusion () =
+  let g, _, _ = small_lineage () in
+  let m = Materialize.materialize g (View.Summarizer (View.Edge_inclusion [ "WRITES_TO" ])) in
+  let vg = m.Materialize.graph in
+  check_int "writes only" 3 (Graph.n_edges vg);
+  check_int "all vertices kept" 9 (Graph.n_vertices vg)
+
+let test_edge_removal () =
+  let g, _, _ = small_lineage () in
+  let m = Materialize.materialize g (View.Summarizer (View.Edge_removal [ "SUBMITTED" ])) in
+  check_int "one edge dropped" 8 (Graph.n_edges m.Materialize.graph)
+
+let test_vertex_aggregator () =
+  let g, _, _ = small_lineage () in
+  let m =
+    Materialize.materialize g
+      (View.Summarizer
+         (View.Vertex_aggregator
+            { vtype = "Job"; group_prop = "pipelineName"; agg_prop = "CPU"; agg = View.Agg_sum }))
+  in
+  let vg = m.Materialize.graph in
+  (* 3 jobs collapse into 2 pipeline supervertices; other 6 vertices
+     pass through. *)
+  check_int "supervertices" 8 (Graph.n_vertices vg);
+  let alpha_cpu = ref Value.Null in
+  Array.iter
+    (fun v ->
+      if Graph.vprop vg v "pipelineName" = Some (Value.Str "alpha") then
+        alpha_cpu := Graph.vprop_or_null vg v "CPU")
+    (Graph.vertices_of_type_name vg "Job");
+  check_bool "alpha CPU summed" true (Value.equal !alpha_cpu (Value.Float 30.0))
+
+let test_vertex_aggregator_reroutes_edges () =
+  let g, _, _ = small_lineage () in
+  let m =
+    Materialize.materialize g
+      (View.Summarizer
+         (View.Vertex_aggregator
+            { vtype = "Job"; group_prop = "pipelineName"; agg_prop = "CPU"; agg = View.Agg_count }))
+  in
+  let vg = m.Materialize.graph in
+  (* All 9 original edges survive (job endpoints re-routed, no
+     self-loops arise because jobs never connect to jobs). *)
+  check_int "edges rerouted" 9 (Graph.n_edges vg)
+
+let test_subgraph_aggregator () =
+  let g, _, _ = small_lineage () in
+  let m =
+    Materialize.materialize g
+      (View.Summarizer (View.Subgraph_aggregator { agg_prop = "CPU"; agg = View.Agg_sum }))
+  in
+  let vg = m.Materialize.graph in
+  (* The small lineage is one weakly-connected component. *)
+  check_int "one group" 1 (Graph.n_vertices vg);
+  check_int "no edges" 0 (Graph.n_edges vg);
+  check_bool "CPU aggregated" true
+    (Value.equal (Graph.vprop_or_null vg 0 "CPU") (Value.Float 60.0));
+  check_bool "members counted" true (Graph.vprop vg 0 "members" = Some (Value.Int 9))
+
+let test_aggregate_functions () =
+  let g, _, _ = small_lineage () in
+  let count_m =
+    Materialize.materialize g
+      (View.Summarizer (View.Subgraph_aggregator { agg_prop = "CPU"; agg = View.Agg_count }))
+  in
+  check_bool "count" true
+    (Value.equal (Graph.vprop_or_null count_m.Materialize.graph 0 "CPU") (Value.Int 9));
+  let min_m =
+    Materialize.materialize g
+      (View.Summarizer (View.Subgraph_aggregator { agg_prop = "CPU"; agg = View.Agg_min }))
+  in
+  (* Min over all vertices: files lack CPU -> Null is smallest. *)
+  check_bool "min is null (missing props)" true
+    (Value.equal (Graph.vprop_or_null min_m.Materialize.graph 0 "CPU") Value.Null)
+
+
+
+let test_ego_aggregator () =
+  let g, _, _ = small_lineage () in
+  let m =
+    Materialize.materialize g
+      (View.Summarizer (View.Ego_aggregator { k = 1; agg_prop = "CPU"; agg = View.Agg_sum }))
+  in
+  let vg = m.Materialize.graph in
+  (* Topology unchanged. *)
+  check_int "same vertices" (Graph.n_vertices g) (Graph.n_vertices vg);
+  check_int "same edges" (Graph.n_edges g) (Graph.n_edges vg);
+  (* f1's 1-hop (undirected) neighbourhood = {j0, j1, j2}: CPU sum 60. *)
+  let f1 = m.Materialize.new_of_old.(4) in
+  check_bool "f1 ego sum" true
+    (Value.equal (Graph.vprop_or_null vg f1 "ego_sum_CPU") (Value.Float 60.0))
+
+let test_ego_aggregator_k2 () =
+  let g, j, _ = small_lineage () in
+  let m =
+    Materialize.materialize g
+      (View.Summarizer (View.Ego_aggregator { k = 2; agg_prop = "CPU"; agg = View.Agg_count }))
+  in
+  let vg = m.Materialize.graph in
+  (* j0's undirected 2-hop neighbourhood: f0, f1, t0, u0 at one hop,
+     then j1, j2 (via files) and m0 (via t0) at two: 7 neighbours.
+     Agg_count counts neighbours regardless of property presence. *)
+  let j0 = m.Materialize.new_of_old.(j.(0)) in
+  check_bool "j0 ego count" true
+    (Value.equal (Graph.vprop_or_null vg j0 "ego_count_CPU") (Value.Int 7))
+
+(* ------------------------------------------------------------------ *)
+(* Defining queries (paper §III-C: a view IS a query)                  *)
+
+(* Executing a connector's defining query must return exactly the
+   materialized edge set. *)
+let pairs_from_query g src =
+  let ctx = Kaskade_exec.Executor.create g in
+  let t = Kaskade_exec.Executor.table_exn (Kaskade_exec.Executor.run_string ctx src) in
+  List.sort_uniq compare
+    (List.filter_map
+       (fun row ->
+         match row with
+         | [| Kaskade_exec.Row.V a; Kaskade_exec.Row.V b |] -> begin
+           match (Graph.vprop g a "name", Graph.vprop g b "name") with
+           | Some (Value.Str x), Some (Value.Str y) -> Some (x, y)
+           | _ -> None
+         end
+         | _ -> None)
+       t.Kaskade_exec.Row.rows)
+
+let test_definition_khop_consistent () =
+  let g = Kaskade_gen.Provenance_gen.(generate { default with jobs = 150; files = 300; seed = 21 }) in
+  let view = View.Connector (View.K_hop { src_type = "Job"; dst_type = "Job"; k = 2 }) in
+  let query = Option.get (Definition.defining_query (Graph.schema g) view) in
+  let from_query = pairs_from_query g query in
+  let m = Materialize.materialize g view in
+  Alcotest.(check (list (pair string string)))
+    "defining query = materialized edges" from_query
+    (List.sort_uniq compare (edge_name_pairs m.Materialize.graph))
+
+let test_definition_same_vertex_type_consistent () =
+  let g, _, _ = small_lineage () in
+  let view = View.Connector (View.Same_vertex_type { vtype = "Job" }) in
+  let query = Option.get (Definition.defining_query (Graph.schema g) view) in
+  let from_query =
+    (* The closure view excludes trivial self pairs unless a cycle
+       exists; the query may report (v, v) via cycles only, same as
+       the materializer. *)
+    pairs_from_query g query
+  in
+  let m = Materialize.materialize g view in
+  Alcotest.(check (list (pair string string)))
+    "closure consistent" from_query
+    (List.sort_uniq compare (edge_name_pairs m.Materialize.graph))
+
+let test_definition_unsupported () =
+  let g, _, _ = small_lineage () in
+  check_bool "source-to-sink has no query" true
+    (Definition.defining_query (Graph.schema g) (View.Connector View.Source_to_sink) = None);
+  check_bool "aggregator has no query" true
+    (Definition.defining_query (Graph.schema g)
+       (View.Summarizer (View.Subgraph_aggregator { agg_prop = "CPU"; agg = View.Agg_sum }))
+     = None)
+
+let test_definition_summarizer_scans () =
+  let g, _, _ = small_lineage () in
+  match Definition.defining_query (Graph.schema g) (View.Summarizer (View.Vertex_inclusion [ "Job"; "File" ])) with
+  | Some q -> check_bool "two scans" true (List.length (String.split_on_char ';' q) = 2)
+  | None -> Alcotest.fail "expected a defining query"
+
+(* ------------------------------------------------------------------ *)
+(* Catalog                                                             *)
+
+let test_catalog_roundtrip () =
+  let g, _, _ = small_lineage () in
+  let cat = Catalog.create g in
+  let view = View.Connector (View.K_hop { src_type = "Job"; dst_type = "Job"; k = 2 }) in
+  check_bool "empty" false (Catalog.mem cat view);
+  Catalog.add cat (Materialize.materialize g view);
+  check_bool "added" true (Catalog.mem cat view);
+  (match Catalog.find cat view with
+  | Some e -> check_int "size recorded" 2 e.Catalog.size_edges
+  | None -> Alcotest.fail "lookup");
+  check_int "total size" 2 (Catalog.total_size_edges cat);
+  Catalog.remove cat view;
+  check_bool "removed" false (Catalog.mem cat view)
+
+let test_catalog_replace () =
+  let g, _, _ = small_lineage () in
+  let cat = Catalog.create g in
+  let view = View.Summarizer (View.Vertex_inclusion [ "Job"; "File" ]) in
+  Catalog.add cat (Materialize.materialize g view);
+  Catalog.add cat (Materialize.materialize g view);
+  check_int "no duplicates" 1 (List.length (Catalog.entries cat))
+
+
+(* ------------------------------------------------------------------ *)
+(* Incremental maintenance                                             *)
+
+(* Insert one IS_READ_BY edge and check the incremental delta matches
+   a full rebuild. *)
+let with_inserted_edge g src dst etype =
+  let schema = Graph.schema g in
+  let b = Builder.create schema in
+  for v = 0 to Graph.n_vertices g - 1 do
+    ignore (Builder.add_vertex b ~vtype:(Graph.vertex_type_name g v) ~props:(Graph.vertex_props g v) ())
+  done;
+  Graph.iter_edges g (fun ~eid ~src ~dst ~etype ->
+      ignore (Builder.add_edge b ~src ~dst ~etype:(Schema.edge_type_name schema etype)
+                ~props:(Graph.edge_props g eid) ()));
+  ignore (Builder.add_edge b ~src ~dst ~etype ());
+  Graph.freeze b
+
+let connector_pairs_by_name vg =
+  List.sort_uniq compare (edge_name_pairs vg)
+
+let test_maintain_delta_read_edge () =
+  let g, j, f = small_lineage () in
+  let view = Materialize.k_hop_connector g ~src_type:"Job" ~dst_type:"Job" ~k:2 in
+  (* New edge: f2 (written by j2) is read by j1 -> new pair (j2, j1). *)
+  let d = Maintain.delta_of_insert g ~view ~src:f.(2) ~dst:j.(1) in
+  Alcotest.(check (list (pair int int))) "delta" [ (j.(2), j.(1)) ] d.Maintain.added
+
+let test_maintain_delta_write_edge () =
+  let g, j, _f = small_lineage () in
+  (* New file written by j1, then nothing reads it yet: inserting the
+     write creates no 2-hop pair. The file must exist first, so test
+     against a base that already contains it. *)
+  let schema = Graph.schema g in
+  let b = Builder.create schema in
+  for v = 0 to Graph.n_vertices g - 1 do
+    ignore (Builder.add_vertex b ~vtype:(Graph.vertex_type_name g v) ~props:(Graph.vertex_props g v) ())
+  done;
+  Graph.iter_edges g (fun ~eid:_ ~src ~dst ~etype ->
+      ignore (Builder.add_edge b ~src ~dst ~etype:(Schema.edge_type_name schema etype) ()));
+  let f_new = Builder.add_vertex b ~vtype:"File" ~props:[ ("name", Value.Str "f_new") ] () in
+  let base = Graph.freeze b in
+  let view = Materialize.k_hop_connector base ~src_type:"Job" ~dst_type:"Job" ~k:2 in
+  let d = Maintain.delta_of_insert base ~view ~src:j.(1) ~dst:f_new in
+  Alcotest.(check (list (pair int int))) "no new pairs" [] d.Maintain.added
+
+let test_maintain_apply_matches_rebuild () =
+  let g, _j, f = small_lineage () in
+  let view = Materialize.k_hop_connector g ~src_type:"Job" ~dst_type:"Job" ~k:2 in
+  let src = f.(2) and dst = 0 (* j0 reads f2 *) in
+  let updated_base = with_inserted_edge g src dst "IS_READ_BY" in
+  let incremental = Maintain.apply g ~view ~src ~dst in
+  let rebuilt = Materialize.k_hop_connector updated_base ~src_type:"Job" ~dst_type:"Job" ~k:2 in
+  Alcotest.(check (list (pair string string)))
+    "incremental = rebuild"
+    (connector_pairs_by_name rebuilt.Materialize.graph)
+    (connector_pairs_by_name incremental.Materialize.graph)
+
+let test_maintain_rejects_other_views () =
+  let g, _, _ = small_lineage () in
+  let view = Materialize.materialize g (View.Summarizer (View.Vertex_inclusion [ "Job" ])) in
+  check_bool "raises" true
+    (try
+       ignore (Maintain.delta_of_insert g ~view ~src:0 ~dst:1);
+       false
+     with Invalid_argument _ -> true)
+
+
+(* Deletion maintenance. *)
+
+let without_edge g victim_eid =
+  let schema = Graph.schema g in
+  let b = Builder.create schema in
+  for v = 0 to Graph.n_vertices g - 1 do
+    ignore (Builder.add_vertex b ~vtype:(Graph.vertex_type_name g v) ~props:(Graph.vertex_props g v) ())
+  done;
+  Graph.iter_edges g (fun ~eid ~src ~dst ~etype ->
+      if eid <> victim_eid then
+        ignore (Builder.add_edge b ~src ~dst ~etype:(Schema.edge_type_name schema etype)
+                  ~props:(Graph.edge_props g eid) ()));
+  Graph.freeze b
+
+let test_maintain_delete_unsupported_pair () =
+  let g, j, f = small_lineage () in
+  let view = Materialize.k_hop_connector g ~src_type:"Job" ~dst_type:"Job" ~k:2 in
+  (* Deleting f1 -> j2 (the only read of f1 by j2) kills (j0, j2);
+     (j0, j1) survives via f0. *)
+  let d = Maintain.delta_of_delete g ~view ~src:f.(1) ~dst:j.(2) in
+  Alcotest.(check (list (pair int int))) "pair dies" [ (j.(0), j.(2)) ] d.Maintain.added
+
+let test_maintain_delete_supported_pair () =
+  let g, j, f = small_lineage () in
+  let view = Materialize.k_hop_connector g ~src_type:"Job" ~dst_type:"Job" ~k:2 in
+  (* Deleting f0 -> j1 leaves (j0, j1) supported via f1. *)
+  let d = Maintain.delta_of_delete g ~view ~src:f.(0) ~dst:j.(1) in
+  ignore j;
+  Alcotest.(check (list (pair int int))) "no removals" [] d.Maintain.added
+
+let test_maintain_apply_delete_matches_rebuild () =
+  let g, _, f = small_lineage () in
+  let view = Materialize.k_hop_connector g ~src_type:"Job" ~dst_type:"Job" ~k:2 in
+  (* The victim edge: f1 -> j2 (j2 is vertex 2 in builder order). *)
+  let victim = ref (-1) in
+  Graph.iter_edges g (fun ~eid ~src ~dst ~etype:_ ->
+      if src = f.(1) && Graph.vertex_type_name g dst = "Job" && dst = 2 then victim := eid);
+  if !victim < 0 then Alcotest.fail "victim edge not found";
+  let s, d = Graph.edge_endpoints g !victim in
+  let incremental = Maintain.apply_delete g ~view ~src:s ~dst:d in
+  let rebuilt = Materialize.k_hop_connector (without_edge g !victim) ~src_type:"Job" ~dst_type:"Job" ~k:2 in
+  Alcotest.(check (list (pair string string)))
+    "delete incremental = rebuild"
+    (connector_pairs_by_name rebuilt.Materialize.graph)
+    (connector_pairs_by_name incremental.Materialize.graph)
+
+let prop_maintain_delete_matches_rebuild =
+  QCheck.Test.make ~name:"incremental delete = full rebuild" ~count:30
+    QCheck.(pair (5 -- 40) (0 -- 1000))
+    (fun (jobs, seed) ->
+      let g0 =
+        Kaskade_gen.Provenance_gen.(
+          generate { default with jobs; files = 2 * jobs; seed = seed + 11 })
+      in
+      let keep =
+        (Materialize.materialize g0 (View.Summarizer (View.Vertex_inclusion [ "Job"; "File" ])))
+          .Materialize.graph
+      in
+      let m = Graph.n_edges keep in
+      if m = 0 then true
+      else begin
+        let rng = Kaskade_util.Prng.create (seed + 17) in
+        let victim = Kaskade_util.Prng.int rng m in
+        let s, d = Graph.edge_endpoints keep victim in
+        let view = Materialize.k_hop_connector keep ~src_type:"Job" ~dst_type:"Job" ~k:2 in
+        let incremental = Maintain.apply_delete keep ~view ~src:s ~dst:d in
+        let rebuilt =
+          Materialize.k_hop_connector (without_edge keep victim) ~src_type:"Job" ~dst_type:"Job" ~k:2
+        in
+        connector_pairs_by_name rebuilt.Materialize.graph
+        = connector_pairs_by_name incremental.Materialize.graph
+      end)
+
+(* Property: for random lineage graphs and a random new read edge,
+   incremental apply equals full rebuild. *)
+let prop_maintain_matches_rebuild =
+  QCheck.Test.make ~name:"incremental maintenance = full rebuild" ~count:30
+    QCheck.(pair (5 -- 40) (0 -- 1000))
+    (fun (jobs, seed) ->
+      let g =
+        Kaskade_gen.Provenance_gen.(
+          generate { default with jobs; files = 2 * jobs; seed = seed + 7 })
+      in
+      let keep =
+        (Materialize.materialize g (View.Summarizer (View.Vertex_inclusion [ "Job"; "File" ])))
+          .Materialize.graph
+      in
+      let rng = Kaskade_util.Prng.create (seed + 13) in
+      let files = Graph.vertices_of_type_name keep "File" in
+      let jobs_arr = Graph.vertices_of_type_name keep "Job" in
+      let src = Kaskade_util.Prng.choose rng files in
+      let dst = Kaskade_util.Prng.choose rng jobs_arr in
+      let view = Materialize.k_hop_connector keep ~src_type:"Job" ~dst_type:"Job" ~k:2 in
+      let updated = with_inserted_edge keep src dst "IS_READ_BY" in
+      let incremental = Maintain.apply keep ~view ~src ~dst in
+      let rebuilt = Materialize.k_hop_connector updated ~src_type:"Job" ~dst_type:"Job" ~k:2 in
+      connector_pairs_by_name rebuilt.Materialize.graph
+      = connector_pairs_by_name incremental.Materialize.graph)
+
+(* Property: on random lineage graphs, the 2-hop connector edge count
+   equals the brute-force distinct-pair count. *)
+let prop_khop_matches_bruteforce =
+  QCheck.Test.make ~name:"2-hop connector = brute-force pairs" ~count:25
+    QCheck.(pair (10 -- 60) (0 -- 300))
+    (fun (jobs, seed) ->
+      let g =
+        Kaskade_gen.Provenance_gen.(
+          generate { default with jobs; files = 2 * jobs; seed = seed + 1 })
+      in
+      let m = Materialize.k_hop_connector g ~src_type:"Job" ~dst_type:"Job" ~k:2 in
+      let brute = ref 0 in
+      let job_ty = Schema.vertex_type_id (Graph.schema g) "Job" in
+      Array.iter
+        (fun u ->
+          let seen = Hashtbl.create 8 in
+          Graph.iter_out g u (fun ~dst:mid ~etype:_ ~eid:_ ->
+              Graph.iter_out g mid (fun ~dst:w ~etype:_ ~eid:_ ->
+                  if Graph.vertex_type g w = job_ty then Hashtbl.replace seen w ()));
+          brute := !brute + Hashtbl.length seen)
+        (Graph.vertices_of_type g job_ty);
+      Graph.n_edges m.Materialize.graph = !brute)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_khop_matches_bruteforce; prop_maintain_matches_rebuild; prop_maintain_delete_matches_rebuild ]
+
+let () =
+  Alcotest.run "kaskade_views"
+    [
+      ( "descriptors",
+        [
+          Alcotest.test_case "names" `Quick test_view_names;
+          Alcotest.test_case "equality" `Quick test_view_equality;
+          Alcotest.test_case "describe" `Quick test_view_describe;
+        ] );
+      ( "khop",
+        [
+          Alcotest.test_case "edges" `Quick test_khop_connector_edges;
+          Alcotest.test_case "matches Paths count" `Quick test_khop_connector_matches_paths_count;
+          Alcotest.test_case "path counts" `Quick test_khop_path_counts;
+          Alcotest.test_case "no dedupe" `Quick test_khop_no_dedupe;
+          Alcotest.test_case "props copied" `Quick test_khop_props_copied;
+          Alcotest.test_case "file-to-file" `Quick test_khop_file_to_file;
+          Alcotest.test_case "build cost" `Quick test_khop_build_cost_positive;
+        ] );
+      ( "connectors",
+        [
+          Alcotest.test_case "same-vertex-type" `Quick test_same_vertex_type_connector;
+          Alcotest.test_case "same-edge-type" `Quick test_same_edge_type_connector;
+          Alcotest.test_case "source-to-sink" `Quick test_source_to_sink_connector;
+        ] );
+      ( "summarizers",
+        [
+          Alcotest.test_case "vertex inclusion" `Quick test_vertex_inclusion;
+          Alcotest.test_case "vertex removal" `Quick test_vertex_removal;
+          Alcotest.test_case "edge inclusion" `Quick test_edge_inclusion;
+          Alcotest.test_case "edge removal" `Quick test_edge_removal;
+          Alcotest.test_case "vertex aggregator" `Quick test_vertex_aggregator;
+          Alcotest.test_case "aggregator reroutes edges" `Quick test_vertex_aggregator_reroutes_edges;
+          Alcotest.test_case "subgraph aggregator" `Quick test_subgraph_aggregator;
+          Alcotest.test_case "ego aggregator (Listing 5)" `Quick test_ego_aggregator;
+          Alcotest.test_case "ego aggregator k=2" `Quick test_ego_aggregator_k2;
+          Alcotest.test_case "aggregate functions" `Quick test_aggregate_functions;
+        ] );
+      ( "maintain",
+        [
+          Alcotest.test_case "delta on read edge" `Quick test_maintain_delta_read_edge;
+          Alcotest.test_case "delta on write edge" `Quick test_maintain_delta_write_edge;
+          Alcotest.test_case "apply matches rebuild" `Quick test_maintain_apply_matches_rebuild;
+          Alcotest.test_case "rejects other views" `Quick test_maintain_rejects_other_views;
+          Alcotest.test_case "delete kills unsupported pair" `Quick test_maintain_delete_unsupported_pair;
+          Alcotest.test_case "delete keeps supported pair" `Quick test_maintain_delete_supported_pair;
+          Alcotest.test_case "delete matches rebuild" `Quick test_maintain_apply_delete_matches_rebuild;
+        ] );
+      ( "definition",
+        [
+          Alcotest.test_case "k-hop defining query" `Quick test_definition_khop_consistent;
+          Alcotest.test_case "closure defining query" `Quick test_definition_same_vertex_type_consistent;
+          Alcotest.test_case "unsupported views" `Quick test_definition_unsupported;
+          Alcotest.test_case "summarizer scans" `Quick test_definition_summarizer_scans;
+        ] );
+      ( "catalog",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_catalog_roundtrip;
+          Alcotest.test_case "replace" `Quick test_catalog_replace;
+        ] );
+      ("properties", qcheck_cases);
+    ]
