@@ -178,6 +178,7 @@ let fig7_dataset (d : Datasets.dataset) =
   let base_ctx = Kaskade_exec.Executor.create base in
   let conn_ctx = Kaskade_exec.Executor.create conn in
   let base_label = if d.Datasets.heterogeneous then "filter" else "raw" in
+  let profiles = ref [] in
   let rows =
     List.filter_map
       (fun (q : Queries.bench_query) ->
@@ -187,6 +188,15 @@ let fig7_dataset (d : Datasets.dataset) =
           let rows_raw = ref 0 and rows_conn = ref 0 in
           let t_raw = time_median (fun () -> rows_raw := run_query base_ctx raw_src) in
           let t_conn = time_median (fun () -> rows_conn := run_query conn_ctx conn_src) in
+          (* One additional profiled run per side records where the
+             time goes, operator by operator. *)
+          let _, plan_raw =
+            Kaskade_exec.Executor.run_explained ~profile:true base_ctx (Kaskade.parse raw_src)
+          in
+          let _, plan_conn =
+            Kaskade_exec.Executor.run_explained ~profile:true conn_ctx (Kaskade.parse conn_src)
+          in
+          profiles := (q.Queries.id, plan_raw, plan_conn) :: !profiles;
           let speedup = if t_conn > 0.0 then t_raw /. t_conn else 0.0 in
           Printf.printf " %.2fs / %.2fs\n%!" t_raw t_conn;
           Some
@@ -199,7 +209,12 @@ let fig7_dataset (d : Datasets.dataset) =
   Table.print
     ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
     ~header:[ "query"; base_label ^ " (s)"; "connector (s)"; "speedup"; "rows(base)"; "rows(conn)" ]
-    rows
+    rows;
+  List.iter
+    (fun (id, plan_raw, plan_conn) ->
+      Printf.printf "\n%s on %s:\n%s" id base_label (Kaskade_obs.Explain.render plan_raw);
+      Printf.printf "%s on connector:\n%s" id (Kaskade_obs.Explain.render plan_conn))
+    (List.rev !profiles)
 
 let fig7 () =
   header "Fig. 7: total query runtimes, filter/raw vs 2-hop connector";
@@ -359,6 +374,7 @@ let e2e () =
         e.Catalog.size_edges)
     entries;
   Printf.printf "materialization: %.3fs\n" t_mat;
+  let plans = ref [] in
   let rows = List.map
       (fun q ->
         let t_raw = time_median (fun () -> ignore (Kaskade.run_raw ks q)) in
@@ -368,12 +384,27 @@ let e2e () =
               let _, target = Kaskade.run ks q in
               how := (match target with Kaskade.Raw -> "raw" | Kaskade.Via_view v -> v))
         in
+        (* One profiled run records per-operator actual rows/timings. *)
+        let _, report = Kaskade.profile ks q in
+        plans := (!how, report.Kaskade.plan) :: !plans;
         [ (match q with _ -> Kaskade_query.Pretty.to_string q |> fun s -> String.sub s 0 (Stdlib.min 48 (String.length s)) ^ "...");
           Printf.sprintf "%.4f" t_raw; Printf.sprintf "%.4f" t_view; !how;
           Printf.sprintf "%.1fx" (if t_view > 0.0 then t_raw /. t_view else 0.0) ])
       queries
   in
-  Table.print ~header:[ "query"; "raw (s)"; "kaskade (s)"; "answered via"; "speedup" ] rows
+  Table.print ~header:[ "query"; "raw (s)"; "kaskade (s)"; "answered via"; "speedup" ] rows;
+  List.iter
+    (fun (how, plan) ->
+      Printf.printf "\nprofiled plan (via %s):\n%s" how (Kaskade_obs.Explain.render plan))
+    (List.rev !plans);
+  (* Process-wide metrics accumulated across the whole experiment —
+     view hits/misses, expand steps, materialization sizes, ... *)
+  let json = Kaskade_obs.Report.to_string ~pretty:true (Kaskade_obs.Metrics.to_json ()) in
+  let oc = open_out "bench_metrics.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nmetrics (also written to bench_metrics.json):\n%s\n" json
 
 let all_experiments =
   [ ("table3", table3); ("table4", table4); ("fig5", fig5); ("fig6", fig6); ("fig7", fig7);

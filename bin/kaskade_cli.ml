@@ -3,7 +3,8 @@
      kaskade_cli generate --dataset prov --edges 50000
      kaskade_cli enumerate --dataset prov --query "MATCH ... RETURN ..."
      kaskade_cli select --dataset prov --budget 100000 --query "..."
-     kaskade_cli run --dataset prov --query "..." [--no-views]
+     kaskade_cli run --dataset prov --query "..." [--no-views] [--profile]
+     kaskade_cli explain --dataset prov --query "..." [--json]
      kaskade_cli stats --dataset dblp
 
    Datasets are generated on the fly (deterministic seeds); see
@@ -64,6 +65,32 @@ let budget_arg =
   Arg.(value & opt int 1_000_000 & info [ "budget" ] ~docv:"EDGES"
          ~doc:"View materialization budget in edges (knapsack capacity).")
 
+let metrics_arg =
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+         ~doc:"Dump the process-wide metrics registry as JSON to FILE on exit (- for stdout).")
+
+let dump_metrics = function
+  | None -> ()
+  | Some "-" -> print_endline (Kaskade_obs.Report.to_string ~pretty:true (Kaskade_obs.Metrics.to_json ()))
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Kaskade_obs.Report.to_string ~pretty:true (Kaskade_obs.Metrics.to_json ()));
+    output_char oc '\n';
+    close_out oc
+
+let parse_or_die src =
+  match Kaskade.parse src with
+  | q -> q
+  | exception Kaskade_query.Qparser.Parse_error msg ->
+    Printf.eprintf "parse error: %s\n" msg;
+    exit 1
+
+(* Opportunistic workload analysis for a single ad-hoc query: select
+   under the budget, then materialize whatever the knapsack chose. *)
+let select_and_materialize ks q budget =
+  let sel = Kaskade.select_views ks ~queries:[ q ] ~budget_edges:budget in
+  Kaskade.materialize_selected ks sel
+
 let generate_cmd =
   let run name edges seed out =
     let g = build_dataset name edges seed in
@@ -92,7 +119,7 @@ let enumerate_cmd =
   let run name edges seed graph_file query =
     let g = load_or_generate graph_file name edges seed in
     let ks = Kaskade.create g in
-    let q = Kaskade.parse query in
+    let q = parse_or_die query in
     let e = Kaskade.enumerate_views ks q in
     Printf.printf "%d candidates (%d inference steps):\n"
       (List.length e.Kaskade.Enumerate.candidates) e.Kaskade.Enumerate.inference_steps;
@@ -110,7 +137,7 @@ let select_cmd =
   let run name edges seed graph_file query budget =
     let g = load_or_generate graph_file name edges seed in
     let ks = Kaskade.create g in
-    let q = Kaskade.parse query in
+    let q = parse_or_die query in
     let sel = Kaskade.select_views ks ~queries:[ q ] ~budget_edges:budget in
     List.iter
       (fun (r : Kaskade.Selection.candidate_report) ->
@@ -128,14 +155,17 @@ let run_cmd =
   let no_views =
     Arg.(value & flag & info [ "no-views" ] ~doc:"Evaluate on the raw graph only.")
   in
-  let run verbose name edges seed graph_file query budget no_views =
+  let profile =
+    Arg.(value & flag & info [ "profile" ]
+           ~doc:"Also print the operator tree with actual rows and per-operator wall time.")
+  in
+  let run verbose name edges seed graph_file query budget no_views profile metrics =
     setup_logs verbose;
     let g = load_or_generate graph_file name edges seed in
     let ks = Kaskade.create g in
-    let q = Kaskade.parse query in
+    let q = parse_or_die query in
     if not no_views then begin
-      let sel = Kaskade.select_views ks ~queries:[ q ] ~budget_edges:budget in
-      let entries = Kaskade.materialize_selected ks sel in
+      let entries = select_and_materialize ks q budget in
       List.iter
         (fun (e : Kaskade_views.Catalog.entry) ->
           Printf.printf "materialized %s (%d edges)\n"
@@ -145,7 +175,24 @@ let run_cmd =
         entries
     end;
     let t0 = Unix.gettimeofday () in
-    let result, how = if no_views then (Kaskade.run_raw ks q, Kaskade.Raw) else Kaskade.run ks q in
+    let result, how, report =
+      if no_views then
+        if profile then begin
+          let result, plan =
+            Kaskade_exec.Executor.run_explained ~profile:true (Kaskade.base_ctx ks) q
+          in
+          (result, Kaskade.Raw, Some (`Plan plan))
+        end
+        else (Kaskade.run_raw ks q, Kaskade.Raw, None)
+      else if profile then begin
+        let result, report = Kaskade.profile ks q in
+        (result, report.Kaskade.target, Some (`Report report))
+      end
+      else begin
+        let result, how = Kaskade.run ks q in
+        (result, how, None)
+      end
+    in
     let dt = Unix.gettimeofday () -. t0 in
     let target, target_graph =
       match how with
@@ -160,10 +207,44 @@ let run_cmd =
       Format.printf "%a@." (Kaskade_exec.Row.pp target_graph) t;
       Printf.printf "%d rows" (Kaskade_exec.Row.n_rows t)
     | Kaskade_exec.Executor.Affected n -> Printf.printf "updated %d entities" n);
-    Printf.printf " via %s in %.3fs\n" target dt
+    Printf.printf " via %s in %.3fs\n" target dt;
+    (match report with
+    | Some (`Report r) -> print_string (Kaskade.report_to_string r)
+    | Some (`Plan p) -> Printf.printf "plan:\n%s" (Kaskade_obs.Explain.render p)
+    | None -> ());
+    dump_metrics metrics
   in
   Cmd.v (Cmd.info "run" ~doc:"Answer a query, transparently using materialized views.")
-    Term.(const run $ verbose_arg $ dataset_arg $ edges_arg $ seed_arg $ graph_file_arg $ query_arg $ budget_arg $ no_views)
+    Term.(const run $ verbose_arg $ dataset_arg $ edges_arg $ seed_arg $ graph_file_arg
+          $ query_arg $ budget_arg $ no_views $ profile $ metrics_arg)
+
+let explain_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the report as JSON instead of text.")
+  in
+  let no_views =
+    Arg.(value & flag & info [ "no-views" ]
+           ~doc:"Skip view selection/materialization; explain against the raw graph only.")
+  in
+  let run verbose name edges seed graph_file query budget no_views json metrics =
+    setup_logs verbose;
+    let g = load_or_generate graph_file name edges seed in
+    let ks = Kaskade.create g in
+    let q = parse_or_die query in
+    if not no_views then ignore (select_and_materialize ks q budget);
+    let report = Kaskade.explain ks q in
+    if json then
+      print_endline (Kaskade_obs.Report.to_string ~pretty:true (Kaskade.report_json report))
+    else print_string (Kaskade.report_to_string report);
+    dump_metrics metrics
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Show the rewrite decision (raw graph vs materialized view) and the operator tree \
+          with estimated cardinalities, without executing the query.")
+    Term.(const run $ verbose_arg $ dataset_arg $ edges_arg $ seed_arg $ graph_file_arg
+          $ query_arg $ budget_arg $ no_views $ json $ metrics_arg)
 
 let repl_cmd =
   let run verbose name edges seed graph_file budget =
@@ -228,4 +309,5 @@ let () =
   let info = Cmd.info "kaskade_cli" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ generate_cmd; stats_cmd; enumerate_cmd; select_cmd; run_cmd; repl_cmd ]))
+       (Cmd.group info
+          [ generate_cmd; stats_cmd; enumerate_cmd; select_cmd; run_cmd; explain_cmd; repl_cmd ]))

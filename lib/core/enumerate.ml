@@ -1,5 +1,13 @@
 open Kaskade_prolog
 open Kaskade_views
+module Metrics = Kaskade_obs.Metrics
+module Trace = Kaskade_obs.Trace
+
+let m_runs = Metrics.counter ~help:"View enumerations performed" "enumerate.runs"
+let m_candidates = Metrics.counter ~help:"Candidate views produced" "enumerate.candidates"
+
+let m_inference_steps =
+  Metrics.counter ~help:"Prolog resolution steps spent enumerating" "enumerate.inference_steps"
 
 type candidate = { view : View.t; bridges : (string * string) option }
 
@@ -35,6 +43,17 @@ let engine_with schema_rules facts =
   Facts.assert_all db facts;
   Engine.create db
 
+(* Book-keeping shared by both enumeration entry points: counters for
+   the metrics registry plus span attributes when a trace collection
+   is in flight. *)
+let observed (e : enumeration) =
+  Metrics.incr m_runs;
+  Metrics.incr ~by:(List.length e.candidates) m_candidates;
+  Metrics.incr ~by:e.inference_steps m_inference_steps;
+  Trace.add_attr "candidates" (string_of_int (List.length e.candidates));
+  Trace.add_attr "inference_steps" (string_of_int e.inference_steps);
+  e
+
 (* A summarizerRemoveEdges rewrite is only safe when every pattern
    edge is explicitly labeled (unlabeled and variable-length edges may
    traverse any type). *)
@@ -43,6 +62,7 @@ let all_edges_labeled summary =
   && List.for_all (fun (_, _, et) -> et <> None) summary.Kaskade_query.Analyze.edges
 
 let enumerate schema query =
+  Trace.with_span "enumerate" @@ fun () ->
   let summary = Kaskade_query.Analyze.check schema query in
   let facts = Facts.query_facts schema query @ Facts.schema_facts schema in
   let eng = engine_with Rules.all facts in
@@ -106,9 +126,10 @@ let enumerate schema query =
     if removable <> [] then
       push (View.Summarizer (View.Edge_removal (List.sort_uniq compare removable))) None
   end;
-  { candidates = dedupe (List.rev !out); inference_steps = Engine.steps eng; facts }
+  observed { candidates = dedupe (List.rev !out); inference_steps = Engine.steps eng; facts }
 
 let enumerate_unconstrained schema ~max_k =
+  Trace.with_span "enumerate_unconstrained" @@ fun () ->
   let facts = Facts.schema_facts schema in
   let eng = engine_with (Rules.mining_rules ^ Rules.unconstrained_templates) facts in
   Engine.reset_steps eng;
@@ -128,4 +149,4 @@ let enumerate_unconstrained schema ~max_k =
       out :=
         { view = View.Connector (View.Same_vertex_type { vtype = vt }); bridges = None } :: !out)
     (Engine.all_solutions eng "connectorSameVertexTypeNoQuery(VTYPE)");
-  { candidates = dedupe (List.rev !out); inference_steps = Engine.steps eng; facts }
+  observed { candidates = dedupe (List.rev !out); inference_steps = Engine.steps eng; facts }

@@ -12,6 +12,19 @@ open Kaskade_exec
 let log_src = Logs.Src.create "kaskade" ~doc:"Kaskade view selection and rewriting"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
+module Explain = Kaskade_obs.Explain
+module Metrics = Kaskade_obs.Metrics
+module Report = Kaskade_obs.Report
+module Trace = Kaskade_obs.Trace
+
+let m_view_hits =
+  Metrics.counter ~help:"Queries answered via a materialized view" "kaskade.view_hits"
+
+let m_view_misses =
+  Metrics.counter ~help:"Queries answered on the base graph" "kaskade.view_misses"
+
+let h_query_seconds =
+  Metrics.histogram ~help:"End-to-end Kaskade.run wall time (seconds)" "kaskade.query_seconds"
 
 type t = {
   graph : Graph.t;
@@ -22,6 +35,7 @@ type t = {
   mode : Executor.mode;
   ctxs : (string, Executor.ctx) Hashtbl.t;  (* "" = base graph *)
   view_stats : (string, Gstats.t) Hashtbl.t;
+  mutable last_selection : Selection.t option;
 }
 
 type run_target = Raw | Via_view of string
@@ -36,6 +50,7 @@ let create ?(alpha = 95.0) ?(mode = Executor.Distinct_endpoints) graph =
     mode;
     ctxs = Hashtbl.create 8;
     view_stats = Hashtbl.create 8;
+    last_selection = None;
   }
 
 let graph t = t.graph
@@ -79,6 +94,7 @@ let select_views ?solver ?query_weights t ~queries ~budget_edges =
         (List.length queries) budget_edges
         (String.concat "; " (List.map View.name sel.Selection.chosen))
         sel.Selection.total_weight);
+  t.last_selection <- Some sel;
   sel
 
 let materialize t view =
@@ -99,25 +115,43 @@ let materialize t view =
 
 let materialize_selected t (sel : Selection.t) = List.map (materialize t) sel.Selection.chosen
 
-let best_rewriting t q =
+(* Every materialized view priced against [q]: the rewriting and its
+   estimated cost over the view's own stats, or [None] when the view
+   cannot answer the query. *)
+let eval_candidates t q =
   let raw_cost = Cost.eval_cost t.stats t.schema q in
-  let best = ref None in
-  List.iter
-    (fun (entry : Catalog.entry) ->
-      let view = entry.materialized.Materialize.view in
-      match Rewrite.rewrite t.schema q view with
-      | Some rw ->
-        let vg = entry.materialized.Materialize.graph in
-        let vstats = stats_for_view t (View.name view) vg in
-        let cost = Cost.eval_cost vstats (Graph.schema vg) rw.Rewrite.rewritten in
-        if cost < raw_cost then begin
-          match !best with
-          | Some (_, _, best_cost) when best_cost <= cost -> ()
-          | _ -> best := Some (rw, entry, cost)
-        end
-      | None -> ())
-    (Catalog.entries t.catalog);
-  Option.map (fun (rw, entry, _) -> (rw, entry)) !best
+  let cands =
+    List.map
+      (fun (entry : Catalog.entry) ->
+        let view = entry.materialized.Materialize.view in
+        match Rewrite.rewrite t.schema q view with
+        | Some rw ->
+          let vg = entry.materialized.Materialize.graph in
+          let vstats = stats_for_view t (View.name view) vg in
+          let cost = Cost.eval_cost vstats (Graph.schema vg) rw.Rewrite.rewritten in
+          (entry, Some (rw, cost))
+        | None -> (entry, None))
+      (Catalog.entries t.catalog)
+  in
+  (raw_cost, cands)
+
+(* Lowest rewritten cost strictly below the raw cost; first entry wins
+   ties (catalog order is materialization order). *)
+let pick_best raw_cost cands =
+  List.fold_left
+    (fun best (entry, outcome) ->
+      match outcome with
+      | Some (rw, cost) when cost < raw_cost -> begin
+        match best with
+        | Some (_, _, best_cost) when best_cost <= cost -> best
+        | _ -> Some (rw, entry, cost)
+      end
+      | _ -> best)
+    None cands
+
+let best_rewriting t q =
+  let raw_cost, cands = eval_candidates t q in
+  Option.map (fun (rw, entry, _) -> (rw, entry)) (pick_best raw_cost cands)
 
 let run_raw t q = Executor.run (base_ctx t) q
 
@@ -127,12 +161,181 @@ let run_on_view t name q =
   | None -> raise Not_found
 
 let run t q =
-  match best_rewriting t q with
-  | Some (rw, entry) ->
+  let t0 = Trace.now_s () in
+  let out =
+    match best_rewriting t q with
+    | Some (rw, entry) ->
+      let name = View.name entry.materialized.Materialize.view in
+      Log.debug (fun k ->
+          k "answering via %s: %s" name (Kaskade_query.Pretty.to_string rw.Rewrite.rewritten));
+      Metrics.incr m_view_hits;
+      (Executor.run (view_ctx t name) rw.Rewrite.rewritten, Via_view name)
+    | None ->
+      Log.debug (fun k -> k "no materialized view helps; answering on the base graph");
+      Metrics.incr m_view_misses;
+      (run_raw t q, Raw)
+  in
+  Metrics.observe h_query_seconds (Trace.now_s () -. t0);
+  out
+
+(* EXPLAIN / PROFILE ------------------------------------------------- *)
+
+type view_candidate = {
+  cand_view : string;
+  cand_edges : int;
+  cand_cost : float option;
+}
+
+type report = {
+  target : run_target;
+  raw_cost : float;
+  executed : Kaskade_query.Ast.t;
+  candidates : view_candidate list;
+  enum_candidates : string list;
+  enum_inference_steps : int;
+  selection : Selection.t option;
+  plan : Explain.node;
+}
+
+let make_report t q ~target ~raw_cost ~cands ~executed ~plan =
+  let e = Enumerate.enumerate t.schema q in
+  {
+    target;
+    raw_cost;
+    executed;
+    candidates =
+      List.map
+        (fun ((entry : Catalog.entry), outcome) ->
+          {
+            cand_view = View.name entry.materialized.Materialize.view;
+            cand_edges = Graph.n_edges entry.materialized.Materialize.graph;
+            cand_cost = Option.map snd outcome;
+          })
+        cands;
+    enum_candidates =
+      List.map (fun (c : Enumerate.candidate) -> View.name c.Enumerate.view) e.Enumerate.candidates;
+    enum_inference_steps = e.Enumerate.inference_steps;
+    selection = t.last_selection;
+    plan;
+  }
+
+let explain t q =
+  let raw_cost, cands = eval_candidates t q in
+  match pick_best raw_cost cands with
+  | Some (rw, entry, _) ->
     let name = View.name entry.materialized.Materialize.view in
-    Log.debug (fun k ->
-        k "answering via %s: %s" name (Kaskade_query.Pretty.to_string rw.Rewrite.rewritten));
-    (Executor.run (view_ctx t name) rw.Rewrite.rewritten, Via_view name)
+    let plan = Executor.explain (view_ctx t name) rw.Rewrite.rewritten in
+    make_report t q ~target:(Via_view name) ~raw_cost ~cands ~executed:rw.Rewrite.rewritten ~plan
   | None ->
-    Log.debug (fun k -> k "no materialized view helps; answering on the base graph");
-    (run_raw t q, Raw)
+    let plan = Executor.explain (base_ctx t) q in
+    make_report t q ~target:Raw ~raw_cost ~cands ~executed:q ~plan
+
+let profile t q =
+  let t0 = Trace.now_s () in
+  let raw_cost, cands = eval_candidates t q in
+  let result, target, executed, plan =
+    match pick_best raw_cost cands with
+    | Some (rw, entry, _) ->
+      let name = View.name entry.materialized.Materialize.view in
+      Metrics.incr m_view_hits;
+      let result, plan =
+        Executor.run_explained ~profile:true (view_ctx t name) rw.Rewrite.rewritten
+      in
+      (result, Via_view name, rw.Rewrite.rewritten, plan)
+    | None ->
+      Metrics.incr m_view_misses;
+      let result, plan = Executor.run_explained ~profile:true (base_ctx t) q in
+      (result, Raw, q, plan)
+  in
+  Metrics.observe h_query_seconds (Trace.now_s () -. t0);
+  (result, make_report t q ~target ~raw_cost ~cands ~executed ~plan)
+
+let pp_report ppf r =
+  let open Format in
+  (match r.target with
+  | Raw -> fprintf ppf "target: base graph (no materialized view helps)@,"
+  | Via_view v -> fprintf ppf "target: materialized view %s@," v);
+  fprintf ppf "query: %s@," (Kaskade_query.Pretty.to_string r.executed);
+  fprintf ppf "raw-graph cost: %.6g@," r.raw_cost;
+  if r.candidates = [] then fprintf ppf "rewrite candidates: none materialized@,"
+  else begin
+    fprintf ppf "rewrite candidates:@,";
+    List.iter
+      (fun c ->
+        let chosen =
+          match r.target with Via_view v when String.equal v c.cand_view -> "  <- chosen" | _ -> ""
+        in
+        match c.cand_cost with
+        | Some cost ->
+          fprintf ppf "  %-32s %10d edges   est. cost %.6g%s@," c.cand_view c.cand_edges cost chosen
+        | None -> fprintf ppf "  %-32s %10d edges   not applicable@," c.cand_view c.cand_edges)
+      r.candidates
+  end;
+  fprintf ppf "enumeration: %d candidate views, %d inference steps@,"
+    (List.length r.enum_candidates) r.enum_inference_steps;
+  (match r.selection with
+  | Some s ->
+    fprintf ppf "selection: chose %d of %d candidates, %d of %d budget edges@,"
+      (List.length s.Selection.chosen)
+      (List.length s.Selection.reports)
+      s.Selection.total_weight s.Selection.budget_edges
+  | None -> ());
+  fprintf ppf "plan:@,%s" (Explain.render r.plan)
+
+let report_to_string r =
+  Format.asprintf "@[<v>%a@]" pp_report r
+
+let selection_json (s : Selection.t) =
+  let open Report in
+  Obj
+    [
+      ("budget_edges", Int s.Selection.budget_edges);
+      ("total_weight", Int s.Selection.total_weight);
+      ("total_value", num s.Selection.total_value);
+      ("chosen", List (List.map (fun v -> Str (View.name v)) s.Selection.chosen));
+      ( "candidates",
+        List
+          (List.map
+             (fun (c : Selection.candidate_report) ->
+               Obj
+                 [
+                   ("view", Str (View.name c.Selection.view));
+                   ("est_size", num c.Selection.est_size);
+                   ("creation_cost", num c.Selection.creation_cost);
+                   ("improvement", num c.Selection.improvement);
+                   ("value", num c.Selection.value);
+                   ("chosen", Bool c.Selection.chosen);
+                 ])
+             s.Selection.reports) );
+    ]
+
+let report_json r =
+  let open Report in
+  Obj
+    [
+      ( "target",
+        match r.target with
+        | Raw -> Obj [ ("kind", Str "raw") ]
+        | Via_view v -> Obj [ ("kind", Str "view"); ("view", Str v) ] );
+      ("raw_cost", num r.raw_cost);
+      ("query", Str (Kaskade_query.Pretty.to_string r.executed));
+      ( "rewrite_candidates",
+        List
+          (List.map
+             (fun c ->
+               Obj
+                 [
+                   ("view", Str c.cand_view);
+                   ("edges", Int c.cand_edges);
+                   ("est_cost", match c.cand_cost with Some x -> num x | None -> Null);
+                 ])
+             r.candidates) );
+      ( "enumeration",
+        Obj
+          [
+            ("candidates", List (List.map (fun v -> Str v) r.enum_candidates));
+            ("inference_steps", Int r.enum_inference_steps);
+          ] );
+      ("selection", match r.selection with Some s -> selection_json s | None -> Null);
+      ("plan", Explain.to_json r.plan);
+    ]

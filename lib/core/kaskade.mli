@@ -66,7 +66,57 @@ val best_rewriting :
 
 val run : t -> Kaskade_query.Ast.t -> Kaskade_exec.Executor.result * run_target
 (** View-based evaluation: rewrite over the cheapest applicable
-    materialized view, falling back to the base graph. *)
+    materialized view, falling back to the base graph. Updates the
+    process-wide metrics registry ([kaskade.view_hits] /
+    [kaskade.view_misses] counters, [kaskade.query_seconds]
+    histogram — see [Kaskade_obs.Metrics]). *)
+
+(** {1 EXPLAIN / PROFILE}
+
+    Observability entry points mirroring {!run}'s decision process
+    without (EXPLAIN) or alongside (PROFILE) execution. *)
+
+type view_candidate = {
+  cand_view : string;  (** Materialized view name. *)
+  cand_edges : int;  (** Actual size of the materialized view. *)
+  cand_cost : float option;
+      (** Estimated cost of the rewritten query over the view;
+          [None] when the view cannot answer the query. *)
+}
+
+type report = {
+  target : run_target;  (** The decision {!run} would make. *)
+  raw_cost : float;  (** Estimated cost on the base graph. *)
+  executed : Kaskade_query.Ast.t;
+      (** The query actually evaluated: the rewriting when
+          [target = Via_view _], the original otherwise. *)
+  candidates : view_candidate list;
+      (** Every materialized view considered, in catalog order. *)
+  enum_candidates : string list;
+      (** View names the enumerator proposes for this query (whether
+          or not they are materialized). *)
+  enum_inference_steps : int;  (** Prolog resolution steps spent. *)
+  selection : Selection.t option;
+      (** The most recent {!select_views} outcome — knapsack inputs
+          (per-candidate size/cost/value) and outputs (chosen set,
+          weight). [None] before any selection. *)
+  plan : Kaskade_obs.Explain.node;  (** Operator tree for [executed]. *)
+}
+
+val explain : t -> Kaskade_query.Ast.t -> report
+(** The plan and rewrite decision for [q], without executing it. *)
+
+val profile : t -> Kaskade_query.Ast.t -> Kaskade_exec.Executor.result * report
+(** Execute [q] exactly as {!run} would (the result is identical) and
+    return the plan annotated with per-operator actual rows and wall
+    times. *)
+
+val pp_report : Format.formatter -> report -> unit
+val report_to_string : report -> string
+
+val report_json : report -> Kaskade_obs.Report.json
+(** Structured form of the whole report, including the plan tree and
+    the selection trace. *)
 
 val run_raw : t -> Kaskade_query.Ast.t -> Kaskade_exec.Executor.result
 (** Always evaluate on the base graph. *)

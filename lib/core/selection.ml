@@ -1,6 +1,15 @@
 open Kaskade_graph
 open Kaskade_views
 open Kaskade_exec
+module Metrics = Kaskade_obs.Metrics
+module Trace = Kaskade_obs.Trace
+
+let m_runs = Metrics.counter ~help:"View selections performed" "selection.runs"
+
+let m_candidates =
+  Metrics.counter ~help:"Candidate views priced by the selector" "selection.candidates"
+
+let m_chosen = Metrics.counter ~help:"Views chosen by the knapsack" "selection.chosen"
 
 type solver = Branch_and_bound | Dp | Greedy
 
@@ -58,6 +67,11 @@ let override_for stats schema ~alpha (view : View.t) =
 
 let select ?(alpha = 95.0) ?(solver = Branch_and_bound) ?query_weights stats schema ~queries
     ~budget_edges =
+  Trace.with_span "selection"
+    ~attrs:
+      [ ("queries", string_of_int (List.length queries));
+        ("budget_edges", string_of_int budget_edges) ]
+  @@ fun () ->
   let weights =
     match query_weights with
     | Some ws when List.length ws = List.length queries -> ws
@@ -124,6 +138,8 @@ let select ?(alpha = 95.0) ?(solver = Branch_and_bound) ?query_weights stats sch
       reports
   in
   let solution =
+    Trace.with_span "knapsack" ~attrs:[ ("items", string_of_int (List.length items)) ]
+    @@ fun () ->
     match solver with
     | Branch_and_bound -> Kaskade_knapsack.Knapsack.solve_branch_and_bound ~capacity:budget_edges items
     | Dp -> Kaskade_knapsack.Knapsack.solve_dp ~capacity:budget_edges items
@@ -134,13 +150,21 @@ let select ?(alpha = 95.0) ?(solver = Branch_and_bound) ?query_weights stats sch
     List.mapi (fun id (r : candidate_report) -> { r with chosen = List.mem id chosen_ids }) reports
     |> List.sort (fun a b -> compare b.value a.value)
   in
-  {
-    reports;
-    chosen =
-      List.filter_map
-        (fun (r : candidate_report) -> if r.chosen then Some r.view else None)
+  let result =
+    {
+      reports;
+      chosen =
+        List.filter_map
+          (fun (r : candidate_report) -> if r.chosen then Some r.view else None)
         reports;
-    budget_edges;
-    total_weight = solution.Kaskade_knapsack.Knapsack.total_weight;
-    total_value = solution.Kaskade_knapsack.Knapsack.total_value;
-  }
+      budget_edges;
+      total_weight = solution.Kaskade_knapsack.Knapsack.total_weight;
+      total_value = solution.Kaskade_knapsack.Knapsack.total_value;
+    }
+  in
+  Metrics.incr m_runs;
+  Metrics.incr ~by:(List.length result.reports) m_candidates;
+  Metrics.incr ~by:(List.length result.chosen) m_chosen;
+  Trace.add_attr "chosen" (String.concat " " (List.map View.name result.chosen));
+  Trace.add_attr "total_weight" (string_of_int result.total_weight);
+  result

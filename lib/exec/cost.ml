@@ -53,10 +53,29 @@ let scan_cardinality stats schema label =
   end
   | None -> float_of_int (Gstats.total_vertices stats)
 
-let pattern_cost ?deg_override stats schema ~start_bound (p : Ast.pattern) =
+(* Top-level conjunctive equality [var.prop = literal] in a WHERE
+   clause — the predicate shape an index probe can serve. Shared by
+   the executor (to probe) and the plan builder (to display the access
+   path the executor will pick). *)
+let rec equality_probe (e : Ast.expr) var =
+  match e with
+  | Ast.Binop (Ast.Eq, Ast.Prop (v, p), Ast.Lit value) when v = var -> Some (p, value)
+  | Ast.Binop (Ast.Eq, Ast.Lit value, Ast.Prop (v, p)) when v = var -> Some (p, value)
+  | Ast.Binop (Ast.And, a, b) -> begin
+    match equality_probe a var with Some _ as r -> r | None -> equality_probe b var
+  end
+  | _ -> None
+
+(* [on_stage] reports the running cardinality after the start scan and
+   after each expand step — the plan builder below turns those numbers
+   into operator nodes, so estimates shown by EXPLAIN are by
+   construction the ones the cost model priced. *)
+let pattern_cost ?deg_override ?(on_stage = fun _ ~rows:_ -> ()) stats schema ~start_bound
+    (p : Ast.pattern) =
   let cost = ref 0.0 in
   let rows = ref (if start_bound then 1.0 else scan_cardinality stats schema p.p_start.n_label) in
   cost := !cost +. !rows;
+  on_stage `Scan ~rows:!rows;
   let cur_label = ref p.p_start.n_label in
   List.iter
     (fun ((e : Ast.edge_pat), (n : Ast.node_pat)) ->
@@ -100,6 +119,7 @@ let pattern_cost ?deg_override stats schema ~start_bound (p : Ast.pattern) =
       end
       | None -> ());
       cost := !cost +. !rows;
+      on_stage (`Step (e, n)) ~rows:!rows;
       cur_label := n.n_label)
     p.p_steps;
   (!cost, !rows)
@@ -157,3 +177,157 @@ let estimate ?deg_override stats schema q =
     { total_cost = n +. m; match_rows = n }
 
 let eval_cost ?deg_override stats schema q = (estimate ?deg_override stats schema q).total_cost
+
+(* ------------------------------------------------------------------ *)
+(* Plan trees (EXPLAIN)                                                 *)
+
+module Explain = Kaskade_obs.Explain
+
+let node_str (n : Ast.node_pat) =
+  Printf.sprintf "(%s%s)"
+    (Option.value n.n_var ~default:"")
+    (match n.n_label with Some l -> ":" ^ l | None -> "")
+
+let edge_str (e : Ast.edge_pat) =
+  let inner =
+    Printf.sprintf "[%s%s%s]"
+      (Option.value e.e_var ~default:"")
+      (match e.e_label with Some l -> ":" ^ l | None -> "")
+      (match e.e_len with
+      | Ast.Single -> ""
+      | Ast.Var_length (lo, hi) -> Printf.sprintf "*%d..%d" lo hi)
+  in
+  match e.e_dir with Ast.Fwd -> "-" ^ inner ^ "->" | Ast.Bwd -> "<-" ^ inner ^ "-"
+
+let items_str items = String.concat ", " (List.mapi Ast.item_name items)
+
+(* Access-path operator for a pattern's start node, mirroring the
+   executor's choice exactly (bound variable > index probe > label
+   scan > all-vertex scan). *)
+let scan_op ~start_bound ~(mb_where : Ast.expr option) (start : Ast.node_pat) =
+  if start_bound then ("Argument", "")
+  else begin
+    match (start.n_var, mb_where) with
+    | Some var, Some cond when equality_probe cond var <> None ->
+      let prop, value = Option.get (equality_probe cond var) in
+      ( "NodeIndexSeek",
+        Printf.sprintf " %s.%s = %s" var prop (Kaskade_graph.Value.to_string value) )
+    | _ -> begin
+      match start.n_label with
+      | Some _ -> ("NodeByLabelScan", "")
+      | None -> ("AllNodesScan", "")
+    end
+  end
+
+let match_plan ?deg_override stats schema (mb : Ast.match_block) =
+  let bound = Hashtbl.create 8 in
+  let bind_pattern (p : Ast.pattern) =
+    (match p.p_start.n_var with Some v -> Hashtbl.replace bound v () | None -> ());
+    List.iter
+      (fun ((_ : Ast.edge_pat), (n : Ast.node_pat)) ->
+        match n.n_var with Some v -> Hashtbl.replace bound v () | None -> ())
+      p.p_steps
+  in
+  let rows = ref 1.0 in
+  let pattern_nodes =
+    List.map
+      (fun (p : Ast.pattern) ->
+        let start_bound =
+          match p.p_start.n_var with Some v -> Hashtbl.mem bound v | None -> false
+        in
+        let rows_in = !rows in
+        let stages = ref [] in
+        let _, r =
+          pattern_cost ?deg_override
+            ~on_stage:(fun s ~rows -> stages := (s, rows) :: !stages)
+            stats schema ~start_bound p
+        in
+        rows := !rows *. r;
+        bind_pattern p;
+        let children =
+          List.rev_map
+            (fun (stage, stage_rows) ->
+              let est_rows = rows_in *. stage_rows in
+              match stage with
+              | `Scan ->
+                let op, extra = scan_op ~start_bound ~mb_where:mb.m_where p.p_start in
+                Explain.node op ~detail:(node_str p.p_start ^ extra) ~est_rows []
+              | `Step ((e : Ast.edge_pat), (n : Ast.node_pat)) ->
+                let op =
+                  match e.e_len with Ast.Single -> "Expand" | Ast.Var_length _ -> "VarExpand"
+                in
+                Explain.node op ~detail:(edge_str e ^ node_str n) ~est_rows [])
+            !stages
+          |> List.rev
+        in
+        Explain.node "Pattern" ~detail:(Kaskade_query.Pretty.pattern_to_string p) ~est_rows:!rows
+          children)
+      mb.patterns
+  in
+  (* WHERE selectivity is not modelled (the cost model charges it as a
+     pass); the estimate carried over is an upper bound. *)
+  let filter_nodes =
+    match mb.m_where with
+    | None -> []
+    | Some cond -> [ Explain.node "Filter" ~detail:(Ast.expr_to_string cond) ~est_rows:!rows [] ]
+  in
+  ( Explain.node "Match" ~detail:("RETURN " ^ items_str mb.returns) ~est_rows:!rows
+      (pattern_nodes @ filter_nodes),
+    !rows )
+
+let rec select_plan ?deg_override stats schema (sb : Ast.select_block) =
+  let source, rows =
+    match sb.from with
+    | Ast.From_match mb -> match_plan ?deg_override stats schema mb
+    | Ast.From_select inner -> select_plan ?deg_override stats schema inner
+  in
+  let n =
+    match sb.s_where with
+    | None -> source
+    | Some cond -> Explain.node "Filter" ~detail:(Ast.expr_to_string cond) ~est_rows:rows [ source ]
+  in
+  let any_agg = List.exists (fun (it : Ast.select_item) -> Ast.has_aggregate it.item_expr) sb.items in
+  let n, rows =
+    if sb.group_by <> [] || any_agg then begin
+      let est = if sb.group_by = [] then 1.0 else rows in
+      let detail =
+        items_str sb.items
+        ^
+        if sb.group_by = [] then ""
+        else " GROUP BY " ^ String.concat ", " (List.map Ast.expr_to_string sb.group_by)
+      in
+      (Explain.node "Aggregate" ~detail ~est_rows:est [ n ], est)
+    end
+    else (Explain.node "Project" ~detail:(items_str sb.items) ~est_rows:rows [ n ], rows)
+  in
+  let n = if sb.distinct then Explain.node "Distinct" ~est_rows:rows [ n ] else n in
+  let n =
+    if sb.order_by = [] then n
+    else
+      Explain.node "Sort"
+        ~detail:
+          (String.concat ", "
+             (List.map
+                (fun (e, dir) ->
+                  Ast.expr_to_string e ^ match dir with Ast.Asc -> " ASC" | Ast.Desc -> " DESC")
+                sb.order_by))
+        ~est_rows:rows [ n ]
+  in
+  match sb.limit with
+  | Some k ->
+    let est = Stdlib.min rows (float_of_int k) in
+    (Explain.node "Limit" ~detail:(string_of_int k) ~est_rows:est [ n ], est)
+  | None -> (n, rows)
+
+let plan ?deg_override stats schema (q : Ast.t) =
+  match q with
+  | Ast.Match_only mb -> fst (match_plan ?deg_override stats schema mb)
+  | Ast.Select sb -> fst (select_plan ?deg_override stats schema sb)
+  | Ast.Call c ->
+    let { match_rows; _ } = estimate ?deg_override stats schema q in
+    Explain.node "Procedure"
+      ~detail:
+        (c.proc ^ "("
+        ^ String.concat ", " (List.map Kaskade_graph.Value.to_string c.proc_args)
+        ^ ")")
+      ~est_rows:match_rows []

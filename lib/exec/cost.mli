@@ -30,3 +30,23 @@ val eval_cost :
   Kaskade_query.Ast.t ->
   float
 (** [(estimate ...).total_cost]. *)
+
+val equality_probe :
+  Kaskade_query.Ast.expr -> string -> (string * Kaskade_graph.Value.t) option
+(** Top-level conjunctive [var.prop = literal] in a WHERE expression —
+    the predicate shape the executor serves with an index probe.
+    Exposed so plan building and execution agree on the access path. *)
+
+val plan :
+  ?deg_override:(string -> float option) ->
+  Kaskade_graph.Gstats.t ->
+  Kaskade_graph.Schema.t ->
+  Kaskade_query.Ast.t ->
+  Kaskade_obs.Explain.node
+(** Operator tree of the query as the executor will run it, each node
+    annotated with this cost model's estimated output cardinality.
+    Pass the {e optimized} query (see {!Planner.optimize}) to see the
+    plan that actually executes; {!Executor.explain} does exactly
+    that. Estimates are per-operator running cardinalities — the same
+    numbers {!estimate} sums into [total_cost] — so a profiled run can
+    be read as estimated-vs-actual per operator. *)

@@ -1,5 +1,18 @@
 open Kaskade_graph
 open Kaskade_query
+module Explain = Kaskade_obs.Explain
+module Metrics = Kaskade_obs.Metrics
+module Trace = Kaskade_obs.Trace
+
+(* Process-wide execution metrics (see docs/OBSERVABILITY.md). The
+   instruments are resolved once here; updates are single field
+   mutations, cheap enough for the BFS inner loop. *)
+let m_queries_run = Metrics.counter ~help:"Queries executed" "executor.queries_run"
+let m_rows_produced = Metrics.counter ~help:"Result rows returned" "executor.rows_produced"
+
+let m_expand_steps =
+  Metrics.counter ~help:"Frontier vertex expansions during variable-length traversal"
+    "executor.expand_steps"
 
 type mode = Distinct_endpoints | All_trails
 
@@ -131,6 +144,7 @@ let label_ok g (n : Ast.node_pat) v =
    longer walk), so exact per-level reachable sets are used instead. *)
 let var_length_endpoints g ~src ~lo ~hi ~etype ~(dir : Ast.edge_dir) emit =
   let neighbors u f =
+    Metrics.incr m_expand_steps;
     match dir with
     | Ast.Fwd ->
       Graph.iter_out g u (fun ~dst ~etype:et ~eid:_ ->
@@ -198,6 +212,7 @@ let var_length_endpoints g ~src ~lo ~hi ~etype ~(dir : Ast.edge_dir) emit =
 let var_length_trails g ~src ~lo ~hi ~etype ~(dir : Ast.edge_dir) emit =
   let used = Hashtbl.create 16 in
   let rec dfs v depth =
+    Metrics.incr m_expand_steps;
     if depth >= lo then emit v depth;
     if depth < hi then begin
       let step eid u =
@@ -222,18 +237,17 @@ let var_length_trails g ~src ~lo ~hi ~etype ~(dir : Ast.edge_dir) emit =
   in
   dfs src 0
 
-(* Top-level conjunctive equality [var.prop = literal] in a WHERE
-   clause — the predicate shape an index probe can serve. *)
-let rec equality_probe (e : Ast.expr) var =
-  match e with
-  | Ast.Binop (Ast.Eq, Ast.Prop (v, p), Ast.Lit value) when v = var -> Some (p, value)
-  | Ast.Binop (Ast.Eq, Ast.Lit value, Ast.Prop (v, p)) when v = var -> Some (p, value)
-  | Ast.Binop (Ast.And, a, b) -> begin
-    match equality_probe a var with Some _ as r -> r | None -> equality_probe b var
-  end
-  | _ -> None
+(* See Cost.equality_probe — shared with the plan builder so EXPLAIN
+   displays the access path this function actually takes. *)
+let equality_probe = Cost.equality_probe
 
-let eval_match ctx (mb : Ast.match_block) : Row.table =
+(* When profiling, [prof] is the "Match" plan node Cost.plan built for
+   this block: children are one "Pattern" node per pattern (whose own
+   children are the fused scan/expand operators) followed by a
+   "Filter" node when a WHERE clause exists. The executor fills actual
+   row counts (successful bindings) and per-pattern wall time into
+   that same tree. *)
+let eval_match ?prof ctx (mb : Ast.match_block) : Row.table =
   let g = ctx.g in
   let schema = Graph.schema g in
   let slots = collect_slots mb.patterns in
@@ -243,7 +257,11 @@ let eval_match ctx (mb : Ast.match_block) : Row.table =
     | None -> Row.Prim Value.Null
   in
   let initial = [ Array.make (Stdlib.max slots.width 1) unbound ] in
-  let expand_pattern rows (p : Ast.pattern) =
+  (* [tally i] counts one successful binding at fused-operator index
+     [i] of the current pattern (0 = start scan, j = j-th step) — only
+     wired up when profiling. *)
+  let expand_pattern ?(tally = fun (_ : int) -> ()) rows (p : Ast.pattern) =
+    let n_steps = List.length p.p_steps in
     let out = ref [] in
     let emit row = out := row :: !out in
     (* Walk the steps from a bound start vertex. *)
@@ -252,18 +270,22 @@ let eval_match ctx (mb : Ast.match_block) : Row.table =
       | ((e : Ast.edge_pat), (n : Ast.node_pat)) :: rest ->
         let accept_vertex ?edge_rval v =
           if label_ok g n v then begin
+            let proceed row =
+              tally (n_steps - List.length rest);
+              bind_edge row e edge_rval (fun row -> steps row v rest)
+            in
             match n.n_var with
             | Some name ->
               let i = Hashtbl.find slots.index name in
               if is_bound row.(i) then begin
-                if Row.rval_equal row.(i) (Row.V v) then bind_edge row e edge_rval (fun row -> steps row v rest)
+                if Row.rval_equal row.(i) (Row.V v) then proceed row
               end
               else begin
                 let row' = Array.copy row in
                 row'.(i) <- Row.V v;
-                bind_edge row' e edge_rval (fun row -> steps row v rest)
+                proceed row'
               end
-            | None -> bind_edge row e edge_rval (fun row -> steps row v rest)
+            | None -> proceed row
           end
         in
         (match e.e_len with
@@ -302,18 +324,22 @@ let eval_match ctx (mb : Ast.match_block) : Row.table =
       (fun row ->
         let start (v : int) =
           if label_ok g p.p_start v then begin
+            let proceed row =
+              tally 0;
+              steps row v p.p_steps
+            in
             match p.p_start.n_var with
             | Some name ->
               let i = Hashtbl.find slots.index name in
               if is_bound row.(i) then begin
-                if Row.rval_equal row.(i) (Row.V v) then steps row v p.p_steps
+                if Row.rval_equal row.(i) (Row.V v) then proceed row
               end
               else begin
                 let row' = Array.copy row in
                 row'.(i) <- Row.V v;
-                steps row' v p.p_steps
+                proceed row'
               end
-            | None -> steps row v p.p_steps
+            | None -> proceed row
           end
         in
         (* If the start variable is already bound, resume from it
@@ -347,17 +373,57 @@ let eval_match ctx (mb : Ast.match_block) : Row.table =
       rows;
     List.rev !out
   in
-  let rows = List.fold_left expand_pattern initial mb.patterns in
+  let t_match = match prof with None -> 0.0 | Some _ -> Trace.now_s () in
+  let n_patterns = List.length mb.patterns in
+  let child_prof i =
+    match prof with
+    | Some (m : Explain.node) -> List.nth_opt m.Explain.children i
+    | None -> None
+  in
+  let rows =
+    let idx = ref (-1) in
+    List.fold_left
+      (fun rows p ->
+        Stdlib.incr idx;
+        match child_prof !idx with
+        | None -> expand_pattern rows p
+        | Some pnode ->
+          let n_steps = List.length p.Ast.p_steps in
+          let counts = Array.make (n_steps + 1) 0 in
+          let t0 = Trace.now_s () in
+          let out = expand_pattern ~tally:(fun i -> counts.(i) <- counts.(i) + 1) rows p in
+          Explain.set_time pnode (Trace.now_s () -. t0);
+          Explain.set_actual pnode (List.length out);
+          (* Children are listed downstream-first (step n, .., step 1,
+             scan) while [counts] is pipeline-ordered (0 = scan). *)
+          List.iteri
+            (fun i (child : Explain.node) ->
+              if i <= n_steps then Explain.set_actual child counts.(n_steps - i))
+            pnode.Explain.children;
+          out)
+      initial mb.patterns
+  in
   let rows =
     match mb.m_where with
     | None -> rows
-    | Some cond -> List.filter (fun row -> truthy (eval_expr g (env_of_row row) cond)) rows
+    | Some cond ->
+      let rows = List.filter (fun row -> truthy (eval_expr g (env_of_row row) cond)) rows in
+      (match child_prof n_patterns with
+      | Some fnode -> Explain.set_actual fnode (List.length rows)
+      | None -> ());
+      rows
   in
   let cols = Array.of_list (List.mapi Ast.item_name mb.returns) in
   let project row =
     Array.of_list (List.map (fun (it : Ast.select_item) -> eval_expr g (env_of_row row) it.item_expr) mb.returns)
   in
-  { Row.cols; rows = List.map project rows }
+  let table = { Row.cols; rows = List.map project rows } in
+  (match prof with
+  | Some m ->
+    Explain.set_actual m (List.length table.Row.rows);
+    Explain.set_time m (Trace.now_s () -. t_match)
+  | None -> ());
+  table
 
 (* ------------------------------------------------------------------ *)
 (* SELECT blocks                                                       *)
@@ -448,12 +514,29 @@ and combine_binop op va vb =
   | Ast.Ge -> Row.Prim (Value.Bool (Row.rval_compare va vb >= 0))
   | Ast.And | Ast.Or -> invalid_arg "Executor: boolean combination of aggregates"
 
-let rec eval_select ctx (sb : Ast.select_block) : Row.table =
+let rec eval_select ?prof ctx (sb : Ast.select_block) : Row.table =
   let g = ctx.g in
+  (* Peel the stage chain Cost.select_plan built — Limit over Sort
+     over Distinct over Aggregate/Project over Filter over the source
+     — mirroring its construction conditions, so each stage below can
+     record its actual output cardinality on the right node. *)
+  let peel cond n =
+    if not cond then (None, n)
+    else
+      match n with
+      | Some (node : Explain.node) -> (Some node, List.nth_opt node.Explain.children 0)
+      | None -> (None, None)
+  in
+  let t_select = match prof with None -> 0.0 | Some _ -> Trace.now_s () in
+  let limit_p, n = peel (sb.limit <> None) prof in
+  let sort_p, n = peel (sb.order_by <> []) n in
+  let dist_p, n = peel sb.distinct n in
+  let proj_p, n = peel true n in
+  let filt_p, src_p = peel (sb.s_where <> None) n in
   let source =
     match sb.from with
-    | Ast.From_match mb -> eval_match ctx mb
-    | Ast.From_select inner -> eval_select ctx inner
+    | Ast.From_match mb -> eval_match ?prof:src_p ctx mb
+    | Ast.From_select inner -> eval_select ?prof:src_p ctx inner
   in
   let env_of_row (row : Row.rval array) name =
     match Row.col_index source name with
@@ -463,28 +546,36 @@ let rec eval_select ctx (sb : Ast.select_block) : Row.table =
   let rows =
     match sb.s_where with
     | None -> source.rows
-    | Some cond -> List.filter (fun row -> truthy (eval_expr g (env_of_row row) cond)) source.rows
+    | Some cond ->
+      let rows = List.filter (fun row -> truthy (eval_expr g (env_of_row row) cond)) source.rows in
+      Option.iter (fun n -> Explain.set_actual n (List.length rows)) filt_p;
+      rows
   in
   let any_agg = List.exists (fun (it : Ast.select_item) -> Ast.has_aggregate it.item_expr) sb.items in
   let cols = Array.of_list (List.mapi Ast.item_name sb.items) in
   (* ORDER BY / LIMIT run over the projected output (aliases in
      scope); applied by [finish] below. *)
   let finish (result : Row.table) =
+    Option.iter (fun n -> Explain.set_actual n (List.length result.Row.rows)) proj_p;
     let rows = result.Row.rows in
     (* DISTINCT before ORDER BY / LIMIT, SQL-style. *)
     let rows =
       if not sb.Ast.distinct then rows
       else begin
         let seen = Hashtbl.create 64 in
-        List.filter
-          (fun row ->
-            let key = Array.to_list row in
-            if Hashtbl.mem seen key then false
-            else begin
-              Hashtbl.add seen key ();
-              true
-            end)
-          rows
+        let rows =
+          List.filter
+            (fun row ->
+              let key = Array.to_list row in
+              if Hashtbl.mem seen key then false
+              else begin
+                Hashtbl.add seen key ();
+                true
+              end)
+            rows
+        in
+        Option.iter (fun n -> Explain.set_actual n (List.length rows)) dist_p;
+        rows
       end
     in
     let rows =
@@ -507,16 +598,21 @@ let rec eval_select ctx (sb : Ast.select_block) : Row.table =
           in
           go (List.combine (key a) (key b)) dirs
         in
-        List.stable_sort cmp rows
+        let rows = List.stable_sort cmp rows in
+        Option.iter (fun n -> Explain.set_actual n (List.length rows)) sort_p;
+        rows
       end
     in
     let rows =
       match sb.limit with
       | Some n ->
         let rec take k = function [] -> [] | x :: rest when k > 0 -> x :: take (k - 1) rest | _ -> [] in
-        take n rows
+        let rows = take n rows in
+        Option.iter (fun n -> Explain.set_actual n (List.length rows)) limit_p;
+        rows
       | None -> rows
     in
+    Option.iter (fun (n : Explain.node) -> Explain.set_time n (Trace.now_s () -. t_select)) prof;
     { result with Row.rows }
   in
   if sb.group_by = [] && not any_agg then begin
@@ -585,18 +681,50 @@ let eval_call ctx (c : Ast.proc_call) : result =
   end
   | name, _ -> invalid_arg ("Executor: unknown procedure or bad arguments: " ^ name)
 
-let run ctx (q : Ast.t) : result =
+(* Semantic check + planner pass — the query that will actually
+   execute (and that EXPLAIN must therefore describe). *)
+let prepare ctx (q : Ast.t) =
+  match q with
+  | Ast.Call _ -> q
+  | Ast.Match_only _ | Ast.Select _ ->
+    ignore (Analyze.check (Graph.schema ctx.g) q);
+    if ctx.planner then Planner.optimize (Lazy.force ctx.stats) (Graph.schema ctx.g) q else q
+
+let exec_prepared ?prof ctx (q : Ast.t) : result =
   match q with
   | Ast.Call c -> eval_call ctx c
-  | Ast.Match_only _ | Ast.Select _ -> begin
-    ignore (Analyze.check (Graph.schema ctx.g) q);
-    let q =
-      if ctx.planner then Planner.optimize (Lazy.force ctx.stats) (Graph.schema ctx.g) q else q
-    in
-    match q with
-    | Ast.Match_only mb -> Table (eval_match ctx mb)
-    | Ast.Select sb -> Table (eval_select ctx sb)
-    | Ast.Call c -> eval_call ctx c
-  end
+  | Ast.Match_only mb -> Table (eval_match ?prof ctx mb)
+  | Ast.Select sb -> Table (eval_select ?prof ctx sb)
+
+let account result =
+  Metrics.incr m_queries_run;
+  (match result with
+  | Table t -> Metrics.incr ~by:(Row.n_rows t) m_rows_produced
+  | Affected _ -> ());
+  result
+
+let run ctx (q : Ast.t) : result = account (exec_prepared ctx (prepare ctx q))
+
+let explain ctx (q : Ast.t) =
+  let q = prepare ctx q in
+  Cost.plan (Lazy.force ctx.stats) (Graph.schema ctx.g) q
+
+let run_explained ?(profile = false) ctx (q : Ast.t) =
+  let q = prepare ctx q in
+  let plan = Cost.plan (Lazy.force ctx.stats) (Graph.schema ctx.g) q in
+  let prof = if profile then Some plan else None in
+  let t0 = Trace.now_s () in
+  let result = account (exec_prepared ?prof ctx q) in
+  (* MATCH/SELECT roots annotate themselves; CALL has no eval-side
+     instrumentation, so fill its single node here. *)
+  (if profile then
+     match q with
+     | Ast.Call _ ->
+       Explain.set_time plan (Trace.now_s () -. t0);
+       (match result with
+       | Affected n -> Explain.set_actual plan n
+       | Table t -> Explain.set_actual plan (Row.n_rows t))
+     | Ast.Match_only _ | Ast.Select _ -> ());
+  (result, plan)
 
 let run_string ctx src = run ctx (Qparser.parse src)

@@ -38,6 +38,24 @@ val run : ctx -> Kaskade_query.Ast.t -> result
 val run_string : ctx -> string -> result
 (** Parse then {!run}. *)
 
+val explain : ctx -> Kaskade_query.Ast.t -> Kaskade_obs.Explain.node
+(** The operator tree the executor would run for this query — after
+    the semantic check and (when this context has the planner enabled)
+    the anchor-choosing planner pass — annotated with the cost model's
+    estimated per-operator cardinalities. Execution does not happen. *)
+
+val run_explained :
+  ?profile:bool -> ctx -> Kaskade_query.Ast.t -> result * Kaskade_obs.Explain.node
+(** {!run} plus the plan of {!explain}. With [profile] (default
+    false), the executor additionally fills each operator's actual
+    output rows and per-pattern wall time into the returned tree.
+    Profiling only observes — the result is identical to {!run}
+    (property tested in [test_obs]). Within a pattern the scan/expand
+    operators are fused into one pipeline: they report actual rows
+    (successful bindings) but their wall time is accounted to the
+    enclosing Pattern operator. Reported times are inclusive of child
+    operators. *)
+
 val communities : ctx -> int array option
 (** Labels computed by the last [algo.labelPropagation] call. *)
 

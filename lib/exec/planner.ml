@@ -88,6 +88,10 @@ let optimize_match stats schema (mb : Ast.match_block) =
         let anchor =
           if anchor > 0 && (nodes_of p).(anchor).Ast.n_var = None then 0 else anchor
         in
+        Kaskade_obs.Trace.add_attr "anchor"
+          (Printf.sprintf "%s@%d"
+             (Option.value (nodes_of p).(anchor).Ast.n_var ~default:"_")
+             anchor);
         let out = split_at_anchor p anchor in
         List.iter (fun p' -> List.iter (fun v -> Hashtbl.replace bound v ()) (bound_vars_of p')) out;
         out)
@@ -96,11 +100,12 @@ let optimize_match stats schema (mb : Ast.match_block) =
   { mb with Ast.patterns }
 
 let optimize stats schema (q : Ast.t) =
-  let rec map_source = function
-    | Ast.From_match mb -> Ast.From_match (optimize_match stats schema mb)
-    | Ast.From_select sb -> Ast.From_select { sb with Ast.from = map_source sb.Ast.from }
-  in
-  match q with
-  | Ast.Select sb -> Ast.Select { sb with Ast.from = map_source sb.Ast.from }
-  | Ast.Match_only mb -> Ast.Match_only (optimize_match stats schema mb)
-  | Ast.Call _ -> q
+  Kaskade_obs.Trace.with_span "planner.optimize" (fun () ->
+      let rec map_source = function
+        | Ast.From_match mb -> Ast.From_match (optimize_match stats schema mb)
+        | Ast.From_select sb -> Ast.From_select { sb with Ast.from = map_source sb.Ast.from }
+      in
+      match q with
+      | Ast.Select sb -> Ast.Select { sb with Ast.from = map_source sb.Ast.from }
+      | Ast.Match_only mb -> Ast.Match_only (optimize_match stats schema mb)
+      | Ast.Call _ -> q)

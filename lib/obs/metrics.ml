@@ -1,0 +1,117 @@
+type counter = { c_name : string; c_help : string; mutable count : int }
+
+(* Base-2 exponential buckets: value v lands in the bucket whose upper
+   bound is the smallest 2^e >= v, for e in [-32, 31] (clamped). Slot 0
+   holds v <= 0. *)
+let n_buckets = 66
+
+type histogram = {
+  h_name : string;
+  h_help : string;
+  buckets : int array;  (* length n_buckets *)
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 32
+
+let counter ?(help = "") name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+    let c = { c_name = name; c_help = help; count = 0 } in
+    Hashtbl.add counters name c;
+    c
+
+let incr ?(by = 1) c = c.count <- c.count + by
+let counter_value c = c.count
+
+let histogram ?(help = "") name =
+  match Hashtbl.find_opt histograms name with
+  | Some h -> h
+  | None ->
+    let h =
+      {
+        h_name = name;
+        h_help = help;
+        buckets = Array.make n_buckets 0;
+        h_count = 0;
+        h_sum = 0.0;
+        h_min = Float.infinity;
+        h_max = Float.neg_infinity;
+      }
+    in
+    Hashtbl.add histograms name h;
+    h
+
+let bucket_index v =
+  if v <= 0.0 then 0
+  else begin
+    let m, e = Float.frexp v in
+    (* v = m * 2^e, m in [0.5, 1): smallest power-of-two upper bound is
+       2^e unless v is exactly a power of two (m = 0.5 -> 2^(e-1)). *)
+    let e = if m = 0.5 then e - 1 else e in
+    let e = Stdlib.max (-32) (Stdlib.min 31 e) in
+    e + 33
+  end
+
+let bucket_le i = if i = 0 then 0.0 else Float.ldexp 1.0 (i - 33)
+
+let observe h v =
+  h.buckets.(bucket_index v) <- h.buckets.(bucket_index v) + 1;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v
+
+let histogram_count h = h.h_count
+let histogram_sum h = h.h_sum
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.count <- 0) counters;
+  Hashtbl.iter
+    (fun _ h ->
+      Array.fill h.buckets 0 n_buckets 0;
+      h.h_count <- 0;
+      h.h_sum <- 0.0;
+      h.h_min <- Float.infinity;
+      h.h_max <- Float.neg_infinity)
+    histograms
+
+let sorted tbl =
+  Hashtbl.fold (fun _ v acc -> v :: acc) tbl [] |> List.sort compare
+
+let to_json () =
+  let counter_fields =
+    sorted counters |> List.map (fun (c : counter) -> (c.c_name, Report.Int c.count))
+  in
+  let histogram_fields =
+    sorted histograms
+    |> List.map (fun (h : histogram) ->
+           let buckets =
+             Array.to_list
+               (Array.mapi
+                  (fun i n ->
+                    if n = 0 then None
+                    else
+                      Some
+                        (Report.Obj [ ("le", Report.num (bucket_le i)); ("count", Report.Int n) ]))
+                  h.buckets)
+             |> List.filter_map Fun.id
+           in
+           ( h.h_name,
+             Report.Obj
+               [ ("count", Report.Int h.h_count);
+                 ("sum", Report.num h.h_sum);
+                 ("min", if h.h_count = 0 then Report.Null else Report.num h.h_min);
+                 ("max", if h.h_count = 0 then Report.Null else Report.num h.h_max);
+                 ( "mean",
+                   if h.h_count = 0 then Report.Null
+                   else Report.num (h.h_sum /. float_of_int h.h_count) );
+                 ("buckets", Report.List buckets) ] ))
+  in
+  Report.Obj
+    [ ("counters", Report.Obj counter_fields); ("histograms", Report.Obj histogram_fields) ]

@@ -1,0 +1,37 @@
+(** Process-wide metrics registry: named monotonic counters and
+    log-bucketed histograms. Instruments are registered once (module
+    init time in the engine) and updated with a plain field mutation,
+    so they are cheap enough to live on hot paths — the variable-length
+    BFS bumps {e expand_steps} per visited edge.
+
+    The registry is global on purpose: the bench harness and CLI dump
+    one snapshot per process ({!to_json}) without threading a handle
+    through every engine layer. [reset] zeroes values (registrations
+    survive) so tests and bench experiments can scope their readings. *)
+
+type counter
+type histogram
+
+val counter : ?help:string -> string -> counter
+(** Register (or fetch, if already registered) the named counter. *)
+
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+val histogram : ?help:string -> string -> histogram
+(** Register (or fetch) the named histogram. Buckets are base-2
+    exponential, sized for anything from sub-microsecond timings to
+    edge counts. *)
+
+val observe : histogram -> float -> unit
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+val reset : unit -> unit
+(** Zero every registered instrument (registrations are kept). *)
+
+val to_json : unit -> Report.json
+(** Snapshot of every registered instrument:
+    [{"counters": {...}, "histograms": {...}}]. Histograms carry
+    count/sum/min/max/mean plus non-empty [le]-labelled buckets.
+    Names are emitted in sorted order so dumps diff cleanly. *)

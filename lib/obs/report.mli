@@ -1,0 +1,23 @@
+(** Machine-readable report rendering. Observability output crosses
+    the process boundary (bench logs, CI artifacts, dashboards), so
+    everything the subsystem produces — metrics snapshots, plan trees,
+    explain reports — bottoms out in this small JSON value type. Kept
+    dependency-free on purpose: the repo vendors no JSON library and
+    the observability layer must not drag one in. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** Non-finite floats serialize as [null]. *)
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+val to_string : ?pretty:bool -> json -> string
+(** RFC 8259 output; [pretty] (default true) indents by two spaces.
+    Strings are escaped; floats use shortest-roundtrip-ish ["%.12g"]. *)
+
+val num : float -> json
+(** [Float], but collapses integral values to [Int] so counters do not
+    render as ["3."]. *)

@@ -1,0 +1,98 @@
+type span = {
+  name : string;
+  attrs : (string * string) list;
+  start_s : float;
+  duration_s : float;
+  children : span list;
+}
+
+(* An open span accumulates attrs/children in reverse; closing it
+   freezes the record. *)
+type open_span = {
+  o_name : string;
+  mutable o_attrs : (string * string) list;
+  o_start : float;
+  mutable o_children : span list;  (* reverse start order *)
+}
+
+type state = {
+  epoch : float;
+  mutable stack : open_span list;  (* innermost first *)
+  mutable roots : span list;  (* reverse start order *)
+}
+
+let current : state option ref = ref None
+
+let enabled () = !current <> None
+let now_s () = Unix.gettimeofday ()
+
+let close (o : open_span) ~stop =
+  {
+    name = o.o_name;
+    attrs = List.rev o.o_attrs;
+    start_s = o.o_start;
+    duration_s = stop -. o.o_start;
+    children = List.rev o.o_children;
+  }
+
+let with_span ?(attrs = []) name f =
+  match !current with
+  | None -> f ()
+  | Some st ->
+    let o =
+      { o_name = name; o_attrs = List.rev attrs; o_start = now_s () -. st.epoch; o_children = [] }
+    in
+    st.stack <- o :: st.stack;
+    let finish () =
+      let stop = now_s () -. st.epoch in
+      (* Pop up to and including [o] — defensive against a thunk that
+         escapes with spans still open. *)
+      (match st.stack with _ :: rest -> st.stack <- rest | [] -> ());
+      let closed = close o ~stop in
+      match st.stack with
+      | parent :: _ -> parent.o_children <- closed :: parent.o_children
+      | [] -> st.roots <- closed :: st.roots
+    in
+    (match f () with
+    | result ->
+      finish ();
+      result
+    | exception e ->
+      finish ();
+      raise e)
+
+let add_attr k v =
+  match !current with
+  | Some { stack = o :: _; _ } -> o.o_attrs <- (k, v) :: o.o_attrs
+  | _ -> ()
+
+let collect f =
+  if enabled () then invalid_arg "Trace.collect: already collecting";
+  let st = { epoch = now_s (); stack = []; roots = [] } in
+  current := Some st;
+  match f () with
+  | result ->
+    current := None;
+    (result, List.rev st.roots)
+  | exception e ->
+    current := None;
+    raise e
+
+let rec pp_indented depth ppf (s : span) =
+  Format.fprintf ppf "%s%s  %.3fms%s@."
+    (String.make (2 * depth) ' ')
+    s.name (s.duration_s *. 1000.0)
+    (String.concat "" (List.map (fun (k, v) -> "  " ^ k ^ "=" ^ v) s.attrs));
+  List.iter (pp_indented (depth + 1) ppf) s.children
+
+let pp ppf s = pp_indented 0 ppf s
+
+let rec to_json (s : span) =
+  Report.Obj
+    [ ("name", Report.Str s.name);
+      ("start_s", Report.Float s.start_s);
+      ("duration_s", Report.Float s.duration_s);
+      ("attrs", Report.Obj (List.map (fun (k, v) -> (k, Report.Str v)) s.attrs));
+      ("children", Report.List (List.map to_json s.children)) ]
+
+let total spans = List.fold_left (fun acc s -> acc +. s.duration_s) 0.0 spans

@@ -1,0 +1,47 @@
+(** Hierarchical wall-clock spans — the tracing substrate of the
+    observability layer. Collection is off by default and every
+    instrumentation point is a single flag test when off, so engine
+    code can be annotated freely without taxing the hot path
+    ("zero-cost-when-disabled"): [with_span] calls its thunk directly
+    and [add_attr] is a no-op unless a {!collect} is in flight.
+
+    Spans nest by dynamic extent. The collector is process-global and
+    not reentrant (no [collect] inside [collect]) — matching how the
+    engine is driven today (one query at a time per process). *)
+
+type span = {
+  name : string;
+  attrs : (string * string) list;  (** In attachment order. *)
+  start_s : float;  (** Seconds since the enclosing [collect] began. *)
+  duration_s : float;
+  children : span list;  (** In start order. *)
+}
+
+val enabled : unit -> bool
+(** True while a {!collect} is in flight. *)
+
+val now_s : unit -> float
+(** Wall clock in seconds ([Unix.gettimeofday]) — exported so engine
+    modules can time operators without depending on [unix]
+    themselves. *)
+
+val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a named span (when collecting). The span is
+    recorded even when the thunk raises; the exception propagates. *)
+
+val add_attr : string -> string -> unit
+(** Attach a key/value to the innermost open span. No-op when not
+    collecting or outside any span. *)
+
+val collect : (unit -> 'a) -> 'a * span list
+(** Run with collection enabled and return the top-level spans in
+    start order. Raises [Invalid_argument] when nested. If the thunk
+    raises, collection is switched off before the exception escapes. *)
+
+val pp : Format.formatter -> span -> unit
+(** One span per line, indented by depth: [name  12.3ms  k=v ...]. *)
+
+val to_json : span -> Report.json
+
+val total : span list -> float
+(** Summed duration of the given spans (not their descendants). *)

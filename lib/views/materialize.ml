@@ -358,25 +358,38 @@ let summarize_ego_aggregator g view ~k ~agg_prop ~agg =
 
 (* --------------------------------------------------------------- *)
 
+let m_materializations =
+  Kaskade_obs.Metrics.counter ~help:"Views materialized" "views.materialized"
+
+let m_materialized_edges =
+  Kaskade_obs.Metrics.counter ~help:"Edges across all materialized views" "views.materialized_edges"
+
 let materialize ?(dedupe = true) ?(with_path_counts = false) g view =
-  match view with
-  | View.Connector (View.K_hop { src_type; dst_type; k }) ->
-    connector_k_hop ~dedupe ~with_path_counts g ~src_type ~dst_type ~k
-  | View.Connector (View.Same_vertex_type { vtype }) -> connector_same_vertex_type g ~vtype
-  | View.Connector (View.Same_edge_type { etype }) -> connector_same_edge_type g ~etype
-  | View.Connector View.Source_to_sink -> connector_source_to_sink g
-  | View.Summarizer (View.Vertex_inclusion types) -> summarize_inclusion g view types
-  | View.Summarizer (View.Vertex_removal types) ->
-    summarize_inclusion g view (complement_vertex_types (Graph.schema g) types)
-  | View.Summarizer (View.Edge_inclusion types) -> summarize_edge_filter g view types
-  | View.Summarizer (View.Edge_removal types) ->
-    summarize_edge_filter g view (complement_edge_types (Graph.schema g) types)
-  | View.Summarizer (View.Vertex_aggregator { vtype; group_prop; agg_prop; agg }) ->
-    summarize_vertex_aggregator g view ~vtype ~group_prop ~agg_prop ~agg
-  | View.Summarizer (View.Subgraph_aggregator { agg_prop; agg }) ->
-    summarize_subgraph_aggregator g view ~agg_prop ~agg
-  | View.Summarizer (View.Ego_aggregator { k; agg_prop; agg }) ->
-    summarize_ego_aggregator g view ~k ~agg_prop ~agg
+  Kaskade_obs.Trace.with_span "materialize" ~attrs:[ ("view", View.name view) ]
+  @@ fun () ->
+  let m =
+    match view with
+    | View.Connector (View.K_hop { src_type; dst_type; k }) ->
+      connector_k_hop ~dedupe ~with_path_counts g ~src_type ~dst_type ~k
+    | View.Connector (View.Same_vertex_type { vtype }) -> connector_same_vertex_type g ~vtype
+    | View.Connector (View.Same_edge_type { etype }) -> connector_same_edge_type g ~etype
+    | View.Connector View.Source_to_sink -> connector_source_to_sink g
+    | View.Summarizer (View.Vertex_inclusion types) -> summarize_inclusion g view types
+    | View.Summarizer (View.Vertex_removal types) ->
+      summarize_inclusion g view (complement_vertex_types (Graph.schema g) types)
+    | View.Summarizer (View.Edge_inclusion types) -> summarize_edge_filter g view types
+    | View.Summarizer (View.Edge_removal types) ->
+      summarize_edge_filter g view (complement_edge_types (Graph.schema g) types)
+    | View.Summarizer (View.Vertex_aggregator { vtype; group_prop; agg_prop; agg }) ->
+      summarize_vertex_aggregator g view ~vtype ~group_prop ~agg_prop ~agg
+    | View.Summarizer (View.Subgraph_aggregator { agg_prop; agg }) ->
+      summarize_subgraph_aggregator g view ~agg_prop ~agg
+    | View.Summarizer (View.Ego_aggregator { k; agg_prop; agg }) ->
+      summarize_ego_aggregator g view ~k ~agg_prop ~agg
+  in
+  Kaskade_obs.Metrics.incr m_materializations;
+  Kaskade_obs.Metrics.incr ~by:(Graph.n_edges m.graph) m_materialized_edges;
+  m
 
 let k_hop_connector ?dedupe ?with_path_counts g ~src_type ~dst_type ~k =
   materialize ?dedupe ?with_path_counts g (View.Connector (View.K_hop { src_type; dst_type; k }))

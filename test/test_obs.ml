@@ -1,0 +1,232 @@
+(* Observability layer: spans, metrics, EXPLAIN/PROFILE. *)
+
+open Kaskade_graph
+open Kaskade_query
+module Obs = Kaskade_obs
+module Trace = Obs.Trace
+module Metrics = Obs.Metrics
+module Explain = Obs.Explain
+module Executor = Kaskade_exec.Executor
+module Planner = Kaskade_exec.Planner
+module Row = Kaskade_exec.Row
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let string_contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let prov = lazy Kaskade_gen.Provenance_gen.(generate { default with jobs = 60; files = 120; seed = 7 })
+
+(* ------------------------------------------------------------------ *)
+(* Trace spans                                                         *)
+
+let test_span_nesting () =
+  let v, spans =
+    Trace.collect (fun () ->
+        Trace.with_span "outer" (fun () ->
+            Trace.with_span "inner1" (fun () ->
+                ignore (Sys.opaque_identity (List.init 1000 (fun i -> i * i))));
+            Trace.with_span "inner2" ~attrs:[ ("k", "v") ] (fun () -> ());
+            7))
+  in
+  check_int "thunk result" 7 v;
+  check_int "one root span" 1 (List.length spans);
+  let outer = List.hd spans in
+  check_string "root name" "outer" outer.Trace.name;
+  check_int "two children" 2 (List.length outer.Trace.children);
+  let inner1 = List.nth outer.Trace.children 0 in
+  let inner2 = List.nth outer.Trace.children 1 in
+  check_string "children in start order" "inner1" inner1.Trace.name;
+  check_string "second child" "inner2" inner2.Trace.name;
+  check_bool "attr recorded" true (List.mem_assoc "k" inner2.Trace.attrs)
+
+let test_span_timing_monotone () =
+  let (), spans =
+    Trace.collect (fun () ->
+        Trace.with_span "outer" (fun () ->
+            Trace.with_span "inner1" (fun () ->
+                ignore (Sys.opaque_identity (List.init 5000 (fun i -> i * i))));
+            Trace.with_span "inner2" (fun () -> ())))
+  in
+  let outer = List.hd spans in
+  let inner1 = List.nth outer.Trace.children 0 in
+  let inner2 = List.nth outer.Trace.children 1 in
+  let eps = 1e-9 in
+  check_bool "outer duration non-negative" true (outer.Trace.duration_s >= 0.0);
+  check_bool "children start inside parent" true
+    (inner1.Trace.start_s >= outer.Trace.start_s -. eps);
+  check_bool "second child starts after first ends" true
+    (inner2.Trace.start_s >= inner1.Trace.start_s +. inner1.Trace.duration_s -. eps);
+  check_bool "children fit inside parent" true
+    (inner2.Trace.start_s +. inner2.Trace.duration_s
+    <= outer.Trace.start_s +. outer.Trace.duration_s +. eps);
+  check_bool "parent covers child sum" true
+    (outer.Trace.duration_s +. eps >= inner1.Trace.duration_s +. inner2.Trace.duration_s)
+
+let test_span_disabled_and_exceptions () =
+  (* Off by default: with_span is a passthrough. *)
+  check_bool "disabled outside collect" false (Trace.enabled ());
+  check_int "passthrough result" 3 (Trace.with_span "ignored" (fun () -> 3));
+  (* A raising thunk still switches collection off. *)
+  let raised =
+    try
+      ignore (Trace.collect (fun () -> Trace.with_span "boom" (fun () -> failwith "x")));
+      false
+    with Failure _ -> true
+  in
+  check_bool "exception propagates" true raised;
+  check_bool "collection off after raise" false (Trace.enabled ())
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+
+let test_counter_accounting () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.counter" in
+  Metrics.incr c;
+  Metrics.incr ~by:41 c;
+  check_int "incr accumulates" 42 (Metrics.counter_value c);
+  (* Same name -> same instrument. *)
+  Metrics.incr (Metrics.counter "test.counter");
+  check_int "register-or-fetch shares state" 43 (Metrics.counter_value c);
+  Metrics.reset ();
+  check_int "reset zeroes" 0 (Metrics.counter_value c)
+
+let test_histogram_accounting () =
+  Metrics.reset ();
+  let h = Metrics.histogram "test.hist" in
+  let obs = [ 0.001; 0.5; 3.0; 1024.0 ] in
+  List.iter (Metrics.observe h) obs;
+  check_int "count" (List.length obs) (Metrics.histogram_count h);
+  Alcotest.(check (float 1e-6)) "sum" (List.fold_left ( +. ) 0.0 obs) (Metrics.histogram_sum h);
+  let dump = Obs.Report.to_string (Metrics.to_json ()) in
+  check_bool "dump names the histogram" true (string_contains dump "test.hist");
+  check_bool "dump has buckets" true (string_contains dump "buckets")
+
+let test_engine_counters_move () =
+  Metrics.reset ();
+  let g = Lazy.force prov in
+  let ctx = Executor.create g in
+  ignore (Executor.run_string ctx "MATCH (a:Job)-[r*1..3]->(b:Job) RETURN a, b");
+  let v name = Metrics.counter_value (Metrics.counter name) in
+  check_bool "queries_run counted" true (v "executor.queries_run" >= 1);
+  check_bool "rows_produced counted" true (v "executor.rows_produced" > 0);
+  check_bool "expand_steps counted" true (v "executor.expand_steps" > 0)
+
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN                                                             *)
+
+let scan_ops = [ "NodeByLabelScan"; "AllNodesScan"; "NodeIndexSeek"; "Argument" ]
+
+let test_explain_matches_planner_anchor () =
+  let g = Lazy.force prov in
+  let stats = Gstats.compute g in
+  let schema = Graph.schema g in
+  (* Written head-first at the unselective side: Files outnumber Jobs,
+     so the planner should anchor at (j:Job). *)
+  let q = Qparser.parse "MATCH (f:File)-[:IS_READ_BY]->(j:Job) RETURN f, j" in
+  let pattern =
+    match q with Ast.Match_only mb -> List.hd mb.Ast.patterns | _ -> assert false
+  in
+  let anchor = Planner.anchor_position stats schema ~bound:(fun _ -> false) pattern in
+  let nodes = pattern.Ast.p_start :: List.map snd pattern.Ast.p_steps in
+  let anchor_var = Option.get (List.nth nodes anchor).Ast.n_var in
+  let ctx = Executor.create ~planner:true g in
+  let plan = Executor.explain ctx q in
+  let scan = Explain.find (fun n -> List.mem n.Explain.op scan_ops) plan in
+  match scan with
+  | None -> Alcotest.fail "no scan operator in EXPLAIN output"
+  | Some scan ->
+    check_bool
+      (Printf.sprintf "first scan (%s) starts at planner anchor %s" scan.Explain.detail anchor_var)
+      true
+      (string_contains scan.Explain.detail ("(" ^ anchor_var))
+
+let test_explain_has_estimates_no_actuals () =
+  let g = Lazy.force prov in
+  let ctx = Executor.create ~planner:true g in
+  let q = Qparser.parse "MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j, f" in
+  let plan = Executor.explain ctx q in
+  check_bool "not profiled" false (Explain.profiled plan);
+  check_bool "root has estimate" true (plan.Explain.est_rows <> None);
+  let rendered = Explain.render plan in
+  check_bool "renders est.rows column" true (string_contains rendered "est.rows");
+  check_bool "no actuals column on EXPLAIN" false (string_contains rendered "time")
+
+(* ------------------------------------------------------------------ *)
+(* PROFILE                                                             *)
+
+let table_equal (a : Row.table) (b : Row.table) =
+  a.Row.cols = b.Row.cols
+  && List.length a.Row.rows = List.length b.Row.rows
+  && List.for_all2
+       (fun ra rb -> Array.length ra = Array.length rb && Array.for_all2 Row.rval_equal ra rb)
+       a.Row.rows b.Row.rows
+
+let profile_queries =
+  [ "MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j, f";
+    "MATCH (a:Job)-[r*1..3]->(b:Job) RETURN a, b";
+    "MATCH (j:Job)-[:WRITES_TO]->(f:File) WHERE j.CPU > 10 RETURN j, f";
+    "SELECT j.pipelineName, COUNT(*) FROM (MATCH (j:Job) RETURN j) GROUP BY j.pipelineName";
+    "SELECT DISTINCT j.pipelineName FROM (MATCH (j:Job) RETURN j) ORDER BY j.pipelineName LIMIT 3"
+  ]
+
+let test_profile_identical_results () =
+  let g = Lazy.force prov in
+  let ctx = Executor.create ~planner:true g in
+  List.iter
+    (fun src ->
+      let q = Qparser.parse src in
+      let plain = Executor.table_exn (Executor.run ctx q) in
+      let profiled_result, plan = Executor.run_explained ~profile:true ctx q in
+      let profiled = Executor.table_exn profiled_result in
+      check_bool ("identical result: " ^ src) true (table_equal plain profiled);
+      check_bool ("plan carries actuals: " ^ src) true (Explain.profiled plan);
+      check_int ("root actual = result rows: " ^ src)
+        (Row.n_rows plain)
+        (Option.value plan.Explain.actual_rows ~default:(-1));
+      check_bool ("root has wall time: " ^ src) true (plan.Explain.time_s <> None))
+    profile_queries
+
+let test_kaskade_profile_identity () =
+  let g = Lazy.force prov in
+  let ks = Kaskade.create g in
+  let q = Kaskade.parse "MATCH (a:Job)-[r*1..4]->(b:Job) RETURN a, b" in
+  let sel = Kaskade.select_views ks ~queries:[ q ] ~budget_edges:(10 * Graph.n_edges g) in
+  ignore (Kaskade.materialize_selected ks sel);
+  let r1, how1 = Kaskade.run ks q in
+  let r2, report = Kaskade.profile ks q in
+  check_bool "same rewrite decision" true (how1 = report.Kaskade.target);
+  check_bool "profile result identical to run" true
+    (table_equal (Executor.table_exn r1) (Executor.table_exn r2));
+  check_bool "plan profiled" true (Explain.profiled report.Kaskade.plan);
+  check_bool "candidate views listed" true (report.Kaskade.candidates <> []);
+  check_bool "selection trace attached" true (report.Kaskade.selection <> None);
+  (* EXPLAIN of the same query agrees with PROFILE on plan shape. *)
+  let e = Kaskade.explain ks q in
+  let shape n = Explain.fold (fun acc m -> (m.Explain.op ^ "/" ^ m.Explain.detail) :: acc) [] n in
+  check_bool "EXPLAIN and PROFILE agree on shape" true
+    (shape e.Kaskade.plan = shape report.Kaskade.plan)
+
+let () =
+  Alcotest.run "obs"
+    [ ( "trace",
+        [ Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "span timing monotone" `Quick test_span_timing_monotone;
+          Alcotest.test_case "disabled + exceptions" `Quick test_span_disabled_and_exceptions ] );
+      ( "metrics",
+        [ Alcotest.test_case "counter accounting" `Quick test_counter_accounting;
+          Alcotest.test_case "histogram accounting" `Quick test_histogram_accounting;
+          Alcotest.test_case "engine counters move" `Quick test_engine_counters_move ] );
+      ( "explain",
+        [ Alcotest.test_case "matches planner anchor" `Quick test_explain_matches_planner_anchor;
+          Alcotest.test_case "estimates without actuals" `Quick
+            test_explain_has_estimates_no_actuals ] );
+      ( "profile",
+        [ Alcotest.test_case "identical results" `Quick test_profile_identical_results;
+          Alcotest.test_case "kaskade profile identity" `Quick test_kaskade_profile_identity ] )
+    ]
