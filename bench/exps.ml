@@ -375,6 +375,7 @@ let e2e () =
     entries;
   Printf.printf "materialization: %.3fs\n" t_mat;
   let plans = ref [] in
+  let wall_times = ref [] in
   let rows = List.map
       (fun q ->
         let t_raw = time_median (fun () -> ignore (Kaskade.run_raw ks q)) in
@@ -387,7 +388,9 @@ let e2e () =
         (* One profiled run records per-operator actual rows/timings. *)
         let _, report = Kaskade.profile ks q in
         plans := (!how, report.Kaskade.plan) :: !plans;
-        [ (match q with _ -> Kaskade_query.Pretty.to_string q |> fun s -> String.sub s 0 (Stdlib.min 48 (String.length s)) ^ "...");
+        let qtext = Kaskade_query.Pretty.to_string q in
+        wall_times := (qtext, t_raw, t_view, !how) :: !wall_times;
+        [ String.sub qtext 0 (Stdlib.min 48 (String.length qtext)) ^ "...";
           Printf.sprintf "%.4f" t_raw; Printf.sprintf "%.4f" t_view; !how;
           Printf.sprintf "%.1fx" (if t_view > 0.0 then t_raw /. t_view else 0.0) ])
       queries
@@ -398,15 +401,266 @@ let e2e () =
       Printf.printf "\nprofiled plan (via %s):\n%s" how (Kaskade_obs.Explain.render plan))
     (List.rev !plans);
   (* Process-wide metrics accumulated across the whole experiment —
-     view hits/misses, expand steps, materialization sizes, ... *)
-  let json = Kaskade_obs.Report.to_string ~pretty:true (Kaskade_obs.Metrics.to_json ()) in
+     view hits/misses, expand steps, materialization sizes — plus the
+     per-query wall times, so regressions are diffable run to run. *)
+  let json =
+    Kaskade_obs.Report.(
+      to_string ~pretty:true
+        (Obj
+           [ ("metrics", Kaskade_obs.Metrics.to_json ());
+             ( "query_wall_times",
+               List
+                 (List.rev_map
+                    (fun (q, t_raw, t_view, how) ->
+                      Obj
+                        [ ("query", Str q); ("raw_s", Float t_raw); ("kaskade_s", Float t_view);
+                          ("via", Str how) ])
+                    !wall_times) ) ]))
+  in
   let oc = open_out "bench_metrics.json" in
   output_string oc json;
   output_char oc '\n';
   close_out oc;
   Printf.printf "\nmetrics (also written to bench_metrics.json):\n%s\n" json
 
+(* ------------------------------------------------------------------ *)
+(* Microbench: segmented CSR, scratch BFS, parallel materialization    *)
+
+(* [--smoke]: tiny sizes, few reps, and hard assertions instead of
+   timings — run from CI to prove the segmented fast paths return the
+   same rows as the seed's filter-scan semantics. *)
+let smoke = ref false
+
+(* The smoke graph is seeded, so its row counts are fixtures: a
+   mismatch means the segmented CSR layout changed results. *)
+let smoke_expected_typed_rows = 739
+
+let microbench () =
+  header "Microbench: type-segmented CSR + scratch BFS + parallel view materialization";
+  let cfg =
+    Kaskade_gen.Provenance_gen.(
+      if !smoke then { default with jobs = 300; files = 600; seed = 42 }
+      else { default with jobs = 4_000; files = 8_000; tasks_per_job = 6; machines = 100; users = 400; seed = 42 })
+  in
+  let g = Kaskade_gen.Provenance_gen.generate cfg in
+  let schema = Graph.schema g in
+  let n = Graph.n_vertices g in
+  let reps = if !smoke then 3 else 9 in
+  (* 1. Typed expansion: segmented slice walk vs the seed's filter-scan
+     (iterate the whole out-list, test each edge's type) — the code
+     path every typed MATCH step used before segmentation. The sweep
+     runs over Job vertices, exactly the row set a
+     [(j:Job)-[:WRITES_TO]->] step expands; Job adjacency mixes
+     HAS_TASK and WRITES_TO runs, so the filter-scan pays for every
+     skipped edge. *)
+  let etid = Schema.edge_type_id schema "WRITES_TO" in
+  let jobs = Graph.vertices_of_type_name g "Job" in
+  let inner = if !smoke then 1 else 20 in
+  let rows_seg = ref 0 and rows_scan = ref 0 in
+  let t_seg =
+    time_median ~reps (fun () ->
+        rows_seg := 0;
+        for _ = 1 to inner do
+          Array.iter
+            (fun v -> Graph.iter_out_etype g v ~etype:etid (fun ~dst:_ ~eid:_ -> incr rows_seg))
+            jobs
+        done)
+  in
+  let t_scan =
+    time_median ~reps (fun () ->
+        rows_scan := 0;
+        for _ = 1 to inner do
+          Array.iter
+            (fun v ->
+              Graph.iter_out g v (fun ~dst:_ ~etype ~eid:_ -> if etype = etid then incr rows_scan))
+            jobs
+        done)
+  in
+  if !rows_seg <> !rows_scan then begin
+    Printf.eprintf "FAIL: typed expand rows differ: segmented=%d filter-scan=%d\n" !rows_seg !rows_scan;
+    exit 1
+  end;
+  (* 1b. Same comparison in the in-direction, where the type runs are
+     most selective: a Job's in-list mixes ~6 IS_READ_BY edges with
+     one SUBMITTED edge, so the reverse step [(u:User)-[:SUBMITTED]->(j)]
+     anchored at [j] skips almost the whole list. *)
+  let sub_etid = Schema.edge_type_id schema "SUBMITTED" in
+  let rows_in_seg = ref 0 and rows_in_scan = ref 0 in
+  let t_in_seg =
+    time_median ~reps (fun () ->
+        rows_in_seg := 0;
+        for _ = 1 to inner do
+          Array.iter
+            (fun v ->
+              Graph.iter_in_etype g v ~etype:sub_etid (fun ~src:_ ~eid:_ -> incr rows_in_seg))
+            jobs
+        done)
+  in
+  let t_in_scan =
+    time_median ~reps (fun () ->
+        rows_in_scan := 0;
+        for _ = 1 to inner do
+          Array.iter
+            (fun v ->
+              Graph.iter_in g v (fun ~src:_ ~etype ~eid:_ ->
+                  if etype = sub_etid then incr rows_in_scan))
+            jobs
+        done)
+  in
+  if !rows_in_seg <> !rows_in_scan then begin
+    Printf.eprintf "FAIL: typed in-expand rows differ: segmented=%d filter-scan=%d\n" !rows_in_seg
+      !rows_in_scan;
+    exit 1
+  end;
+  if !smoke && !rows_seg <> smoke_expected_typed_rows then begin
+    Printf.eprintf "FAIL: typed expand fixture mismatch: got %d, expected %d\n" !rows_seg
+      smoke_expected_typed_rows;
+    exit 1
+  end;
+  (* 2. Two-hop BFS, the executor's var-length expansion shape: the
+     PR's epoch-stamped scratch set + pooled frontier vectors vs the
+     seed's Hashtbl visited set + list frontiers. Sources sample every
+     vertex type. *)
+  let sources = List.init (Stdlib.min 64 n) (fun i -> i * (Stdlib.max 1 (n / 64))) in
+  let reach_scratch = ref 0 and reach_ht = ref 0 in
+  let t_bfs_scratch =
+    time_median ~reps (fun () ->
+        reach_scratch := 0;
+        for _ = 1 to inner do
+          List.iter
+            (fun src ->
+              Scratch.with_set ~n @@ fun visited ->
+              Scratch.with_vec @@ fun vec_a ->
+              Scratch.with_vec @@ fun vec_b ->
+              Scratch.add visited src;
+              Int_vec.push vec_a src;
+              let cur = ref vec_a and next = ref vec_b in
+              for _hop = 1 to 2 do
+                Int_vec.clear !next;
+                let nv = !next in
+                Int_vec.iter
+                  (fun v ->
+                    Graph.iter_out g v (fun ~dst ~etype:_ ~eid:_ ->
+                        if not (Scratch.mem visited dst) then begin
+                          Scratch.add visited dst;
+                          incr reach_scratch;
+                          Int_vec.push nv dst
+                        end))
+                  !cur;
+                let tmp = !cur in
+                cur := !next;
+                next := tmp
+              done)
+            sources
+        done)
+  in
+  let t_bfs_ht =
+    time_median ~reps (fun () ->
+        reach_ht := 0;
+        for _ = 1 to inner do
+          List.iter
+            (fun src ->
+              let visited = Hashtbl.create 16 in
+              Hashtbl.replace visited src ();
+              let frontier = ref [ src ] in
+              for _hop = 1 to 2 do
+                let next = ref [] in
+                List.iter
+                  (fun v ->
+                    Graph.iter_out g v (fun ~dst ~etype:_ ~eid:_ ->
+                        if not (Hashtbl.mem visited dst) then begin
+                          Hashtbl.replace visited dst ();
+                          incr reach_ht;
+                          next := dst :: !next
+                        end))
+                  !frontier;
+                frontier := List.rev !next
+              done)
+            sources
+        done)
+  in
+  if !reach_scratch <> !reach_ht then begin
+    Printf.eprintf "FAIL: 2-hop BFS reach differs: scratch=%d hashtbl=%d\n" !reach_scratch !reach_ht;
+    exit 1
+  end;
+  (* 3. Connector materialization across pool widths: timings plus the
+     determinism contract — the frozen view serializes byte-identically
+     at every width. *)
+  let widths = [ 1; 2; 4 ] in
+  let mat_times =
+    List.map
+      (fun w ->
+        let pool = Pool.create ~domains:w () in
+        let m = ref None in
+        let t =
+          time_median ~reps:(if !smoke then 2 else 3) (fun () ->
+              m := Some (Materialize.k_hop_connector ~pool g ~src_type:"Job" ~dst_type:"Job" ~k:2))
+        in
+        let m = Option.get !m in
+        (w, t, Gio.to_string m.Materialize.graph, Graph.n_edges m.Materialize.graph))
+      widths
+  in
+  let _, _, bytes1, edges1 = List.hd mat_times in
+  List.iter
+    (fun (w, _, bytes, _) ->
+      if bytes <> bytes1 then begin
+        Printf.eprintf "FAIL: materialization at %d domains differs from sequential output\n" w;
+        exit 1
+      end)
+    mat_times;
+  Table.print
+    ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+    ~header:[ "kernel"; "time (s)"; "baseline (s)"; "speedup" ]
+    ([ [ "typed expand out (WRITES_TO)"; Printf.sprintf "%.4f" t_seg; Printf.sprintf "%.4f" t_scan;
+         Printf.sprintf "%.1fx" (if t_seg > 0.0 then t_scan /. t_seg else 0.0) ];
+       [ "typed expand in (SUBMITTED)"; Printf.sprintf "%.4f" t_in_seg; Printf.sprintf "%.4f" t_in_scan;
+         Printf.sprintf "%.1fx" (if t_in_seg > 0.0 then t_in_scan /. t_in_seg else 0.0) ];
+       [ "2-hop BFS (64 sources)"; Printf.sprintf "%.4f" t_bfs_scratch; Printf.sprintf "%.4f" t_bfs_ht;
+         Printf.sprintf "%.1fx" (if t_bfs_scratch > 0.0 then t_bfs_ht /. t_bfs_scratch else 0.0) ] ]
+    @ List.map
+        (fun (w, t, _, edges) ->
+          let _, t1, _, _ = List.hd mat_times in
+          [ Printf.sprintf "connector k=2 @%dd (%s edges)" w (Table.fmt_int edges);
+            Printf.sprintf "%.4f" t; Printf.sprintf "%.4f" t1;
+            Printf.sprintf "%.1fx" (if t > 0.0 then t1 /. t else 0.0) ])
+        mat_times);
+  Printf.printf "typed-expand rows=%d  bfs reach=%d  connector edges=%d  output identical across widths: yes\n"
+    !rows_seg !reach_scratch edges1;
+  if not !smoke then begin
+    let open Kaskade_obs.Report in
+    let json =
+      Obj
+        [ ("graph", Obj [ ("n", Int n); ("m", Int (Graph.n_edges g)) ]);
+          ( "typed_expand_out",
+            Obj
+              [ ("segmented_s", Float t_seg); ("filter_scan_s", Float t_scan);
+                ("rows", Int !rows_seg);
+                ("speedup", Float (if t_seg > 0.0 then t_scan /. t_seg else 0.0)) ] );
+          ( "typed_expand_in",
+            Obj
+              [ ("segmented_s", Float t_in_seg); ("filter_scan_s", Float t_in_scan);
+                ("rows", Int !rows_in_seg);
+                ("speedup", Float (if t_in_seg > 0.0 then t_in_scan /. t_in_seg else 0.0)) ] );
+          ( "bfs_2hop",
+            Obj
+              [ ("scratch_s", Float t_bfs_scratch); ("hashtbl_s", Float t_bfs_ht);
+                ("reach", Int !reach_scratch);
+                ("speedup", Float (if t_bfs_scratch > 0.0 then t_bfs_ht /. t_bfs_scratch else 0.0)) ] );
+          ( "connector_materialize",
+            List
+              (List.map
+                 (fun (w, t, _, edges) ->
+                   Obj [ ("domains", Int w); ("time_s", Float t); ("edges", Int edges) ])
+                 mat_times) ) ]
+    in
+    let oc = open_out "bench_speed.json" in
+    output_string oc (to_string ~pretty:true json);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "baseline written to bench_speed.json\n"
+  end
+
 let all_experiments =
   [ ("table3", table3); ("table4", table4); ("fig5", fig5); ("fig6", fig6); ("fig7", fig7);
     ("fig5k", fig5k); ("fig8", fig8); ("catalog", catalog); ("enum", enum); ("select", select);
-    ("e2e", e2e) ]
+    ("e2e", e2e); ("microbench", microbench) ]

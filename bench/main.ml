@@ -6,9 +6,12 @@
      bench/main.exe --scale 0.5 ... shrink/grow datasets
      bench/main.exe --bechamel      Bechamel micro-benchmarks (one
                                     Test.make per reproduced artifact)
+     bench/main.exe microbench --smoke
+                                    tiny fixture run with hard
+                                    assertions (CI)
 
    Experiment ids: table3 table4 fig5 fig6 fig7 fig8 catalog enum
-   select (see DESIGN.md's experiment index). *)
+   select e2e microbench (see DESIGN.md's experiment index). *)
 
 let bechamel_tests () =
   let open Bechamel in
@@ -87,6 +90,9 @@ let () =
     | [] -> (scale, bechamel, List.rev ids)
     | "--scale" :: v :: rest -> parse (float_of_string v, bechamel, ids) rest
     | "--bechamel" :: rest -> parse (scale, true, ids) rest
+    | "--smoke" :: rest ->
+      Exps.smoke := true;
+      parse (scale, bechamel, ids) rest
     | id :: rest -> parse (scale, bechamel, id :: ids) rest
   in
   let scale, bechamel, selected =

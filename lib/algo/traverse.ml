@@ -1,4 +1,6 @@
 open Kaskade_graph
+module Scratch = Kaskade_util.Scratch
+module Int_vec = Kaskade_util.Int_vec
 
 type dir = Out | In | Both
 
@@ -10,24 +12,32 @@ let iter_neighbors g v dir f =
   | In | Both -> Graph.iter_in g v (fun ~src ~etype:_ ~eid -> f src eid)
   | Out -> ()
 
+(* [dist] is the result, so it is freshly allocated; the frontier
+   queues are scratch vectors reused across calls. *)
 let bfs_levels g ~src ?(dir = Out) ?(max_hops = max_int) () =
   let n = Graph.n_vertices g in
   let dist = Array.make n (-1) in
   dist.(src) <- 0;
-  let frontier = ref [ src ] in
+  Scratch.with_vec @@ fun vec_a ->
+  Scratch.with_vec @@ fun vec_b ->
+  let cur = ref vec_a and next = ref vec_b in
+  Int_vec.push !cur src;
   let hop = ref 0 in
-  while !frontier <> [] && !hop < max_hops do
+  while Int_vec.length !cur > 0 && !hop < max_hops do
     incr hop;
-    let next = ref [] in
-    List.iter
+    Int_vec.clear !next;
+    let nv = !next in
+    Int_vec.iter
       (fun v ->
         iter_neighbors g v dir (fun u _ ->
             if dist.(u) < 0 then begin
               dist.(u) <- !hop;
-              next := u :: !next
+              Int_vec.push nv u
             end))
-      !frontier;
-    frontier := !next
+      !cur;
+    let tmp = !cur in
+    cur := !next;
+    next := tmp
   done;
   dist
 
@@ -56,12 +66,16 @@ let max_timestamp_paths g ~src ~max_hops ~prop =
   let best = Array.make n min_int in
   dist.(src) <- 0;
   best.(src) <- 0;
-  let frontier = ref [ src ] in
+  Scratch.with_vec @@ fun vec_a ->
+  Scratch.with_vec @@ fun vec_b ->
+  let cur = ref vec_a and next = ref vec_b in
+  Int_vec.push !cur src;
   let hop = ref 0 in
-  while !frontier <> [] && !hop < max_hops do
+  while Int_vec.length !cur > 0 && !hop < max_hops do
     incr hop;
-    let next = ref [] in
-    List.iter
+    Int_vec.clear !next;
+    let nv = !next in
+    Int_vec.iter
       (fun v ->
         Graph.iter_out g v (fun ~dst ~etype:_ ~eid ->
             if dist.(dst) < 0 then begin
@@ -70,10 +84,12 @@ let max_timestamp_paths g ~src ~max_hops ~prop =
                 match Graph.eprop g eid prop with Some (Value.Int ts) -> ts | _ -> 0
               in
               best.(dst) <- Stdlib.max best.(v) w;
-              next := dst :: !next
+              Int_vec.push nv dst
             end))
-      !frontier;
-    frontier := !next
+      !cur;
+    let tmp = !cur in
+    cur := !next;
+    next := tmp
   done;
   let out = ref [] in
   for v = n - 1 downto 0 do

@@ -3,6 +3,8 @@ open Kaskade_query
 module Explain = Kaskade_obs.Explain
 module Metrics = Kaskade_obs.Metrics
 module Trace = Kaskade_obs.Trace
+module Scratch = Kaskade_util.Scratch
+module Int_vec = Kaskade_util.Int_vec
 
 (* Process-wide execution metrics (see docs/OBSERVABILITY.md). The
    instruments are resolved once here; updates are single field
@@ -142,98 +144,139 @@ let label_ok g (n : Ast.node_pat) v =
    connector rewrites preserve j -> ... -> j self-pairs). For lo >= 2
    BFS under-approximates (a vertex at distance < lo may still have a
    longer walk), so exact per-level reachable sets are used instead. *)
+(* The neighbor iterator is resolved once per expansion, outside the
+   BFS loops: the typed cases walk their segmented-CSR slice directly
+   (no per-edge [option] match, no filter closure allocation in the
+   inner loop). *)
+let neighbor_iter g ~etype ~(dir : Ast.edge_dir) =
+  match (dir, etype) with
+  | Ast.Fwd, Some et ->
+    fun u f ->
+      Metrics.incr m_expand_steps;
+      Graph.iter_out_etype g u ~etype:et (fun ~dst ~eid:_ -> f dst)
+  | Ast.Fwd, None ->
+    fun u f ->
+      Metrics.incr m_expand_steps;
+      Graph.iter_out g u (fun ~dst ~etype:_ ~eid:_ -> f dst)
+  | Ast.Bwd, Some et ->
+    fun u f ->
+      Metrics.incr m_expand_steps;
+      Graph.iter_in_etype g u ~etype:et (fun ~src:s ~eid:_ -> f s)
+  | Ast.Bwd, None ->
+    fun u f ->
+      Metrics.incr m_expand_steps;
+      Graph.iter_in g u (fun ~src:s ~etype:_ ~eid:_ -> f s)
+
 let var_length_endpoints g ~src ~lo ~hi ~etype ~(dir : Ast.edge_dir) emit =
-  let neighbors u f =
-    Metrics.incr m_expand_steps;
-    match dir with
-    | Ast.Fwd ->
-      Graph.iter_out g u (fun ~dst ~etype:et ~eid:_ ->
-          match etype with
-          | Some want when et <> want -> ()
-          | _ -> f dst)
-    | Ast.Bwd ->
-      Graph.iter_in g u (fun ~src:s ~etype:et ~eid:_ ->
-          match etype with
-          | Some want when et <> want -> ()
-          | _ -> f s)
-  in
-  if lo <= 1 then begin
-    let dist = Hashtbl.create 64 in
-    Hashtbl.add dist src 0;
-    if lo = 0 then emit src 0;
-    let src_emitted = ref (lo = 0) in
-    let frontier = ref [ src ] in
-    let hop = ref 0 in
-    while !frontier <> [] && !hop < hi do
-      incr hop;
-      let next = ref [] in
-      let visit u =
-        neighbors u (fun v ->
-            if v = src && not !src_emitted && !hop >= lo then begin
-              src_emitted := true;
-              emit src !hop
-            end;
-            if not (Hashtbl.mem dist v) then begin
-              Hashtbl.add dist v !hop;
-              if !hop >= lo then emit v !hop;
-              next := v :: !next
-            end)
-      in
-      List.iter visit !frontier;
-      frontier := !next
-    done
-  end
-  else begin
-    (* Exact walk semantics: level.(h) = vertices reachable by a walk
-       of exactly h steps. *)
-    let emitted = Hashtbl.create 64 in
-    let cur = ref (Hashtbl.create 16) in
-    Hashtbl.add !cur src ();
-    (try
-       for h = 1 to hi do
-         let next = Hashtbl.create 32 in
-         Hashtbl.iter (fun u () -> neighbors u (fun v -> Hashtbl.replace next v ())) !cur;
-         if Hashtbl.length next = 0 then raise Exit;
-         if h >= lo then
-           Hashtbl.iter
-             (fun v () ->
-               if not (Hashtbl.mem emitted v) then begin
-                 Hashtbl.add emitted v ();
-                 emit v h
-               end)
-             next;
-         cur := next
-       done
-     with Exit -> ())
-  end
+  let neighbors = neighbor_iter g ~etype ~dir in
+  let n = Graph.n_vertices g in
+  if lo <= 1 then
+    (* Visited set and frontier queues are epoch-stamped scratch
+       buffers borrowed from the domain-local pool: no per-query
+       Hashtbl, no list-cons churn in the BFS inner loop. *)
+    Scratch.with_set ~n @@ fun visited ->
+    Scratch.with_vec @@ fun vec_a ->
+    Scratch.with_vec @@ fun vec_b ->
+    begin
+      Scratch.add visited src;
+      if lo = 0 then emit src 0;
+      let src_emitted = ref (lo = 0) in
+      let cur = ref vec_a and next = ref vec_b in
+      Int_vec.push !cur src;
+      let hop = ref 0 in
+      while Int_vec.length !cur > 0 && !hop < hi do
+        incr hop;
+        Int_vec.clear !next;
+        let visit u =
+          neighbors u (fun v ->
+              if v = src && not !src_emitted && !hop >= lo then begin
+                src_emitted := true;
+                emit src !hop
+              end;
+              if not (Scratch.mem visited v) then begin
+                Scratch.add visited v;
+                if !hop >= lo then emit v !hop;
+                Int_vec.push !next v
+              end)
+        in
+        Int_vec.iter visit !cur;
+        let tmp = !cur in
+        cur := !next;
+        next := tmp
+      done
+    end
+  else
+    (* Exact walk semantics: level h = vertices reachable by a walk of
+       exactly h steps. Level sets are (set, members-vector) pairs so
+       dedupe is O(1) and iteration is in deterministic discovery
+       order. *)
+    Scratch.with_set ~n @@ fun emitted ->
+    Scratch.with_set ~n @@ fun set_a ->
+    Scratch.with_set ~n @@ fun set_b ->
+    Scratch.with_vec @@ fun vec_a ->
+    Scratch.with_vec @@ fun vec_b ->
+    begin
+      let cur_set = ref set_a and cur_vec = ref vec_a in
+      let next_set = ref set_b and next_vec = ref vec_b in
+      Scratch.add !cur_set src;
+      Int_vec.push !cur_vec src;
+      (try
+         for h = 1 to hi do
+           Scratch.clear !next_set;
+           Int_vec.clear !next_vec;
+           let ns = !next_set and nv = !next_vec in
+           Int_vec.iter
+             (fun u ->
+               neighbors u (fun v ->
+                   if not (Scratch.mem ns v) then begin
+                     Scratch.add ns v;
+                     Int_vec.push nv v
+                   end))
+             !cur_vec;
+           if Int_vec.length nv = 0 then raise Exit;
+           if h >= lo then
+             Int_vec.iter
+               (fun v ->
+                 if not (Scratch.mem emitted v) then begin
+                   Scratch.add emitted v;
+                   emit v h
+                 end)
+               nv;
+           let ts = !cur_set and tv = !cur_vec in
+           cur_set := !next_set;
+           cur_vec := !next_vec;
+           next_set := ts;
+           next_vec := tv
+         done
+       with Exit -> ())
+    end
 
 (* All-trails var-length expansion: DFS over distinct-edge trails,
    emitting each endpoint once per trail reaching it. Exponential. *)
 let var_length_trails g ~src ~lo ~hi ~etype ~(dir : Ast.edge_dir) emit =
-  let used = Hashtbl.create 16 in
+  (* Edge iterator resolved once, typed cases slice-walk; the
+     distinct-edge set is an epoch-stamped scratch buffer over edge
+     ids (add on descent, remove on backtrack). *)
+  let iter_step =
+    match (dir, etype) with
+    | Ast.Fwd, Some et ->
+      fun v k -> Graph.iter_out_etype g v ~etype:et (fun ~dst ~eid -> k eid dst)
+    | Ast.Fwd, None -> fun v k -> Graph.iter_out g v (fun ~dst ~etype:_ ~eid -> k eid dst)
+    | Ast.Bwd, Some et ->
+      fun v k -> Graph.iter_in_etype g v ~etype:et (fun ~src:s ~eid -> k eid s)
+    | Ast.Bwd, None -> fun v k -> Graph.iter_in g v (fun ~src:s ~etype:_ ~eid -> k eid s)
+  in
+  Scratch.with_set ~n:(Graph.n_edges g) @@ fun used ->
   let rec dfs v depth =
     Metrics.incr m_expand_steps;
     if depth >= lo then emit v depth;
-    if depth < hi then begin
-      let step eid u =
-        if not (Hashtbl.mem used eid) then begin
-          Hashtbl.add used eid ();
-          dfs u (depth + 1);
-          Hashtbl.remove used eid
-        end
-      in
-      match dir with
-      | Ast.Fwd ->
-        Graph.iter_out g v (fun ~dst ~etype:et ~eid ->
-            match etype with
-            | Some want when et <> want -> ()
-            | _ -> step eid dst)
-      | Ast.Bwd ->
-        Graph.iter_in g v (fun ~src:s ~etype:et ~eid ->
-            match etype with
-            | Some want when et <> want -> ()
-            | _ -> step eid s)
-    end
+    if depth < hi then
+      iter_step v (fun eid u ->
+          if not (Scratch.mem used eid) then begin
+            Scratch.add used eid;
+            dfs u (depth + 1);
+            Scratch.remove used eid
+          end)
   in
   dfs src 0
 
@@ -290,18 +333,22 @@ let eval_match ?prof ctx (mb : Ast.match_block) : Row.table =
         in
         (match e.e_len with
         | Ast.Single -> begin
+          (* Labelled steps walk their typed slice directly instead of
+             filter-scanning the whole adjacency. *)
           let etype = Option.map (Schema.edge_type_id schema) e.e_label in
-          match e.e_dir with
-          | Ast.Fwd ->
-            Graph.iter_out g cur (fun ~dst ~etype:et ~eid ->
-                match etype with
-                | Some want when et <> want -> ()
-                | _ -> accept_vertex ~edge_rval:(Row.E eid) dst)
-          | Ast.Bwd ->
-            Graph.iter_in g cur (fun ~src ~etype:et ~eid ->
-                match etype with
-                | Some want when et <> want -> ()
-                | _ -> accept_vertex ~edge_rval:(Row.E eid) src)
+          match (e.e_dir, etype) with
+          | Ast.Fwd, Some et ->
+            Graph.iter_out_etype g cur ~etype:et (fun ~dst ~eid ->
+                accept_vertex ~edge_rval:(Row.E eid) dst)
+          | Ast.Fwd, None ->
+            Graph.iter_out g cur (fun ~dst ~etype:_ ~eid ->
+                accept_vertex ~edge_rval:(Row.E eid) dst)
+          | Ast.Bwd, Some et ->
+            Graph.iter_in_etype g cur ~etype:et (fun ~src ~eid ->
+                accept_vertex ~edge_rval:(Row.E eid) src)
+          | Ast.Bwd, None ->
+            Graph.iter_in g cur (fun ~src ~etype:_ ~eid ->
+                accept_vertex ~edge_rval:(Row.E eid) src)
         end
         | Ast.Var_length (lo, hi) ->
           let etype = Option.map (Schema.edge_type_id schema) e.e_label in

@@ -4,15 +4,18 @@ type t = {
   schema : Schema.t;
   n : int;
   m : int;
+  nets : int;  (* edge-type count: the stride of the segment indexes *)
   vtype : int array;
   out_off : int array;
   out_dst : int array;
   out_etype : int array;
   out_eid : int array;
+  out_seg : int array;  (* (n*nets + 1) typed segment starts, see below *)
   in_off : int array;
   in_src : int array;
   in_etype : int array;
   in_eid : int array;
+  in_seg : int array;
   e_src : int array;
   e_dst : int array;
   e_type : int array;
@@ -21,6 +24,13 @@ type t = {
   by_type : int array array;
 }
 
+(* Each vertex's CSR segment is sorted by edge type (and by insertion
+   id within a type), and [out_seg]/[in_seg] record where every
+   (vertex, etype) run starts: slot v*nets + t holds the absolute
+   start of vertex v's type-t run, and — runs being contiguous — the
+   next slot holds its end, with the final slot pinned to m. Typed
+   iteration therefore walks exactly deg_t(v) entries instead of
+   filter-scanning the whole adjacency. *)
 let freeze builder =
   let schema = Builder.schema builder in
   let vtypes = Builder.internal_vtypes builder in
@@ -28,33 +38,40 @@ let freeze builder =
   let vprops, eprops = Builder.internal_props builder in
   let n = Int_vec.length vtypes in
   let m = Int_vec.length e_src_v in
+  let nets = Schema.n_edge_types schema in
   let vtype = Int_vec.to_array vtypes in
   let e_src = Int_vec.to_array e_src_v in
   let e_dst = Int_vec.to_array e_dst_v in
   let e_type = Int_vec.to_array e_type_v in
-  (* Counting sort into CSR, both directions. *)
-  let out_off = Array.make (n + 1) 0 in
-  let in_off = Array.make (n + 1) 0 in
+  (* Two-key counting sort into type-segmented CSR, both directions:
+     one count per (vertex, etype) pair, prefix-summed in place. *)
+  let out_seg = Array.make ((n * nets) + 1) 0 in
+  let in_seg = Array.make ((n * nets) + 1) 0 in
   for e = 0 to m - 1 do
-    out_off.(e_src.(e) + 1) <- out_off.(e_src.(e) + 1) + 1;
-    in_off.(e_dst.(e) + 1) <- in_off.(e_dst.(e) + 1) + 1
+    let ty = e_type.(e) in
+    let os = (e_src.(e) * nets) + ty and is_ = (e_dst.(e) * nets) + ty in
+    out_seg.(os + 1) <- out_seg.(os + 1) + 1;
+    in_seg.(is_ + 1) <- in_seg.(is_ + 1) + 1
   done;
-  for v = 1 to n do
-    out_off.(v) <- out_off.(v) + out_off.(v - 1);
-    in_off.(v) <- in_off.(v) + in_off.(v - 1)
+  for i = 1 to n * nets do
+    out_seg.(i) <- out_seg.(i) + out_seg.(i - 1);
+    in_seg.(i) <- in_seg.(i) + in_seg.(i - 1)
   done;
+  let out_off = Array.init (n + 1) (fun v -> out_seg.(v * nets)) in
+  let in_off = Array.init (n + 1) (fun v -> in_seg.(v * nets)) in
   let out_dst = Array.make m 0 and out_etype = Array.make m 0 and out_eid = Array.make m 0 in
   let in_src = Array.make m 0 and in_etype = Array.make m 0 and in_eid = Array.make m 0 in
-  let out_cursor = Array.copy out_off and in_cursor = Array.copy in_off in
+  let out_cursor = Array.sub out_seg 0 (Stdlib.max 1 (n * nets)) in
+  let in_cursor = Array.sub in_seg 0 (Stdlib.max 1 (n * nets)) in
   for e = 0 to m - 1 do
     let s = e_src.(e) and d = e_dst.(e) and ty = e_type.(e) in
-    let oi = out_cursor.(s) in
-    out_cursor.(s) <- oi + 1;
+    let oi = out_cursor.((s * nets) + ty) in
+    out_cursor.((s * nets) + ty) <- oi + 1;
     out_dst.(oi) <- d;
     out_etype.(oi) <- ty;
     out_eid.(oi) <- e;
-    let ii = in_cursor.(d) in
-    in_cursor.(d) <- ii + 1;
+    let ii = in_cursor.((d * nets) + ty) in
+    in_cursor.((d * nets) + ty) <- ii + 1;
     in_src.(ii) <- s;
     in_etype.(ii) <- ty;
     in_eid.(ii) <- e
@@ -73,15 +90,18 @@ let freeze builder =
     schema;
     n;
     m;
+    nets;
     vtype;
     out_off;
     out_dst;
     out_etype;
     out_eid;
+    out_seg;
     in_off;
     in_src;
     in_etype;
     in_eid;
+    in_seg;
     e_src;
     e_dst;
     e_type;
@@ -113,18 +133,43 @@ let iter_in t v f =
     f ~src:t.in_src.(i) ~etype:t.in_etype.(i) ~eid:t.in_eid.(i)
   done
 
+(* [start, stop) of the type-[etype] run of [v]'s adjacency. The run
+   for the last etype of v ends exactly where v+1's first run starts,
+   so [seg.(slot + 1)] is the stop bound for every slot. *)
+let typed_out_slice t v ~etype =
+  let slot = (v * t.nets) + etype in
+  (t.out_seg.(slot), t.out_seg.(slot + 1))
+
+let typed_in_slice t v ~etype =
+  let slot = (v * t.nets) + etype in
+  (t.in_seg.(slot), t.in_seg.(slot + 1))
+
+let typed_out_degree t v ~etype =
+  let lo, hi = typed_out_slice t v ~etype in
+  hi - lo
+
+let typed_in_degree t v ~etype =
+  let lo, hi = typed_in_slice t v ~etype in
+  hi - lo
+
+let out_dst_at t i = t.out_dst.(i)
+let out_eid_at t i = t.out_eid.(i)
+let in_src_at t i = t.in_src.(i)
+let in_eid_at t i = t.in_eid.(i)
+
 let iter_out_etype t v ~etype f =
-  for i = t.out_off.(v) to t.out_off.(v + 1) - 1 do
-    if t.out_etype.(i) = etype then f ~dst:t.out_dst.(i) ~eid:t.out_eid.(i)
+  let lo, hi = typed_out_slice t v ~etype in
+  for i = lo to hi - 1 do
+    f ~dst:t.out_dst.(i) ~eid:t.out_eid.(i)
   done
 
 let iter_in_etype t v ~etype f =
-  for i = t.in_off.(v) to t.in_off.(v + 1) - 1 do
-    if t.in_etype.(i) = etype then f ~src:t.in_src.(i) ~eid:t.in_eid.(i)
+  let lo, hi = typed_in_slice t v ~etype in
+  for i = lo to hi - 1 do
+    f ~src:t.in_src.(i) ~eid:t.in_eid.(i)
   done
 
-let out_neighbors t v =
-  Array.init (out_degree t v) (fun i -> t.out_dst.(t.out_off.(v) + i))
+let out_neighbors t v = Array.sub t.out_dst t.out_off.(v) (out_degree t v)
 
 let iter_edges t f =
   for e = 0 to t.m - 1 do

@@ -2,7 +2,16 @@
     form — the in-memory execution substrate standing in for Neo4j's
     store. Both out- and in-adjacency are materialized so traversals
     run in either direction; edges keep their builder ids so
-    properties survive freezing. *)
+    properties survive freezing.
+
+    Each vertex's adjacency segment is {e type-segmented}: sorted by
+    edge type, with a per-(vertex, etype) offset index in both
+    directions. Typed traversal — the hot path of every connector
+    query (paper §VII) — therefore touches exactly the edges of the
+    requested type ({!iter_out_etype} is O(deg of that type)), and
+    {!typed_out_slice} exposes the contiguous run to callers that want
+    to walk the arrays directly. Within one vertex, edges appear in
+    (etype, insertion id) order. *)
 
 type t
 
@@ -29,9 +38,27 @@ val iter_out : t -> int -> (dst:int -> etype:int -> eid:int -> unit) -> unit
 val iter_in : t -> int -> (src:int -> etype:int -> eid:int -> unit) -> unit
 
 val iter_out_etype : t -> int -> etype:int -> (dst:int -> eid:int -> unit) -> unit
-(** Out-edges restricted to one edge type. *)
+(** Out-edges restricted to one edge type — a contiguous slice walk,
+    O(number of such edges), not a filter over the whole adjacency. *)
 
 val iter_in_etype : t -> int -> etype:int -> (src:int -> eid:int -> unit) -> unit
+
+val typed_out_slice : t -> int -> etype:int -> int * int
+(** [(start, stop)] bounds of the vertex's type-[etype] run in the
+    out-CSR: positions [start..stop-1] are readable through
+    {!out_dst_at}/{!out_eid_at}. *)
+
+val typed_in_slice : t -> int -> etype:int -> int * int
+val typed_out_degree : t -> int -> etype:int -> int
+val typed_in_degree : t -> int -> etype:int -> int
+
+val out_dst_at : t -> int -> int
+(** Destination at an absolute out-CSR position (from
+    {!typed_out_slice}). Unchecked beyond array bounds. *)
+
+val out_eid_at : t -> int -> int
+val in_src_at : t -> int -> int
+val in_eid_at : t -> int -> int
 
 val out_neighbors : t -> int -> int array
 (** Fresh array of destination ids (possibly with duplicates for

@@ -28,14 +28,21 @@ let nearest_rank sorted alpha =
     sorted.(Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)))
   end
 
-let compute g =
+let compute ?pool g =
+  let pool = match pool with Some p -> p | None -> Pool.default () in
   let schema = Graph.schema g in
   let ntypes = Schema.n_vertex_types schema in
+  (* Per-type degree gather + sort is independent per vertex type, so
+     the sweeps fan out over the pool; chunk results concatenate in
+     type order, keeping the output identical at any width. *)
   let sorted_by_type =
-    Array.init ntypes (fun ty ->
-        let degs = Graph.out_degrees_of_type g ty in
-        Array.sort compare degs;
-        degs)
+    Array.concat
+      (Array.to_list
+         (Pool.map_chunks pool ~n:ntypes (fun ~lo ~hi ->
+              Array.init (hi - lo) (fun j ->
+                  let degs = Graph.out_degrees_of_type g (lo + j) in
+                  Array.sort compare degs;
+                  degs))))
   in
   let sorted_global = Graph.all_out_degrees g in
   Array.sort compare sorted_global;
@@ -55,9 +62,19 @@ let compute g =
   let sources =
     List.filter (fun ty -> summaries.(ty).is_source) (List.init ntypes (fun i -> i))
   in
-  let etype_counts = Array.make (Schema.n_edge_types schema) 0 in
-  Graph.iter_edges g (fun ~eid:_ ~src:_ ~dst:_ ~etype ->
-      etype_counts.(etype) <- etype_counts.(etype) + 1);
+  (* Edge-type histogram: per-chunk count arrays over edge-id ranges,
+     summed on the main domain. *)
+  let nets = Schema.n_edge_types schema in
+  let etype_counts = Array.make nets 0 in
+  Array.iter
+    (fun partial -> Array.iteri (fun t c -> etype_counts.(t) <- etype_counts.(t) + c) partial)
+    (Pool.map_chunks pool ~n:(Graph.n_edges g) (fun ~lo ~hi ->
+         let counts = Array.make nets 0 in
+         for e = lo to hi - 1 do
+           let t = Graph.edge_type g e in
+           counts.(t) <- counts.(t) + 1
+         done;
+         counts));
   { n = Graph.n_vertices g; m = Graph.n_edges g; sorted_by_type; sorted_global; summaries; sources;
     etype_counts }
 

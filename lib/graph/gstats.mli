@@ -15,9 +15,12 @@ type type_summary = {
 
 type t
 
-val compute : Graph.t -> t
+val compute : ?pool:Kaskade_util.Pool.t -> Graph.t -> t
 (** Sorts each type's out-degree array once; subsequent percentile
-    queries are O(log n). *)
+    queries are O(log n). The per-type degree sweeps and the
+    edge-type histogram fan out over [pool] (default
+    {!Kaskade_util.Pool.default}); the result is identical at any
+    pool width. *)
 
 val total_vertices : t -> int
 val total_edges : t -> int

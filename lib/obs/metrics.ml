@@ -1,4 +1,14 @@
-type counter = { c_name : string; c_help : string; mutable count : int }
+(* [count] is the main-domain tally, bumped with a plain (unsynchronized)
+   field mutation so the BFS inner loop pays one branch plus one store.
+   Worker domains of a [Kaskade_util.Pool] fan-out land in [pending]
+   via a fetch-and-add; readers merge both, so counts stay exact under
+   parallel materialization without slowing the sequential hot path. *)
+type counter = {
+  c_name : string;
+  c_help : string;
+  mutable count : int;
+  pending : int Atomic.t;
+}
 
 (* Base-2 exponential buckets: value v lands in the bucket whose upper
    bound is the smallest 2^e >= v, for e in [-32, 31] (clamped). Slot 0
@@ -22,12 +32,15 @@ let counter ?(help = "") name =
   match Hashtbl.find_opt counters name with
   | Some c -> c
   | None ->
-    let c = { c_name = name; c_help = help; count = 0 } in
+    let c = { c_name = name; c_help = help; count = 0; pending = Atomic.make 0 } in
     Hashtbl.add counters name c;
     c
 
-let incr ?(by = 1) c = c.count <- c.count + by
-let counter_value c = c.count
+let incr ?(by = 1) c =
+  if Domain.is_main_domain () then c.count <- c.count + by
+  else ignore (Atomic.fetch_and_add c.pending by)
+
+let counter_value c = c.count + Atomic.get c.pending
 
 let histogram ?(help = "") name =
   match Hashtbl.find_opt histograms name with
@@ -71,7 +84,11 @@ let histogram_count h = h.h_count
 let histogram_sum h = h.h_sum
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.count <- 0) counters;
+  Hashtbl.iter
+    (fun _ c ->
+      c.count <- 0;
+      Atomic.set c.pending 0)
+    counters;
   Hashtbl.iter
     (fun _ h ->
       Array.fill h.buckets 0 n_buckets 0;
@@ -86,7 +103,7 @@ let sorted tbl =
 
 let to_json () =
   let counter_fields =
-    sorted counters |> List.map (fun (c : counter) -> (c.c_name, Report.Int c.count))
+    sorted counters |> List.map (fun (c : counter) -> (c.c_name, Report.Int (counter_value c)))
   in
   let histogram_fields =
     sorted histograms

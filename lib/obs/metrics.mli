@@ -15,7 +15,14 @@ type histogram
 val counter : ?help:string -> string -> counter
 (** Register (or fetch, if already registered) the named counter. *)
 
+(** [incr c] on the main domain is a single unsynchronized field
+    mutation (hot-loop cheap). On worker domains (e.g. inside a
+    [Kaskade_util.Pool] fan-out) it is an atomic add into a side cell
+    that {!counter_value} and {!to_json} merge in — counts stay exact
+    under parallel materialization. Histograms have no such merge path
+    and must only be observed from the main domain. *)
 val incr : ?by:int -> counter -> unit
+
 val counter_value : counter -> int
 
 val histogram : ?help:string -> string -> histogram

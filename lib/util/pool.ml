@@ -1,0 +1,57 @@
+type t = { width : int }
+
+let clamp lo hi v = Stdlib.max lo (Stdlib.min hi v)
+
+let default_domains () =
+  match Sys.getenv_opt "KASKADE_DOMAINS" with
+  | Some s -> begin
+    match int_of_string_opt (String.trim s) with
+    | Some n when n > 0 -> clamp 1 64 n
+    | _ -> clamp 1 8 (Domain.recommended_domain_count ())
+  end
+  | None -> clamp 1 8 (Domain.recommended_domain_count ())
+
+let create ?domains () =
+  let width = match domains with Some d -> clamp 1 64 d | None -> default_domains () in
+  { width }
+
+let domains t = t.width
+
+let default_pool = ref None
+
+let default () =
+  match !default_pool with
+  | Some p -> p
+  | None ->
+    let p = create () in
+    default_pool := Some p;
+    p
+
+let map_chunks t ~n f =
+  if n <= 0 then [||]
+  else begin
+    let k = Stdlib.min t.width n in
+    (* Balanced partition: the first [rem] chunks get one extra index. *)
+    let q = n / k and rem = n mod k in
+    let bound i = (i * q) + Stdlib.min i rem in
+    if k = 1 then [| f ~lo:0 ~hi:n |]
+    else begin
+      (* Chunks 1..k-1 run on spawned domains, chunk 0 on the caller.
+         Every domain is joined before returning — even on failure —
+         and the earliest chunk's exception wins, so error behavior is
+         as deterministic as the results. *)
+      let workers =
+        Array.init (k - 1) (fun j ->
+            let i = j + 1 in
+            let lo = bound i and hi = bound (i + 1) in
+            Domain.spawn (fun () -> f ~lo ~hi))
+      in
+      let results = Array.make k (Error Exit) in
+      results.(0) <- (try Ok (f ~lo:0 ~hi:(bound 1)) with e -> Error e);
+      for i = 1 to k - 1 do
+        results.(i) <- (try Ok (Domain.join workers.(i - 1)) with e -> Error e)
+      done;
+      Array.iter (function Error e -> raise e | Ok _ -> ()) results;
+      Array.map (function Ok v -> v | Error _ -> assert false) results
+    end
+  end

@@ -1,0 +1,42 @@
+(** Fixed-width domain pool: deterministic chunked fan-out/merge on
+    top of OCaml 5 [Domain]s.
+
+    A pool fixes how many domains a fan-out may use. [map_chunks]
+    splits an index range [\[0, n)] into at most that many contiguous
+    chunks, evaluates every chunk (chunk 0 on the calling domain, the
+    rest on freshly spawned domains that are joined before returning)
+    and returns the per-chunk results in chunk order. No worker
+    threads outlive the call, so there is nothing to shut down and no
+    interaction with process exit.
+
+    Determinism contract: a caller whose chunk function maps each
+    index [i] in [\[lo, hi)] independently and appends per-index
+    results in index order gets — after concatenating the returned
+    chunks — the exact same sequence for every pool width, including
+    width 1 (fully sequential). The materializer relies on this to
+    make parallel view builds byte-identical to sequential ones.
+
+    Worker domains may update {!Kaskade_obs.Metrics} counters (they
+    take the atomic merge path) and may borrow {!Scratch} buffers
+    (pools are domain-local). *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [domains] defaults to {!default_domains}; values are clamped to
+    [\[1, 64\]]. *)
+
+val domains : t -> int
+
+val default_domains : unit -> int
+(** [KASKADE_DOMAINS] when set to a positive integer, otherwise
+    [Domain.recommended_domain_count ()], capped at 8. *)
+
+val default : unit -> t
+(** Memoized pool of {!default_domains} width. *)
+
+val map_chunks : t -> n:int -> (lo:int -> hi:int -> 'a) -> 'a array
+(** Evaluate [f ~lo ~hi] over a balanced contiguous partition of
+    [\[0, n)]; at most [domains t] chunks, fewer when [n] is small
+    (never an empty chunk; [n = 0] yields [[||]]). Results are in
+    chunk order: concatenating them preserves index order. *)

@@ -1,0 +1,82 @@
+type set = {
+  mutable stamp : int array;  (* stamp.(k) = epoch  <=>  k is a member *)
+  mutable data : int array;   (* payload, meaningful only for members *)
+  mutable epoch : int;
+  mutable card : int;
+}
+
+(* Domain-local free lists: each domain reuses its own buffers without
+   synchronization. *)
+let set_pool : set list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+let vec_pool : Int_vec.t list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
+let ensure_capacity s n =
+  let cap = Array.length s.stamp in
+  if n > cap then begin
+    let cap' = Stdlib.max n (Stdlib.max 64 (2 * cap)) in
+    let stamp' = Array.make cap' 0 and data' = Array.make cap' 0 in
+    Array.blit s.stamp 0 stamp' 0 cap;
+    Array.blit s.data 0 data' 0 cap;
+    s.stamp <- stamp';
+    s.data <- data'
+  end
+
+let fresh_epoch s =
+  if s.epoch = max_int then begin
+    (* Epoch wrap (practically unreachable): hard reset the stamps. *)
+    Array.fill s.stamp 0 (Array.length s.stamp) 0;
+    s.epoch <- 1
+  end
+  else s.epoch <- s.epoch + 1;
+  s.card <- 0
+
+let with_set ~n f =
+  let pool = Domain.DLS.get set_pool in
+  let s =
+    match !pool with
+    | s :: rest ->
+      pool := rest;
+      s
+    | [] -> { stamp = Array.make (Stdlib.max n 64) 0; data = Array.make (Stdlib.max n 64) 0; epoch = 0; card = 0 }
+  in
+  ensure_capacity s n;
+  fresh_epoch s;
+  Fun.protect ~finally:(fun () -> pool := s :: !pool) (fun () -> f s)
+
+let mem s k = s.stamp.(k) = s.epoch
+
+let add s k =
+  if s.stamp.(k) <> s.epoch then begin
+    s.stamp.(k) <- s.epoch;
+    s.card <- s.card + 1
+  end
+
+let remove s k =
+  if s.stamp.(k) = s.epoch then begin
+    s.stamp.(k) <- 0;
+    s.card <- s.card - 1
+  end
+
+let set_value s k v =
+  add s k;
+  s.data.(k) <- v
+
+let value s k =
+  if s.stamp.(k) <> s.epoch then invalid_arg "Scratch.value: not a member";
+  s.data.(k)
+
+let value_or s k ~default = if s.stamp.(k) = s.epoch then s.data.(k) else default
+let cardinal s = s.card
+let clear s = fresh_epoch s
+
+let with_vec f =
+  let pool = Domain.DLS.get vec_pool in
+  let v =
+    match !pool with
+    | v :: rest ->
+      pool := rest;
+      v
+    | [] -> Int_vec.create ~capacity:64 ()
+  in
+  Int_vec.clear v;
+  Fun.protect ~finally:(fun () -> pool := v :: !pool) (fun () -> f v)

@@ -1,0 +1,54 @@
+(** Epoch-stamped scratch buffers for traversal inner loops.
+
+    A BFS/DFS over a graph of [n] vertices needs a visited set (and
+    often a small int payload per visited id) plus frontier queues.
+    Allocating a [Hashtbl] or an [n]-sized array per query is exactly
+    the churn that dominates short traversals, so this module keeps a
+    pool of reusable buffers and makes "clear" O(1): every slot carries
+    the epoch at which it was last written, and borrowing a set bumps
+    the epoch, instantly invalidating all previous entries.
+
+    The pool is domain-local (via [Domain.DLS]): each domain of a
+    {!Pool} fan-out borrows from its own free list, so no
+    synchronization is ever needed and buffers are reused across the
+    many per-source traversals a materialization chunk performs.
+    Borrowing is scoped ([with_set] / [with_vec]) and re-entrant —
+    nested borrows get distinct buffers. *)
+
+type set
+(** A borrowed int-keyed set with an optional int payload per member.
+    Valid only inside the [with_set] callback that produced it. *)
+
+val with_set : n:int -> (set -> 'a) -> 'a
+(** [with_set ~n f] borrows a set accepting keys in [\[0, n)], runs
+    [f] and returns the buffer to the domain-local pool (also on
+    exception). The set starts empty. *)
+
+val mem : set -> int -> bool
+val add : set -> int -> unit
+(** Membership only; any previous payload for the key becomes stale —
+    use {!set_value} when a payload is needed. *)
+
+val remove : set -> int -> unit
+
+val set_value : set -> int -> int -> unit
+(** Adds the key and stores an int payload. *)
+
+val value : set -> int -> int
+(** Payload stored by {!set_value}. Undefined (stale data) if the key
+    was added with plain {!add}; raises [Invalid_argument] if the key
+    is not a member. *)
+
+val value_or : set -> int -> default:int -> int
+(** Payload, or [default] when the key is not a member. *)
+
+val cardinal : set -> int
+(** Number of members currently in the set (O(1)). *)
+
+val clear : set -> unit
+(** Empty the set in O(1) (epoch bump) — for level-set swapping
+    inside one borrow. *)
+
+val with_vec : (Int_vec.t -> 'a) -> 'a
+(** Borrow a cleared growable int vector (frontier queue). Same
+    scoping and pooling rules as [with_set]. *)

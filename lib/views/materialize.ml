@@ -1,4 +1,7 @@
 open Kaskade_graph
+module Pool = Kaskade_util.Pool
+module Scratch = Kaskade_util.Scratch
+module Int_vec = Kaskade_util.Int_vec
 
 type materialized = {
   view : View.t;
@@ -42,128 +45,182 @@ let endpoint_builder g types edge_decls =
     uniq;
   (b, new_of_old)
 
-(* Exact-k forward reachability with path multiplicities: level sets
-   as (vertex -> path count) tables. *)
-let exact_k_reach g ~src ~k ~cost =
-  let cur = Hashtbl.create 16 in
-  Hashtbl.add cur src 1.0;
-  let cur = ref cur in
-  for _ = 1 to k do
-    let next = Hashtbl.create 32 in
-    Hashtbl.iter
-      (fun v cnt ->
-        Graph.iter_out g v (fun ~dst ~etype:_ ~eid:_ ->
-            incr cost;
-            match Hashtbl.find_opt next dst with
-            | Some c -> Hashtbl.replace next dst (c +. cnt)
-            | None -> Hashtbl.add next dst cnt))
-      !cur;
-    cur := next
-  done;
-  !cur
+(* --------------------------------------------------------------- *)
+(* Deterministic parallel per-source fan-out.
 
-let connector_k_hop ?(dedupe = true) ?(with_path_counts = false) g ~src_type ~dst_type ~k =
+   Each connector materialization is "for every source vertex, run a
+   traversal and add the edges it finds". The traversals are
+   independent, so they fan out over a [Pool]: chunk i of the source
+   array fills its own (src, dst, payload) triple buffer on its own
+   domain, and the main domain replays the buffers into the builder in
+   chunk order. A per-source traversal emits in deterministic
+   discovery order, so the replayed edge sequence — and therefore the
+   frozen view — is byte-identical to a width-1 (sequential) run at
+   any pool width. *)
+
+let resolve_pool = function Some p -> p | None -> Pool.default ()
+
+let fan_out_edges pool ~sources ~per_source ~replay =
+  let chunks =
+    Pool.map_chunks pool ~n:(Array.length sources) (fun ~lo ~hi ->
+        let buf = Int_vec.create () in
+        let cost = ref 0 in
+        let emit u w payload =
+          Int_vec.push buf u;
+          Int_vec.push buf w;
+          Int_vec.push buf payload
+        in
+        for i = lo to hi - 1 do
+          per_source ~cost sources.(i) emit
+        done;
+        (buf, !cost))
+  in
+  let total_cost = ref 0 in
+  Array.iter
+    (fun (buf, cost) ->
+      total_cost := !total_cost + cost;
+      let len = Int_vec.length buf in
+      let i = ref 0 in
+      while !i < len do
+        replay (Int_vec.get buf !i) (Int_vec.get buf (!i + 1)) (Int_vec.get buf (!i + 2));
+        i := !i + 3
+      done)
+    chunks;
+  !total_cost
+
+(* Transitive reachability (>= 1 step) from [src] via [iter]: a
+   scratch-buffer BFS over one FIFO queue; emits reached vertices in
+   discovery order, never [src] itself. *)
+let reach_from ~n ~iter ~src ~cost emit =
+  Scratch.with_set ~n @@ fun seen ->
+  Scratch.with_vec @@ fun queue ->
+  Scratch.add seen src;
+  Int_vec.push queue src;
+  let head = ref 0 in
+  while !head < Int_vec.length queue do
+    let v = Int_vec.get queue !head in
+    Stdlib.incr head;
+    iter v (fun dst ->
+        Stdlib.incr cost;
+        if not (Scratch.mem seen dst) then begin
+          Scratch.add seen dst;
+          Int_vec.push queue dst
+        end)
+  done;
+  for i = 1 to Int_vec.length queue - 1 do
+    emit (Int_vec.get queue i)
+  done
+
+(* Exact-k forward reachability with path multiplicities: level sets
+   are (scratch set carrying per-vertex path counts, members vector in
+   discovery order). *)
+let exact_k_reach g ~src ~k ~cost emit =
+  let n = Graph.n_vertices g in
+  Scratch.with_set ~n @@ fun set_a ->
+  Scratch.with_set ~n @@ fun set_b ->
+  Scratch.with_vec @@ fun vec_a ->
+  Scratch.with_vec @@ fun vec_b ->
+  let cur_set = ref set_a and cur_vec = ref vec_a in
+  let next_set = ref set_b and next_vec = ref vec_b in
+  Scratch.set_value !cur_set src 1;
+  Int_vec.push !cur_vec src;
+  for _ = 1 to k do
+    Scratch.clear !next_set;
+    Int_vec.clear !next_vec;
+    let cs = !cur_set and ns = !next_set and nv = !next_vec in
+    Int_vec.iter
+      (fun v ->
+        let cnt = Scratch.value cs v in
+        Graph.iter_out g v (fun ~dst ~etype:_ ~eid:_ ->
+            Stdlib.incr cost;
+            if Scratch.mem ns dst then Scratch.set_value ns dst (Scratch.value ns dst + cnt)
+            else begin
+              Scratch.set_value ns dst cnt;
+              Int_vec.push nv dst
+            end))
+      !cur_vec;
+    let ts = !cur_set and tv = !cur_vec in
+    cur_set := !next_set;
+    cur_vec := !next_vec;
+    next_set := ts;
+    next_vec := tv
+  done;
+  let cs = !cur_set in
+  Int_vec.iter (fun w -> emit w (Scratch.value cs w)) !cur_vec
+
+let connector_k_hop ?(dedupe = true) ?(with_path_counts = false) ?pool g ~src_type ~dst_type ~k =
+  let pool = resolve_pool pool in
   let view = View.Connector (View.K_hop { src_type; dst_type; k }) in
   let edge_name = View.connector_edge_type (View.K_hop { src_type; dst_type; k }) in
   let b, new_of_old =
     endpoint_builder g [ src_type; dst_type ] [ (src_type, edge_name, dst_type) ]
   in
   let dst_ty = Schema.vertex_type_id (Graph.schema g) dst_type in
-  let cost = ref 0 in
-  Array.iter
-    (fun u ->
-      let reach = exact_k_reach g ~src:u ~k ~cost in
-      Hashtbl.iter
-        (fun w cnt ->
-          if Graph.vertex_type g w = dst_ty then begin
-            let props =
-              if with_path_counts then [ ("paths", Value.Int (int_of_float cnt)) ] else []
-            in
-            if dedupe then
-              ignore (Builder.add_edge b ~src:new_of_old.(u) ~dst:new_of_old.(w) ~etype:edge_name ~props ())
-            else
-              for _ = 1 to int_of_float cnt do
-                ignore (Builder.add_edge b ~src:new_of_old.(u) ~dst:new_of_old.(w) ~etype:edge_name ())
-              done
-          end)
-        reach)
-    (Graph.vertices_of_type_name g src_type);
-  { view; graph = Graph.freeze b; new_of_old; build_cost = float_of_int !cost }
+  let per_source ~cost u emit =
+    exact_k_reach g ~src:u ~k ~cost (fun w cnt ->
+        if Graph.vertex_type g w = dst_ty then emit u w cnt)
+  in
+  let cost =
+    fan_out_edges pool ~sources:(Graph.vertices_of_type_name g src_type) ~per_source
+      ~replay:(fun u w cnt ->
+        let props = if with_path_counts then [ ("paths", Value.Int cnt) ] else [] in
+        if dedupe then
+          ignore (Builder.add_edge b ~src:new_of_old.(u) ~dst:new_of_old.(w) ~etype:edge_name ~props ())
+        else
+          for _ = 1 to cnt do
+            ignore (Builder.add_edge b ~src:new_of_old.(u) ~dst:new_of_old.(w) ~etype:edge_name ())
+          done)
+  in
+  { view; graph = Graph.freeze b; new_of_old; build_cost = float_of_int cost }
 
-let connector_same_vertex_type g ~vtype =
+let connector_same_vertex_type ?pool g ~vtype =
+  let pool = resolve_pool pool in
   let view = View.Connector (View.Same_vertex_type { vtype }) in
   let edge_name = View.connector_edge_type (View.Same_vertex_type { vtype }) in
   let b, new_of_old = endpoint_builder g [ vtype ] [ (vtype, edge_name, vtype) ] in
   let ty = Schema.vertex_type_id (Graph.schema g) vtype in
-  let cost = ref 0 in
   let n = Graph.n_vertices g in
-  Array.iter
-    (fun u ->
-      (* BFS transitive reachability. *)
-      let seen = Array.make n false in
-      seen.(u) <- true;
-      let frontier = ref [ u ] in
-      while !frontier <> [] do
-        let next = ref [] in
-        List.iter
-          (fun v ->
-            Graph.iter_out g v (fun ~dst ~etype:_ ~eid:_ ->
-                incr cost;
-                if not seen.(dst) then begin
-                  seen.(dst) <- true;
-                  next := dst :: !next
-                end))
-          !frontier;
-        frontier := !next
-      done;
-      for w = 0 to n - 1 do
-        if seen.(w) && w <> u && Graph.vertex_type g w = ty then
-          ignore (Builder.add_edge b ~src:new_of_old.(u) ~dst:new_of_old.(w) ~etype:edge_name ())
-      done)
-    (Graph.vertices_of_type_name g vtype);
-  { view; graph = Graph.freeze b; new_of_old; build_cost = float_of_int !cost }
+  let iter v f = Graph.iter_out g v (fun ~dst ~etype:_ ~eid:_ -> f dst) in
+  let per_source ~cost u emit =
+    reach_from ~n ~iter ~src:u ~cost (fun w ->
+        if Graph.vertex_type g w = ty then emit u w 0)
+  in
+  let cost =
+    fan_out_edges pool ~sources:(Graph.vertices_of_type_name g vtype) ~per_source
+      ~replay:(fun u w _ ->
+        ignore (Builder.add_edge b ~src:new_of_old.(u) ~dst:new_of_old.(w) ~etype:edge_name ()))
+  in
+  { view; graph = Graph.freeze b; new_of_old; build_cost = float_of_int cost }
 
-let connector_same_edge_type g ~etype =
+let connector_same_edge_type ?pool g ~etype =
+  let pool = resolve_pool pool in
   let view = View.Connector (View.Same_edge_type { etype }) in
   let edge_name = View.connector_edge_type (View.Same_edge_type { etype }) in
   let schema = Graph.schema g in
   let etid = Schema.edge_type_id schema etype in
   let src_type = Schema.vertex_type_name schema (Schema.edge_src schema etid) in
   let dst_type = Schema.vertex_type_name schema (Schema.edge_dst schema etid) in
+  let dst_ty = Schema.vertex_type_id schema dst_type in
   (* Paths of a single edge type require domain = range beyond one
      hop; for heterogeneous edge types this is single-hop closure. *)
   let b, new_of_old =
     endpoint_builder g [ src_type; dst_type ] [ (src_type, edge_name, dst_type) ]
   in
-  let cost = ref 0 in
   let n = Graph.n_vertices g in
-  Array.iter
-    (fun u ->
-      let seen = Array.make n false in
-      seen.(u) <- true;
-      let frontier = ref [ u ] in
-      while !frontier <> [] do
-        let next = ref [] in
-        List.iter
-          (fun v ->
-            Graph.iter_out_etype g v ~etype:etid (fun ~dst ~eid:_ ->
-                incr cost;
-                if not seen.(dst) then begin
-                  seen.(dst) <- true;
-                  next := dst :: !next
-                end))
-          !frontier;
-        frontier := !next
-      done;
-      for w = 0 to n - 1 do
-        if seen.(w) && w <> u && new_of_old.(w) >= 0
-           && Graph.vertex_type_name g w = dst_type then
-          ignore (Builder.add_edge b ~src:new_of_old.(u) ~dst:new_of_old.(w) ~etype:edge_name ())
-      done)
-    (Graph.vertices_of_type_name g src_type);
-  { view; graph = Graph.freeze b; new_of_old; build_cost = float_of_int !cost }
+  let iter v f = Graph.iter_out_etype g v ~etype:etid (fun ~dst ~eid:_ -> f dst) in
+  let per_source ~cost u emit =
+    reach_from ~n ~iter ~src:u ~cost (fun w ->
+        if new_of_old.(w) >= 0 && Graph.vertex_type g w = dst_ty then emit u w 0)
+  in
+  let cost =
+    fan_out_edges pool ~sources:(Graph.vertices_of_type_name g src_type) ~per_source
+      ~replay:(fun u w _ ->
+        ignore (Builder.add_edge b ~src:new_of_old.(u) ~dst:new_of_old.(w) ~etype:edge_name ()))
+  in
+  { view; graph = Graph.freeze b; new_of_old; build_cost = float_of_int cost }
 
-let connector_source_to_sink g =
+let connector_source_to_sink ?pool g =
+  let pool = resolve_pool pool in
   let view = View.Connector View.Source_to_sink in
   let edge_name = View.connector_edge_type View.Source_to_sink in
   let schema = Schema.define ~vertices:[ "V" ] ~edges:[ ("V", edge_name, "V") ] in
@@ -179,32 +236,21 @@ let connector_source_to_sink g =
       new_of_old.(v) <- Builder.add_vertex b ~vtype:"V" ~props ()
     end
   done;
-  let cost = ref 0 in
-  for u = 0 to n - 1 do
-    if Graph.in_degree g u = 0 && Graph.out_degree g u > 0 then begin
-      let seen = Array.make n false in
-      seen.(u) <- true;
-      let frontier = ref [ u ] in
-      while !frontier <> [] do
-        let next = ref [] in
-        List.iter
-          (fun v ->
-            Graph.iter_out g v (fun ~dst ~etype:_ ~eid:_ ->
-                incr cost;
-                if not seen.(dst) then begin
-                  seen.(dst) <- true;
-                  next := dst :: !next
-                end))
-          !frontier;
-        frontier := !next
-      done;
-      for w = 0 to n - 1 do
-        if seen.(w) && w <> u && Graph.out_degree g w = 0 then
-          ignore (Builder.add_edge b ~src:new_of_old.(u) ~dst:new_of_old.(w) ~etype:edge_name ())
-      done
-    end
+  let sources = ref [] in
+  for u = n - 1 downto 0 do
+    if Graph.in_degree g u = 0 && Graph.out_degree g u > 0 then sources := u :: !sources
   done;
-  { view; graph = Graph.freeze b; new_of_old; build_cost = float_of_int !cost }
+  let iter v f = Graph.iter_out g v (fun ~dst ~etype:_ ~eid:_ -> f dst) in
+  let per_source ~cost u emit =
+    reach_from ~n ~iter ~src:u ~cost (fun w ->
+        if Graph.out_degree g w = 0 then emit u w 0)
+  in
+  let cost =
+    fan_out_edges pool ~sources:(Array.of_list !sources) ~per_source
+      ~replay:(fun u w _ ->
+        ignore (Builder.add_edge b ~src:new_of_old.(u) ~dst:new_of_old.(w) ~etype:edge_name ()))
+  in
+  { view; graph = Graph.freeze b; new_of_old; build_cost = float_of_int cost }
 
 (* --------------------------------------------------------------- *)
 (* Summarizers                                                       *)
@@ -338,16 +384,30 @@ let summarize_subgraph_aggregator g view ~agg_prop ~agg =
     members_of_root;
   { view; graph = Graph.freeze b; new_of_old; build_cost = float_of_int (Graph.n_edges g) }
 
-let summarize_ego_aggregator g view ~k ~agg_prop ~agg =
+let summarize_ego_aggregator ?pool g view ~k ~agg_prop ~agg =
+  let pool = resolve_pool pool in
   let schema = Graph.schema g in
   let b = Builder.create schema in
   let n = Graph.n_vertices g in
   let ego_prop = "ego_" ^ String.lowercase_ascii (View.agg_name agg) ^ "_" ^ agg_prop in
   let new_of_old = Array.make n (-1) in
+  (* The k-hop ego aggregate of each vertex is independent, so the
+     BFS sweeps fan out over the pool; only the per-vertex aggregate
+     value crosses back, and the builder is filled sequentially. *)
+  let ego =
+    Array.concat
+      (Array.to_list
+         (Pool.map_chunks pool ~n (fun ~lo ~hi ->
+              Array.init (hi - lo) (fun j ->
+                  let v = lo + j in
+                  let nbors =
+                    Kaskade_algo.Traverse.reachable_within g ~src:v ~max_hops:k
+                      ~dir:Kaskade_algo.Traverse.Both ()
+                  in
+                  aggregate agg (List.map (fun u -> Graph.vprop_or_null g u agg_prop) nbors)))))
+  in
   for v = 0 to n - 1 do
-    let nbors = Kaskade_algo.Traverse.reachable_within g ~src:v ~max_hops:k ~dir:Kaskade_algo.Traverse.Both () in
-    let values = List.map (fun u -> Graph.vprop_or_null g u agg_prop) nbors in
-    let props = (ego_prop, aggregate agg values) :: Graph.vertex_props g v in
+    let props = (ego_prop, ego.(v)) :: Graph.vertex_props g v in
     new_of_old.(v) <- Builder.add_vertex b ~vtype:(Graph.vertex_type_name g v) ~props ()
   done;
   Graph.iter_edges g (fun ~eid ~src ~dst ~etype ->
@@ -364,16 +424,16 @@ let m_materializations =
 let m_materialized_edges =
   Kaskade_obs.Metrics.counter ~help:"Edges across all materialized views" "views.materialized_edges"
 
-let materialize ?(dedupe = true) ?(with_path_counts = false) g view =
+let materialize ?(dedupe = true) ?(with_path_counts = false) ?pool g view =
   Kaskade_obs.Trace.with_span "materialize" ~attrs:[ ("view", View.name view) ]
   @@ fun () ->
   let m =
     match view with
     | View.Connector (View.K_hop { src_type; dst_type; k }) ->
-      connector_k_hop ~dedupe ~with_path_counts g ~src_type ~dst_type ~k
-    | View.Connector (View.Same_vertex_type { vtype }) -> connector_same_vertex_type g ~vtype
-    | View.Connector (View.Same_edge_type { etype }) -> connector_same_edge_type g ~etype
-    | View.Connector View.Source_to_sink -> connector_source_to_sink g
+      connector_k_hop ~dedupe ~with_path_counts ?pool g ~src_type ~dst_type ~k
+    | View.Connector (View.Same_vertex_type { vtype }) -> connector_same_vertex_type ?pool g ~vtype
+    | View.Connector (View.Same_edge_type { etype }) -> connector_same_edge_type ?pool g ~etype
+    | View.Connector View.Source_to_sink -> connector_source_to_sink ?pool g
     | View.Summarizer (View.Vertex_inclusion types) -> summarize_inclusion g view types
     | View.Summarizer (View.Vertex_removal types) ->
       summarize_inclusion g view (complement_vertex_types (Graph.schema g) types)
@@ -385,11 +445,12 @@ let materialize ?(dedupe = true) ?(with_path_counts = false) g view =
     | View.Summarizer (View.Subgraph_aggregator { agg_prop; agg }) ->
       summarize_subgraph_aggregator g view ~agg_prop ~agg
     | View.Summarizer (View.Ego_aggregator { k; agg_prop; agg }) ->
-      summarize_ego_aggregator g view ~k ~agg_prop ~agg
+      summarize_ego_aggregator ?pool g view ~k ~agg_prop ~agg
   in
   Kaskade_obs.Metrics.incr m_materializations;
   Kaskade_obs.Metrics.incr ~by:(Graph.n_edges m.graph) m_materialized_edges;
   m
 
-let k_hop_connector ?dedupe ?with_path_counts g ~src_type ~dst_type ~k =
-  materialize ?dedupe ?with_path_counts g (View.Connector (View.K_hop { src_type; dst_type; k }))
+let k_hop_connector ?dedupe ?with_path_counts ?pool g ~src_type ~dst_type ~k =
+  materialize ?dedupe ?with_path_counts ?pool g
+    (View.Connector (View.K_hop { src_type; dst_type; k }))

@@ -22,17 +22,31 @@ type materialized = {
 }
 
 val materialize :
-  ?dedupe:bool -> ?with_path_counts:bool -> Kaskade_graph.Graph.t -> View.t -> materialized
+  ?dedupe:bool ->
+  ?with_path_counts:bool ->
+  ?pool:Kaskade_util.Pool.t ->
+  Kaskade_graph.Graph.t ->
+  View.t ->
+  materialized
 (** [dedupe] (default [true]) collapses parallel contracted paths into
     one connector edge; with [with_path_counts] the surviving edge
     carries the path multiplicity in an integer [paths] property.
     [dedupe:false] keeps one edge per path — faithful to the paper's
     size analysis, but exponential on dense graphs; prefer counting
-    via [Kaskade_algo.Paths] for sizes. *)
+    via [Kaskade_algo.Paths] for sizes.
+
+    [pool] (default {!Kaskade_util.Pool.default}) fans the per-source
+    traversals of connector views — and the per-vertex ego sweeps of
+    the ego aggregator — out over its domains. Parallelism is
+    {b deterministic}: per-chunk edge buffers are replayed into the
+    output builder in chunk order, so the materialized graph is
+    byte-identical to a sequential ([Pool.create ~domains:1 ()]) run
+    at every pool width. *)
 
 val k_hop_connector :
   ?dedupe:bool ->
   ?with_path_counts:bool ->
+  ?pool:Kaskade_util.Pool.t ->
   Kaskade_graph.Graph.t ->
   src_type:string ->
   dst_type:string ->

@@ -196,6 +196,88 @@ let test_var_length_etype_filter () =
      WRITES_TO out-edges). *)
   check_int "typed var-length" 3 (Row.n_rows t)
 
+(* Random cyclic single-type graph shared by the reference properties. *)
+let random_graph n m seed =
+  let schema = Schema.define ~vertices:[ "V" ] ~edges:[ ("V", "E", "V") ] in
+  let b = Builder.create schema in
+  let rng = Kaskade_util.Prng.create seed in
+  let ids = Array.init n (fun _ -> Builder.add_vertex b ~vtype:"V" ()) in
+  for _ = 1 to m do
+    let s = Kaskade_util.Prng.choose rng ids and d = Kaskade_util.Prng.choose rng ids in
+    ignore (Builder.add_edge b ~src:s ~dst:d ~etype:"E" ())
+  done;
+  Graph.freeze b
+
+let pairs_of_table t =
+  List.sort compare
+    (List.filter_map
+       (fun row ->
+         match (row.(0), row.(1)) with Row.V a, Row.V b -> Some (a, b) | _ -> None)
+       t.Row.rows)
+
+(* The scratch-buffer var-length rewrite vs a naive Hashtbl reference:
+   the qualifying endpoint set is the union, over walk lengths l in
+   [max(1,lo) .. hi], of the exact-l level sets (which also covers the
+   lo<=1 reachability branch and cyclic self-pairs), plus (src, src)
+   when lo = 0. *)
+let prop_var_length_matches_reference =
+  QCheck.Test.make ~name:"var-length endpoints = naive reference" ~count:40
+    QCheck.(quad (2 -- 18) (0 -- 60) (0 -- 2) (0 -- 3))
+    (fun (n, m, lo, extra) ->
+      let hi = Stdlib.max 1 (lo + extra) in
+      let g = random_graph n m (n + (m * 131) + (lo * 7) + extra) in
+      let ctx = Executor.create g in
+      let t = table ctx (Printf.sprintf "MATCH (a)-[r*%d..%d]->(b) RETURN a, b" lo hi) in
+      let expected = ref [] in
+      for src = 0 to n - 1 do
+        let qualifies = Hashtbl.create 16 in
+        if lo = 0 then Hashtbl.replace qualifies src ();
+        let cur = ref (Hashtbl.create 16) in
+        Hashtbl.replace !cur src ();
+        for l = 1 to hi do
+          let next = Hashtbl.create 16 in
+          Hashtbl.iter
+            (fun v () ->
+              Graph.iter_out g v (fun ~dst ~etype:_ ~eid:_ -> Hashtbl.replace next dst ()))
+            !cur;
+          if l >= Stdlib.max 1 lo then
+            Hashtbl.iter (fun v () -> Hashtbl.replace qualifies v ()) next;
+          cur := next
+        done;
+        Hashtbl.iter (fun v () -> expected := (src, v) :: !expected) qualifies
+      done;
+      pairs_of_table t = List.sort compare !expected)
+
+(* All-trails mode vs a naive edge-distinct DFS, multiplicity
+   included. Kept tiny: trail counts grow combinatorially. *)
+let prop_var_length_trails_matches_reference =
+  QCheck.Test.make ~name:"var-length trails = naive DFS reference" ~count:40
+    QCheck.(triple (2 -- 8) (0 -- 14) (1 -- 3))
+    (fun (n, m, hi) ->
+      let lo = 1 in
+      let g = random_graph n m (n + (m * 257) + hi) in
+      let ctx = Executor.create ~mode:Executor.All_trails g in
+      let t = table ctx (Printf.sprintf "MATCH (a)-[r*%d..%d]->(b) RETURN a, b" lo hi) in
+      let expected = ref [] in
+      for src = 0 to n - 1 do
+        let used = Hashtbl.create 16 in
+        let rec dfs v len =
+          if len >= lo then expected := (src, v) :: !expected;
+          if len < hi then
+            Graph.iter_out g v (fun ~dst ~etype:_ ~eid ->
+                if not (Hashtbl.mem used eid) then begin
+                  Hashtbl.replace used eid ();
+                  dfs dst (len + 1);
+                  Hashtbl.remove used eid
+                end)
+        in
+        Graph.iter_out g src (fun ~dst ~etype:_ ~eid ->
+            Hashtbl.replace used eid ();
+            dfs dst 1;
+            Hashtbl.remove used eid)
+      done;
+      pairs_of_table t = List.sort compare !expected)
+
 (* ------------------------------------------------------------------ *)
 (* WHERE / projections / aggregation                                   *)
 
@@ -639,6 +721,8 @@ let () =
           Alcotest.test_case "cycle self-pair" `Quick test_var_length_cycle_self_pair;
           Alcotest.test_case "lo=2 walk semantics" `Quick test_var_length_lo2_walk_semantics;
           Alcotest.test_case "edge-type filter" `Quick test_var_length_etype_filter;
+          QCheck_alcotest.to_alcotest prop_var_length_matches_reference;
+          QCheck_alcotest.to_alcotest prop_var_length_trails_matches_reference;
         ] );
       ( "relational",
         [

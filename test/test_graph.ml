@@ -211,6 +211,59 @@ let prop_csr_roundtrip =
       let norm l = List.sort compare l in
       norm !inserted = norm !from_out && norm !inserted = norm !from_in)
 
+(* Property: on random multi-edge-type graphs, the segmented typed
+   iterators return exactly the multiset the seed's filter-scan
+   (iterate everything, test the type) returns — in both directions —
+   and the typed slices partition each vertex's adjacency. *)
+let prop_typed_iteration_matches_filter_scan =
+  QCheck.Test.make ~name:"typed iteration = filter-scan multiset" ~count:50
+    QCheck.(pair (2 -- 25) (0 -- 150))
+    (fun (n, m) ->
+      let etypes = [ "E0"; "E1"; "E2" ] in
+      let schema =
+        Schema.define ~vertices:[ "V" ] ~edges:(List.map (fun e -> ("V", e, "V")) etypes)
+      in
+      let b = Builder.create schema in
+      let rng = Kaskade_util.Prng.create (n + (m * 7919)) in
+      let ids = Array.init n (fun _ -> Builder.add_vertex b ~vtype:"V" ()) in
+      for _ = 1 to m do
+        let s = Kaskade_util.Prng.choose rng ids and d = Kaskade_util.Prng.choose rng ids in
+        let e = List.nth etypes (Kaskade_util.Prng.int rng 3) in
+        ignore (Builder.add_edge b ~src:s ~dst:d ~etype:e ())
+      done;
+      let g = Graph.freeze b in
+      let norm l = List.sort compare l in
+      let ok = ref true in
+      for t = 0 to 2 do
+        for v = 0 to n - 1 do
+          (* Out-direction: typed walk vs filter over the full list. *)
+          let typed = ref [] and scanned = ref [] in
+          Graph.iter_out_etype g v ~etype:t (fun ~dst ~eid -> typed := (dst, eid) :: !typed);
+          Graph.iter_out g v (fun ~dst ~etype ~eid ->
+              if etype = t then scanned := (dst, eid) :: !scanned);
+          if norm !typed <> norm !scanned then ok := false;
+          if List.length !typed <> Graph.typed_out_degree g v ~etype:t then ok := false;
+          (* In-direction. *)
+          let typed_in = ref [] and scanned_in = ref [] in
+          Graph.iter_in_etype g v ~etype:t (fun ~src ~eid -> typed_in := (src, eid) :: !typed_in);
+          Graph.iter_in g v (fun ~src ~etype ~eid ->
+              if etype = t then scanned_in := (src, eid) :: !scanned_in);
+          if norm !typed_in <> norm !scanned_in then ok := false;
+          if List.length !typed_in <> Graph.typed_in_degree g v ~etype:t then ok := false
+        done
+      done;
+      (* Typed slices partition each vertex's CSR segment. *)
+      for v = 0 to n - 1 do
+        let sum = ref 0 in
+        for t = 0 to 2 do
+          let lo, hi = Graph.typed_out_slice g v ~etype:t in
+          if hi < lo then ok := false;
+          sum := !sum + (hi - lo)
+        done;
+        if !sum <> Graph.out_degree g v then ok := false
+      done;
+      !ok)
+
 (* ------------------------------------------------------------------ *)
 (* Subgraph                                                            *)
 
@@ -377,7 +430,9 @@ let test_vindex_multi_match () =
   Alcotest.(check (list int)) "float key" [ j.(1) ]
     (Vindex.lookup idx ~prop:"CPU" (Value.Float 20.0))
 
-let qcheck_cases = List.map QCheck_alcotest.to_alcotest [ prop_csr_roundtrip; prop_gio_roundtrip_random ]
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_csr_roundtrip; prop_typed_iteration_matches_filter_scan; prop_gio_roundtrip_random ]
 
 let () =
   Alcotest.run "kaskade_graph"

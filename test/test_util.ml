@@ -186,6 +186,133 @@ let test_int_vec_sort () =
   Alcotest.(check (array int)) "sorted" [| 1; 2; 3 |] (Int_vec.to_array v)
 
 (* ------------------------------------------------------------------ *)
+(* Scratch                                                             *)
+
+let test_scratch_set_basic () =
+  Scratch.with_set ~n:100 @@ fun s ->
+  check_bool "initially absent" false (Scratch.mem s 5);
+  Scratch.add s 5;
+  check_bool "mem after add" true (Scratch.mem s 5);
+  check_int "cardinal" 1 (Scratch.cardinal s);
+  Scratch.add s 5;
+  check_int "add is idempotent" 1 (Scratch.cardinal s);
+  Scratch.remove s 5;
+  check_bool "removed" false (Scratch.mem s 5);
+  check_int "cardinal after remove" 0 (Scratch.cardinal s);
+  Scratch.set_value s 7 42;
+  check_int "payload" 42 (Scratch.value s 7);
+  check_int "value_or default" ~-1 (Scratch.value_or s 8 ~default:~-1);
+  Scratch.clear s;
+  check_bool "cleared" false (Scratch.mem s 7);
+  check_int "cardinal after clear" 0 (Scratch.cardinal s)
+
+let test_scratch_borrow_fresh () =
+  (* Populate a borrowed set, return it; the next borrow (which reuses
+     the same underlying buffer) must start empty. *)
+  Scratch.with_set ~n:50 (fun s -> Scratch.add s 3);
+  Scratch.with_set ~n:50 (fun s -> check_bool "fresh borrow is empty" false (Scratch.mem s 3));
+  Scratch.with_vec (fun v -> Int_vec.push v 9);
+  Scratch.with_vec (fun v -> check_int "fresh vec is empty" 0 (Int_vec.length v))
+
+let test_scratch_nested_distinct () =
+  Scratch.with_set ~n:10 @@ fun a ->
+  Scratch.add a 1;
+  Scratch.with_set ~n:10 (fun b ->
+      check_bool "nested borrow is a distinct buffer" false (Scratch.mem b 1);
+      Scratch.add b 2;
+      check_bool "inner add invisible outside" true (Scratch.mem b 2));
+  check_bool "outer set unaffected" false (Scratch.mem a 2);
+  check_bool "outer member survives" true (Scratch.mem a 1)
+
+let test_scratch_grows () =
+  Scratch.with_set ~n:4 (fun s -> Scratch.add s 3);
+  Scratch.with_set ~n:10_000 (fun s ->
+      Scratch.add s 9_999;
+      check_bool "grown capacity" true (Scratch.mem s 9_999))
+
+let test_scratch_value_not_member () =
+  Scratch.with_set ~n:10 @@ fun s ->
+  Alcotest.check_raises "value of non-member" (Invalid_argument "Scratch.value: not a member")
+    (fun () -> ignore (Scratch.value s 3))
+
+let test_scratch_vs_hashtbl_qcheck =
+  QCheck.Test.make ~name:"scratch set tracks a reference Hashtbl" ~count:200
+    QCheck.(list (pair (0 -- 63) bool))
+    (fun ops ->
+      Scratch.with_set ~n:64 @@ fun s ->
+      let ht = Hashtbl.create 16 in
+      List.iter
+        (fun (k, add) ->
+          if add then begin
+            Scratch.add s k;
+            Hashtbl.replace ht k ()
+          end
+          else begin
+            Scratch.remove s k;
+            Hashtbl.remove ht k
+          end)
+        ops;
+      Scratch.cardinal s = Hashtbl.length ht
+      && List.for_all (fun k -> Scratch.mem s k = Hashtbl.mem ht k) (List.init 64 Fun.id))
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+
+let test_pool_partition () =
+  let p = Pool.create ~domains:4 () in
+  let chunks = Pool.map_chunks p ~n:10 (fun ~lo ~hi -> (lo, hi)) in
+  check_int "chunk count" 4 (Array.length chunks);
+  let _ =
+    Array.fold_left
+      (fun expected (lo, hi) ->
+        check_int "contiguous" expected lo;
+        check_bool "non-empty" true (hi > lo);
+        hi)
+      0 chunks
+  in
+  check_int "covers n" 10 (snd chunks.(Array.length chunks - 1))
+
+let test_pool_clamps () =
+  check_int "width >= 1" 1 (Pool.domains (Pool.create ~domains:0 ()));
+  check_int "width <= 64" 64 (Pool.domains (Pool.create ~domains:1000 ()));
+  let p = Pool.create ~domains:8 () in
+  check_int "k capped at n" 3 (Array.length (Pool.map_chunks p ~n:3 (fun ~lo ~hi -> (lo, hi))));
+  check_int "n=0 is empty" 0 (Array.length (Pool.map_chunks p ~n:0 (fun ~lo:_ ~hi:_ -> ())))
+
+let test_pool_deterministic_across_widths () =
+  (* The concatenation of per-chunk results must be independent of the
+     pool width — the contract parallel materialization relies on. *)
+  let work ~lo ~hi = Array.init (hi - lo) (fun j -> (lo + j) * (lo + j)) in
+  let flat w =
+    Array.concat (Array.to_list (Pool.map_chunks (Pool.create ~domains:w ()) ~n:37 work))
+  in
+  let expected = flat 1 in
+  List.iter (fun w -> Alcotest.(check (array int)) "same at any width" expected (flat w)) [ 2; 3; 4; 7 ]
+
+exception Boom of int
+
+let test_pool_exception_propagates () =
+  let p = Pool.create ~domains:4 () in
+  Alcotest.check_raises "earliest chunk's exception" (Boom 1) (fun () ->
+      ignore
+        (Pool.map_chunks p ~n:8 (fun ~lo ~hi:_ ->
+             if lo > 0 then raise (Boom (lo / 2)) else ())))
+
+let test_pool_workers_use_scratch () =
+  (* Scratch pools are domain-local: concurrent borrows on worker
+     domains must not interfere. *)
+  let p = Pool.create ~domains:4 () in
+  let sums =
+    Pool.map_chunks p ~n:4 (fun ~lo ~hi:_ ->
+        Scratch.with_set ~n:100 @@ fun s ->
+        for i = 0 to 99 do
+          if i mod (lo + 2) = 0 then Scratch.add s i
+        done;
+        Scratch.cardinal s)
+  in
+  Alcotest.(check (array int)) "per-domain scratch results" [| 50; 34; 25; 20 |] sums
+
+(* ------------------------------------------------------------------ *)
 (* Heap                                                                *)
 
 let test_heap_ordering () =
@@ -242,7 +369,9 @@ let test_table_render () =
   check_bool "contains row" true
     (String.split_on_char '\n' s |> List.exists (fun line -> String.length line > 0))
 
-let qcheck_cases = List.map QCheck_alcotest.to_alcotest [ test_ccdf_monotone_qcheck; test_heap_sorted_qcheck ]
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ test_ccdf_monotone_qcheck; test_heap_sorted_qcheck; test_scratch_vs_hashtbl_qcheck ]
 
 let () =
   Alcotest.run "kaskade_util"
@@ -280,6 +409,22 @@ let () =
           Alcotest.test_case "bounds" `Quick test_int_vec_bounds;
           Alcotest.test_case "truncate" `Quick test_int_vec_truncate;
           Alcotest.test_case "sort" `Quick test_int_vec_sort;
+        ] );
+      ( "scratch",
+        [
+          Alcotest.test_case "set basics" `Quick test_scratch_set_basic;
+          Alcotest.test_case "borrow starts fresh" `Quick test_scratch_borrow_fresh;
+          Alcotest.test_case "nested borrows distinct" `Quick test_scratch_nested_distinct;
+          Alcotest.test_case "capacity grows" `Quick test_scratch_grows;
+          Alcotest.test_case "value of non-member" `Quick test_scratch_value_not_member;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "partition" `Quick test_pool_partition;
+          Alcotest.test_case "clamps" `Quick test_pool_clamps;
+          Alcotest.test_case "deterministic across widths" `Quick test_pool_deterministic_across_widths;
+          Alcotest.test_case "exception propagates" `Quick test_pool_exception_propagates;
+          Alcotest.test_case "workers use scratch" `Quick test_pool_workers_use_scratch;
         ] );
       ( "heap",
         [ Alcotest.test_case "ordering" `Quick test_heap_ordering ] );

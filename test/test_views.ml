@@ -564,6 +564,60 @@ let prop_khop_matches_bruteforce =
         (Graph.vertices_of_type g job_ty);
       Graph.n_edges m.Materialize.graph = !brute)
 
+(* ------------------------------------------------------------------ *)
+(* Deterministic parallel materialization                              *)
+
+(* Every connector (and the ego summarizer) must serialize
+   byte-identically whether materialized on 1, 2 or 4 domains — the
+   contract that makes the Pool fan-out transparent to catalogs,
+   maintenance and tests. Exercised on all three generator families. *)
+let parallel_test_graphs () =
+  [ ( "prov",
+      Kaskade_gen.Provenance_gen.(generate { default with jobs = 120; files = 240; seed = 5 }),
+      View.Connector (View.K_hop { src_type = "Job"; dst_type = "Job"; k = 2 }) );
+    ( "dblp",
+      Kaskade_gen.Dblp_gen.(generate { default with authors = 150; pubs = 250; venues = 12; seed = 6 }),
+      View.Connector (View.K_hop { src_type = "Author"; dst_type = "Author"; k = 2 }) );
+    ( "powerlaw",
+      Kaskade_gen.Powerlaw_gen.(generate { vertices = 200; edges = 800; exponent = 2.2; seed = 8 }),
+      View.Connector (View.K_hop { src_type = "V"; dst_type = "V"; k = 2 }) ) ]
+
+let materialize_bytes g view ~domains =
+  let pool = Kaskade_util.Pool.create ~domains () in
+  Gio.to_string (Materialize.materialize ~pool g view).Materialize.graph
+
+let test_parallel_khop_byte_identical () =
+  List.iter
+    (fun (name, g, view) ->
+      let seq = materialize_bytes g view ~domains:1 in
+      List.iter
+        (fun d ->
+          check_string (Printf.sprintf "%s @%dd" name d) seq (materialize_bytes g view ~domains:d))
+        [ 2; 4 ])
+    (parallel_test_graphs ())
+
+let test_parallel_other_connectors_byte_identical () =
+  let g = Kaskade_gen.Provenance_gen.(generate { default with jobs = 80; files = 160; seed = 9 }) in
+  List.iter
+    (fun view ->
+      let seq = materialize_bytes g view ~domains:1 in
+      check_string (View.name view ^ " @4d") seq (materialize_bytes g view ~domains:4))
+    [ View.Connector (View.Same_vertex_type { vtype = "Job" });
+      View.Connector (View.Same_edge_type { etype = "WRITES_TO" });
+      View.Connector View.Source_to_sink;
+      View.Summarizer (View.Ego_aggregator { k = 2; agg_prop = "CPU"; agg = View.Agg_sum }) ]
+
+let test_parallel_gstats_identical () =
+  let g = Kaskade_gen.Provenance_gen.(generate { default with jobs = 100; files = 200; seed = 4 }) in
+  let at d =
+    let s = Gstats.compute ~pool:(Kaskade_util.Pool.create ~domains:d ()) g in
+    ( List.map
+        (fun (su : Gstats.type_summary) -> (su.Gstats.type_name, su.Gstats.count, su.Gstats.deg95))
+        (Gstats.summaries s),
+      List.init (Schema.n_edge_types (Graph.schema g)) (fun t -> Gstats.edge_type_count s ~etype:t) )
+  in
+  check_bool "gstats identical at any width" true (at 1 = at 4)
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [ prop_khop_matches_bruteforce; prop_maintain_matches_rebuild; prop_maintain_delete_matches_rebuild ]
@@ -627,6 +681,14 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_catalog_roundtrip;
           Alcotest.test_case "replace" `Quick test_catalog_replace;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "k-hop byte-identical across widths" `Quick
+            test_parallel_khop_byte_identical;
+          Alcotest.test_case "other connectors byte-identical" `Quick
+            test_parallel_other_connectors_byte_identical;
+          Alcotest.test_case "gstats identical" `Quick test_parallel_gstats_identical;
         ] );
       ("properties", qcheck_cases);
     ]
