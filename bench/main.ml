@@ -9,9 +9,14 @@
      bench/main.exe microbench --smoke
                                     tiny fixture run with hard
                                     assertions (CI)
+     bench/main.exe maintenance [--smoke]
+                                    incremental refresh vs full
+                                    rebuild sweep (every refresh
+                                    checked against its rebuild)
 
    Experiment ids: table3 table4 fig5 fig6 fig7 fig8 catalog enum
-   select e2e microbench (see DESIGN.md's experiment index). *)
+   select e2e microbench maintenance (see DESIGN.md's experiment
+   index). *)
 
 let bechamel_tests () =
   let open Bechamel in

@@ -5,6 +5,8 @@
      kaskade_cli select --dataset prov --budget 100000 --query "..."
      kaskade_cli run --dataset prov --query "..." [--no-views] [--profile]
      kaskade_cli explain --dataset prov --query "..." [--json]
+     kaskade_cli update --dataset prov --query "..." --random 32 [-o out.kg]
+     kaskade_cli refresh --dataset prov --query "..." --random 32
      kaskade_cli stats --dataset dblp
 
    Datasets are generated on the fly (deterministic seeds); see
@@ -246,6 +248,143 @@ let explain_cmd =
     Term.(const run $ verbose_arg $ dataset_arg $ edges_arg $ seed_arg $ graph_file_arg
           $ query_arg $ budget_arg $ no_views $ json $ metrics_arg)
 
+(* --op specs: "insert-vertex:TYPE", "insert-edge:SRC:DST:ETYPE",
+   "delete-edge:SRC:DST:ETYPE" (vertex ids as printed by query
+   results; props not settable from the command line). *)
+let op_conv =
+  let parse s =
+    let int_of field v =
+      match int_of_string_opt v with
+      | Some i -> Ok i
+      | None -> Error (`Msg (Printf.sprintf "op %S: %s must be a vertex id, got %S" s field v))
+    in
+    match String.split_on_char ':' s with
+    | [ "insert-vertex"; vtype ] -> Ok (Kaskade.Update.Insert_vertex { vtype; props = [] })
+    | [ "insert-edge"; src; dst; etype ] ->
+      Result.bind (int_of "src" src) (fun src ->
+          Result.bind (int_of "dst" dst) (fun dst ->
+              Ok (Kaskade.Update.Insert_edge { src; dst; etype; props = [] })))
+    | [ "delete-edge"; src; dst; etype ] ->
+      Result.bind (int_of "src" src) (fun src ->
+          Result.bind (int_of "dst" dst) (fun dst ->
+              Ok (Kaskade.Update.Delete_edge { src; dst; etype })))
+    | _ ->
+      Error
+        (`Msg
+          (Printf.sprintf
+             "op %S: expected insert-vertex:TYPE, insert-edge:SRC:DST:ETYPE or \
+              delete-edge:SRC:DST:ETYPE"
+             s))
+  in
+  Arg.conv (parse, Kaskade.Update.pp_op)
+
+let ops_arg =
+  Arg.(value & opt_all op_conv [] & info [ "op" ] ~docv:"OP"
+         ~doc:"Apply this update (repeatable): $(b,insert-vertex:TYPE), \
+               $(b,insert-edge:SRC:DST:ETYPE) or $(b,delete-edge:SRC:DST:ETYPE).")
+
+let random_ops_arg =
+  Arg.(value & opt int 0 & info [ "random" ] ~docv:"N"
+         ~doc:"Also apply N random schema-valid ops (half inserts, half deletes).")
+
+let update_seed_arg =
+  Arg.(value & opt int 7 & info [ "update-seed" ] ~docv:"S" ~doc:"Seed for --random ops.")
+
+let query_opt_arg =
+  Arg.(value & opt (some string) None & info [ "q"; "query" ] ~docv:"QUERY"
+         ~doc:"Materialize views for this query first (knapsack under --budget), so the \
+               update has a catalog to invalidate.")
+
+let collect_ops ks specs random useed =
+  let rand =
+    if random <= 0 then []
+    else
+      Kaskade_gen.Mutate.random_ops ~inserts:((random + 1) / 2) ~deletes:(random / 2) ~seed:useed
+        (Kaskade.graph ks)
+  in
+  specs @ rand
+
+let print_freshness ks =
+  match Kaskade.Update.freshness ks with
+  | [] -> print_endline "catalog: empty"
+  | entries ->
+    List.iter
+      (fun (n, f) -> Printf.printf "  %-26s %s\n" n (Kaskade_views.Catalog.freshness_label f))
+      entries
+
+let print_outcomes = function
+  | [] -> print_endline "nothing to refresh: every view is fresh"
+  | outcomes ->
+    List.iter
+      (fun (o : Kaskade.refresh_outcome) ->
+        Printf.printf "refreshed %-26s %s (%d ops, %.4fs)\n" o.Kaskade.refreshed_view
+          (Kaskade_views.Maintain.describe_strategy o.Kaskade.refresh_strategy)
+          o.Kaskade.refresh_ops o.Kaskade.refresh_seconds)
+      outcomes
+
+let setup_live verbose name edges seed graph_file query budget =
+  setup_logs verbose;
+  let g = load_or_generate graph_file name edges seed in
+  (* Refreshes are driven explicitly from these subcommands. *)
+  let ks = Kaskade.create ~auto_refresh:false g in
+  (match query with
+  | Some qs -> ignore (select_and_materialize ks (parse_or_die qs) budget)
+  | None -> ());
+  ks
+
+let update_cmd =
+  let run verbose name edges seed graph_file query budget specs random useed out metrics =
+    let ks = setup_live verbose name edges seed graph_file query budget in
+    let ops = collect_ops ks specs random useed in
+    if ops = [] then begin
+      Printf.eprintf "nothing to apply: pass --op and/or --random N\n";
+      exit 1
+    end;
+    (try Kaskade.Update.batch ops ks
+     with Invalid_argument msg ->
+       Printf.eprintf "update rejected: %s\n" msg;
+       exit 1);
+    let g' = Kaskade.graph ks in
+    Printf.printf "applied %d ops: %d vertices, %d edges\n" (List.length ops)
+      (Graph.n_vertices g') (Graph.n_edges g');
+    print_freshness ks;
+    (match out with
+    | Some path ->
+      Kaskade_graph.Gio.save g' path;
+      Printf.printf "saved updated graph to %s\n" path
+    | None -> ());
+    dump_metrics metrics
+  in
+  Cmd.v
+    (Cmd.info "update"
+       ~doc:
+         "Apply an update batch through the live overlay, report which materialized views \
+          went stale, and optionally save the updated graph.")
+    Term.(const run $ verbose_arg $ dataset_arg $ edges_arg $ seed_arg $ graph_file_arg
+          $ query_opt_arg $ budget_arg $ ops_arg $ random_ops_arg $ update_seed_arg $ out_arg
+          $ metrics_arg)
+
+let refresh_cmd =
+  let run verbose name edges seed graph_file query budget specs random useed metrics =
+    let ks = setup_live verbose name edges seed graph_file query budget in
+    let ops = collect_ops ks specs random useed in
+    if ops <> [] then begin
+      Kaskade.Update.batch ops ks;
+      Printf.printf "applied %d ops\n" (List.length ops)
+    end;
+    print_freshness ks;
+    print_outcomes (Kaskade.Update.refresh_views ks);
+    dump_metrics metrics
+  in
+  Cmd.v
+    (Cmd.info "refresh"
+       ~doc:
+         "Repair stale materialized views (incrementally where the delta allows, flagged \
+          full rebuild otherwise) and report the strategy, ops absorbed and wall time per \
+          view. Combine with --op/--random to stale the catalog first.")
+    Term.(const run $ verbose_arg $ dataset_arg $ edges_arg $ seed_arg $ graph_file_arg
+          $ query_opt_arg $ budget_arg $ ops_arg $ random_ops_arg $ update_seed_arg $ metrics_arg)
+
 let repl_cmd =
   let run verbose name edges seed graph_file budget =
     setup_logs verbose;
@@ -310,4 +449,14 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ generate_cmd; stats_cmd; enumerate_cmd; select_cmd; run_cmd; explain_cmd; repl_cmd ]))
+          [
+            generate_cmd;
+            stats_cmd;
+            enumerate_cmd;
+            select_cmd;
+            run_cmd;
+            explain_cmd;
+            update_cmd;
+            refresh_cmd;
+            repl_cmd;
+          ]))

@@ -8,6 +8,7 @@ module Rewrite = Rewrite
 open Kaskade_graph
 open Kaskade_views
 open Kaskade_exec
+module Pool = Kaskade_util.Pool
 
 let log_src = Logs.Src.create "kaskade" ~doc:"Kaskade view selection and rewriting"
 
@@ -26,49 +27,81 @@ let m_view_misses =
 let h_query_seconds =
   Metrics.histogram ~help:"End-to-end Kaskade.run wall time (seconds)" "kaskade.query_seconds"
 
+let m_view_refreshes =
+  Metrics.counter ~help:"Materialized view refreshes (incremental or rebuild)"
+    "kaskade.view_refreshes"
+
+let g_stale_views =
+  Metrics.gauge ~help:"Catalog entries currently not Fresh" "kaskade.stale_views"
+
+let h_refresh_seconds =
+  Metrics.histogram ~help:"Per-view refresh wall time (seconds)" "kaskade.refresh_seconds"
+
 type t = {
-  graph : Graph.t;
+  overlay : Graph.Overlay.t;
   schema : Schema.t;
-  stats : Gstats.t;
   catalog : Catalog.t;
   alpha : float;
   mode : Executor.mode;
+  pool : Pool.t option;
+  auto_refresh : bool;
+  compact_threshold : float;
   ctxs : (string, Executor.ctx) Hashtbl.t;  (* "" = base graph *)
   view_stats : (string, Gstats.t) Hashtbl.t;
+  mutable base_stats : (int * Gstats.t) option;  (* keyed by overlay version *)
   mutable last_selection : Selection.t option;
 }
 
 type run_target = Raw | Via_view of string
 
-let create ?(alpha = 95.0) ?(mode = Executor.Distinct_endpoints) graph =
+let create ?(alpha = 95.0) ?(mode = Executor.Distinct_endpoints) ?pool ?(auto_refresh = true)
+    ?(compact_threshold = 0.25) graph =
   {
-    graph;
+    overlay = Graph.Overlay.create graph;
     schema = Graph.schema graph;
-    stats = Gstats.compute graph;
-    catalog = Catalog.create graph;
+    catalog = Catalog.create ();
     alpha;
     mode;
+    pool;
+    auto_refresh;
+    compact_threshold;
     ctxs = Hashtbl.create 8;
     view_stats = Hashtbl.create 8;
+    base_stats = None;
     last_selection = None;
   }
 
-let graph t = t.graph
+let graph t = Graph.Overlay.graph t.overlay
 let schema t = t.schema
-let stats t = t.stats
+
+let stats t =
+  let v = Graph.Overlay.version t.overlay in
+  match t.base_stats with
+  | Some (v', s) when v' = v -> s
+  | _ ->
+    let s = Gstats.compute ?pool:t.pool (graph t) in
+    t.base_stats <- Some (v, s);
+    s
+
 let catalog t = t.catalog
 
 let parse = Kaskade_query.Qparser.parse
+
+let base_ctx t =
+  match Hashtbl.find_opt t.ctxs "" with
+  | Some ctx -> ctx
+  | None ->
+    let ctx = Executor.create_live ~mode:t.mode ~planner:true ?pool:t.pool t.overlay in
+    Hashtbl.add t.ctxs "" ctx;
+    ctx
 
 let ctx_for t name g =
   match Hashtbl.find_opt t.ctxs name with
   | Some ctx -> ctx
   | None ->
-    let ctx = Executor.create ~mode:t.mode ~planner:true g in
+    let ctx = Executor.create ~mode:t.mode ~planner:true ?pool:t.pool g in
     Hashtbl.add t.ctxs name ctx;
     ctx
-
-let base_ctx t = ctx_for t "" t.graph
 
 let view_ctx t name =
   match Catalog.find_by_name t.catalog name with
@@ -79,15 +112,25 @@ let stats_for_view t name g =
   match Hashtbl.find_opt t.view_stats name with
   | Some s -> s
   | None ->
-    let s = Gstats.compute g in
+    let s = Gstats.compute ?pool:t.pool g in
     Hashtbl.add t.view_stats name s;
     s
+
+(* Refreshing (or re-materializing) view [name] invalidates its
+   executor context and statistics. *)
+let drop_view_caches t name =
+  Hashtbl.remove t.ctxs name;
+  Hashtbl.remove t.view_stats name
+
+let update_stale_gauge t =
+  Metrics.set_gauge g_stale_views (float_of_int (Catalog.n_stale t.catalog))
 
 let enumerate_views t q = Enumerate.enumerate t.schema q
 
 let select_views ?solver ?query_weights t ~queries ~budget_edges =
   let sel =
-    Selection.select ~alpha:t.alpha ?solver ?query_weights t.stats t.schema ~queries ~budget_edges
+    Selection.select ~alpha:t.alpha ?solver ?query_weights (stats t) t.schema ~queries
+      ~budget_edges
   in
   Log.info (fun k ->
       k "selection over %d queries (budget %d edges): chose [%s], weight %d"
@@ -99,38 +142,143 @@ let select_views ?solver ?query_weights t ~queries ~budget_edges =
 
 let materialize t view =
   match Catalog.find t.catalog view with
-  | Some entry -> entry
-  | None ->
-    let m = Materialize.materialize t.graph view in
+  | Some entry when entry.Catalog.freshness = Catalog.Fresh -> entry
+  | _ ->
+    let m = Materialize.materialize ?pool:t.pool (graph t) view in
     Log.info (fun k ->
         k "materialized %s: %d vertices, %d edges (cost %.0f)" (View.name view)
           (Graph.n_vertices m.Materialize.graph)
           (Graph.n_edges m.Materialize.graph)
           m.Materialize.build_cost);
     Catalog.add t.catalog m;
-    (* Invalidate any stale per-view state. *)
-    Hashtbl.remove t.ctxs (View.name view);
-    Hashtbl.remove t.view_stats (View.name view);
+    drop_view_caches t (View.name view);
+    update_stale_gauge t;
     Option.get (Catalog.find t.catalog view)
 
 let materialize_selected t (sel : Selection.t) = List.map (materialize t) sel.Selection.chosen
 
+(* Updates & refresh ------------------------------------------------- *)
+
+type refresh_outcome = {
+  refreshed_view : string;
+  refresh_strategy : Maintain.strategy;
+  refresh_ops : int;
+  refresh_seconds : float;
+}
+
+let refresh_entry t (entry : Catalog.entry) =
+  let ops = Catalog.begin_refresh entry in
+  if ops = [] then None
+  else begin
+    let t0 = Trace.now_s () in
+    let base_after = graph t in
+    let m, strategy =
+      Maintain.refresh ?pool:t.pool base_after ~view:entry.Catalog.materialized ~ops
+    in
+    Catalog.finish_refresh t.catalog entry m;
+    let name = View.name m.Materialize.view in
+    drop_view_caches t name;
+    let dt = Trace.now_s () -. t0 in
+    Metrics.incr m_view_refreshes;
+    Metrics.observe h_refresh_seconds dt;
+    update_stale_gauge t;
+    Log.info (fun k ->
+        k "refreshed %s in %.3fs via %s (%d ops)" name dt
+          (Maintain.describe_strategy strategy)
+          (List.length ops));
+    Some
+      {
+        refreshed_view = name;
+        refresh_strategy = strategy;
+        refresh_ops = List.length ops;
+        refresh_seconds = dt;
+      }
+  end
+
+let refresh_views ?names t =
+  let selected =
+    match names with
+    | None -> Catalog.entries t.catalog
+    | Some names ->
+      List.map
+        (fun n ->
+          match Catalog.find_by_name t.catalog n with
+          | Some e -> e
+          | None -> raise Not_found)
+        names
+  in
+  List.filter_map (refresh_entry t) selected
+
+(* Every query-answering entry point funnels through here: with
+   [auto_refresh] stale views are repaired before planning; without
+   it they are left stale and the planner skips them. *)
+let repair t = if t.auto_refresh && Catalog.n_stale t.catalog > 0 then refresh_views t else []
+
+let apply_ops t ops =
+  let effective = Graph.Overlay.apply t.overlay ops in
+  Catalog.mark_stale t.catalog effective;
+  update_stale_gauge t;
+  if Graph.Overlay.needs_compact ~threshold:t.compact_threshold t.overlay then begin
+    Log.info (fun k ->
+        k "compacting overlay (ratio %.3f over threshold %.3f)"
+          (Graph.Overlay.overlay_ratio t.overlay)
+          t.compact_threshold);
+    ignore (Graph.Overlay.compact t.overlay)
+  end;
+  effective
+
+module Update = struct
+  type op = Graph.Overlay.op =
+    | Insert_vertex of { vtype : string; props : (string * Value.t) list }
+    | Insert_edge of { src : int; dst : int; etype : string; props : (string * Value.t) list }
+    | Delete_edge of { src : int; dst : int; etype : string }
+
+  let pp_op = Graph.Overlay.pp_op
+
+  let insert_vertex t ~vtype ?(props = []) () =
+    let id = Graph.Overlay.insert_vertex t.overlay ~vtype ~props () in
+    Catalog.mark_stale t.catalog [ Insert_vertex { vtype; props } ];
+    update_stale_gauge t;
+    id
+
+  let insert_edge t ~src ~dst ~etype ?(props = []) () =
+    ignore (apply_ops t [ Insert_edge { src; dst; etype; props } ])
+
+  let delete_edge t ~src ~dst ~etype =
+    apply_ops t [ Delete_edge { src; dst; etype } ] <> []
+
+  let batch ops t = ignore (apply_ops t ops)
+  let refresh_views = refresh_views
+
+  let freshness t =
+    List.map
+      (fun (e : Catalog.entry) ->
+        (View.name e.Catalog.materialized.Materialize.view, e.Catalog.freshness))
+      (Catalog.entries t.catalog)
+end
+
+(* Planning ---------------------------------------------------------- *)
+
 (* Every materialized view priced against [q]: the rewriting and its
    estimated cost over the view's own stats, or [None] when the view
-   cannot answer the query. *)
+   cannot answer the query — including when it is not [Fresh]: a
+   stale view may be missing (or wrongly containing) exactly the
+   edges the query asks about, so the planner refuses it outright. *)
 let eval_candidates t q =
-  let raw_cost = Cost.eval_cost t.stats t.schema q in
+  let raw_cost = Cost.eval_cost (stats t) t.schema q in
   let cands =
     List.map
       (fun (entry : Catalog.entry) ->
-        let view = entry.materialized.Materialize.view in
-        match Rewrite.rewrite t.schema q view with
-        | Some rw ->
-          let vg = entry.materialized.Materialize.graph in
-          let vstats = stats_for_view t (View.name view) vg in
-          let cost = Cost.eval_cost vstats (Graph.schema vg) rw.Rewrite.rewritten in
-          (entry, Some (rw, cost))
-        | None -> (entry, None))
+        let view = entry.Catalog.materialized.Materialize.view in
+        if entry.Catalog.freshness <> Catalog.Fresh then (entry, None)
+        else
+          match Rewrite.rewrite t.schema q view with
+          | Some rw ->
+            let vg = entry.Catalog.materialized.Materialize.graph in
+            let vstats = stats_for_view t (View.name view) vg in
+            let cost = Cost.eval_cost vstats (Graph.schema vg) rw.Rewrite.rewritten in
+            (entry, Some (rw, cost))
+          | None -> (entry, None))
       (Catalog.entries t.catalog)
   in
   (raw_cost, cands)
@@ -150,6 +298,7 @@ let pick_best raw_cost cands =
     None cands
 
 let best_rewriting t q =
+  ignore (repair t);
   let raw_cost, cands = eval_candidates t q in
   Option.map (fun (rw, entry, _) -> (rw, entry)) (pick_best raw_cost cands)
 
@@ -157,15 +306,25 @@ let run_raw t q = Executor.run (base_ctx t) q
 
 let run_on_view t name q =
   match Catalog.find_by_name t.catalog name with
-  | Some _ -> Executor.run (view_ctx t name) q
+  | Some entry ->
+    (match entry.Catalog.freshness with
+    | Catalog.Fresh -> ()
+    | _ when t.auto_refresh -> ignore (refresh_entry t entry)
+    | f ->
+      invalid_arg
+        (Printf.sprintf "Kaskade.run_on_view: view %s is %s; refresh it first" name
+           (Catalog.freshness_label f)));
+    Executor.run (view_ctx t name) q
   | None -> raise Not_found
 
 let run t q =
   let t0 = Trace.now_s () in
+  ignore (repair t);
+  let raw_cost, cands = eval_candidates t q in
   let out =
-    match best_rewriting t q with
-    | Some (rw, entry) ->
-      let name = View.name entry.materialized.Materialize.view in
+    match pick_best raw_cost cands with
+    | Some (rw, entry, _) ->
+      let name = View.name entry.Catalog.materialized.Materialize.view in
       Log.debug (fun k ->
           k "answering via %s: %s" name (Kaskade_query.Pretty.to_string rw.Rewrite.rewritten));
       Metrics.incr m_view_hits;
@@ -184,6 +343,8 @@ type view_candidate = {
   cand_view : string;
   cand_edges : int;
   cand_cost : float option;
+  cand_freshness : Catalog.freshness;
+  cand_refresh : string option;
 }
 
 type report = {
@@ -191,14 +352,16 @@ type report = {
   raw_cost : float;
   executed : Kaskade_query.Ast.t;
   candidates : view_candidate list;
+  refreshes : refresh_outcome list;
   enum_candidates : string list;
   enum_inference_steps : int;
   selection : Selection.t option;
   plan : Explain.node;
 }
 
-let make_report t q ~target ~raw_cost ~cands ~executed ~plan =
+let make_report t q ~target ~raw_cost ~cands ~refreshes ~executed ~plan =
   let e = Enumerate.enumerate t.schema q in
+  let base_after = graph t in
   {
     target;
     raw_cost;
@@ -206,12 +369,24 @@ let make_report t q ~target ~raw_cost ~cands ~executed ~plan =
     candidates =
       List.map
         (fun ((entry : Catalog.entry), outcome) ->
+          let refresh_decision =
+            match entry.Catalog.freshness with
+            | Catalog.Fresh -> None
+            | Catalog.Stale ops ->
+              Some
+                (Maintain.describe_strategy
+                   (Maintain.plan base_after ~view:entry.Catalog.materialized ~ops))
+            | Catalog.Rebuilding -> Some "refresh in flight"
+          in
           {
-            cand_view = View.name entry.materialized.Materialize.view;
-            cand_edges = Graph.n_edges entry.materialized.Materialize.graph;
+            cand_view = View.name entry.Catalog.materialized.Materialize.view;
+            cand_edges = Graph.n_edges entry.Catalog.materialized.Materialize.graph;
             cand_cost = Option.map snd outcome;
+            cand_freshness = entry.Catalog.freshness;
+            cand_refresh = refresh_decision;
           })
         cands;
+    refreshes;
     enum_candidates =
       List.map (fun (c : Enumerate.candidate) -> View.name c.Enumerate.view) e.Enumerate.candidates;
     enum_inference_steps = e.Enumerate.inference_steps;
@@ -220,23 +395,27 @@ let make_report t q ~target ~raw_cost ~cands ~executed ~plan =
   }
 
 let explain t q =
+  (* Read-only: stale views are reported (with the refresh strategy a
+     repair would use), never repaired. *)
   let raw_cost, cands = eval_candidates t q in
   match pick_best raw_cost cands with
   | Some (rw, entry, _) ->
-    let name = View.name entry.materialized.Materialize.view in
+    let name = View.name entry.Catalog.materialized.Materialize.view in
     let plan = Executor.explain (view_ctx t name) rw.Rewrite.rewritten in
-    make_report t q ~target:(Via_view name) ~raw_cost ~cands ~executed:rw.Rewrite.rewritten ~plan
+    make_report t q ~target:(Via_view name) ~raw_cost ~cands ~refreshes:[]
+      ~executed:rw.Rewrite.rewritten ~plan
   | None ->
     let plan = Executor.explain (base_ctx t) q in
-    make_report t q ~target:Raw ~raw_cost ~cands ~executed:q ~plan
+    make_report t q ~target:Raw ~raw_cost ~cands ~refreshes:[] ~executed:q ~plan
 
 let profile t q =
   let t0 = Trace.now_s () in
+  let refreshes = repair t in
   let raw_cost, cands = eval_candidates t q in
   let result, target, executed, plan =
     match pick_best raw_cost cands with
     | Some (rw, entry, _) ->
-      let name = View.name entry.materialized.Materialize.view in
+      let name = View.name entry.Catalog.materialized.Materialize.view in
       Metrics.incr m_view_hits;
       let result, plan =
         Executor.run_explained ~profile:true (view_ctx t name) rw.Rewrite.rewritten
@@ -248,7 +427,7 @@ let profile t q =
       (result, Raw, q, plan)
   in
   Metrics.observe h_query_seconds (Trace.now_s () -. t0);
-  (result, make_report t q ~target ~raw_cost ~cands ~executed ~plan)
+  (result, make_report t q ~target ~raw_cost ~cands ~refreshes ~executed ~plan)
 
 let pp_report ppf r =
   let open Format in
@@ -257,6 +436,15 @@ let pp_report ppf r =
   | Via_view v -> fprintf ppf "target: materialized view %s@," v);
   fprintf ppf "query: %s@," (Kaskade_query.Pretty.to_string r.executed);
   fprintf ppf "raw-graph cost: %.6g@," r.raw_cost;
+  if r.refreshes <> [] then begin
+    fprintf ppf "refreshed before planning:@,";
+    List.iter
+      (fun o ->
+        fprintf ppf "  %-32s %s in %.3fs (%d ops)@," o.refreshed_view
+          (Maintain.describe_strategy o.refresh_strategy)
+          o.refresh_seconds o.refresh_ops)
+      r.refreshes
+  end;
   if r.candidates = [] then fprintf ppf "rewrite candidates: none materialized@,"
   else begin
     fprintf ppf "rewrite candidates:@,";
@@ -265,10 +453,20 @@ let pp_report ppf r =
         let chosen =
           match r.target with Via_view v when String.equal v c.cand_view -> "  <- chosen" | _ -> ""
         in
+        let freshness =
+          match c.cand_freshness with
+          | Catalog.Fresh -> ""
+          | f -> begin
+            match c.cand_refresh with
+            | Some d -> Printf.sprintf " [%s; would %s]" (Catalog.freshness_label f) d
+            | None -> Printf.sprintf " [%s]" (Catalog.freshness_label f)
+          end
+        in
         match c.cand_cost with
         | Some cost ->
-          fprintf ppf "  %-32s %10d edges   est. cost %.6g%s@," c.cand_view c.cand_edges cost chosen
-        | None -> fprintf ppf "  %-32s %10d edges   not applicable@," c.cand_view c.cand_edges)
+          fprintf ppf "  %-32s %10d edges   est. cost %.6g%s%s@," c.cand_view c.cand_edges cost
+            freshness chosen
+        | None -> fprintf ppf "  %-32s %10d edges   not applicable%s@," c.cand_view c.cand_edges freshness)
       r.candidates
   end;
   fprintf ppf "enumeration: %d candidate views, %d inference steps@,"
@@ -319,6 +517,19 @@ let report_json r =
         | Via_view v -> Obj [ ("kind", Str "view"); ("view", Str v) ] );
       ("raw_cost", num r.raw_cost);
       ("query", Str (Kaskade_query.Pretty.to_string r.executed));
+      ( "refreshes",
+        List
+          (List.map
+             (fun o ->
+               Obj
+                 [
+                   ("view", Str o.refreshed_view);
+                   ("strategy", Str (Maintain.describe_strategy o.refresh_strategy));
+                   ("incremental", Bool (Maintain.incremental o.refresh_strategy));
+                   ("ops", Int o.refresh_ops);
+                   ("seconds", num o.refresh_seconds);
+                 ])
+             r.refreshes) );
       ( "rewrite_candidates",
         List
           (List.map
@@ -328,6 +539,9 @@ let report_json r =
                    ("view", Str c.cand_view);
                    ("edges", Int c.cand_edges);
                    ("est_cost", match c.cand_cost with Some x -> num x | None -> Null);
+                   ("freshness", Str (Catalog.freshness_label c.cand_freshness));
+                   ( "refresh_decision",
+                     match c.cand_refresh with Some d -> Str d | None -> Null );
                  ])
              r.candidates) );
       ( "enumeration",

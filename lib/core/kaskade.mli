@@ -1,6 +1,11 @@
 (** The Kaskade system facade (paper Fig. 2): a graph plus workload
     analyzer (view selection), view enumerator, query rewriter, and
-    execution engine, wired together.
+    execution engine, wired together — over a {e live} graph: the
+    facade owns a [Graph.Overlay] delta layer, so the graph can be
+    mutated through {!Update} and every materialized view is
+    freshness-tracked ({!Kaskade_views.Catalog.freshness}) and
+    repaired incrementally ({!Kaskade_views.Maintain}) before it is
+    allowed to answer a query.
 
     {[
       let ks = Kaskade.create graph in
@@ -10,6 +15,9 @@
       Kaskade.materialize_selected ks sel;
       (* transparently answer from the best materialized view *)
       let result, how = Kaskade.run ks q in
+      (* mutate; views go stale, the next run repairs them first *)
+      Kaskade.Update.batch ops ks;
+      let result', how' = Kaskade.run ks q in
       ...
     ]} *)
 
@@ -29,17 +37,106 @@ type run_target =
   | Via_view of string  (** Answered over the named materialized view. *)
 
 val create :
-  ?alpha:float -> ?mode:Kaskade_exec.Executor.mode -> Kaskade_graph.Graph.t -> t
+  ?alpha:float ->
+  ?mode:Kaskade_exec.Executor.mode ->
+  ?pool:Kaskade_util.Pool.t ->
+  ?auto_refresh:bool ->
+  ?compact_threshold:float ->
+  Kaskade_graph.Graph.t ->
+  t
 (** [alpha] (default 95) parameterizes view-size estimation — the
-    operating point the paper recommends (§VII-D). *)
+    operating point the paper recommends (§VII-D). [pool] is the one
+    domain pool threaded through materialization, graph statistics,
+    and view refresh (default: [Kaskade_util.Pool.default] inside each
+    component). With [auto_refresh] (default [true]) query entry
+    points repair stale views before planning; with [false] they fall
+    back to the base graph and leave views stale until
+    {!Update.refresh_views}. [compact_threshold] (default 0.25) is the
+    overlay ratio past which a batch triggers
+    [Graph.Overlay.compact]. *)
 
 val graph : t -> Kaskade_graph.Graph.t
+(** Current frozen snapshot — base plus any applied updates. Cheap
+    when no update happened since the last call. *)
+
 val schema : t -> Kaskade_graph.Schema.t
+
 val stats : t -> Kaskade_graph.Gstats.t
+(** Statistics of {!graph}, recomputed lazily after updates. *)
+
 val catalog : t -> Kaskade_views.Catalog.t
 
 val parse : string -> Kaskade_query.Ast.t
 (** Parse the hybrid query language (re-export of [Qparser.parse]). *)
+
+(** {1 Updates}
+
+    The mutation API (replaces reaching into [Maintain] by hand: ops
+    go through the facade, which records them against every catalog
+    entry so freshness is never silently wrong). *)
+
+type refresh_outcome = {
+  refreshed_view : string;
+  refresh_strategy : Kaskade_views.Maintain.strategy;
+      (** How the refresh was performed (delta, ego recompute, or
+          flagged full rebuild). *)
+  refresh_ops : int;  (** Ops absorbed by this refresh. *)
+  refresh_seconds : float;
+}
+
+module Update : sig
+  (** Re-export of {!Kaskade_graph.Graph.Overlay.op} so batches can be
+      built without importing graph internals. *)
+  type op = Kaskade_graph.Graph.Overlay.op =
+    | Insert_vertex of { vtype : string; props : (string * Kaskade_graph.Value.t) list }
+    | Insert_edge of {
+        src : int;
+        dst : int;
+        etype : string;
+        props : (string * Kaskade_graph.Value.t) list;
+      }
+    | Delete_edge of { src : int; dst : int; etype : string }
+
+  val pp_op : Format.formatter -> op -> unit
+
+  val insert_vertex :
+    t -> vtype:string -> ?props:(string * Kaskade_graph.Value.t) list -> unit -> int
+  (** Returns the new (stable) vertex id. *)
+
+  val insert_edge :
+    t ->
+    src:int ->
+    dst:int ->
+    etype:string ->
+    ?props:(string * Kaskade_graph.Value.t) list ->
+    unit ->
+    unit
+  (** Schema-checked; raises [Invalid_argument] like
+      [Builder.add_edge]. *)
+
+  val delete_edge : t -> src:int -> dst:int -> etype:string -> bool
+  (** Deletes the first live matching instance; [false] when none
+      matches (nothing changes, views stay fresh). *)
+
+  val batch : op list -> t -> unit
+  (** Apply a batch in order. Failed deletes are dropped; the ops that
+      took effect are recorded against every catalog entry
+      ([Fresh -> Stale], [Stale -> Stale] with the delta appended).
+      May compact the overlay (see [compact_threshold]). *)
+
+  val refresh_views : ?names:string list -> t -> refresh_outcome list
+  (** Repair stale views — incrementally when the delta is
+      expressible, otherwise by flagged full rebuild — and return what
+      was done (fresh views are skipped and absent from the result).
+      [names] restricts to specific views; raises [Not_found] on
+      unknown names. Updates the [kaskade.view_refreshes] /
+      [kaskade.refresh_seconds] / [kaskade.stale_views] metrics. *)
+
+  val freshness : t -> (string * Kaskade_views.Catalog.freshness) list
+  (** Freshness of every catalog entry, sorted by view name. *)
+end
+
+(** {1 Planning and materialization} *)
 
 val enumerate_views : t -> Kaskade_query.Ast.t -> Enumerate.enumeration
 (** Constraint-based view enumeration for one query (§IV). *)
@@ -54,22 +151,26 @@ val select_views :
 (** Workload analysis (§V-B). Does not materialize anything. *)
 
 val materialize : t -> Kaskade_views.View.t -> Kaskade_views.Catalog.entry
-(** Execute a view definition against the base graph and register the
-    result. Idempotent per view name. *)
+(** Execute a view definition against the current graph and register
+    the result as [Fresh]. Idempotent per view name while the entry is
+    [Fresh]; a stale entry is re-materialized from scratch. *)
 
 val materialize_selected : t -> Selection.t -> Kaskade_views.Catalog.entry list
 
 val best_rewriting :
   t -> Kaskade_query.Ast.t -> (Rewrite.rewriting * Kaskade_views.Catalog.entry) option
-(** Among materialized views, the rewriting with the lowest estimated
-    evaluation cost — [None] when no view helps (§V-C). *)
+(** Among materialized {e fresh} views, the rewriting with the lowest
+    estimated evaluation cost — [None] when no view helps (§V-C).
+    Repairs stale views first when [auto_refresh] is on. *)
 
 val run : t -> Kaskade_query.Ast.t -> Kaskade_exec.Executor.result * run_target
 (** View-based evaluation: rewrite over the cheapest applicable
-    materialized view, falling back to the base graph. Updates the
-    process-wide metrics registry ([kaskade.view_hits] /
-    [kaskade.view_misses] counters, [kaskade.query_seconds]
-    histogram — see [Kaskade_obs.Metrics]). *)
+    materialized view, falling back to the base graph. {b Never}
+    answers from a view whose freshness is not [Fresh]: stale views
+    are either repaired first ([auto_refresh]) or passed over in
+    favour of the base graph. Updates the process-wide metrics
+    registry ([kaskade.view_hits] / [kaskade.view_misses] counters,
+    [kaskade.query_seconds] histogram — see [Kaskade_obs.Metrics]). *)
 
 (** {1 EXPLAIN / PROFILE}
 
@@ -80,8 +181,14 @@ type view_candidate = {
   cand_view : string;  (** Materialized view name. *)
   cand_edges : int;  (** Actual size of the materialized view. *)
   cand_cost : float option;
-      (** Estimated cost of the rewritten query over the view;
-          [None] when the view cannot answer the query. *)
+      (** Estimated cost of the rewritten query over the view; [None]
+          when the view cannot answer the query {e or is not fresh}
+          (the planner refuses stale views outright). *)
+  cand_freshness : Kaskade_views.Catalog.freshness;
+  cand_refresh : string option;
+      (** For non-fresh candidates: the refresh strategy a repair
+          would use (from [Maintain.plan]), e.g. ["delta(+3/-1
+          pairs)"] or ["rebuild: ..."]. *)
 }
 
 type report = {
@@ -91,7 +198,11 @@ type report = {
       (** The query actually evaluated: the rewriting when
           [target = Via_view _], the original otherwise. *)
   candidates : view_candidate list;
-      (** Every materialized view considered, in catalog order. *)
+      (** Every materialized view considered, in catalog order, with
+          its freshness. *)
+  refreshes : refresh_outcome list;
+      (** Repairs performed before planning (PROFILE with
+          [auto_refresh] only; EXPLAIN never mutates). *)
   enum_candidates : string list;
       (** View names the enumerator proposes for this query (whether
           or not they are materialized). *)
@@ -104,31 +215,39 @@ type report = {
 }
 
 val explain : t -> Kaskade_query.Ast.t -> report
-(** The plan and rewrite decision for [q], without executing it. *)
+(** The plan and rewrite decision for [q], without executing it.
+    Read-only: stale views are {e reported} (freshness plus the
+    refresh strategy a repair would use) but never repaired, and the
+    reported target is what {!run} would pick with the catalog in this
+    state. *)
 
 val profile : t -> Kaskade_query.Ast.t -> Kaskade_exec.Executor.result * report
 (** Execute [q] exactly as {!run} would (the result is identical) and
     return the plan annotated with per-operator actual rows and wall
-    times. *)
+    times, plus any view repairs that ran first. *)
 
 val pp_report : Format.formatter -> report -> unit
 val report_to_string : report -> string
 
 val report_json : report -> Kaskade_obs.Report.json
-(** Structured form of the whole report, including the plan tree and
-    the selection trace. *)
+(** Structured form of the whole report, including the plan tree, the
+    selection trace, per-candidate freshness and refresh decisions. *)
 
 val run_raw : t -> Kaskade_query.Ast.t -> Kaskade_exec.Executor.result
-(** Always evaluate on the base graph. *)
+(** Always evaluate on the (current) base graph. *)
 
 val run_on_view : t -> string -> Kaskade_query.Ast.t -> Kaskade_exec.Executor.result
 (** Evaluate a (already rewritten) query on a named materialized view.
-    Raises [Not_found] for unknown views. *)
+    Raises [Not_found] for unknown views; a stale view is repaired
+    first under [auto_refresh] and refused ([Invalid_argument])
+    otherwise. *)
 
 val base_ctx : t -> Kaskade_exec.Executor.ctx
-(** The base graph's executor context (analytics state such as Q7's
-    community labels lives here between queries). *)
+(** The base graph's executor context — a {e live} context reading
+    through the overlay (analytics state such as Q7's community labels
+    lives here between queries, and is invalidated by updates). *)
 
 val view_ctx : t -> string -> Kaskade_exec.Executor.ctx
-(** Executor context of a materialized view (persistent per view, so a
-    CALL pipeline like Q7 -> Q8 behaves on views too). *)
+(** Executor context of a materialized view (persistent per view
+    until the view is refreshed, so a CALL pipeline like Q7 -> Q8
+    behaves on views too). *)

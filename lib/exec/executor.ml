@@ -18,29 +18,76 @@ let m_expand_steps =
 
 type mode = Distinct_endpoints | All_trails
 
+(* A context either owns a frozen graph for good, or reads through a
+   [Graph.Overlay]. Live contexts re-derive their graph snapshot (and
+   drop derived caches) whenever the overlay's version moved — queries
+   always observe the latest batch without callers rebuilding
+   contexts. *)
+type source = Frozen | Live of Graph.Overlay.t
+
 type ctx = {
-  g : Graph.t;
+  source : source;
   mode : mode;
   planner : bool;
-  stats : Gstats.t Lazy.t;
-  indexes : Vindex.t Lazy.t;
+  pool : Kaskade_util.Pool.t option;
+  mutable cache_version : int;
+  mutable g : Graph.t;
+  mutable stats : Gstats.t Lazy.t;
+  mutable indexes : Vindex.t Lazy.t;
   mutable communities : int array option;
 }
 
 type result = Table of Row.table | Affected of int
 
-let create ?(mode = Distinct_endpoints) ?(planner = false) g =
+let make ~source ~mode ~planner ~pool ~version g =
   {
-    g;
+    source;
     mode;
     planner;
-    stats = lazy (Gstats.compute g);
+    pool;
+    cache_version = version;
+    g;
+    stats = lazy (Gstats.compute ?pool g);
     indexes = lazy (Vindex.create g);
     communities = None;
   }
-let graph ctx = ctx.g
+
+let create ?(mode = Distinct_endpoints) ?(planner = false) ?pool g =
+  make ~source:Frozen ~mode ~planner ~pool ~version:0 g
+
+let create_live ?(mode = Distinct_endpoints) ?(planner = false) ?pool o =
+  make ~source:(Live o) ~mode ~planner ~pool ~version:(Graph.Overlay.version o)
+    (Graph.Overlay.graph o)
+
+(* Called at every public entry point. Snapshotting is cheap when the
+   overlay is clean (its cached graph is reused); statistics and
+   property indexes stay lazy, so a pure update/read workload never
+   pays for them. Community labels are positional and die with the
+   old snapshot. *)
+let sync ctx =
+  match ctx.source with
+  | Frozen -> ()
+  | Live o ->
+    let v = Graph.Overlay.version o in
+    if v <> ctx.cache_version then begin
+      let g = Graph.Overlay.graph o in
+      let pool = ctx.pool in
+      ctx.cache_version <- v;
+      ctx.g <- g;
+      ctx.stats <- lazy (Gstats.compute ?pool g);
+      ctx.indexes <- lazy (Vindex.create g);
+      ctx.communities <- None
+    end
+
+let graph ctx =
+  sync ctx;
+  ctx.g
+
 let mode ctx = ctx.mode
-let communities ctx = ctx.communities
+
+let communities ctx =
+  sync ctx;
+  ctx.communities
 
 let table_exn = function
   | Table t -> t
@@ -750,13 +797,17 @@ let account result =
   | Affected _ -> ());
   result
 
-let run ctx (q : Ast.t) : result = account (exec_prepared ctx (prepare ctx q))
+let run ctx (q : Ast.t) : result =
+  sync ctx;
+  account (exec_prepared ctx (prepare ctx q))
 
 let explain ctx (q : Ast.t) =
+  sync ctx;
   let q = prepare ctx q in
   Cost.plan (Lazy.force ctx.stats) (Graph.schema ctx.g) q
 
 let run_explained ?(profile = false) ctx (q : Ast.t) =
+  sync ctx;
   let q = prepare ctx q in
   let plan = Cost.plan (Lazy.force ctx.stats) (Graph.schema ctx.g) q in
   let prof = if profile then Some plan else None in

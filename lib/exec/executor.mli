@@ -23,12 +23,28 @@ type result =
   | Affected of int  (** CALL procedures that update state report how
       many entities they touched. *)
 
-val create : ?mode:mode -> ?planner:bool -> Kaskade_graph.Graph.t -> ctx
+val create :
+  ?mode:mode -> ?planner:bool -> ?pool:Kaskade_util.Pool.t -> Kaskade_graph.Graph.t -> ctx
 (** [planner] (default false) runs [Planner.optimize] on every query
     before evaluation — same results, anchored at the most selective
-    node. *)
+    node. [pool] is forwarded to the lazily computed graph statistics
+    ([Gstats.compute]); the facade plumbs one pool through
+    materialization, statistics and refresh so parallelism is decided
+    in one place. *)
+
+val create_live :
+  ?mode:mode -> ?planner:bool -> ?pool:Kaskade_util.Pool.t -> Kaskade_graph.Graph.Overlay.t -> ctx
+(** A context that reads {e through} the overlay: every entry point
+    first checks [Graph.Overlay.version] and, when the overlay moved,
+    swaps in a fresh snapshot ([Graph.Overlay.graph] — cached by the
+    overlay, so clean overlays cost nothing) and invalidates derived
+    caches (statistics, property indexes, community labels). Queries
+    therefore always observe the latest applied batch. *)
 
 val graph : ctx -> Kaskade_graph.Graph.t
+(** The graph the next query will run against (the current overlay
+    snapshot for live contexts). *)
+
 val mode : ctx -> mode
 
 val run : ctx -> Kaskade_query.Ast.t -> result

@@ -1,0 +1,51 @@
+open Kaskade_graph
+module Prng = Kaskade_util.Prng
+
+let random_ops ?(inserts = 8) ?(deletes = 8) ~seed g =
+  let rng = Prng.create seed in
+  let schema = Graph.schema g in
+  (* Edge types usable for inserts: both endpoint types populated. *)
+  let usable =
+    List.filter
+      (fun (d : Schema.edge_def) ->
+        Array.length (Graph.vertices_of_type_name g d.Schema.src) > 0
+        && Array.length (Graph.vertices_of_type_name g d.Schema.dst) > 0)
+      (Schema.edge_defs schema)
+  in
+  let usable = Array.of_list usable in
+  let ins =
+    if Array.length usable = 0 then []
+    else
+      List.init inserts (fun _ ->
+          let d = Prng.choose rng usable in
+          Graph.Overlay.Insert_edge
+            {
+              src = Prng.choose rng (Graph.vertices_of_type_name g d.Schema.src);
+              dst = Prng.choose rng (Graph.vertices_of_type_name g d.Schema.dst);
+              etype = d.Schema.name;
+              props = [];
+            })
+  in
+  let m = Graph.n_edges g in
+  let deletes = Stdlib.min deletes m in
+  let dels =
+    if deletes = 0 then []
+    else begin
+      (* Distinct victim eids via a partial Fisher-Yates over [0, m). *)
+      let eids = Array.init m Fun.id in
+      for i = 0 to deletes - 1 do
+        let j = i + Prng.int rng (m - i) in
+        let t = eids.(i) in
+        eids.(i) <- eids.(j);
+        eids.(j) <- t
+      done;
+      List.init deletes (fun i ->
+          let eid = eids.(i) in
+          let src, dst = Graph.edge_endpoints g eid in
+          Graph.Overlay.Delete_edge
+            { src; dst; etype = Schema.edge_type_name schema (Graph.edge_type g eid) })
+    end
+  in
+  let ops = Array.of_list (ins @ dels) in
+  Prng.shuffle rng ops;
+  Array.to_list ops

@@ -1,0 +1,27 @@
+(** Deterministic random update batches for a frozen graph — the
+    workload side of the live-update subsystem: property tests and the
+    maintenance benchmark need schema-valid op streams whose insert and
+    delete interleavings are reproducible from a seed. *)
+
+val random_ops :
+  ?inserts:int ->
+  ?deletes:int ->
+  seed:int ->
+  Kaskade_graph.Graph.t ->
+  Kaskade_graph.Graph.Overlay.op list
+(** [random_ops ?inserts ?deletes ~seed g] — a shuffled batch of
+    [inserts] (default 8) schema-valid edge inserts and [deletes]
+    (default 8) edge deletes against [g]:
+
+    - inserts pick a uniform edge type whose domain and range both
+      have vertices in [g], then uniform endpoints of those types;
+    - deletes target {e distinct} random existing edge ids (converted
+      to their [(src, dst, etype)] key), so applying the batch through
+      [Graph.Overlay.apply] performs every delete — except when an
+      earlier delete in the shuffle already consumed an instance of a
+      duplicated key, which is exactly the multiset semantics the
+      maintenance property tests want to exercise.
+
+    Fewer deletes than requested are produced when [g] has fewer
+    edges; inserts are dropped when no edge type is usable (e.g. an
+    edgeless schema). Equal seeds yield equal batches. *)

@@ -19,6 +19,33 @@ val freeze : Builder.t -> t
 (** O(V + E). The builder may keep being used afterwards; the frozen
     graph shares property tables but copies topology. *)
 
+val splice :
+  t ->
+  ?new_vertices:(int * (string * Value.t) list) array ->
+  keep_eid:(int -> bool) ->
+  add_edges:(int * int * int * (string * Value.t) list) array ->
+  unit ->
+  t
+(** Array-level edge surgery, the fast path of incremental view
+    maintenance ({!Kaskade_views.Maintain}): a new graph whose edges
+    are this graph's edges with [keep_eid e = true], in eid order and
+    renumbered compactly, followed by [add_edges] — [(src, dst, etype
+    id, props)] — in order. [new_vertices] ([(vtype id, props)])
+    append at ids [n_vertices], [n_vertices + 1], ... Edge properties
+    follow their surviving edge. O(V + E) with array-copy constants —
+    no Builder round-trip — and when [new_vertices] is empty the
+    vertex arrays and property store are shared physically with the
+    input (frozen graphs are never mutated, so sharing is safe).
+    Raises [Invalid_argument] on out-of-range endpoints or type
+    ids. *)
+
+val with_vprop_column : t -> string -> Value.t array -> t
+(** A graph sharing this one's entire topology (physically) with
+    vertex property [key] replaced by [values.(v)] for every vertex —
+    how ego-aggregator refreshes update their per-vertex aggregates
+    without re-freezing. [values] must have length [n_vertices];
+    raises [Invalid_argument] otherwise. *)
+
 val schema : t -> Schema.t
 val n_vertices : t -> int
 val n_edges : t -> int
@@ -88,3 +115,133 @@ val all_out_degrees : t -> int array
 
 val pp_summary : Format.formatter -> t -> unit
 (** One-line [|V|, |E|] plus per-type counts. *)
+
+(** Delta overlay: a thin mutable layer of pending vertex inserts,
+    edge inserts and edge deletes over a frozen CSR base — the update
+    path the paper defers to future work (§IX). Reads merge the base's
+    type-segmented slices with the overlay's per-vertex delta lists;
+    when the overlay grows past a threshold, {!Overlay.compact}
+    re-freezes everything into a new base.
+
+    Id discipline:
+    - Vertex ids are {e stable}: base vertices keep their ids forever,
+      inserted vertices get ids [n_vertices base + i] and keep them
+      across compaction. View catalogs may therefore hold
+      [new_of_old] maps across updates.
+    - Edge ids are stable {e between} compactions only: pending edges
+      read as [n_edges base + i], and compaction renumbers all edges
+      densely. Do not hold eids across {!Overlay.compact}.
+
+    Vertex deletion is intentionally unsupported (it would either
+    renumber ids — invalidating every catalog mapping — or leave typed
+    tombstones visible to scans). Model vertex removal as deleting the
+    vertex's edges, or use a vertex-removal summarizer view. *)
+module Overlay : sig
+  type graph := t
+
+  type t
+
+  (** One pending mutation. [Delete_edge] removes the first live
+      matching [(src, dst, etype)] instance in edge-id order —
+      multiset semantics, so repeated deletes peel off parallel
+      edges one at a time. *)
+  type op =
+    | Insert_vertex of { vtype : string; props : (string * Value.t) list }
+    | Insert_edge of { src : int; dst : int; etype : string; props : (string * Value.t) list }
+    | Delete_edge of { src : int; dst : int; etype : string }
+
+  val pp_op : Format.formatter -> op -> unit
+
+  val create : graph -> t
+  (** An empty overlay; reads pass straight through to the base. *)
+
+  val base : t -> graph
+  (** The frozen graph beneath the deltas (advances on {!compact}). *)
+
+  val schema : t -> Schema.t
+
+  val version : t -> int
+  (** Bumped by every successful mutation. Caches keyed on the version
+      (executor contexts, statistics) stay valid while it is equal. *)
+
+  (** {2 Mutation} *)
+
+  val insert_vertex : t -> vtype:string -> ?props:(string * Value.t) list -> unit -> int
+  (** Returns the new vertex id ([n_vertices] before the insert).
+      Raises [Invalid_argument] on an unknown vertex type. *)
+
+  val insert_edge : t -> src:int -> dst:int -> etype:string -> ?props:(string * Value.t) list -> unit -> unit
+  (** Schema-checked like [Builder.add_edge]: raises
+      [Invalid_argument] when the edge type is unknown, an endpoint id
+      is out of range, or domain/range do not match. *)
+
+  val delete_edge : t -> src:int -> dst:int -> etype:string -> bool
+  (** Delete the first live matching instance (base edges in eid
+      order, then pending inserts in insertion order). [false] when no
+      live instance matches (the overlay is unchanged). *)
+
+  val apply : t -> op list -> op list
+  (** Apply a batch in order and return the ops that took effect —
+      failed deletes are dropped, so the result is exactly the delta
+      the views must absorb ({!Kaskade_views.Maintain}). *)
+
+  (** {2 Merged reads}
+
+      Same contracts as the eponymous {!Graph} functions, with deleted
+      base edges filtered out and pending edges appended after the
+      base slice (in insertion order). *)
+
+  val n_vertices : t -> int
+  val n_edges : t -> int
+  val vertex_type : t -> int -> int
+  val vertex_type_name : t -> int -> string
+  val out_degree : t -> int -> int
+  val in_degree : t -> int -> int
+  val iter_out : t -> int -> (dst:int -> etype:int -> eid:int -> unit) -> unit
+  val iter_in : t -> int -> (src:int -> etype:int -> eid:int -> unit) -> unit
+
+  val iter_out_etype : t -> int -> etype:int -> (dst:int -> eid:int -> unit) -> unit
+  (** The base's contiguous typed slice, minus deletions, then the
+      vertex's pending edges of that type. *)
+
+  val iter_in_etype : t -> int -> etype:int -> (src:int -> eid:int -> unit) -> unit
+  val typed_out_degree : t -> int -> etype:int -> int
+  val typed_in_degree : t -> int -> etype:int -> int
+
+  val vertex_props : t -> int -> (string * Value.t) list
+  val vprop_or_null : t -> int -> string -> Value.t
+  val edge_props : t -> int -> (string * Value.t) list
+  (** Edge property reads accept merged eids (pending edges included)
+      valid since the last compaction. *)
+
+  (** {2 Snapshots and compaction} *)
+
+  val graph : t -> graph
+  (** A frozen graph equal to base + deltas. Cached per {!version}
+      (and the base itself when the overlay is clean), so repeated
+      calls between mutations are free. Batch updates before
+      querying: every mutation invalidates the snapshot. *)
+
+  val pending_vertices : t -> int
+  val pending_edges : t -> int
+  (** Live pending inserts (inserts later deleted do not count). *)
+
+  val deleted_edges : t -> int
+  val pending_ops : t -> int
+  (** Total overlay volume: pending vertices + live pending edges +
+      base deletions. *)
+
+  val overlay_ratio : t -> float
+  (** [pending_ops / max 1 (n_edges base)] — the compaction signal. *)
+
+  val needs_compact : ?threshold:float -> t -> bool
+  (** [overlay_ratio > threshold] (default [0.25]). *)
+
+  val compact : t -> graph
+  (** Re-freeze base + deltas into a new base and clear the overlay.
+      Vertex ids are preserved; edge ids renumber. Returns the new
+      base. O(V + E); no-op when the overlay is clean. *)
+
+  val maybe_compact : ?threshold:float -> t -> bool
+  (** {!compact} iff {!needs_compact}; [true] when it ran. *)
+end

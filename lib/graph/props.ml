@@ -25,6 +25,20 @@ let column_size t key = match Hashtbl.find_opt t key with Some col -> Hashtbl.le
 let iter_column t key f =
   match Hashtbl.find_opt t key with Some col -> Hashtbl.iter f col | None -> ()
 
+let remap t f =
+  let t' : t = Hashtbl.create (Stdlib.max 8 (Hashtbl.length t)) in
+  Hashtbl.iter
+    (fun key col ->
+      let col' = Hashtbl.create (Stdlib.max 16 (Hashtbl.length col)) in
+      Hashtbl.iter
+        (fun id v ->
+          let id' = f id in
+          if id' >= 0 then Hashtbl.replace col' id' v)
+        col;
+      Hashtbl.add t' key col')
+    t;
+  t'
+
 let entity_props t id =
   Hashtbl.fold
     (fun key col acc -> match Hashtbl.find_opt col id with Some v -> (key, v) :: acc | None -> acc)

@@ -14,6 +14,12 @@ val column_size : t -> string -> int
 (** Number of entities carrying the property; 0 if unknown. *)
 
 val iter_column : t -> string -> (int -> Value.t -> unit) -> unit
+
+val remap : t -> (int -> int) -> t
+(** A fresh store holding every entry re-keyed through the mapping;
+    entries mapped to a negative id are dropped. The input is not
+    modified. *)
+
 val entity_props : t -> int -> (string * Value.t) list
 (** All properties of one entity, sorted by name (slow path, for
     display and tests). *)

@@ -25,8 +25,14 @@ type histogram = {
   mutable h_max : float;
 }
 
+(* Set-semantics instrument for levels (stale view count, overlay
+   ratio): the last write wins, unlike a counter's accumulation. Main
+   domain only. *)
+type gauge = { g_name : string; g_help : string; mutable g_value : float }
+
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 32
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 32
 
 let counter ?(help = "") name =
   match Hashtbl.find_opt counters name with
@@ -83,6 +89,17 @@ let observe h v =
 let histogram_count h = h.h_count
 let histogram_sum h = h.h_sum
 
+let gauge ?(help = "") name =
+  match Hashtbl.find_opt gauges name with
+  | Some g -> g
+  | None ->
+    let g = { g_name = name; g_help = help; g_value = 0.0 } in
+    Hashtbl.add gauges name g;
+    g
+
+let set_gauge g v = g.g_value <- v
+let gauge_value g = g.g_value
+
 let reset () =
   Hashtbl.iter
     (fun _ c ->
@@ -96,7 +113,8 @@ let reset () =
       h.h_sum <- 0.0;
       h.h_min <- Float.infinity;
       h.h_max <- Float.neg_infinity)
-    histograms
+    histograms;
+  Hashtbl.iter (fun _ g -> g.g_value <- 0.0) gauges
 
 let sorted tbl =
   Hashtbl.fold (fun _ v acc -> v :: acc) tbl [] |> List.sort compare
@@ -130,5 +148,10 @@ let to_json () =
                    else Report.num (h.h_sum /. float_of_int h.h_count) );
                  ("buckets", Report.List buckets) ] ))
   in
+  let gauge_fields =
+    sorted gauges |> List.map (fun (g : gauge) -> (g.g_name, Report.num g.g_value))
+  in
   Report.Obj
-    [ ("counters", Report.Obj counter_fields); ("histograms", Report.Obj histogram_fields) ]
+    [ ("counters", Report.Obj counter_fields);
+      ("gauges", Report.Obj gauge_fields);
+      ("histograms", Report.Obj histogram_fields) ]

@@ -11,6 +11,7 @@
 
 type counter
 type histogram
+type gauge
 
 val counter : ?help:string -> string -> counter
 (** Register (or fetch, if already registered) the named counter. *)
@@ -34,11 +35,20 @@ val observe : histogram -> float -> unit
 val histogram_count : histogram -> int
 val histogram_sum : histogram -> float
 
+val gauge : ?help:string -> string -> gauge
+(** Register (or fetch) the named gauge — a level with set-the-value
+    semantics (e.g. {e kaskade.stale_views}), unlike a counter's
+    accumulation. Main domain only. *)
+
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
 val reset : unit -> unit
 (** Zero every registered instrument (registrations are kept). *)
 
 val to_json : unit -> Report.json
 (** Snapshot of every registered instrument:
-    [{"counters": {...}, "histograms": {...}}]. Histograms carry
-    count/sum/min/max/mean plus non-empty [le]-labelled buckets.
-    Names are emitted in sorted order so dumps diff cleanly. *)
+    [{"counters": {...}, "gauges": {...}, "histograms": {...}}].
+    Histograms carry count/sum/min/max/mean plus non-empty
+    [le]-labelled buckets. Names are emitted in sorted order so dumps
+    diff cleanly. *)

@@ -1,15 +1,24 @@
 open Kaskade_graph
 
+type freshness = Fresh | Stale of Graph.Overlay.op list | Rebuilding
+
+let freshness_label = function
+  | Fresh -> "fresh"
+  | Stale ops -> Printf.sprintf "stale(%d ops)" (List.length ops)
+  | Rebuilding -> "rebuilding"
+
+let pp_freshness fmt f = Format.pp_print_string fmt (freshness_label f)
+
 type entry = {
   materialized : Materialize.materialized;
   size_edges : int;
   size_vertices : int;
+  mutable freshness : freshness;
 }
 
-type t = { base : Graph.t; entries : (string, entry) Hashtbl.t }
+type t = { entries : (string, entry) Hashtbl.t }
 
-let create base = { base; entries = Hashtbl.create 16 }
-let base t = t.base
+let create () = { entries = Hashtbl.create 16 }
 
 let add t (m : Materialize.materialized) =
   let entry =
@@ -17,6 +26,7 @@ let add t (m : Materialize.materialized) =
       materialized = m;
       size_edges = Graph.n_edges m.graph;
       size_vertices = Graph.n_vertices m.graph;
+      freshness = Fresh;
     }
   in
   Hashtbl.replace t.entries (View.name m.view) entry
@@ -32,3 +42,41 @@ let entries t =
 let total_size_edges t = Hashtbl.fold (fun _ e acc -> acc + e.size_edges) t.entries 0
 
 let remove t view = Hashtbl.remove t.entries (View.name view)
+
+let mark_stale t ops =
+  if ops <> [] then
+    Hashtbl.iter
+      (fun name e ->
+        match e.freshness with
+        | Fresh -> e.freshness <- Stale ops
+        | Stale prior -> e.freshness <- Stale (prior @ ops)
+        | Rebuilding ->
+          invalid_arg
+            (Printf.sprintf "Catalog.mark_stale: view %s has a refresh in flight" name))
+      t.entries
+
+let begin_refresh e =
+  match e.freshness with
+  | Fresh -> []
+  | Stale ops ->
+    e.freshness <- Rebuilding;
+    ops
+  | Rebuilding -> invalid_arg "Catalog.begin_refresh: already rebuilding"
+
+let finish_refresh t e (m : Materialize.materialized) =
+  let name = View.name e.materialized.view in
+  (match Hashtbl.find_opt t.entries name with
+  | Some cur when cur == e -> ()
+  | _ -> invalid_arg ("Catalog.finish_refresh: entry not in catalog: " ^ name));
+  Hashtbl.replace t.entries name
+    {
+      materialized = m;
+      size_edges = Graph.n_edges m.graph;
+      size_vertices = Graph.n_vertices m.graph;
+      freshness = Fresh;
+    }
+
+let n_stale t =
+  Hashtbl.fold (fun _ e acc -> match e.freshness with Fresh -> acc | _ -> acc + 1) t.entries 0
+
+let stale t = entries t |> List.filter (fun e -> e.freshness <> Fresh)

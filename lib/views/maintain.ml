@@ -1,172 +1,519 @@
 open Kaskade_graph
+module Pool = Kaskade_util.Pool
+module Scratch = Kaskade_util.Scratch
+module Int_vec = Kaskade_util.Int_vec
+module Overlay = Graph.Overlay
 
-type delta = { added : (int * int) list }
+type delta = { added : (int * int) list; removed : (int * int) list }
 
-let connector_types (view : Materialize.materialized) =
+type strategy =
+  | Connector_delta of delta
+  | Filter_delta of { kept_inserts : int; kept_deletes : int }
+  | Ego_recompute of { recomputed : int }
+  | Full_rebuild of { reason : string }
+
+let incremental = function Full_rebuild _ -> false | _ -> true
+
+let describe_strategy = function
+  | Connector_delta d ->
+    Printf.sprintf "delta(+%d/-%d pairs)" (List.length d.added) (List.length d.removed)
+  | Filter_delta { kept_inserts; kept_deletes } ->
+    Printf.sprintf "delta(+%d/-%d edges)" kept_inserts kept_deletes
+  | Ego_recompute { recomputed } -> Printf.sprintf "recompute(%d ego aggregates)" recomputed
+  | Full_rebuild { reason } -> "rebuild: " ^ reason
+
+(* --------------------------------------------------------------- *)
+(* Shared plumbing                                                   *)
+
+(* Inverse of a connector/filter [new_of_old] (a bijection on the
+   vertices the view keeps). *)
+let old_of_new vg new_of_old =
+  let arr = Array.make (Graph.n_vertices vg) (-1) in
+  Array.iteri (fun old_v nv -> if nv >= 0 then arr.(nv) <- old_v) new_of_old;
+  arr
+
+(* The edge mutations of a batch, in order. Insert_vertex ops carry no
+   edges; new vertices are discovered by comparing [base_after]'s
+   vertex count against the view's mapping length. *)
+let edge_ops ops =
+  List.filter_map
+    (function
+      | Overlay.Insert_edge { src; dst; etype; props } -> Some (src, dst, etype, props, true)
+      | Overlay.Delete_edge { src; dst; etype } -> Some (src, dst, etype, [], false)
+      | Overlay.Insert_vertex _ -> None)
+    ops
+
+(* Adjacency of the batch's deleted edges — the part of the *old*
+   graph missing from [base_after]. Traversals that must see paths
+   from either side of the update run on the union: [base_after]
+   plus these. *)
+let deleted_adjacency ops =
+  let fwd : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+  let bwd : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+  let push tbl k v =
+    Hashtbl.replace tbl k (v :: (match Hashtbl.find_opt tbl k with Some l -> l | None -> []))
+  in
+  List.iter
+    (fun (src, dst, _, _, is_insert) ->
+      if not is_insert then begin
+        push fwd src dst;
+        push bwd dst src
+      end)
+    (edge_ops ops);
+  (fwd, bwd)
+
+(* Bounded multi-source BFS over a caller-supplied neighbour
+   function; returns the visited table (seeds included, depth 0). *)
+let bounded_bfs ~neighbors ~seeds ~depth =
+  let visited : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let frontier = ref [] in
+  List.iter
+    (fun v ->
+      if not (Hashtbl.mem visited v) then begin
+        Hashtbl.add visited v ();
+        frontier := v :: !frontier
+      end)
+    seeds;
+  for _ = 1 to depth do
+    let next = ref [] in
+    List.iter
+      (fun v ->
+        neighbors v (fun w ->
+            if not (Hashtbl.mem visited w) then begin
+              Hashtbl.add visited w ();
+              next := w :: !next
+            end))
+      !frontier;
+    frontier := !next
+  done;
+  visited
+
+(* --------------------------------------------------------------- *)
+(* K-hop connectors                                                  *)
+
+let khop_of_view (view : Materialize.materialized) =
   match view.Materialize.view with
-  | View.Connector (View.K_hop { src_type; dst_type; k = 2 }) -> (src_type, dst_type)
-  | v ->
-    invalid_arg
-      ("Maintain: incremental maintenance only supports k=2 connectors, got " ^ View.name v)
+  | View.Connector (View.K_hop { src_type; dst_type; k }) -> (src_type, dst_type, k)
+  | v -> invalid_arg ("Maintain.connector_delta: not a k-hop connector: " ^ View.name v)
 
-let delta_of_insert base ~view ~src ~dst =
-  let src_type, dst_type = connector_types view in
-  let schema = Graph.schema base in
+(* Set-semantics exact-k forward reach (the deduped form of
+   [Materialize]'s path-counting level walk): calls [f] once per
+   vertex reachable by some path of exactly [k] edges. *)
+let exact_k_targets g ~src ~k f =
+  let n = Graph.n_vertices g in
+  Scratch.with_set ~n @@ fun set_a ->
+  Scratch.with_set ~n @@ fun set_b ->
+  Scratch.with_vec @@ fun vec_a ->
+  Scratch.with_vec @@ fun vec_b ->
+  let cur_set = ref set_a and cur_vec = ref vec_a in
+  let next_set = ref set_b and next_vec = ref vec_b in
+  Scratch.add !cur_set src;
+  Int_vec.push !cur_vec src;
+  for _ = 1 to k do
+    Scratch.clear !next_set;
+    Int_vec.clear !next_vec;
+    let ns = !next_set and nv = !next_vec in
+    Int_vec.iter
+      (fun v ->
+        Graph.iter_out g v (fun ~dst ~etype:_ ~eid:_ ->
+            if not (Scratch.mem ns dst) then begin
+              Scratch.add ns dst;
+              Int_vec.push nv dst
+            end))
+      !cur_vec;
+    let ts = !cur_set and tv = !cur_vec in
+    cur_set := !next_set;
+    cur_vec := !next_vec;
+    next_set := ts;
+    next_vec := tv
+  done;
+  Int_vec.iter f !cur_vec
+
+let connector_delta base_after ~view ~ops =
+  let src_type, dst_type, k = khop_of_view view in
+  let schema = Graph.schema base_after in
   let src_ty = Schema.vertex_type_id schema src_type in
   let dst_ty = Schema.vertex_type_id schema dst_type in
   let vg = view.Materialize.graph in
   let new_of_old = view.Materialize.new_of_old in
-  (* Existing connector pairs involving the affected endpoints, for
-     dedup (also in base ids). *)
-  let existing = Hashtbl.create 64 in
-  let note_existing old_u =
-    if old_u >= 0 && old_u < Array.length new_of_old && new_of_old.(old_u) >= 0 then
-      Graph.iter_out vg new_of_old.(old_u) (fun ~dst:w ~etype:_ ~eid:_ ->
-          (* Map the view-vertex back to a base id by scanning is
-             avoided: record pairs keyed on view ids instead. *)
-          Hashtbl.replace existing (new_of_old.(old_u), w) ())
+  let o_of_n = old_of_new vg new_of_old in
+  let eops = edge_ops ops in
+  (* Every exact-k path gained or lost by the batch crosses a changed
+     edge (u, v) at some position i in 1..k, putting the path's source
+     within i-1 <= k-1 backward hops of u. Walk backwards on the union
+     graph (new in-adjacency plus deleted edges) to find them. *)
+  let _, del_bwd = deleted_adjacency ops in
+  let seeds = List.map (fun (src, _, _, _, _) -> src) eops in
+  let neighbors v f =
+    Graph.iter_in base_after v (fun ~src ~etype:_ ~eid:_ -> f src);
+    match Hashtbl.find_opt del_bwd v with None -> () | Some srcs -> List.iter f srcs
   in
-  let pair_exists u w =
-    u < Array.length new_of_old && w < Array.length new_of_old
-    && new_of_old.(u) >= 0 && new_of_old.(w) >= 0
-    && Hashtbl.mem existing (new_of_old.(u), new_of_old.(w))
+  let visited = bounded_bfs ~neighbors ~seeds ~depth:(k - 1) in
+  let affected =
+    Hashtbl.fold
+      (fun v () acc -> if Graph.vertex_type base_after v = src_ty then v :: acc else acc)
+      visited []
+    |> List.sort compare
   in
-  let added = ref [] in
-  let seen = Hashtbl.create 16 in
-  let emit u w =
-    if not (Hashtbl.mem seen (u, w)) then begin
-      Hashtbl.add seen (u, w) ();
-      if not (pair_exists u w) then added := (u, w) :: !added
-    end
-  in
-  (* Paths u' -> src -> dst (dst must have the connector's range type). *)
-  if Graph.vertex_type base dst = dst_ty then begin
-    Graph.iter_in base src (fun ~src:u' ~etype:_ ~eid:_ ->
-        if Graph.vertex_type base u' = src_ty then begin
-          note_existing u';
-          emit u' dst
-        end)
-  end;
-  (* Paths src -> dst -> v' (src must have the domain type). *)
-  if Graph.vertex_type base src = src_ty then begin
-    note_existing src;
-    Graph.iter_out base dst (fun ~dst:v' ~etype:_ ~eid:_ ->
-        if Graph.vertex_type base v' = dst_ty then emit src v')
-  end;
-  { added = List.rev !added }
+  let added = ref [] and removed = ref [] in
+  (* Diff each affected source's new exact-k reach against its view
+     out-neighbourhood. Hub vertices make these sets large (a random
+     update batch is degree-biased towards hubs), so the membership
+     set is epoch-stamped scratch, not a hashtable: [data = 1] marks
+     an old target seen again (still reachable). *)
+  let n_base = Graph.n_vertices base_after in
+  Scratch.with_set ~n:n_base @@ fun old_set ->
+  Scratch.with_vec @@ fun old_vec ->
+  List.iter
+    (fun a ->
+      Scratch.clear old_set;
+      Int_vec.clear old_vec;
+      if a < Array.length new_of_old && new_of_old.(a) >= 0 then
+        Graph.iter_out vg new_of_old.(a) (fun ~dst ~etype:_ ~eid:_ ->
+            let w = o_of_n.(dst) in
+            if not (Scratch.mem old_set w) then begin
+              Scratch.set_value old_set w 0;
+              Int_vec.push old_vec w
+            end);
+      exact_k_targets base_after ~src:a ~k (fun w ->
+          if Graph.vertex_type base_after w = dst_ty then
+            if Scratch.mem old_set w then Scratch.set_value old_set w 1
+            else added := (a, w) :: !added);
+      Int_vec.iter
+        (fun w -> if Scratch.value old_set w = 0 then removed := (a, w) :: !removed)
+        old_vec)
+    affected;
+  { added = List.sort compare !added; removed = List.sort compare !removed }
 
-(* Multiplicity of base edges a -> b. *)
-let edge_count base a b =
-  let c = ref 0 in
-  Graph.iter_out base a (fun ~dst ~etype:_ ~eid:_ -> if dst = b then incr c);
-  !c
-
-(* 2-walk support of the pair (a, b) after removing one (u, v) edge
-   instance: sum over mids of cnt(a -> mid) * cnt(mid -> b), with the
-   deleted instance discounted. *)
-let support_without base ~a ~b ~u ~v =
-  let total = ref 0 in
-  let mids = Hashtbl.create 8 in
-  Graph.iter_out base a (fun ~dst:mid ~etype:_ ~eid:_ ->
-      if not (Hashtbl.mem mids mid) then begin
-        Hashtbl.add mids mid ();
-        let out = edge_count base mid b in
-        let inc = edge_count base a mid in
-        (* One (u, v) instance vanishes: discount the walks that used
-           it as first hop (a = u, mid = v) or as second hop (mid = u,
-           b = v). Both at once needs u = v, which a contracted 2-path
-           cannot have. *)
-        let through_deleted =
-          if a = u && mid = v then out else if mid = u && b = v then inc else 0
-        in
-        total := !total + (inc * out) - through_deleted
-      end);
-  !total
-
-let delta_of_delete base ~view ~src ~dst =
-  let src_type, dst_type = connector_types view in
-  let schema = Graph.schema base in
+(* Rebuild the view graph from itself plus the delta via
+   [Graph.splice] — surviving pairs are blit-copied, never re-derived,
+   so applying a small delta costs O(view) with memcpy constants
+   instead of the per-source traversal a re-materialization pays. The
+   vertex set is extended with base vertices of the endpoint types
+   that appeared since materialization. *)
+let apply_connector_delta base_after ~view ~(delta : delta) =
+  let src_type, dst_type, _ = khop_of_view view in
+  let schema = Graph.schema base_after in
   let src_ty = Schema.vertex_type_id schema src_type in
   let dst_ty = Schema.vertex_type_id schema dst_type in
-  let removed = ref [] in
-  let seen = Hashtbl.create 16 in
-  let consider a b =
-    if (not (Hashtbl.mem seen (a, b)))
-       && Graph.vertex_type base a = src_ty
-       && Graph.vertex_type base b = dst_ty
-    then begin
-      Hashtbl.add seen (a, b) ();
-      if support_without base ~a ~b ~u:src ~v:dst <= 0 then removed := (a, b) :: !removed
+  let vg = view.Materialize.graph in
+  let vschema = Graph.schema vg in
+  let edge_ty =
+    match view.Materialize.view with
+    | View.Connector c -> Schema.edge_type_id vschema (View.connector_edge_type c)
+    | _ -> assert false
+  in
+  let old_len = Array.length view.Materialize.new_of_old in
+  let n_after = Graph.n_vertices base_after in
+  let new_of_old = Array.make n_after (-1) in
+  Array.blit view.Materialize.new_of_old 0 new_of_old 0 (Stdlib.min old_len n_after);
+  let appended = ref [] in
+  let next_id = ref (Graph.n_vertices vg) in
+  let append v =
+    let id = !next_id in
+    Stdlib.incr next_id;
+    appended :=
+      ( Schema.vertex_type_id vschema (Graph.vertex_type_name base_after v),
+        Graph.vertex_props base_after v )
+      :: !appended;
+    new_of_old.(v) <- id;
+    id
+  in
+  (* Endpoint-type vertices born after materialization. *)
+  for v = old_len to n_after - 1 do
+    let ty = Graph.vertex_type base_after v in
+    if ty = src_ty || ty = dst_ty then ignore (append v)
+  done;
+  let ensure v = if new_of_old.(v) < 0 then append v else new_of_old.(v) in
+  (* Mark removed pairs' eids up front (removed lists are small, view
+     out-degrees are small), so [keep_eid] below is a plain array read
+     on the splice's O(|view|) hot loop — or a constant when the batch
+     removed nothing, which skips the array entirely. *)
+  let keep_eid =
+    if delta.removed = [] then fun _ -> true
+    else begin
+      let drop = Array.make (Stdlib.max 1 (Graph.n_edges vg)) false in
+      List.iter
+        (fun (a, w) ->
+          if a < old_len && w < old_len && new_of_old.(a) >= 0 && new_of_old.(w) >= 0 then begin
+            let nw = new_of_old.(w) in
+            Graph.iter_out_etype vg new_of_old.(a) ~etype:edge_ty (fun ~dst ~eid ->
+                if dst = nw then drop.(eid) <- true)
+          end)
+        delta.removed;
+      fun eid -> not drop.(eid)
     end
   in
-  (* Pairs whose 2-paths could use the deleted edge as second hop. *)
-  if Graph.vertex_type base dst = dst_ty then
-    Graph.iter_in base src (fun ~src:a ~etype:_ ~eid:_ -> consider a dst);
-  (* ... or as first hop. *)
-  if Graph.vertex_type base src = src_ty then
-    Graph.iter_out base dst (fun ~dst:b ~etype:_ ~eid:_ -> consider src b);
-  { added = List.rev !removed }
-
-let apply_delete base ~view ~src ~dst =
-  let d = delta_of_delete base ~view ~src ~dst in
-  let doomed = Hashtbl.create 8 in
-  let new_of_old = view.Materialize.new_of_old in
-  List.iter
-    (fun (a, b) ->
-      if a < Array.length new_of_old && b < Array.length new_of_old
-         && new_of_old.(a) >= 0 && new_of_old.(b) >= 0
-      then Hashtbl.replace doomed (new_of_old.(a), new_of_old.(b)) ())
-    d.added;
-  let vg = view.Materialize.graph in
-  let b = Builder.create (Graph.schema vg) in
-  for v = 0 to Graph.n_vertices vg - 1 do
-    ignore (Builder.add_vertex b ~vtype:(Graph.vertex_type_name vg v) ~props:(Graph.vertex_props vg v) ())
-  done;
-  Graph.iter_edges vg (fun ~eid ~src:s ~dst:t ~etype ->
-      if not (Hashtbl.mem doomed (s, t)) then
-        ignore
-          (Builder.add_edge b ~src:s ~dst:t ~etype:(Schema.edge_type_name (Graph.schema vg) etype)
-             ~props:(Graph.edge_props vg eid) ()));
-  { view with Materialize.graph = Graph.freeze b }
-
-let apply base ~view ~src ~dst =
-  let src_type, dst_type = connector_types view in
-  let d = delta_of_insert base ~view ~src ~dst in
-  let vg = view.Materialize.graph in
-  let edge_name = View.connector_edge_type (View.K_hop { src_type; dst_type; k = 2 }) in
-  (* Rebuild a builder from the existing view graph, then append. *)
-  let b = Builder.create (Graph.schema vg) in
-  for v = 0 to Graph.n_vertices vg - 1 do
-    ignore (Builder.add_vertex b ~vtype:(Graph.vertex_type_name vg v) ~props:(Graph.vertex_props vg v) ())
-  done;
-  Graph.iter_edges vg (fun ~eid ~src:s ~dst:t ~etype ->
-      ignore
-        (Builder.add_edge b ~src:s ~dst:t ~etype:(Schema.edge_type_name (Graph.schema vg) etype)
-           ~props:(Graph.edge_props vg eid) ()));
-  (* Grow the id mapping if needed and make sure the delta's endpoints
-     exist in the view. *)
-  let n_base = Graph.n_vertices base in
-  let new_of_old = Array.make n_base (-1) in
-  Array.blit view.Materialize.new_of_old 0 new_of_old 0
-    (Stdlib.min n_base (Array.length view.Materialize.new_of_old));
-  let ensure_vertex old_v =
-    if new_of_old.(old_v) < 0 then begin
-      let id =
-        Builder.add_vertex b ~vtype:(Graph.vertex_type_name base old_v)
-          ~props:(Graph.vertex_props base old_v) ()
-      in
-      new_of_old.(old_v) <- id
-    end;
-    new_of_old.(old_v)
+  let add_edges =
+    Array.of_list (List.map (fun (a, w) -> (ensure a, ensure w, edge_ty, [])) delta.added)
   in
-  List.iter
-    (fun (u, w) ->
-      let u' = ensure_vertex u and w' = ensure_vertex w in
-      ignore (Builder.add_edge b ~src:u' ~dst:w' ~etype:edge_name ()))
-    d.added;
+  let new_vertices = Array.of_list (List.rev !appended) in
   {
     view with
-    Materialize.graph = Graph.freeze b;
+    Materialize.graph = Graph.splice vg ~new_vertices ~keep_eid ~add_edges ();
     new_of_old;
-    build_cost = view.Materialize.build_cost +. float_of_int (List.length d.added);
+    build_cost =
+      view.Materialize.build_cost
+      +. float_of_int (List.length delta.added + List.length delta.removed);
   }
+
+(* --------------------------------------------------------------- *)
+(* Filter summarizers                                                *)
+
+(* Updates map 1:1 through an inclusion/removal filter. Deletes must
+   land on the same instance the overlay removed: the overlay deletes
+   the first live matching (src, dst, etype) instance in eid order,
+   and [Subgraph.restrict] preserves eid order, so skipping the first
+   min(deletes, present) matching instances per key — and appending
+   the surviving inserts in op order — reproduces a full
+   re-materialization byte for byte. Deletes beyond the instances the
+   view held at batch start cancelled same-batch inserts (oldest
+   first), so only the last (inserts - cancelled) inserts survive. *)
+let refresh_filter base_after ~(view : Materialize.materialized) ~ops =
+  let vg = view.Materialize.graph in
+  let vschema = Graph.schema vg in
+  let old_len = Array.length view.Materialize.new_of_old in
+  let n_after = Graph.n_vertices base_after in
+  let new_of_old = Array.make n_after (-1) in
+  Array.blit view.Materialize.new_of_old 0 new_of_old 0 (Stdlib.min old_len n_after);
+  let appended = ref [] in
+  let next_id = ref (Graph.n_vertices vg) in
+  for v = old_len to n_after - 1 do
+    let tname = Graph.vertex_type_name base_after v in
+    if Schema.has_vertex_type vschema tname then begin
+      appended :=
+        (Schema.vertex_type_id vschema tname, Graph.vertex_props base_after v) :: !appended;
+      new_of_old.(v) <- !next_id;
+      Stdlib.incr next_id
+    end
+  done;
+  let new_vertices = Array.of_list (List.rev !appended) in
+  let kept ename src dst =
+    Schema.has_edge_type vschema ename
+    && src < n_after && dst < n_after
+    && new_of_old.(src) >= 0
+    && new_of_old.(dst) >= 0
+  in
+  let eops = edge_ops ops in
+  (* Per-key tallies: deletes, inserts. Key = base-id endpoints +
+     edge-type name. *)
+  let dels : (int * int * string, int ref) Hashtbl.t = Hashtbl.create 16 in
+  let inss : (int * int * string, int ref) Hashtbl.t = Hashtbl.create 16 in
+  let bump tbl key =
+    match Hashtbl.find_opt tbl key with
+    | Some r -> Stdlib.incr r
+    | None -> Hashtbl.add tbl key (ref 1)
+  in
+  let kept_inserts = ref 0 and kept_deletes = ref 0 in
+  List.iter
+    (fun (src, dst, ename, _, is_insert) ->
+      if kept ename src dst then
+        if is_insert then begin
+          Stdlib.incr kept_inserts;
+          bump inss (src, dst, ename)
+        end
+        else begin
+          Stdlib.incr kept_deletes;
+          bump dels (src, dst, ename)
+        end)
+    eops;
+  (* Instances of each deleted key the view held before the batch. *)
+  let o_of_n = old_of_new vg view.Materialize.new_of_old in
+  let held key =
+    let s, d, ename = key in
+    let ty = Schema.edge_type_id vschema ename in
+    let c = ref 0 in
+    Graph.iter_out_etype vg new_of_old.(s) ~etype:ty (fun ~dst ~eid:_ ->
+        if dst = new_of_old.(d) then Stdlib.incr c);
+    !c
+  in
+  let skip_budget : (int * int * string, int ref) Hashtbl.t = Hashtbl.create 16 in
+  let cancelled : (int * int * string, int) Hashtbl.t = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun key d ->
+      let b_count = held key in
+      let skip = Stdlib.min !d b_count in
+      Hashtbl.add skip_budget key (ref skip);
+      Hashtbl.add cancelled key (!d - skip))
+    dels;
+  (* Mark deleted instances in eid order, collect surviving inserts in
+     op order, and splice: surviving edges are blit-copied with their
+     properties, never re-derived. *)
+  let drop = Array.make (Stdlib.max 1 (Graph.n_edges vg)) false in
+  if Hashtbl.length skip_budget > 0 then
+    Graph.iter_edges vg (fun ~eid ~src ~dst ~etype ->
+        let key = (o_of_n.(src), o_of_n.(dst), Schema.edge_type_name vschema etype) in
+        match Hashtbl.find_opt skip_budget key with
+        | Some r when !r > 0 ->
+          Stdlib.decr r;
+          drop.(eid) <- true
+        | _ -> ());
+  let seen_ins : (int * int * string, int ref) Hashtbl.t = Hashtbl.create 16 in
+  let survivors = ref [] in
+  List.iter
+    (fun (src, dst, ename, props, is_insert) ->
+      if is_insert && kept ename src dst then begin
+        let key = (src, dst, ename) in
+        let seen =
+          match Hashtbl.find_opt seen_ins key with
+          | Some r -> r
+          | None ->
+            let r = ref 0 in
+            Hashtbl.add seen_ins key r;
+            r
+        in
+        let idx = !seen in
+        Stdlib.incr seen;
+        let dropped = match Hashtbl.find_opt cancelled key with Some c -> c | None -> 0 in
+        if idx >= dropped then
+          survivors :=
+            (new_of_old.(src), new_of_old.(dst), Schema.edge_type_id vschema ename, props)
+            :: !survivors
+      end)
+    eops;
+  let add_edges = Array.of_list (List.rev !survivors) in
+  ( {
+      view with
+      Materialize.graph =
+        Graph.splice vg ~new_vertices ~keep_eid:(fun eid -> not drop.(eid)) ~add_edges ();
+      new_of_old;
+      build_cost =
+        view.Materialize.build_cost +. float_of_int (!kept_inserts + !kept_deletes);
+    },
+    Filter_delta { kept_inserts = !kept_inserts; kept_deletes = !kept_deletes } )
+
+let filter_counts (view : Materialize.materialized) ops =
+  let vschema = Graph.schema view.Materialize.graph in
+  let new_of_old = view.Materialize.new_of_old in
+  let old_len = Array.length new_of_old in
+  let mapped v = v >= old_len || new_of_old.(v) >= 0 in
+  let ins = ref 0 and del = ref 0 in
+  List.iter
+    (fun (src, dst, ename, _, is_insert) ->
+      if Schema.has_edge_type vschema ename && mapped src && mapped dst then
+        if is_insert then Stdlib.incr ins else Stdlib.incr del)
+    (edge_ops ops);
+  Filter_delta { kept_inserts = !ins; kept_deletes = !del }
+
+(* --------------------------------------------------------------- *)
+(* Ego aggregators                                                   *)
+
+(* A vertex's k-hop undirected neighbourhood aggregate changes only
+   if a changed edge lies within k hops — on the union graph, so
+   neighbourhoods shrunk by deletes are found too. *)
+let ego_affected base_after ~k ~ops =
+  let del_fwd, del_bwd = deleted_adjacency ops in
+  let seeds =
+    List.concat_map (fun (src, dst, _, _, _) -> [ src; dst ]) (edge_ops ops)
+  in
+  let neighbors v f =
+    Graph.iter_out base_after v (fun ~dst ~etype:_ ~eid:_ -> f dst);
+    Graph.iter_in base_after v (fun ~src ~etype:_ ~eid:_ -> f src);
+    (match Hashtbl.find_opt del_fwd v with None -> () | Some l -> List.iter f l);
+    match Hashtbl.find_opt del_bwd v with None -> () | Some l -> List.iter f l
+  in
+  bounded_bfs ~neighbors ~seeds ~depth:k
+
+let ego_of_view (view : Materialize.materialized) =
+  match view.Materialize.view with
+  | View.Summarizer (View.Ego_aggregator { k; agg_prop; agg }) -> (k, agg_prop, agg)
+  | _ -> assert false
+
+let refresh_ego ?pool base_after ~(view : Materialize.materialized) ~ops =
+  let k, agg_prop, agg = ego_of_view view in
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  let vg = view.Materialize.graph in
+  let old_n = Graph.n_vertices vg in
+  let n_after = Graph.n_vertices base_after in
+  let ego_prop = "ego_" ^ String.lowercase_ascii (View.agg_name agg) ^ "_" ^ agg_prop in
+  let affected = ego_affected base_after ~k ~ops in
+  let recompute = Array.make n_after false in
+  Hashtbl.iter (fun v () -> recompute.(v) <- true) affected;
+  for v = old_n to n_after - 1 do
+    recompute.(v) <- true
+  done;
+  let recomputed = Array.fold_left (fun acc f -> if f then acc + 1 else acc) 0 recompute in
+  let ego =
+    Array.concat
+      (Array.to_list
+         (Pool.map_chunks pool ~n:n_after (fun ~lo ~hi ->
+              Array.init (hi - lo) (fun j ->
+                  let v = lo + j in
+                  if recompute.(v) then
+                    let nbors =
+                      Kaskade_algo.Traverse.reachable_within base_after ~src:v ~max_hops:k
+                        ~dir:Kaskade_algo.Traverse.Both ()
+                    in
+                    Materialize.aggregate agg
+                      (List.map (fun u -> Graph.vprop_or_null base_after u agg_prop) nbors)
+                  else Graph.vprop_or_null vg v ego_prop))))
+  in
+  (* The view is the base graph plus one aggregate column; share the
+     base's topology outright and swap the column in. *)
+  ( {
+      view with
+      Materialize.graph = Graph.with_vprop_column base_after ego_prop ego;
+      new_of_old = Array.init n_after Fun.id;
+      build_cost = view.Materialize.build_cost +. float_of_int (k * recomputed);
+    },
+    Ego_recompute { recomputed } )
+
+(* --------------------------------------------------------------- *)
+(* Dispatch                                                          *)
+
+let has_path_counts (view : Materialize.materialized) =
+  List.mem "paths" (Graph.edge_prop_keys view.Materialize.graph)
+
+let rebuild_reason (view : Materialize.materialized) =
+  match view.Materialize.view with
+  | View.Connector (View.K_hop _) when has_path_counts view -> Some "connector carries path counts"
+  | View.Connector (View.K_hop _) -> None
+  | View.Connector _ -> Some "closure connector (unbounded path length)"
+  | View.Summarizer (View.Vertex_aggregator _) -> Some "vertex aggregator re-groups on any change"
+  | View.Summarizer (View.Subgraph_aggregator _) ->
+    Some "subgraph aggregator depends on global connectivity"
+  | View.Summarizer
+      (View.Vertex_inclusion _ | View.Vertex_removal _ | View.Edge_inclusion _ | View.Edge_removal _)
+    ->
+    None
+  | View.Summarizer (View.Ego_aggregator _) -> None
+
+let noop_strategy (view : Materialize.materialized) =
+  match view.Materialize.view with
+  | View.Connector (View.K_hop _) -> Connector_delta { added = []; removed = [] }
+  | View.Summarizer (View.Ego_aggregator _) -> Ego_recompute { recomputed = 0 }
+  | _ -> Filter_delta { kept_inserts = 0; kept_deletes = 0 }
+
+let plan base_after ~view ~ops =
+  match rebuild_reason view with
+  | Some reason -> Full_rebuild { reason }
+  | None -> (
+    if ops = [] then noop_strategy view
+    else
+      match view.Materialize.view with
+      | View.Connector (View.K_hop _) -> Connector_delta (connector_delta base_after ~view ~ops)
+      | View.Summarizer (View.Ego_aggregator { k; _ }) ->
+        let affected = ego_affected base_after ~k ~ops in
+        let old_n = Graph.n_vertices view.Materialize.graph in
+        let extra = ref 0 in
+        for v = old_n to Graph.n_vertices base_after - 1 do
+          if not (Hashtbl.mem affected v) then Stdlib.incr extra
+        done;
+        Ego_recompute { recomputed = Hashtbl.length affected + !extra }
+      | _ -> filter_counts view ops)
+
+let refresh ?pool base_after ~view ~ops =
+  match rebuild_reason view with
+  | Some reason ->
+    let with_path_counts = has_path_counts view in
+    (Materialize.materialize ~with_path_counts ?pool base_after view.Materialize.view,
+     Full_rebuild { reason })
+  | None ->
+    if ops = [] then (view, noop_strategy view)
+    else (
+      match view.Materialize.view with
+      | View.Connector (View.K_hop _) ->
+        let d = connector_delta base_after ~view ~ops in
+        (apply_connector_delta base_after ~view ~delta:d, Connector_delta d)
+      | View.Summarizer (View.Ego_aggregator _) -> refresh_ego ?pool base_after ~view ~ops
+      | _ -> refresh_filter base_after ~view ~ops)

@@ -1,62 +1,95 @@
-(** Incremental maintenance of 2-hop connector views — the extension
-    the paper defers to its lineage (Zhuge & Garcia-Molina, ICDE'98:
-    "Graph structured views and their incremental maintenance").
+(** Incremental view maintenance — the extension the paper defers to
+    its lineage (Zhuge & Garcia-Molina, ICDE'98; Szárnyas's IVM survey
+    in PAPERS.md): absorb a {e batch} of base-graph updates into a
+    materialized view without re-running the view's traversals over
+    the whole graph.
 
-    When an edge (u, v) is inserted into the base graph, the only new
-    k=2 contracted paths are those that use it: [u' -> u -> v] for
-    in-neighbours [u'] of [u], and [u -> v -> v'] for out-neighbours
-    [v'] of [v]. The delta is therefore computable in
-    O(indeg(u) + outdeg(v)) without touching the rest of the view —
-    compared to the full O(sum indeg*outdeg) rebuild. *)
+    The entry points take the base graph {b after} the batch has been
+    applied (i.e. [Graph.Overlay.graph] of the mutated overlay) plus
+    the op list that got it there, and produce a refreshed
+    [Materialize.materialized] equal to re-materializing from scratch:
+
+    - {b k-hop connectors} (any k >= 1): the only (src, dst) pairs
+      whose exact-k path set can change are those whose source reaches
+      a changed edge's tail within k-1 backward hops — on the {e union}
+      of the old and new graphs, so paths that existed only before a
+      delete are covered. Each affected source's exact-k reach is
+      recomputed and diffed against the view, yielding an explicit
+      {!delta}. O(affected region), not O(graph).
+    - {b filter summarizers} (vertex/edge inclusion/removal): updates
+      map 1:1 through the filter. Because a delete removes the first
+      live matching instance in eid order and [Subgraph.restrict]
+      preserves eid order, the refreshed view is {e identical} — edge
+      order and properties included — to a full re-materialization.
+    - {b ego aggregators}: only vertices within k undirected hops of a
+      changed edge's endpoints (again on the union graph) can see
+      their neighbourhood aggregate change; everyone else's stored
+      value is reused.
+    - everything else (vertex/subgraph aggregators, closure
+      connectors, path-count-carrying connectors) falls back to a
+      {b flagged full rebuild} — the strategy says so, and the caller
+      can surface it (EXPLAIN, metrics).
+
+    Connector maintenance assumes the catalog's standard
+    materialization flags (deduped pairs, no path counts); a view
+    carrying a [paths] edge property is rebuilt instead. *)
 
 type delta = {
   added : (int * int) list;
-      (** New connector edges as (src, dst) pairs in *base-graph* ids;
-          deduplicated, and already-present pairs are excluded. *)
+      (** Connector pairs to create, as (src, dst) in {e base-graph}
+          ids, sorted; deduplicated against the view. *)
+  removed : (int * int) list;
+      (** Connector pairs whose last supporting path died, same
+          encoding. (Formerly smuggled through [added] by
+          [delta_of_delete] — the record is now explicit.) *)
 }
 
-val delta_of_insert :
+(** How a refresh was (or would be) performed. *)
+type strategy =
+  | Connector_delta of delta  (** Pair-diff apply on a k-hop connector. *)
+  | Filter_delta of { kept_inserts : int; kept_deletes : int }
+      (** Ops passed through a vertex/edge filter; counts are the ops
+          that survived the filter. *)
+  | Ego_recompute of { recomputed : int }
+      (** Ego aggregates recomputed for the affected vertices only. *)
+  | Full_rebuild of { reason : string }
+      (** The delta is not expressible; re-materialized from scratch. *)
+
+val incremental : strategy -> bool
+(** [false] exactly for {!Full_rebuild}. *)
+
+val describe_strategy : strategy -> string
+(** One-line human-readable form, e.g.
+    ["delta(+3/-1 pairs)"] or ["rebuild: closure connector"]. *)
+
+val connector_delta :
   Kaskade_graph.Graph.t ->
   view:Materialize.materialized ->
-  src:int ->
-  dst:int ->
+  ops:Kaskade_graph.Graph.Overlay.op list ->
   delta
-(** [delta_of_insert base ~view ~src ~dst] — connector edges that
-    inserting base edge (src, dst) creates for a k=2 connector view.
-    Raises [Invalid_argument] if the view is not a k=2 connector. The
-    edge itself must NOT yet be present in [base] (the delta is
-    computed against the pre-insertion adjacency). *)
+(** [connector_delta base_after ~view ~ops] — the explicit pair delta
+    for a k-hop connector view. Raises [Invalid_argument] when [view]
+    is not a k-hop connector. *)
 
-val apply :
+val plan :
   Kaskade_graph.Graph.t ->
   view:Materialize.materialized ->
-  src:int ->
-  dst:int ->
-  Materialize.materialized
-(** Refreshed view: the delta's edges are appended to the view graph
-    (vertices and properties preserved; new endpoint vertices are
-    added if the inserted edge touches base vertices absent from the
-    view). The result satisfies: apply = full re-materialization over
-    the updated base graph, up to edge order (property tested). *)
+  ops:Kaskade_graph.Graph.Overlay.op list ->
+  strategy
+(** The strategy {!refresh} would use, without building anything
+    (connector planning still runs the affected-region traversals). *)
 
-val delta_of_delete :
+val refresh :
+  ?pool:Kaskade_util.Pool.t ->
   Kaskade_graph.Graph.t ->
   view:Materialize.materialized ->
-  src:int ->
-  dst:int ->
-  delta
-(** Connector edges that deleting ONE base edge (src, dst) destroys:
-    an affected pair is removed only when no alternative 2-hop path
-    supports it (parallel edges counted exactly). [base] must still
-    contain the edge (the delta is computed against pre-deletion
-    adjacency); the [delta]'s [added] list holds the pairs to REMOVE. *)
-
-val apply_delete :
-  Kaskade_graph.Graph.t ->
-  view:Materialize.materialized ->
-  src:int ->
-  dst:int ->
-  Materialize.materialized
-(** Refreshed view with the doomed connector edges dropped. Equal to
-    re-materializing over the base graph minus the edge (property
-    tested). *)
+  ops:Kaskade_graph.Graph.Overlay.op list ->
+  Materialize.materialized * strategy
+(** [refresh ?pool base_after ~view ~ops] — the refreshed view plus
+    the strategy used. Result invariant (property tested): the
+    returned view is result-identical to
+    [Materialize.materialize base_after view.view] — same vertex set,
+    same edge multiset, same properties; byte-identical for filter
+    summarizers and ego aggregators. [pool] fans out the ego
+    recomputation sweeps and is forwarded to [Materialize.materialize]
+    on the rebuild path. *)

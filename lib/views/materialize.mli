@@ -43,6 +43,11 @@ val materialize :
     byte-identical to a sequential ([Pool.create ~domains:1 ()]) run
     at every pool width. *)
 
+val aggregate : View.aggregate_fn -> Kaskade_graph.Value.t list -> Kaskade_graph.Value.t
+(** Fold a property multiset with one of the paper's aggregators
+    ([Null]s skipped by sum, counted by count). Exposed for
+    {!Maintain}'s selective ego recomputation. *)
+
 val k_hop_connector :
   ?dedupe:bool ->
   ?with_path_counts:bool ->

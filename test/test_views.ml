@@ -354,7 +354,7 @@ let test_definition_summarizer_scans () =
 
 let test_catalog_roundtrip () =
   let g, _, _ = small_lineage () in
-  let cat = Catalog.create g in
+  let cat = Catalog.create () in
   let view = View.Connector (View.K_hop { src_type = "Job"; dst_type = "Job"; k = 2 }) in
   check_bool "empty" false (Catalog.mem cat view);
   Catalog.add cat (Materialize.materialize g view);
@@ -368,7 +368,7 @@ let test_catalog_roundtrip () =
 
 let test_catalog_replace () =
   let g, _, _ = small_lineage () in
-  let cat = Catalog.create g in
+  let cat = Catalog.create () in
   let view = View.Summarizer (View.Vertex_inclusion [ "Job"; "File" ]) in
   Catalog.add cat (Materialize.materialize g view);
   Catalog.add cat (Materialize.materialize g view);
@@ -378,19 +378,15 @@ let test_catalog_replace () =
 (* ------------------------------------------------------------------ *)
 (* Incremental maintenance                                             *)
 
-(* Insert one IS_READ_BY edge and check the incremental delta matches
-   a full rebuild. *)
-let with_inserted_edge g src dst etype =
-  let schema = Graph.schema g in
-  let b = Builder.create schema in
-  for v = 0 to Graph.n_vertices g - 1 do
-    ignore (Builder.add_vertex b ~vtype:(Graph.vertex_type_name g v) ~props:(Graph.vertex_props g v) ())
-  done;
-  Graph.iter_edges g (fun ~eid ~src ~dst ~etype ->
-      ignore (Builder.add_edge b ~src ~dst ~etype:(Schema.edge_type_name schema etype)
-                ~props:(Graph.edge_props g eid) ()));
-  ignore (Builder.add_edge b ~src ~dst ~etype ());
-  Graph.freeze b
+(* Apply [ops] through an overlay and return the post-batch graph plus
+   the ops that took effect — the inputs [Maintain] expects. *)
+let after_batch g ops =
+  let o = Graph.Overlay.create g in
+  let effective = Graph.Overlay.apply o ops in
+  (Graph.Overlay.graph o, effective)
+
+let ins src dst etype = Graph.Overlay.Insert_edge { src; dst; etype; props = [] }
+let del src dst etype = Graph.Overlay.Delete_edge { src; dst; etype }
 
 let connector_pairs_by_name vg =
   List.sort_uniq compare (edge_name_pairs vg)
@@ -399,34 +395,32 @@ let test_maintain_delta_read_edge () =
   let g, j, f = small_lineage () in
   let view = Materialize.k_hop_connector g ~src_type:"Job" ~dst_type:"Job" ~k:2 in
   (* New edge: f2 (written by j2) is read by j1 -> new pair (j2, j1). *)
-  let d = Maintain.delta_of_insert g ~view ~src:f.(2) ~dst:j.(1) in
-  Alcotest.(check (list (pair int int))) "delta" [ (j.(2), j.(1)) ] d.Maintain.added
+  let base_after, ops = after_batch g [ ins f.(2) j.(1) "IS_READ_BY" ] in
+  let d = Maintain.connector_delta base_after ~view ~ops in
+  Alcotest.(check (list (pair int int))) "added" [ (j.(2), j.(1)) ] d.Maintain.added;
+  Alcotest.(check (list (pair int int))) "removed" [] d.Maintain.removed
 
 let test_maintain_delta_write_edge () =
   let g, j, _f = small_lineage () in
-  (* New file written by j1, then nothing reads it yet: inserting the
-     write creates no 2-hop pair. The file must exist first, so test
-     against a base that already contains it. *)
-  let schema = Graph.schema g in
-  let b = Builder.create schema in
-  for v = 0 to Graph.n_vertices g - 1 do
-    ignore (Builder.add_vertex b ~vtype:(Graph.vertex_type_name g v) ~props:(Graph.vertex_props g v) ())
-  done;
-  Graph.iter_edges g (fun ~eid:_ ~src ~dst ~etype ->
-      ignore (Builder.add_edge b ~src ~dst ~etype:(Schema.edge_type_name schema etype) ()));
-  let f_new = Builder.add_vertex b ~vtype:"File" ~props:[ ("name", Value.Str "f_new") ] () in
-  let base = Graph.freeze b in
-  let view = Materialize.k_hop_connector base ~src_type:"Job" ~dst_type:"Job" ~k:2 in
-  let d = Maintain.delta_of_insert base ~view ~src:j.(1) ~dst:f_new in
+  (* New file written by j1, then nothing reads it yet: the batch
+     creates no 2-hop pair. *)
+  let view = Materialize.k_hop_connector g ~src_type:"Job" ~dst_type:"Job" ~k:2 in
+  let o = Graph.Overlay.create g in
+  let f_new = Graph.Overlay.insert_vertex o ~vtype:"File" ~props:[ ("name", Value.Str "f_new") ] () in
+  let ops =
+    Graph.Overlay.Insert_vertex { vtype = "File"; props = [ ("name", Value.Str "f_new") ] }
+    :: Graph.Overlay.apply o [ ins j.(1) f_new "WRITES_TO" ]
+  in
+  let d = Maintain.connector_delta (Graph.Overlay.graph o) ~view ~ops in
   Alcotest.(check (list (pair int int))) "no new pairs" [] d.Maintain.added
 
 let test_maintain_apply_matches_rebuild () =
   let g, _j, f = small_lineage () in
   let view = Materialize.k_hop_connector g ~src_type:"Job" ~dst_type:"Job" ~k:2 in
-  let src = f.(2) and dst = 0 (* j0 reads f2 *) in
-  let updated_base = with_inserted_edge g src dst "IS_READ_BY" in
-  let incremental = Maintain.apply g ~view ~src ~dst in
-  let rebuilt = Materialize.k_hop_connector updated_base ~src_type:"Job" ~dst_type:"Job" ~k:2 in
+  let base_after, ops = after_batch g [ ins f.(2) 0 (* j0 reads f2 *) "IS_READ_BY" ] in
+  let incremental, strategy = Maintain.refresh base_after ~view ~ops in
+  check_bool "incremental strategy" true (Maintain.incremental strategy);
+  let rebuilt = Materialize.k_hop_connector base_after ~src_type:"Job" ~dst_type:"Job" ~k:2 in
   Alcotest.(check (list (pair string string)))
     "incremental = rebuild"
     (connector_pairs_by_name rebuilt.Materialize.graph)
@@ -437,52 +431,53 @@ let test_maintain_rejects_other_views () =
   let view = Materialize.materialize g (View.Summarizer (View.Vertex_inclusion [ "Job" ])) in
   check_bool "raises" true
     (try
-       ignore (Maintain.delta_of_insert g ~view ~src:0 ~dst:1);
+       ignore (Maintain.connector_delta g ~view ~ops:[]);
        false
      with Invalid_argument _ -> true)
 
+let test_maintain_aggregator_rebuilds () =
+  let g, j, _ = small_lineage () in
+  let view =
+    Materialize.materialize g
+      (View.Summarizer
+         (View.Vertex_aggregator
+            { vtype = "Job"; group_prop = "pipelineName"; agg_prop = "CPU"; agg = View.Agg_sum }))
+  in
+  let base_after, ops = after_batch g [ del j.(0) j.(1) "WRITES_TO" ] in
+  ignore base_after;
+  match Maintain.plan g ~view ~ops with
+  | Maintain.Full_rebuild _ -> ()
+  | s -> Alcotest.failf "expected Full_rebuild, got %s" (Maintain.describe_strategy s)
 
 (* Deletion maintenance. *)
-
-let without_edge g victim_eid =
-  let schema = Graph.schema g in
-  let b = Builder.create schema in
-  for v = 0 to Graph.n_vertices g - 1 do
-    ignore (Builder.add_vertex b ~vtype:(Graph.vertex_type_name g v) ~props:(Graph.vertex_props g v) ())
-  done;
-  Graph.iter_edges g (fun ~eid ~src ~dst ~etype ->
-      if eid <> victim_eid then
-        ignore (Builder.add_edge b ~src ~dst ~etype:(Schema.edge_type_name schema etype)
-                  ~props:(Graph.edge_props g eid) ()));
-  Graph.freeze b
 
 let test_maintain_delete_unsupported_pair () =
   let g, j, f = small_lineage () in
   let view = Materialize.k_hop_connector g ~src_type:"Job" ~dst_type:"Job" ~k:2 in
   (* Deleting f1 -> j2 (the only read of f1 by j2) kills (j0, j2);
      (j0, j1) survives via f0. *)
-  let d = Maintain.delta_of_delete g ~view ~src:f.(1) ~dst:j.(2) in
-  Alcotest.(check (list (pair int int))) "pair dies" [ (j.(0), j.(2)) ] d.Maintain.added
+  let base_after, ops = after_batch g [ del f.(1) j.(2) "IS_READ_BY" ] in
+  let d = Maintain.connector_delta base_after ~view ~ops in
+  Alcotest.(check (list (pair int int))) "pair dies" [ (j.(0), j.(2)) ] d.Maintain.removed;
+  Alcotest.(check (list (pair int int))) "nothing added" [] d.Maintain.added
 
 let test_maintain_delete_supported_pair () =
   let g, j, f = small_lineage () in
   let view = Materialize.k_hop_connector g ~src_type:"Job" ~dst_type:"Job" ~k:2 in
   (* Deleting f0 -> j1 leaves (j0, j1) supported via f1. *)
-  let d = Maintain.delta_of_delete g ~view ~src:f.(0) ~dst:j.(1) in
+  let base_after, ops = after_batch g [ del f.(0) j.(1) "IS_READ_BY" ] in
   ignore j;
-  Alcotest.(check (list (pair int int))) "no removals" [] d.Maintain.added
+  let d = Maintain.connector_delta base_after ~view ~ops in
+  Alcotest.(check (list (pair int int))) "no removals" [] d.Maintain.removed
 
 let test_maintain_apply_delete_matches_rebuild () =
   let g, _, f = small_lineage () in
   let view = Materialize.k_hop_connector g ~src_type:"Job" ~dst_type:"Job" ~k:2 in
-  (* The victim edge: f1 -> j2 (j2 is vertex 2 in builder order). *)
-  let victim = ref (-1) in
-  Graph.iter_edges g (fun ~eid ~src ~dst ~etype:_ ->
-      if src = f.(1) && Graph.vertex_type_name g dst = "Job" && dst = 2 then victim := eid);
-  if !victim < 0 then Alcotest.fail "victim edge not found";
-  let s, d = Graph.edge_endpoints g !victim in
-  let incremental = Maintain.apply_delete g ~view ~src:s ~dst:d in
-  let rebuilt = Materialize.k_hop_connector (without_edge g !victim) ~src_type:"Job" ~dst_type:"Job" ~k:2 in
+  (* Victim edge: f1 -> j2 (j2 is vertex 2 in builder order). *)
+  let base_after, ops = after_batch g [ del f.(1) 2 "IS_READ_BY" ] in
+  check_int "delete took effect" 1 (List.length ops);
+  let incremental, _ = Maintain.refresh base_after ~view ~ops in
+  let rebuilt = Materialize.k_hop_connector base_after ~src_type:"Job" ~dst_type:"Job" ~k:2 in
   Alcotest.(check (list (pair string string)))
     "delete incremental = rebuild"
     (connector_pairs_by_name rebuilt.Materialize.graph)
@@ -506,10 +501,12 @@ let prop_maintain_delete_matches_rebuild =
         let rng = Kaskade_util.Prng.create (seed + 17) in
         let victim = Kaskade_util.Prng.int rng m in
         let s, d = Graph.edge_endpoints keep victim in
+        let ename = Schema.edge_type_name (Graph.schema keep) (Graph.edge_type keep victim) in
         let view = Materialize.k_hop_connector keep ~src_type:"Job" ~dst_type:"Job" ~k:2 in
-        let incremental = Maintain.apply_delete keep ~view ~src:s ~dst:d in
+        let base_after, ops = after_batch keep [ del s d ename ] in
+        let incremental, _ = Maintain.refresh base_after ~view ~ops in
         let rebuilt =
-          Materialize.k_hop_connector (without_edge keep victim) ~src_type:"Job" ~dst_type:"Job" ~k:2
+          Materialize.k_hop_connector base_after ~src_type:"Job" ~dst_type:"Job" ~k:2
         in
         connector_pairs_by_name rebuilt.Materialize.graph
         = connector_pairs_by_name incremental.Materialize.graph
@@ -535,9 +532,9 @@ let prop_maintain_matches_rebuild =
       let src = Kaskade_util.Prng.choose rng files in
       let dst = Kaskade_util.Prng.choose rng jobs_arr in
       let view = Materialize.k_hop_connector keep ~src_type:"Job" ~dst_type:"Job" ~k:2 in
-      let updated = with_inserted_edge keep src dst "IS_READ_BY" in
-      let incremental = Maintain.apply keep ~view ~src ~dst in
-      let rebuilt = Materialize.k_hop_connector updated ~src_type:"Job" ~dst_type:"Job" ~k:2 in
+      let base_after, ops = after_batch keep [ ins src dst "IS_READ_BY" ] in
+      let incremental, _ = Maintain.refresh base_after ~view ~ops in
+      let rebuilt = Materialize.k_hop_connector base_after ~src_type:"Job" ~dst_type:"Job" ~k:2 in
       connector_pairs_by_name rebuilt.Materialize.graph
       = connector_pairs_by_name incremental.Materialize.graph)
 
@@ -666,6 +663,7 @@ let () =
           Alcotest.test_case "delta on write edge" `Quick test_maintain_delta_write_edge;
           Alcotest.test_case "apply matches rebuild" `Quick test_maintain_apply_matches_rebuild;
           Alcotest.test_case "rejects other views" `Quick test_maintain_rejects_other_views;
+          Alcotest.test_case "aggregator plans a rebuild" `Quick test_maintain_aggregator_rebuilds;
           Alcotest.test_case "delete kills unsupported pair" `Quick test_maintain_delete_unsupported_pair;
           Alcotest.test_case "delete keeps supported pair" `Quick test_maintain_delete_supported_pair;
           Alcotest.test_case "delete matches rebuild" `Quick test_maintain_apply_delete_matches_rebuild;
