@@ -5,7 +5,9 @@ open Kaskade_graph
 open Kaskade_util
 open Kaskade_views
 
-let now () = Unix.gettimeofday ()
+(* Monotonic: bench durations and medians must not wobble with NTP
+   steps. Wall time is only for human-facing timestamps (none here). *)
+let now () = Mclock.now_s ()
 
 let time_once f =
   let t0 = now () in
@@ -817,7 +819,114 @@ let maintenance () =
     print_endline "sweep written to bench_metrics.json"
   end
 
+(* ------------------------------------------------------------------ *)
+(* Faults: degradation drill under injected failures                   *)
+
+(* Forced refresh failures must open the circuit breaker and degrade
+   queries to {e correct} base-graph answers (checked against a
+   view-free twin of the same snapshot); a forced deadline or injected
+   executor timeout must surface as a typed [Budget_exhausted], never
+   a crash. [--smoke] only shrinks the graph — the assertions are
+   always hard, so this doubles as the CI robustness gate. *)
+let faults () =
+  header "Faults: refresh circuit breaker + query deadlines under injected failures";
+  let module M = Kaskade_obs.Metrics in
+  let module Executor = Kaskade_exec.Executor in
+  let module Row = Kaskade_exec.Row in
+  let authors = if !smoke then 60 else 300 in
+  let g =
+    Kaskade_gen.Dblp_gen.(
+      generate { default with authors; pubs = 2 * authors; venues = 8; seed = 11 })
+  in
+  let threshold = 3 in
+  (* cooldown longer than the drill: the breaker must stay open *)
+  let ks = Kaskade.create ~breaker_threshold:threshold ~breaker_cooldown_s:3600.0 g in
+  let q = Kaskade.parse "MATCH (a:Author)-[r*2..2]->(b:Author) RETURN a, b" in
+  ignore
+    (Kaskade.materialize ks
+       (View.Connector (View.K_hop { src_type = "Author"; dst_type = "Author"; k = 2 })));
+  (* dirty the view so every query wants a repair first *)
+  let gs = Kaskade.graph ks in
+  let a = Graph.vertices_of_type_name gs "Author" in
+  let p = Graph.vertices_of_type_name gs "Pub" in
+  Kaskade.Update.insert_edge ks ~src:a.(0) ~dst:p.(0) ~etype:"AUTHORED" ();
+  (* ground truth: a view-free twin over the identical snapshot (all
+     comparisons are base-graph vs base-graph, so vertex ids agree) *)
+  let twin = Kaskade.create (Kaskade.graph ks) in
+  let rows_of = function
+    | Executor.Table t -> List.sort compare (List.map Array.to_list t.Row.rows)
+    | Executor.Affected n -> [ [ Row.Prim (Value.Int n) ] ]
+  in
+  let expected = rows_of (fst (Kaskade.run twin q)) in
+  let m_failures = M.counter "kaskade.refresh_failures" in
+  let m_open = M.counter "kaskade.breaker_open" in
+  let m_fallback = M.counter "kaskade.fallback_runs" in
+  let m_timeouts = M.counter "kaskade.query_timeouts" in
+  let base = List.map M.counter_value [ m_failures; m_open; m_fallback; m_timeouts ] in
+  Budget.Faults.(with_faults [ fault "maintain.refresh" Fail ]) (fun () ->
+      for i = 1 to threshold + 1 do
+        let r, how = Kaskade.run ks q in
+        (match how with
+        | Kaskade.Raw -> ()
+        | Kaskade.Via_view v ->
+          Printf.eprintf "FAIL: query %d answered via stale view %s\n" i v;
+          exit 1);
+        if rows_of r <> expected then begin
+          Printf.eprintf "FAIL: degraded query %d diverged from view-free execution\n" i;
+          exit 1
+        end;
+        let breaker =
+          match Kaskade.breaker_states ks with
+          | [ (_, br) ] -> Breaker.describe br
+          | _ -> "closed (pristine)"
+        in
+        Printf.printf "query %d: answered on base graph, rows correct, breaker %s\n" i breaker
+      done);
+  (match Kaskade.breaker_states ks with
+  | [ (name, br) ] when Breaker.state br = Breaker.Open ->
+    Printf.printf "breaker for %s opened after %d consecutive failures -> view quarantined\n"
+      name (Breaker.failures br)
+  | _ ->
+    Printf.eprintf "FAIL: breaker did not open after %d refresh failures\n" threshold;
+    exit 1);
+  (* deadlines: a typed value, never a crash or an escaped exception *)
+  (match Kaskade.run_result ~budget:(Budget.create ~deadline_s:0.0 ()) ks q with
+  | Error (Kaskade.Error.Budget_exhausted _ as e) ->
+    Printf.printf "0s deadline -> typed error: %s\n" (Kaskade.Error.to_string e)
+  | Ok _ ->
+    Printf.eprintf "FAIL: 0s deadline did not exhaust\n";
+    exit 1
+  | Error e ->
+    Printf.eprintf "FAIL: 0s deadline misclassified: %s\n" (Kaskade.Error.to_string e);
+    exit 1);
+  Budget.Faults.with_spec "executor.run=timeout" (fun () ->
+      match Kaskade.run_result ks q with
+      | Error (Kaskade.Error.Budget_exhausted _) ->
+        print_endline "injected executor timeout -> typed error"
+      | _ ->
+        Printf.eprintf "FAIL: injected executor timeout not surfaced as Budget_exhausted\n";
+        exit 1);
+  let deltas =
+    List.map2 (fun c b -> M.counter_value c - b) [ m_failures; m_open; m_fallback; m_timeouts ]
+      base
+  in
+  (match deltas with
+  | [ failures; opened; fallback; timeouts ] ->
+    Printf.printf
+      "metrics: +%d refresh_failures, +%d breaker_open, +%d fallback_runs, +%d query_timeouts\n"
+      failures opened fallback timeouts;
+    (* threshold failures; one distinct opening; a fallback for the
+       opening run, the quarantined one, and the executor-timeout run
+       (it plans around the quarantined view before the fault fires);
+       two governed timeouts *)
+    if deltas <> [ threshold; 1; 3; 2 ] then begin
+      Printf.eprintf "FAIL: unexpected metric deltas\n";
+      exit 1
+    end
+  | _ -> assert false);
+  print_endline "degradation drill passed: correct answers throughout, no crash"
+
 let all_experiments =
   [ ("table3", table3); ("table4", table4); ("fig5", fig5); ("fig6", fig6); ("fig7", fig7);
     ("fig5k", fig5k); ("fig8", fig8); ("catalog", catalog); ("enum", enum); ("select", select);
-    ("e2e", e2e); ("microbench", microbench); ("maintenance", maintenance) ]
+    ("e2e", e2e); ("microbench", microbench); ("maintenance", maintenance); ("faults", faults) ]

@@ -13,10 +13,16 @@
                                     incremental refresh vs full
                                     rebuild sweep (every refresh
                                     checked against its rebuild)
+     bench/main.exe faults [--smoke]
+                                    degradation drill: injected
+                                    refresh failures open the circuit
+                                    breaker, queries degrade to
+                                    correct base-graph answers,
+                                    deadlines surface as typed errors
 
    Experiment ids: table3 table4 fig5 fig6 fig7 fig8 catalog enum
-   select e2e microbench maintenance (see DESIGN.md's experiment
-   index). *)
+   select e2e microbench maintenance faults (see DESIGN.md's
+   experiment index). *)
 
 let bechamel_tests () =
   let open Bechamel in
@@ -119,7 +125,7 @@ let () =
               exit 1)
           selected
     in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Kaskade_util.Mclock.now_s () in
     List.iter (fun (_, f) -> f ()) to_run;
-    Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)
+    Printf.printf "\ntotal bench time: %.1fs\n" (Kaskade_util.Mclock.now_s () -. t0)
   end

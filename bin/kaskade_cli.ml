@@ -80,11 +80,15 @@ let dump_metrics = function
     output_char oc '\n';
     close_out oc
 
+(* Compiler-style rendering: "query:LINE:COL: parse error: ...". *)
+let render_parse_error msg line col =
+  Printf.sprintf "query:%d:%d: parse error: %s" line col msg
+
 let parse_or_die src =
   match Kaskade.parse src with
   | q -> q
-  | exception Kaskade_query.Qparser.Parse_error msg ->
-    Printf.eprintf "parse error: %s\n" msg;
+  | exception Kaskade_query.Qparser.Parse_error { message; line; col } ->
+    Printf.eprintf "%s\n" (render_parse_error message line col);
     exit 1
 
 (* Opportunistic workload analysis for a single ad-hoc query: select
@@ -176,7 +180,7 @@ let run_cmd =
             e.Kaskade_views.Catalog.size_edges)
         entries
     end;
-    let t0 = Unix.gettimeofday () in
+    let t0 = Kaskade_util.Mclock.now_s () in
     let result, how, report =
       if no_views then
         if profile then begin
@@ -195,7 +199,7 @@ let run_cmd =
         (result, how, None)
       end
     in
-    let dt = Unix.gettimeofday () -. t0 in
+    let dt = Kaskade_util.Mclock.now_s () -. t0 in
     let target, target_graph =
       match how with
       | Kaskade.Raw -> ("raw graph", g)
@@ -413,9 +417,9 @@ let repl_cmd =
            (* Opportunistically select + materialize for each new query. *)
            let sel = Kaskade.select_views ks ~queries:[ q ] ~budget_edges:budget in
            ignore (Kaskade.materialize_selected ks sel);
-           let t0 = Unix.gettimeofday () in
+           let t0 = Kaskade_util.Mclock.now_s () in
            let result, how = Kaskade.run ks q in
-           let dt = Unix.gettimeofday () -. t0 in
+           let dt = Kaskade_util.Mclock.now_s () -. t0 in
            let target_graph =
              match how with
              | Kaskade.Raw -> g
@@ -432,9 +436,15 @@ let repl_cmd =
              dt
              (match how with Kaskade.Raw -> "raw" | Kaskade.Via_view v -> "via " ^ v)
          with
-        | Kaskade_query.Qparser.Parse_error msg -> Printf.printf "parse error: %s\n" msg
+        | Kaskade_query.Qparser.Parse_error { message; line; col } ->
+          Printf.printf "%s\n" (render_parse_error message line col)
         | Kaskade_query.Analyze.Semantic_error msg -> Printf.printf "semantic error: %s\n" msg
-        | Invalid_argument msg -> Printf.printf "error: %s\n" msg);
+        | Invalid_argument msg -> Printf.printf "error: %s\n" msg
+        (* Governed failures (budget exhaustion, refresh crashes, injected
+           faults) end the query, not the session. *)
+        | e when Kaskade.Error.of_exn e <> None ->
+          Printf.printf "%s\n"
+            (Kaskade.Error.to_string (Option.get (Kaskade.Error.of_exn e))));
         loop ()
       end
     in
@@ -446,17 +456,30 @@ let repl_cmd =
 let () =
   let doc = "Kaskade: graph views for efficient graph analytics (ICDE 2020 reproduction)." in
   let info = Cmd.info "kaskade_cli" ~doc in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            generate_cmd;
-            stats_cmd;
-            enumerate_cmd;
-            select_cmd;
-            run_cmd;
-            explain_cmd;
-            update_cmd;
-            refresh_cmd;
-            repl_cmd;
-          ]))
+  let group =
+    Cmd.group info
+      [
+        generate_cmd;
+        stats_cmd;
+        enumerate_cmd;
+        select_cmd;
+        run_cmd;
+        explain_cmd;
+        update_cmd;
+        refresh_cmd;
+        repl_cmd;
+      ]
+  in
+  (* Governed failures (budget exhaustion, refresh crashes, I/O and
+     injected faults) exit 1 with a one-line typed message instead of
+     cmdliner's internal-error backtrace; truly unexpected exceptions
+     still crash loudly. *)
+  match Cmd.eval ~catch:false group with
+  | code -> exit code
+  | exception e -> begin
+    match Kaskade.Error.of_exn e with
+    | Some err ->
+      Printf.eprintf "kaskade_cli: %s\n" (Kaskade.Error.to_string err);
+      exit 1
+    | None -> raise e
+  end

@@ -17,9 +17,9 @@ let q1_text =
    ) GROUP BY A.pipelineName"
 
 let time f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Kaskade_util.Mclock.now_s () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  (r, Kaskade_util.Mclock.now_s () -. t0)
 
 let () =
   print_endline "generating a provenance graph (jobs, files, tasks, machines, users)...";

@@ -7,9 +7,9 @@
 open Kaskade_graph
 
 let time f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Kaskade_util.Mclock.now_s () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  (r, Kaskade_util.Mclock.now_s () -. t0)
 
 let () =
   let g = Kaskade_gen.Dblp_gen.(generate { default with authors = 3_000; pubs = 5_000; seed = 17 }) in

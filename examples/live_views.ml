@@ -14,9 +14,9 @@ open Kaskade_graph
 open Kaskade_views
 
 let time f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Kaskade_util.Mclock.now_s () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  (r, Kaskade_util.Mclock.now_s () -. t0)
 
 let () =
   let raw =

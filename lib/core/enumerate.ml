@@ -1,5 +1,6 @@
 open Kaskade_prolog
 open Kaskade_views
+module Budget = Kaskade_util.Budget
 module Metrics = Kaskade_obs.Metrics
 module Trace = Kaskade_obs.Trace
 
@@ -37,11 +38,41 @@ let dedupe candidates =
       end)
     candidates
 
-let engine_with schema_rules facts =
+(* The engine's own step limit is the budget's remaining step
+   allowance (when capped), and its periodic checkpoint re-checks the
+   budget's deadline — so a budgeted enumeration is bounded in both
+   work and wall time, and reports exhaustion as stage [Enumerate]
+   rather than leaking [Engine.Budget_exceeded]. *)
+let engine_with ?budget schema_rules facts =
   let db = Prelude.db_with_prelude () in
   Db.load db schema_rules;
   Facts.assert_all db facts;
-  Engine.create db
+  match budget with
+  | None -> Engine.create db
+  | Some b ->
+    let step_limit =
+      match Budget.remaining_steps b with
+      | Some r -> Stdlib.min r 50_000_000
+      | None -> 50_000_000
+    in
+    Engine.create ~step_limit
+      ~checkpoint:(fun () -> Budget.check (Some b) Budget.Enumerate)
+      db
+
+(* Charge the engine's resolution steps to the budget and translate
+   its own step-limit trip into the typed exhaustion. *)
+let budgeted ?budget eng f =
+  match f () with
+  | out ->
+    Budget.step ~cost:(Engine.steps eng) budget Budget.Enumerate;
+    out
+  | exception Engine.Budget_exceeded limit when budget <> None ->
+    raise
+      (Budget.Exhausted
+         {
+           stage = Budget.Enumerate;
+           detail = Printf.sprintf "enumeration step budget of %d exceeded" limit;
+         })
 
 (* Book-keeping shared by both enumeration entry points: counters for
    the metrics registry plus span attributes when a trace collection
@@ -61,12 +92,15 @@ let all_edges_labeled summary =
   summary.Kaskade_query.Analyze.var_length_paths = []
   && List.for_all (fun (_, _, et) -> et <> None) summary.Kaskade_query.Analyze.edges
 
-let enumerate schema query =
+let enumerate ?budget schema query =
   Trace.with_span "enumerate" @@ fun () ->
+  Budget.check budget Budget.Enumerate;
+  Budget.fault_point Budget.Enumerate ~site:"enumerate";
   let summary = Kaskade_query.Analyze.check schema query in
   let facts = Facts.query_facts schema query @ Facts.schema_facts schema in
-  let eng = engine_with Rules.all facts in
+  let eng = engine_with ?budget Rules.all facts in
   Engine.reset_steps eng;
+  budgeted ?budget eng @@ fun () ->
   let out = ref [] in
   let push view bridges = out := { view; bridges } :: !out in
   (* K-hop connectors (including the same-vertex-type special case). *)
@@ -128,11 +162,14 @@ let enumerate schema query =
   end;
   observed { candidates = dedupe (List.rev !out); inference_steps = Engine.steps eng; facts }
 
-let enumerate_unconstrained schema ~max_k =
+let enumerate_unconstrained ?budget schema ~max_k =
   Trace.with_span "enumerate_unconstrained" @@ fun () ->
+  Budget.check budget Budget.Enumerate;
+  Budget.fault_point Budget.Enumerate ~site:"enumerate";
   let facts = Facts.schema_facts schema in
-  let eng = engine_with (Rules.mining_rules ^ Rules.unconstrained_templates) facts in
+  let eng = engine_with ?budget (Rules.mining_rules ^ Rules.unconstrained_templates) facts in
   Engine.reset_steps eng;
+  budgeted ?budget eng @@ fun () ->
   let out = ref [] in
   List.iter
     (fun sol ->

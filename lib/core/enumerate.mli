@@ -18,10 +18,19 @@ type enumeration = {
       were asserted (for inspection/tests). *)
 }
 
-val enumerate : Kaskade_graph.Schema.t -> Kaskade_query.Ast.t -> enumeration
-(** Constraint-based enumeration for one query. *)
+val enumerate :
+  ?budget:Kaskade_util.Budget.t -> Kaskade_graph.Schema.t -> Kaskade_query.Ast.t -> enumeration
+(** Constraint-based enumeration for one query.
 
-val enumerate_unconstrained : Kaskade_graph.Schema.t -> max_k:int -> enumeration
+    [budget] bounds the Prolog engine: its remaining step allowance
+    becomes the engine's step limit and the engine's periodic
+    checkpoint re-checks the deadline. Exhaustion raises
+    [Kaskade_util.Budget.Exhausted] with stage [Enumerate] (the
+    engine's own [Budget_exceeded] never escapes a budgeted call), and
+    resolution steps spent are charged back to the budget. *)
+
+val enumerate_unconstrained :
+  ?budget:Kaskade_util.Budget.t -> Kaskade_graph.Schema.t -> max_k:int -> enumeration
 (** Ablation: schema-only enumeration of k-hop connectors up to
     [max_k] (no query constraints injected) — the [M^k]-shaped space
     of §IV. *)

@@ -4,10 +4,13 @@ module Enumerate = Enumerate
 module Estimator = Estimator
 module Selection = Selection
 module Rewrite = Rewrite
+module Error = Error
 
 open Kaskade_graph
 open Kaskade_views
 open Kaskade_exec
+module Breaker = Kaskade_util.Breaker
+module Budget = Kaskade_util.Budget
 module Pool = Kaskade_util.Pool
 
 let log_src = Logs.Src.create "kaskade" ~doc:"Kaskade view selection and rewriting"
@@ -37,6 +40,22 @@ let g_stale_views =
 let h_refresh_seconds =
   Metrics.histogram ~help:"Per-view refresh wall time (seconds)" "kaskade.refresh_seconds"
 
+let m_query_timeouts =
+  Metrics.counter ~help:"Queries aborted by budget exhaustion (deadline/step/row cap)"
+    "kaskade.query_timeouts"
+
+let m_refresh_failures =
+  Metrics.counter ~help:"View refresh attempts that failed (view returned to Stale)"
+    "kaskade.refresh_failures"
+
+let m_breaker_open =
+  Metrics.counter ~help:"Per-view circuit breaker open transitions" "kaskade.breaker_open"
+
+let m_fallback_runs =
+  Metrics.counter
+    ~help:"Queries a quarantined (breaker-open) view could have served, answered on the base graph"
+    "kaskade.fallback_runs"
+
 type t = {
   overlay : Graph.Overlay.t;
   schema : Schema.t;
@@ -50,12 +69,15 @@ type t = {
   view_stats : (string, Gstats.t) Hashtbl.t;
   mutable base_stats : (int * Gstats.t) option;  (* keyed by overlay version *)
   mutable last_selection : Selection.t option;
+  breakers : (string, Breaker.t) Hashtbl.t;  (* per-view, keyed by view name *)
+  breaker_threshold : int;
+  breaker_cooldown_s : float;
 }
 
 type run_target = Raw | Via_view of string
 
 let create ?(alpha = 95.0) ?(mode = Executor.Distinct_endpoints) ?pool ?(auto_refresh = true)
-    ?(compact_threshold = 0.25) graph =
+    ?(compact_threshold = 0.25) ?(breaker_threshold = 3) ?(breaker_cooldown_s = 30.0) graph =
   {
     overlay = Graph.Overlay.create graph;
     schema = Graph.schema graph;
@@ -69,6 +91,9 @@ let create ?(alpha = 95.0) ?(mode = Executor.Distinct_endpoints) ?pool ?(auto_re
     view_stats = Hashtbl.create 8;
     base_stats = None;
     last_selection = None;
+    breakers = Hashtbl.create 8;
+    breaker_threshold;
+    breaker_cooldown_s;
   }
 
 let graph t = Graph.Overlay.graph t.overlay
@@ -125,7 +150,31 @@ let drop_view_caches t name =
 let update_stale_gauge t =
   Metrics.set_gauge g_stale_views (float_of_int (Catalog.n_stale t.catalog))
 
-let enumerate_views t q = Enumerate.enumerate t.schema q
+(* Per-view circuit breaker, created lazily (Closed) on first use. *)
+let breaker_for t name =
+  match Hashtbl.find_opt t.breakers name with
+  | Some b -> b
+  | None ->
+    let b = Breaker.create ~threshold:t.breaker_threshold ~cooldown_s:t.breaker_cooldown_s () in
+    Hashtbl.add t.breakers name b;
+    b
+
+(* A quarantined view is one whose breaker refuses refresh attempts:
+   it stays Stale, so the planner (which refuses non-Fresh views)
+   transparently routes its queries to the base graph. *)
+let quarantined t name = not (Breaker.allow (breaker_for t name))
+
+let breaker_states t =
+  List.filter_map
+    (fun (e : Catalog.entry) ->
+      let name = View.name e.Catalog.materialized.Materialize.view in
+      match Hashtbl.find_opt t.breakers name with
+      | Some b when Breaker.state b <> Breaker.Closed || Breaker.failures b > 0 ->
+        Some (name, b)
+      | _ -> None)
+    (Catalog.entries t.catalog)
+
+let enumerate_views ?budget t q = Enumerate.enumerate ?budget t.schema q
 
 let select_views ?solver ?query_weights t ~queries ~budget_edges =
   let sel =
@@ -166,36 +215,74 @@ type refresh_outcome = {
   refresh_seconds : float;
 }
 
-let refresh_entry t (entry : Catalog.entry) =
-  let ops = Catalog.begin_refresh entry in
-  if ops = [] then None
+(* One refresh attempt on one entry, with the full failure protocol:
+
+   - a breaker-open (quarantined) view is skipped outright — it stays
+     Stale and the planner routes around it until the cooldown admits
+     a half-open probe;
+   - on success the breaker resets;
+   - on failure the entry transitions [Rebuilding -> Stale ops]
+     ([Catalog.abort_refresh]) so the pending delta survives and the
+     catalog never wedges, the failure is metered and charged to the
+     breaker, and the exception is swallowed ([swallow], the
+     degradation path of [run]) or rethrown as [Error.Refresh_error]
+     (the explicit [Update.refresh_views] path);
+   - budget exhaustion is the {e query's} deadline, not the view's
+     fault: the entry is restored but the breaker is not charged, and
+     the exception always propagates. *)
+let refresh_entry ?budget ~swallow t (entry : Catalog.entry) =
+  let name = View.name entry.Catalog.materialized.Materialize.view in
+  if quarantined t name then begin
+    Log.debug (fun k -> k "skipping refresh of %s: circuit breaker open" name);
+    None
+  end
   else begin
-    let t0 = Trace.now_s () in
-    let base_after = graph t in
-    let m, strategy =
-      Maintain.refresh ?pool:t.pool base_after ~view:entry.Catalog.materialized ~ops
-    in
-    Catalog.finish_refresh t.catalog entry m;
-    let name = View.name m.Materialize.view in
-    drop_view_caches t name;
-    let dt = Trace.now_s () -. t0 in
-    Metrics.incr m_view_refreshes;
-    Metrics.observe h_refresh_seconds dt;
-    update_stale_gauge t;
-    Log.info (fun k ->
-        k "refreshed %s in %.3fs via %s (%d ops)" name dt
-          (Maintain.describe_strategy strategy)
-          (List.length ops));
-    Some
-      {
-        refreshed_view = name;
-        refresh_strategy = strategy;
-        refresh_ops = List.length ops;
-        refresh_seconds = dt;
-      }
+    let ops = Catalog.begin_refresh entry in
+    if ops = [] then None
+    else begin
+      let t0 = Trace.now_s () in
+      let base_after = graph t in
+      match Maintain.refresh ?pool:t.pool ?budget base_after ~view:entry.Catalog.materialized ~ops with
+      | m, strategy ->
+        Catalog.finish_refresh t.catalog entry m;
+        Breaker.record_success (breaker_for t name);
+        drop_view_caches t name;
+        let dt = Trace.now_s () -. t0 in
+        Metrics.incr m_view_refreshes;
+        Metrics.observe h_refresh_seconds dt;
+        update_stale_gauge t;
+        Log.info (fun k ->
+            k "refreshed %s in %.3fs via %s (%d ops)" name dt
+              (Maintain.describe_strategy strategy)
+              (List.length ops));
+        Some
+          {
+            refreshed_view = name;
+            refresh_strategy = strategy;
+            refresh_ops = List.length ops;
+            refresh_seconds = dt;
+          }
+      | exception e ->
+        Catalog.abort_refresh entry ops;
+        drop_view_caches t name;
+        (match e with
+        | Budget.Exhausted _ -> raise e
+        | _ ->
+          Metrics.incr m_refresh_failures;
+          if Breaker.record_failure (breaker_for t name) then begin
+            Metrics.incr m_breaker_open;
+            Log.warn (fun k ->
+                k "circuit breaker opened for %s after %d consecutive failures (cooldown %.0fs)"
+                  name t.breaker_threshold t.breaker_cooldown_s)
+          end;
+          let reason = Printexc.to_string e in
+          Log.warn (fun k -> k "refresh of %s failed: %s" name reason);
+          if swallow then None
+          else raise (Error.Refresh_error { view = name; reason }))
+    end
   end
 
-let refresh_views ?names t =
+let refresh_views ?budget ?names t =
   let selected =
     match names with
     | None -> Catalog.entries t.catalog
@@ -207,12 +294,18 @@ let refresh_views ?names t =
           | None -> raise Not_found)
         names
   in
-  List.filter_map (refresh_entry t) selected
+  List.filter_map (refresh_entry ?budget ~swallow:false t) selected
 
 (* Every query-answering entry point funnels through here: with
    [auto_refresh] stale views are repaired before planning; without
-   it they are left stale and the planner skips them. *)
-let repair t = if t.auto_refresh && Catalog.n_stale t.catalog > 0 then refresh_views t else []
+   it they are left stale and the planner skips them. Refresh
+   {e failures} are swallowed (the view stays quarantined/stale and
+   the query degrades to the base graph); budget exhaustion still
+   propagates. *)
+let repair ?budget t =
+  if t.auto_refresh && Catalog.n_stale t.catalog > 0 then
+    List.filter_map (refresh_entry ?budget ~swallow:true t) (Catalog.entries t.catalog)
+  else []
 
 let apply_ops t ops =
   let effective = Graph.Overlay.apply t.overlay ops in
@@ -302,40 +395,69 @@ let best_rewriting t q =
   let raw_cost, cands = eval_candidates t q in
   Option.map (fun (rw, entry, _) -> (rw, entry)) (pick_best raw_cost cands)
 
-let run_raw t q = Executor.run (base_ctx t) q
+let run_raw ?budget t q = Executor.run ?budget (base_ctx t) q
 
-let run_on_view t name q =
+let run_on_view ?budget t name q =
   match Catalog.find_by_name t.catalog name with
   | Some entry ->
     (match entry.Catalog.freshness with
     | Catalog.Fresh -> ()
-    | _ when t.auto_refresh -> ignore (refresh_entry t entry)
+    | _ when t.auto_refresh ->
+      ignore (refresh_entry ?budget ~swallow:false t entry);
+      (match entry.Catalog.freshness with
+      | Catalog.Fresh -> ()
+      | _ ->
+        raise
+          (Error.Refresh_error { view = name; reason = "quarantined by open circuit breaker" }))
     | f ->
       invalid_arg
         (Printf.sprintf "Kaskade.run_on_view: view %s is %s; refresh it first" name
            (Catalog.freshness_label f)));
-    Executor.run (view_ctx t name) q
+    Executor.run ?budget (view_ctx t name) q
   | None -> raise Not_found
 
-let run t q =
+(* When the planner settles on the base graph, record whether a
+   quarantined view was the reason: some non-fresh entry whose breaker
+   is open could have rewritten this query. That is the degradation
+   the breaker bought — visible as [kaskade.fallback_runs]. *)
+let note_fallback t q cands =
+  let lost_to_quarantine =
+    List.exists
+      (fun ((entry : Catalog.entry), _) ->
+        let view = entry.Catalog.materialized.Materialize.view in
+        entry.Catalog.freshness <> Catalog.Fresh
+        && quarantined t (View.name view)
+        && Rewrite.rewrite t.schema q view <> None)
+      cands
+  in
+  if lost_to_quarantine then Metrics.incr m_fallback_runs
+
+let run ?budget t q =
   let t0 = Trace.now_s () in
-  ignore (repair t);
-  let raw_cost, cands = eval_candidates t q in
-  let out =
+  let body () =
+    Budget.check budget Budget.Plan;
+    ignore (repair ?budget t);
+    let raw_cost, cands = eval_candidates t q in
     match pick_best raw_cost cands with
     | Some (rw, entry, _) ->
       let name = View.name entry.Catalog.materialized.Materialize.view in
       Log.debug (fun k ->
           k "answering via %s: %s" name (Kaskade_query.Pretty.to_string rw.Rewrite.rewritten));
       Metrics.incr m_view_hits;
-      (Executor.run (view_ctx t name) rw.Rewrite.rewritten, Via_view name)
+      (Executor.run ?budget (view_ctx t name) rw.Rewrite.rewritten, Via_view name)
     | None ->
       Log.debug (fun k -> k "no materialized view helps; answering on the base graph");
       Metrics.incr m_view_misses;
-      (run_raw t q, Raw)
+      note_fallback t q cands;
+      (run_raw ?budget t q, Raw)
   in
-  Metrics.observe h_query_seconds (Trace.now_s () -. t0);
-  out
+  match body () with
+  | out ->
+    Metrics.observe h_query_seconds (Trace.now_s () -. t0);
+    out
+  | exception (Budget.Exhausted _ as e) ->
+    Metrics.incr m_query_timeouts;
+    raise e
 
 (* EXPLAIN / PROFILE ------------------------------------------------- *)
 
@@ -345,6 +467,7 @@ type view_candidate = {
   cand_cost : float option;
   cand_freshness : Catalog.freshness;
   cand_refresh : string option;
+  cand_breaker : string option;
 }
 
 type report = {
@@ -356,10 +479,14 @@ type report = {
   enum_candidates : string list;
   enum_inference_steps : int;
   selection : Selection.t option;
+  budget : string option;
   plan : Explain.node;
 }
 
-let make_report t q ~target ~raw_cost ~cands ~refreshes ~executed ~plan =
+let make_report ?budget t q ~target ~raw_cost ~cands ~refreshes ~executed ~plan =
+  (* Report building is observability, so the enumeration below runs
+     outside the caller's budget — a PROFILE whose query just fit its
+     deadline still gets its report. *)
   let e = Enumerate.enumerate t.schema q in
   let base_after = graph t in
   {
@@ -369,21 +496,30 @@ let make_report t q ~target ~raw_cost ~cands ~refreshes ~executed ~plan =
     candidates =
       List.map
         (fun ((entry : Catalog.entry), outcome) ->
+          let name = View.name entry.Catalog.materialized.Materialize.view in
           let refresh_decision =
             match entry.Catalog.freshness with
             | Catalog.Fresh -> None
+            | _ when quarantined t name -> Some "quarantined (breaker open)"
             | Catalog.Stale ops ->
               Some
                 (Maintain.describe_strategy
                    (Maintain.plan base_after ~view:entry.Catalog.materialized ~ops))
             | Catalog.Rebuilding -> Some "refresh in flight"
           in
+          let breaker =
+            match Hashtbl.find_opt t.breakers name with
+            | Some b when Breaker.state b <> Breaker.Closed || Breaker.failures b > 0 ->
+              Some (Breaker.describe b)
+            | _ -> None
+          in
           {
-            cand_view = View.name entry.Catalog.materialized.Materialize.view;
+            cand_view = name;
             cand_edges = Graph.n_edges entry.Catalog.materialized.Materialize.graph;
             cand_cost = Option.map snd outcome;
             cand_freshness = entry.Catalog.freshness;
             cand_refresh = refresh_decision;
+            cand_breaker = breaker;
           })
         cands;
     refreshes;
@@ -391,43 +527,55 @@ let make_report t q ~target ~raw_cost ~cands ~refreshes ~executed ~plan =
       List.map (fun (c : Enumerate.candidate) -> View.name c.Enumerate.view) e.Enumerate.candidates;
     enum_inference_steps = e.Enumerate.inference_steps;
     selection = t.last_selection;
+    budget = Option.map Budget.describe budget;
     plan;
   }
 
-let explain t q =
+let explain ?budget t q =
   (* Read-only: stale views are reported (with the refresh strategy a
-     repair would use), never repaired. *)
+     repair would use), never repaired. [budget] is reported, not
+     consumed — EXPLAIN does no graph work worth charging. *)
   let raw_cost, cands = eval_candidates t q in
   match pick_best raw_cost cands with
   | Some (rw, entry, _) ->
     let name = View.name entry.Catalog.materialized.Materialize.view in
     let plan = Executor.explain (view_ctx t name) rw.Rewrite.rewritten in
-    make_report t q ~target:(Via_view name) ~raw_cost ~cands ~refreshes:[]
+    make_report ?budget t q ~target:(Via_view name) ~raw_cost ~cands ~refreshes:[]
       ~executed:rw.Rewrite.rewritten ~plan
   | None ->
     let plan = Executor.explain (base_ctx t) q in
-    make_report t q ~target:Raw ~raw_cost ~cands ~refreshes:[] ~executed:q ~plan
+    make_report ?budget t q ~target:Raw ~raw_cost ~cands ~refreshes:[] ~executed:q ~plan
 
-let profile t q =
+let profile ?budget t q =
   let t0 = Trace.now_s () in
-  let refreshes = repair t in
-  let raw_cost, cands = eval_candidates t q in
-  let result, target, executed, plan =
-    match pick_best raw_cost cands with
-    | Some (rw, entry, _) ->
-      let name = View.name entry.Catalog.materialized.Materialize.view in
-      Metrics.incr m_view_hits;
-      let result, plan =
-        Executor.run_explained ~profile:true (view_ctx t name) rw.Rewrite.rewritten
-      in
-      (result, Via_view name, rw.Rewrite.rewritten, plan)
-    | None ->
-      Metrics.incr m_view_misses;
-      let result, plan = Executor.run_explained ~profile:true (base_ctx t) q in
-      (result, Raw, q, plan)
+  let body () =
+    Budget.check budget Budget.Plan;
+    let refreshes = repair ?budget t in
+    let raw_cost, cands = eval_candidates t q in
+    let result, target, executed, plan =
+      match pick_best raw_cost cands with
+      | Some (rw, entry, _) ->
+        let name = View.name entry.Catalog.materialized.Materialize.view in
+        Metrics.incr m_view_hits;
+        let result, plan =
+          Executor.run_explained ~profile:true ?budget (view_ctx t name) rw.Rewrite.rewritten
+        in
+        (result, Via_view name, rw.Rewrite.rewritten, plan)
+      | None ->
+        Metrics.incr m_view_misses;
+        note_fallback t q cands;
+        let result, plan = Executor.run_explained ~profile:true ?budget (base_ctx t) q in
+        (result, Raw, q, plan)
+    in
+    (result, make_report ?budget t q ~target ~raw_cost ~cands ~refreshes ~executed ~plan)
   in
-  Metrics.observe h_query_seconds (Trace.now_s () -. t0);
-  (result, make_report t q ~target ~raw_cost ~cands ~refreshes ~executed ~plan)
+  match body () with
+  | out ->
+    Metrics.observe h_query_seconds (Trace.now_s () -. t0);
+    out
+  | exception (Budget.Exhausted _ as e) ->
+    Metrics.incr m_query_timeouts;
+    raise e
 
 let pp_report ppf r =
   let open Format in
@@ -436,6 +584,9 @@ let pp_report ppf r =
   | Via_view v -> fprintf ppf "target: materialized view %s@," v);
   fprintf ppf "query: %s@," (Kaskade_query.Pretty.to_string r.executed);
   fprintf ppf "raw-graph cost: %.6g@," r.raw_cost;
+  (match r.budget with
+  | Some b -> fprintf ppf "budget: %s@," b
+  | None -> ());
   if r.refreshes <> [] then begin
     fprintf ppf "refreshed before planning:@,";
     List.iter
@@ -461,6 +612,11 @@ let pp_report ppf r =
             | Some d -> Printf.sprintf " [%s; would %s]" (Catalog.freshness_label f) d
             | None -> Printf.sprintf " [%s]" (Catalog.freshness_label f)
           end
+        in
+        let freshness =
+          match c.cand_breaker with
+          | Some b -> Printf.sprintf "%s [breaker: %s]" freshness b
+          | None -> freshness
         in
         match c.cand_cost with
         | Some cost ->
@@ -517,6 +673,7 @@ let report_json r =
         | Via_view v -> Obj [ ("kind", Str "view"); ("view", Str v) ] );
       ("raw_cost", num r.raw_cost);
       ("query", Str (Kaskade_query.Pretty.to_string r.executed));
+      ("budget", match r.budget with Some b -> Str b | None -> Null);
       ( "refreshes",
         List
           (List.map
@@ -542,6 +699,7 @@ let report_json r =
                    ("freshness", Str (Catalog.freshness_label c.cand_freshness));
                    ( "refresh_decision",
                      match c.cand_refresh with Some d -> Str d | None -> Null );
+                   ("breaker", match c.cand_breaker with Some b -> Str b | None -> Null);
                  ])
              r.candidates) );
       ( "enumeration",
@@ -553,3 +711,8 @@ let report_json r =
       ("selection", match r.selection with Some s -> selection_json s | None -> Null);
       ("plan", Explain.to_json r.plan);
     ]
+
+(* Typed-error entry points ------------------------------------------ *)
+
+let parse_result src = Error.guard (fun () -> parse src)
+let run_result ?budget t q = Error.guard (fun () -> run ?budget t q)

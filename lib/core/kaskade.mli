@@ -29,6 +29,7 @@ module Enumerate = Enumerate
 module Estimator = Estimator
 module Selection = Selection
 module Rewrite = Rewrite
+module Error = Error
 
 type t
 
@@ -42,6 +43,8 @@ val create :
   ?pool:Kaskade_util.Pool.t ->
   ?auto_refresh:bool ->
   ?compact_threshold:float ->
+  ?breaker_threshold:int ->
+  ?breaker_cooldown_s:float ->
   Kaskade_graph.Graph.t ->
   t
 (** [alpha] (default 95) parameterizes view-size estimation — the
@@ -53,7 +56,16 @@ val create :
     back to the base graph and leave views stale until
     {!Update.refresh_views}. [compact_threshold] (default 0.25) is the
     overlay ratio past which a batch triggers
-    [Graph.Overlay.compact]. *)
+    [Graph.Overlay.compact].
+
+    [breaker_threshold] (default 3) consecutive refresh failures open
+    a view's circuit breaker; while open (for [breaker_cooldown_s]
+    seconds, default 30, on the monotonic clock) the view is
+    {e quarantined}: refresh attempts are skipped, it stays [Stale],
+    and the planner transparently answers its queries from the base
+    graph (counted by the [kaskade.fallback_runs] metric). After the
+    cooldown one half-open probe refresh is allowed — success closes
+    the breaker, failure reopens it. *)
 
 val graph : t -> Kaskade_graph.Graph.t
 (** Current frozen snapshot — base plus any applied updates. Cheap
@@ -67,7 +79,12 @@ val stats : t -> Kaskade_graph.Gstats.t
 val catalog : t -> Kaskade_views.Catalog.t
 
 val parse : string -> Kaskade_query.Ast.t
-(** Parse the hybrid query language (re-export of [Qparser.parse]). *)
+(** Parse the hybrid query language (re-export of [Qparser.parse]).
+    Raises [Qparser.Parse_error] (with position); {!parse_result} is
+    the non-raising form. *)
+
+val parse_result : string -> (Kaskade_query.Ast.t, Error.t) result
+(** {!parse} with the error as a value ([Error.Parse]). *)
 
 (** {1 Updates}
 
@@ -124,13 +141,21 @@ module Update : sig
       ([Fresh -> Stale], [Stale -> Stale] with the delta appended).
       May compact the overlay (see [compact_threshold]). *)
 
-  val refresh_views : ?names:string list -> t -> refresh_outcome list
+  val refresh_views :
+    ?budget:Kaskade_util.Budget.t -> ?names:string list -> t -> refresh_outcome list
   (** Repair stale views — incrementally when the delta is
       expressible, otherwise by flagged full rebuild — and return what
       was done (fresh views are skipped and absent from the result).
       [names] restricts to specific views; raises [Not_found] on
       unknown names. Updates the [kaskade.view_refreshes] /
-      [kaskade.refresh_seconds] / [kaskade.stale_views] metrics. *)
+      [kaskade.refresh_seconds] / [kaskade.stale_views] metrics.
+
+      A refresh that crashes raises {!Error.Refresh_error} after
+      restoring the entry to [Stale] (delta intact) and charging the
+      view's circuit breaker ([kaskade.refresh_failures],
+      [kaskade.breaker_open] metrics); quarantined views are skipped
+      silently. [budget] bounds the work ([Budget.Exhausted]
+      propagates and does {e not} charge the breaker). *)
 
   val freshness : t -> (string * Kaskade_views.Catalog.freshness) list
   (** Freshness of every catalog entry, sorted by view name. *)
@@ -138,8 +163,10 @@ end
 
 (** {1 Planning and materialization} *)
 
-val enumerate_views : t -> Kaskade_query.Ast.t -> Enumerate.enumeration
-(** Constraint-based view enumeration for one query (§IV). *)
+val enumerate_views :
+  ?budget:Kaskade_util.Budget.t -> t -> Kaskade_query.Ast.t -> Enumerate.enumeration
+(** Constraint-based view enumeration for one query (§IV). [budget]
+    bounds the Prolog engine (see {!Enumerate.enumerate}). *)
 
 val select_views :
   ?solver:Selection.solver ->
@@ -163,14 +190,38 @@ val best_rewriting :
     estimated evaluation cost — [None] when no view helps (§V-C).
     Repairs stale views first when [auto_refresh] is on. *)
 
-val run : t -> Kaskade_query.Ast.t -> Kaskade_exec.Executor.result * run_target
+val run :
+  ?budget:Kaskade_util.Budget.t ->
+  t ->
+  Kaskade_query.Ast.t ->
+  Kaskade_exec.Executor.result * run_target
 (** View-based evaluation: rewrite over the cheapest applicable
     materialized view, falling back to the base graph. {b Never}
     answers from a view whose freshness is not [Fresh]: stale views
     are either repaired first ([auto_refresh]) or passed over in
     favour of the base graph. Updates the process-wide metrics
     registry ([kaskade.view_hits] / [kaskade.view_misses] counters,
-    [kaskade.query_seconds] histogram — see [Kaskade_obs.Metrics]). *)
+    [kaskade.query_seconds] histogram — see [Kaskade_obs.Metrics]).
+
+    {b Degradation:} a repair that {e fails} is swallowed here — the
+    failure is metered ([kaskade.refresh_failures]) and charged to the
+    view's circuit breaker, the view stays [Stale], and the query is
+    answered from the base graph ([kaskade.fallback_runs] counts the
+    queries a quarantined view could have served). [budget] bounds the
+    whole pipeline (repair, planning, execution); exhaustion raises
+    [Kaskade_util.Budget.Exhausted] (counted by
+    [kaskade.query_timeouts]) and leaves the system consistent —
+    {!run_result} is the non-raising form. *)
+
+val run_result :
+  ?budget:Kaskade_util.Budget.t ->
+  t ->
+  Kaskade_query.Ast.t ->
+  (Kaskade_exec.Executor.result * run_target, Error.t) result
+(** {!run} with every governed failure mode as a typed value: budget
+    exhaustion, semantic/planning errors, refresh failures escaping a
+    non-degradable path. Truly unexpected exceptions still
+    propagate (see {!Error.of_exn}). *)
 
 (** {1 EXPLAIN / PROFILE}
 
@@ -188,7 +239,12 @@ type view_candidate = {
   cand_refresh : string option;
       (** For non-fresh candidates: the refresh strategy a repair
           would use (from [Maintain.plan]), e.g. ["delta(+3/-1
-          pairs)"] or ["rebuild: ..."]. *)
+          pairs)"] or ["rebuild: ..."], or ["quarantined (breaker
+          open)"] when the circuit breaker blocks repair. *)
+  cand_breaker : string option;
+      (** Circuit-breaker state when it is not pristine (open,
+          half-open, or closed with recorded failures), e.g.
+          ["open (2.1s into 30.0s cooldown), 3 failures"]. *)
 }
 
 type report = {
@@ -211,18 +267,26 @@ type report = {
       (** The most recent {!select_views} outcome — knapsack inputs
           (per-candidate size/cost/value) and outputs (chosen set,
           weight). [None] before any selection. *)
+  budget : string option;
+      (** State of the budget the caller passed ([Budget.describe] at
+          report time); [None] when the call was unbudgeted. *)
   plan : Kaskade_obs.Explain.node;  (** Operator tree for [executed]. *)
 }
 
-val explain : t -> Kaskade_query.Ast.t -> report
+val explain : ?budget:Kaskade_util.Budget.t -> t -> Kaskade_query.Ast.t -> report
 (** The plan and rewrite decision for [q], without executing it.
     Read-only: stale views are {e reported} (freshness plus the
     refresh strategy a repair would use) but never repaired, and the
     reported target is what {!run} would pick with the catalog in this
-    state. *)
+    state. [budget] is surfaced in the report, not consumed. *)
 
-val profile : t -> Kaskade_query.Ast.t -> Kaskade_exec.Executor.result * report
-(** Execute [q] exactly as {!run} would (the result is identical) and
+val profile :
+  ?budget:Kaskade_util.Budget.t ->
+  t ->
+  Kaskade_query.Ast.t ->
+  Kaskade_exec.Executor.result * report
+(** Execute [q] exactly as {!run} would (the result is identical —
+    including budget enforcement and refresh-failure degradation) and
     return the plan annotated with per-operator actual rows and wall
     times, plus any view repairs that ran first. *)
 
@@ -233,14 +297,26 @@ val report_json : report -> Kaskade_obs.Report.json
 (** Structured form of the whole report, including the plan tree, the
     selection trace, per-candidate freshness and refresh decisions. *)
 
-val run_raw : t -> Kaskade_query.Ast.t -> Kaskade_exec.Executor.result
+val run_raw :
+  ?budget:Kaskade_util.Budget.t -> t -> Kaskade_query.Ast.t -> Kaskade_exec.Executor.result
 (** Always evaluate on the (current) base graph. *)
 
-val run_on_view : t -> string -> Kaskade_query.Ast.t -> Kaskade_exec.Executor.result
+val run_on_view :
+  ?budget:Kaskade_util.Budget.t ->
+  t ->
+  string ->
+  Kaskade_query.Ast.t ->
+  Kaskade_exec.Executor.result
 (** Evaluate a (already rewritten) query on a named materialized view.
     Raises [Not_found] for unknown views; a stale view is repaired
     first under [auto_refresh] and refused ([Invalid_argument])
-    otherwise. *)
+    otherwise. Unlike {!run} there is no base-graph fallback, so a
+    failed or breaker-blocked repair raises {!Error.Refresh_error}. *)
+
+val breaker_states : t -> (string * Kaskade_util.Breaker.t) list
+(** Circuit breakers with history (open, half-open, or closed with
+    recorded failures), in catalog order — pristine views are
+    omitted. *)
 
 val base_ctx : t -> Kaskade_exec.Executor.ctx
 (** The base graph's executor context — a {e live} context reading

@@ -5,6 +5,7 @@ module Metrics = Kaskade_obs.Metrics
 module Trace = Kaskade_obs.Trace
 module Scratch = Kaskade_util.Scratch
 module Int_vec = Kaskade_util.Int_vec
+module Budget = Kaskade_util.Budget
 
 (* Process-wide execution metrics (see docs/OBSERVABILITY.md). The
    instruments are resolved once here; updates are single field
@@ -214,8 +215,14 @@ let neighbor_iter g ~etype ~(dir : Ast.edge_dir) =
       Metrics.incr m_expand_steps;
       Graph.iter_in g u (fun ~src:s ~etype:_ ~eid:_ -> f s)
 
-let var_length_endpoints g ~src ~lo ~hi ~etype ~(dir : Ast.edge_dir) emit =
+let var_length_endpoints ?budget g ~src ~lo ~hi ~etype ~(dir : Ast.edge_dir) emit =
   let neighbors = neighbor_iter g ~etype ~dir in
+  (* One budget checkpoint per frontier-vertex expansion — the unit
+     the BFS loops below already account to [m_expand_steps]. *)
+  let neighbors u f =
+    Budget.step budget Budget.Execute;
+    neighbors u f
+  in
   let n = Graph.n_vertices g in
   if lo <= 1 then
     (* Visited set and frontier queues are epoch-stamped scratch
@@ -300,7 +307,7 @@ let var_length_endpoints g ~src ~lo ~hi ~etype ~(dir : Ast.edge_dir) emit =
 
 (* All-trails var-length expansion: DFS over distinct-edge trails,
    emitting each endpoint once per trail reaching it. Exponential. *)
-let var_length_trails g ~src ~lo ~hi ~etype ~(dir : Ast.edge_dir) emit =
+let var_length_trails ?budget g ~src ~lo ~hi ~etype ~(dir : Ast.edge_dir) emit =
   (* Edge iterator resolved once, typed cases slice-walk; the
      distinct-edge set is an epoch-stamped scratch buffer over edge
      ids (add on descent, remove on backtrack). *)
@@ -316,6 +323,7 @@ let var_length_trails g ~src ~lo ~hi ~etype ~(dir : Ast.edge_dir) emit =
   Scratch.with_set ~n:(Graph.n_edges g) @@ fun used ->
   let rec dfs v depth =
     Metrics.incr m_expand_steps;
+    Budget.step budget Budget.Execute;
     if depth >= lo then emit v depth;
     if depth < hi then
       iter_step v (fun eid u ->
@@ -337,7 +345,7 @@ let equality_probe = Cost.equality_probe
    "Filter" node when a WHERE clause exists. The executor fills actual
    row counts (successful bindings) and per-pattern wall time into
    that same tree. *)
-let eval_match ?prof ctx (mb : Ast.match_block) : Row.table =
+let eval_match ?prof ?budget ctx (mb : Ast.match_block) : Row.table =
   let g = ctx.g in
   let schema = Graph.schema g in
   let slots = collect_slots mb.patterns in
@@ -353,7 +361,10 @@ let eval_match ?prof ctx (mb : Ast.match_block) : Row.table =
   let expand_pattern ?(tally = fun (_ : int) -> ()) rows (p : Ast.pattern) =
     let n_steps = List.length p.p_steps in
     let out = ref [] in
-    let emit row = out := row :: !out in
+    let emit row =
+      Budget.add_rows budget Budget.Execute 1;
+      out := row :: !out
+    in
     (* Walk the steps from a bound start vertex. *)
     let rec steps row cur = function
       | [] -> emit row
@@ -403,8 +414,10 @@ let eval_match ?prof ctx (mb : Ast.match_block) : Row.table =
             accept_vertex ~edge_rval:(Row.Prim (Value.Int hops)) v
           in
           (match ctx.mode with
-          | Distinct_endpoints -> var_length_endpoints g ~src:cur ~lo ~hi ~etype ~dir:e.e_dir emit_endpoint
-          | All_trails -> var_length_trails g ~src:cur ~lo ~hi ~etype ~dir:e.e_dir emit_endpoint))
+          | Distinct_endpoints ->
+            var_length_endpoints ?budget g ~src:cur ~lo ~hi ~etype ~dir:e.e_dir emit_endpoint
+          | All_trails ->
+            var_length_trails ?budget g ~src:cur ~lo ~hi ~etype ~dir:e.e_dir emit_endpoint))
     and bind_edge row (e : Ast.edge_pat) edge_rval k =
       match (e.e_var, edge_rval) with
       | Some name, Some rv ->
@@ -417,6 +430,9 @@ let eval_match ?prof ctx (mb : Ast.match_block) : Row.table =
     List.iter
       (fun row ->
         let start (v : int) =
+          (* Scan checkpoint: one step per candidate start vertex,
+             whether or not it binds. *)
+          Budget.step budget Budget.Execute;
           if label_ok g p.p_start v then begin
             let proceed row =
               tally 0;
@@ -608,7 +624,7 @@ and combine_binop op va vb =
   | Ast.Ge -> Row.Prim (Value.Bool (Row.rval_compare va vb >= 0))
   | Ast.And | Ast.Or -> invalid_arg "Executor: boolean combination of aggregates"
 
-let rec eval_select ?prof ctx (sb : Ast.select_block) : Row.table =
+let rec eval_select ?prof ?budget ctx (sb : Ast.select_block) : Row.table =
   let g = ctx.g in
   (* Peel the stage chain Cost.select_plan built — Limit over Sort
      over Distinct over Aggregate/Project over Filter over the source
@@ -629,8 +645,8 @@ let rec eval_select ?prof ctx (sb : Ast.select_block) : Row.table =
   let filt_p, src_p = peel (sb.s_where <> None) n in
   let source =
     match sb.from with
-    | Ast.From_match mb -> eval_match ?prof:src_p ctx mb
-    | Ast.From_select inner -> eval_select ?prof:src_p ctx inner
+    | Ast.From_match mb -> eval_match ?prof:src_p ?budget ctx mb
+    | Ast.From_select inner -> eval_select ?prof:src_p ?budget ctx inner
   in
   let env_of_row (row : Row.rval array) name =
     match Row.col_index source name with
@@ -784,11 +800,11 @@ let prepare ctx (q : Ast.t) =
     ignore (Analyze.check (Graph.schema ctx.g) q);
     if ctx.planner then Planner.optimize (Lazy.force ctx.stats) (Graph.schema ctx.g) q else q
 
-let exec_prepared ?prof ctx (q : Ast.t) : result =
+let exec_prepared ?prof ?budget ctx (q : Ast.t) : result =
   match q with
   | Ast.Call c -> eval_call ctx c
-  | Ast.Match_only mb -> Table (eval_match ?prof ctx mb)
-  | Ast.Select sb -> Table (eval_select ?prof ctx sb)
+  | Ast.Match_only mb -> Table (eval_match ?prof ?budget ctx mb)
+  | Ast.Select sb -> Table (eval_select ?prof ?budget ctx sb)
 
 let account result =
   Metrics.incr m_queries_run;
@@ -797,22 +813,29 @@ let account result =
   | Affected _ -> ());
   result
 
-let run ctx (q : Ast.t) : result =
+let run ?budget ctx (q : Ast.t) : result =
   sync ctx;
-  account (exec_prepared ctx (prepare ctx q))
+  (* Entry checkpoint: an already-exhausted budget (0ms deadline) must
+     fire before any scan starts, and fault injection can force a
+     timeout here. *)
+  Budget.check budget Budget.Execute;
+  Budget.fault_point Budget.Execute ~site:"executor.run";
+  account (exec_prepared ?budget ctx (prepare ctx q))
 
 let explain ctx (q : Ast.t) =
   sync ctx;
   let q = prepare ctx q in
   Cost.plan (Lazy.force ctx.stats) (Graph.schema ctx.g) q
 
-let run_explained ?(profile = false) ctx (q : Ast.t) =
+let run_explained ?(profile = false) ?budget ctx (q : Ast.t) =
   sync ctx;
+  Budget.check budget Budget.Execute;
+  Budget.fault_point Budget.Execute ~site:"executor.run";
   let q = prepare ctx q in
   let plan = Cost.plan (Lazy.force ctx.stats) (Graph.schema ctx.g) q in
   let prof = if profile then Some plan else None in
   let t0 = Trace.now_s () in
-  let result = account (exec_prepared ?prof ctx q) in
+  let result = account (exec_prepared ?prof ?budget ctx q) in
   (* MATCH/SELECT roots annotate themselves; CALL has no eval-side
      instrumentation, so fill its single node here. *)
   (if profile then

@@ -47,9 +47,17 @@ val graph : ctx -> Kaskade_graph.Graph.t
 
 val mode : ctx -> mode
 
-val run : ctx -> Kaskade_query.Ast.t -> result
+val run : ?budget:Kaskade_util.Budget.t -> ctx -> Kaskade_query.Ast.t -> result
 (** Raises [Analyze.Semantic_error] on invalid queries and
-    [Invalid_argument] on unknown CALL procedures. *)
+    [Invalid_argument] on unknown CALL procedures.
+
+    [budget] bounds the evaluation cooperatively: one
+    [Kaskade_util.Budget.step] per scanned start vertex, per
+    variable-length frontier expansion and per trail-DFS visit, one
+    [add_rows] per binding row produced, and a forced deadline check
+    before any work starts. An exceeded budget raises
+    [Kaskade_util.Budget.Exhausted] with stage [Execute], leaving the
+    context reusable. *)
 
 val run_string : ctx -> string -> result
 (** Parse then {!run}. *)
@@ -61,7 +69,11 @@ val explain : ctx -> Kaskade_query.Ast.t -> Kaskade_obs.Explain.node
     estimated per-operator cardinalities. Execution does not happen. *)
 
 val run_explained :
-  ?profile:bool -> ctx -> Kaskade_query.Ast.t -> result * Kaskade_obs.Explain.node
+  ?profile:bool ->
+  ?budget:Kaskade_util.Budget.t ->
+  ctx ->
+  Kaskade_query.Ast.t ->
+  result * Kaskade_obs.Explain.node
 (** {!run} plus the plan of {!explain}. With [profile] (default
     false), the executor additionally fills each operator's actual
     output rows and per-pattern wall time into the returned tree.

@@ -24,7 +24,10 @@ type state = {
 let current : state option ref = ref None
 
 let enabled () = !current <> None
-let now_s () = Unix.gettimeofday ()
+(* Monotonic, not wall time: span durations and operator timings must
+   survive NTP steps. Wall-clock timestamps, where needed, are the
+   caller's business (e.g. report headers via [Unix.gettimeofday]). *)
+let now_s () = Kaskade_util.Mclock.now_s ()
 
 let close (o : open_span) ~stop =
   {

@@ -21,9 +21,12 @@ val enabled : unit -> bool
 (** True while a {!collect} is in flight. *)
 
 val now_s : unit -> float
-(** Wall clock in seconds ([Unix.gettimeofday]) — exported so engine
-    modules can time operators without depending on [unix]
-    themselves. *)
+(** {e Monotonic} clock in seconds ([Kaskade_util.Mclock]) — exported
+    so engine modules can time operators without picking a clock
+    themselves. Readings are only meaningful relative to each other
+    (durations, deadlines), never as timestamps; use
+    [Unix.gettimeofday] where a human-readable time of day is
+    wanted. *)
 
 val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
 (** Run the thunk inside a named span (when collecting). The span is

@@ -4,6 +4,7 @@ type t = {
   mutable steps : int;
   step_limit : int;
   unknown_fails : bool;
+  checkpoint : unit -> unit;
   mutable frame_counter : int;
 }
 
@@ -17,8 +18,16 @@ exception Cut_signal of int
 
 let err fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
 
-let create ?(step_limit = 50_000_000) ?(unknown_fails = true) db =
-  { db; binds = Bindings.create (); steps = 0; step_limit; unknown_fails; frame_counter = 0 }
+let create ?(step_limit = 50_000_000) ?(unknown_fails = true) ?(checkpoint = ignore) db =
+  {
+    db;
+    binds = Bindings.create ();
+    steps = 0;
+    step_limit;
+    unknown_fails;
+    checkpoint;
+    frame_counter = 0;
+  }
 
 let db t = t.db
 let steps t = t.steps
@@ -32,7 +41,11 @@ let new_frame t =
 
 let tick t =
   t.steps <- t.steps + 1;
-  if t.steps > t.step_limit then raise (Budget_exceeded t.step_limit)
+  if t.steps > t.step_limit then raise (Budget_exceeded t.step_limit);
+  (* External deadline probe, amortized: resolution steps are far
+     cheaper than a clock read, so the checkpoint only runs every 4096
+     steps. *)
+  if t.steps land 4095 = 0 then t.checkpoint ()
 
 (* ------------------------------------------------------------------ *)
 (* Arithmetic                                                          *)

@@ -18,11 +18,14 @@ exception Runtime_error of string
 (** Type errors, unbound goals, bad arithmetic, unknown predicates
     called in error mode, ... *)
 
-val create : ?step_limit:int -> ?unknown_fails:bool -> Db.t -> t
+val create : ?step_limit:int -> ?unknown_fails:bool -> ?checkpoint:(unit -> unit) -> Db.t -> t
 (** [create db] builds an engine over the clause database. Default
     step limit: 50 million. With [unknown_fails] (default [true]),
     calling an undefined predicate fails silently, as most mining
-    rules expect; otherwise it raises {!Runtime_error}. *)
+    rules expect; otherwise it raises {!Runtime_error}. [checkpoint]
+    (default: no-op) is called every 4096 resolution steps — the hook
+    external deadline budgets use to cancel a runaway enumeration; any
+    exception it raises propagates out of the solver. *)
 
 val db : t -> Db.t
 val steps : t -> int

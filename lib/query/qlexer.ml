@@ -16,6 +16,23 @@ type token =
 
 exception Lex_error of string * int
 
+type pos = { line : int; col : int }
+
+(* Line/column (1-based) of a byte offset. Builds the line-start table
+   on each call — used on error paths and once per tokenize, where a
+   single O(n) scan is in the noise. *)
+let pos_of_offset src =
+  let starts = ref [ 0 ] in
+  String.iteri (fun i c -> if c = '\n' then starts := (i + 1) :: !starts) src;
+  let arr = Array.of_list (List.rev !starts) in
+  fun off ->
+    let lo = ref 0 and hi = ref (Array.length arr - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if arr.(mid) <= off then lo := mid else hi := mid - 1
+    done;
+    { line = !lo + 1; col = off - arr.(!lo) + 1 }
+
 let keywords =
   [ "SELECT"; "FROM"; "WHERE"; "GROUP"; "BY"; "AS"; "MATCH"; "RETURN"; "AND"; "OR"; "NOT";
     "SUM"; "AVG"; "MIN"; "MAX"; "COUNT"; "TRUE"; "FALSE"; "NULL"; "CALL"; "ORDER"; "LIMIT"; "DISTINCT" ]
@@ -40,13 +57,18 @@ let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '
 let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
 let is_digit c = c >= '0' && c <= '9'
 
-let tokenize src =
+let tokenize_pos src =
   let n = String.length src in
   let toks = ref [] in
-  let emit t = toks := t :: !toks in
   let i = ref 0 in
+  (* Offset where the token being scanned started — set at the top of
+     every loop iteration, so [emit] mid-branch records the token's
+     first byte, not wherever the scan has advanced to. *)
+  let tok_start = ref 0 in
+  let emit t = toks := (t, !tok_start) :: !toks in
   let peek k = if !i + k < n then Some src.[!i + k] else None in
   while !i < n do
+    tok_start := !i;
     let c = src.[!i] in
     if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
     else if c = '-' && peek 1 = Some '-' then begin
@@ -129,5 +151,9 @@ let tokenize src =
         incr i
     end
   done;
+  tok_start := n;
   emit EOF;
-  List.rev !toks
+  let pos = pos_of_offset src in
+  List.rev_map (fun (t, off) -> (t, pos off)) !toks
+
+let tokenize src = List.map fst (tokenize_pos src)

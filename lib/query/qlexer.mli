@@ -19,6 +19,20 @@ type token =
   | EOF
 
 exception Lex_error of string * int
+(** Message plus the {e byte offset} of the offending character; use
+    {!pos_of_offset} to turn the offset into a line/column. *)
+
+type pos = { line : int; col : int }
+(** 1-based source position. *)
+
+val pos_of_offset : string -> int -> pos
+(** [pos_of_offset src off] — the line/column of byte [off] in [src].
+    Partial application amortizes the line-table scan over many
+    lookups. *)
 
 val tokenize : string -> token list
+val tokenize_pos : string -> (token * pos) list
+(** Like {!tokenize}, with each token's start position. The final
+    [EOF] token carries the position one past the last byte. *)
+
 val pp_token : token -> string

@@ -1,29 +1,41 @@
 open Qlexer
 
-exception Parse_error of string
+exception Parse_error of { message : string; line : int; col : int }
 
-type state = { mutable toks : token list }
+type state = { mutable toks : (token * pos) list; mutable last : pos }
 
-let peek st = match st.toks with [] -> EOF | t :: _ -> t
-let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+let peek st = match st.toks with [] -> EOF | (t, _) :: _ -> t
 
-let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+(* Position of the token [peek] returns — where an error about it
+   should point. Past the end of the stream, the last token seen. *)
+let cur_pos st = match st.toks with [] -> st.last | (_, p) :: _ -> p
+
+let advance st =
+  match st.toks with
+  | [] -> ()
+  | (_, p) :: rest ->
+    st.last <- p;
+    st.toks <- rest
+
+let fail st fmt =
+  let { line; col } = cur_pos st in
+  Format.kasprintf (fun message -> raise (Parse_error { message; line; col })) fmt
 
 let expect st tok =
   if peek st = tok then advance st
-  else fail "expected %s, found %s" (pp_token tok) (pp_token (peek st))
+  else fail st "expected %s, found %s" (pp_token tok) (pp_token (peek st))
 
 let expect_keyword st kw =
   match peek st with
   | KEYWORD k when k = kw -> advance st
-  | t -> fail "expected %s, found %s" kw (pp_token t)
+  | t -> fail st "expected %s, found %s" kw (pp_token t)
 
 let ident st =
   match peek st with
   | IDENT s ->
     advance st;
     s
-  | t -> fail "expected identifier, found %s" (pp_token t)
+  | t -> fail st "expected identifier, found %s" (pp_token t)
 
 (* ------------------------------------------------------------------ *)
 (* Expressions                                                         *)
@@ -138,7 +150,7 @@ and parse_primary st =
       Ast.Prop (name, prop)
     end
     else Ast.Var name
-  | t -> fail "unexpected token in expression: %s" (pp_token t)
+  | t -> fail st "unexpected token in expression: %s" (pp_token t)
 
 and parse_agg st =
   let kind =
@@ -148,7 +160,7 @@ and parse_agg st =
     | KEYWORD "MIN" -> Ast.Min
     | KEYWORD "MAX" -> Ast.Max
     | KEYWORD "COUNT" -> Ast.Count
-    | t -> fail "expected aggregate, found %s" (pp_token t)
+    | t -> fail st "expected aggregate, found %s" (pp_token t)
   in
   advance st;
   expect st LPAREN;
@@ -197,7 +209,7 @@ let parse_var_length st =
       | INT_LIT hi ->
         advance st;
         Ast.Var_length (lo, hi)
-      | t -> fail "expected upper bound after '..', found %s" (pp_token t)
+      | t -> fail st "expected upper bound after '..', found %s" (pp_token t)
     end
     | _ -> Ast.Var_length (lo, lo)
   end
@@ -243,7 +255,7 @@ let parse_edge st =
          edges when both directions are meaningful). *)
       advance st;
       { Ast.e_var; e_label; e_len; e_dir = Ast.Fwd }
-    | t -> fail "expected -> after edge, found %s" (pp_token t)
+    | t -> fail st "expected -> after edge, found %s" (pp_token t)
   end
   | LEFT_ARROW_DASH -> begin
     advance st;
@@ -252,9 +264,9 @@ let parse_edge st =
     | DASH ->
       advance st;
       { Ast.e_var; e_label; e_len; e_dir = Ast.Bwd }
-    | t -> fail "expected - after <-[..], found %s" (pp_token t)
+    | t -> fail st "expected - after <-[..], found %s" (pp_token t)
   end
-  | t -> fail "expected edge pattern, found %s" (pp_token t)
+  | t -> fail st "expected edge pattern, found %s" (pp_token t)
 
 let parse_pattern st =
   let start = parse_node st in
@@ -341,7 +353,7 @@ and parse_select_block st =
     match peek st with
     | KEYWORD "SELECT" -> Ast.From_select (parse_select_block st)
     | KEYWORD "MATCH" -> Ast.From_match (parse_match_block st)
-    | t -> fail "expected SELECT or MATCH in FROM, found %s" (pp_token t)
+    | t -> fail st "expected SELECT or MATCH in FROM, found %s" (pp_token t)
   in
   expect st RPAREN;
   let s_where =
@@ -402,7 +414,7 @@ and parse_select_block st =
       | INT_LIT n ->
         advance st;
         Some n
-      | t -> fail "expected integer after LIMIT, found %s" (pp_token t)
+      | t -> fail st "expected integer after LIMIT, found %s" (pp_token t)
     end
     | _ -> None
   in
@@ -434,7 +446,7 @@ let parse_call st =
         | STRING_LIT s ->
           advance st;
           Kaskade_graph.Value.Str s
-        | t -> fail "expected literal argument in CALL, found %s" (pp_token t)
+        | t -> fail st "expected literal argument in CALL, found %s" (pp_token t)
       in
       let first = lit () in
       let rec more acc =
@@ -450,24 +462,33 @@ let parse_call st =
   expect st RPAREN;
   { Ast.proc = name; proc_args = args }
 
+(* Lexer errors carry a byte offset; surface them as positioned parse
+   errors so callers have one exception to render. *)
+let state_of src =
+  match Qlexer.tokenize_pos src with
+  | toks -> { toks; last = { line = 1; col = 1 } }
+  | exception Qlexer.Lex_error (message, off) ->
+    let { line; col } = Qlexer.pos_of_offset src off in
+    raise (Parse_error { message; line; col })
+
 let parse src =
-  let st = { toks = Qlexer.tokenize src } in
+  let st = state_of src in
   let q =
     match peek st with
     | KEYWORD "SELECT" -> Ast.Select (parse_select_block st)
     | KEYWORD "MATCH" -> Ast.Match_only (parse_match_block st)
     | KEYWORD "CALL" -> Ast.Call (parse_call st)
-    | t -> fail "query must start with SELECT, MATCH or CALL; found %s" (pp_token t)
+    | t -> fail st "query must start with SELECT, MATCH or CALL; found %s" (pp_token t)
   in
   (match peek st with
   | EOF -> ()
-  | t -> fail "trailing input after query: %s" (pp_token t));
+  | t -> fail st "trailing input after query: %s" (pp_token t));
   q
 
 let parse_expr src =
-  let st = { toks = Qlexer.tokenize src } in
+  let st = state_of src in
   let e = parse_expr_prec st in
   (match peek st with
   | EOF -> ()
-  | t -> fail "trailing input after expression: %s" (pp_token t));
+  | t -> fail st "trailing input after expression: %s" (pp_token t));
   e

@@ -3,7 +3,11 @@
     is either a nested SELECT or a Cypher MATCH block; patterns inside
     a MATCH may be separated by commas or juxtaposed. *)
 
-exception Parse_error of string
+exception Parse_error of { message : string; line : int; col : int }
+(** Raised on any syntactic problem — including lexical ones, which
+    are converted from [Qlexer.Lex_error] so callers render exactly
+    one exception. [line]/[col] are 1-based and point at the token (or
+    character) the message talks about. *)
 
 val parse : string -> Ast.t
 val parse_expr : string -> Ast.expr

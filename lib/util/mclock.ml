@@ -1,0 +1,4 @@
+let now_ns () = Monotonic_clock.now ()
+let ns_per_s = 1e9
+let now_s () = Int64.to_float (now_ns ()) /. ns_per_s
+let elapsed_s ~since = Int64.to_float (Int64.sub (now_ns ()) since) /. ns_per_s

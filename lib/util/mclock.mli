@@ -1,0 +1,22 @@
+(** Monotonic clock readings for durations and deadlines.
+
+    [Unix.gettimeofday] is wall time: NTP steps and manual clock
+    changes can make two readings go backwards, which turns measured
+    durations negative and fires (or never fires) deadlines. Every
+    duration in this repository — trace spans, profile operator
+    timings, bench medians, budget deadlines — therefore reads this
+    clock ([CLOCK_MONOTONIC] via the [bechamel.monotonic_clock] stub);
+    wall time remains only where a timestamp must be meaningful to a
+    human (report headers).
+
+    Readings are meaningful only relative to each other within one
+    process. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds on the monotonic clock. *)
+
+val now_s : unit -> float
+(** {!now_ns} in seconds. *)
+
+val elapsed_s : since:int64 -> float
+(** Seconds elapsed since the {!now_ns} reading [since]. *)

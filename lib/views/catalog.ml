@@ -63,6 +63,14 @@ let begin_refresh e =
     ops
   | Rebuilding -> invalid_arg "Catalog.begin_refresh: already rebuilding"
 
+let abort_refresh e ops =
+  match e.freshness with
+  | Rebuilding -> e.freshness <- Stale ops
+  | f ->
+    invalid_arg
+      (Printf.sprintf "Catalog.abort_refresh: view %s is %s, not rebuilding"
+         (View.name e.materialized.view) (freshness_label f))
+
 let finish_refresh t e (m : Materialize.materialized) =
   let name = View.name e.materialized.view in
   (match Hashtbl.find_opt t.entries name with

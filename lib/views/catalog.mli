@@ -61,6 +61,14 @@ val begin_refresh : entry -> Kaskade_graph.Graph.Overlay.op list
     the entry was already [Fresh] — the caller can skip the work).
     Raises [Invalid_argument] when already [Rebuilding]. *)
 
+val abort_refresh : entry -> Kaskade_graph.Graph.Overlay.op list -> unit
+(** [Rebuilding -> Stale ops]: a refresh failed (crash, fault
+    injection, budget exhaustion); restore the pending delta so the
+    entry can be refreshed again later — without this transition a
+    failed refresh would wedge the catalog ({!mark_stale} refuses
+    [Rebuilding] entries). Raises [Invalid_argument] unless the entry
+    is [Rebuilding]. *)
+
 val finish_refresh : t -> entry -> Materialize.materialized -> unit
 (** Install the refreshed materialization and return to [Fresh]
     (whatever the previous state). Sizes are recomputed. *)

@@ -1,4 +1,5 @@
 open Kaskade_graph
+module Budget = Kaskade_util.Budget
 module Pool = Kaskade_util.Pool
 module Scratch = Kaskade_util.Scratch
 module Int_vec = Kaskade_util.Int_vec
@@ -502,18 +503,34 @@ let plan base_after ~view ~ops =
         Ego_recompute { recomputed = Hashtbl.length affected + !extra }
       | _ -> filter_counts view ops)
 
-let refresh ?pool base_after ~view ~ops =
-  match rebuild_reason view with
-  | Some reason ->
-    let with_path_counts = has_path_counts view in
-    (Materialize.materialize ~with_path_counts ?pool base_after view.Materialize.view,
-     Full_rebuild { reason })
-  | None ->
-    if ops = [] then (view, noop_strategy view)
-    else (
-      match view.Materialize.view with
-      | View.Connector (View.K_hop _) ->
-        let d = connector_delta base_after ~view ~ops in
-        (apply_connector_delta base_after ~view ~delta:d, Connector_delta d)
-      | View.Summarizer (View.Ego_aggregator _) -> refresh_ego ?pool base_after ~view ~ops
-      | _ -> refresh_filter base_after ~view ~ops)
+(* The cost a [strategy] already paid, charged to the budget after
+   the incremental paths (which are single structural passes — the
+   full-rebuild path delegates its finer-grained accounting to
+   [Materialize]). *)
+let strategy_cost = function
+  | Connector_delta d -> List.length d.added + List.length d.removed
+  | Filter_delta { kept_inserts; kept_deletes } -> kept_inserts + kept_deletes
+  | Ego_recompute { recomputed } -> recomputed
+  | Full_rebuild _ -> 0
+
+let refresh ?pool ?budget base_after ~view ~ops =
+  Budget.check budget Budget.Refresh;
+  Budget.fault_point Budget.Refresh ~site:"maintain.refresh";
+  let out =
+    match rebuild_reason view with
+    | Some reason ->
+      let with_path_counts = has_path_counts view in
+      (Materialize.materialize ~with_path_counts ?pool ?budget base_after view.Materialize.view,
+       Full_rebuild { reason })
+    | None ->
+      if ops = [] then (view, noop_strategy view)
+      else (
+        match view.Materialize.view with
+        | View.Connector (View.K_hop _) ->
+          let d = connector_delta base_after ~view ~ops in
+          (apply_connector_delta base_after ~view ~delta:d, Connector_delta d)
+        | View.Summarizer (View.Ego_aggregator _) -> refresh_ego ?pool base_after ~view ~ops
+        | _ -> refresh_filter base_after ~view ~ops)
+  in
+  Budget.step ~cost:(strategy_cost (snd out)) budget Budget.Refresh;
+  out

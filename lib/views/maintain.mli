@@ -81,15 +81,24 @@ val plan :
 
 val refresh :
   ?pool:Kaskade_util.Pool.t ->
+  ?budget:Kaskade_util.Budget.t ->
   Kaskade_graph.Graph.t ->
   view:Materialize.materialized ->
   ops:Kaskade_graph.Graph.Overlay.op list ->
   Materialize.materialized * strategy
-(** [refresh ?pool base_after ~view ~ops] — the refreshed view plus
-    the strategy used. Result invariant (property tested): the
+(** [refresh ?pool ?budget base_after ~view ~ops] — the refreshed view
+    plus the strategy used. Result invariant (property tested): the
     returned view is result-identical to
     [Materialize.materialize base_after view.view] — same vertex set,
     same edge multiset, same properties; byte-identical for filter
     summarizers and ego aggregators. [pool] fans out the ego
     recomputation sweeps and is forwarded to [Materialize.materialize]
-    on the rebuild path. *)
+    on the rebuild path.
+
+    [budget] is checked before any work (stage [Refresh]); the
+    full-rebuild path forwards it to [Materialize.materialize] (which
+    checkpoints per source traversal, stage [Materialize]) and the
+    incremental paths charge their delta size afterwards. This
+    function is the ["maintain.refresh"] fault-injection site: an
+    armed fault makes it raise before touching the view, so a failed
+    refresh never publishes a half-built graph. *)

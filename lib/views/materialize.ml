@@ -1,4 +1,5 @@
 open Kaskade_graph
+module Budget = Kaskade_util.Budget
 module Pool = Kaskade_util.Pool
 module Scratch = Kaskade_util.Scratch
 module Int_vec = Kaskade_util.Int_vec
@@ -60,7 +61,12 @@ let endpoint_builder g types edge_decls =
 
 let resolve_pool = function Some p -> p | None -> Pool.default ()
 
-let fan_out_edges pool ~sources ~per_source ~replay =
+(* Budget checkpoints are per source traversal: every worker domain
+   steps the (shared, racy-but-monotone) budget once per source, so a
+   fan-out over many sources notices an expired deadline promptly even
+   though a single in-flight traversal runs to completion. The
+   traversal's edge-visit cost is charged after the replay. *)
+let fan_out_edges ?budget pool ~sources ~per_source ~replay =
   let chunks =
     Pool.map_chunks pool ~n:(Array.length sources) (fun ~lo ~hi ->
         let buf = Int_vec.create () in
@@ -71,6 +77,7 @@ let fan_out_edges pool ~sources ~per_source ~replay =
           Int_vec.push buf payload
         in
         for i = lo to hi - 1 do
+          Budget.step budget Budget.Materialize;
           per_source ~cost sources.(i) emit
         done;
         (buf, !cost))
@@ -148,7 +155,8 @@ let exact_k_reach g ~src ~k ~cost emit =
   let cs = !cur_set in
   Int_vec.iter (fun w -> emit w (Scratch.value cs w)) !cur_vec
 
-let connector_k_hop ?(dedupe = true) ?(with_path_counts = false) ?pool g ~src_type ~dst_type ~k =
+let connector_k_hop ?(dedupe = true) ?(with_path_counts = false) ?pool ?budget g ~src_type
+    ~dst_type ~k =
   let pool = resolve_pool pool in
   let view = View.Connector (View.K_hop { src_type; dst_type; k }) in
   let edge_name = View.connector_edge_type (View.K_hop { src_type; dst_type; k }) in
@@ -161,7 +169,7 @@ let connector_k_hop ?(dedupe = true) ?(with_path_counts = false) ?pool g ~src_ty
         if Graph.vertex_type g w = dst_ty then emit u w cnt)
   in
   let cost =
-    fan_out_edges pool ~sources:(Graph.vertices_of_type_name g src_type) ~per_source
+    fan_out_edges ?budget pool ~sources:(Graph.vertices_of_type_name g src_type) ~per_source
       ~replay:(fun u w cnt ->
         let props = if with_path_counts then [ ("paths", Value.Int cnt) ] else [] in
         if dedupe then
@@ -173,7 +181,7 @@ let connector_k_hop ?(dedupe = true) ?(with_path_counts = false) ?pool g ~src_ty
   in
   { view; graph = Graph.freeze b; new_of_old; build_cost = float_of_int cost }
 
-let connector_same_vertex_type ?pool g ~vtype =
+let connector_same_vertex_type ?pool ?budget g ~vtype =
   let pool = resolve_pool pool in
   let view = View.Connector (View.Same_vertex_type { vtype }) in
   let edge_name = View.connector_edge_type (View.Same_vertex_type { vtype }) in
@@ -186,13 +194,13 @@ let connector_same_vertex_type ?pool g ~vtype =
         if Graph.vertex_type g w = ty then emit u w 0)
   in
   let cost =
-    fan_out_edges pool ~sources:(Graph.vertices_of_type_name g vtype) ~per_source
+    fan_out_edges ?budget pool ~sources:(Graph.vertices_of_type_name g vtype) ~per_source
       ~replay:(fun u w _ ->
         ignore (Builder.add_edge b ~src:new_of_old.(u) ~dst:new_of_old.(w) ~etype:edge_name ()))
   in
   { view; graph = Graph.freeze b; new_of_old; build_cost = float_of_int cost }
 
-let connector_same_edge_type ?pool g ~etype =
+let connector_same_edge_type ?pool ?budget g ~etype =
   let pool = resolve_pool pool in
   let view = View.Connector (View.Same_edge_type { etype }) in
   let edge_name = View.connector_edge_type (View.Same_edge_type { etype }) in
@@ -213,13 +221,13 @@ let connector_same_edge_type ?pool g ~etype =
         if new_of_old.(w) >= 0 && Graph.vertex_type g w = dst_ty then emit u w 0)
   in
   let cost =
-    fan_out_edges pool ~sources:(Graph.vertices_of_type_name g src_type) ~per_source
+    fan_out_edges ?budget pool ~sources:(Graph.vertices_of_type_name g src_type) ~per_source
       ~replay:(fun u w _ ->
         ignore (Builder.add_edge b ~src:new_of_old.(u) ~dst:new_of_old.(w) ~etype:edge_name ()))
   in
   { view; graph = Graph.freeze b; new_of_old; build_cost = float_of_int cost }
 
-let connector_source_to_sink ?pool g =
+let connector_source_to_sink ?pool ?budget g =
   let pool = resolve_pool pool in
   let view = View.Connector View.Source_to_sink in
   let edge_name = View.connector_edge_type View.Source_to_sink in
@@ -246,7 +254,7 @@ let connector_source_to_sink ?pool g =
         if Graph.out_degree g w = 0 then emit u w 0)
   in
   let cost =
-    fan_out_edges pool ~sources:(Array.of_list !sources) ~per_source
+    fan_out_edges ?budget pool ~sources:(Array.of_list !sources) ~per_source
       ~replay:(fun u w _ ->
         ignore (Builder.add_edge b ~src:new_of_old.(u) ~dst:new_of_old.(w) ~etype:edge_name ()))
   in
@@ -424,16 +432,19 @@ let m_materializations =
 let m_materialized_edges =
   Kaskade_obs.Metrics.counter ~help:"Edges across all materialized views" "views.materialized_edges"
 
-let materialize ?(dedupe = true) ?(with_path_counts = false) ?pool g view =
+let materialize ?(dedupe = true) ?(with_path_counts = false) ?pool ?budget g view =
   Kaskade_obs.Trace.with_span "materialize" ~attrs:[ ("view", View.name view) ]
   @@ fun () ->
+  Budget.check budget Budget.Materialize;
+  Budget.fault_point Budget.Materialize ~site:"materialize";
   let m =
     match view with
     | View.Connector (View.K_hop { src_type; dst_type; k }) ->
-      connector_k_hop ~dedupe ~with_path_counts ?pool g ~src_type ~dst_type ~k
-    | View.Connector (View.Same_vertex_type { vtype }) -> connector_same_vertex_type ?pool g ~vtype
-    | View.Connector (View.Same_edge_type { etype }) -> connector_same_edge_type ?pool g ~etype
-    | View.Connector View.Source_to_sink -> connector_source_to_sink ?pool g
+      connector_k_hop ~dedupe ~with_path_counts ?pool ?budget g ~src_type ~dst_type ~k
+    | View.Connector (View.Same_vertex_type { vtype }) ->
+      connector_same_vertex_type ?pool ?budget g ~vtype
+    | View.Connector (View.Same_edge_type { etype }) -> connector_same_edge_type ?pool ?budget g ~etype
+    | View.Connector View.Source_to_sink -> connector_source_to_sink ?pool ?budget g
     | View.Summarizer (View.Vertex_inclusion types) -> summarize_inclusion g view types
     | View.Summarizer (View.Vertex_removal types) ->
       summarize_inclusion g view (complement_vertex_types (Graph.schema g) types)
@@ -447,10 +458,15 @@ let materialize ?(dedupe = true) ?(with_path_counts = false) ?pool g view =
     | View.Summarizer (View.Ego_aggregator { k; agg_prop; agg }) ->
       summarize_ego_aggregator ?pool g view ~k ~agg_prop ~agg
   in
+  (* Summarizers do their work in one structural pass; charge it as a
+     lump so a step-capped budget still observes their cost. *)
+  (match view with
+  | View.Summarizer _ -> Budget.step ~cost:(int_of_float m.build_cost) budget Budget.Materialize
+  | View.Connector _ -> ());
   Kaskade_obs.Metrics.incr m_materializations;
   Kaskade_obs.Metrics.incr ~by:(Graph.n_edges m.graph) m_materialized_edges;
   m
 
-let k_hop_connector ?dedupe ?with_path_counts ?pool g ~src_type ~dst_type ~k =
-  materialize ?dedupe ?with_path_counts ?pool g
+let k_hop_connector ?dedupe ?with_path_counts ?pool ?budget g ~src_type ~dst_type ~k =
+  materialize ?dedupe ?with_path_counts ?pool ?budget g
     (View.Connector (View.K_hop { src_type; dst_type; k }))

@@ -25,6 +25,7 @@ val materialize :
   ?dedupe:bool ->
   ?with_path_counts:bool ->
   ?pool:Kaskade_util.Pool.t ->
+  ?budget:Kaskade_util.Budget.t ->
   Kaskade_graph.Graph.t ->
   View.t ->
   materialized
@@ -41,7 +42,14 @@ val materialize :
     {b deterministic}: per-chunk edge buffers are replayed into the
     output builder in chunk order, so the materialized graph is
     byte-identical to a sequential ([Pool.create ~domains:1 ()]) run
-    at every pool width. *)
+    at every pool width.
+
+    [budget] makes the build cooperative: a forced check before work
+    starts, one [Budget.step] per connector source traversal (on every
+    worker domain — the budget is shared, racy but monotone), and the
+    structural cost of summarizers charged as a lump. Exhaustion
+    raises [Kaskade_util.Budget.Exhausted] with stage [Materialize];
+    this module is also the ["materialize"] fault-injection site. *)
 
 val aggregate : View.aggregate_fn -> Kaskade_graph.Value.t list -> Kaskade_graph.Value.t
 (** Fold a property multiset with one of the paper's aggregators
@@ -52,6 +60,7 @@ val k_hop_connector :
   ?dedupe:bool ->
   ?with_path_counts:bool ->
   ?pool:Kaskade_util.Pool.t ->
+  ?budget:Kaskade_util.Budget.t ->
   Kaskade_graph.Graph.t ->
   src_type:string ->
   dst_type:string ->

@@ -395,6 +395,25 @@ let test_gio_schema_enforced () =
   check_bool "raises" true
     (try ignore (Gio.of_string text); false with Gio.Format_error _ -> true)
 
+let test_gio_load_error_closes_fd () =
+  (* A malformed file must not leak its descriptor: [Gio.load] closes
+     the channel on the error path, so repeated failing loads leave
+     the process fd table unchanged. *)
+  let count_fds () = Array.length (Sys.readdir "/proc/self/fd") in
+  if Sys.file_exists "/proc/self/fd" then begin
+    let path = Filename.temp_file "kaskade" ".graph" in
+    let oc = open_out path in
+    output_string oc "nonsense\n";
+    close_out oc;
+    let before = count_fds () in
+    for _ = 1 to 16 do
+      try ignore (Gio.load path) with Gio.Format_error _ -> ()
+    done;
+    let after = count_fds () in
+    Sys.remove path;
+    check_int "fd count unchanged after failing loads" before after
+  end
+
 let prop_gio_roundtrip_random =
   QCheck.Test.make ~name:"Gio roundtrip on random provenance graphs" ~count:20
     QCheck.(pair (5 -- 30) (0 -- 500))
@@ -497,6 +516,7 @@ let () =
           Alcotest.test_case "file roundtrip" `Quick test_gio_file_roundtrip;
           Alcotest.test_case "bad magic" `Quick test_gio_bad_magic;
           Alcotest.test_case "schema enforced" `Quick test_gio_schema_enforced;
+          Alcotest.test_case "failed load leaks no fd" `Quick test_gio_load_error_closes_fd;
         ] );
       ("properties", qcheck_cases);
     ]

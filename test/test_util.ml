@@ -298,6 +298,50 @@ let test_pool_exception_propagates () =
         (Pool.map_chunks p ~n:8 (fun ~lo ~hi:_ ->
              if lo > 0 then raise (Boom (lo / 2)) else ())))
 
+let test_pool_raise_leaves_pool_usable () =
+  (* A raising chunk must neither deadlock the fan-out nor orphan
+     worker domains: every worker is joined before the exception
+     propagates, so the same pool immediately serves further calls. *)
+  let p = Pool.create ~domains:4 () in
+  for round = 1 to 20 do
+    (try
+       ignore (Pool.map_chunks p ~n:8 (fun ~lo ~hi:_ -> if lo >= 4 then raise (Boom round)))
+     with Boom r -> check_int "round's own exception" round r);
+    let ok = Pool.map_chunks p ~n:8 (fun ~lo ~hi -> hi - lo) in
+    check_int "pool still fans out after a failure" 8 (Array.fold_left ( + ) 0 ok)
+  done
+
+let test_pool_earliest_exception_deterministic () =
+  (* When several chunks raise, the lowest-indexed chunk's exception
+     is the one reported — at every width, including sequential. *)
+  List.iter
+    (fun w ->
+      let p = Pool.create ~domains:w () in
+      Alcotest.check_raises
+        (Printf.sprintf "earliest wins at width %d" w)
+        (Boom 0)
+        (fun () -> ignore (Pool.map_chunks p ~n:8 (fun ~lo ~hi:_ -> raise (Boom lo)))))
+    [ 1; 2; 4 ]
+
+let test_pool_budget_cancelled_fanout () =
+  (* Workers sharing an already-expired budget must all trip their
+     first checkpoint, so the fan-out returns promptly instead of
+     grinding through the (effectively unbounded) chunk loops. *)
+  let b = Budget.create ~deadline_s:0.0 () in
+  let t0 = Mclock.now_s () in
+  let raised =
+    try
+      ignore
+        (Pool.map_chunks (Pool.create ~domains:4 ()) ~n:4 (fun ~lo:_ ~hi:_ ->
+             for _ = 1 to max_int do
+               Budget.step (Some b) Budget.Execute
+             done));
+      false
+    with Budget.Exhausted _ -> true
+  in
+  check_bool "fan-out cancelled by budget" true raised;
+  check_bool "returned promptly" true (Mclock.now_s () -. t0 < 10.0)
+
 let test_pool_workers_use_scratch () =
   (* Scratch pools are domain-local: concurrent borrows on worker
      domains must not interfere. *)
@@ -424,6 +468,10 @@ let () =
           Alcotest.test_case "clamps" `Quick test_pool_clamps;
           Alcotest.test_case "deterministic across widths" `Quick test_pool_deterministic_across_widths;
           Alcotest.test_case "exception propagates" `Quick test_pool_exception_propagates;
+          Alcotest.test_case "raising chunk leaves pool usable" `Quick test_pool_raise_leaves_pool_usable;
+          Alcotest.test_case "earliest exception wins at widths 1/2/4" `Quick
+            test_pool_earliest_exception_deterministic;
+          Alcotest.test_case "budget-cancelled fan-out returns" `Quick test_pool_budget_cancelled_fanout;
           Alcotest.test_case "workers use scratch" `Quick test_pool_workers_use_scratch;
         ] );
       ( "heap",
