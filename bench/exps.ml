@@ -820,6 +820,151 @@ let maintenance () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Regress: fresh run vs committed baseline                            *)
+
+(* A fixed (scale-independent, seeded) workload run end-to-end through
+   the facade, compared against the committed [bench_baseline.json].
+   The deterministic fields — which view answered each query and how
+   many rows came back — must match {e exactly}: they only change when
+   planning/execution behavior changes. Timings are machine-specific,
+   so only the raw-vs-view speedup {e ratio} is checked, with a
+   generous tolerance band (3x), making the check meaningful on slow
+   CI machines without going flaky. Full mode re-times and rewrites
+   the baseline; [--smoke] compares and exits non-zero on regression. *)
+
+let regress_workload =
+  [ "MATCH (s:Job)-[r*1..4]->(desc:Job) RETURN s, desc";
+    "MATCH (s:Job)<-[r*1..4]-(anc:Job) RETURN s, anc";
+    "SELECT s, n, MAX(r) FROM (MATCH (s:Job)-[r*1..4]->(n) RETURN s, n, r) GROUP BY s, n" ]
+
+let regress_result_rows = function
+  | Kaskade_exec.Executor.Table t -> Kaskade_exec.Row.n_rows t
+  | Kaskade_exec.Executor.Affected n -> n
+
+let regress () =
+  header "Regress: view routing, row counts and speedups vs bench_baseline.json";
+  let g = Kaskade_gen.Provenance_gen.(generate { default with jobs = 400; files = 800; seed = 9 }) in
+  let ks = Kaskade.create g in
+  let queries = List.map Kaskade.parse regress_workload in
+  let sel = Kaskade.select_views ks ~queries ~budget_edges:(10 * Graph.n_edges g) in
+  ignore (Kaskade.materialize_selected ks sel);
+  let reps = if !smoke then 3 else 5 in
+  let entries =
+    List.map2
+      (fun src q ->
+        let rows_raw = ref 0 and rows_view = ref 0 and via = ref "raw" in
+        let t_raw =
+          time_median ~reps (fun () -> rows_raw := regress_result_rows (Kaskade.run_raw ks q))
+        in
+        let t_view =
+          time_median ~reps (fun () ->
+              let r, how = Kaskade.run ks q in
+              rows_view := regress_result_rows r;
+              via := (match how with Kaskade.Raw -> "raw" | Kaskade.Via_view v -> v))
+        in
+        let speedup = if t_view > 0.0 then t_raw /. t_view else 0.0 in
+        (src, !via, !rows_raw, !rows_view, t_raw, t_view, speedup))
+      regress_workload queries
+  in
+  Table.print
+    ~aligns:[ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+    ~header:[ "query"; "via"; "rows"; "raw (s)"; "kaskade (s)"; "speedup" ]
+    (List.map
+       (fun (src, via, _, rows, t_raw, t_view, speedup) ->
+         [ String.sub src 0 (Stdlib.min 40 (String.length src)) ^ "..."; via;
+           Table.fmt_int rows; Printf.sprintf "%.5f" t_raw; Printf.sprintf "%.5f" t_view;
+           Printf.sprintf "%.1fx" speedup ])
+       entries);
+  List.iter
+    (fun (src, _, rows_raw, rows_view, _, _, _) ->
+      if rows_raw <> rows_view then begin
+        Printf.eprintf "FAIL: view-routed rows differ from raw rows for %s (%d vs %d)\n" src
+          rows_view rows_raw;
+        exit 1
+      end)
+    entries;
+  print_endline (Kaskade_obs.Qlog.summary ());
+  let baseline_path = "bench_baseline.json" in
+  if not !smoke then begin
+    let open Kaskade_obs.Report in
+    let json =
+      Obj
+        [ ( "entries",
+            List
+              (List.map
+                 (fun (src, via, _, rows, t_raw, t_view, speedup) ->
+                   Obj
+                     [ ("query", Str src); ("via", Str via); ("rows", Int rows);
+                       ("raw_s", Float t_raw); ("kaskade_s", Float t_view);
+                       ("speedup", Float speedup) ])
+                 entries) ) ]
+    in
+    let oc = open_out baseline_path in
+    output_string oc (to_string ~pretty:true json);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "baseline written to %s\n" baseline_path
+  end
+  else begin
+    let module R = Kaskade_obs.Report in
+    let contents =
+      match open_in_bin baseline_path with
+      | ic ->
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        s
+      | exception Sys_error msg ->
+        Printf.eprintf "FAIL: cannot read %s (%s); run `bench regress` without --smoke first\n"
+          baseline_path msg;
+        exit 1
+    in
+    let baseline =
+      match R.parse contents with
+      | Ok j -> j
+      | Error e ->
+        Printf.eprintf "FAIL: %s does not parse: %s\n" baseline_path e;
+        exit 1
+    in
+    let base_entries =
+      match R.member "entries" baseline with
+      | Some (R.List l) -> l
+      | _ ->
+        Printf.eprintf "FAIL: %s has no \"entries\" list\n" baseline_path;
+        exit 1
+    in
+    let str k j = match R.member k j with Some (R.Str s) -> s | _ -> "" in
+    let num k j =
+      match R.member k j with
+      | Some (R.Float f) -> f
+      | Some (R.Int i) -> float_of_int i
+      | _ -> nan
+    in
+    let failures = ref 0 in
+    let fail fmt = Printf.ksprintf (fun s -> incr failures; Printf.eprintf "FAIL: %s\n" s) fmt in
+    List.iter
+      (fun (src, via, _, rows, _, _, speedup) ->
+        match List.find_opt (fun b -> String.equal (str "query" b) src) base_entries with
+        | None -> fail "query missing from baseline: %s" src
+        | Some b ->
+          if not (String.equal (str "via" b) via) then
+            fail "%s: routed via %s, baseline says %s" src via (str "via" b);
+          let base_rows = int_of_float (num "rows" b) in
+          if base_rows <> rows then fail "%s: %d rows, baseline says %d" src rows base_rows;
+          let base_speedup = num "speedup" b in
+          if Float.is_nan base_speedup then fail "%s: baseline speedup unreadable" src
+          else if speedup < base_speedup /. 3.0 then
+            fail "%s: speedup %.2fx fell below tolerance (baseline %.2fx / 3)" src speedup
+              base_speedup)
+      entries;
+    if !failures > 0 then begin
+      Printf.eprintf "regress: %d check(s) failed against %s\n" !failures baseline_path;
+      exit 1
+    end;
+    Printf.printf "regress: %d queries match baseline (routing + rows exact, speedup within 3x)\n"
+      (List.length entries)
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Faults: degradation drill under injected failures                   *)
 
 (* Forced refresh failures must open the circuit breaker and degrade
@@ -929,4 +1074,5 @@ let faults () =
 let all_experiments =
   [ ("table3", table3); ("table4", table4); ("fig5", fig5); ("fig6", fig6); ("fig7", fig7);
     ("fig5k", fig5k); ("fig8", fig8); ("catalog", catalog); ("enum", enum); ("select", select);
-    ("e2e", e2e); ("microbench", microbench); ("maintenance", maintenance); ("faults", faults) ]
+    ("e2e", e2e); ("microbench", microbench); ("maintenance", maintenance); ("faults", faults);
+    ("regress", regress) ]

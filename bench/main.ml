@@ -20,8 +20,15 @@
                                     correct base-graph answers,
                                     deadlines surface as typed errors
 
+     bench/main.exe regress [--smoke]
+                                    fixed facade workload vs the
+                                    committed bench_baseline.json:
+                                    routing + rows exact, speedup
+                                    within tolerance (full mode
+                                    rewrites the baseline)
+
    Experiment ids: table3 table4 fig5 fig6 fig7 fig8 catalog enum
-   select e2e microbench maintenance faults (see DESIGN.md's
+   select e2e microbench maintenance faults regress (see DESIGN.md's
    experiment index). *)
 
 let bechamel_tests () =
@@ -110,6 +117,11 @@ let () =
     parse (1.0, false, []) (List.tl (Array.to_list Sys.argv))
   in
   Datasets.scale := scale;
+  (* Long runs stay narratable: every 50th facade query prints one
+     status line (outcome mix + latency quantiles) from the query
+     log instead of minutes of silence. *)
+  Kaskade_obs.Qlog.set_notifier ~every:50
+    (Some (fun line -> Printf.printf "[%s]\n%!" line));
   if bechamel then bechamel_tests ()
   else begin
     let to_run =

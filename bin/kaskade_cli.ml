@@ -389,6 +389,168 @@ let refresh_cmd =
     Term.(const run $ verbose_arg $ dataset_arg $ edges_arg $ seed_arg $ graph_file_arg
           $ query_opt_arg $ budget_arg $ ops_arg $ random_ops_arg $ update_seed_arg $ metrics_arg)
 
+(* Workload telemetry subcommands ------------------------------------ *)
+
+let queries_arg =
+  Arg.(value & opt_all string [] & info [ "q"; "query" ] ~docv:"QUERY"
+         ~doc:"Workload query (repeatable).")
+
+let repeat_arg =
+  Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N"
+         ~doc:"Run each workload query N times.")
+
+let require_queries cmd = function
+  | [] ->
+    Printf.eprintf "kaskade_cli %s: pass at least one -q QUERY\n" cmd;
+    exit 1
+  | queries -> List.map parse_or_die queries
+
+(* Drive the workload through the facade's governed entry point: every
+   run lands in the query log, including budget/semantic failures. *)
+let run_workload ks qs repeat =
+  List.iter (fun q -> for _ = 1 to repeat do ignore (Kaskade.run_result ks q) done) qs
+
+let outcome_label (r : Kaskade_obs.Qlog.record) =
+  match r.Kaskade_obs.Qlog.outcome with
+  | Kaskade_obs.Qlog.View_hit v -> "via " ^ v
+  | Kaskade_obs.Qlog.Fallback -> "fallback"
+  | Kaskade_obs.Qlog.Failed l -> "FAILED " ^ l
+
+let log_cmd =
+  let no_views =
+    Arg.(value & flag & info [ "no-views" ]
+           ~doc:"Skip view selection/materialization; every query falls back to the base graph.")
+  in
+  let capacity =
+    Arg.(value & opt (some int) None & info [ "capacity" ] ~docv:"N"
+           ~doc:"Query-log ring capacity (default 512); older records fall off.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE"
+           ~doc:"Write the captured log as JSONL to FILE ($(b,-) for stdout) — the format \
+                 $(b,kaskade_cli advise --log) replays.")
+  in
+  let run verbose name edges seed graph_file queries repeat budget no_views capacity out metrics =
+    setup_logs verbose;
+    let qs = require_queries "log" queries in
+    (match capacity with Some c -> Kaskade_obs.Qlog.set_capacity c | None -> ());
+    let g = load_or_generate graph_file name edges seed in
+    let ks = Kaskade.create g in
+    if not no_views then begin
+      let sel = Kaskade.select_views ks ~queries:qs ~budget_edges:budget in
+      ignore (Kaskade.materialize_selected ks sel)
+    end;
+    run_workload ks qs repeat;
+    (match out with
+    | Some "-" -> print_string (Kaskade_obs.Qlog.to_jsonl ())
+    | Some path ->
+      Kaskade_obs.Qlog.save path;
+      Printf.printf "wrote %d records to %s\n" (Kaskade_obs.Qlog.length ()) path
+    | None ->
+      List.iter
+        (fun (r : Kaskade_obs.Qlog.record) ->
+          Printf.printf "%4d  %-36s %8d rows  %9.3fms  %s\n" r.Kaskade_obs.Qlog.seq
+            (outcome_label r) r.Kaskade_obs.Qlog.rows
+            (r.Kaskade_obs.Qlog.seconds *. 1000.0)
+            r.Kaskade_obs.Qlog.query)
+        (Kaskade_obs.Qlog.records ()));
+    (if out = Some "-" then prerr_endline else print_endline) (Kaskade_obs.Qlog.summary ());
+    dump_metrics metrics
+  in
+  Cmd.v
+    (Cmd.info "log"
+       ~doc:
+         "Run a workload through the view-based engine and show (or save as JSONL) the \
+          structured query log: per query the routing outcome, rows, wall time and plan \
+          fingerprint.")
+    Term.(const run $ verbose_arg $ dataset_arg $ edges_arg $ seed_arg $ graph_file_arg
+          $ queries_arg $ repeat_arg $ budget_arg $ no_views $ capacity $ out $ metrics_arg)
+
+let trace_cmd =
+  let chrome =
+    Arg.(value & opt (some string) None & info [ "chrome" ] ~docv:"FILE"
+           ~doc:"Write the capture as Chrome trace-event JSON to FILE ($(b,-) for stdout); \
+                 open in chrome://tracing or Perfetto. Without it the span tree prints as \
+                 text.")
+  in
+  let run verbose name edges seed graph_file queries repeat budget chrome =
+    setup_logs verbose;
+    let qs = require_queries "trace" queries in
+    let g = load_or_generate graph_file name edges seed in
+    let ks = Kaskade.create g in
+    let (), spans =
+      Kaskade_obs.Trace.collect (fun () ->
+          let sel = Kaskade.select_views ks ~queries:qs ~budget_edges:budget in
+          ignore (Kaskade.materialize_selected ks sel);
+          run_workload ks qs repeat)
+    in
+    match chrome with
+    | Some "-" -> print_endline (Kaskade_obs.Trace_export.to_chrome_string spans)
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Kaskade_obs.Trace_export.to_chrome_string spans);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %d top-level spans to %s\n" (List.length spans) path
+    | None ->
+      List.iter (fun s -> Format.printf "%a" Kaskade_obs.Trace.pp s) spans
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Capture a span trace of selection, materialization and query execution — \
+          including per-domain pool chunks — and export it for timeline viewers.")
+    Term.(const run $ verbose_arg $ dataset_arg $ edges_arg $ seed_arg $ graph_file_arg
+          $ queries_arg $ repeat_arg $ budget_arg $ chrome)
+
+let advise_cmd =
+  let log_file =
+    Arg.(value & opt (some string) None & info [ "log" ] ~docv:"FILE"
+           ~doc:"Replay a JSONL query log (from $(b,kaskade_cli log --out)) instead of \
+                 running -q queries in-process.")
+  in
+  let advise_budget =
+    Arg.(value & opt (some int) None & info [ "budget" ] ~docv:"EDGES"
+           ~doc:"View budget for the replayed selection (default: the graph's edge count).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the advice as JSON instead of text.")
+  in
+  let run verbose name edges seed graph_file queries repeat log_file advise_budget json =
+    setup_logs verbose;
+    let g = load_or_generate graph_file name edges seed in
+    let ks = Kaskade.create g in
+    let records =
+      match log_file with
+      | Some path -> begin
+        match Kaskade_obs.Qlog.load path with
+        | Ok rs -> Some rs
+        | Error e ->
+          Printf.eprintf "kaskade_cli advise: %s\n" e;
+          exit 1
+      end
+      | None ->
+        (* Synthesize the log by running the workload cold (no views
+           materialized) — the advisor then reports what to add. *)
+        let qs = require_queries "advise" queries in
+        Kaskade_obs.Qlog.clear ();
+        run_workload ks qs repeat;
+        None
+    in
+    let a = Kaskade.Advisor.advise ?budget_edges:advise_budget ?records ks in
+    if json then
+      print_endline (Kaskade_obs.Report.to_string ~pretty:true (Kaskade.Advisor.to_json a))
+    else Format.printf "@[<v>%a@]@." Kaskade.Advisor.pp a
+  in
+  Cmd.v
+    (Cmd.info "advise"
+       ~doc:
+         "Replay an observed workload (the in-process query log or a saved JSONL capture) \
+          through view enumeration + knapsack selection and recommend which materialized \
+          views to add, keep or drop, with a cost-model calibration table.")
+    Term.(const run $ verbose_arg $ dataset_arg $ edges_arg $ seed_arg $ graph_file_arg
+          $ queries_arg $ repeat_arg $ log_file $ advise_budget $ json)
+
 let repl_cmd =
   let run verbose name edges seed graph_file budget =
     setup_logs verbose;
@@ -467,6 +629,9 @@ let () =
         explain_cmd;
         update_cmd;
         refresh_cmd;
+        log_cmd;
+        trace_cmd;
+        advise_cmd;
         repl_cmd;
       ]
   in

@@ -20,6 +20,8 @@ module Explain = Kaskade_obs.Explain
 module Metrics = Kaskade_obs.Metrics
 module Report = Kaskade_obs.Report
 module Trace = Kaskade_obs.Trace
+module Qlog = Kaskade_obs.Qlog
+module Trace_export = Kaskade_obs.Trace_export
 
 let m_view_hits =
   Metrics.counter ~help:"Queries answered via a materialized view" "kaskade.view_hits"
@@ -29,6 +31,21 @@ let m_view_misses =
 
 let h_query_seconds =
   Metrics.histogram ~help:"End-to-end Kaskade.run wall time (seconds)" "kaskade.query_seconds"
+
+(* The same latency, split by how the query was answered — a view-hit
+   p95 buried in an aggregate histogram is invisible next to base-graph
+   fallbacks that run orders of magnitude longer. *)
+let h_query_hit_seconds =
+  Metrics.histogram ~help:"Kaskade.run wall time, queries answered via a view (seconds)"
+    "kaskade.query_seconds.view_hit"
+
+let h_query_fallback_seconds =
+  Metrics.histogram ~help:"Kaskade.run wall time, queries answered on the base graph (seconds)"
+    "kaskade.query_seconds.fallback"
+
+let h_query_timeout_seconds =
+  Metrics.histogram ~help:"Wall time spent by queries aborted on budget exhaustion (seconds)"
+    "kaskade.query_seconds.timeout"
 
 let m_view_refreshes =
   Metrics.counter ~help:"Materialized view refreshes (incremental or rebuild)"
@@ -432,6 +449,39 @@ let note_fallback t q cands =
   in
   if lost_to_quarantine then Metrics.incr m_fallback_runs
 
+let result_rows = function
+  | Executor.Table tbl -> Row.n_rows tbl
+  | Executor.Affected n -> n
+
+(* Telemetry tail shared by [run] and [profile]: the outcome-split
+   latency histograms plus one {!Qlog} record per query — the canonical
+   query text is [Pretty.to_string] output, which re-parses, so the
+   advisor can replay the log through enumeration + selection. Failure
+   paths log too ([plan] absent when planning itself failed). *)
+let log_query ?budget ?plan t0 q ~outcome ~rows =
+  let dt = Trace.now_s () -. t0 in
+  Metrics.observe h_query_seconds dt;
+  (match outcome with
+  | Qlog.View_hit _ -> Metrics.observe h_query_hit_seconds dt
+  | Qlog.Fallback -> Metrics.observe h_query_fallback_seconds dt
+  | Qlog.Failed _ -> ());
+  ignore
+    (Qlog.add
+       ?budget:(Option.map Budget.describe budget)
+       ?plan
+       ~query:(Kaskade_query.Pretty.to_string q)
+       ~outcome ~rows ~seconds:dt ())
+
+let log_failure ?budget t0 q e =
+  (match e with
+  | Budget.Exhausted _ ->
+    Metrics.incr m_query_timeouts;
+    Metrics.observe h_query_timeout_seconds (Trace.now_s () -. t0)
+  | _ -> ());
+  match Error.of_exn e with
+  | Some err -> log_query ?budget t0 q ~outcome:(Qlog.Failed (Error.label err)) ~rows:0
+  | None -> ()
+
 let run ?budget t q =
   let t0 = Trace.now_s () in
   let body () =
@@ -444,19 +494,27 @@ let run ?budget t q =
       Log.debug (fun k ->
           k "answering via %s: %s" name (Kaskade_query.Pretty.to_string rw.Rewrite.rewritten));
       Metrics.incr m_view_hits;
-      (Executor.run ?budget (view_ctx t name) rw.Rewrite.rewritten, Via_view name)
+      (* [run_explained ~profile:false] instead of [run]: same
+         execution, but the (cheap, already-costed) plan tree comes
+         back for the query log's plan fingerprint. *)
+      let result, plan =
+        Executor.run_explained ~profile:false ?budget (view_ctx t name) rw.Rewrite.rewritten
+      in
+      ((result, Via_view name), plan)
     | None ->
       Log.debug (fun k -> k "no materialized view helps; answering on the base graph");
       Metrics.incr m_view_misses;
       note_fallback t q cands;
-      (run_raw ?budget t q, Raw)
+      let result, plan = Executor.run_explained ~profile:false ?budget (base_ctx t) q in
+      ((result, Raw), plan)
   in
   match body () with
-  | out ->
-    Metrics.observe h_query_seconds (Trace.now_s () -. t0);
+  | ((result, target) as out), plan ->
+    let outcome = match target with Via_view v -> Qlog.View_hit v | Raw -> Qlog.Fallback in
+    log_query ?budget ~plan t0 q ~outcome ~rows:(result_rows result);
     out
-  | exception (Budget.Exhausted _ as e) ->
-    Metrics.incr m_query_timeouts;
+  | exception e ->
+    log_failure ?budget t0 q e;
     raise e
 
 (* EXPLAIN / PROFILE ------------------------------------------------- *)
@@ -570,11 +628,14 @@ let profile ?budget t q =
     (result, make_report ?budget t q ~target ~raw_cost ~cands ~refreshes ~executed ~plan)
   in
   match body () with
-  | out ->
-    Metrics.observe h_query_seconds (Trace.now_s () -. t0);
+  | (result, report) as out ->
+    let outcome =
+      match report.target with Via_view v -> Qlog.View_hit v | Raw -> Qlog.Fallback
+    in
+    log_query ?budget ~plan:report.plan t0 q ~outcome ~rows:(result_rows result);
     out
-  | exception (Budget.Exhausted _ as e) ->
-    Metrics.incr m_query_timeouts;
+  | exception e ->
+    log_failure ?budget t0 q e;
     raise e
 
 let pp_report ppf r =
@@ -711,6 +772,237 @@ let report_json r =
       ("selection", match r.selection with Some s -> selection_json s | None -> Null);
       ("plan", Explain.to_json r.plan);
     ]
+
+(* Advisor ----------------------------------------------------------- *)
+
+module Advisor = struct
+  type verdict = Add | Keep | Drop
+
+  type recommendation = {
+    rec_view : string;
+    rec_verdict : verdict;
+    rec_est_edges : float;  (* estimator's size = knapsack weight; 0 when not a candidate *)
+    rec_value : float;
+    rec_hits : int;  (* logged queries this view actually answered *)
+  }
+
+  type calibration = {
+    cal_target : string;  (* view name, or "" for the base graph *)
+    cal_queries : int;
+    cal_ratio : float;  (* geometric mean of actual/estimated root rows *)
+    cal_suspect : bool;  (* ratio outside [0.5, 2] — cost model drifting *)
+  }
+
+  type advice = {
+    workload : (string * int) list;  (* canonical query text, frequency; descending *)
+    replayed : int;
+    skipped : int;  (* log records whose text no longer parses *)
+    budget_edges : int;
+    selection : Selection.t;
+    recommendations : recommendation list;
+    calibration : calibration list;
+  }
+
+  let verdict_label = function Add -> "add" | Keep -> "keep" | Drop -> "drop"
+
+  (* Frequency-weighted replay: the log's distinct queries (by hash, so
+     two spellings of the same canonical text coincide) become the
+     [queries] of a fresh enumeration + knapsack selection, each
+     weighted by how often it was asked — the paper's
+     frequency/importance extension, fed by observation instead of an
+     assumed workload. *)
+  let advise ?budget_edges ?records t =
+    let records = match records with Some r -> r | None -> Qlog.records () in
+    let budget_edges =
+      match budget_edges with Some b -> b | None -> Graph.n_edges (graph t)
+    in
+    (* Group by query hash, keeping the first text seen and a count. *)
+    let tbl : (string, string * int ref) Hashtbl.t = Hashtbl.create 16 in
+    let order = ref [] in
+    List.iter
+      (fun (r : Qlog.record) ->
+        match Hashtbl.find_opt tbl r.Qlog.query_hash with
+        | Some (_, n) -> incr n
+        | None ->
+          Hashtbl.add tbl r.Qlog.query_hash (r.Qlog.query, ref 1);
+          order := r.Qlog.query_hash :: !order)
+      records;
+    let grouped =
+      List.rev_map (fun h -> Hashtbl.find tbl h) !order
+      |> List.map (fun (text, n) -> (text, !n))
+      |> List.sort (fun (_, a) (_, b) -> compare b a)
+    in
+    let parsed, skipped =
+      List.fold_left
+        (fun (ok, skipped) (text, n) ->
+          match parse text with
+          | q -> ((q, text, n) :: ok, skipped)
+          | exception _ -> (ok, skipped + n))
+        ([], 0) grouped
+    in
+    let parsed = List.rev parsed in
+    let queries = List.map (fun (q, _, _) -> q) parsed in
+    let query_weights = List.map (fun (_, _, n) -> float_of_int n) parsed in
+    let sel =
+      if queries = [] then
+        Selection.select ~alpha:t.alpha (stats t) t.schema ~queries:[] ~budget_edges
+      else
+        Selection.select ~alpha:t.alpha ~query_weights (stats t) t.schema ~queries ~budget_edges
+    in
+    (* Verdicts: the selection says which views the observed workload
+       wants; the catalog says which are materialized. *)
+    let chosen = List.map View.name sel.Selection.chosen in
+    let materialized =
+      List.map
+        (fun (e : Catalog.entry) -> View.name e.Catalog.materialized.Materialize.view)
+        (Catalog.entries t.catalog)
+    in
+    let hits name =
+      List.length
+        (List.filter
+           (fun (r : Qlog.record) -> match r.Qlog.outcome with
+             | Qlog.View_hit v -> String.equal v name
+             | _ -> false)
+           records)
+    in
+    let report_for name =
+      List.find_opt
+        (fun (c : Selection.candidate_report) -> String.equal (View.name c.Selection.view) name)
+        sel.Selection.reports
+    in
+    let recommend name verdict =
+      let est_edges, value =
+        match report_for name with
+        | Some c -> (c.Selection.est_size, c.Selection.value)
+        | None -> (0.0, 0.0)
+      in
+      { rec_view = name; rec_verdict = verdict; rec_est_edges = est_edges; rec_value = value;
+        rec_hits = hits name }
+    in
+    let adds =
+      List.filter_map
+        (fun v -> if List.mem v materialized then None else Some (recommend v Add))
+        chosen
+    in
+    let keeps =
+      List.filter_map
+        (fun v -> if List.mem v materialized then Some (recommend v Keep) else None)
+        chosen
+    in
+    let drops =
+      List.filter_map
+        (fun v -> if List.mem v chosen then None else Some (recommend v Drop))
+        materialized
+    in
+    (* Cost-model calibration: per execution target, the geometric mean
+       of actual/estimated rows at the plan root across logged runs.
+       Geometric, because cardinality errors are multiplicative. *)
+    let cal_tbl : (string, float * int) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun (r : Qlog.record) ->
+        match (r.Qlog.outcome, r.Qlog.operators) with
+        | Qlog.Failed _, _ | _, [] -> ()
+        | outcome, root :: _ -> (
+          match root.Qlog.est_rows with
+          | Some est when est > 0.0 && r.Qlog.rows > 0 ->
+            let target = match outcome with Qlog.View_hit v -> v | _ -> "" in
+            let ratio = float_of_int r.Qlog.rows /. est in
+            let log_sum, n =
+              Option.value ~default:(0.0, 0) (Hashtbl.find_opt cal_tbl target)
+            in
+            Hashtbl.replace cal_tbl target (log_sum +. Float.log ratio, n + 1)
+          | _ -> ()))
+      records;
+    let calibration =
+      Hashtbl.fold
+        (fun target (log_sum, n) acc ->
+          let ratio = Float.exp (log_sum /. float_of_int n) in
+          { cal_target = target; cal_queries = n; cal_ratio = ratio;
+            cal_suspect = ratio < 0.5 || ratio > 2.0 }
+          :: acc)
+        cal_tbl []
+      |> List.sort (fun a b -> compare a.cal_target b.cal_target)
+    in
+    {
+      workload = List.map (fun (_, text, n) -> (text, n)) parsed;
+      replayed = List.length records - skipped;
+      skipped;
+      budget_edges;
+      selection = sel;
+      recommendations = adds @ keeps @ drops;
+      calibration;
+    }
+
+  let pp ppf a =
+    let open Format in
+    fprintf ppf "advisor: replayed %d logged queries (%d distinct%s), budget %d edges@,"
+      a.replayed (List.length a.workload)
+      (if a.skipped > 0 then Printf.sprintf ", %d skipped" a.skipped else "")
+      a.budget_edges;
+    fprintf ppf "workload:@,";
+    List.iter (fun (text, n) -> fprintf ppf "  %4dx  %s@," n text) a.workload;
+    if a.recommendations = [] then fprintf ppf "recommendations: none@,"
+    else begin
+      fprintf ppf "recommendations:@,";
+      List.iter
+        (fun r ->
+          fprintf ppf "  %-4s %-32s value %.6g, est. %.0f edges, %d logged hits@,"
+            (verdict_label r.rec_verdict) r.rec_view r.rec_value r.rec_est_edges r.rec_hits)
+        a.recommendations
+    end;
+    if a.calibration <> [] then begin
+      fprintf ppf "cost-model calibration (actual/estimated rows, geometric mean):@,";
+      List.iter
+        (fun c ->
+          fprintf ppf "  %-32s %.3g over %d queries%s@,"
+            (if c.cal_target = "" then "(base graph)" else c.cal_target)
+            c.cal_ratio c.cal_queries
+            (if c.cal_suspect then "  <- drifting" else ""))
+        a.calibration
+    end
+
+  let to_string a = Format.asprintf "@[<v>%a@]" pp a
+
+  let to_json a =
+    let open Report in
+    Obj
+      [
+        ("replayed", Int a.replayed);
+        ("skipped", Int a.skipped);
+        ("budget_edges", Int a.budget_edges);
+        ( "workload",
+          List
+            (List.map
+               (fun (text, n) -> Obj [ ("query", Str text); ("count", Int n) ])
+               a.workload) );
+        ( "recommendations",
+          List
+            (List.map
+               (fun r ->
+                 Obj
+                   [
+                     ("view", Str r.rec_view);
+                     ("verdict", Str (verdict_label r.rec_verdict));
+                     ("est_edges", num r.rec_est_edges);
+                     ("value", num r.rec_value);
+                     ("logged_hits", Int r.rec_hits);
+                   ])
+               a.recommendations) );
+        ( "calibration",
+          List
+            (List.map
+               (fun c ->
+                 Obj
+                   [
+                     ("target", Str c.cal_target);
+                     ("queries", Int c.cal_queries);
+                     ("ratio", num c.cal_ratio);
+                     ("suspect", Bool c.cal_suspect);
+                   ])
+               a.calibration) );
+        ("selection", selection_json a.selection);
+      ]
+end
 
 (* Typed-error entry points ------------------------------------------ *)
 

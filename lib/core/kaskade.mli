@@ -201,7 +201,13 @@ val run :
     are either repaired first ([auto_refresh]) or passed over in
     favour of the base graph. Updates the process-wide metrics
     registry ([kaskade.view_hits] / [kaskade.view_misses] counters,
-    [kaskade.query_seconds] histogram — see [Kaskade_obs.Metrics]).
+    the [kaskade.query_seconds] histogram and its outcome-split
+    variants [.view_hit] / [.fallback] / [.timeout] — see
+    [Kaskade_obs.Metrics]) and appends one [Kaskade_obs.Qlog] record
+    per call — successes and governed failures alike — carrying the
+    canonical query text, plan fingerprint, routing outcome, row
+    count, wall time and budget spend. The accumulated log is what
+    {!Advisor.advise} replays.
 
     {b Degradation:} a repair that {e fails} is swallowed here — the
     failure is metered ([kaskade.refresh_failures]) and charged to the
@@ -312,6 +318,70 @@ val run_on_view :
     first under [auto_refresh] and refused ([Invalid_argument])
     otherwise. Unlike {!run} there is no base-graph fallback, so a
     failed or breaker-blocked repair raises {!Error.Refresh_error}. *)
+
+(** {1 Workload advisor}
+
+    Closes the observe-decide loop: the query log that {!run} /
+    {!profile} accumulate ([Kaskade_obs.Qlog]) is replayed through the
+    same enumeration + knapsack selection that {!select_views} runs on
+    an assumed workload — except the queries and their frequencies are
+    {e observed}, not assumed. The output is a diff against the
+    current catalog (add / keep / drop per view) plus a cost-model
+    calibration table from the logged est-vs-actual row counts. *)
+
+module Advisor : sig
+  type verdict =
+    | Add  (** Selected for the observed workload but not materialized. *)
+    | Keep  (** Materialized and still earning its keep. *)
+    | Drop  (** Materialized but not selected — budget better spent elsewhere. *)
+
+  type recommendation = {
+    rec_view : string;
+    rec_verdict : verdict;
+    rec_est_edges : float;
+        (** Estimated size (the knapsack weight); [0.] when the view
+            was not among the replayed workload's candidates. *)
+    rec_value : float;  (** Knapsack value (frequency-weighted improvement). *)
+    rec_hits : int;  (** Logged queries this view actually answered. *)
+  }
+
+  type calibration = {
+    cal_target : string;  (** View name, or [""] for the base graph. *)
+    cal_queries : int;  (** Logged runs contributing to the ratio. *)
+    cal_ratio : float;
+        (** Geometric mean of actual/estimated rows at the plan root —
+            1.0 is a perfect cost model. *)
+    cal_suspect : bool;  (** Ratio outside [\[0.5, 2\]]. *)
+  }
+
+  type advice = {
+    workload : (string * int) list;
+        (** Distinct logged queries (canonical text) with frequencies,
+            most frequent first. *)
+    replayed : int;  (** Log records that entered the replay. *)
+    skipped : int;  (** Records whose query text no longer parses. *)
+    budget_edges : int;
+    selection : Selection.t;  (** The full knapsack trace behind the verdicts. *)
+    recommendations : recommendation list;  (** Adds, then keeps, then drops. *)
+    calibration : calibration list;
+  }
+
+  val advise : ?budget_edges:int -> ?records:Kaskade_obs.Qlog.record list -> t -> advice
+  (** Replay [records] (default: the process query log,
+      [Qlog.records ()] — pass [Qlog.load]ed records to advise on a
+      workload captured elsewhere) under [budget_edges] (default: the
+      current base graph's edge count, the paper's "storage comparable
+      to the graph itself" operating point). Distinct queries are
+      grouped by hash and their frequencies become
+      [Selection.select]'s [query_weights], so a query asked 100 times
+      pulls selection toward its views 100x harder than a one-off.
+      Unparseable texts are skipped (counted), failed runs still count
+      toward frequencies — demand is demand. *)
+
+  val pp : Format.formatter -> advice -> unit
+  val to_string : advice -> string
+  val to_json : advice -> Kaskade_obs.Report.json
+end
 
 val breaker_states : t -> (string * Kaskade_util.Breaker.t) list
 (** Circuit breakers with history (open, half-open, or closed with

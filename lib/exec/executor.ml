@@ -814,6 +814,7 @@ let account result =
   result
 
 let run ?budget ctx (q : Ast.t) : result =
+  Trace.with_span "executor.run" @@ fun () ->
   sync ctx;
   (* Entry checkpoint: an already-exhausted budget (0ms deadline) must
      fire before any scan starts, and fault injection can force a
@@ -828,6 +829,7 @@ let explain ctx (q : Ast.t) =
   Cost.plan (Lazy.force ctx.stats) (Graph.schema ctx.g) q
 
 let run_explained ?(profile = false) ?budget ctx (q : Ast.t) =
+  Trace.with_span "executor.run" @@ fun () ->
   sync ctx;
   Budget.check budget Budget.Execute;
   Budget.fault_point Budget.Execute ~site:"executor.run";

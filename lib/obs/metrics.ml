@@ -15,6 +15,12 @@ type counter = {
    holds v <= 0. *)
 let n_buckets = 66
 
+(* Like counters, histograms keep the sequential hot path free of
+   synchronization: main-domain observations mutate the plain fields,
+   worker-domain observations (Pool fan-outs) land in the atomic
+   [p_*] side cells and are merged by every reader. The float cells
+   (sum/min/max) are updated with a CAS retry loop — [Atomic.t] of a
+   boxed float compares the box we read, so the loop is exact. *)
 type histogram = {
   h_name : string;
   h_help : string;
@@ -23,6 +29,11 @@ type histogram = {
   mutable h_sum : float;
   mutable h_min : float;
   mutable h_max : float;
+  p_buckets : int Atomic.t array;  (* length n_buckets *)
+  p_count : int Atomic.t;
+  p_sum : float Atomic.t;
+  p_min : float Atomic.t;
+  p_max : float Atomic.t;
 }
 
 (* Set-semantics instrument for levels (stale view count, overlay
@@ -61,6 +72,11 @@ let histogram ?(help = "") name =
         h_sum = 0.0;
         h_min = Float.infinity;
         h_max = Float.neg_infinity;
+        p_buckets = Array.init n_buckets (fun _ -> Atomic.make 0);
+        p_count = Atomic.make 0;
+        p_sum = Atomic.make 0.0;
+        p_min = Atomic.make Float.infinity;
+        p_max = Atomic.make Float.neg_infinity;
       }
     in
     Hashtbl.add histograms name h;
@@ -79,15 +95,71 @@ let bucket_index v =
 
 let bucket_le i = if i = 0 then 0.0 else Float.ldexp 1.0 (i - 33)
 
-let observe h v =
-  h.buckets.(bucket_index v) <- h.buckets.(bucket_index v) + 1;
-  h.h_count <- h.h_count + 1;
-  h.h_sum <- h.h_sum +. v;
-  if v < h.h_min then h.h_min <- v;
-  if v > h.h_max then h.h_max <- v
+(* CAS retry loops for the float side cells. Each loop re-reads,
+   computes and swaps only if nothing interleaved — no observation is
+   lost, whatever the worker interleaving. *)
+let rec atomic_update cell f =
+  let old = Atomic.get cell in
+  let next = f old in
+  if old <> next && not (Atomic.compare_and_set cell old next) then atomic_update cell f
 
-let histogram_count h = h.h_count
-let histogram_sum h = h.h_sum
+let observe h v =
+  if Domain.is_main_domain () then begin
+    h.buckets.(bucket_index v) <- h.buckets.(bucket_index v) + 1;
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. v;
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v
+  end
+  else begin
+    ignore (Atomic.fetch_and_add h.p_buckets.(bucket_index v) 1);
+    ignore (Atomic.fetch_and_add h.p_count 1);
+    atomic_update h.p_sum (fun s -> s +. v);
+    atomic_update h.p_min (fun m -> if v < m then v else m);
+    atomic_update h.p_max (fun m -> if v > m then v else m)
+  end
+
+let histogram_count h = h.h_count + Atomic.get h.p_count
+let histogram_sum h = h.h_sum +. Atomic.get h.p_sum
+
+let histogram_min h = Stdlib.min h.h_min (Atomic.get h.p_min)
+let histogram_max h = Stdlib.max h.h_max (Atomic.get h.p_max)
+let merged_bucket h i = h.buckets.(i) + Atomic.get h.p_buckets.(i)
+
+(* Quantile estimate from the merged log-scale buckets: find the
+   bucket where the cumulative count crosses [q * count], then
+   interpolate linearly inside it. Resolution is the bucket width (a
+   factor of 2); the observed min/max clamp recovers exactness at the
+   extremes. *)
+let quantile h q =
+  let total = histogram_count h in
+  if total = 0 then Float.nan
+  else begin
+    let q = Stdlib.max 0.0 (Stdlib.min 1.0 q) in
+    let rank = q *. float_of_int total in
+    let rec locate i acc =
+      if i >= n_buckets then n_buckets - 1
+      else begin
+        let acc' = acc + merged_bucket h i in
+        if float_of_int acc' >= rank && acc' > 0 then i else locate (i + 1) acc'
+      end
+    in
+    let i = locate 0 0 in
+    let below = ref 0 in
+    for j = 0 to i - 1 do
+      below := !below + merged_bucket h j
+    done;
+    let in_bucket = merged_bucket h i in
+    let lo = if i <= 1 then 0.0 else bucket_le (i - 1) in
+    let hi = bucket_le i in
+    let frac =
+      if in_bucket = 0 then 1.0
+      else Stdlib.max 0.0 (Stdlib.min 1.0 ((rank -. float_of_int !below) /. float_of_int in_bucket))
+    in
+    let v = lo +. (frac *. (hi -. lo)) in
+    (* Never report outside the observed range. *)
+    Stdlib.max (histogram_min h) (Stdlib.min (histogram_max h) v)
+  end
 
 let gauge ?(help = "") name =
   match Hashtbl.find_opt gauges name with
@@ -112,7 +184,16 @@ let reset () =
       h.h_count <- 0;
       h.h_sum <- 0.0;
       h.h_min <- Float.infinity;
-      h.h_max <- Float.neg_infinity)
+      h.h_max <- Float.neg_infinity;
+      (* Plain stores into each cell: an in-flight worker observation
+         either lands before the store (discarded with the epoch) or
+         after it (counted in the new epoch) — each cell stays
+         internally consistent either way, never torn. *)
+      Array.iter (fun c -> Atomic.set c 0) h.p_buckets;
+      Atomic.set h.p_count 0;
+      Atomic.set h.p_sum 0.0;
+      Atomic.set h.p_min Float.infinity;
+      Atomic.set h.p_max Float.neg_infinity)
     histograms;
   Hashtbl.iter (fun _ g -> g.g_value <- 0.0) gauges
 
@@ -126,26 +207,26 @@ let to_json () =
   let histogram_fields =
     sorted histograms
     |> List.map (fun (h : histogram) ->
+           let count = histogram_count h and sum = histogram_sum h in
            let buckets =
-             Array.to_list
-               (Array.mapi
-                  (fun i n ->
-                    if n = 0 then None
-                    else
-                      Some
-                        (Report.Obj [ ("le", Report.num (bucket_le i)); ("count", Report.Int n) ]))
-                  h.buckets)
+             List.init n_buckets (fun i ->
+                 let n = merged_bucket h i in
+                 if n = 0 then None
+                 else
+                   Some (Report.Obj [ ("le", Report.num (bucket_le i)); ("count", Report.Int n) ]))
              |> List.filter_map Fun.id
            in
            ( h.h_name,
              Report.Obj
-               [ ("count", Report.Int h.h_count);
-                 ("sum", Report.num h.h_sum);
-                 ("min", if h.h_count = 0 then Report.Null else Report.num h.h_min);
-                 ("max", if h.h_count = 0 then Report.Null else Report.num h.h_max);
+               [ ("count", Report.Int count);
+                 ("sum", Report.num sum);
+                 ("min", if count = 0 then Report.Null else Report.num (histogram_min h));
+                 ("max", if count = 0 then Report.Null else Report.num (histogram_max h));
                  ( "mean",
-                   if h.h_count = 0 then Report.Null
-                   else Report.num (h.h_sum /. float_of_int h.h_count) );
+                   if count = 0 then Report.Null else Report.num (sum /. float_of_int count) );
+                 ("p50", if count = 0 then Report.Null else Report.num (quantile h 0.50));
+                 ("p95", if count = 0 then Report.Null else Report.num (quantile h 0.95));
+                 ("p99", if count = 0 then Report.Null else Report.num (quantile h 0.99));
                  ("buckets", Report.List buckets) ] ))
   in
   let gauge_fields =

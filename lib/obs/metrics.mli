@@ -20,8 +20,8 @@ val counter : ?help:string -> string -> counter
     mutation (hot-loop cheap). On worker domains (e.g. inside a
     [Kaskade_util.Pool] fan-out) it is an atomic add into a side cell
     that {!counter_value} and {!to_json} merge in — counts stay exact
-    under parallel materialization. Histograms have no such merge path
-    and must only be observed from the main domain. *)
+    under parallel materialization. {!observe} follows the same
+    two-path scheme. *)
 val incr : ?by:int -> counter -> unit
 
 val counter_value : counter -> int
@@ -32,8 +32,28 @@ val histogram : ?help:string -> string -> histogram
     edge counts. *)
 
 val observe : histogram -> float -> unit
+(** Record one value. Main-domain observations are plain field
+    mutations; worker-domain observations (Pool fan-outs) go through
+    per-histogram atomic side cells (bucket fetch-and-add, CAS loops
+    for sum/min/max) that every reader merges — observations stay
+    exact at any pool width, same contract as {!incr}. *)
+
 val histogram_count : histogram -> int
 val histogram_sum : histogram -> float
+val histogram_min : histogram -> float
+(** [Float.infinity] when empty. *)
+
+val histogram_max : histogram -> float
+(** [Float.neg_infinity] when empty. *)
+
+val quantile : histogram -> float -> float
+(** [quantile h q] estimates the [q]-quantile (e.g. [0.5], [0.95],
+    [0.99]) from the merged log-scale buckets: locate the bucket where
+    the cumulative count crosses [q * count], interpolate linearly
+    inside it, and clamp to the observed min/max. Resolution is the
+    base-2 bucket width — the estimate is within a factor of 2 of the
+    exact order statistic, and exact at the extremes. [nan] when
+    empty. *)
 
 val gauge : ?help:string -> string -> gauge
 (** Register (or fetch) the named gauge — a level with set-the-value
@@ -44,11 +64,14 @@ val set_gauge : gauge -> float -> unit
 val gauge_value : gauge -> float
 
 val reset : unit -> unit
-(** Zero every registered instrument (registrations are kept). *)
+(** Zero every registered instrument (registrations are kept). Safe to
+    call while worker domains are observing: each atomic side cell is
+    cleared independently, so a racing observation lands wholly before
+    or wholly after the reset — never torn. *)
 
 val to_json : unit -> Report.json
 (** Snapshot of every registered instrument:
     [{"counters": {...}, "gauges": {...}, "histograms": {...}}].
-    Histograms carry count/sum/min/max/mean plus non-empty
-    [le]-labelled buckets. Names are emitted in sorted order so dumps
-    diff cleanly. *)
+    Histograms carry count/sum/min/max/mean, p50/p95/p99 quantile
+    estimates ({!quantile}), plus non-empty [le]-labelled buckets.
+    Names are emitted in sorted order so dumps diff cleanly. *)

@@ -21,3 +21,15 @@ val to_string : ?pretty:bool -> json -> string
 val num : float -> json
 (** [Float], but collapses integral values to [Int] so counters do not
     render as ["3."]. *)
+
+val parse : string -> (json, string) result
+(** Parse one RFC 8259 document (the inverse of {!to_string}, modulo
+    [num]'s integral-float collapsing). Exists so the telemetry that
+    leaves the process — JSONL query logs, Chrome trace files — can be
+    read back and validated without a JSON dependency. Numbers with a
+    fraction or exponent come back as [Float], others as [Int];
+    [\u]-escapes outside ASCII are decoded to UTF-8. The error string
+    carries a character offset. *)
+
+val member : string -> json -> json option
+(** Field lookup on [Obj] (first match); [None] otherwise. *)

@@ -69,6 +69,40 @@ let add_attr k v =
   | Some { stack = o :: _; _ } -> o.o_attrs <- (k, v) :: o.o_attrs
   | _ -> ()
 
+let record_span ?(attrs = []) ~name ~start_s ~stop_s () =
+  match !current with
+  | None -> ()
+  | Some st ->
+    let closed =
+      {
+        name;
+        attrs;
+        start_s = start_s -. st.epoch;
+        duration_s = stop_s -. start_s;
+        children = [];
+      }
+    in
+    (match st.stack with
+    | parent :: _ -> parent.o_children <- closed :: parent.o_children
+    | [] -> st.roots <- closed :: st.roots)
+
+(* Pool fan-outs surface as pre-timed leaf spans, one per chunk, with
+   the executing domain recorded — chunk 0 is the calling domain, the
+   rest ran on spawned workers. The observer fires on the calling
+   domain after the join (see [Pool.set_chunk_observer]), so this
+   composes with the single-domain collector. *)
+let () =
+  Kaskade_util.Pool.set_chunk_observer
+    (Some
+       (fun ~chunk ~chunks ~lo ~hi ~start_s ~stop_s ->
+         if !current <> None then
+           record_span
+             ~attrs:
+               [ ("domain", string_of_int chunk);
+                 ("domains", string_of_int chunks);
+                 ("range", Printf.sprintf "[%d,%d)" lo hi) ]
+             ~name:"pool.chunk" ~start_s ~stop_s ()))
+
 let collect f =
   if enabled () then invalid_arg "Trace.collect: already collecting";
   let st = { epoch = now_s (); stack = []; roots = [] } in

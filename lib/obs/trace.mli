@@ -36,6 +36,17 @@ val add_attr : string -> string -> unit
 (** Attach a key/value to the innermost open span. No-op when not
     collecting or outside any span. *)
 
+val record_span :
+  ?attrs:(string * string) list -> name:string -> start_s:float -> stop_s:float -> unit -> unit
+(** Append an already-timed leaf span (times on the {!now_s} monotonic
+    clock, converted to collect-relative internally) as a child of the
+    innermost open span. This is how work measured off the main domain
+    enters the tree: [Pool.map_chunks] stamps each chunk inside its
+    worker and replays the stamps here after the join, with a
+    ["domain"] attribute naming the executing domain (0 = the calling
+    domain) — {!Trace_export} maps it to per-thread tracks. No-op when
+    not collecting. Main-domain only. *)
+
 val collect : (unit -> 'a) -> 'a * span list
 (** Run with collection enabled and return the top-level spans in
     start order. Raises [Invalid_argument] when nested. If the thunk

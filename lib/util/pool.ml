@@ -27,6 +27,17 @@ let default () =
     default_pool := Some p;
     p
 
+(* Telemetry hook (observability layer): per-chunk wall times are
+   captured inside the executing domain but replayed to the hook from
+   the calling domain after the join, so the hook itself never runs
+   concurrently. *)
+let chunk_observer :
+    (chunk:int -> chunks:int -> lo:int -> hi:int -> start_s:float -> stop_s:float -> unit) option
+    ref =
+  ref None
+
+let set_chunk_observer obs = chunk_observer := obs
+
 let map_chunks t ~n f =
   if n <= 0 then [||]
   else begin
@@ -36,6 +47,23 @@ let map_chunks t ~n f =
     let bound i = (i * q) + Stdlib.min i rem in
     if k = 1 then [| f ~lo:0 ~hi:n |]
     else begin
+      let observer = !chunk_observer in
+      let times = match observer with None -> [||] | Some _ -> Array.make (2 * k) 0.0 in
+      let f =
+        match observer with
+        | None -> f
+        | Some _ ->
+          fun ~lo ~hi ->
+            (* Recover the chunk index from [lo]: bounds are strictly
+               increasing, so the chunk is the largest i with
+               bound i <= lo. Writes to [times] are per-chunk disjoint. *)
+            let rec chunk_of i = if i + 1 >= k || bound (i + 1) > lo then i else chunk_of (i + 1) in
+            let c = chunk_of 0 in
+            times.(2 * c) <- Mclock.now_s ();
+            let r = f ~lo ~hi in
+            times.((2 * c) + 1) <- Mclock.now_s ();
+            r
+      in
       (* Chunks 1..k-1 run on spawned domains, chunk 0 on the caller.
          Every domain is joined before returning — even on failure —
          and the earliest chunk's exception wins, so error behavior is
@@ -51,6 +79,15 @@ let map_chunks t ~n f =
       for i = 1 to k - 1 do
         results.(i) <- (try Ok (Domain.join workers.(i - 1)) with e -> Error e)
       done;
+      (match observer with
+      | Some report ->
+        for c = 0 to k - 1 do
+          (* A chunk that raised may have no stop stamp; skip it. *)
+          if times.((2 * c) + 1) > 0.0 then
+            report ~chunk:c ~chunks:k ~lo:(bound c) ~hi:(bound (c + 1)) ~start_s:times.(2 * c)
+              ~stop_s:times.((2 * c) + 1)
+        done
+      | None -> ());
       Array.iter (function Error e -> raise e | Ok _ -> ()) results;
       Array.map (function Ok v -> v | Error _ -> assert false) results
     end

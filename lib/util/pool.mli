@@ -40,3 +40,16 @@ val map_chunks : t -> n:int -> (lo:int -> hi:int -> 'a) -> 'a array
     [\[0, n)]; at most [domains t] chunks, fewer when [n] is small
     (never an empty chunk; [n = 0] yields [[||]]). Results are in
     chunk order: concatenating them preserves index order. *)
+
+val set_chunk_observer :
+  (chunk:int -> chunks:int -> lo:int -> hi:int -> start_s:float -> stop_s:float -> unit) option ->
+  unit
+(** Install a telemetry hook: when set, every {!map_chunks} fan-out
+    reports each chunk's index range and monotonic start/stop time
+    ([Mclock] seconds, measured inside the executing domain). The hook
+    runs on the {e calling} domain after all workers are joined, one
+    call per chunk in chunk order — chunk 0 is the calling domain,
+    chunks 1.. ran on spawned worker domains. [Kaskade_obs.Trace]
+    installs one at init so span collection sees pool fan-outs with
+    per-domain timing; the hook must therefore be cheap and must not
+    raise. Single-chunk (sequential) fan-outs are not reported. *)

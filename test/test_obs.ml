@@ -1,4 +1,5 @@
-(* Observability layer: spans, metrics, EXPLAIN/PROFILE. *)
+(* Observability layer: spans, metrics, EXPLAIN/PROFILE, query log,
+   trace export, advisor. *)
 
 open Kaskade_graph
 open Kaskade_query
@@ -6,9 +7,12 @@ module Obs = Kaskade_obs
 module Trace = Obs.Trace
 module Metrics = Obs.Metrics
 module Explain = Obs.Explain
+module Qlog = Obs.Qlog
+module Report = Obs.Report
 module Executor = Kaskade_exec.Executor
 module Planner = Kaskade_exec.Planner
 module Row = Kaskade_exec.Row
+module Pool = Kaskade_util.Pool
 
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -212,6 +216,338 @@ let test_kaskade_profile_identity () =
   check_bool "EXPLAIN and PROFILE agree on shape" true
     (shape e.Kaskade.plan = shape report.Kaskade.plan)
 
+(* ------------------------------------------------------------------ *)
+(* Query log                                                           *)
+
+let test_qlog_ring_wraparound () =
+  Qlog.clear ();
+  Qlog.set_capacity 4;
+  let total0 = Qlog.total () in
+  for i = 1 to 10 do
+    ignore
+      (Qlog.add
+         ~query:(Printf.sprintf "MATCH (q%d:Job) RETURN q%d" i i)
+         ~outcome:Qlog.Fallback ~rows:i ~seconds:(float_of_int i *. 0.001) ())
+  done;
+  check_int "length capped at capacity" 4 (Qlog.length ());
+  check_int "total survives eviction" (total0 + 10) (Qlog.total ());
+  let rs = Qlog.records () in
+  Alcotest.(check (list int)) "window keeps the newest, oldest first"
+    [ 7; 8; 9; 10 ]
+    (List.map (fun r -> r.Qlog.rows) rs);
+  let seqs = List.map (fun r -> r.Qlog.seq) rs in
+  check_bool "seqs strictly increasing" true
+    (List.for_all2 ( < ) seqs (List.tl seqs @ [ max_int ]));
+  (* Growing the ring keeps the held window. *)
+  Qlog.set_capacity 8;
+  check_int "grow keeps records" 4 (Qlog.length ());
+  ignore (Qlog.add ~query:"MATCH (x) RETURN x" ~outcome:Qlog.Fallback ~rows:11 ~seconds:0.0 ());
+  check_int "appends continue after resize" 5 (Qlog.length ());
+  (* Shrinking keeps only the most recent. *)
+  Qlog.set_capacity 2;
+  Alcotest.(check (list int)) "shrink keeps newest" [ 10; 11 ]
+    (List.map (fun r -> r.Qlog.rows) (Qlog.records ()));
+  Qlog.set_capacity 512;
+  Qlog.clear ()
+
+let test_qlog_jsonl_roundtrip () =
+  let g = Lazy.force prov in
+  let ctx = Executor.create ~planner:true g in
+  let q = Qparser.parse "MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j, f" in
+  let _, plan = Executor.run_explained ~profile:true ctx q in
+  Qlog.clear ();
+  Qlog.set_capacity 512;
+  let r1 =
+    Qlog.add ~budget:"steps 10/1000" ~plan
+      ~query:"MATCH (j:Job) WHERE j.name = \"quo\\\"ted\n\ttab\" RETURN j"
+      ~outcome:(Qlog.View_hit "KEEP_V_FILE_JOB") ~rows:7 ~seconds:0.0042 ()
+  in
+  let r2 =
+    Qlog.add ~query:"MATCH (x) RETURN x" ~outcome:(Qlog.Failed "budget_exhausted") ~rows:0
+      ~seconds:0.1 ()
+  in
+  let path = Filename.temp_file "kaskade_qlog" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Qlog.save path;
+      match Qlog.load path with
+      | Error e -> Alcotest.fail ("load failed: " ^ e)
+      | Ok rs ->
+        check_int "two records round-trip" 2 (List.length rs);
+        let l1 = List.nth rs 0 and l2 = List.nth rs 1 in
+        check_string "query text survives escaping" r1.Qlog.query l1.Qlog.query;
+        check_string "hash stable across round-trip" r1.Qlog.query_hash l1.Qlog.query_hash;
+        check_string "fingerprint survives" r1.Qlog.plan_fingerprint l1.Qlog.plan_fingerprint;
+        check_bool "fingerprint non-empty" true (r1.Qlog.plan_fingerprint <> "");
+        check_bool "view-hit outcome" true (l1.Qlog.outcome = Qlog.View_hit "KEEP_V_FILE_JOB");
+        check_int "rows" 7 l1.Qlog.rows;
+        check_bool "budget survives" true (l1.Qlog.budget = Some "steps 10/1000");
+        check_int "operator rows flattened" (List.length r1.Qlog.operators)
+          (List.length l1.Qlog.operators);
+        check_bool "operators non-empty (plan given)" true (r1.Qlog.operators <> []);
+        check_bool "operator ops/actuals survive" true
+          (List.for_all2
+             (fun (a : Qlog.op_row) (b : Qlog.op_row) ->
+               a.Qlog.op = b.Qlog.op && a.Qlog.detail = b.Qlog.detail
+               && a.Qlog.actual_rows = b.Qlog.actual_rows)
+             r1.Qlog.operators l1.Qlog.operators);
+        check_bool "failure outcome survives" true
+          (l2.Qlog.outcome = Qlog.Failed "budget_exhausted");
+        (* hash_query really is content-addressed. *)
+        check_string "hash_query deterministic" (Qlog.hash_query r1.Qlog.query) r1.Qlog.query_hash;
+        check_bool "distinct queries hash differently" true
+          (r1.Qlog.query_hash <> r2.Qlog.query_hash));
+  Qlog.clear ()
+
+let test_qlog_facade_appends () =
+  let g = Lazy.force prov in
+  let ks = Kaskade.create g in
+  Qlog.clear ();
+  let q = Kaskade.parse "MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j, f" in
+  let r, how = Kaskade.run ks q in
+  check_bool "no views yet -> raw" true (how = Kaskade.Raw);
+  (match Qlog.records () with
+  | [ rec1 ] ->
+    check_bool "fallback logged" true (rec1.Qlog.outcome = Qlog.Fallback);
+    check_int "rows logged" (Row.n_rows (Executor.table_exn r)) rec1.Qlog.rows;
+    check_bool "fingerprint captured" true (rec1.Qlog.plan_fingerprint <> "");
+    check_bool "canonical text re-parses" true
+      (match Kaskade.parse_result rec1.Qlog.query with Ok _ -> true | Error _ -> false)
+  | rs -> Alcotest.fail (Printf.sprintf "expected 1 logged record, got %d" (List.length rs)));
+  (* Failures land in the log too (via run_result). *)
+  let before = Qlog.length () in
+  (match
+     Kaskade.run_result ~budget:(Kaskade_util.Budget.create ~max_steps:1 ()) ks
+       (Kaskade.parse "MATCH (a:Job)-[r*1..4]->(b:Job) RETURN a, b")
+   with
+  | Ok _ -> Alcotest.fail "expected budget exhaustion"
+  | Error e -> check_string "typed failure" "budget_exhausted" (Kaskade.Error.label e));
+  check_int "failure appended" (before + 1) (Qlog.length ());
+  let last = List.nth (Qlog.records ()) (Qlog.length () - 1) in
+  check_bool "failure outcome recorded" true
+    (last.Qlog.outcome = Qlog.Failed "budget_exhausted");
+  Qlog.clear ()
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace export                                                 *)
+
+let test_chrome_trace_valid_json () =
+  let pool = Pool.create ~domains:2 () in
+  let (), spans =
+    Trace.collect (fun () ->
+        Trace.with_span "fanout" (fun () ->
+            ignore
+              (Pool.map_chunks pool ~n:4096 (fun ~lo ~hi ->
+                   let acc = ref 0 in
+                   for i = lo to hi - 1 do
+                     acc := !acc + i
+                   done;
+                   !acc))))
+  in
+  check_bool "captured a root span" true (spans <> []);
+  let s = Obs.Trace_export.to_chrome_string spans in
+  match Report.parse s with
+  | Error e -> Alcotest.fail ("chrome trace is not valid JSON: " ^ e)
+  | Ok j ->
+    let events =
+      match Report.member "traceEvents" j with
+      | Some (Report.List l) -> l
+      | _ -> Alcotest.fail "no traceEvents array"
+    in
+    let xs = List.filter (fun e -> Report.member "ph" e = Some (Report.Str "X")) events in
+    check_bool "has complete (X) events" true (List.length xs >= 2);
+    List.iter
+      (fun e ->
+        List.iter
+          (fun field ->
+            check_bool ("X event carries " ^ field) true (Report.member field e <> None))
+          [ "name"; "ts"; "dur"; "pid"; "tid" ];
+        match Report.member "dur" e with
+        | Some (Report.Int d) -> check_bool "dur non-negative" true (d >= 0)
+        | Some (Report.Float d) -> check_bool "dur non-negative" true (d >= 0.0)
+        | _ -> Alcotest.fail "dur is not a number")
+      xs;
+    let tids =
+      List.filter_map
+        (fun e -> match Report.member "tid" e with Some (Report.Int t) -> Some t | _ -> None)
+        xs
+    in
+    check_bool "main thread events present" true (List.mem 1 tids);
+    check_bool "pool chunks land on worker tids" true (List.exists (fun t -> t > 1) tids);
+    (* Every tid in use gets a thread_name metadata event. *)
+    let named_tids =
+      List.filter_map
+        (fun e ->
+          if Report.member "name" e = Some (Report.Str "thread_name") then
+            match Report.member "tid" e with Some (Report.Int t) -> Some t | _ -> None
+          else None)
+        events
+    in
+    List.iter
+      (fun t -> check_bool (Printf.sprintf "tid %d is named" t) true (List.mem t named_tids))
+      (List.sort_uniq compare tids)
+
+(* ------------------------------------------------------------------ *)
+(* Quantiles + multicore histogram path                                *)
+
+let test_quantiles_vs_reference () =
+  Metrics.reset ();
+  let h = Metrics.histogram "test.quantiles" in
+  (* Deterministic LCG over a wide, skewed range. *)
+  let state = ref 123456789 in
+  let next () =
+    state := (1103515245 * !state + 12345) land 0x3FFFFFFF;
+    (float_of_int (!state mod 100_000) /. 97.0) +. 0.001
+  in
+  let n = 500 in
+  let values = Array.init n (fun _ -> next ()) in
+  Array.iter (Metrics.observe h) values;
+  let sorted = Array.copy values in
+  Array.sort compare sorted;
+  let exact q =
+    (* Nearest-rank on the sorted copy. *)
+    let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+  in
+  List.iter
+    (fun q ->
+      let est = Metrics.quantile h q in
+      let ex = exact q in
+      check_bool
+        (Printf.sprintf "q=%.2f within a bucket of exact (est %.3f, exact %.3f)" q est ex)
+        true
+        (est >= ex /. 2.001 && est <= ex *. 2.001))
+    [ 0.5; 0.9; 0.95; 0.99 ];
+  let p50 = Metrics.quantile h 0.5
+  and p95 = Metrics.quantile h 0.95
+  and p99 = Metrics.quantile h 0.99 in
+  check_bool "quantiles monotone" true (p50 <= p95 && p95 <= p99);
+  check_bool "clamped to observed range" true
+    (p50 >= Metrics.histogram_min h && p99 <= Metrics.histogram_max h);
+  Alcotest.(check (float 1e-9)) "min exact" sorted.(0) (Metrics.histogram_min h);
+  Alcotest.(check (float 1e-9)) "max exact" sorted.(n - 1) (Metrics.histogram_max h);
+  check_bool "empty histogram -> nan" true
+    (Float.is_nan (Metrics.quantile (Metrics.histogram "test.quantiles.empty") 0.5));
+  Metrics.reset ()
+
+let test_histogram_worker_observations () =
+  Metrics.reset ();
+  let h = Metrics.histogram "test.hist.workers" in
+  let pool = Pool.create ~domains:4 () in
+  let n = 1000 in
+  ignore
+    (Pool.map_chunks pool ~n (fun ~lo ~hi ->
+         for i = lo to hi - 1 do
+           Metrics.observe h (float_of_int (i + 1))
+         done));
+  (* Chunk 0 runs on the caller (plain path), the rest on workers
+     (atomic side cells) — the merged view must be exact. *)
+  check_int "merged count exact" n (Metrics.histogram_count h);
+  Alcotest.(check (float 1e-6)) "merged sum exact"
+    (float_of_int (n * (n + 1) / 2))
+    (Metrics.histogram_sum h);
+  Alcotest.(check (float 1e-9)) "merged min" 1.0 (Metrics.histogram_min h);
+  Alcotest.(check (float 1e-9)) "merged max" (float_of_int n) (Metrics.histogram_max h);
+  check_bool "quantile readable after merge" true (not (Float.is_nan (Metrics.quantile h 0.5)));
+  Metrics.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* Advisor                                                             *)
+
+(* Acceptance criterion: advising over a captured fig7-style workload
+   must recommend the same view set as static enumeration + selection
+   over the same queries and frequencies. *)
+let advisor_workload =
+  [ ("MATCH (s:Job)-[r*1..4]->(desc:Job) RETURN s, desc", 3);
+    ("MATCH (s:Job)<-[r*1..4]-(anc:Job) RETURN s, anc", 2);
+    ("SELECT s, n, MAX(r) FROM (MATCH (s:Job)-[r*1..4]->(n) RETURN s, n, r) GROUP BY s, n", 1)
+  ]
+
+let chosen_names (sel : Kaskade.Selection.t) =
+  List.sort compare (List.map Kaskade_views.View.name sel.Kaskade.Selection.chosen)
+
+let test_advisor_matches_static_selection () =
+  let g = Lazy.force prov in
+  let ks = Kaskade.create g in
+  let budget = 10 * Graph.n_edges g in
+  Qlog.clear ();
+  List.iter
+    (fun (src, freq) ->
+      let q = Kaskade.parse src in
+      for _ = 1 to freq do
+        ignore (Kaskade.run ks q)
+      done)
+    advisor_workload;
+  check_int "every run logged" 6 (Qlog.length ());
+  let advice = Kaskade.Advisor.advise ~budget_edges:budget ks in
+  check_int "all records replayed" 6 advice.Kaskade.Advisor.replayed;
+  check_int "nothing skipped" 0 advice.Kaskade.Advisor.skipped;
+  (* The advisor's workload grouping recovers the true frequencies. *)
+  Alcotest.(check (list int)) "frequencies recovered, most frequent first" [ 3; 2; 1 ]
+    (List.map snd advice.Kaskade.Advisor.workload);
+  (* Static path: same queries, same frequencies as weights. *)
+  let static =
+    Kaskade.Selection.select (Kaskade.stats ks) (Kaskade.schema ks)
+      ~query_weights:(List.map (fun (_, f) -> float_of_int f) advisor_workload)
+      ~queries:(List.map (fun (src, _) -> Kaskade.parse src) advisor_workload)
+      ~budget_edges:budget
+  in
+  check_bool "static selection chooses something" true (static.Kaskade.Selection.chosen <> []);
+  Alcotest.(check (list string)) "advisor selection == static selection" (chosen_names static)
+    (chosen_names advice.Kaskade.Advisor.selection);
+  (* Empty catalog: every chosen view is an Add, and none has log hits. *)
+  List.iter
+    (fun (r : Kaskade.Advisor.recommendation) ->
+      check_bool ("verdict is Add: " ^ r.Kaskade.Advisor.rec_view) true
+        (r.Kaskade.Advisor.rec_verdict = Kaskade.Advisor.Add))
+    advice.Kaskade.Advisor.recommendations;
+  check_int "recommendation per chosen view"
+    (List.length static.Kaskade.Selection.chosen)
+    (List.length advice.Kaskade.Advisor.recommendations);
+  Qlog.clear ()
+
+let test_advisor_keep_after_materialization () =
+  let g = Lazy.force prov in
+  let ks = Kaskade.create g in
+  let budget = 10 * Graph.n_edges g in
+  let queries = List.map (fun (src, _) -> Kaskade.parse src) advisor_workload in
+  let sel = Kaskade.select_views ks ~queries ~budget_edges:budget in
+  ignore (Kaskade.materialize_selected ks sel);
+  Qlog.clear ();
+  List.iter (fun q -> ignore (Kaskade.run ks q)) queries;
+  (* At least one query must now route through a view and be logged so. *)
+  let hits =
+    List.filter (fun r -> match r.Qlog.outcome with Qlog.View_hit _ -> true | _ -> false)
+      (Qlog.records ())
+  in
+  check_bool "view hits logged" true (hits <> []);
+  let advice = Kaskade.Advisor.advise ~budget_edges:budget ks in
+  (* The same workload still selects the same views, so the verdicts
+     flip from Add to Keep — and the hit counts are observed. *)
+  List.iter
+    (fun (r : Kaskade.Advisor.recommendation) ->
+      if List.mem r.Kaskade.Advisor.rec_view (chosen_names sel) then begin
+        check_bool ("materialized view kept: " ^ r.Kaskade.Advisor.rec_view) true
+          (r.Kaskade.Advisor.rec_verdict = Kaskade.Advisor.Keep);
+        check_bool ("observed hits counted: " ^ r.Kaskade.Advisor.rec_view) true
+          (r.Kaskade.Advisor.rec_hits > 0
+          || not
+               (List.exists
+                  (fun h ->
+                    h.Qlog.outcome = Qlog.View_hit r.Kaskade.Advisor.rec_view)
+                  hits))
+      end)
+    advice.Kaskade.Advisor.recommendations;
+  (* Calibration rows exist for the replayed targets and carry sane ratios. *)
+  List.iter
+    (fun (c : Kaskade.Advisor.calibration) ->
+      check_bool "calibration over logged runs" true (c.Kaskade.Advisor.cal_queries > 0);
+      check_bool "ratio finite and positive" true
+        (Float.is_finite c.Kaskade.Advisor.cal_ratio && c.Kaskade.Advisor.cal_ratio > 0.0))
+    advice.Kaskade.Advisor.calibration;
+  Qlog.clear ()
+
 let () =
   Alcotest.run "obs"
     [ ( "trace",
@@ -228,5 +564,20 @@ let () =
             test_explain_has_estimates_no_actuals ] );
       ( "profile",
         [ Alcotest.test_case "identical results" `Quick test_profile_identical_results;
-          Alcotest.test_case "kaskade profile identity" `Quick test_kaskade_profile_identity ] )
+          Alcotest.test_case "kaskade profile identity" `Quick test_kaskade_profile_identity ] );
+      ( "qlog",
+        [ Alcotest.test_case "ring wraparound" `Quick test_qlog_ring_wraparound;
+          Alcotest.test_case "jsonl round-trip" `Quick test_qlog_jsonl_roundtrip;
+          Alcotest.test_case "facade appends" `Quick test_qlog_facade_appends ] );
+      ( "trace-export",
+        [ Alcotest.test_case "chrome trace valid json" `Quick test_chrome_trace_valid_json ] );
+      ( "quantiles",
+        [ Alcotest.test_case "vs sorted-array reference" `Quick test_quantiles_vs_reference;
+          Alcotest.test_case "worker-domain observations" `Quick
+            test_histogram_worker_observations ] );
+      ( "advisor",
+        [ Alcotest.test_case "matches static selection" `Quick
+            test_advisor_matches_static_selection;
+          Alcotest.test_case "keep after materialization" `Quick
+            test_advisor_keep_after_materialization ] )
     ]

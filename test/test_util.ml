@@ -357,6 +357,90 @@ let test_pool_workers_use_scratch () =
   Alcotest.(check (array int)) "per-domain scratch results" [| 50; 34; 25; 20 |] sums
 
 (* ------------------------------------------------------------------ *)
+(* Observability truncation under live worker domains                  *)
+
+module Metrics = Kaskade_obs.Metrics
+module Qlog = Kaskade_obs.Qlog
+
+let test_metrics_reset_during_fanout () =
+  (* Metrics.reset from the caller's chunk while worker chunks observe:
+     no crash, no torn values, and the instruments keep working. *)
+  let c = Metrics.counter "test.race.counter" in
+  let h = Metrics.histogram "test.race.hist" in
+  Metrics.reset ();
+  let p = Pool.create ~domains:4 () in
+  let per_chunk = 2_000 in
+  ignore
+    (Pool.map_chunks p ~n:4 (fun ~lo ~hi:_ ->
+         if lo = 0 then
+           for _ = 1 to 50 do
+             Metrics.reset ();
+             ignore (Metrics.counter_value c);
+             ignore (Metrics.histogram_sum h);
+             ignore (Metrics.quantile h 0.5)
+           done
+         else
+           for i = 1 to per_chunk do
+             Metrics.incr c;
+             Metrics.observe h (float_of_int i)
+           done));
+  (* Three observing chunks; resets only ever discard, never duplicate. *)
+  let v = Metrics.counter_value c in
+  check_bool "counter value in range" true (v >= 0 && v <= 3 * per_chunk);
+  let n = Metrics.histogram_count h in
+  check_bool "histogram count in range" true (n >= 0 && n <= 3 * per_chunk);
+  check_bool "histogram sum consistent with count" true
+    (n > 0 || Metrics.histogram_sum h = 0.0);
+  Metrics.reset ();
+  check_int "reset lands after the race" 0 (Metrics.counter_value c);
+  Metrics.incr c;
+  check_int "instrument survives the race" 1 (Metrics.counter_value c);
+  Metrics.reset ()
+
+let rec strictly_increasing = function
+  | a :: (b :: _ as rest) -> a < b && strictly_increasing rest
+  | _ -> true
+
+let test_qlog_truncation_race_qcheck =
+  QCheck.Test.make ~name:"qlog truncation is safe under worker appends" ~count:20
+    QCheck.(pair (2 -- 16) (10 -- 80))
+    (fun (cap, per_worker) ->
+      Qlog.clear ();
+      Qlog.set_capacity cap;
+      let total0 = Qlog.total () in
+      let p = Pool.create ~domains:4 () in
+      ignore
+        (Pool.map_chunks p ~n:4 (fun ~lo ~hi:_ ->
+             if lo = 0 then
+               (* Caller's chunk: truncate and resize while workers append. *)
+               for i = 1 to 30 do
+                 if i mod 2 = 0 then Qlog.clear () else Qlog.set_capacity (1 + (i mod cap));
+                 ignore (Qlog.length ());
+                 ignore (Qlog.summary ())
+               done
+             else
+               for i = 1 to per_worker do
+                 ignore
+                   (Qlog.add ~query:"MATCH (x) RETURN x" ~outcome:Qlog.Fallback ~rows:i
+                      ~seconds:0.001 ())
+               done));
+      let held = Qlog.records () in
+      let ok =
+        (* Window bounded by the (final) capacity, records untorn and in
+           append order, and every append counted exactly once. *)
+        List.length held = Qlog.length ()
+        && Qlog.length () <= Qlog.capacity ()
+        && strictly_increasing (List.map (fun r -> r.Qlog.seq) held)
+        && List.for_all
+             (fun r -> r.Qlog.query = "MATCH (x) RETURN x" && r.Qlog.outcome = Qlog.Fallback)
+             held
+        && Qlog.total () - total0 = 3 * per_worker
+      in
+      Qlog.set_capacity 512;
+      Qlog.clear ();
+      ok)
+
+(* ------------------------------------------------------------------ *)
 (* Heap                                                                *)
 
 let test_heap_ordering () =
@@ -415,7 +499,11 @@ let test_table_render () =
 
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
-    [ test_ccdf_monotone_qcheck; test_heap_sorted_qcheck; test_scratch_vs_hashtbl_qcheck ]
+    [ test_ccdf_monotone_qcheck;
+      test_heap_sorted_qcheck;
+      test_scratch_vs_hashtbl_qcheck;
+      test_qlog_truncation_race_qcheck
+    ]
 
 let () =
   Alcotest.run "kaskade_util"
@@ -473,6 +561,8 @@ let () =
             test_pool_earliest_exception_deterministic;
           Alcotest.test_case "budget-cancelled fan-out returns" `Quick test_pool_budget_cancelled_fanout;
           Alcotest.test_case "workers use scratch" `Quick test_pool_workers_use_scratch;
+          Alcotest.test_case "metrics reset during fan-out" `Quick
+            test_metrics_reset_during_fanout;
         ] );
       ( "heap",
         [ Alcotest.test_case "ordering" `Quick test_heap_ordering ] );
