@@ -73,7 +73,37 @@ let m_fallback_runs =
     ~help:"Queries a quarantined (breaker-open) view could have served, answered on the base graph"
     "kaskade.fallback_runs"
 
-type t = {
+let m_plan_cache_hits =
+  Metrics.counter ~help:"Queries routed from the plan cache (planning skipped)"
+    "kaskade.plan_cache_hits"
+
+let m_plan_cache_misses =
+  Metrics.counter ~help:"Queries planned from scratch (plan cache cold, stale, or unusable)"
+    "kaskade.plan_cache_misses"
+
+let m_plan_cache_invalidations =
+  Metrics.counter ~help:"Plan-cache flushes caused by graph or catalog changes"
+    "kaskade.plan_cache_invalidations"
+
+let g_plan_cache_entries =
+  Metrics.gauge ~help:"Live plan-cache entries" "kaskade.plan_cache_entries"
+
+type run_target = Raw | Via_view of string
+
+(* One cached routing decision: everything [run]'s planning phase
+   (repair scan, per-view rewrite + costing, pick) would recompute for
+   a repeat of the same canonical query text, so a hit goes straight
+   to the executor. [cp_epoch] ties the entry to the catalog/graph
+   state it was planned under. *)
+type cached_plan = {
+  cp_target : run_target;
+  cp_executed : Kaskade_query.Ast.t;  (* the rewriting for Via_view, the original for Raw *)
+  cp_fingerprint : string;  (* plan-shape fingerprint of the planned run *)
+  cp_epoch : int;
+  mutable cp_hits : int;
+}
+
+and t = {
   overlay : Graph.Overlay.t;
   schema : Schema.t;
   catalog : Catalog.t;
@@ -89,12 +119,14 @@ type t = {
   breakers : (string, Breaker.t) Hashtbl.t;  (* per-view, keyed by view name *)
   breaker_threshold : int;
   breaker_cooldown_s : float;
+  plan_cache : (string, cached_plan) Hashtbl.t;  (* keyed by Qlog.hash_query *)
+  plan_cache_enabled : bool;
+  mutable plan_epoch : int;  (* bumped on every graph/catalog change *)
 }
 
-type run_target = Raw | Via_view of string
-
 let create ?(alpha = 95.0) ?(mode = Executor.Distinct_endpoints) ?pool ?(auto_refresh = true)
-    ?(compact_threshold = 0.25) ?(breaker_threshold = 3) ?(breaker_cooldown_s = 30.0) graph =
+    ?(compact_threshold = 0.25) ?(breaker_threshold = 3) ?(breaker_cooldown_s = 30.0)
+    ?(plan_cache = true) graph =
   {
     overlay = Graph.Overlay.create graph;
     schema = Graph.schema graph;
@@ -111,7 +143,50 @@ let create ?(alpha = 95.0) ?(mode = Executor.Distinct_endpoints) ?pool ?(auto_re
     breakers = Hashtbl.create 8;
     breaker_threshold;
     breaker_cooldown_s;
+    plan_cache = Hashtbl.create 16;
+    plan_cache_enabled = plan_cache;
+    plan_epoch = 0;
   }
+
+(* Any graph or catalog change makes every cached routing decision
+   suspect — a view may newly apply, stop applying, or have different
+   statistics — so the whole cache is dropped and the epoch moves on
+   (belt and braces: a resurrected key can never revive a stale
+   entry). *)
+let invalidate_plans t =
+  t.plan_epoch <- t.plan_epoch + 1;
+  if Hashtbl.length t.plan_cache > 0 then begin
+    Metrics.incr m_plan_cache_invalidations;
+    Hashtbl.reset t.plan_cache
+  end;
+  Metrics.set_gauge g_plan_cache_entries 0.0
+
+(* The cache only serves (and only fills) when the catalog is settled:
+   with stale views under [auto_refresh] every run must reach [repair]
+   — retrying failed refreshes and half-open breaker probes — so
+   caching around it would freeze degradation. *)
+let plan_cache_usable t =
+  t.plan_cache_enabled && not (t.auto_refresh && Catalog.n_stale t.catalog > 0)
+
+let plan_cache_lookup t key =
+  if not (plan_cache_usable t) then None
+  else
+    match Hashtbl.find_opt t.plan_cache key with
+    | Some cp when cp.cp_epoch = t.plan_epoch -> Some cp
+    | _ -> None
+
+let plan_cache_store t key ~target ~executed ~fingerprint =
+  if plan_cache_usable t then begin
+    Hashtbl.replace t.plan_cache key
+      {
+        cp_target = target;
+        cp_executed = executed;
+        cp_fingerprint = fingerprint;
+        cp_epoch = t.plan_epoch;
+        cp_hits = 0;
+      };
+    Metrics.set_gauge g_plan_cache_entries (float_of_int (Hashtbl.length t.plan_cache))
+  end
 
 let graph t = Graph.Overlay.graph t.overlay
 let schema t = t.schema
@@ -218,6 +293,7 @@ let materialize t view =
           m.Materialize.build_cost);
     Catalog.add t.catalog m;
     drop_view_caches t (View.name view);
+    invalidate_plans t;
     update_stale_gauge t;
     Option.get (Catalog.find t.catalog view)
 
@@ -264,6 +340,7 @@ let refresh_entry ?budget ~swallow t (entry : Catalog.entry) =
         Catalog.finish_refresh t.catalog entry m;
         Breaker.record_success (breaker_for t name);
         drop_view_caches t name;
+        invalidate_plans t;
         let dt = Trace.now_s () -. t0 in
         Metrics.incr m_view_refreshes;
         Metrics.observe h_refresh_seconds dt;
@@ -282,6 +359,7 @@ let refresh_entry ?budget ~swallow t (entry : Catalog.entry) =
       | exception e ->
         Catalog.abort_refresh entry ops;
         drop_view_caches t name;
+        invalidate_plans t;
         (match e with
         | Budget.Exhausted _ -> raise e
         | _ ->
@@ -327,6 +405,7 @@ let repair ?budget t =
 let apply_ops t ops =
   let effective = Graph.Overlay.apply t.overlay ops in
   Catalog.mark_stale t.catalog effective;
+  if effective <> [] then invalidate_plans t;
   update_stale_gauge t;
   if Graph.Overlay.needs_compact ~threshold:t.compact_threshold t.overlay then begin
     Log.info (fun k ->
@@ -348,6 +427,7 @@ module Update = struct
   let insert_vertex t ~vtype ?(props = []) () =
     let id = Graph.Overlay.insert_vertex t.overlay ~vtype ~props () in
     Catalog.mark_stale t.catalog [ Insert_vertex { vtype; props } ];
+    invalidate_plans t;
     update_stale_gauge t;
     id
 
@@ -484,29 +564,58 @@ let log_failure ?budget t0 q e =
 
 let run ?budget t q =
   let t0 = Trace.now_s () in
+  (* The cache key is the same FNV-1a hash of the canonical query text
+     that groups qlog records — two spellings of one canonical query
+     share an entry. *)
+  let key = Qlog.hash_query (Kaskade_query.Pretty.to_string q) in
   let body () =
     Budget.check budget Budget.Plan;
-    ignore (repair ?budget t);
-    let raw_cost, cands = eval_candidates t q in
-    match pick_best raw_cost cands with
-    | Some (rw, entry, _) ->
-      let name = View.name entry.Catalog.materialized.Materialize.view in
-      Log.debug (fun k ->
-          k "answering via %s: %s" name (Kaskade_query.Pretty.to_string rw.Rewrite.rewritten));
-      Metrics.incr m_view_hits;
-      (* [run_explained ~profile:false] instead of [run]: same
-         execution, but the (cheap, already-costed) plan tree comes
-         back for the query log's plan fingerprint. *)
-      let result, plan =
-        Executor.run_explained ~profile:false ?budget (view_ctx t name) rw.Rewrite.rewritten
-      in
-      ((result, Via_view name), plan)
+    match plan_cache_lookup t key with
+    | Some cp ->
+      (* Warm path: the repair scan, per-view rewrite + costing, and
+         pick are all skipped — epoch validity guarantees the catalog
+         has not changed since this routing was planned. *)
+      Metrics.incr m_plan_cache_hits;
+      cp.cp_hits <- cp.cp_hits + 1;
+      (match cp.cp_target with
+      | Via_view name ->
+        Metrics.incr m_view_hits;
+        let result, plan =
+          Executor.run_explained ~profile:false ?budget (view_ctx t name) cp.cp_executed
+        in
+        ((result, Via_view name), plan)
+      | Raw ->
+        Metrics.incr m_view_misses;
+        let result, plan =
+          Executor.run_explained ~profile:false ?budget (base_ctx t) cp.cp_executed
+        in
+        ((result, Raw), plan))
     | None ->
-      Log.debug (fun k -> k "no materialized view helps; answering on the base graph");
-      Metrics.incr m_view_misses;
-      note_fallback t q cands;
-      let result, plan = Executor.run_explained ~profile:false ?budget (base_ctx t) q in
-      ((result, Raw), plan)
+      Metrics.incr m_plan_cache_misses;
+      ignore (repair ?budget t);
+      let raw_cost, cands = eval_candidates t q in
+      (match pick_best raw_cost cands with
+      | Some (rw, entry, _) ->
+        let name = View.name entry.Catalog.materialized.Materialize.view in
+        Log.debug (fun k ->
+            k "answering via %s: %s" name (Kaskade_query.Pretty.to_string rw.Rewrite.rewritten));
+        Metrics.incr m_view_hits;
+        (* [run_explained ~profile:false] instead of [run]: same
+           execution, but the (cheap, already-costed) plan tree comes
+           back for the query log's plan fingerprint. *)
+        let result, plan =
+          Executor.run_explained ~profile:false ?budget (view_ctx t name) rw.Rewrite.rewritten
+        in
+        plan_cache_store t key ~target:(Via_view name) ~executed:rw.Rewrite.rewritten
+          ~fingerprint:(Qlog.fingerprint plan);
+        ((result, Via_view name), plan)
+      | None ->
+        Log.debug (fun k -> k "no materialized view helps; answering on the base graph");
+        Metrics.incr m_view_misses;
+        note_fallback t q cands;
+        let result, plan = Executor.run_explained ~profile:false ?budget (base_ctx t) q in
+        plan_cache_store t key ~target:Raw ~executed:q ~fingerprint:(Qlog.fingerprint plan);
+        ((result, Raw), plan))
   in
   match body () with
   | ((result, target) as out), plan ->
@@ -538,8 +647,23 @@ type report = {
   enum_inference_steps : int;
   selection : Selection.t option;
   budget : string option;
+  plan_cache : string option;
   plan : Explain.node;
 }
+
+(* Cache state for the report: what a [run] of this query would do
+   right now. [None] when the cache is disabled. *)
+let plan_cache_state t q =
+  if not t.plan_cache_enabled then None
+  else
+    let key = Qlog.hash_query (Kaskade_query.Pretty.to_string q) in
+    match plan_cache_lookup t key with
+    | Some cp ->
+      Some
+        (Printf.sprintf "warm (%d hit%s, plan %s)" cp.cp_hits
+           (if cp.cp_hits = 1 then "" else "s")
+           cp.cp_fingerprint)
+    | None -> Some "cold"
 
 let make_report ?budget t q ~target ~raw_cost ~cands ~refreshes ~executed ~plan =
   (* Report building is observability, so the enumeration below runs
@@ -586,6 +710,7 @@ let make_report ?budget t q ~target ~raw_cost ~cands ~refreshes ~executed ~plan 
     enum_inference_steps = e.Enumerate.inference_steps;
     selection = t.last_selection;
     budget = Option.map Budget.describe budget;
+    plan_cache = plan_cache_state t q;
     plan;
   }
 
@@ -647,6 +772,9 @@ let pp_report ppf r =
   fprintf ppf "raw-graph cost: %.6g@," r.raw_cost;
   (match r.budget with
   | Some b -> fprintf ppf "budget: %s@," b
+  | None -> ());
+  (match r.plan_cache with
+  | Some s -> fprintf ppf "plan cache: %s@," s
   | None -> ());
   if r.refreshes <> [] then begin
     fprintf ppf "refreshed before planning:@,";
@@ -735,6 +863,7 @@ let report_json r =
       ("raw_cost", num r.raw_cost);
       ("query", Str (Kaskade_query.Pretty.to_string r.executed));
       ("budget", match r.budget with Some b -> Str b | None -> Null);
+      ("plan_cache", match r.plan_cache with Some s -> Str s | None -> Null);
       ( "refreshes",
         List
           (List.map

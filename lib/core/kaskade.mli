@@ -45,6 +45,7 @@ val create :
   ?compact_threshold:float ->
   ?breaker_threshold:int ->
   ?breaker_cooldown_s:float ->
+  ?plan_cache:bool ->
   Kaskade_graph.Graph.t ->
   t
 (** [alpha] (default 95) parameterizes view-size estimation — the
@@ -65,7 +66,23 @@ val create :
     and the planner transparently answers its queries from the base
     graph (counted by the [kaskade.fallback_runs] metric). After the
     cooldown one half-open probe refresh is allowed — success closes
-    the breaker, failure reopens it. *)
+    the breaker, failure reopens it.
+
+    [plan_cache] (default [true]) caches {!run}'s routing decision per
+    canonical query (keyed by the same FNV-1a hash that groups
+    [Kaskade_obs.Qlog] records): a repeated query skips the repair
+    scan, per-view rewriting, and cost comparison and goes straight to
+    the executor. Entries are invalidated as a whole on {e any} graph
+    or catalog change — {!Update} ops and batches, materialization,
+    and every refresh (successful or failed) — and the cache stands
+    down entirely while any view is stale under [auto_refresh], so
+    degradation retries and breaker probes are never skipped. Observed
+    through the [kaskade.plan_cache_hits] / [.plan_cache_misses] /
+    [.plan_cache_invalidations] counters, the
+    [kaskade.plan_cache_entries] gauge, and the [plan_cache] field of
+    {!explain} reports. Pass [false] to plan every query from scratch
+    (the cold-path baseline the [bench microbench] plan-cache
+    comparison measures against). *)
 
 val graph : t -> Kaskade_graph.Graph.t
 (** Current frozen snapshot — base plus any applied updates. Cheap
@@ -276,6 +293,11 @@ type report = {
   budget : string option;
       (** State of the budget the caller passed ([Budget.describe] at
           report time); [None] when the call was unbudgeted. *)
+  plan_cache : string option;
+      (** What the plan cache would do for this query right now:
+          ["cold"], or ["warm (N hits, plan <fingerprint>)"] when a
+          {!run} would skip planning. [None] when the cache is
+          disabled. *)
   plan : Kaskade_obs.Explain.node;  (** Operator tree for [executed]. *)
 }
 

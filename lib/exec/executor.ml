@@ -17,6 +17,11 @@ let m_expand_steps =
   Metrics.counter ~help:"Frontier vertex expansions during variable-length traversal"
     "executor.expand_steps"
 
+(* Unbound start scans below this many candidate vertices stay
+   sequential: a fan-out that cannot amortize its domain spawns over
+   real per-candidate work only adds latency. *)
+let parallel_scan_threshold = 2048
+
 type mode = Distinct_endpoints | All_trails
 
 (* A context either owns a frozen graph for good, or reads through a
@@ -360,98 +365,155 @@ let eval_match ?prof ?budget ctx (mb : Ast.match_block) : Row.table =
      wired up when profiling. *)
   let expand_pattern ?(tally = fun (_ : int) -> ()) rows (p : Ast.pattern) =
     let n_steps = List.length p.p_steps in
+    (* The whole per-candidate pipeline (scan test, step walk,
+       var-length expansion), parameterized over its row and tally
+       sinks so the parallel scan below can give each morsel its own
+       buffers. [make_start ~emit ~tally] returns [start row v]: try
+       candidate start vertex [v] against input row [row]. *)
+    let make_start ~emit ~tally =
+      let rec steps row cur = function
+        | [] -> emit row
+        | ((e : Ast.edge_pat), (n : Ast.node_pat)) :: rest ->
+          let accept_vertex ?edge_rval v =
+            if label_ok g n v then begin
+              let proceed row =
+                tally (n_steps - List.length rest);
+                bind_edge row e edge_rval (fun row -> steps row v rest)
+              in
+              match n.n_var with
+              | Some name ->
+                let i = Hashtbl.find slots.index name in
+                if is_bound row.(i) then begin
+                  if Row.rval_equal row.(i) (Row.V v) then proceed row
+                end
+                else begin
+                  let row' = Array.copy row in
+                  row'.(i) <- Row.V v;
+                  proceed row'
+                end
+              | None -> proceed row
+            end
+          in
+          (match e.e_len with
+          | Ast.Single -> begin
+            (* Labelled steps walk their typed slice directly instead of
+               filter-scanning the whole adjacency. *)
+            let etype = Option.map (Schema.edge_type_id schema) e.e_label in
+            match (e.e_dir, etype) with
+            | Ast.Fwd, Some et ->
+              Graph.iter_out_etype g cur ~etype:et (fun ~dst ~eid ->
+                  accept_vertex ~edge_rval:(Row.E eid) dst)
+            | Ast.Fwd, None ->
+              Graph.iter_out g cur (fun ~dst ~etype:_ ~eid ->
+                  accept_vertex ~edge_rval:(Row.E eid) dst)
+            | Ast.Bwd, Some et ->
+              Graph.iter_in_etype g cur ~etype:et (fun ~src ~eid ->
+                  accept_vertex ~edge_rval:(Row.E eid) src)
+            | Ast.Bwd, None ->
+              Graph.iter_in g cur (fun ~src ~etype:_ ~eid ->
+                  accept_vertex ~edge_rval:(Row.E eid) src)
+          end
+          | Ast.Var_length (lo, hi) ->
+            let etype = Option.map (Schema.edge_type_id schema) e.e_label in
+            let emit_endpoint v hops =
+              accept_vertex ~edge_rval:(Row.Prim (Value.Int hops)) v
+            in
+            (match ctx.mode with
+            | Distinct_endpoints ->
+              var_length_endpoints ?budget g ~src:cur ~lo ~hi ~etype ~dir:e.e_dir emit_endpoint
+            | All_trails ->
+              var_length_trails ?budget g ~src:cur ~lo ~hi ~etype ~dir:e.e_dir emit_endpoint))
+      and bind_edge row (e : Ast.edge_pat) edge_rval k =
+        match (e.e_var, edge_rval) with
+        | Some name, Some rv ->
+          let i = Hashtbl.find slots.index name in
+          let row' = Array.copy row in
+          row'.(i) <- rv;
+          k row'
+        | _ -> k row
+      in
+      fun row (v : int) ->
+        (* Scan checkpoint: one step per candidate start vertex,
+           whether or not it binds. *)
+        Budget.step budget Budget.Execute;
+        if label_ok g p.p_start v then begin
+          let proceed row =
+            tally 0;
+            steps row v p.p_steps
+          in
+          match p.p_start.n_var with
+          | Some name ->
+            let i = Hashtbl.find slots.index name in
+            if is_bound row.(i) then begin
+              if Row.rval_equal row.(i) (Row.V v) then proceed row
+            end
+            else begin
+              let row' = Array.copy row in
+              row'.(i) <- Row.V v;
+              proceed row'
+            end
+          | None -> proceed row
+        end
+    in
     let out = ref [] in
     let emit row =
       Budget.add_rows budget Budget.Execute 1;
       out := row :: !out
     in
-    (* Walk the steps from a bound start vertex. *)
-    let rec steps row cur = function
-      | [] -> emit row
-      | ((e : Ast.edge_pat), (n : Ast.node_pat)) :: rest ->
-        let accept_vertex ?edge_rval v =
-          if label_ok g n v then begin
-            let proceed row =
-              tally (n_steps - List.length rest);
-              bind_edge row e edge_rval (fun row -> steps row v rest)
-            in
-            match n.n_var with
-            | Some name ->
-              let i = Hashtbl.find slots.index name in
-              if is_bound row.(i) then begin
-                if Row.rval_equal row.(i) (Row.V v) then proceed row
-              end
-              else begin
-                let row' = Array.copy row in
-                row'.(i) <- Row.V v;
-                proceed row'
-              end
-            | None -> proceed row
-          end
+    let start = make_start ~emit ~tally in
+    (* Unbound start scans over enough candidates fan out over the
+       pool as work-stealing morsels: each morsel runs the pipeline
+       for its candidate subrange into a private row buffer and tally
+       array, then the caller merges buffers in morsel order — the
+       merged row sequence (and every tally total) is exactly the
+       sequential one, at any width and any grain. Per-candidate
+       budget checkpoints run inside the morsels against the shared
+       (racy-but-monotone) budget, and var-length expansions borrow
+       each worker's own domain-local scratch. *)
+    let par_pool =
+      match ctx.pool with
+      | Some pl when Kaskade_util.Pool.effective_workers pl > 1 -> Some pl
+      | _ -> None
+    in
+    let scan_candidates row ~n candidate =
+      match par_pool with
+      | Some pl when n >= parallel_scan_threshold ->
+        let parts =
+          Kaskade_util.Pool.map_morsels pl ~n (fun ~lo ~hi ->
+              let m_out = ref [] in
+              let m_counts = Array.make (n_steps + 1) 0 in
+              let m_emit r =
+                Budget.add_rows budget Budget.Execute 1;
+                m_out := r :: !m_out
+              in
+              let m_start =
+                make_start ~emit:m_emit ~tally:(fun i -> m_counts.(i) <- m_counts.(i) + 1)
+              in
+              for i = lo to hi - 1 do
+                m_start row (candidate i)
+              done;
+              (!m_out, m_counts))
         in
-        (match e.e_len with
-        | Ast.Single -> begin
-          (* Labelled steps walk their typed slice directly instead of
-             filter-scanning the whole adjacency. *)
-          let etype = Option.map (Schema.edge_type_id schema) e.e_label in
-          match (e.e_dir, etype) with
-          | Ast.Fwd, Some et ->
-            Graph.iter_out_etype g cur ~etype:et (fun ~dst ~eid ->
-                accept_vertex ~edge_rval:(Row.E eid) dst)
-          | Ast.Fwd, None ->
-            Graph.iter_out g cur (fun ~dst ~etype:_ ~eid ->
-                accept_vertex ~edge_rval:(Row.E eid) dst)
-          | Ast.Bwd, Some et ->
-            Graph.iter_in_etype g cur ~etype:et (fun ~src ~eid ->
-                accept_vertex ~edge_rval:(Row.E eid) src)
-          | Ast.Bwd, None ->
-            Graph.iter_in g cur (fun ~src ~etype:_ ~eid ->
-                accept_vertex ~edge_rval:(Row.E eid) src)
-        end
-        | Ast.Var_length (lo, hi) ->
-          let etype = Option.map (Schema.edge_type_id schema) e.e_label in
-          let emit_endpoint v hops =
-            accept_vertex ~edge_rval:(Row.Prim (Value.Int hops)) v
-          in
-          (match ctx.mode with
-          | Distinct_endpoints ->
-            var_length_endpoints ?budget g ~src:cur ~lo ~hi ~etype ~dir:e.e_dir emit_endpoint
-          | All_trails ->
-            var_length_trails ?budget g ~src:cur ~lo ~hi ~etype ~dir:e.e_dir emit_endpoint))
-    and bind_edge row (e : Ast.edge_pat) edge_rval k =
-      match (e.e_var, edge_rval) with
-      | Some name, Some rv ->
-        let i = Hashtbl.find slots.index name in
-        let row' = Array.copy row in
-        row'.(i) <- rv;
-        k row'
-      | _ -> k row
+        Array.iter
+          (fun (rows_m, counts_m) ->
+            Array.iteri
+              (fun i c ->
+                for _ = 1 to c do
+                  tally i
+                done)
+              counts_m;
+            (* Morsel buffers are in reverse emit order; replaying each
+               backwards onto the (also reversed) accumulator keeps the
+               final [List.rev !out] in sequential order. *)
+            List.iter (fun r -> out := r :: !out) (List.rev rows_m))
+          parts
+      | _ ->
+        for i = 0 to n - 1 do
+          start row (candidate i)
+        done
     in
     List.iter
       (fun row ->
-        let start (v : int) =
-          (* Scan checkpoint: one step per candidate start vertex,
-             whether or not it binds. *)
-          Budget.step budget Budget.Execute;
-          if label_ok g p.p_start v then begin
-            let proceed row =
-              tally 0;
-              steps row v p.p_steps
-            in
-            match p.p_start.n_var with
-            | Some name ->
-              let i = Hashtbl.find slots.index name in
-              if is_bound row.(i) then begin
-                if Row.rval_equal row.(i) (Row.V v) then proceed row
-              end
-              else begin
-                let row' = Array.copy row in
-                row'.(i) <- Row.V v;
-                proceed row'
-              end
-            | None -> proceed row
-          end
-        in
         (* If the start variable is already bound, resume from it
            directly instead of scanning. *)
         let bound_start =
@@ -469,16 +531,15 @@ let eval_match ?prof ?budget ctx (mb : Ast.match_block) : Row.table =
           | _ -> None
         in
         match (bound_start, index_probe) with
-        | Some v, _ -> start v
+        | Some v, _ -> start row v
         | None, Some (prop, value) ->
-          List.iter start (Vindex.lookup (Lazy.force ctx.indexes) ~prop value)
+          List.iter (start row) (Vindex.lookup (Lazy.force ctx.indexes) ~prop value)
         | None, None -> begin
           match p.p_start.n_label with
-          | Some l -> Array.iter start (Graph.vertices_of_type_name g l)
-          | None ->
-            for v = 0 to Graph.n_vertices g - 1 do
-              start v
-            done
+          | Some l ->
+            let cands = Graph.vertices_of_type_name g l in
+            scan_candidates row ~n:(Array.length cands) (fun i -> cands.(i))
+          | None -> scan_candidates row ~n:(Graph.n_vertices g) (fun i -> i)
         end)
       rows;
     List.rev !out

@@ -33,12 +33,12 @@ let compute ?pool g =
   let schema = Graph.schema g in
   let ntypes = Schema.n_vertex_types schema in
   (* Per-type degree gather + sort is independent per vertex type, so
-     the sweeps fan out over the pool; chunk results concatenate in
+     the sweeps fan out over the pool; morsel results concatenate in
      type order, keeping the output identical at any width. *)
   let sorted_by_type =
     Array.concat
       (Array.to_list
-         (Pool.map_chunks pool ~n:ntypes (fun ~lo ~hi ->
+         (Pool.map_morsels pool ~n:ntypes (fun ~lo ~hi ->
               Array.init (hi - lo) (fun j ->
                   let degs = Graph.out_degrees_of_type g (lo + j) in
                   Array.sort compare degs;
@@ -62,13 +62,13 @@ let compute ?pool g =
   let sources =
     List.filter (fun ty -> summaries.(ty).is_source) (List.init ntypes (fun i -> i))
   in
-  (* Edge-type histogram: per-chunk count arrays over edge-id ranges,
+  (* Edge-type histogram: per-morsel count arrays over edge-id ranges,
      summed on the main domain. *)
   let nets = Schema.n_edge_types schema in
   let etype_counts = Array.make nets 0 in
   Array.iter
     (fun partial -> Array.iteri (fun t c -> etype_counts.(t) <- etype_counts.(t) + c) partial)
-    (Pool.map_chunks pool ~n:(Graph.n_edges g) (fun ~lo ~hi ->
+    (Pool.map_morsels pool ~n:(Graph.n_edges g) (fun ~lo ~hi ->
          let counts = Array.make nets 0 in
          for e = lo to hi - 1 do
            let t = Graph.edge_type g e in

@@ -86,12 +86,26 @@ let record_span ?(attrs = []) ~name ~start_s ~stop_s () =
     | parent :: _ -> parent.o_children <- closed :: parent.o_children
     | [] -> st.roots <- closed :: st.roots)
 
-(* Pool fan-outs surface as pre-timed leaf spans, one per chunk, with
-   the executing domain recorded — chunk 0 is the calling domain, the
-   rest ran on spawned workers. The observer fires on the calling
-   domain after the join (see [Pool.set_chunk_observer]), so this
-   composes with the single-domain collector. *)
+(* Pool fan-outs surface as pre-timed leaf spans with the executing
+   domain recorded — worker 0 is the calling domain, the rest ran on
+   spawned workers. Both observers fire on the calling domain after
+   the join (see [Pool.set_morsel_observer]), so this composes with
+   the single-domain collector. Morsel spans are labelled with the
+   morsel index and its index range, not the worker's position in the
+   fan-out: under work stealing a worker's spans are whatever morsels
+   it claimed, and the range is the only stable name for them. *)
 let () =
+  Kaskade_util.Pool.set_morsel_observer
+    (Some
+       (fun ~worker ~workers ~morsel ~morsels ~lo ~hi ~start_s ~stop_s ->
+         if !current <> None then
+           record_span
+             ~attrs:
+               [ ("domain", string_of_int worker);
+                 ("domains", string_of_int workers);
+                 ("morsel", Printf.sprintf "%d/%d" morsel morsels);
+                 ("range", Printf.sprintf "[%d,%d)" lo hi) ]
+             ~name:"pool.morsel" ~start_s ~stop_s ()));
   Kaskade_util.Pool.set_chunk_observer
     (Some
        (fun ~chunk ~chunks ~lo ~hi ~start_s ~stop_s ->

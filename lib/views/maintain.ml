@@ -437,7 +437,7 @@ let refresh_ego ?pool base_after ~(view : Materialize.materialized) ~ops =
   let ego =
     Array.concat
       (Array.to_list
-         (Pool.map_chunks pool ~n:n_after (fun ~lo ~hi ->
+         (Pool.map_morsels pool ~n:n_after (fun ~lo ~hi ->
               Array.init (hi - lo) (fun j ->
                   let v = lo + j in
                   if recompute.(v) then

@@ -51,13 +51,14 @@ let endpoint_builder g types edge_decls =
 
    Each connector materialization is "for every source vertex, run a
    traversal and add the edges it finds". The traversals are
-   independent, so they fan out over a [Pool]: chunk i of the source
-   array fills its own (src, dst, payload) triple buffer on its own
-   domain, and the main domain replays the buffers into the builder in
-   chunk order. A per-source traversal emits in deterministic
-   discovery order, so the replayed edge sequence — and therefore the
-   frozen view — is byte-identical to a width-1 (sequential) run at
-   any pool width. *)
+   independent, so they fan out over a [Pool] as work-stealing
+   morsels: each morsel of the source array fills its own (src, dst,
+   payload) triple buffer on whichever domain claimed it, and the main
+   domain replays the buffers into the builder in morsel order. A
+   per-source traversal emits in deterministic discovery order, so the
+   replayed edge sequence — and therefore the frozen view — is
+   byte-identical to a width-1 (sequential) run at any pool width and
+   any morsel grain. *)
 
 let resolve_pool = function Some p -> p | None -> Pool.default ()
 
@@ -67,8 +68,8 @@ let resolve_pool = function Some p -> p | None -> Pool.default ()
    though a single in-flight traversal runs to completion. The
    traversal's edge-visit cost is charged after the replay. *)
 let fan_out_edges ?budget pool ~sources ~per_source ~replay =
-  let chunks =
-    Pool.map_chunks pool ~n:(Array.length sources) (fun ~lo ~hi ->
+  let morsels =
+    Pool.map_morsels pool ~n:(Array.length sources) (fun ~lo ~hi ->
         let buf = Int_vec.create () in
         let cost = ref 0 in
         let emit u w payload =
@@ -92,7 +93,7 @@ let fan_out_edges ?budget pool ~sources ~per_source ~replay =
         replay (Int_vec.get buf !i) (Int_vec.get buf (!i + 1)) (Int_vec.get buf (!i + 2));
         i := !i + 3
       done)
-    chunks;
+    morsels;
   !total_cost
 
 (* Transitive reachability (>= 1 step) from [src] via [iter]: a
@@ -400,12 +401,13 @@ let summarize_ego_aggregator ?pool g view ~k ~agg_prop ~agg =
   let ego_prop = "ego_" ^ String.lowercase_ascii (View.agg_name agg) ^ "_" ^ agg_prop in
   let new_of_old = Array.make n (-1) in
   (* The k-hop ego aggregate of each vertex is independent, so the
-     BFS sweeps fan out over the pool; only the per-vertex aggregate
-     value crosses back, and the builder is filled sequentially. *)
+     BFS sweeps fan out over the pool as morsels; only the per-vertex
+     aggregate value crosses back, and the builder is filled
+     sequentially. *)
   let ego =
     Array.concat
       (Array.to_list
-         (Pool.map_chunks pool ~n (fun ~lo ~hi ->
+         (Pool.map_morsels pool ~n (fun ~lo ~hi ->
               Array.init (hi - lo) (fun j ->
                   let v = lo + j in
                   let nbors =

@@ -552,6 +552,68 @@ let test_facade_run_on_view_unknown () =
 
 
 (* ------------------------------------------------------------------ *)
+(* Plan cache                                                          *)
+
+let pc_state ks q =
+  match (K.explain ks q).K.plan_cache with Some s -> s | None -> "disabled"
+
+let pc_counter name = Kaskade_obs.Metrics.(counter_value (counter name))
+
+let test_plan_cache_warms_and_serves_identical_results () =
+  let g = prov_graph () in
+  let ks = K.create g in
+  ignore (K.materialize ks conn2);
+  check_bool "cold before any run" true (string_contains (pc_state ks q1) "cold");
+  let hits0 = pc_counter "kaskade.plan_cache_hits" in
+  let r1, how1 = K.run ks q1 in
+  check_bool "warm after one run" true (string_contains (pc_state ks q1) "warm");
+  let r2, how2 = K.run ks q1 in
+  check_bool "hit counted" true (pc_counter "kaskade.plan_cache_hits" > hits0);
+  check_bool "same routing warm as cold" true (how1 = how2);
+  let rows r = (Kaskade_exec.Executor.table_exn r).Kaskade_exec.Row.rows in
+  check_bool "identical rows warm as cold" true (rows r1 = rows r2)
+
+let test_plan_cache_invalidated_by_catalog_change () =
+  let g = prov_graph () in
+  let ks = K.create g in
+  ignore (K.run ks q2);
+  check_bool "warm" true (string_contains (pc_state ks q2) "warm");
+  let inv0 = pc_counter "kaskade.plan_cache_invalidations" in
+  ignore (K.materialize ks conn2);
+  check_bool "cold again after materialize" true (string_contains (pc_state ks q2) "cold");
+  check_bool "invalidation counted" true
+    (pc_counter "kaskade.plan_cache_invalidations" > inv0);
+  (* The replanned run must see the new view, not the cached Raw route. *)
+  let _, how = K.run ks q1 in
+  check_bool "replanned run routes via the new view" true
+    (match how with K.Via_view _ -> true | K.Raw -> false)
+
+let test_plan_cache_invalidated_by_update_batch () =
+  let g = prov_graph () in
+  let ks = K.create g in
+  ignore (K.run ks q2);
+  check_bool "warm" true (string_contains (pc_state ks q2) "warm");
+  K.Update.batch
+    [ K.Update.Insert_vertex { vtype = "Job"; props = [ ("name", Value.Str "late-job") ] } ]
+    ks;
+  check_bool "cold after an update batch" true (string_contains (pc_state ks q2) "cold");
+  (* A no-op batch (failed delete) leaves the cache warm. *)
+  ignore (K.run ks q2);
+  K.Update.batch [ K.Update.Delete_edge { src = 0; dst = 0; etype = "WRITES_TO" } ] ks;
+  check_bool "no-op batch keeps the cache warm" true
+    (string_contains (pc_state ks q2) "warm")
+
+let test_plan_cache_disabled () =
+  let g = prov_graph () in
+  let ks = K.create ~plan_cache:false g in
+  check_string "explain reports no cache" "disabled" (pc_state ks q2);
+  let hits0 = pc_counter "kaskade.plan_cache_hits" in
+  ignore (K.run ks q2);
+  ignore (K.run ks q2);
+  check_bool "no hits when disabled" true (pc_counter "kaskade.plan_cache_hits" = hits0);
+  check_string "still no cache after runs" "disabled" (pc_state ks q2)
+
+(* ------------------------------------------------------------------ *)
 (* Property: rewrite equivalence on random graphs                      *)
 
 let summarize_to_lineage g =
@@ -695,5 +757,15 @@ let () =
           Alcotest.test_case "Q7/Q8 pipeline on view" `Quick test_facade_q7_q8_pipeline_on_view;
           Alcotest.test_case "enumerate via facade" `Quick test_facade_enumerate_via_facade;
           Alcotest.test_case "run_on_view unknown" `Quick test_facade_run_on_view_unknown;
+        ] );
+      ( "plan_cache",
+        [
+          Alcotest.test_case "warms and serves identical results" `Quick
+            test_plan_cache_warms_and_serves_identical_results;
+          Alcotest.test_case "invalidated by catalog change" `Quick
+            test_plan_cache_invalidated_by_catalog_change;
+          Alcotest.test_case "invalidated by update batch" `Quick
+            test_plan_cache_invalidated_by_update_batch;
+          Alcotest.test_case "disabled" `Quick test_plan_cache_disabled;
         ] );
     ]

@@ -698,6 +698,49 @@ let test_var_length_unbounded () =
   let t = table ctx "MATCH (f:File)-[r*]->(x) RETURN f, x" in
   check_bool "terminates with results" true (Row.n_rows t > 0)
 
+(* ------------------------------------------------------------------ *)
+(* Parallel start scans                                                *)
+
+let test_parallel_scan_matches_sequential () =
+  (* Past the candidate threshold the executor fans the start scan out
+     over work-stealing morsels. Rows — and their order — must be
+     byte-identical to the sequential context; oversubscription forces
+     real worker domains even on a single-core host. *)
+  let g =
+    Kaskade_gen.Provenance_gen.(generate { default with jobs = 2_500; files = 5_000; seed = 7 })
+  in
+  let seq_ctx = Executor.create g in
+  let par_ctx =
+    Executor.create ~pool:(Kaskade_util.Pool.create ~domains:4 ~oversubscribe:true ()) g
+  in
+  List.iter
+    (fun src ->
+      let a = table seq_ctx src in
+      let b = table par_ctx src in
+      check_bool (src ^ ": identical rows in identical order") true
+        (a.Row.rows = b.Row.rows && a.Row.cols = b.Row.cols))
+    [ "MATCH (j:Job) RETURN j";
+      "MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j, f";
+      "MATCH (n) RETURN n";
+      "SELECT COUNT(*) FROM (MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j, f)" ]
+
+let test_parallel_scan_budget_exhaustion () =
+  (* A mid-scan budget trip inside a morsel must surface as the usual
+     typed [Budget.Exhausted] and leave the context reusable. *)
+  let g =
+    Kaskade_gen.Provenance_gen.(generate { default with jobs = 2_500; files = 5_000; seed = 7 })
+  in
+  let pool = Kaskade_util.Pool.create ~domains:4 ~oversubscribe:true () in
+  let ctx = Executor.create ~pool g in
+  let b = Kaskade_util.Budget.create ~max_steps:100 () in
+  (try
+     ignore (Executor.run ~budget:b ctx (Kaskade_query.Qparser.parse "MATCH (j:Job) RETURN j"));
+     Alcotest.fail "expected budget exhaustion"
+   with Kaskade_util.Budget.Exhausted e ->
+     check_bool "execute stage" true (e.stage = Kaskade_util.Budget.Execute));
+  check_int "context still runs after exhaustion" 2_500
+    (Row.n_rows (table ctx "MATCH (j:Job) RETURN j"))
+
 let () =
   Alcotest.run "kaskade_exec"
     [
@@ -768,6 +811,13 @@ let () =
           Alcotest.test_case "repeated variable" `Quick test_self_join_same_var;
           Alcotest.test_case "empty graph" `Quick test_empty_graph;
           Alcotest.test_case "unbounded var-length" `Quick test_var_length_unbounded;
+        ] );
+      ( "parallel_scan",
+        [
+          Alcotest.test_case "matches sequential rows and order" `Quick
+            test_parallel_scan_matches_sequential;
+          Alcotest.test_case "budget exhaustion mid-morsel" `Quick
+            test_parallel_scan_budget_exhaustion;
         ] );
       ( "cost",
         [

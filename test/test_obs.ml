@@ -388,6 +388,57 @@ let test_chrome_trace_valid_json () =
       (fun t -> check_bool (Printf.sprintf "tid %d is named" t) true (List.mem t named_tids))
       (List.sort_uniq compare tids)
 
+let rec flatten_spans (s : Trace.span) = s :: List.concat_map flatten_spans s.Trace.children
+
+let test_chrome_trace_morsel_spans () =
+  (* Morsel fan-outs label each span with the morsel's index and half-
+     open range — not a chunk index. Oversubscription forces real
+     worker domains (the observer only reports parallel runs), and the
+     exporter keys worker tids off the same "domain" attr as chunks. *)
+  let pool = Pool.create ~domains:2 ~oversubscribe:true () in
+  let (), spans =
+    Trace.collect (fun () ->
+        Trace.with_span "fanout" (fun () ->
+            ignore
+              (Pool.map_morsels pool ~grain:1024 ~n:4096 (fun ~lo ~hi ->
+                   let acc = ref 0 in
+                   for i = lo to hi - 1 do
+                     acc := !acc + i
+                   done;
+                   !acc))))
+  in
+  let morsels =
+    List.filter (fun s -> s.Trace.name = "pool.morsel") (List.concat_map flatten_spans spans)
+  in
+  check_int "one span per morsel" 4 (List.length morsels);
+  let ranges =
+    List.sort compare (List.filter_map (fun s -> List.assoc_opt "range" s.Trace.attrs) morsels)
+  in
+  Alcotest.(check (list string))
+    "spans carry morsel ranges"
+    [ "[0,1024)"; "[1024,2048)"; "[2048,3072)"; "[3072,4096)" ]
+    ranges;
+  List.iter
+    (fun s ->
+      check_bool "morsel i/m attr" true
+        (match List.assoc_opt "morsel" s.Trace.attrs with
+        | Some v -> String.contains v '/'
+        | None -> false);
+      check_bool "domain attr" true (List.assoc_opt "domain" s.Trace.attrs <> None))
+    morsels;
+  match Report.parse (Obs.Trace_export.to_chrome_string spans) with
+  | Error e -> Alcotest.fail ("chrome trace is not valid JSON: " ^ e)
+  | Ok j -> begin
+    match Report.member "traceEvents" j with
+    | Some (Report.List events) ->
+      check_int "morsel events exported" 4
+        (List.length
+           (List.filter
+              (fun e -> Report.member "name" e = Some (Report.Str "pool.morsel"))
+              events))
+    | _ -> Alcotest.fail "no traceEvents array"
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Quantiles + multicore histogram path                                *)
 
@@ -570,7 +621,9 @@ let () =
           Alcotest.test_case "jsonl round-trip" `Quick test_qlog_jsonl_roundtrip;
           Alcotest.test_case "facade appends" `Quick test_qlog_facade_appends ] );
       ( "trace-export",
-        [ Alcotest.test_case "chrome trace valid json" `Quick test_chrome_trace_valid_json ] );
+        [ Alcotest.test_case "chrome trace valid json" `Quick test_chrome_trace_valid_json;
+          Alcotest.test_case "morsel spans labelled with ranges" `Quick
+            test_chrome_trace_morsel_spans ] );
       ( "quantiles",
         [ Alcotest.test_case "vs sorted-array reference" `Quick test_quantiles_vs_reference;
           Alcotest.test_case "worker-domain observations" `Quick

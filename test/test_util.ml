@@ -357,6 +357,95 @@ let test_pool_workers_use_scratch () =
   Alcotest.(check (array int)) "per-domain scratch results" [| 50; 34; 25; 20 |] sums
 
 (* ------------------------------------------------------------------ *)
+(* Morsels                                                             *)
+
+(* Oversubscription forces real multi-domain execution even when the
+   host has fewer cores than the requested width — which is exactly
+   what these tests need: without it a single-core CI box caps every
+   pool to one worker and every width takes the same sequential path. *)
+let morsel_pool w = Pool.create ~domains:w ~oversubscribe:true ()
+
+let test_morsel_ranges_partition () =
+  let p = morsel_pool 4 in
+  List.iter
+    (fun grain ->
+      let morsels = Pool.map_morsels p ~grain ~n:10 (fun ~lo ~hi -> (lo, hi)) in
+      let _ =
+        Array.fold_left
+          (fun expected (lo, hi) ->
+            check_int "contiguous" expected lo;
+            check_bool "non-empty" true (hi > lo);
+            check_bool "grain respected" true (hi - lo <= grain);
+            hi)
+          0 morsels
+      in
+      check_int "covers n" 10 (snd morsels.(Array.length morsels - 1)))
+    [ 1; 3; 4; 10; 99 ];
+  check_int "n=0 is empty" 0 (Array.length (Pool.map_morsels p ~n:0 (fun ~lo:_ ~hi:_ -> ())))
+
+let test_morsel_effective_workers () =
+  check_bool "default pool caps at hardware parallelism" true
+    (Pool.effective_workers (Pool.create ~domains:64 ()) <= 64);
+  check_int "oversubscribed pool keeps its width" 7 (Pool.effective_workers (morsel_pool 7));
+  check_int "width 1 is sequential either way" 1 (Pool.effective_workers (morsel_pool 1))
+
+let test_morsel_deterministic_widths_and_grains () =
+  (* The determinism contract: concatenated output is identical at
+     every width AND every grain — work stealing only changes which
+     domain computes a morsel, never which range a morsel covers. *)
+  let work ~lo ~hi = Array.init (hi - lo) (fun j -> (lo + j) * (lo + j)) in
+  let flat w grain =
+    Array.concat (Array.to_list (Pool.map_morsels (morsel_pool w) ?grain ~n:37 work))
+  in
+  let expected = flat 1 None in
+  List.iter
+    (fun w ->
+      List.iter
+        (fun g ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "width %d grain %s" w
+               (match g with None -> "auto" | Some g -> string_of_int g))
+            expected (flat w g))
+        [ None; Some 1; Some 3; Some 8; Some 64 ])
+    [ 1; 2; 4; 7 ]
+
+let test_morsel_earliest_exception_deterministic () =
+  (* Every morsel raises; grain 1 maximizes contention on the shared
+     cursor, yet the lowest-indexed morsel's exception — the one a
+     sequential run would hit first — is always the one reported. *)
+  List.iter
+    (fun w ->
+      Alcotest.check_raises
+        (Printf.sprintf "earliest morsel wins at width %d" w)
+        (Boom 0)
+        (fun () ->
+          ignore
+            (Pool.map_morsels (morsel_pool w) ~grain:1 ~n:8 (fun ~lo ~hi:_ -> raise (Boom lo)))))
+    [ 1; 2; 4 ]
+
+let test_morsel_budget_exhausted_leaves_pool_usable () =
+  (* Budget exhaustion mid-morsel: the shared expired budget trips
+     every worker's first checkpoint, the fan-out joins all domains,
+     rethrows the lowest morsel's typed [Budget.Exhausted], and the
+     same pool immediately serves further calls — no leaked workers,
+     no stuck cursor. *)
+  let p = morsel_pool 4 in
+  for _round = 1 to 10 do
+    let b = Budget.create ~deadline_s:0.0 () in
+    let stage =
+      try
+        ignore
+          (Pool.map_morsels p ~grain:1 ~n:8 (fun ~lo:_ ~hi:_ ->
+               Budget.step (Some b) Budget.Execute));
+        None
+      with Budget.Exhausted e -> Some e.stage
+    in
+    check_bool "typed Budget.Exhausted at Execute surfaced" true (stage = Some Budget.Execute);
+    let ok = Pool.map_morsels p ~grain:1 ~n:8 (fun ~lo ~hi -> hi - lo) in
+    check_int "pool still fans out after exhaustion" 8 (Array.fold_left ( + ) 0 ok)
+  done
+
+(* ------------------------------------------------------------------ *)
 (* Observability truncation under live worker domains                  *)
 
 module Metrics = Kaskade_obs.Metrics
@@ -563,6 +652,17 @@ let () =
           Alcotest.test_case "workers use scratch" `Quick test_pool_workers_use_scratch;
           Alcotest.test_case "metrics reset during fan-out" `Quick
             test_metrics_reset_during_fanout;
+        ] );
+      ( "morsels",
+        [
+          Alcotest.test_case "ranges partition [0,n)" `Quick test_morsel_ranges_partition;
+          Alcotest.test_case "effective workers" `Quick test_morsel_effective_workers;
+          Alcotest.test_case "deterministic across widths and grains" `Quick
+            test_morsel_deterministic_widths_and_grains;
+          Alcotest.test_case "earliest exception wins at widths 1/2/4" `Quick
+            test_morsel_earliest_exception_deterministic;
+          Alcotest.test_case "budget exhaustion leaves pool usable" `Quick
+            test_morsel_budget_exhausted_leaves_pool_usable;
         ] );
       ( "heap",
         [ Alcotest.test_case "ordering" `Quick test_heap_ordering ] );
