@@ -110,11 +110,14 @@ and t = {
   alpha : float;
   mode : Executor.mode;
   pool : Pool.t option;
+  shards : int;  (* <= 1 = single-CSR storage, the default *)
+  shard_policy : Shard.policy;
   auto_refresh : bool;
   compact_threshold : float;
   ctxs : (string, Executor.ctx) Hashtbl.t;  (* "" = base graph *)
   view_stats : (string, Gstats.t) Hashtbl.t;
   mutable base_stats : (int * Gstats.t) option;  (* keyed by overlay version *)
+  mutable shard_stats : (int * Gstats.t array) option;  (* keyed by overlay version *)
   mutable last_selection : Selection.t option;
   breakers : (string, Breaker.t) Hashtbl.t;  (* per-view, keyed by view name *)
   breaker_threshold : int;
@@ -124,9 +127,9 @@ and t = {
   mutable plan_epoch : int;  (* bumped on every graph/catalog change *)
 }
 
-let create ?(alpha = 95.0) ?(mode = Executor.Distinct_endpoints) ?pool ?(auto_refresh = true)
-    ?(compact_threshold = 0.25) ?(breaker_threshold = 3) ?(breaker_cooldown_s = 30.0)
-    ?(plan_cache = true) graph =
+let create ?(alpha = 95.0) ?(mode = Executor.Distinct_endpoints) ?pool ?(shards = 1)
+    ?(shard_policy = Shard.Hash) ?(auto_refresh = true) ?(compact_threshold = 0.25)
+    ?(breaker_threshold = 3) ?(breaker_cooldown_s = 30.0) ?(plan_cache = true) graph =
   {
     overlay = Graph.Overlay.create graph;
     schema = Graph.schema graph;
@@ -134,11 +137,14 @@ let create ?(alpha = 95.0) ?(mode = Executor.Distinct_endpoints) ?pool ?(auto_re
     alpha;
     mode;
     pool;
+    shards = Stdlib.max 1 shards;
+    shard_policy;
     auto_refresh;
     compact_threshold;
     ctxs = Hashtbl.create 8;
     view_stats = Hashtbl.create 8;
     base_stats = None;
+    shard_stats = None;
     last_selection = None;
     breakers = Hashtbl.create 8;
     breaker_threshold;
@@ -155,11 +161,15 @@ let create ?(alpha = 95.0) ?(mode = Executor.Distinct_endpoints) ?pool ?(auto_re
    entry). *)
 let invalidate_plans t =
   t.plan_epoch <- t.plan_epoch + 1;
+  (* Gauges are process-global, so only zero the entry gauge when this
+     facade actually dropped entries: an instance that never cached
+     (plan cache disabled, or nothing stored yet) must not erase the
+     count published by a sibling instance in the same process. *)
   if Hashtbl.length t.plan_cache > 0 then begin
     Metrics.incr m_plan_cache_invalidations;
-    Hashtbl.reset t.plan_cache
-  end;
-  Metrics.set_gauge g_plan_cache_entries 0.0
+    Hashtbl.reset t.plan_cache;
+    Metrics.set_gauge g_plan_cache_entries 0.0
+  end
 
 (* The cache only serves (and only fills) when the catalog is settled:
    with stale views under [auto_refresh] every run must reach [repair]
@@ -208,7 +218,10 @@ let base_ctx t =
   match Hashtbl.find_opt t.ctxs "" with
   | Some ctx -> ctx
   | None ->
-    let ctx = Executor.create_live ~mode:t.mode ~planner:true ?pool:t.pool t.overlay in
+    let ctx =
+      Executor.create_live ~mode:t.mode ~planner:true ?pool:t.pool
+        ~shard_policy:t.shard_policy ~shards:t.shards t.overlay
+    in
     Hashtbl.add t.ctxs "" ctx;
     ctx
 
@@ -216,9 +229,30 @@ let ctx_for t name g =
   match Hashtbl.find_opt t.ctxs name with
   | Some ctx -> ctx
   | None ->
-    let ctx = Executor.create ~mode:t.mode ~planner:true ?pool:t.pool g in
+    let ctx =
+      Executor.create ~mode:t.mode ~planner:true ?pool:t.pool ~shard_policy:t.shard_policy
+        ~shards:t.shards g
+    in
     Hashtbl.add t.ctxs name ctx;
     ctx
+
+(* The base graph's sharded layer, when this facade was created with
+   [shards > 1]: owned by the base executor context, so materialize,
+   refresh and selection all read the same partitioning (re-derived by
+   the context after every overlay version change). *)
+let base_shards t = if t.shards <= 1 then None else Executor.shards (base_ctx t)
+
+let shard_stats t =
+  match base_shards t with
+  | None -> None
+  | Some sh ->
+    let v = Graph.Overlay.version t.overlay in
+    (match t.shard_stats with
+    | Some (v', ss) when v' = v -> Some ss
+    | _ ->
+      let ss = Gstats.per_shard ?pool:t.pool sh in
+      t.shard_stats <- Some (v, ss);
+      Some ss)
 
 let view_ctx t name =
   match Catalog.find_by_name t.catalog name with
@@ -270,8 +304,8 @@ let enumerate_views ?budget t q = Enumerate.enumerate ?budget t.schema q
 
 let select_views ?solver ?query_weights t ~queries ~budget_edges =
   let sel =
-    Selection.select ~alpha:t.alpha ?solver ?query_weights (stats t) t.schema ~queries
-      ~budget_edges
+    Selection.select ~alpha:t.alpha ?solver ?query_weights ?shard_stats:(shard_stats t)
+      (stats t) t.schema ~queries ~budget_edges
   in
   Log.info (fun k ->
       k "selection over %d queries (budget %d edges): chose [%s], weight %d"
@@ -285,7 +319,7 @@ let materialize t view =
   match Catalog.find t.catalog view with
   | Some entry when entry.Catalog.freshness = Catalog.Fresh -> entry
   | _ ->
-    let m = Materialize.materialize ?pool:t.pool (graph t) view in
+    let m = Materialize.materialize ?pool:t.pool ?shards:(base_shards t) (graph t) view in
     Log.info (fun k ->
         k "materialized %s: %d vertices, %d edges (cost %.0f)" (View.name view)
           (Graph.n_vertices m.Materialize.graph)
@@ -335,7 +369,10 @@ let refresh_entry ?budget ~swallow t (entry : Catalog.entry) =
     else begin
       let t0 = Trace.now_s () in
       let base_after = graph t in
-      match Maintain.refresh ?pool:t.pool ?budget base_after ~view:entry.Catalog.materialized ~ops with
+      match
+        Maintain.refresh ?pool:t.pool ?budget ?shards:(base_shards t) base_after
+          ~view:entry.Catalog.materialized ~ops
+      with
       | m, strategy ->
         Catalog.finish_refresh t.catalog entry m;
         Breaker.record_success (breaker_for t name);
@@ -974,9 +1011,11 @@ module Advisor = struct
     let query_weights = List.map (fun (_, _, n) -> float_of_int n) parsed in
     let sel =
       if queries = [] then
-        Selection.select ~alpha:t.alpha (stats t) t.schema ~queries:[] ~budget_edges
+        Selection.select ~alpha:t.alpha ?shard_stats:(shard_stats t) (stats t) t.schema
+          ~queries:[] ~budget_edges
       else
-        Selection.select ~alpha:t.alpha ~query_weights (stats t) t.schema ~queries ~budget_edges
+        Selection.select ~alpha:t.alpha ~query_weights ?shard_stats:(shard_stats t) (stats t)
+          t.schema ~queries ~budget_edges
     in
     (* Verdicts: the selection says which views the observed workload
        wants; the catalog says which are materialized. *)

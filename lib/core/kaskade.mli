@@ -41,6 +41,8 @@ val create :
   ?alpha:float ->
   ?mode:Kaskade_exec.Executor.mode ->
   ?pool:Kaskade_util.Pool.t ->
+  ?shards:int ->
+  ?shard_policy:Kaskade_graph.Shard.policy ->
   ?auto_refresh:bool ->
   ?compact_threshold:float ->
   ?breaker_threshold:int ->
@@ -58,6 +60,15 @@ val create :
     {!Update.refresh_views}. [compact_threshold] (default 0.25) is the
     overlay ratio past which a batch triggers
     [Graph.Overlay.compact].
+
+    [shards] > 1 (default 1) stores the base graph — and every
+    materialized view — as a {!Kaskade_graph.Shard} partitioning under
+    [shard_policy] (default [Hash]): executor adjacency reads,
+    connector/ego materialization traversals and view refreshes route
+    through the owning shard (cut edges resolve through the exchange),
+    and the selection knapsack prices candidates as the sum of
+    per-shard size estimates. Results are byte-identical at any shard
+    count; [shards <= 1] is exactly the single-CSR code path.
 
     [breaker_threshold] (default 3) consecutive refresh failures open
     a view's circuit breaker; while open (for [breaker_cooldown_s]

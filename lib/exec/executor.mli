@@ -24,16 +24,38 @@ type result =
       many entities they touched. *)
 
 val create :
-  ?mode:mode -> ?planner:bool -> ?pool:Kaskade_util.Pool.t -> Kaskade_graph.Graph.t -> ctx
+  ?mode:mode ->
+  ?planner:bool ->
+  ?pool:Kaskade_util.Pool.t ->
+  ?shard_policy:Kaskade_graph.Shard.policy ->
+  ?shards:int ->
+  Kaskade_graph.Graph.t ->
+  ctx
 (** [planner] (default false) runs [Planner.optimize] on every query
     before evaluation — same results, anchored at the most selective
     node. [pool] is forwarded to the lazily computed graph statistics
     ([Gstats.compute]); the facade plumbs one pool through
     materialization, statistics and refresh so parallelism is decided
-    in one place. *)
+    in one place.
+
+    [shards] > 1 (default 1) routes every adjacency read — typed
+    expands, untyped expands, variable-length BFS/DFS — through a
+    {!Kaskade_graph.Shard} partitioning of the graph under
+    [shard_policy] (default [Hash]), built lazily on first MATCH.
+    Scan candidate enumeration stays in global vid order, so results,
+    row ordering, PROFILE actuals and budget accounting are
+    byte-identical to the single-CSR path at any shard count.
+    [shards <= 1] is {e exactly} today's code path — no sharded
+    structure is ever built. *)
 
 val create_live :
-  ?mode:mode -> ?planner:bool -> ?pool:Kaskade_util.Pool.t -> Kaskade_graph.Graph.Overlay.t -> ctx
+  ?mode:mode ->
+  ?planner:bool ->
+  ?pool:Kaskade_util.Pool.t ->
+  ?shard_policy:Kaskade_graph.Shard.policy ->
+  ?shards:int ->
+  Kaskade_graph.Graph.Overlay.t ->
+  ctx
 (** A context that reads {e through} the overlay: every entry point
     first checks [Graph.Overlay.version] and, when the overlay moved,
     swaps in a fresh snapshot ([Graph.Overlay.graph] — cached by the
@@ -44,6 +66,12 @@ val create_live :
 val graph : ctx -> Kaskade_graph.Graph.t
 (** The graph the next query will run against (the current overlay
     snapshot for live contexts). *)
+
+val shards : ctx -> Kaskade_graph.Shard.t option
+(** The sharded layer queries read through, when this context was
+    created with [shards > 1] — [None] on the single-CSR path. Live
+    contexts re-shard from the fresh snapshot after every overlay
+    version change (lazily, on first use). *)
 
 val mode : ctx -> mode
 

@@ -113,6 +113,15 @@ val out_degrees_of_type : t -> int -> int array
 
 val all_out_degrees : t -> int array
 
+val internal_arrays : t -> int array * int array * int array * int array
+(** [(vtype, e_src, e_dst, e_type)] — the raw topology arrays, shared
+    physically (frozen graphs are never mutated). Feed of the sharded
+    layer ({!Shard.of_graph}); do not mutate. *)
+
+val internal_props : t -> Props.t * Props.t
+(** [(vertex props, edge props)], shared physically — same contract as
+    {!internal_arrays}. *)
+
 val pp_summary : Format.formatter -> t -> unit
 (** One-line [|V|, |E|] plus per-type counts. *)
 

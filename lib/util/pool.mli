@@ -70,12 +70,17 @@ val map_morsels : t -> ?grain:int -> n:int -> (lo:int -> hi:int -> 'a) -> 'a arr
     morsel observer. *)
 
 val map_chunks : t -> n:int -> (lo:int -> hi:int -> 'a) -> 'a array
+[@@deprecated "use map_morsels instead: work-stealing morsels with the same merge contract"]
 (** Legacy fixed-partition fan-out: evaluate [f ~lo ~hi] over a
     balanced contiguous partition of [\[0, n)]; at most [domains t]
     chunks, one per domain, spawned unconditionally (no hardware cap —
     callers that need real worker domains regardless of machine size
-    still get them). Results are in chunk order. New code should use
-    {!map_morsels}. *)
+    still get them). Results are in chunk order.
+
+    @deprecated A fixed partition stalls the whole fan-out on its
+    slowest chunk; {!map_morsels} preserves the same deterministic
+    merge order while letting idle workers steal. One compatibility
+    test keeps this path honest until removal. *)
 
 val set_morsel_observer :
   (worker:int ->

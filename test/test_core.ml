@@ -603,6 +603,25 @@ let test_plan_cache_invalidated_by_update_batch () =
   check_bool "no-op batch keeps the cache warm" true
     (string_contains (pc_state ks q2) "warm")
 
+let test_plan_cache_entries_gauge () =
+  (* The entries gauge tracks the population, not just traffic: after a
+     warm run it must report the cached plans. It regressed to a
+     constant 0 once — a sibling facade's (empty) invalidation zeroed
+     the process-global gauge on every miss — so pin the behavior with
+     two instances live at once. *)
+  let gauge_v name = Kaskade_obs.Metrics.(gauge_value (gauge name)) in
+  let g = prov_graph () in
+  let ks = K.create g in
+  let other = K.create g in
+  ignore (K.run ks q1);
+  check_bool "entries gauge > 0 after a warm run" true
+    (gauge_v "kaskade.plan_cache_entries" > 0.0);
+  (* A run on the sibling (its own cache cold, nothing to invalidate)
+     must not clobber the gauge back to zero. *)
+  ignore (K.run other q2);
+  check_bool "sibling's cold run keeps the gauge positive" true
+    (gauge_v "kaskade.plan_cache_entries" > 0.0)
+
 let test_plan_cache_disabled () =
   let g = prov_graph () in
   let ks = K.create ~plan_cache:false g in
@@ -766,6 +785,8 @@ let () =
             test_plan_cache_invalidated_by_catalog_change;
           Alcotest.test_case "invalidated by update batch" `Quick
             test_plan_cache_invalidated_by_update_batch;
+          Alcotest.test_case "entries gauge tracks population" `Quick
+            test_plan_cache_entries_gauge;
           Alcotest.test_case "disabled" `Quick test_plan_cache_disabled;
         ] );
     ]

@@ -333,12 +333,32 @@ let test_qlog_facade_appends () =
 (* Chrome trace export                                                 *)
 
 let test_chrome_trace_valid_json () =
-  let pool = Pool.create ~domains:2 () in
+  (* Oversubscription forces a real worker domain even on a one-core
+     box; the morsel holding [0, grain) spins until that worker has
+     claimed a morsel of its own, so worker spans are guaranteed to
+     land in the trace (stealing otherwise lets a fast caller drain
+     every morsel before the spawned domain gets started). *)
+  let pool = Pool.create ~domains:2 ~oversubscribe:true () in
+  let domains_seen = Atomic.make [] in
+  let note_domain () =
+    let me = Domain.self () in
+    let rec go () =
+      let l = Atomic.get domains_seen in
+      if (not (List.mem me l)) && not (Atomic.compare_and_set domains_seen l (me :: l)) then
+        go ()
+    in
+    go ()
+  in
   let (), spans =
     Trace.collect (fun () ->
         Trace.with_span "fanout" (fun () ->
             ignore
-              (Pool.map_chunks pool ~n:4096 (fun ~lo ~hi ->
+              (Pool.map_morsels pool ~grain:256 ~n:4096 (fun ~lo ~hi ->
+                   note_domain ();
+                   if lo = 0 then
+                     while List.length (Atomic.get domains_seen) < 2 do
+                       Domain.cpu_relax ()
+                     done;
                    let acc = ref 0 in
                    for i = lo to hi - 1 do
                      acc := !acc + i
@@ -374,7 +394,7 @@ let test_chrome_trace_valid_json () =
         xs
     in
     check_bool "main thread events present" true (List.mem 1 tids);
-    check_bool "pool chunks land on worker tids" true (List.exists (fun t -> t > 1) tids);
+    check_bool "pool morsels land on worker tids" true (List.exists (fun t -> t > 1) tids);
     (* Every tid in use gets a thread_name metadata event. *)
     let named_tids =
       List.filter_map
@@ -485,15 +505,15 @@ let test_quantiles_vs_reference () =
 let test_histogram_worker_observations () =
   Metrics.reset ();
   let h = Metrics.histogram "test.hist.workers" in
-  let pool = Pool.create ~domains:4 () in
+  let pool = Pool.create ~domains:4 ~oversubscribe:true () in
   let n = 1000 in
   ignore
-    (Pool.map_chunks pool ~n (fun ~lo ~hi ->
+    (Pool.map_morsels pool ~grain:250 ~n (fun ~lo ~hi ->
          for i = lo to hi - 1 do
            Metrics.observe h (float_of_int (i + 1))
          done));
-  (* Chunk 0 runs on the caller (plain path), the rest on workers
-     (atomic side cells) — the merged view must be exact. *)
+  (* Some morsels run on the caller (plain path), the stolen ones on
+     workers (atomic side cells) — the merged view must be exact. *)
   check_int "merged count exact" n (Metrics.histogram_count h);
   Alcotest.(check (float 1e-6)) "merged sum exact"
     (float_of_int (n * (n + 1) / 2))

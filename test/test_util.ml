@@ -258,81 +258,85 @@ let test_scratch_vs_hashtbl_qcheck =
 (* ------------------------------------------------------------------ *)
 (* Pool                                                                *)
 
-let test_pool_partition () =
-  let p = Pool.create ~domains:4 () in
-  let chunks = Pool.map_chunks p ~n:10 (fun ~lo ~hi -> (lo, hi)) in
-  check_int "chunk count" 4 (Array.length chunks);
-  let _ =
-    Array.fold_left
-      (fun expected (lo, hi) ->
-        check_int "contiguous" expected lo;
-        check_bool "non-empty" true (hi > lo);
-        hi)
-      0 chunks
-  in
-  check_int "covers n" 10 (snd chunks.(Array.length chunks - 1))
+(* [map_chunks] is deprecated in favor of [map_morsels]; this single
+   compatibility test pins down the legacy contract — fixed balanced
+   partition, chunk-order merge, identical concatenated output — until
+   the function is removed. Everything else in this section runs on
+   the morsel path. *)
+module Chunks_compat = struct
+  [@@@alert "-deprecated"]
+
+  let test_pool_chunks_compat () =
+    let p = Pool.create ~domains:4 () in
+    let chunks = Pool.map_chunks p ~n:10 (fun ~lo ~hi -> (lo, hi)) in
+    check_int "chunk count" 4 (Array.length chunks);
+    let _ =
+      Array.fold_left
+        (fun expected (lo, hi) ->
+          check_int "contiguous" expected lo;
+          check_bool "non-empty" true (hi > lo);
+          hi)
+        0 chunks
+    in
+    check_int "covers n" 10 (snd chunks.(Array.length chunks - 1));
+    check_int "k capped at n" 3 (Array.length (Pool.map_chunks p ~n:3 (fun ~lo ~hi -> (lo, hi))));
+    check_int "n=0 is empty" 0 (Array.length (Pool.map_chunks p ~n:0 (fun ~lo:_ ~hi:_ -> ())));
+    (* The legacy path must keep honoring the same merge contract as
+       the morsel path: concatenated output identical at any width. *)
+    let work ~lo ~hi = Array.init (hi - lo) (fun j -> (lo + j) * (lo + j)) in
+    let expected =
+      Array.concat (Array.to_list (Pool.map_morsels (Pool.create ~domains:1 ()) ~n:37 work))
+    in
+    List.iter
+      (fun w ->
+        let flat =
+          Array.concat (Array.to_list (Pool.map_chunks (Pool.create ~domains:w ()) ~n:37 work))
+        in
+        Alcotest.(check (array int)) "chunks merge like morsels at any width" expected flat)
+      [ 1; 2; 3; 4; 7 ]
+end
 
 let test_pool_clamps () =
   check_int "width >= 1" 1 (Pool.domains (Pool.create ~domains:0 ()));
-  check_int "width <= 64" 64 (Pool.domains (Pool.create ~domains:1000 ()));
-  let p = Pool.create ~domains:8 () in
-  check_int "k capped at n" 3 (Array.length (Pool.map_chunks p ~n:3 (fun ~lo ~hi -> (lo, hi))));
-  check_int "n=0 is empty" 0 (Array.length (Pool.map_chunks p ~n:0 (fun ~lo:_ ~hi:_ -> ())))
-
-let test_pool_deterministic_across_widths () =
-  (* The concatenation of per-chunk results must be independent of the
-     pool width — the contract parallel materialization relies on. *)
-  let work ~lo ~hi = Array.init (hi - lo) (fun j -> (lo + j) * (lo + j)) in
-  let flat w =
-    Array.concat (Array.to_list (Pool.map_chunks (Pool.create ~domains:w ()) ~n:37 work))
-  in
-  let expected = flat 1 in
-  List.iter (fun w -> Alcotest.(check (array int)) "same at any width" expected (flat w)) [ 2; 3; 4; 7 ]
+  check_int "width <= 64" 64 (Pool.domains (Pool.create ~domains:1000 ()))
 
 exception Boom of int
 
 let test_pool_exception_propagates () =
-  let p = Pool.create ~domains:4 () in
-  Alcotest.check_raises "earliest chunk's exception" (Boom 1) (fun () ->
+  let p = Pool.create ~domains:4 ~oversubscribe:true () in
+  Alcotest.check_raises "earliest morsel's exception" (Boom 1) (fun () ->
       ignore
-        (Pool.map_chunks p ~n:8 (fun ~lo ~hi:_ ->
+        (Pool.map_morsels p ~grain:2 ~n:8 (fun ~lo ~hi:_ ->
              if lo > 0 then raise (Boom (lo / 2)) else ())))
 
 let test_pool_raise_leaves_pool_usable () =
-  (* A raising chunk must neither deadlock the fan-out nor orphan
+  (* A raising morsel must neither deadlock the fan-out nor orphan
      worker domains: every worker is joined before the exception
      propagates, so the same pool immediately serves further calls. *)
-  let p = Pool.create ~domains:4 () in
+  let p = Pool.create ~domains:4 ~oversubscribe:true () in
   for round = 1 to 20 do
     (try
-       ignore (Pool.map_chunks p ~n:8 (fun ~lo ~hi:_ -> if lo >= 4 then raise (Boom round)))
+       ignore
+         (Pool.map_morsels p ~grain:2 ~n:8 (fun ~lo ~hi:_ ->
+              if lo >= 4 then raise (Boom round)))
      with Boom r -> check_int "round's own exception" round r);
-    let ok = Pool.map_chunks p ~n:8 (fun ~lo ~hi -> hi - lo) in
+    let ok = Pool.map_morsels p ~grain:2 ~n:8 (fun ~lo ~hi -> hi - lo) in
     check_int "pool still fans out after a failure" 8 (Array.fold_left ( + ) 0 ok)
   done
-
-let test_pool_earliest_exception_deterministic () =
-  (* When several chunks raise, the lowest-indexed chunk's exception
-     is the one reported — at every width, including sequential. *)
-  List.iter
-    (fun w ->
-      let p = Pool.create ~domains:w () in
-      Alcotest.check_raises
-        (Printf.sprintf "earliest wins at width %d" w)
-        (Boom 0)
-        (fun () -> ignore (Pool.map_chunks p ~n:8 (fun ~lo ~hi:_ -> raise (Boom lo)))))
-    [ 1; 2; 4 ]
 
 let test_pool_budget_cancelled_fanout () =
   (* Workers sharing an already-expired budget must all trip their
      first checkpoint, so the fan-out returns promptly instead of
-     grinding through the (effectively unbounded) chunk loops. *)
+     grinding through the (effectively unbounded) morsel loops. *)
   let b = Budget.create ~deadline_s:0.0 () in
   let t0 = Mclock.now_s () in
   let raised =
     try
       ignore
-        (Pool.map_chunks (Pool.create ~domains:4 ()) ~n:4 (fun ~lo:_ ~hi:_ ->
+        (Pool.map_morsels
+           (Pool.create ~domains:4 ~oversubscribe:true ())
+           ~grain:1 ~n:4
+           (fun ~lo:_ ~hi:_ ->
              for _ = 1 to max_int do
                Budget.step (Some b) Budget.Execute
              done));
@@ -345,9 +349,9 @@ let test_pool_budget_cancelled_fanout () =
 let test_pool_workers_use_scratch () =
   (* Scratch pools are domain-local: concurrent borrows on worker
      domains must not interfere. *)
-  let p = Pool.create ~domains:4 () in
+  let p = Pool.create ~domains:4 ~oversubscribe:true () in
   let sums =
-    Pool.map_chunks p ~n:4 (fun ~lo ~hi:_ ->
+    Pool.map_morsels p ~grain:1 ~n:4 (fun ~lo ~hi:_ ->
         Scratch.with_set ~n:100 @@ fun s ->
         for i = 0 to 99 do
           if i mod (lo + 2) = 0 then Scratch.add s i
@@ -452,15 +456,15 @@ module Metrics = Kaskade_obs.Metrics
 module Qlog = Kaskade_obs.Qlog
 
 let test_metrics_reset_during_fanout () =
-  (* Metrics.reset from the caller's chunk while worker chunks observe:
+  (* Metrics.reset from one morsel while the other morsels observe:
      no crash, no torn values, and the instruments keep working. *)
   let c = Metrics.counter "test.race.counter" in
   let h = Metrics.histogram "test.race.hist" in
   Metrics.reset ();
-  let p = Pool.create ~domains:4 () in
+  let p = Pool.create ~domains:4 ~oversubscribe:true () in
   let per_chunk = 2_000 in
   ignore
-    (Pool.map_chunks p ~n:4 (fun ~lo ~hi:_ ->
+    (Pool.map_morsels p ~grain:1 ~n:4 (fun ~lo ~hi:_ ->
          if lo = 0 then
            for _ = 1 to 50 do
              Metrics.reset ();
@@ -473,7 +477,7 @@ let test_metrics_reset_during_fanout () =
              Metrics.incr c;
              Metrics.observe h (float_of_int i)
            done));
-  (* Three observing chunks; resets only ever discard, never duplicate. *)
+  (* Three observing morsels; resets only ever discard, never duplicate. *)
   let v = Metrics.counter_value c in
   check_bool "counter value in range" true (v >= 0 && v <= 3 * per_chunk);
   let n = Metrics.histogram_count h in
@@ -497,11 +501,11 @@ let test_qlog_truncation_race_qcheck =
       Qlog.clear ();
       Qlog.set_capacity cap;
       let total0 = Qlog.total () in
-      let p = Pool.create ~domains:4 () in
+      let p = Pool.create ~domains:4 ~oversubscribe:true () in
       ignore
-        (Pool.map_chunks p ~n:4 (fun ~lo ~hi:_ ->
+        (Pool.map_morsels p ~grain:1 ~n:4 (fun ~lo ~hi:_ ->
              if lo = 0 then
-               (* Caller's chunk: truncate and resize while workers append. *)
+               (* One morsel truncates and resizes while the others append. *)
                for i = 1 to 30 do
                  if i mod 2 = 0 then Qlog.clear () else Qlog.set_capacity (1 + (i mod cap));
                  ignore (Qlog.length ());
@@ -641,13 +645,12 @@ let () =
         ] );
       ( "pool",
         [
-          Alcotest.test_case "partition" `Quick test_pool_partition;
+          Alcotest.test_case "deprecated map_chunks compatibility" `Quick
+            Chunks_compat.test_pool_chunks_compat;
           Alcotest.test_case "clamps" `Quick test_pool_clamps;
-          Alcotest.test_case "deterministic across widths" `Quick test_pool_deterministic_across_widths;
           Alcotest.test_case "exception propagates" `Quick test_pool_exception_propagates;
-          Alcotest.test_case "raising chunk leaves pool usable" `Quick test_pool_raise_leaves_pool_usable;
-          Alcotest.test_case "earliest exception wins at widths 1/2/4" `Quick
-            test_pool_earliest_exception_deterministic;
+          Alcotest.test_case "raising morsel leaves pool usable" `Quick
+            test_pool_raise_leaves_pool_usable;
           Alcotest.test_case "budget-cancelled fan-out returns" `Quick test_pool_budget_cancelled_fanout;
           Alcotest.test_case "workers use scratch" `Quick test_pool_workers_use_scratch;
           Alcotest.test_case "metrics reset during fan-out" `Quick
