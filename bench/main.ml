@@ -27,9 +27,17 @@
                                     within tolerance (full mode
                                     rewrites the baseline)
 
+     bench/main.exe serve [--smoke]
+                                    concurrency drill over the line
+                                    protocol: 4 readers pinned to the
+                                    opening snapshot + 1 writer, every
+                                    read byte-identical to a serial
+                                    run, sheds typed + counted, server
+                                    live after
+
    Experiment ids: table3 table4 fig5 fig6 fig7 fig8 catalog enum
-   select e2e microbench maintenance faults regress (see DESIGN.md's
-   experiment index). *)
+   select e2e microbench maintenance faults regress serve (see
+   DESIGN.md's experiment index). *)
 
 let bechamel_tests () =
   let open Bechamel in

@@ -113,6 +113,15 @@ let parse_or_die src =
     Printf.eprintf "%s\n" (render_parse_error message line col);
     exit 1
 
+(* One-query subcommands surface governed failures exactly like the
+   top-level handler: a one-line typed message and exit 1. *)
+let query_or_die ?target ?budget ks q =
+  match Kaskade.query ?target ?budget ks q with
+  | Ok v -> v
+  | Error e ->
+    Printf.eprintf "kaskade_cli: %s\n" (Kaskade.Error.to_string e);
+    exit 1
+
 (* Opportunistic workload analysis for a single ad-hoc query: select
    under the budget, then materialize whatever the knapsack chose. *)
 let select_and_materialize ks q budget =
@@ -146,7 +155,7 @@ let stats_cmd =
 let enumerate_cmd =
   let run name edges seed graph_file query =
     let g = load_or_generate graph_file name edges seed in
-    let ks = Kaskade.create g in
+    let ks = Kaskade.make g in
     let q = parse_or_die query in
     let e = Kaskade.enumerate_views ks q in
     Printf.printf "%d candidates (%d inference steps):\n"
@@ -164,7 +173,7 @@ let enumerate_cmd =
 let select_cmd =
   let run name edges seed graph_file query budget =
     let g = load_or_generate graph_file name edges seed in
-    let ks = Kaskade.create g in
+    let ks = Kaskade.make g in
     let q = parse_or_die query in
     let sel = Kaskade.select_views ks ~queries:[ q ] ~budget_edges:budget in
     List.iter
@@ -191,7 +200,7 @@ let run_cmd =
       metrics =
     setup_logs verbose;
     let g = load_or_generate graph_file name edges seed in
-    let ks = Kaskade.create ~shards ~shard_policy g in
+    let ks = Kaskade.make ~config:{ Kaskade.Config.default with shards; shard_policy } g in
     let q = parse_or_die query in
     if not no_views then begin
       let entries = select_and_materialize ks q budget in
@@ -212,13 +221,16 @@ let run_cmd =
           in
           (result, Kaskade.Raw, Some (`Plan plan))
         end
-        else (Kaskade.run_raw ks q, Kaskade.Raw, None)
+        else begin
+          let result, _ = query_or_die ~target:Kaskade.Base ks q in
+          (result, Kaskade.Raw, None)
+        end
       else if profile then begin
         let result, report = Kaskade.profile ks q in
         (result, report.Kaskade.target, Some (`Report report))
       end
       else begin
-        let result, how = Kaskade.run ks q in
+        let result, how = query_or_die ks q in
         (result, how, None)
       end
     in
@@ -260,7 +272,7 @@ let explain_cmd =
       metrics =
     setup_logs verbose;
     let g = load_or_generate graph_file name edges seed in
-    let ks = Kaskade.create ~shards ~shard_policy g in
+    let ks = Kaskade.make ~config:{ Kaskade.Config.default with shards; shard_policy } g in
     let q = parse_or_die query in
     if not no_views then ignore (select_and_materialize ks q budget);
     let report = Kaskade.explain ks q in
@@ -356,7 +368,7 @@ let setup_live verbose name edges seed graph_file query budget =
   setup_logs verbose;
   let g = load_or_generate graph_file name edges seed in
   (* Refreshes are driven explicitly from these subcommands. *)
-  let ks = Kaskade.create ~auto_refresh:false g in
+  let ks = Kaskade.make ~config:{ Kaskade.Config.default with auto_refresh = false } g in
   (match query with
   | Some qs -> ignore (select_and_materialize ks (parse_or_die qs) budget)
   | None -> ());
@@ -434,7 +446,7 @@ let require_queries cmd = function
 (* Drive the workload through the facade's governed entry point: every
    run lands in the query log, including budget/semantic failures. *)
 let run_workload ks qs repeat =
-  List.iter (fun q -> for _ = 1 to repeat do ignore (Kaskade.run_result ks q) done) qs
+  List.iter (fun q -> for _ = 1 to repeat do ignore (Kaskade.query ks q) done) qs
 
 let outcome_label (r : Kaskade_obs.Qlog.record) =
   match r.Kaskade_obs.Qlog.outcome with
@@ -462,7 +474,7 @@ let log_cmd =
     let qs = require_queries "log" queries in
     (match capacity with Some c -> Kaskade_obs.Qlog.set_capacity c | None -> ());
     let g = load_or_generate graph_file name edges seed in
-    let ks = Kaskade.create ~shards ~shard_policy g in
+    let ks = Kaskade.make ~config:{ Kaskade.Config.default with shards; shard_policy } g in
     if not no_views then begin
       let sel = Kaskade.select_views ks ~queries:qs ~budget_edges:budget in
       ignore (Kaskade.materialize_selected ks sel)
@@ -505,7 +517,7 @@ let trace_cmd =
     setup_logs verbose;
     let qs = require_queries "trace" queries in
     let g = load_or_generate graph_file name edges seed in
-    let ks = Kaskade.create ~shards ~shard_policy g in
+    let ks = Kaskade.make ~config:{ Kaskade.Config.default with shards; shard_policy } g in
     let (), spans =
       Kaskade_obs.Trace.collect (fun () ->
           let sel = Kaskade.select_views ks ~queries:qs ~budget_edges:budget in
@@ -547,7 +559,7 @@ let advise_cmd =
   let run verbose name edges seed graph_file queries repeat log_file advise_budget json =
     setup_logs verbose;
     let g = load_or_generate graph_file name edges seed in
-    let ks = Kaskade.create g in
+    let ks = Kaskade.make g in
     let records =
       match log_file with
       | Some path -> begin
@@ -579,11 +591,59 @@ let advise_cmd =
     Term.(const run $ verbose_arg $ dataset_arg $ edges_arg $ seed_arg $ graph_file_arg
           $ queries_arg $ repeat_arg $ log_file $ advise_budget $ json)
 
+let serve_cmd =
+  let socket =
+    Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix domain socket to listen on (an existing file is replaced).")
+  in
+  let max_sessions =
+    Arg.(value & opt int 64 & info [ "max-sessions" ] ~docv:"N"
+           ~doc:"Live session cap; OPEN beyond it is shed with a typed overloaded error.")
+  in
+  let max_inflight =
+    Arg.(value & opt int 4 & info [ "max-inflight" ] ~docv:"N"
+           ~doc:"Queries executing concurrently; excess requests wait in the admission queue.")
+  in
+  let max_queue =
+    Arg.(value & opt int 16 & info [ "max-queue" ] ~docv:"N"
+           ~doc:"Admission queue depth; requests beyond it are shed with a typed \
+                 overloaded error (counted by the kaskade.shed_requests metric).")
+  in
+  let deadline =
+    Arg.(value & opt (some float) None & info [ "deadline-s" ] ~docv:"SECONDS"
+           ~doc:"Per-request deadline budget, covering queue wait plus execution.")
+  in
+  let run verbose name edges seed graph_file query budget max_sessions max_inflight max_queue
+      deadline socket metrics =
+    setup_logs verbose;
+    let g = load_or_generate graph_file name edges seed in
+    let ks = Kaskade.make g in
+    (match query with
+    | Some qs -> ignore (select_and_materialize ks (parse_or_die qs) budget)
+    | None -> ());
+    Printf.printf "serving %d vertices / %d edges on %s (max-sessions %d, max-inflight %d, \
+                   max-queue %d)\n%!"
+      (Graph.n_vertices g) (Graph.n_edges g) socket max_sessions max_inflight max_queue;
+    Kaskade_serve.Server.serve ~max_sessions ~max_inflight ~max_queue ?deadline_s:deadline
+      ~socket ks;
+    dump_metrics metrics
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve queries over a Unix socket: newline-delimited protocol (OPEN / Q / ROWS / \
+          REPIN / UPDATE / STATS / CLOSE / SHUTDOWN), one MVCC-pinned session per \
+          connection, single-writer update serialization, and admission control with \
+          typed shed responses.")
+    Term.(const run $ verbose_arg $ dataset_arg $ edges_arg $ seed_arg $ graph_file_arg
+          $ query_opt_arg $ budget_arg $ max_sessions $ max_inflight $ max_queue $ deadline
+          $ socket $ metrics_arg)
+
 let repl_cmd =
   let run verbose name edges seed graph_file budget =
     setup_logs verbose;
     let g = load_or_generate graph_file name edges seed in
-    let ks = Kaskade.create g in
+    let ks = Kaskade.make g in
     Format.printf "%a@." Graph.pp_summary g;
     print_endline "kaskade repl — enter a query per line; :views to list, :quit to exit";
     let rec loop () =
@@ -608,33 +668,32 @@ let repl_cmd =
            let sel = Kaskade.select_views ks ~queries:[ q ] ~budget_edges:budget in
            ignore (Kaskade.materialize_selected ks sel);
            let t0 = Kaskade_util.Mclock.now_s () in
-           let result, how = Kaskade.run ks q in
-           let dt = Kaskade_util.Mclock.now_s () -. t0 in
-           let target_graph =
-             match how with
-             | Kaskade.Raw -> g
-             | Kaskade.Via_view v ->
-               (Option.get (Kaskade_views.Catalog.find_by_name (Kaskade.catalog ks) v))
-                 .Kaskade_views.Catalog.materialized.Kaskade_views.Materialize.graph
-           in
-           (match result with
-           | Kaskade_exec.Executor.Table t ->
-             Format.printf "%a@." (Kaskade_exec.Row.pp target_graph) t;
-             Printf.printf "%d rows" (Kaskade_exec.Row.n_rows t)
-           | Kaskade_exec.Executor.Affected n -> Printf.printf "updated %d entities" n);
-           Printf.printf " (%.3fs, %s)\n"
-             dt
-             (match how with Kaskade.Raw -> "raw" | Kaskade.Via_view v -> "via " ^ v)
+           match Kaskade.query ks q with
+           (* Governed failures (budget exhaustion, refresh crashes,
+              injected faults) end the query, not the session. *)
+           | Error e -> Printf.printf "%s\n" (Kaskade.Error.to_string e)
+           | Ok (result, how) ->
+             let dt = Kaskade_util.Mclock.now_s () -. t0 in
+             let target_graph =
+               match how with
+               | Kaskade.Raw -> g
+               | Kaskade.Via_view v ->
+                 (Option.get (Kaskade_views.Catalog.find_by_name (Kaskade.catalog ks) v))
+                   .Kaskade_views.Catalog.materialized.Kaskade_views.Materialize.graph
+             in
+             (match result with
+             | Kaskade_exec.Executor.Table t ->
+               Format.printf "%a@." (Kaskade_exec.Row.pp target_graph) t;
+               Printf.printf "%d rows" (Kaskade_exec.Row.n_rows t)
+             | Kaskade_exec.Executor.Affected n -> Printf.printf "updated %d entities" n);
+             Printf.printf " (%.3fs, %s)\n"
+               dt
+               (match how with Kaskade.Raw -> "raw" | Kaskade.Via_view v -> "via " ^ v)
          with
         | Kaskade_query.Qparser.Parse_error { message; line; col } ->
           Printf.printf "%s\n" (render_parse_error message line col)
         | Kaskade_query.Analyze.Semantic_error msg -> Printf.printf "semantic error: %s\n" msg
-        | Invalid_argument msg -> Printf.printf "error: %s\n" msg
-        (* Governed failures (budget exhaustion, refresh crashes, injected
-           faults) end the query, not the session. *)
-        | e when Kaskade.Error.of_exn e <> None ->
-          Printf.printf "%s\n"
-            (Kaskade.Error.to_string (Option.get (Kaskade.Error.of_exn e))));
+        | Invalid_argument msg -> Printf.printf "error: %s\n" msg);
         loop ()
       end
     in
@@ -660,6 +719,7 @@ let () =
         log_cmd;
         trace_cmd;
         advise_cmd;
+        serve_cmd;
         repl_cmd;
       ]
   in

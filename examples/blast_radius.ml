@@ -41,7 +41,7 @@ let () =
 
   (* Step 2: hand the summarized graph to Kaskade and let it choose
      views for the blast-radius workload. *)
-  let ks = Kaskade.create filter in
+  let ks = Kaskade.make filter in
   let q1 = Kaskade.parse q1_text in
   let budget = 5 * Graph.n_edges filter in
   let sel = Kaskade.select_views ks ~queries:[ q1 ] ~budget_edges:budget in
@@ -62,8 +62,9 @@ let () =
     entries;
 
   (* Step 3: run Q1 both ways. *)
-  let raw_result, raw_time = time (fun () -> Kaskade.run_raw ks q1) in
-  let (view_result, how), view_time = time (fun () -> Kaskade.run ks q1) in
+  let ok = function Ok v -> v | Error e -> failwith (Kaskade.Error.to_string e) in
+  let (raw_result, _), raw_time = time (fun () -> ok (Kaskade.query ~target:Kaskade.Base ks q1)) in
+  let (view_result, how), view_time = time (fun () -> ok (Kaskade.query ks q1)) in
   let rows r = Kaskade_exec.Row.n_rows (Kaskade_exec.Executor.table_exn r) in
   Printf.printf "\nQ1 on the summarized graph : %d pipelines in %.3fs\n" (rows raw_result) raw_time;
   Printf.printf "Q1 via %-20s: %d pipelines in %.3fs (%.1fx)\n"

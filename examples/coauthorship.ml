@@ -22,7 +22,7 @@ let () =
        (Kaskade_views.View.Summarizer (Kaskade_views.View.Vertex_inclusion [ "Author"; "Pub" ])))
       .Kaskade_views.Materialize.graph
   in
-  let ks = Kaskade.create filter in
+  let ks = Kaskade.make filter in
 
   (* Direct co-authors of co-authors ("friend of friend" recommendation):
      a 4-hop author path = 2 hops over the co-author connector. *)
@@ -39,8 +39,9 @@ let () =
   let sel = Kaskade.select_views ks ~queries:[ q ] ~budget_edges:(20 * Graph.n_edges filter) in
   ignore (Kaskade.materialize_selected ks sel);
 
-  let raw_result, raw_time = time (fun () -> Kaskade.run_raw ks q) in
-  let (via_result, how), via_time = time (fun () -> Kaskade.run ks q) in
+  let ok = function Ok v -> v | Error e -> failwith (Kaskade.Error.to_string e) in
+  let (raw_result, _), raw_time = time (fun () -> ok (Kaskade.query ~target:Kaskade.Base ks q)) in
+  let (via_result, how), via_time = time (fun () -> ok (Kaskade.query ks q)) in
   let rows r = Kaskade_exec.Row.n_rows (Kaskade_exec.Executor.table_exn r) in
   Printf.printf "reachable author pairs (raw)  : %d in %.3fs\n" (rows raw_result) raw_time;
   Printf.printf "reachable author pairs (%s): %d in %.3fs\n"

@@ -29,7 +29,7 @@ let () =
   in
   let connector = View.Connector (View.K_hop { src_type = "Job"; dst_type = "Job"; k = 2 }) in
   (* auto_refresh off: we drive the refreshes by hand to time them. *)
-  let ks = Kaskade.create ~auto_refresh:false base in
+  let ks = Kaskade.make ~config:{ Kaskade.Config.default with auto_refresh = false } base in
   let entry = Kaskade.materialize ks connector in
   Printf.printf "base: %d vertices, %d edges; connector: %d edges\n" (Graph.n_vertices base)
     (Graph.n_edges base)

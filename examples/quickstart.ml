@@ -35,7 +35,7 @@ let () =
   let g = Graph.freeze b in
   Format.printf "graph: %a@." Graph.pp_summary g;
 
-  let ks = Kaskade.create g in
+  let ks = Kaskade.make g in
   let q =
     Kaskade.parse
       "MATCH (a:Job)-[:WRITES_TO]->(f1:File) (f1:File)-[r*0..4]->(f2:File) (f2:File)-[:IS_READ_BY]->(b:Job) RETURN a, b"
@@ -79,7 +79,11 @@ let () =
       (Kaskade_query.Pretty.to_string rw.Kaskade.Rewrite.rewritten)
   | None -> print_endline "no rewriting found");
 
-  let result, how = Kaskade.run ks q in
+  let result, how =
+    match Kaskade.query ks q with
+    | Ok v -> v
+    | Error e -> failwith (Kaskade.Error.to_string e)
+  in
   let t = Kaskade_exec.Executor.table_exn result in
   Printf.printf "\nanswer (%s):\n"
     (match how with Kaskade.Raw -> "raw graph" | Kaskade.Via_view v -> "via view " ^ v);

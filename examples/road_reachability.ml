@@ -11,7 +11,7 @@ open Kaskade_graph
 let () =
   let g = Kaskade_gen.Road_gen.(generate { default with width = 60; height = 60; seed = 31 }) in
   Format.printf "road network: %a@." Graph.pp_summary g;
-  let ks = Kaskade.create g in
+  let ks = Kaskade.make g in
   let stats = Kaskade.stats ks in
 
   (* The size estimator (Eq. 2) sees the blow-up before paying for
@@ -51,8 +51,10 @@ let () =
 
   (* Plain reachability still works on the raw graph. *)
   let t =
-    Kaskade_exec.Executor.table_exn
-      (Kaskade.run_raw ks (Kaskade.parse "SELECT COUNT(*) FROM (MATCH (s:V)-[r*1..4]->(n:V) RETURN s, n)"))
+    let q_count = Kaskade.parse "SELECT COUNT(*) FROM (MATCH (s:V)-[r*1..4]->(n:V) RETURN s, n)" in
+    match Kaskade.query ~target:Kaskade.Base ks q_count with
+    | Ok (result, _) -> Kaskade_exec.Executor.table_exn result
+    | Error e -> failwith (Kaskade.Error.to_string e)
   in
   match t.Kaskade_exec.Row.rows with
   | [ [| Kaskade_exec.Row.Prim (Value.Int n) |] ] ->

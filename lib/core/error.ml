@@ -5,9 +5,11 @@ type t =
   | Plan of string
   | Budget_exhausted of { stage : Budget.stage; detail : string }
   | Refresh_failed of { view : string; reason : string }
+  | Overloaded of { resource : string; capacity : int; in_use : int }
   | Io of string
 
 exception Refresh_error of { view : string; reason : string }
+exception Overload of { resource : string; capacity : int; in_use : int }
 
 let to_string = function
   | Parse { message; line; col } ->
@@ -17,6 +19,8 @@ let to_string = function
     Printf.sprintf "budget exhausted during %s: %s" (Budget.stage_label stage) detail
   | Refresh_failed { view; reason } ->
     Printf.sprintf "refresh of view %s failed: %s" view reason
+  | Overloaded { resource; capacity; in_use } ->
+    Printf.sprintf "overloaded: %s at capacity (%d/%d in use)" resource in_use capacity
   | Io msg -> "I/O error: " ^ msg
 
 let pp ppf e = Format.pp_print_string ppf (to_string e)
@@ -26,6 +30,7 @@ let label = function
   | Plan _ -> "plan"
   | Budget_exhausted _ -> "budget_exhausted"
   | Refresh_failed _ -> "refresh_failed"
+  | Overloaded _ -> "overloaded"
   | Io _ -> "io"
 
 let of_exn = function
@@ -46,7 +51,13 @@ let of_exn = function
          })
   | Budget.Exhausted { stage; detail } -> Some (Budget_exhausted { stage; detail })
   | Refresh_error { view; reason } -> Some (Refresh_failed { view; reason })
+  | Overload { resource; capacity; in_use } -> Some (Overloaded { resource; capacity; in_use })
   | Budget.Fault_injected { site } -> Some (Io ("injected fault at " ^ site))
+  | Unix.Unix_error (err, fn, arg) ->
+    (* Socket/file failures from the serve loop must surface as typed
+       errors, not kill the accept thread. *)
+    let where = if arg = "" then fn else fn ^ " " ^ arg in
+    Some (Io (Printf.sprintf "%s: %s" where (Unix.error_message err)))
   | Kaskade_graph.Gio.Format_error (msg, line) ->
     Some (Io (Printf.sprintf "line %d: %s" line msg))
   | Sys_error msg -> Some (Io msg)

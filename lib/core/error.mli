@@ -21,14 +21,24 @@ type t =
       (** A view refresh crashed. The catalog entry is back in
           [Stale] (with its delta intact) — never half-built — and the
           view's circuit breaker has recorded the failure. *)
+  | Overloaded of { resource : string; capacity : int; in_use : int }
+      (** Admission control shed the request: [resource] (e.g.
+          ["sessions"], ["queue"]) was at [capacity] with [in_use]
+          holders. The request had no effect; retry after backoff. *)
   | Io of string
       (** File loading/saving problems ([Gio.Format_error],
-          [Sys_error]) and injected internal faults. *)
+          [Sys_error], [Unix.Unix_error]) and injected internal
+          faults. *)
 
 exception Refresh_error of { view : string; reason : string }
 (** Raised by the facade's {e raising} refresh paths (e.g.
     [Kaskade.Update.refresh_views]) when a refresh crashes;
     {!of_exn} maps it to {!Refresh_failed}. *)
+
+exception Overload of { resource : string; capacity : int; in_use : int }
+(** Raised by admission control ({!Kaskade_serve.Session}) when a
+    bounded resource is exhausted; {!of_exn} maps it to
+    {!Overloaded}. *)
 
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

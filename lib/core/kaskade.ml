@@ -90,6 +90,35 @@ let g_plan_cache_entries =
 
 type run_target = Raw | Via_view of string
 
+module Config = struct
+  type t = {
+    alpha : float;
+    mode : Executor.mode;
+    pool : Pool.t option;
+    shards : int;
+    shard_policy : Shard.policy;
+    auto_refresh : bool;
+    compact_threshold : float;
+    breaker_threshold : int;
+    breaker_cooldown_s : float;
+    plan_cache : bool;
+  }
+
+  let default =
+    {
+      alpha = 95.0;
+      mode = Executor.Distinct_endpoints;
+      pool = None;
+      shards = 1;
+      shard_policy = Shard.Hash;
+      auto_refresh = true;
+      compact_threshold = 0.25;
+      breaker_threshold = 3;
+      breaker_cooldown_s = 30.0;
+      plan_cache = true;
+    }
+end
+
 (* One cached routing decision: everything [run]'s planning phase
    (repair scan, per-view rewrite + costing, pick) would recompute for
    a repeat of the same canonical query text, so a hit goes straight
@@ -127,32 +156,49 @@ and t = {
   mutable plan_epoch : int;  (* bumped on every graph/catalog change *)
 }
 
-let create ?(alpha = 95.0) ?(mode = Executor.Distinct_endpoints) ?pool ?(shards = 1)
-    ?(shard_policy = Shard.Hash) ?(auto_refresh = true) ?(compact_threshold = 0.25)
-    ?(breaker_threshold = 3) ?(breaker_cooldown_s = 30.0) ?(plan_cache = true) graph =
+let make ?(config = Config.default) graph =
   {
     overlay = Graph.Overlay.create graph;
     schema = Graph.schema graph;
     catalog = Catalog.create ();
-    alpha;
-    mode;
-    pool;
-    shards = Stdlib.max 1 shards;
-    shard_policy;
-    auto_refresh;
-    compact_threshold;
+    alpha = config.Config.alpha;
+    mode = config.Config.mode;
+    pool = config.Config.pool;
+    shards = Stdlib.max 1 config.Config.shards;
+    shard_policy = config.Config.shard_policy;
+    auto_refresh = config.Config.auto_refresh;
+    compact_threshold = config.Config.compact_threshold;
     ctxs = Hashtbl.create 8;
     view_stats = Hashtbl.create 8;
     base_stats = None;
     shard_stats = None;
     last_selection = None;
     breakers = Hashtbl.create 8;
-    breaker_threshold;
-    breaker_cooldown_s;
+    breaker_threshold = config.Config.breaker_threshold;
+    breaker_cooldown_s = config.Config.breaker_cooldown_s;
     plan_cache = Hashtbl.create 16;
-    plan_cache_enabled = plan_cache;
+    plan_cache_enabled = config.Config.plan_cache;
     plan_epoch = 0;
   }
+
+let create ?(alpha = 95.0) ?(mode = Executor.Distinct_endpoints) ?pool ?(shards = 1)
+    ?(shard_policy = Shard.Hash) ?(auto_refresh = true) ?(compact_threshold = 0.25)
+    ?(breaker_threshold = 3) ?(breaker_cooldown_s = 30.0) ?(plan_cache = true) graph =
+  make
+    ~config:
+      {
+        Config.alpha;
+        mode;
+        pool;
+        shards;
+        shard_policy;
+        auto_refresh;
+        compact_threshold;
+        breaker_threshold;
+        breaker_cooldown_s;
+        plan_cache;
+      }
+    graph
 
 (* Any graph or catalog change makes every cached routing decision
    suspect — a view may newly apply, stop applying, or have different
@@ -199,6 +245,8 @@ let plan_cache_store t key ~target ~executed ~fingerprint =
   end
 
 let graph t = Graph.Overlay.graph t.overlay
+let overlay t = t.overlay
+let version t = Graph.Overlay.version t.overlay
 let schema t = t.schema
 
 let stats t =
@@ -1176,3 +1224,13 @@ end
 
 let parse_result src = Error.guard (fun () -> parse src)
 let run_result ?budget t q = Error.guard (fun () -> run ?budget t q)
+
+(* Unified entry point ------------------------------------------------ *)
+
+type target = Auto | Base | View of string
+
+let query ?(target = Auto) ?budget t q =
+  match target with
+  | Auto -> Error.guard (fun () -> run ?budget t q)
+  | Base -> Error.guard (fun () -> (run_raw ?budget t q, Raw))
+  | View name -> Error.guard (fun () -> (run_on_view ?budget t name q, Via_view name))

@@ -8,17 +8,26 @@
     allowed to answer a query.
 
     {[
-      let ks = Kaskade.create graph in
+      let ks = Kaskade.make graph in
       let q = Kaskade.parse "SELECT ... FROM (MATCH ...)" in
       (* choose + materialize views for a workload under a budget *)
       let sel = Kaskade.select_views ks ~queries:[ q ] ~budget_edges:100_000 in
       Kaskade.materialize_selected ks sel;
       (* transparently answer from the best materialized view *)
-      let result, how = Kaskade.run ks q in
-      (* mutate; views go stale, the next run repairs them first *)
-      Kaskade.Update.batch ops ks;
-      let result', how' = Kaskade.run ks q in
-      ...
+      match Kaskade.query ks q with
+      | Ok (result, how) ->
+        (* mutate; views go stale, the next query repairs them first *)
+        Kaskade.Update.batch ops ks;
+        let result' = Kaskade.query ks q in
+        ...
+      | Error e -> ...
+    ]}
+
+    Non-default knobs go through {!Config.t} with record-update
+    syntax:
+
+    {[
+      let ks = Kaskade.make ~config:{ Kaskade.Config.default with shards = 4 } graph
     ]} *)
 
 (** Re-exported components (see each module's own documentation). *)
@@ -37,6 +46,72 @@ type run_target =
   | Raw  (** Answered on the base graph. *)
   | Via_view of string  (** Answered over the named materialized view. *)
 
+(** Construction knobs, collapsed into one record so call sites name
+    only what they change ([{ Config.default with shards = 4 }]) and
+    new knobs never ripple through every caller's signature. *)
+module Config : sig
+  type t = {
+    alpha : float;
+        (** View-size estimation percentile (default 95) — the
+            operating point the paper recommends (§VII-D). *)
+    mode : Kaskade_exec.Executor.mode;  (** Path-semantics mode (default [Distinct_endpoints]). *)
+    pool : Kaskade_util.Pool.t option;
+        (** The one domain pool threaded through materialization,
+            graph statistics, and view refresh (default [None]:
+            [Kaskade_util.Pool.default] inside each component). *)
+    shards : int;
+        (** > 1 stores the base graph — and every materialized view —
+            as a {!Kaskade_graph.Shard} partitioning: executor
+            adjacency reads, connector/ego materialization traversals
+            and view refreshes route through the owning shard (cut
+            edges resolve through the exchange), and the selection
+            knapsack prices candidates as the sum of per-shard size
+            estimates. Results are byte-identical at any shard count;
+            [<= 1] (default) is exactly the single-CSR code path. *)
+    shard_policy : Kaskade_graph.Shard.policy;  (** Partitioning policy (default [Hash]). *)
+    auto_refresh : bool;
+        (** [true] (default): query entry points repair stale views
+            before planning. [false]: they fall back to the base graph
+            and leave views stale until {!Update.refresh_views}. *)
+    compact_threshold : float;
+        (** Overlay ratio past which a batch triggers
+            [Graph.Overlay.compact] (default 0.25). *)
+    breaker_threshold : int;
+        (** Consecutive refresh failures (default 3) that open a
+            view's circuit breaker. While open the view is
+            {e quarantined}: refresh attempts are skipped, it stays
+            [Stale], and the planner transparently answers its queries
+            from the base graph (counted by [kaskade.fallback_runs]).
+            After the cooldown one half-open probe refresh is allowed
+            — success closes the breaker, failure reopens it. *)
+    breaker_cooldown_s : float;
+        (** Quarantine duration in seconds (default 30, monotonic
+            clock). *)
+    plan_cache : bool;
+        (** [true] (default) caches {!query}'s routing decision per
+            canonical query (keyed by the same FNV-1a hash that groups
+            [Kaskade_obs.Qlog] records): a repeated query skips the
+            repair scan, per-view rewriting, and cost comparison and
+            goes straight to the executor. Entries are invalidated as
+            a whole on {e any} graph or catalog change, and the cache
+            stands down entirely while any view is stale under
+            [auto_refresh], so degradation retries and breaker probes
+            are never skipped. Observed through the
+            [kaskade.plan_cache_*] counters/gauge and the [plan_cache]
+            field of {!explain} reports. [false] plans every query
+            from scratch (the cold-path baseline the
+            [bench microbench] plan-cache comparison measures
+            against). *)
+  }
+
+  val default : t
+end
+
+val make : ?config:Config.t -> Kaskade_graph.Graph.t -> t
+(** Build a facade over [graph] (default {!Config.default}). The
+    facade owns a [Graph.Overlay] delta layer over [graph]; mutate it
+    through {!Update} only. *)
+
 val create :
   ?alpha:float ->
   ?mode:Kaskade_exec.Executor.mode ->
@@ -50,54 +125,23 @@ val create :
   ?plan_cache:bool ->
   Kaskade_graph.Graph.t ->
   t
-(** [alpha] (default 95) parameterizes view-size estimation — the
-    operating point the paper recommends (§VII-D). [pool] is the one
-    domain pool threaded through materialization, graph statistics,
-    and view refresh (default: [Kaskade_util.Pool.default] inside each
-    component). With [auto_refresh] (default [true]) query entry
-    points repair stale views before planning; with [false] they fall
-    back to the base graph and leave views stale until
-    {!Update.refresh_views}. [compact_threshold] (default 0.25) is the
-    overlay ratio past which a batch triggers
-    [Graph.Overlay.compact].
-
-    [shards] > 1 (default 1) stores the base graph — and every
-    materialized view — as a {!Kaskade_graph.Shard} partitioning under
-    [shard_policy] (default [Hash]): executor adjacency reads,
-    connector/ego materialization traversals and view refreshes route
-    through the owning shard (cut edges resolve through the exchange),
-    and the selection knapsack prices candidates as the sum of
-    per-shard size estimates. Results are byte-identical at any shard
-    count; [shards <= 1] is exactly the single-CSR code path.
-
-    [breaker_threshold] (default 3) consecutive refresh failures open
-    a view's circuit breaker; while open (for [breaker_cooldown_s]
-    seconds, default 30, on the monotonic clock) the view is
-    {e quarantined}: refresh attempts are skipped, it stays [Stale],
-    and the planner transparently answers its queries from the base
-    graph (counted by the [kaskade.fallback_runs] metric). After the
-    cooldown one half-open probe refresh is allowed — success closes
-    the breaker, failure reopens it.
-
-    [plan_cache] (default [true]) caches {!run}'s routing decision per
-    canonical query (keyed by the same FNV-1a hash that groups
-    [Kaskade_obs.Qlog] records): a repeated query skips the repair
-    scan, per-view rewriting, and cost comparison and goes straight to
-    the executor. Entries are invalidated as a whole on {e any} graph
-    or catalog change — {!Update} ops and batches, materialization,
-    and every refresh (successful or failed) — and the cache stands
-    down entirely while any view is stale under [auto_refresh], so
-    degradation retries and breaker probes are never skipped. Observed
-    through the [kaskade.plan_cache_hits] / [.plan_cache_misses] /
-    [.plan_cache_invalidations] counters, the
-    [kaskade.plan_cache_entries] gauge, and the [plan_cache] field of
-    {!explain} reports. Pass [false] to plan every query from scratch
-    (the cold-path baseline the [bench microbench] plan-cache
-    comparison measures against). *)
+[@@deprecated "use Kaskade.make ?config instead; each optional argument is a Config.t field"]
+(** @deprecated Thin wrapper over {!make}: every optional argument is
+    the {!Config.t} field of the same name, with the same default. *)
 
 val graph : t -> Kaskade_graph.Graph.t
 (** Current frozen snapshot — base plus any applied updates. Cheap
     when no update happened since the last call. *)
+
+val overlay : t -> Kaskade_graph.Graph.Overlay.t
+(** The facade's live delta layer. Exposed for the serving layer
+    ({!Kaskade_serve.Session}), which pins snapshot versions on it;
+    mutate only through {!Update} so catalog freshness and the plan
+    cache stay coherent. *)
+
+val version : t -> int
+(** Current overlay version ([Graph.Overlay.version]) — bumped by
+    every effective mutation. *)
 
 val schema : t -> Kaskade_graph.Schema.t
 
@@ -218,12 +262,20 @@ val best_rewriting :
     estimated evaluation cost — [None] when no view helps (§V-C).
     Repairs stale views first when [auto_refresh] is on. *)
 
-val run :
+(** Where {!query} evaluates. *)
+type target =
+  | Auto  (** Planner's choice: cheapest fresh view, else base graph. *)
+  | Base  (** Always the (current) base graph. *)
+  | View of string  (** A named materialized view, no fallback. *)
+
+val query :
+  ?target:target ->
   ?budget:Kaskade_util.Budget.t ->
   t ->
   Kaskade_query.Ast.t ->
-  Kaskade_exec.Executor.result * run_target
-(** View-based evaluation: rewrite over the cheapest applicable
+  (Kaskade_exec.Executor.result * run_target, Error.t) result
+(** The one query entry point. With [target = Auto] (the default):
+    view-based evaluation — rewrite over the cheapest applicable
     materialized view, falling back to the base graph. {b Never}
     answers from a view whose freshness is not [Fresh]: stale views
     are either repaired first ([auto_refresh]) or passed over in
@@ -237,25 +289,43 @@ val run :
     count, wall time and budget spend. The accumulated log is what
     {!Advisor.advise} replays.
 
-    {b Degradation:} a repair that {e fails} is swallowed here — the
-    failure is metered ([kaskade.refresh_failures]) and charged to the
-    view's circuit breaker, the view stays [Stale], and the query is
-    answered from the base graph ([kaskade.fallback_runs] counts the
-    queries a quarantined view could have served). [budget] bounds the
-    whole pipeline (repair, planning, execution); exhaustion raises
-    [Kaskade_util.Budget.Exhausted] (counted by
-    [kaskade.query_timeouts]) and leaves the system consistent —
-    {!run_result} is the non-raising form. *)
+    {b Degradation (Auto):} a repair that {e fails} is swallowed —
+    the failure is metered ([kaskade.refresh_failures]) and charged to
+    the view's circuit breaker, the view stays [Stale], and the query
+    is answered from the base graph ([kaskade.fallback_runs] counts
+    the queries a quarantined view could have served). [budget] bounds
+    the whole pipeline (repair, planning, execution); exhaustion
+    surfaces as [Error Budget_exhausted] (counted by
+    [kaskade.query_timeouts]) and leaves the system consistent.
+
+    [target = Base] skips planning and the query log and evaluates
+    directly on the base graph (the old [run_raw] — the baseline the
+    bench harness diffs view routing against). [target = View v]
+    evaluates an (already rewritten) query on view [v] with no
+    base-graph fallback: a stale view is repaired first under
+    [auto_refresh] (a failed or breaker-blocked repair is
+    [Error (Refresh_failed _)]), refused as [Error (Plan _)]
+    otherwise, and an unknown name is [Error (Plan _)]. The returned
+    [run_target] reports where the query actually ran. Truly
+    unexpected exceptions still propagate (see {!Error.of_exn}). *)
+
+val run :
+  ?budget:Kaskade_util.Budget.t ->
+  t ->
+  Kaskade_query.Ast.t ->
+  Kaskade_exec.Executor.result * run_target
+[@@deprecated "use Kaskade.query (returns a result instead of raising)"]
+(** @deprecated The raising form of {!query}[ ~target:Auto]: governed
+    failures ([Budget.Exhausted], parse/plan errors, ...) escape as
+    exceptions. *)
 
 val run_result :
   ?budget:Kaskade_util.Budget.t ->
   t ->
   Kaskade_query.Ast.t ->
   (Kaskade_exec.Executor.result * run_target, Error.t) result
-(** {!run} with every governed failure mode as a typed value: budget
-    exhaustion, semantic/planning errors, refresh failures escaping a
-    non-degradable path. Truly unexpected exceptions still
-    propagate (see {!Error.of_exn}). *)
+[@@deprecated "use Kaskade.query"]
+(** @deprecated Exactly {!query}[ ~target:Auto]. *)
 
 (** {1 EXPLAIN / PROFILE}
 
@@ -338,7 +408,9 @@ val report_json : report -> Kaskade_obs.Report.json
 
 val run_raw :
   ?budget:Kaskade_util.Budget.t -> t -> Kaskade_query.Ast.t -> Kaskade_exec.Executor.result
-(** Always evaluate on the (current) base graph. *)
+[@@deprecated "use Kaskade.query ~target:Base"]
+(** @deprecated The raising form of {!query}[ ~target:Base]: always
+    evaluate on the (current) base graph. *)
 
 val run_on_view :
   ?budget:Kaskade_util.Budget.t ->
@@ -346,10 +418,11 @@ val run_on_view :
   string ->
   Kaskade_query.Ast.t ->
   Kaskade_exec.Executor.result
-(** Evaluate a (already rewritten) query on a named materialized view.
+[@@deprecated "use Kaskade.query ~target:(View name)"]
+(** @deprecated The raising form of {!query}[ ~target:(View name)].
     Raises [Not_found] for unknown views; a stale view is repaired
     first under [auto_refresh] and refused ([Invalid_argument])
-    otherwise. Unlike {!run} there is no base-graph fallback, so a
+    otherwise. Unlike [run] there is no base-graph fallback, so a
     failed or breaker-blocked repair raises {!Error.Refresh_error}. *)
 
 (** {1 Workload advisor}

@@ -342,6 +342,7 @@ module Overlay = struct
     out_adj : (int, Int_vec.t) Hashtbl.t;  (* vertex -> pending edge indexes *)
     in_adj : (int, Int_vec.t) Hashtbl.t;
     deleted : (int, unit) Hashtbl.t;  (* tombstoned base eids *)
+    pins : (int, int ref) Hashtbl.t;  (* version -> live pin count *)
   }
 
   let create base =
@@ -357,6 +358,7 @@ module Overlay = struct
       out_adj = Hashtbl.create 16;
       in_adj = Hashtbl.create 16;
       deleted = Hashtbl.create 16;
+      pins = Hashtbl.create 16;
     }
 
   let base o = o.base
@@ -606,4 +608,33 @@ module Overlay = struct
       true
     end
     else false
+
+  (* Pinning captures the frozen snapshot of the current version.
+     Frozen graphs are immutable — [apply]/[compact] build new ones and
+     never touch graphs already handed out — so a pinned graph stays
+     valid for as long as the caller keeps it, whatever the writer does
+     next. The refcount table only serves observability (how many
+     sessions still read which version); callers must serialize
+     pin/unpin against mutation externally, e.g. under the serve-layer
+     manager lock, because [graph o] fills the snapshot cache. *)
+  let pin o =
+    let g = graph o in
+    let v = o.version in
+    (match Hashtbl.find_opt o.pins v with
+    | Some r -> Stdlib.incr r
+    | None -> Hashtbl.add o.pins v (ref 1));
+    (v, g)
+
+  let unpin o v =
+    match Hashtbl.find_opt o.pins v with
+    | None -> invalid_arg "Overlay.unpin: version not pinned"
+    | Some r ->
+      Stdlib.decr r;
+      if !r <= 0 then Hashtbl.remove o.pins v
+
+  let pin_count o = Hashtbl.fold (fun _ r acc -> acc + !r) o.pins 0
+
+  let pinned_versions o =
+    Hashtbl.fold (fun v r acc -> (v, !r) :: acc) o.pins []
+    |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
 end

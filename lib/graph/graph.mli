@@ -253,4 +253,29 @@ module Overlay : sig
 
   val maybe_compact : ?threshold:float -> t -> bool
   (** {!compact} iff {!needs_compact}; [true] when it ran. *)
+
+  (** {2 Snapshot pinning}
+
+      MVCC support for the serving layer ({!Kaskade_serve.Session}):
+      a pin captures [(version, graph t)] and bumps a per-version
+      refcount. Frozen graphs are immutable — later mutations and even
+      {!compact} build {e new} graphs — so a pinned snapshot stays
+      valid until the holder drops it; the refcount exists for
+      observability (which versions are still being read), not for
+      lifetime management (the GC handles that). Pin/unpin are not
+      thread-safe on their own: serialize them against mutation under
+      an external lock, as [pin] may fill the snapshot cache. *)
+
+  val pin : t -> int * graph
+  (** Pin the current version; returns [(version, snapshot)]. *)
+
+  val unpin : t -> int -> unit
+  (** Drop one pin of [version]. Raises [Invalid_argument] when that
+      version has no live pin. *)
+
+  val pin_count : t -> int
+  (** Total live pins across all versions. *)
+
+  val pinned_versions : t -> (int * int) list
+  (** [(version, refcount)] pairs, ascending by version. *)
 end

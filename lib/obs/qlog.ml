@@ -18,6 +18,8 @@ type record = {
   seconds : float;
   budget : string option;
   operators : op_row list;
+  session : string option;
+  queue_wait_s : float option;
 }
 
 (* FNV-1a over Int64 — OCaml's native int is 63-bit, so the 64-bit
@@ -170,7 +172,7 @@ let append r =
   if notify then (match !notifier with Some (_, f) -> f (summary ()) | None -> ());
   stored
 
-let add ?budget ?plan ~query ~outcome ~rows ~seconds () =
+let add ?budget ?plan ?session ?queue_wait_s ~query ~outcome ~rows ~seconds () =
   let plan_fingerprint, operators =
     match plan with None -> ("", []) | Some p -> (fingerprint p, ops_of_plan p)
   in
@@ -183,7 +185,9 @@ let add ?budget ?plan ~query ~outcome ~rows ~seconds () =
       rows;
       seconds;
       budget;
-      operators }
+      operators;
+      session;
+      queue_wait_s }
 
 (* ---- JSON ---- *)
 
@@ -213,6 +217,8 @@ let record_to_json (r : record) =
     @ [ ("rows", Report.Int r.rows);
         ("seconds", Report.Float r.seconds);
         ("budget", opt (fun s -> Report.Str s) r.budget);
+        ("session", opt (fun s -> Report.Str s) r.session);
+        ("queue_wait_s", opt (fun f -> Report.Float f) r.queue_wait_s);
         ("operators", Report.List (List.map op_row_to_json r.operators)) ])
 
 let str_field k j = match Report.member k j with Some (Report.Str s) -> Some s | _ -> None
@@ -275,7 +281,9 @@ let record_of_json j =
       rows = Option.value ~default:0 (int_field "rows" j);
       seconds = Option.value ~default:0.0 (float_field "seconds" j);
       budget = str_field "budget" j;
-      operators }
+      operators;
+      session = str_field "session" j;
+      queue_wait_s = float_field "queue_wait_s" j }
 
 let to_jsonl () =
   let b = Buffer.create 1024 in

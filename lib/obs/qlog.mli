@@ -42,6 +42,8 @@ type record = {
   seconds : float;  (** Wall time on the monotonic clock. *)
   budget : string option;  (** Rendered budget spend, when the run carried a budget. *)
   operators : op_row list;
+  session : string option;  (** Serving-layer session id, when the query came through {!Kaskade_serve}. *)
+  queue_wait_s : float option;  (** Admission-queue wait before execution started. *)
 }
 
 val hash_query : string -> string
@@ -77,6 +79,8 @@ val records : unit -> record list
 val add :
   ?budget:string ->
   ?plan:Explain.node ->
+  ?session:string ->
+  ?queue_wait_s:float ->
   query:string ->
   outcome:outcome ->
   rows:int ->

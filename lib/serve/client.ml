@@ -1,0 +1,33 @@
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let is_terminal line =
+  match Wire.fields line with Some _ -> true | None -> false
+
+let request t line =
+  output_string t.oc line;
+  output_char t.oc '\n';
+  flush t.oc;
+  let rec read acc =
+    let line = input_line t.ic in
+    if is_terminal line then List.rev (line :: acc) else read (line :: acc)
+  in
+  read []
+
+let status = function
+  | [] -> invalid_arg "Client.status: empty response"
+  | lines -> (
+    match Wire.fields (List.nth lines (List.length lines - 1)) with
+    | Some kvs -> kvs
+    | None -> invalid_arg "Client.status: response has no terminal OK/ERR line")
+
+let close t =
+  (try close_out_noerr t.oc with _ -> ());
+  try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,230 @@
+module Budget = Kaskade_util.Budget
+module Error = Kaskade.Error
+
+let log_src = Logs.Src.create "kaskade.serve" ~doc:"Kaskade serving layer"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type t = {
+  mgr : Session.manager;
+  fd : Unix.file_descr;
+  socket_path : string;
+  deadline_s : float option;
+  stop : bool Atomic.t;
+  mutable handlers : Thread.t list;  (* guarded by [hlock] *)
+  hlock : Mutex.t;
+}
+
+let manager t = t.mgr
+
+let create ?max_sessions ?max_inflight ?max_queue ?deadline_s ?mode ~socket ks =
+  (* A dropped peer must be an [EPIPE] error on write, not a fatal
+     SIGPIPE. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  if Sys.file_exists socket then Unix.unlink socket;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX socket);
+  Unix.listen fd 64;
+  {
+    mgr = Session.create_manager ?max_sessions ?max_inflight ?max_queue ?mode ks;
+    fd;
+    socket_path = socket;
+    deadline_s;
+    stop = Atomic.make false;
+    handlers = [];
+    hlock = Mutex.create ();
+  }
+
+let shutdown t =
+  if not (Atomic.exchange t.stop true) then begin
+    (* [shutdown] (not just [close]) on the listening socket: closing
+       an fd another thread is blocked in [accept] on does NOT wake
+       that thread on Linux — the accept loop would sleep forever and
+       [run] would never join. Shutting the socket down first fails
+       the blocked [accept] with EINVAL, which the loop reads as the
+       stop signal. *)
+    (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let respond oc line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc
+
+let stats_line mgr =
+  let pinned =
+    Session.pinned_versions mgr
+    |> List.map (fun (v, n) -> Printf.sprintf "%d:%d" v n)
+    |> String.concat ","
+  in
+  Wire.ok
+    [
+      ("sessions", string_of_int (Session.sessions_active mgr));
+      ("queue_depth", string_of_int (Session.queue_depth mgr));
+      ("shed", string_of_int (Session.shed_total mgr));
+      ("version", string_of_int (Kaskade.version (Session.kaskade mgr)));
+      ("pinned", pinned);
+    ]
+
+(* One request -> one response (plus row lines for [ROWS]). Returns
+   [`Continue], [`Close] (connection done) or [`Shutdown]. *)
+let handle_request t ~session oc line =
+  match Wire.parse_request line with
+  | Result.Error reason ->
+    respond oc (Wire.err_msg ~label:"proto" reason);
+    `Continue
+  | Result.Ok req -> begin
+    let with_session f =
+      match !session with
+      | Some s -> f s
+      | None -> respond oc (Wire.err_msg ~label:"proto" "no session: send OPEN first")
+    in
+    let query ~stream qtext =
+      with_session (fun s ->
+          let budget = Option.map (fun d -> Budget.create ~deadline_s:d ()) t.deadline_s in
+          let t0 = Kaskade_obs.Trace.now_s () in
+          match
+            Result.bind (Kaskade.parse_result qtext) (fun q -> Session.run ?budget s q)
+          with
+          | Result.Error e -> respond oc (Wire.err e)
+          | Result.Ok result ->
+            let rendered = Wire.render_result (Session.pinned_graph s) result in
+            if stream then
+              String.split_on_char '\n' rendered
+              |> List.iter (fun row -> if row <> "" then respond oc ("| " ^ row));
+            let rows =
+              match result with
+              | Kaskade_exec.Executor.Table tbl -> Kaskade_exec.Row.n_rows tbl
+              | Kaskade_exec.Executor.Affected n -> n
+            in
+            respond oc
+              (Wire.ok
+                 [
+                   ("rows", string_of_int rows);
+                   ("checksum", Wire.checksum rendered);
+                   ("version", string_of_int (Session.pinned_version s));
+                   ("seconds", Printf.sprintf "%.6f" (Kaskade_obs.Trace.now_s () -. t0));
+                 ]))
+    in
+    match req with
+    | Wire.Ping ->
+      respond oc (Wire.ok [ ("pong", "1") ]);
+      `Continue
+    | Wire.Open -> begin
+      match !session with
+      | Some s ->
+        respond oc (Wire.err_msg ~label:"proto" ("session " ^ Session.id s ^ " already open"));
+        `Continue
+      | None -> begin
+        match Session.open_ t.mgr with
+        | Result.Error e ->
+          respond oc (Wire.err e);
+          `Continue
+        | Result.Ok s ->
+          session := Some s;
+          respond oc
+            (Wire.ok
+               [
+                 ("session", Session.id s);
+                 ("version", string_of_int (Session.pinned_version s));
+               ]);
+          `Continue
+      end
+    end
+    | Wire.Query q ->
+      query ~stream:false q;
+      `Continue
+    | Wire.Query_rows q ->
+      query ~stream:true q;
+      `Continue
+    | Wire.Repin ->
+      with_session (fun s ->
+          respond oc (Wire.ok [ ("version", string_of_int (Session.repin s)) ]));
+      `Continue
+    | Wire.Update ops -> begin
+      match Session.submit t.mgr ops with
+      | Result.Error e ->
+        respond oc (Wire.err e);
+        `Continue
+      | Result.Ok (applied, version) ->
+        respond oc
+          (Wire.ok
+             [ ("applied", string_of_int applied); ("version", string_of_int version) ]);
+        `Continue
+    end
+    | Wire.Stats ->
+      respond oc (stats_line t.mgr);
+      `Continue
+    | Wire.Close -> begin
+      match !session with
+      | Some s ->
+        Session.close s;
+        session := None;
+        respond oc (Wire.ok [ ("closed", Session.id s) ]);
+        `Continue
+      | None ->
+        respond oc (Wire.err_msg ~label:"proto" "no session open");
+        `Continue
+    end
+    | Wire.Shutdown ->
+      respond oc (Wire.ok [ ("bye", "1") ]);
+      `Shutdown
+  end
+
+let handle_connection t conn =
+  let ic = Unix.in_channel_of_descr conn in
+  let oc = Unix.out_channel_of_descr conn in
+  let session = ref None in
+  let rec loop () =
+    match input_line ic with
+    | exception (End_of_file | Sys_error _ | Unix.Unix_error _) -> ()
+    | line -> begin
+      match handle_request t ~session oc line with
+      | `Continue -> loop ()
+      | `Close -> ()
+      | `Shutdown -> shutdown t
+      | exception (Sys_error _ | Unix.Unix_error _) ->
+        (* Peer vanished mid-response; drop the connection, keep the
+           server. *)
+        ()
+    end
+  in
+  loop ();
+  (match !session with Some s -> Session.close s | None -> ());
+  try Unix.close conn with Unix.Unix_error _ -> ()
+
+let run t =
+  let rec accept_loop () =
+    if not (Atomic.get t.stop) then begin
+      match Unix.accept t.fd with
+      | conn, _ ->
+        let th = Thread.create (fun () -> handle_connection t conn) () in
+        Mutex.lock t.hlock;
+        t.handlers <- th :: t.handlers;
+        Mutex.unlock t.hlock;
+        accept_loop ()
+      | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+        (* [shutdown] closed the listening fd under us. *)
+        ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      | exception Unix.Unix_error (e, _, _) ->
+        Log.warn (fun k -> k "accept failed: %s" (Unix.error_message e));
+        if not (Atomic.get t.stop) then accept_loop ()
+    end
+  in
+  accept_loop ();
+  shutdown t;
+  (* Drain live handlers so sessions close and the socket file can be
+     removed without racing a response in flight. *)
+  let handlers =
+    Mutex.lock t.hlock;
+    let hs = t.handlers in
+    Mutex.unlock t.hlock;
+    hs
+  in
+  List.iter (fun th -> try Thread.join th with _ -> ()) handlers;
+  if Sys.file_exists t.socket_path then try Unix.unlink t.socket_path with Unix.Unix_error _ -> ()
+
+let serve ?max_sessions ?max_inflight ?max_queue ?deadline_s ?mode ~socket ks =
+  run (create ?max_sessions ?max_inflight ?max_queue ?deadline_s ?mode ~socket ks)

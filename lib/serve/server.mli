@@ -1,0 +1,49 @@
+(** Line-protocol front-end over a Unix domain socket: one systhread
+    per connection, one {!Session.t} per connection (opened by the
+    [OPEN] verb), all connections sharing one {!Session.manager} —
+    so admission control and writer serialization are global to the
+    server, not per client.
+
+    Failure containment: every per-connection failure — protocol
+    violations, query errors, [Unix.Unix_error] from a dropped peer —
+    is answered as an [ERR] line or ends that connection only; the
+    accept loop survives anything but {!shutdown}. *)
+
+type t
+
+val create :
+  ?max_sessions:int ->
+  ?max_inflight:int ->
+  ?max_queue:int ->
+  ?deadline_s:float ->
+  ?mode:Kaskade_exec.Executor.mode ->
+  socket:string ->
+  Kaskade.t ->
+  t
+(** Bind and listen on [socket] (an existing socket file is
+    unlinked). [deadline_s], when given, attaches a fresh
+    [Budget.create ~deadline_s] to every [Q]/[ROWS] request — the
+    per-request deadline budget of the admission controller.
+    Capacity knobs are {!Session.create_manager}'s. Raises
+    [Unix.Unix_error] when binding fails (bad path, permissions). *)
+
+val run : t -> unit
+(** Accept loop; blocks until a client sends [SHUTDOWN] or
+    {!shutdown} is called, then waits for open connection handlers to
+    drain and removes the socket file. *)
+
+val shutdown : t -> unit
+(** Ask a running {!run} to stop (thread-safe, idempotent). *)
+
+val manager : t -> Session.manager
+
+val serve :
+  ?max_sessions:int ->
+  ?max_inflight:int ->
+  ?max_queue:int ->
+  ?deadline_s:float ->
+  ?mode:Kaskade_exec.Executor.mode ->
+  socket:string ->
+  Kaskade.t ->
+  unit
+(** [create] + [run]. *)

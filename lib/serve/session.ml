@@ -1,0 +1,249 @@
+module Graph = Kaskade_graph.Graph
+module Executor = Kaskade_exec.Executor
+module Row = Kaskade_exec.Row
+module Budget = Kaskade_util.Budget
+module Metrics = Kaskade_obs.Metrics
+module Qlog = Kaskade_obs.Qlog
+module Trace = Kaskade_obs.Trace
+module Error = Kaskade.Error
+
+let g_sessions_active =
+  Metrics.gauge ~help:"Live serving-layer sessions" "kaskade.sessions_active"
+
+let g_queue_depth =
+  Metrics.gauge ~help:"Requests waiting for an execution slot" "kaskade.queue_depth"
+
+let m_shed_requests =
+  Metrics.counter ~help:"Requests shed by admission control (Overloaded)"
+    "kaskade.shed_requests"
+
+let h_queue_wait_seconds =
+  Metrics.histogram ~help:"Admission-queue wait before execution (seconds)"
+    "kaskade.queue_wait_seconds"
+
+type manager = {
+  ks : Kaskade.t;
+  lock : Mutex.t;
+  cond : Condition.t;  (* signaled whenever an execution slot frees *)
+  max_sessions : int;
+  max_inflight : int;
+  max_queue : int;
+  mode : Executor.mode;
+  mutable inflight : int;
+  mutable queued : int;
+  mutable shed : int;
+  mutable next_id : int;
+  sessions : (string, t) Hashtbl.t;
+}
+
+and t = {
+  sid : string;
+  mgr : manager;
+  mutable pinned : (int * Graph.t) option;  (* None after close *)
+  mutable ctx : Executor.ctx option;  (* lazy, rebuilt on repin *)
+}
+
+let create_manager ?(max_sessions = 64) ?(max_inflight = 4) ?(max_queue = 16)
+    ?(mode = Executor.Distinct_endpoints) ks =
+  {
+    ks;
+    lock = Mutex.create ();
+    cond = Condition.create ();
+    max_sessions = Stdlib.max 1 max_sessions;
+    max_inflight = Stdlib.max 1 max_inflight;
+    max_queue = Stdlib.max 0 max_queue;
+    mode;
+    inflight = 0;
+    queued = 0;
+    shed = 0;
+    next_id = 0;
+    sessions = Hashtbl.create 16;
+  }
+
+let locked mgr f =
+  Mutex.lock mgr.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mgr.lock) f
+
+let kaskade mgr = mgr.ks
+let sessions_active mgr = locked mgr (fun () -> Hashtbl.length mgr.sessions)
+let queue_depth mgr = locked mgr (fun () -> mgr.queued)
+let shed_total mgr = locked mgr (fun () -> mgr.shed)
+let pinned_versions mgr = locked mgr (fun () -> Graph.Overlay.pinned_versions (Kaskade.overlay mgr.ks))
+
+let shed_unlocked mgr ~resource ~capacity ~in_use =
+  mgr.shed <- mgr.shed + 1;
+  Metrics.incr m_shed_requests;
+  Error.Overloaded { resource; capacity; in_use }
+
+let open_ mgr =
+  locked mgr (fun () ->
+      let live = Hashtbl.length mgr.sessions in
+      if live >= mgr.max_sessions then
+        Result.Error (shed_unlocked mgr ~resource:"sessions" ~capacity:mgr.max_sessions ~in_use:live)
+      else begin
+        mgr.next_id <- mgr.next_id + 1;
+        let sid = Printf.sprintf "s%d" mgr.next_id in
+        let pinned = Graph.Overlay.pin (Kaskade.overlay mgr.ks) in
+        let s = { sid; mgr; pinned = Some pinned; ctx = None } in
+        Hashtbl.add mgr.sessions sid s;
+        Metrics.set_gauge g_sessions_active (float_of_int (Hashtbl.length mgr.sessions));
+        Ok s
+      end)
+
+let id s = s.sid
+
+let pinned s =
+  match s.pinned with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Session: %s is closed" s.sid)
+
+let pinned_version s = fst (pinned s)
+let pinned_graph s = snd (pinned s)
+
+(* Per-session executor context over the pinned frozen graph. No pool:
+   a session context never spawns worker domains, so any number of
+   sessions can execute concurrently without sharing mutable state.
+   [planner:true] matches the facade's contexts, keeping session
+   results byte-identical to a serial [Kaskade.query ~target:Base] at
+   the same version. *)
+let ctx s =
+  match s.ctx with
+  | Some c -> c
+  | None ->
+    let c = Executor.create ~mode:s.mgr.mode ~planner:true (pinned_graph s) in
+    s.ctx <- Some c;
+    c
+
+let close s =
+  locked s.mgr (fun () ->
+      match s.pinned with
+      | None -> ()
+      | Some (v, _) ->
+        Graph.Overlay.unpin (Kaskade.overlay s.mgr.ks) v;
+        s.pinned <- None;
+        s.ctx <- None;
+        Hashtbl.remove s.mgr.sessions s.sid;
+        Metrics.set_gauge g_sessions_active (float_of_int (Hashtbl.length s.mgr.sessions)))
+
+let repin s =
+  locked s.mgr (fun () ->
+      let v, _ = pinned s in
+      let overlay = Kaskade.overlay s.mgr.ks in
+      if Graph.Overlay.version overlay = v then v
+      else begin
+        Graph.Overlay.unpin overlay v;
+        let pinned = Graph.Overlay.pin overlay in
+        s.pinned <- Some pinned;
+        s.ctx <- None;
+        fst pinned
+      end)
+
+(* Admission: take an execution slot, waiting in the bounded queue if
+   none is free. OCaml's [Condition] has no timed wait, so budgeted
+   (deadline-carrying) waits poll with a short sleep instead — the
+   unlock/sleep/relock loop costs microseconds per round and lets the
+   deadline fire while queued. Returns the queue wait in seconds. *)
+let admit ?budget mgr =
+  let deadline = Option.bind budget Budget.deadline_s in
+  Mutex.lock mgr.lock;
+  if mgr.inflight < mgr.max_inflight then begin
+    mgr.inflight <- mgr.inflight + 1;
+    Mutex.unlock mgr.lock;
+    Result.Ok 0.0
+  end
+  else if mgr.queued >= mgr.max_queue then begin
+    let e = shed_unlocked mgr ~resource:"queue" ~capacity:mgr.max_queue ~in_use:mgr.queued in
+    Mutex.unlock mgr.lock;
+    Result.Error e
+  end
+  else begin
+    let t0 = Trace.now_s () in
+    mgr.queued <- mgr.queued + 1;
+    Metrics.set_gauge g_queue_depth (float_of_int mgr.queued);
+    let leave_queue () =
+      mgr.queued <- mgr.queued - 1;
+      Metrics.set_gauge g_queue_depth (float_of_int mgr.queued)
+    in
+    let rec wait () =
+      if mgr.inflight < mgr.max_inflight then begin
+        leave_queue ();
+        mgr.inflight <- mgr.inflight + 1;
+        Mutex.unlock mgr.lock;
+        let dt = Trace.now_s () -. t0 in
+        Metrics.observe h_queue_wait_seconds dt;
+        Result.Ok dt
+      end
+      else
+        match deadline with
+        | Some d when Budget.elapsed_s (Option.get budget) >= d ->
+          leave_queue ();
+          Mutex.unlock mgr.lock;
+          Result.Error
+            (Error.Budget_exhausted
+               {
+                 stage = Budget.Execute;
+                 detail =
+                   Printf.sprintf "deadline of %.3fs expired after %.3fs in admission queue" d
+                     (Trace.now_s () -. t0);
+               })
+        | Some _ ->
+          Mutex.unlock mgr.lock;
+          Unix.sleepf 0.0005;
+          Mutex.lock mgr.lock;
+          wait ()
+        | None ->
+          Condition.wait mgr.cond mgr.lock;
+          wait ()
+    in
+    wait ()
+  end
+
+let release mgr =
+  Mutex.lock mgr.lock;
+  mgr.inflight <- mgr.inflight - 1;
+  Condition.broadcast mgr.cond;
+  Mutex.unlock mgr.lock
+
+let run ?budget s q =
+  match admit ?budget s.mgr with
+  | Result.Error e ->
+    ignore
+      (Qlog.add
+         ?budget:(Option.map Budget.describe budget)
+         ~session:s.sid ~query:(Kaskade_query.Pretty.to_string q)
+         ~outcome:(Qlog.Failed (Error.label e)) ~rows:0 ~seconds:0.0 ());
+    Result.Error e
+  | Result.Ok queue_wait_s ->
+    Fun.protect
+      ~finally:(fun () -> release s.mgr)
+      (fun () ->
+        let t0 = Trace.now_s () in
+        let log outcome rows =
+          ignore
+            (Qlog.add
+               ?budget:(Option.map Budget.describe budget)
+               ~session:s.sid ~queue_wait_s
+               ~query:(Kaskade_query.Pretty.to_string q)
+               ~outcome ~rows ~seconds:(Trace.now_s () -. t0) ())
+        in
+        match Error.guard (fun () -> Executor.run ?budget (ctx s) q) with
+        | Result.Ok result ->
+          let rows =
+            match result with Executor.Table tbl -> Row.n_rows tbl | Executor.Affected n -> n
+          in
+          log Qlog.Fallback rows;
+          Result.Ok result
+        | Result.Error e ->
+          log (Qlog.Failed (Error.label e)) 0;
+          Result.Error e)
+
+let submit mgr ops =
+  locked mgr (fun () ->
+      Error.guard (fun () ->
+          (* [Update.batch] discards the effective-op list; every
+             effective op bumps the overlay version (compaction does
+             not), so the version delta is the effective count. *)
+          let v0 = Graph.Overlay.version (Kaskade.overlay mgr.ks) in
+          Kaskade.Update.batch ops mgr.ks;
+          let v1 = Graph.Overlay.version (Kaskade.overlay mgr.ks) in
+          (v1 - v0, v1)))

@@ -1,0 +1,118 @@
+module Graph = Kaskade_graph.Graph
+module Executor = Kaskade_exec.Executor
+module Row = Kaskade_exec.Row
+module Qlog = Kaskade_obs.Qlog
+
+type request =
+  | Ping
+  | Open
+  | Query of string
+  | Query_rows of string
+  | Repin
+  | Update of Kaskade.Update.op list
+  | Stats
+  | Close
+  | Shutdown
+
+let parse_op spec =
+  match String.split_on_char ':' spec with
+  | [ "insert-vertex"; vtype ] -> Ok (Kaskade.Update.Insert_vertex { vtype; props = [] })
+  | [ "insert-edge"; src; dst; etype ] -> begin
+    match (int_of_string_opt src, int_of_string_opt dst) with
+    | Some src, Some dst -> Ok (Kaskade.Update.Insert_edge { src; dst; etype; props = [] })
+    | _ -> Error (Printf.sprintf "bad endpoint in %S (want insert-edge:SRC:DST:ETYPE)" spec)
+  end
+  | [ "delete-edge"; src; dst; etype ] -> begin
+    match (int_of_string_opt src, int_of_string_opt dst) with
+    | Some src, Some dst -> Ok (Kaskade.Update.Delete_edge { src; dst; etype })
+    | _ -> Error (Printf.sprintf "bad endpoint in %S (want delete-edge:SRC:DST:ETYPE)" spec)
+  end
+  | _ ->
+    Error
+      (Printf.sprintf
+         "bad op %S (want insert-vertex:TYPE, insert-edge:SRC:DST:ETYPE, or \
+          delete-edge:SRC:DST:ETYPE)"
+         spec)
+
+let parse_ops specs =
+  List.fold_left
+    (fun acc spec ->
+      match (acc, parse_op (String.trim spec)) with
+      | Error e, _ -> Error e
+      | Ok ops, Ok op -> Ok (op :: ops)
+      | Ok _, Error e -> Error e)
+    (Ok [])
+    (List.filter (fun s -> String.trim s <> "") specs)
+  |> Result.map List.rev
+
+let parse_request line =
+  let line = String.trim line in
+  let verb, rest =
+    match String.index_opt line ' ' with
+    | None -> (line, "")
+    | Some i ->
+      (String.sub line 0 i, String.trim (String.sub line (i + 1) (String.length line - i - 1)))
+  in
+  match (verb, rest) with
+  | "PING", _ -> Ok Ping
+  | "OPEN", _ -> Ok Open
+  | "Q", "" -> Error "Q needs a query"
+  | "Q", q -> Ok (Query q)
+  | "ROWS", "" -> Error "ROWS needs a query"
+  | "ROWS", q -> Ok (Query_rows q)
+  | "REPIN", _ -> Ok Repin
+  | "UPDATE", "" -> Error "UPDATE needs at least one op"
+  | "UPDATE", specs -> Result.map (fun ops -> Update ops) (parse_ops (String.split_on_char ';' specs))
+  | "STATS", _ -> Ok Stats
+  | "CLOSE", _ -> Ok Close
+  | "SHUTDOWN", _ -> Ok Shutdown
+  | "", _ -> Error "empty request"
+  | v, _ -> Error (Printf.sprintf "unknown verb %S" v)
+
+let render_result g = function
+  | Executor.Table tbl -> Format.asprintf "%a" (Row.pp g) tbl
+  | Executor.Affected n -> Printf.sprintf "affected %d" n
+
+let checksum s = Qlog.hash_query s
+
+let one_line s = String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let ok kvs =
+  "OK " ^ String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ one_line v) kvs)
+
+let err_msg ~label msg = Printf.sprintf "ERR label=%s msg=%s" label (one_line msg)
+let err e = err_msg ~label:(Kaskade.Error.label e) (Kaskade.Error.to_string e)
+
+let fields line =
+  let status, rest =
+    if String.length line >= 3 && String.sub line 0 3 = "OK " then
+      (Some "ok", String.sub line 3 (String.length line - 3))
+    else if line = "OK" then (Some "ok", "")
+    else if String.length line >= 4 && String.sub line 0 4 = "ERR " then
+      (Some "err", String.sub line 4 (String.length line - 4))
+    else (None, "")
+  in
+  match status with
+  | None -> None
+  | Some st ->
+    (* Keys and values are space-free except [msg], which runs to end
+       of line — so plain left-to-right splitting is unambiguous. *)
+    let rec go acc rest =
+      if String.trim rest = "" then List.rev acc
+      else
+        match String.index_opt rest '=' with
+        | None -> List.rev acc
+        | Some eq ->
+          let key = String.sub rest 0 eq in
+          let after = String.sub rest (eq + 1) (String.length rest - eq - 1) in
+          if key = "msg" then List.rev ((key, after) :: acc)
+          else begin
+            match String.index_opt after ' ' with
+            | None -> List.rev ((key, after) :: acc)
+            | Some sp ->
+              go
+                ((key, String.sub after 0 sp) :: acc)
+                (String.sub after (sp + 1) (String.length after - sp - 1))
+          end
+    in
+    Some (("_status", st) :: go [] rest)

@@ -2,6 +2,12 @@ open Kaskade_graph
 open Kaskade_views
 module K = Kaskade
 
+let qok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected facade error: %s" (K.Error.to_string e)
+
+let krun ks q = qok (K.query ks q)
+
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 let check_string = Alcotest.(check string)
@@ -454,7 +460,7 @@ let test_selection_query_weights () =
 
 let test_facade_end_to_end_equivalence () =
   let g = prov_graph () in
-  let ks = K.create g in
+  let ks = K.make g in
   let sel = K.select_views ks ~queries:[ q1 ] ~budget_edges:2_000_000 in
   ignore (K.materialize_selected ks sel);
   (* Distinct (A, B) job-pair equivalence raw vs view-based. *)
@@ -474,8 +480,8 @@ let test_facade_end_to_end_equivalence () =
            | _ -> (-1, -1))
          t.Kaskade_exec.Row.rows)
   in
-  let raw = Kaskade_exec.Executor.table_exn (K.run_raw ks pairs_query) in
-  let via, how = K.run ks pairs_query in
+  let raw = Kaskade_exec.Executor.table_exn (fst (qok (K.query ~target:K.Base ks pairs_query))) in
+  let via, how = krun ks pairs_query in
   let via = Kaskade_exec.Executor.table_exn via in
   (match how with
   | K.Via_view _ -> ()
@@ -509,13 +515,13 @@ let test_facade_end_to_end_equivalence () =
 
 let test_facade_run_raw_when_no_views () =
   let g = prov_graph () in
-  let ks = K.create g in
-  let _, how = K.run ks q1 in
+  let ks = K.make g in
+  let _, how = krun ks q1 in
   check_bool "raw" true (how = K.Raw)
 
 let test_facade_materialize_idempotent () =
   let g = prov_graph () in
-  let ks = K.create g in
+  let ks = K.make g in
   let a = K.materialize ks conn2 in
   let b = K.materialize ks conn2 in
   check_int "same entry" a.Catalog.size_edges b.Catalog.size_edges;
@@ -523,7 +529,7 @@ let test_facade_materialize_idempotent () =
 
 let test_facade_q7_q8_pipeline_on_view () =
   let g = prov_graph () in
-  let ks = K.create g in
+  let ks = K.make g in
   ignore (K.materialize ks conn2);
   let ctx = K.view_ctx ks "JOB_TO_JOB_2HOP" in
   (match Kaskade_exec.Executor.run_string ctx "CALL algo.labelPropagation(5)" with
@@ -537,18 +543,17 @@ let test_facade_q7_q8_pipeline_on_view () =
 
 let test_facade_enumerate_via_facade () =
   let g = prov_graph () in
-  let ks = K.create g in
+  let ks = K.make g in
   let e = K.enumerate_views ks q1 in
   check_bool "candidates found" true (List.length e.K.Enumerate.candidates >= 5)
 
 let test_facade_run_on_view_unknown () =
   let g = prov_graph () in
-  let ks = K.create g in
-  check_bool "not found" true
-    (try
-       ignore (K.run_on_view ks "NOPE" q1);
-       false
-     with Not_found -> true)
+  let ks = K.make g in
+  check_bool "not found is a typed planning error" true
+    (match K.query ~target:(K.View "NOPE") ks q1 with
+    | Error (K.Error.Plan _) -> true
+    | _ -> false)
 
 
 (* ------------------------------------------------------------------ *)
@@ -561,13 +566,13 @@ let pc_counter name = Kaskade_obs.Metrics.(counter_value (counter name))
 
 let test_plan_cache_warms_and_serves_identical_results () =
   let g = prov_graph () in
-  let ks = K.create g in
+  let ks = K.make g in
   ignore (K.materialize ks conn2);
   check_bool "cold before any run" true (string_contains (pc_state ks q1) "cold");
   let hits0 = pc_counter "kaskade.plan_cache_hits" in
-  let r1, how1 = K.run ks q1 in
+  let r1, how1 = krun ks q1 in
   check_bool "warm after one run" true (string_contains (pc_state ks q1) "warm");
-  let r2, how2 = K.run ks q1 in
+  let r2, how2 = krun ks q1 in
   check_bool "hit counted" true (pc_counter "kaskade.plan_cache_hits" > hits0);
   check_bool "same routing warm as cold" true (how1 = how2);
   let rows r = (Kaskade_exec.Executor.table_exn r).Kaskade_exec.Row.rows in
@@ -575,8 +580,8 @@ let test_plan_cache_warms_and_serves_identical_results () =
 
 let test_plan_cache_invalidated_by_catalog_change () =
   let g = prov_graph () in
-  let ks = K.create g in
-  ignore (K.run ks q2);
+  let ks = K.make g in
+  ignore (krun ks q2);
   check_bool "warm" true (string_contains (pc_state ks q2) "warm");
   let inv0 = pc_counter "kaskade.plan_cache_invalidations" in
   ignore (K.materialize ks conn2);
@@ -584,21 +589,21 @@ let test_plan_cache_invalidated_by_catalog_change () =
   check_bool "invalidation counted" true
     (pc_counter "kaskade.plan_cache_invalidations" > inv0);
   (* The replanned run must see the new view, not the cached Raw route. *)
-  let _, how = K.run ks q1 in
+  let _, how = krun ks q1 in
   check_bool "replanned run routes via the new view" true
     (match how with K.Via_view _ -> true | K.Raw -> false)
 
 let test_plan_cache_invalidated_by_update_batch () =
   let g = prov_graph () in
-  let ks = K.create g in
-  ignore (K.run ks q2);
+  let ks = K.make g in
+  ignore (krun ks q2);
   check_bool "warm" true (string_contains (pc_state ks q2) "warm");
   K.Update.batch
     [ K.Update.Insert_vertex { vtype = "Job"; props = [ ("name", Value.Str "late-job") ] } ]
     ks;
   check_bool "cold after an update batch" true (string_contains (pc_state ks q2) "cold");
   (* A no-op batch (failed delete) leaves the cache warm. *)
-  ignore (K.run ks q2);
+  ignore (krun ks q2);
   K.Update.batch [ K.Update.Delete_edge { src = 0; dst = 0; etype = "WRITES_TO" } ] ks;
   check_bool "no-op batch keeps the cache warm" true
     (string_contains (pc_state ks q2) "warm")
@@ -611,24 +616,24 @@ let test_plan_cache_entries_gauge () =
      two instances live at once. *)
   let gauge_v name = Kaskade_obs.Metrics.(gauge_value (gauge name)) in
   let g = prov_graph () in
-  let ks = K.create g in
-  let other = K.create g in
-  ignore (K.run ks q1);
+  let ks = K.make g in
+  let other = K.make g in
+  ignore (krun ks q1);
   check_bool "entries gauge > 0 after a warm run" true
     (gauge_v "kaskade.plan_cache_entries" > 0.0);
   (* A run on the sibling (its own cache cold, nothing to invalidate)
      must not clobber the gauge back to zero. *)
-  ignore (K.run other q2);
+  ignore (krun other q2);
   check_bool "sibling's cold run keeps the gauge positive" true
     (gauge_v "kaskade.plan_cache_entries" > 0.0)
 
 let test_plan_cache_disabled () =
   let g = prov_graph () in
-  let ks = K.create ~plan_cache:false g in
+  let ks = K.make ~config:{ K.Config.default with plan_cache = false } g in
   check_string "explain reports no cache" "disabled" (pc_state ks q2);
   let hits0 = pc_counter "kaskade.plan_cache_hits" in
-  ignore (K.run ks q2);
-  ignore (K.run ks q2);
+  ignore (krun ks q2);
+  ignore (krun ks q2);
   check_bool "no hits when disabled" true (pc_counter "kaskade.plan_cache_hits" = hits0);
   check_string "still no cache after runs" "disabled" (pc_state ks q2)
 

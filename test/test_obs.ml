@@ -14,6 +14,16 @@ module Planner = Kaskade_exec.Planner
 module Row = Kaskade_exec.Row
 module Pool = Kaskade_util.Pool
 
+
+(* All tests drive the post-redesign facade API: [Kaskade.make] +
+   [Kaskade.query] (the deprecated wrappers are compile errors in-tree;
+   test_serve.ml keeps one compat case for them). *)
+let qok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected facade error: %s" (Kaskade.Error.to_string e)
+
+let krun ks q = qok (Kaskade.query ks q)
+
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 let check_string = Alcotest.(check string)
@@ -198,11 +208,11 @@ let test_profile_identical_results () =
 
 let test_kaskade_profile_identity () =
   let g = Lazy.force prov in
-  let ks = Kaskade.create g in
+  let ks = Kaskade.make g in
   let q = Kaskade.parse "MATCH (a:Job)-[r*1..4]->(b:Job) RETURN a, b" in
   let sel = Kaskade.select_views ks ~queries:[ q ] ~budget_edges:(10 * Graph.n_edges g) in
   ignore (Kaskade.materialize_selected ks sel);
-  let r1, how1 = Kaskade.run ks q in
+  let r1, how1 = krun ks q in
   let r2, report = Kaskade.profile ks q in
   check_bool "same rewrite decision" true (how1 = report.Kaskade.target);
   check_bool "profile result identical to run" true
@@ -302,10 +312,10 @@ let test_qlog_jsonl_roundtrip () =
 
 let test_qlog_facade_appends () =
   let g = Lazy.force prov in
-  let ks = Kaskade.create g in
+  let ks = Kaskade.make g in
   Qlog.clear ();
   let q = Kaskade.parse "MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j, f" in
-  let r, how = Kaskade.run ks q in
+  let r, how = krun ks q in
   check_bool "no views yet -> raw" true (how = Kaskade.Raw);
   (match Qlog.records () with
   | [ rec1 ] ->
@@ -315,10 +325,10 @@ let test_qlog_facade_appends () =
     check_bool "canonical text re-parses" true
       (match Kaskade.parse_result rec1.Qlog.query with Ok _ -> true | Error _ -> false)
   | rs -> Alcotest.fail (Printf.sprintf "expected 1 logged record, got %d" (List.length rs)));
-  (* Failures land in the log too (via run_result). *)
+  (* Failures land in the log too (typed, via [query]). *)
   let before = Qlog.length () in
   (match
-     Kaskade.run_result ~budget:(Kaskade_util.Budget.create ~max_steps:1 ()) ks
+     Kaskade.query ~budget:(Kaskade_util.Budget.create ~max_steps:1 ()) ks
        (Kaskade.parse "MATCH (a:Job)-[r*1..4]->(b:Job) RETURN a, b")
    with
   | Ok _ -> Alcotest.fail "expected budget exhaustion"
@@ -540,14 +550,14 @@ let chosen_names (sel : Kaskade.Selection.t) =
 
 let test_advisor_matches_static_selection () =
   let g = Lazy.force prov in
-  let ks = Kaskade.create g in
+  let ks = Kaskade.make g in
   let budget = 10 * Graph.n_edges g in
   Qlog.clear ();
   List.iter
     (fun (src, freq) ->
       let q = Kaskade.parse src in
       for _ = 1 to freq do
-        ignore (Kaskade.run ks q)
+        ignore (krun ks q)
       done)
     advisor_workload;
   check_int "every run logged" 6 (Qlog.length ());
@@ -580,13 +590,13 @@ let test_advisor_matches_static_selection () =
 
 let test_advisor_keep_after_materialization () =
   let g = Lazy.force prov in
-  let ks = Kaskade.create g in
+  let ks = Kaskade.make g in
   let budget = 10 * Graph.n_edges g in
   let queries = List.map (fun (src, _) -> Kaskade.parse src) advisor_workload in
   let sel = Kaskade.select_views ks ~queries ~budget_edges:budget in
   ignore (Kaskade.materialize_selected ks sel);
   Qlog.clear ();
-  List.iter (fun q -> ignore (Kaskade.run ks q)) queries;
+  List.iter (fun q -> ignore (krun ks q)) queries;
   (* At least one query must now route through a view and be logged so. *)
   let hits =
     List.filter (fun r -> match r.Qlog.outcome with Qlog.View_hit _ -> true | _ -> false)

@@ -1,5 +1,5 @@
 (* End-to-end resource governance and graceful degradation: typed
-   errors from [run_result] under deadlines/step/row caps and injected
+   errors from [query] under deadlines/step/row caps and injected
    faults, the refresh circuit breaker opening after N consecutive
    failures, quarantined views transparently bypassed in favour of the
    base graph (verified against view-free execution), and recovery
@@ -40,15 +40,21 @@ let rows_of = function
   | Executor.Table t -> List.sort compare (List.map Array.to_list t.Row.rows)
   | Executor.Affected n -> [ [ Row.Prim (Value.Int n) ] ]
 
+let qok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected facade error: %s" (Error.to_string e)
+
+let krun ks q = qok (K.query ks q)
+
 (* ------------------------------------------------------------------ *)
 (* Budgets: every cap surfaces as a typed value, never an exception    *)
 
 let test_budget_caps_typed () =
-  let ks = K.create (mid_dblp ()) in
+  let ks = K.make (mid_dblp ()) in
   let m_timeouts = Metrics.counter "kaskade.query_timeouts" in
   let timeouts0 = Metrics.counter_value m_timeouts in
   let expect_exhausted what budget =
-    match K.run_result ~budget ks coauthor_query with
+    match K.query ~budget ks coauthor_query with
     | Error (Error.Budget_exhausted _) -> ()
     | Ok _ -> Alcotest.failf "%s: expected exhaustion, query succeeded" what
     | Error e -> Alcotest.failf "%s: wrong error class: %s" what (Error.to_string e)
@@ -58,20 +64,20 @@ let test_budget_caps_typed () =
   expect_exhausted "1-row cap" (Budget.create ~max_rows:1 ());
   check_int "timeouts metered" (timeouts0 + 3) (Metrics.counter_value m_timeouts);
   (* a roomy budget changes nothing about the answer *)
-  match K.run_result ~budget:(Budget.create ~deadline_s:60.0 ~max_steps:50_000_000 ()) ks coauthor_query with
+  match K.query ~budget:(Budget.create ~deadline_s:60.0 ~max_steps:50_000_000 ()) ks coauthor_query with
   | Ok (_, K.Raw) -> ()
   | Ok (_, K.Via_view v) -> Alcotest.failf "no views materialized, yet answered via %s" v
   | Error e -> Alcotest.failf "roomy budget exhausted: %s" (Error.to_string e)
 
 let test_injected_timeout_typed () =
-  let ks = K.create (mid_dblp ()) in
+  let ks = K.make (mid_dblp ()) in
   Budget.Faults.with_spec "executor.run=timeout" (fun () ->
-      match K.run_result ks coauthor_query with
+      match K.query ks coauthor_query with
       | Error (Error.Budget_exhausted { stage = Budget.Execute; _ }) -> ()
       | Ok _ -> Alcotest.fail "injected timeout ignored"
       | Error e -> Alcotest.failf "wrong error: %s" (Error.to_string e));
   (* the fault is scoped: disarmed on exit *)
-  match K.run_result ks coauthor_query with
+  match K.query ks coauthor_query with
   | Ok _ -> ()
   | Error e -> Alcotest.failf "fault leaked out of with_spec: %s" (Error.to_string e)
 
@@ -79,7 +85,7 @@ let test_injected_timeout_typed () =
 (* Refresh failure on the explicit (raising) path                      *)
 
 let test_refresh_fault_explicit_path () =
-  let ks = K.create ~auto_refresh:false (mid_dblp ()) in
+  let ks = K.make ~config:{ K.Config.default with auto_refresh = false } (mid_dblp ()) in
   ignore (K.materialize ks khop);
   make_stale ks;
   Budget.Faults.with_spec "maintain.refresh=fail:n1" (fun () ->
@@ -103,7 +109,7 @@ let test_refresh_fault_explicit_path () =
   (match K.Update.refresh_views ks with
   | [ o ] -> check_string "refreshed" view_name o.K.refreshed_view
   | _ -> Alcotest.fail "expected one refresh outcome");
-  let _, how = K.run ks coauthor_query in
+  let _, how = krun ks coauthor_query in
   check_bool "view answers after repair" true (how = K.Via_view view_name);
   match K.breaker_states ks with
   | [] -> ()
@@ -113,15 +119,17 @@ let test_refresh_fault_explicit_path () =
 (* Breaker: open after N failures, quarantine, fallback, recovery      *)
 
 let test_breaker_quarantine_fallback_recovery () =
-  let ks = K.create ~breaker_threshold:2 ~breaker_cooldown_s:0.5 (mid_dblp ()) in
+  let ks = K.make
+      ~config:{ K.Config.default with breaker_threshold = 2; breaker_cooldown_s = 0.5 }
+      (mid_dblp ()) in
   ignore (K.materialize ks khop);
-  let _, how0 = K.run ks coauthor_query in
+  let _, how0 = krun ks coauthor_query in
   check_bool "fresh view answers" true (how0 = K.Via_view view_name);
   make_stale ks;
   (* a view-free twin over the identical post-update snapshot is the
      ground truth the degraded facade must agree with *)
-  let twin = K.create (K.graph ks) in
-  let expected = rows_of (fst (K.run twin coauthor_query)) in
+  let twin = K.make (K.graph ks) in
+  let expected = rows_of (fst (krun twin coauthor_query)) in
   let m_failures = Metrics.counter "kaskade.refresh_failures" in
   let m_open = Metrics.counter "kaskade.breaker_open" in
   let m_fallback = Metrics.counter "kaskade.fallback_runs" in
@@ -131,14 +139,14 @@ let test_breaker_quarantine_fallback_recovery () =
   Budget.Faults.(with_faults [ fault "maintain.refresh" Fail ]) (fun () ->
       (* failure 1: the auto-repair fails, the failure is swallowed,
          and the query degrades to a correct base-graph answer *)
-      let r1, how1 = K.run ks coauthor_query in
+      let r1, how1 = krun ks coauthor_query in
       check_bool "degraded to base" true (how1 = K.Raw);
       check_bool "degraded rows correct" true (rows_of r1 = expected);
       (match K.breaker_states ks with
       | [ (_, br) ] -> check_int "one failure recorded" 1 (Breaker.failures br)
       | _ -> Alcotest.fail "expected breaker history");
       (* failure 2 = threshold: the breaker opens *)
-      let _, how2 = K.run ks coauthor_query in
+      let _, how2 = krun ks coauthor_query in
       check_bool "still degraded" true (how2 = K.Raw);
       (match K.breaker_states ks with
       | [ (n, br) ] ->
@@ -150,7 +158,7 @@ let test_breaker_quarantine_fallback_recovery () =
       (* quarantined: the refresh is not even attempted (the fault is
          still armed and would have fired), the planner routes around
          the view, and the answer is still correct *)
-      let r3, how3 = K.run ks coauthor_query in
+      let r3, how3 = krun ks coauthor_query in
       check_bool "fallback while quarantined" true (how3 = K.Raw);
       check_bool "fallback rows correct" true (rows_of r3 = expected);
       (match K.breaker_states ks with
@@ -171,7 +179,7 @@ let test_breaker_quarantine_fallback_recovery () =
   (* cooldown elapses -> half-open probe; with the fault disarmed the
      probe refresh succeeds, the breaker closes, the view answers *)
   Unix.sleepf 0.55;
-  let _, how4 = K.run ks coauthor_query in
+  let _, how4 = krun ks coauthor_query in
   check_bool "view answers after recovery" true (how4 = K.Via_view view_name);
   match K.breaker_states ks with
   | [] -> ()

@@ -1,0 +1,311 @@
+(* The serving layer end to end: overlay snapshot pinning, the
+   session/MVCC property (concurrent pinned readers are byte-identical
+   to a serial run at their pinned version while a writer streams
+   batches), admission control sheds as typed [Overloaded], the wire
+   protocol round-trips, and the deprecated facade wrappers still
+   work for out-of-tree callers. *)
+
+open Kaskade_graph
+module K = Kaskade
+module Serve = Kaskade_serve
+module Session = Serve.Session
+module Wire = Serve.Wire
+module Executor = Kaskade_exec.Executor
+module Overlay = Graph.Overlay
+module Mutate = Kaskade_gen.Mutate
+module Budget = Kaskade_util.Budget
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let qok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected facade error: %s" (K.Error.to_string e)
+
+let prov () =
+  Kaskade_gen.Provenance_gen.(generate { default with jobs = 60; files = 120; seed = 11 })
+
+(* Serial reference: the same executor configuration a session uses. *)
+let serial_render g q =
+  let ctx = Executor.create ~mode:Executor.Distinct_endpoints ~planner:true g in
+  Wire.render_result g (Executor.run ctx q)
+
+(* ------------------------------------------------------------------ *)
+(* Overlay pinning                                                     *)
+
+let test_overlay_pin_unpin () =
+  let g = prov () in
+  let o = Overlay.create g in
+  check_int "nothing pinned" 0 (Overlay.pin_count o);
+  let v0, g0 = Overlay.pin o in
+  check_int "pins version 0" 0 v0;
+  check_bool "pin of a clean overlay is the base" true (g0 == g);
+  let v0', _ = Overlay.pin o in
+  check_int "same version" v0 v0';
+  Alcotest.(check (list (pair int int))) "two readers on v0" [ (0, 2) ]
+    (Overlay.pinned_versions o);
+  Overlay.insert_vertex o ~vtype:"File" () |> ignore;
+  let v1, g1 = Overlay.pin o in
+  check_int "new pin sees the new version" 1 v1;
+  check_bool "snapshots differ" true (Graph.n_vertices g1 = Graph.n_vertices g0 + 1);
+  Alcotest.(check (list (pair int int))) "both versions pinned" [ (0, 2); (1, 1) ]
+    (Overlay.pinned_versions o);
+  check_int "three pins total" 3 (Overlay.pin_count o);
+  Overlay.unpin o v0;
+  Overlay.unpin o v0;
+  Overlay.unpin o v1;
+  check_int "all released" 0 (Overlay.pin_count o);
+  check_bool "unpinning an unpinned version raises" true
+    (try Overlay.unpin o v0; false with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Error taxonomy                                                      *)
+
+let test_error_of_exn () =
+  (match K.Error.of_exn (Unix.Unix_error (Unix.EPIPE, "write", "")) with
+  | Some (K.Error.Io msg) -> check_bool "message names the syscall" true
+      (String.length msg > 0 && String.sub msg 0 5 = "write")
+  | other ->
+    Alcotest.failf "Unix_error not mapped to Io: %s"
+      (match other with Some e -> K.Error.to_string e | None -> "None"));
+  match K.Error.of_exn (K.Error.Overload { resource = "queue"; capacity = 4; in_use = 4 }) with
+  | Some (K.Error.Overloaded { resource = "queue"; capacity = 4; in_use = 4 } as e) ->
+    check_string "label" "overloaded" (K.Error.label e)
+  | _ -> Alcotest.fail "Overload exception not mapped to Overloaded"
+
+(* ------------------------------------------------------------------ *)
+(* Sessions: MVCC reads against a concurrent writer                    *)
+
+let mvcc_queries =
+  [ "MATCH (a:Job)-[:WRITES_TO]->(f:File) RETURN a, f";
+    "MATCH (u:User)-[:SUBMITTED]->(j:Job) RETURN u, j";
+    "SELECT COUNT(*) FROM (MATCH (a:Job)-[r*1..2]->(b:Job) RETURN a, b)" ]
+
+let test_mvcc_pinned_readers () =
+  let g = prov () in
+  let ks = K.make g in
+  let mgr = Session.create_manager ks in
+  let queries = List.map K.parse mvcc_queries in
+  (* Reference rendering at the version the readers will pin. *)
+  let reference = List.map (serial_render g) queries in
+  let readers = 3 and replays = 8 and batches = 30 in
+  let sessions = List.init readers (fun _ -> qok (Session.open_ mgr)) in
+  List.iter (fun s -> check_int "pinned at v0" 0 (Session.pinned_version s)) sessions;
+  let mismatches = Atomic.make 0 in
+  let reader s () =
+    for _ = 1 to replays do
+      List.iter2
+        (fun q expect ->
+          let rendered =
+            Wire.render_result (Session.pinned_graph s) (qok (Session.run s q))
+          in
+          if rendered <> expect then Atomic.incr mismatches)
+        queries reference
+    done
+  in
+  let domains = List.map (fun s -> Domain.spawn (reader s)) sessions in
+  (* Single writer: seeded random batches through the facade, each
+     atomic under the manager lock. Version must advance by exactly
+     the effective-op count every time — a torn batch would break the
+     arithmetic. *)
+  let version = ref 0 in
+  for i = 1 to batches do
+    let ops = Mutate.random_ops ~inserts:3 ~deletes:2 ~seed:(1000 + i) (K.graph ks) in
+    let effective, v = qok (Session.submit mgr ops) in
+    check_bool "batch had effect" true (effective > 0);
+    check_int "version advanced batch-atomically" (!version + effective) v;
+    version := v
+  done;
+  List.iter Domain.join domains;
+  check_int "pinned reads byte-identical to the serial run" 0 (Atomic.get mismatches);
+  (* Readers were invisible to the writer and vice versa: still pinned
+     at v0, while the overlay moved on. *)
+  Alcotest.(check (list (pair int int))) "all readers still on v0" [ (0, readers) ]
+    (Session.pinned_versions mgr);
+  check_bool "writer moved the overlay" true (K.version ks > 0);
+  (* Repin = read-your-writes: the session now sees the writer's graph. *)
+  let s0 = List.hd sessions in
+  check_int "repin lands on the current version" (K.version ks) (Session.repin s0);
+  let rendered_now = Wire.render_result (Session.pinned_graph s0) (qok (Session.run s0 (List.hd queries))) in
+  check_string "repinned read equals serial run on the current graph"
+    (serial_render (K.graph ks) (List.hd queries)) rendered_now;
+  List.iter Session.close sessions;
+  List.iter Session.close sessions;  (* close is idempotent *)
+  check_int "no sessions left" 0 (Session.sessions_active mgr);
+  Alcotest.(check (list (pair int int))) "no pins left" [] (Session.pinned_versions mgr)
+
+(* ------------------------------------------------------------------ *)
+(* Admission control                                                   *)
+
+let test_session_cap_sheds () =
+  let ks = K.make (prov ()) in
+  let mgr = Session.create_manager ~max_sessions:2 ks in
+  let s1 = qok (Session.open_ mgr) and s2 = qok (Session.open_ mgr) in
+  let shed0 = Session.shed_total mgr in
+  (match Session.open_ mgr with
+  | Error (K.Error.Overloaded { resource = "sessions"; capacity = 2; in_use = 2 }) -> ()
+  | Error e -> Alcotest.failf "wrong shed error: %s" (K.Error.to_string e)
+  | Ok _ -> Alcotest.fail "third session admitted above the cap");
+  check_int "shed counted" (shed0 + 1) (Session.shed_total mgr);
+  Session.close s1;
+  (* Capacity freed: admission recovers. *)
+  let s3 = qok (Session.open_ mgr) in
+  Session.close s2;
+  Session.close s3
+
+let test_queue_sheds_under_load () =
+  let ks = K.make (prov ()) in
+  (* One execution slot, no queue: any request arriving while another
+     executes must shed. A background session hammers a slow query;
+     the foreground one retries a cheap query until it gets shed. *)
+  let mgr = Session.create_manager ~max_inflight:1 ~max_queue:0 ks in
+  let slow_s = qok (Session.open_ mgr) and fast_s = qok (Session.open_ mgr) in
+  let slow_q = K.parse "MATCH (a:Job)-[r*1..4]->(b:Job) RETURN a, b" in
+  let fast_q = K.parse "MATCH (a:Job)-[:WRITES_TO]->(f:File) RETURN a, f" in
+  let stop = Atomic.make false in
+  let hammer =
+    Thread.create
+      (fun () -> while not (Atomic.get stop) do ignore (Session.run slow_s slow_q) done)
+      ()
+  in
+  let shed = ref None in
+  let attempts = ref 0 in
+  while !shed = None && !attempts < 2_000 do
+    incr attempts;
+    match Session.run fast_s fast_q with
+    | Error (K.Error.Overloaded _ as e) -> shed := Some e
+    | _ -> Thread.yield ()
+  done;
+  Atomic.set stop true;
+  Thread.join hammer;
+  (match !shed with
+  | Some (K.Error.Overloaded { resource; _ }) -> check_string "queue shed" "queue" resource
+  | _ -> Alcotest.fail "no request shed while the only slot was busy");
+  (* Load gone: the same request is admitted again. *)
+  ignore (qok (Session.run fast_s fast_q));
+  Session.close slow_s;
+  Session.close fast_s
+
+(* ------------------------------------------------------------------ *)
+(* Wire protocol                                                       *)
+
+let test_wire_parse_request () =
+  let ok = function Ok r -> r | Error e -> Alcotest.failf "parse failed: %s" e in
+  check_bool "ping" true (ok (Wire.parse_request "PING") = Wire.Ping);
+  check_bool "open" true (ok (Wire.parse_request "OPEN") = Wire.Open);
+  check_bool "query keeps spaces" true
+    (ok (Wire.parse_request "Q MATCH (a:Job) RETURN a") = Wire.Query "MATCH (a:Job) RETURN a");
+  check_bool "rows variant" true
+    (ok (Wire.parse_request "ROWS MATCH (a:Job) RETURN a") = Wire.Query_rows "MATCH (a:Job) RETURN a");
+  (match ok (Wire.parse_request "UPDATE insert-vertex:File;insert-edge:3:4:WRITES_TO;delete-edge:1:2:IS_READ_BY") with
+  | Wire.Update
+      [ K.Update.Insert_vertex { vtype = "File"; props = [] };
+        K.Update.Insert_edge { src = 3; dst = 4; etype = "WRITES_TO"; props = [] };
+        K.Update.Delete_edge { src = 1; dst = 2; etype = "IS_READ_BY" } ] -> ()
+  | _ -> Alcotest.fail "update ops misparsed");
+  check_bool "empty query rejected" true (Result.is_error (Wire.parse_request "Q"));
+  check_bool "unknown verb rejected" true (Result.is_error (Wire.parse_request "FROB x"));
+  check_bool "bad op rejected" true (Result.is_error (Wire.parse_request "UPDATE drop-table:x"))
+
+let test_wire_fields_roundtrip () =
+  let line = Wire.ok [ ("rows", "12"); ("checksum", "ab12"); ("version", "3") ] in
+  (match Wire.fields line with
+  | Some [ ("_status", "ok"); ("rows", "12"); ("checksum", "ab12"); ("version", "3") ] -> ()
+  | _ -> Alcotest.failf "ok fields misparsed: %s" line);
+  let e = K.Error.Overloaded { resource = "queue"; capacity = 4; in_use = 4 } in
+  (match Wire.fields (Wire.err e) with
+  | Some (("_status", "err") :: ("label", "overloaded") :: ("msg", msg) :: _) ->
+    check_string "message round-trips (with spaces)" (K.Error.to_string e) msg
+  | _ -> Alcotest.failf "err fields misparsed: %s" (Wire.err e));
+  check_bool "row lines are not fields" true (Wire.fields "| a -> b" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Server over a real socket                                           *)
+
+let test_server_socket_roundtrip () =
+  let ks = K.make (prov ()) in
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "kaskade-test-%d.sock" (Unix.getpid ()))
+  in
+  let server = Serve.Server.create ~max_sessions:4 ~socket ks in
+  let th = Thread.create (fun () -> Serve.Server.run server) () in
+  let c = Serve.Client.connect socket in
+  let req line = Serve.Client.status (Serve.Client.request c line) in
+  check_string "ping" "1" (List.assoc "pong" (req "PING"));
+  check_string "open pins v0" "0" (List.assoc "version" (req "OPEN"));
+  let q = List.hd mvcc_queries in
+  let kvs = req ("Q " ^ q) in
+  check_string "query ok" "ok" (List.assoc "_status" kvs);
+  check_string "checksum matches the serial run" (Wire.checksum (serial_render (K.graph ks) (K.parse q)))
+    (List.assoc "checksum" kvs);
+  (* ROWS streams the rendered table (prefixed lines), then the same
+     terminal line Q produces. *)
+  let lines = Serve.Client.request c ("ROWS " ^ q) in
+  let rows = List.filter (fun l -> String.length l >= 2 && String.sub l 0 2 = "| ") lines in
+  check_bool "row lines streamed" true (rows <> []);
+  check_string "ROWS checksum agrees with Q" (List.assoc "checksum" kvs)
+    (List.assoc "checksum" (Serve.Client.status lines));
+  let kvs = req "UPDATE insert-vertex:File" in
+  check_string "update applied" "1" (List.assoc "applied" kvs);
+  check_string "still reading the pinned snapshot" (List.assoc "checksum" (req ("Q " ^ q)))
+    (Wire.checksum (serial_render (K.graph ks) (K.parse q)));
+  check_string "bad query is a typed ERR" "err" (List.assoc "_status" (req "Q MATCH ("));
+  check_string "protocol violation labelled" "proto"
+    (List.assoc "label" (Serve.Client.status (Serve.Client.request c "FROB")));
+  check_string "stats sees the session" "1" (List.assoc "sessions" (req "STATS"));
+  check_string "close" "ok" (List.assoc "_status" (req "CLOSE"));
+  check_string "shutdown" "1" (List.assoc "bye" (req "SHUTDOWN"));
+  Serve.Client.close c;
+  Thread.join th;
+  check_bool "socket file removed" false (Sys.file_exists socket)
+
+(* ------------------------------------------------------------------ *)
+(* Deprecated wrappers (out-of-tree compatibility)                     *)
+
+(* In-tree, deprecated-API use is a build error ([-alert @deprecated]
+   in every dune stanza); this module is the one sanctioned exception,
+   proving the wrappers still behave for external callers. *)
+module Compat = struct
+  [@@@alert "-deprecated"]
+
+  let test_deprecated_create_run () =
+    let g = prov () in
+    let old_ks = K.create ~alpha:95.0 ~auto_refresh:false g in
+    let new_ks = K.make ~config:{ K.Config.default with auto_refresh = false } g in
+    let q = K.parse (List.hd mvcc_queries) in
+    let old_r, old_how = K.run old_ks q in
+    let new_r, new_how = qok (K.query new_ks q) in
+    check_bool "same routing" true (old_how = new_how);
+    check_string "same bytes" (Wire.render_result g new_r) (Wire.render_result g old_r);
+    check_string "run_raw = query ~target:Base" (Wire.render_result g (K.run_raw old_ks q))
+      (Wire.render_result g (fst (qok (K.query ~target:K.Base new_ks q))));
+    match K.run_result new_ks q with
+    | Ok (r, _) -> check_string "run_result still typed" (Wire.render_result g new_r) (Wire.render_result g r)
+    | Error e -> Alcotest.failf "run_result failed: %s" (K.Error.to_string e)
+end
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "overlay-pin",
+        [ Alcotest.test_case "pin/unpin/pinned_versions" `Quick test_overlay_pin_unpin ] );
+      ("errors", [ Alcotest.test_case "of_exn Unix_error/Overload" `Quick test_error_of_exn ]);
+      ( "mvcc",
+        [ Alcotest.test_case "pinned readers vs writer" `Slow test_mvcc_pinned_readers ] );
+      ( "admission",
+        [
+          Alcotest.test_case "session cap sheds typed" `Quick test_session_cap_sheds;
+          Alcotest.test_case "queue sheds under load" `Slow test_queue_sheds_under_load;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "parse_request" `Quick test_wire_parse_request;
+          Alcotest.test_case "fields round-trip" `Quick test_wire_fields_roundtrip;
+        ] );
+      ( "server",
+        [ Alcotest.test_case "socket round-trip" `Slow test_server_socket_roundtrip ] );
+      ( "compat",
+        [ Alcotest.test_case "deprecated wrappers" `Quick Compat.test_deprecated_create_run ] );
+    ]

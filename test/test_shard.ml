@@ -256,13 +256,17 @@ let test_facade_sharded_run () =
   let run ks =
     let sel = Kaskade.select_views ks ~queries:[ q ] ~budget_edges:(4 * Graph.n_edges g) in
     ignore (Kaskade.materialize_selected ks sel);
-    let r, how = Kaskade.run ks q in
+    let r, how =
+      match Kaskade.query ks q with
+      | Ok v -> v
+      | Error e -> Alcotest.failf "unexpected facade error: %s" (Kaskade.Error.to_string e)
+    in
     (result_bytes g r, how)
   in
-  let bytes0, how0 = run (Kaskade.create g) in
+  let bytes0, how0 = run (Kaskade.make g) in
   List.iter
     (fun s ->
-      let bytes, how = run (Kaskade.create ~shards:s g) in
+      let bytes, how = run (Kaskade.make ~config:{ Kaskade.Config.default with shards = s } g) in
       check_bool (Printf.sprintf "routing equal at shards=%d" s) true (how = how0);
       Alcotest.(check string) (Printf.sprintf "rows equal at shards=%d" s) bytes0 bytes)
     [ 2; 4 ]

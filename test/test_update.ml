@@ -12,6 +12,12 @@ module Row = Kaskade_exec.Row
 module Overlay = Graph.Overlay
 module Mutate = Kaskade_gen.Mutate
 
+let qok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected facade error: %s" (K.Error.to_string e)
+
+let krun ks q = qok (K.query ks q)
+
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 let check_string = Alcotest.(check string)
@@ -356,9 +362,9 @@ let canon_result ks (res, how) =
   | Executor.Affected n -> [ [ Value.Int n ] ]
 
 let test_facade_stale_views_refused () =
-  let ks = K.create ~auto_refresh:false (mid_dblp ()) in
+  let ks = K.make ~config:{ K.Config.default with auto_refresh = false } (mid_dblp ()) in
   ignore (K.materialize ks (khop "Author" "Author" 2));
-  let _, how = K.run ks coauthor_query in
+  let _, how = krun ks coauthor_query in
   check_bool "fresh view answers" true (how = K.Via_view "AUTHOR_TO_AUTHOR_2HOP");
   let authors = Graph.vertices_of_type_name (K.graph ks) "Author" in
   let pubs = Graph.vertices_of_type_name (K.graph ks) "Pub" in
@@ -367,11 +373,12 @@ let test_facade_stale_views_refused () =
   | [ (name, Catalog.Stale [ _ ]) ] -> check_string "stale entry" "AUTHOR_TO_AUTHOR_2HOP" name
   | _ -> Alcotest.fail "expected one stale entry");
   (* Stale view must not answer; without auto-refresh the base graph does. *)
-  let _, how = K.run ks coauthor_query in
+  let _, how = krun ks coauthor_query in
   check_bool "stale view passed over" true (how = K.Raw);
-  check_bool "run_on_view refuses stale" true
-    (try ignore (K.run_on_view ks "AUTHOR_TO_AUTHOR_2HOP" coauthor_query); false
-     with Invalid_argument _ -> true);
+  check_bool "targeting the stale view is a typed planning error" true
+    (match K.query ~target:(K.View "AUTHOR_TO_AUTHOR_2HOP") ks coauthor_query with
+    | Error (K.Error.Plan _) -> true
+    | _ -> false);
   (* EXPLAIN reports the freshness and the repair strategy, read-only. *)
   let r = K.explain ks coauthor_query in
   check_bool "explain targets base" true (r.K.target = K.Raw);
@@ -390,11 +397,11 @@ let test_facade_stale_views_refused () =
     check_bool "incremental" true (Maintain.incremental o.K.refresh_strategy);
     check_int "ops absorbed" 1 o.K.refresh_ops
   | _ -> Alcotest.fail "expected one refresh outcome");
-  let _, how = K.run ks coauthor_query in
+  let _, how = krun ks coauthor_query in
   check_bool "view answers again" true (how = K.Via_view "AUTHOR_TO_AUTHOR_2HOP")
 
 let test_facade_auto_refresh () =
-  let ks = K.create (mid_dblp ()) in
+  let ks = K.make (mid_dblp ()) in
   ignore (K.materialize ks (khop "Author" "Author" 2));
   let authors = Graph.vertices_of_type_name (K.graph ks) "Author" in
   let pubs = Graph.vertices_of_type_name (K.graph ks) "Pub" in
@@ -403,14 +410,14 @@ let test_facade_auto_refresh () =
       K.Update.Insert_edge { src = pubs.(1); dst = authors.(1); etype = "HAS_AUTHOR"; props = [] } ]
     ks;
   check_int "stale before run" 1 (Catalog.n_stale (K.catalog ks));
-  let res, how = K.run ks coauthor_query in
+  let res, how = krun ks coauthor_query in
   check_bool "repaired then answered from view" true (how = K.Via_view "AUTHOR_TO_AUTHOR_2HOP");
   check_int "fresh after run" 0 (Catalog.n_stale (K.catalog ks));
   (* The repaired answer matches a facade built from scratch on the
      updated graph. *)
-  let ks2 = K.create (K.graph ks) in
+  let ks2 = K.make (K.graph ks) in
   ignore (K.materialize ks2 (khop "Author" "Author" 2));
-  let res2 = K.run ks2 coauthor_query in
+  let res2 = krun ks2 coauthor_query in
   check_bool "same rows as scratch facade" true
     (canon_result ks (res, how) = canon_result ks2 res2);
   (* PROFILE surfaces repairs it performed. *)
@@ -426,7 +433,7 @@ let test_facade_1k_batch_identity () =
   let g = Kaskade_gen.Dblp_gen.(generate { default with authors = 150; pubs = 260; venues = 8; seed = 41 }) in
   let connector = khop "Author" "Author" 2 in
   let ego = View.Summarizer (View.Ego_aggregator { k = 2; agg_prop = "name"; agg = View.Agg_count }) in
-  let ks = K.create g in
+  let ks = K.make g in
   ignore (K.materialize ks connector);
   ignore (K.materialize ks ego);
   let ops = Mutate.random_ops ~inserts:500 ~deletes:500 ~seed:97 g in
@@ -448,10 +455,10 @@ let test_facade_1k_batch_identity () =
   check_entry connector ~bytes:false;
   check_entry ego ~bytes:true;
   (* Query identity vs a facade built from scratch on the new graph. *)
-  let ks2 = K.create base_after in
+  let ks2 = K.make base_after in
   ignore (K.materialize ks2 connector);
   ignore (K.materialize ks2 ego);
-  let a = K.run ks coauthor_query and b = K.run ks2 coauthor_query in
+  let a = krun ks coauthor_query and b = krun ks2 coauthor_query in
   check_bool "query rows identical" true (canon_result ks a = canon_result ks2 b);
   check_bool "all fresh at the end" true
     (List.for_all (fun (_, f) -> f = Catalog.Fresh) (K.Update.freshness ks))
