@@ -33,11 +33,24 @@
                                     opening snapshot + 1 writer, every
                                     read byte-identical to a serial
                                     run, sheds typed + counted, server
-                                    live after
+                                    live after; also times the
+                                    writer's batch stream with and
+                                    without an fsync-always WAL
+                                    (serve_wal in bench_metrics.json)
+
+     bench/main.exe recovery [--smoke]
+                                    durability drill: a seeded fault
+                                    kills a batch mid-WAL-append, then
+                                    recovery (newest snapshot + WAL
+                                    tail replay) must rebuild a store
+                                    identical to a never-crashed twin,
+                                    count the torn record, and keep
+                                    serving (full mode adds an
+                                    fsync-policy cost sweep)
 
    Experiment ids: table3 table4 fig5 fig6 fig7 fig8 catalog enum
-   select e2e microbench maintenance faults regress serve (see
-   DESIGN.md's experiment index). *)
+   select e2e microbench maintenance faults regress serve recovery
+   (see DESIGN.md's experiment index). *)
 
 let bechamel_tests () =
   let open Bechamel in

@@ -7,6 +7,8 @@
      kaskade_cli explain --dataset prov --query "..." [--json]
      kaskade_cli update --dataset prov --query "..." --random 32 [-o out.kg]
      kaskade_cli refresh --dataset prov --query "..." --random 32
+     kaskade_cli snapshot --data-dir DIR --query "..."
+     kaskade_cli recover --data-dir DIR [--query "..."]
      kaskade_cli stats --dataset dblp
 
    Datasets are generated on the fly (deterministic seeds); see
@@ -92,6 +94,37 @@ let shard_policy_arg =
            ~doc:"Vertex partition policy for $(b,--shards): $(b,hash) (uniform, \
                  cut-edge heavy) or $(b,type-range) (contiguous type slices, \
                  locality-friendly).")
+
+(* Durability knobs (update / refresh / serve / snapshot / recover). *)
+let fsync_conv =
+  let parse s =
+    match Kaskade_store.Wal.fsync_policy_of_string s with
+    | p -> Ok p
+    | exception Invalid_argument m -> Error (`Msg m)
+  in
+  Arg.conv
+    ( parse,
+      fun ppf p -> Format.pp_print_string ppf (Kaskade_store.Wal.fsync_policy_to_string p) )
+
+let data_dir_arg =
+  Arg.(value & opt (some string) None & info [ "data-dir" ] ~docv:"DIR"
+         ~doc:"Durable data directory: every update batch is write-ahead logged (and \
+               fsynced per $(b,--fsync)) there before it applies, and binary snapshots \
+               accumulate for crash recovery ($(b,kaskade_cli recover)).")
+
+let data_dir_req_arg =
+  Arg.(required & opt (some string) None & info [ "data-dir" ] ~docv:"DIR"
+         ~doc:"Durable data directory (WAL + snapshots).")
+
+let fsync_arg =
+  Arg.(value & opt fsync_conv Kaskade_store.Wal.Always & info [ "fsync" ] ~docv:"POLICY"
+         ~doc:"WAL fsync policy: $(b,always) (no acknowledged batch is ever lost), \
+               $(b,never) (OS page cache only), or $(b,every:N) (amortized).")
+
+let snapshot_every_arg =
+  Arg.(value & opt int 512 & info [ "snapshot-every" ] ~docv:"N"
+         ~doc:"Update batches between automatic snapshots; 0 disables the cadence \
+               (snapshots then only happen via $(b,kaskade_cli snapshot)).")
 
 let dump_metrics = function
   | None -> ()
@@ -364,19 +397,33 @@ let print_outcomes = function
           o.Kaskade.refresh_ops o.Kaskade.refresh_seconds)
       outcomes
 
-let setup_live verbose name edges seed graph_file query budget =
+let setup_live verbose name edges seed graph_file query budget data_dir fsync snapshot_every =
   setup_logs verbose;
   let g = load_or_generate graph_file name edges seed in
   (* Refreshes are driven explicitly from these subcommands. *)
-  let ks = Kaskade.make ~config:{ Kaskade.Config.default with auto_refresh = false } g in
+  let ks =
+    Kaskade.make
+      ~config:
+        {
+          Kaskade.Config.default with
+          auto_refresh = false;
+          data_dir;
+          fsync_policy = fsync;
+          snapshot_every;
+        }
+      g
+  in
   (match query with
   | Some qs -> ignore (select_and_materialize ks (parse_or_die qs) budget)
   | None -> ());
   ks
 
 let update_cmd =
-  let run verbose name edges seed graph_file query budget specs random useed out metrics =
-    let ks = setup_live verbose name edges seed graph_file query budget in
+  let run verbose name edges seed graph_file query budget data_dir fsync snapshot_every specs
+      random useed out metrics =
+    let ks =
+      setup_live verbose name edges seed graph_file query budget data_dir fsync snapshot_every
+    in
     let ops = collect_ops ks specs random useed in
     if ops = [] then begin
       Printf.eprintf "nothing to apply: pass --op and/or --random N\n";
@@ -401,14 +448,18 @@ let update_cmd =
     (Cmd.info "update"
        ~doc:
          "Apply an update batch through the live overlay, report which materialized views \
-          went stale, and optionally save the updated graph.")
+          went stale, and optionally save the updated graph. With --data-dir the batch is \
+          write-ahead logged before it applies.")
     Term.(const run $ verbose_arg $ dataset_arg $ edges_arg $ seed_arg $ graph_file_arg
-          $ query_opt_arg $ budget_arg $ ops_arg $ random_ops_arg $ update_seed_arg $ out_arg
-          $ metrics_arg)
+          $ query_opt_arg $ budget_arg $ data_dir_arg $ fsync_arg $ snapshot_every_arg
+          $ ops_arg $ random_ops_arg $ update_seed_arg $ out_arg $ metrics_arg)
 
 let refresh_cmd =
-  let run verbose name edges seed graph_file query budget specs random useed metrics =
-    let ks = setup_live verbose name edges seed graph_file query budget in
+  let run verbose name edges seed graph_file query budget data_dir fsync snapshot_every specs
+      random useed metrics =
+    let ks =
+      setup_live verbose name edges seed graph_file query budget data_dir fsync snapshot_every
+    in
     let ops = collect_ops ks specs random useed in
     if ops <> [] then begin
       Kaskade.Update.batch ops ks;
@@ -425,7 +476,89 @@ let refresh_cmd =
           full rebuild otherwise) and report the strategy, ops absorbed and wall time per \
           view. Combine with --op/--random to stale the catalog first.")
     Term.(const run $ verbose_arg $ dataset_arg $ edges_arg $ seed_arg $ graph_file_arg
-          $ query_opt_arg $ budget_arg $ ops_arg $ random_ops_arg $ update_seed_arg $ metrics_arg)
+          $ query_opt_arg $ budget_arg $ data_dir_arg $ fsync_arg $ snapshot_every_arg
+          $ ops_arg $ random_ops_arg $ update_seed_arg $ metrics_arg)
+
+(* Durability subcommands -------------------------------------------- *)
+
+let snapshot_cmd =
+  let run verbose name edges seed graph_file query budget data_dir fsync snapshot_every specs
+      random useed metrics =
+    let ks =
+      setup_live verbose name edges seed graph_file query budget (Some data_dir) fsync
+        snapshot_every
+    in
+    let ops = collect_ops ks specs random useed in
+    if ops <> [] then begin
+      Kaskade.Update.batch ops ks;
+      Printf.printf "applied %d ops (write-ahead logged)\n" (List.length ops)
+    end;
+    let path = Kaskade.snapshot ks in
+    (match Kaskade.store ks with
+    | Some s ->
+      Printf.printf "snapshot written to %s (covers WAL seq %d)\n" path
+        (Kaskade_store.Store.last_seq s)
+    | None -> ());
+    print_freshness ks;
+    dump_metrics metrics
+  in
+  Cmd.v
+    (Cmd.info "snapshot"
+       ~doc:
+         "Open (or create) a durable data directory, optionally materialize views for a \
+          query and apply updates, then write a crash-atomic binary snapshot of the frozen \
+          graph plus the whole view catalog — the anchor $(b,kaskade_cli recover) replays \
+          the WAL tail onto.")
+    Term.(const run $ verbose_arg $ dataset_arg $ edges_arg $ seed_arg $ graph_file_arg
+          $ query_opt_arg $ budget_arg $ data_dir_req_arg $ fsync_arg $ snapshot_every_arg
+          $ ops_arg $ random_ops_arg $ update_seed_arg $ metrics_arg)
+
+let recover_cmd =
+  let query_run_arg =
+    Arg.(value & opt (some string) None & info [ "q"; "query" ] ~docv:"QUERY"
+           ~doc:"Run this query on the recovered store (stale views are repaired first).")
+  in
+  let run verbose data_dir fsync snapshot_every query metrics =
+    setup_logs verbose;
+    let config =
+      { Kaskade.Config.default with Kaskade.Config.fsync_policy = fsync; snapshot_every }
+    in
+    let ks = Kaskade.recover ~config data_dir in
+    let g = Kaskade.graph ks in
+    Format.printf "recovered from %s: %a@." data_dir Graph.pp_summary g;
+    (match Kaskade.store ks with
+    | Some s ->
+      Printf.printf "snapshot seq %d, WAL seq %d\n" (Kaskade_store.Store.snapshot_seq s)
+        (Kaskade_store.Store.last_seq s)
+    | None -> ());
+    let counter name = Kaskade_obs.Metrics.counter_value (Kaskade_obs.Metrics.counter name) in
+    Printf.printf "replayed %d ops from the WAL tail, %d torn tail record(s) truncated\n"
+      (counter "kaskade.recovery_replayed_ops")
+      (counter "kaskade.recovery_truncated_records");
+    print_freshness ks;
+    (match query with
+    | Some qs ->
+      let q = parse_or_die qs in
+      let result, how = query_or_die ks q in
+      let rows =
+        match result with
+        | Kaskade_exec.Executor.Table t -> Kaskade_exec.Row.n_rows t
+        | Kaskade_exec.Executor.Affected n -> n
+      in
+      Printf.printf "query: %d rows via %s\n" rows
+        (match how with Kaskade.Raw -> "base graph" | Kaskade.Via_view v -> "view " ^ v)
+    | None -> ());
+    dump_metrics metrics
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Rebuild a Kaskade instance from a durable data directory: load the newest valid \
+          snapshot (graph + view catalog with per-view freshness), replay the WAL tail \
+          past its sequence number — truncating a torn final record from a crash \
+          mid-append — and report what was recovered.")
+    Term.(const run $ verbose_arg $ data_dir_req_arg $ fsync_arg $ snapshot_every_arg
+          $ query_run_arg $ metrics_arg)
 
 (* Workload telemetry subcommands ------------------------------------ *)
 
@@ -613,11 +746,16 @@ let serve_cmd =
     Arg.(value & opt (some float) None & info [ "deadline-s" ] ~docv:"SECONDS"
            ~doc:"Per-request deadline budget, covering queue wait plus execution.")
   in
-  let run verbose name edges seed graph_file query budget max_sessions max_inflight max_queue
-      deadline socket metrics =
+  let run verbose name edges seed graph_file query budget data_dir fsync snapshot_every
+      max_sessions max_inflight max_queue deadline socket metrics =
     setup_logs verbose;
     let g = load_or_generate graph_file name edges seed in
-    let ks = Kaskade.make g in
+    let ks =
+      Kaskade.make
+        ~config:
+          { Kaskade.Config.default with data_dir; fsync_policy = fsync; snapshot_every }
+        g
+    in
     (match query with
     | Some qs -> ignore (select_and_materialize ks (parse_or_die qs) budget)
     | None -> ());
@@ -634,10 +772,11 @@ let serve_cmd =
          "Serve queries over a Unix socket: newline-delimited protocol (OPEN / Q / ROWS / \
           REPIN / UPDATE / STATS / CLOSE / SHUTDOWN), one MVCC-pinned session per \
           connection, single-writer update serialization, and admission control with \
-          typed shed responses.")
+          typed shed responses. With --data-dir every UPDATE batch is write-ahead logged \
+          before it applies.")
     Term.(const run $ verbose_arg $ dataset_arg $ edges_arg $ seed_arg $ graph_file_arg
-          $ query_opt_arg $ budget_arg $ max_sessions $ max_inflight $ max_queue $ deadline
-          $ socket $ metrics_arg)
+          $ query_opt_arg $ budget_arg $ data_dir_arg $ fsync_arg $ snapshot_every_arg
+          $ max_sessions $ max_inflight $ max_queue $ deadline $ socket $ metrics_arg)
 
 let repl_cmd =
   let run verbose name edges seed graph_file budget =
@@ -716,6 +855,8 @@ let () =
         explain_cmd;
         update_cmd;
         refresh_cmd;
+        snapshot_cmd;
+        recover_cmd;
         log_cmd;
         trace_cmd;
         advise_cmd;

@@ -60,6 +60,9 @@ let of_exn = function
     Some (Io (Printf.sprintf "%s: %s" where (Unix.error_message err)))
   | Kaskade_graph.Gio.Format_error (msg, line) ->
     Some (Io (Printf.sprintf "line %d: %s" line msg))
+  | Kaskade_store.Codec.Corrupt { file; reason } ->
+    Some (Io (Printf.sprintf "%s: %s" file reason))
+  | End_of_file -> Some (Io "unexpected end of file (truncated read)")
   | Sys_error msg -> Some (Io msg)
   | _ -> None
 

@@ -27,8 +27,9 @@ type t =
           holders. The request had no effect; retry after backoff. *)
   | Io of string
       (** File loading/saving problems ([Gio.Format_error],
-          [Sys_error], [Unix.Unix_error]) and injected internal
-          faults. *)
+          [Kaskade_store.Codec.Corrupt], [End_of_file] from a
+          truncated read, [Sys_error], [Unix.Unix_error]) and injected
+          internal faults. *)
 
 exception Refresh_error of { view : string; reason : string }
 (** Raised by the facade's {e raising} refresh paths (e.g.

@@ -12,6 +12,8 @@ open Kaskade_exec
 module Breaker = Kaskade_util.Breaker
 module Budget = Kaskade_util.Budget
 module Pool = Kaskade_util.Pool
+module Store = Kaskade_store.Store
+module Wal = Kaskade_store.Wal
 
 let log_src = Logs.Src.create "kaskade" ~doc:"Kaskade view selection and rewriting"
 
@@ -102,6 +104,9 @@ module Config = struct
     breaker_threshold : int;
     breaker_cooldown_s : float;
     plan_cache : bool;
+    data_dir : string option;
+    fsync_policy : Wal.fsync_policy;
+    snapshot_every : int;
   }
 
   let default =
@@ -116,6 +121,9 @@ module Config = struct
       breaker_threshold = 3;
       breaker_cooldown_s = 30.0;
       plan_cache = true;
+      data_dir = None;
+      fsync_policy = Wal.Always;
+      snapshot_every = 512;
     }
 end
 
@@ -154,9 +162,11 @@ and t = {
   plan_cache : (string, cached_plan) Hashtbl.t;  (* keyed by Qlog.hash_query *)
   plan_cache_enabled : bool;
   mutable plan_epoch : int;  (* bumped on every graph/catalog change *)
+  mutable store : Store.t option;  (* durability layer, when data_dir is set *)
 }
 
 let make ?(config = Config.default) graph =
+  let t =
   {
     overlay = Graph.Overlay.create graph;
     schema = Graph.schema graph;
@@ -179,7 +189,23 @@ let make ?(config = Config.default) graph =
     plan_cache = Hashtbl.create 16;
     plan_cache_enabled = config.Config.plan_cache;
     plan_epoch = 0;
+    store = None;
   }
+  in
+  (match config.Config.data_dir with
+  | None -> ()
+  | Some dir ->
+    let store =
+      Store.open_ ~fsync_policy:config.Config.fsync_policy
+        ~snapshot_every:config.Config.snapshot_every dir
+    in
+    (* A data dir without a snapshot gets a seq-0 snapshot of the
+       seed graph right away: the WAL records only deltas, so without
+       this anchor {!recover} could never rebuild the base. *)
+    if Store.snapshot_seq store < 0 then
+      ignore (Store.write_snapshot store ~graph ~views:[]);
+    t.store <- Some store);
+  t
 
 let create ?(alpha = 95.0) ?(mode = Executor.Distinct_endpoints) ?pool ?(shards = 1)
     ?(shard_policy = Shard.Hash) ?(auto_refresh = true) ?(compact_threshold = 0.25)
@@ -197,6 +223,9 @@ let create ?(alpha = 95.0) ?(mode = Executor.Distinct_endpoints) ?pool ?(shards 
         breaker_threshold;
         breaker_cooldown_s;
         plan_cache;
+        data_dir = None;
+        fsync_policy = Wal.Always;
+        snapshot_every = 512;
       }
     graph
 
@@ -259,6 +288,26 @@ let stats t =
     s
 
 let catalog t = t.catalog
+let store t = t.store
+
+(* Durability -------------------------------------------------------- *)
+
+let catalog_views t =
+  List.map
+    (fun (e : Catalog.entry) -> (e.Catalog.materialized, e.Catalog.freshness))
+    (Catalog.entries t.catalog)
+
+let snapshot t =
+  match t.store with
+  | None -> invalid_arg "Kaskade.snapshot: no data_dir configured"
+  | Some s -> Store.write_snapshot s ~graph:(graph t) ~views:(catalog_views t)
+
+let maybe_snapshot t =
+  match t.store with
+  | Some s when Store.should_snapshot s ->
+    let path = Store.write_snapshot s ~graph:(graph t) ~views:(catalog_views t) in
+    Log.info (fun k -> k "snapshot cadence reached: wrote %s" path)
+  | _ -> ()
 
 let parse = Kaskade_query.Qparser.parse
 
@@ -488,6 +537,15 @@ let repair ?budget t =
   else []
 
 let apply_ops t ops =
+  (* WAL-before-apply: the *requested* batch is made durable before
+     the overlay sees it. Replay is deterministic — applying the same
+     requested ops to the same state yields the same effective ops —
+     so logging requests rather than effects is sound, and a crash
+     between append and apply merely replays a batch that never took
+     effect. *)
+  (match t.store with
+  | Some s when ops <> [] -> ignore (Store.append s ops)
+  | _ -> ());
   let effective = Graph.Overlay.apply t.overlay ops in
   Catalog.mark_stale t.catalog effective;
   if effective <> [] then invalidate_plans t;
@@ -499,6 +557,7 @@ let apply_ops t ops =
           t.compact_threshold);
     ignore (Graph.Overlay.compact t.overlay)
   end;
+  maybe_snapshot t;
   effective
 
 module Update = struct
@@ -510,10 +569,16 @@ module Update = struct
   let pp_op = Graph.Overlay.pp_op
 
   let insert_vertex t ~vtype ?(props = []) () =
+    (* This path bypasses [apply_ops] (it must return the new id), so
+       it carries its own WAL-before-apply step. *)
+    (match t.store with
+    | Some s -> ignore (Store.append s [ Insert_vertex { vtype; props } ])
+    | None -> ());
     let id = Graph.Overlay.insert_vertex t.overlay ~vtype ~props () in
     Catalog.mark_stale t.catalog [ Insert_vertex { vtype; props } ];
     invalidate_plans t;
     update_stale_gauge t;
+    maybe_snapshot t;
     id
 
   let insert_edge t ~src ~dst ~etype ?(props = []) () =
@@ -1234,3 +1299,40 @@ let query ?(target = Auto) ?budget t q =
   | Auto -> Error.guard (fun () -> run ?budget t q)
   | Base -> Error.guard (fun () -> (run_raw ?budget t q, Raw))
   | View name -> Error.guard (fun () -> (run_on_view ?budget t name q, Via_view name))
+
+(* Crash recovery ----------------------------------------------------- *)
+
+let recover ?(config = Config.default) dir =
+  let r =
+    Store.recover ~fsync_policy:config.Config.fsync_policy
+      ~snapshot_every:config.Config.snapshot_every dir
+  in
+  (* Build the facade over the snapshot graph with the store detached:
+     replaying the WAL tail below must not append the tail back onto
+     the WAL. *)
+  let t = make ~config:{ config with Config.data_dir = None } r.Store.r_graph in
+  List.iter
+    (fun ((m : Materialize.materialized), freshness) ->
+      Catalog.add t.catalog m;
+      match freshness with
+      | Catalog.Fresh -> ()
+      | f -> (
+        match Catalog.find t.catalog m.Materialize.view with
+        | Some entry -> entry.Catalog.freshness <- f
+        | None -> ()))
+    r.Store.r_views;
+  List.iter
+    (fun (seq, ops) ->
+      (* Mirror the live path's partial application: [Overlay.apply]
+         applies ops in order and raises on the failing one, so a
+         batch that half-landed before the crash half-lands again. *)
+      try
+        let effective = Graph.Overlay.apply t.overlay ops in
+        Catalog.mark_stale t.catalog effective
+      with Invalid_argument msg ->
+        Log.warn (fun k -> k "replay of WAL batch %d stopped early: %s" seq msg))
+    r.Store.r_tail;
+  invalidate_plans t;
+  update_stale_gauge t;
+  t.store <- Some r.Store.r_store;
+  t

@@ -102,6 +102,26 @@ module Config : sig
             from scratch (the cold-path baseline the
             [bench microbench] plan-cache comparison measures
             against). *)
+    data_dir : string option;
+        (** [Some dir] makes the facade {e durable}: every update
+            batch is appended (and fsynced per [fsync_policy]) to
+            [dir/wal.log] {e before} it touches the overlay, and
+            binary snapshots of the frozen CSR plus the view catalog
+            are written to [dir/snapshot-*.ksnap] — immediately for a
+            fresh directory (the seq-0 seed anchor), then every
+            [snapshot_every] batches and on {!snapshot}. After a
+            crash, {!recover} rebuilds the facade from the newest
+            valid snapshot plus the WAL tail. [None] (default) keeps
+            everything in memory. *)
+    fsync_policy : Kaskade_store.Wal.fsync_policy;
+        (** When WAL appends reach the platter (default [Always]:
+            no acknowledged batch is ever lost). See
+            {!Kaskade_store.Wal.fsync_policy}. *)
+    snapshot_every : int;
+        (** Update batches between automatic snapshots (default 512);
+            [0] disables the cadence (snapshots then only happen via
+            {!snapshot}). More frequent snapshots shorten recovery
+            replay at the cost of write amplification. *)
   }
 
   val default : t
@@ -149,6 +169,39 @@ val stats : t -> Kaskade_graph.Gstats.t
 (** Statistics of {!graph}, recomputed lazily after updates. *)
 
 val catalog : t -> Kaskade_views.Catalog.t
+
+(** {1 Durability}
+
+    Active when [Config.data_dir] is set; see {!Kaskade_store} for
+    the WAL/snapshot formats and the recovery protocol. *)
+
+val store : t -> Kaskade_store.Store.t option
+(** The durability layer, [None] for an in-memory facade. *)
+
+val snapshot : t -> string
+(** Crash-atomically snapshot the current frozen graph plus the whole
+    view catalog (per-view graph, vertex mapping, freshness — a view
+    snapshotted [Stale] recovers [Stale] with its delta intact) and
+    return the snapshot path. Also resets the [snapshot_every]
+    cadence. Raises [Invalid_argument] when no [data_dir] is
+    configured or a refresh is in flight. *)
+
+val recover : ?config:Config.t -> string -> t
+(** Rebuild a facade from a data directory: load the newest valid
+    snapshot (a corrupt one is skipped in favour of its predecessor),
+    restore the view catalog with per-view freshness, then replay
+    every WAL batch past the snapshot's sequence number — the seq
+    bookkeeping makes replay idempotent, and a torn final record
+    (crash mid-append) is truncated, not fatal. The returned facade
+    has the store attached and keeps journaling. [config]'s
+    [data_dir] field is ignored (the directory argument wins); its
+    other fields configure the facade as in {!make}.
+
+    Metrics: [kaskade.recovery_replayed_ops],
+    [kaskade.recovery_truncated_records].
+
+    Raises [Kaskade_store.Codec.Corrupt] when no valid snapshot
+    exists, [Sys_error] when the directory does not. *)
 
 val parse : string -> Kaskade_query.Ast.t
 (** Parse the hybrid query language (re-export of [Qparser.parse]).

@@ -123,9 +123,24 @@ let of_string text =
     (List.rev !edge_lines);
   Graph.freeze b
 
-let save g path =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string g))
+(* Crash-atomic replace: write to a temp file, fsync, then rename into
+   place — a reader (or a post-crash recovery) sees either the old file
+   or the complete new one, never a torn prefix. *)
+let write_atomic path text =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try
+     output_string oc text;
+     flush oc;
+     Unix.fsync (Unix.descr_of_out_channel oc);
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let save g path = write_atomic path (to_string g)
 
 let load path =
   let ic = open_in path in
@@ -146,45 +161,41 @@ let save_shards sh path =
   let schema = Shard.schema sh in
   let s = Shard.n_shards sh in
   for i = 0 to s - 1 do
-    let oc = open_out (shard_path path ~shard:i ~total:s) in
-    Fun.protect
-      ~finally:(fun () -> close_out oc)
-      (fun () ->
-        let buf = Buffer.create 4096 in
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf
+      (Printf.sprintf "%s %d %d %s\n" shard_magic i s
+         (Shard.policy_name (Shard.policy sh)));
+    List.iter
+      (fun t -> Buffer.add_string buf ("vtype " ^ encode_str t ^ "\n"))
+      (Schema.vertex_types schema);
+    List.iter
+      (fun (d : Schema.edge_def) ->
         Buffer.add_string buf
-          (Printf.sprintf "%s %d %d %s\n" shard_magic i s
-             (Shard.policy_name (Shard.policy sh)));
-        List.iter
-          (fun t -> Buffer.add_string buf ("vtype " ^ encode_str t ^ "\n"))
-          (Schema.vertex_types schema);
-        List.iter
-          (fun (d : Schema.edge_def) ->
-            Buffer.add_string buf
-              (Printf.sprintf "etype %s %s %s\n" (encode_str d.src) (encode_str d.name)
-                 (encode_str d.dst)))
-          (Schema.edge_defs schema);
-        (* Owned vertices, ascending global id (= ascending local id),
-           then the out-edges they source — each edge of the graph
-           appears in exactly one shard file. Endpoints are global
-           vids, so files are stitchable without a rename pass. *)
-        for l = 0 to Shard.shard_size sh i - 1 do
-          let v = Shard.global_id sh ~shard:i l in
-          let props = Shard.vertex_props sh v in
+          (Printf.sprintf "etype %s %s %s\n" (encode_str d.src) (encode_str d.name)
+             (encode_str d.dst)))
+      (Schema.edge_defs schema);
+    (* Owned vertices, ascending global id (= ascending local id),
+       then the out-edges they source — each edge of the graph
+       appears in exactly one shard file. Endpoints are global
+       vids, so files are stitchable without a rename pass. *)
+    for l = 0 to Shard.shard_size sh i - 1 do
+      let v = Shard.global_id sh ~shard:i l in
+      let props = Shard.vertex_props sh v in
+      Buffer.add_string buf
+        (Printf.sprintf "v %d %s%s\n" v
+           (encode_str (Shard.vertex_type_name sh v))
+           (if props = [] then "" else " " ^ encode_props props))
+    done;
+    for l = 0 to Shard.shard_size sh i - 1 do
+      let v = Shard.global_id sh ~shard:i l in
+      Shard.iter_out sh v (fun ~dst ~etype ~eid ->
+          let props = Shard.edge_props sh eid in
           Buffer.add_string buf
-            (Printf.sprintf "v %d %s%s\n" v
-               (encode_str (Shard.vertex_type_name sh v))
-               (if props = [] then "" else " " ^ encode_props props))
-        done;
-        for l = 0 to Shard.shard_size sh i - 1 do
-          let v = Shard.global_id sh ~shard:i l in
-          Shard.iter_out sh v (fun ~dst ~etype ~eid ->
-              let props = Shard.edge_props sh eid in
-              Buffer.add_string buf
-                (Printf.sprintf "e %d %d %s%s\n" v dst
-                   (encode_str (Schema.edge_type_name schema etype))
-                   (if props = [] then "" else " " ^ encode_props props)))
-        done;
-        output_string oc (Buffer.contents buf))
+            (Printf.sprintf "e %d %d %s%s\n" v dst
+               (encode_str (Schema.edge_type_name schema etype))
+               (if props = [] then "" else " " ^ encode_props props)))
+    done;
+    write_atomic (shard_path path ~shard:i ~total:s) (Buffer.contents buf)
   done
 
 let load_shards path ~shards:s =

@@ -17,7 +17,9 @@
 
 val to_string : Graph.t -> string
 val save : Graph.t -> string -> unit
-(** [save g path]. *)
+(** [save g path]. Crash-atomic: the bytes go to [<path>.tmp], are
+    fsynced, and rename into place — a crash mid-save leaves the old
+    file intact, never a torn prefix. *)
 
 exception Format_error of string * int
 (** Message and 1-based line number. *)
@@ -50,7 +52,8 @@ val shard_path : string -> shard:int -> total:int -> string
 
 val save_shards : Shard.t -> string -> unit
 (** [save_shards sh path] writes [Shard.n_shards sh] files next to
-    [path]. *)
+    [path], each crash-atomically (tmp + fsync + rename, as
+    {!save}). *)
 
 val load_shards : string -> shards:int -> Shard.t
 (** [load_shards path ~shards:s] reads the [s] shard files and

@@ -122,6 +122,22 @@ val internal_props : t -> Props.t * Props.t
 (** [(vertex props, edge props)], shared physically — same contract as
     {!internal_arrays}. *)
 
+val of_arrays :
+  Schema.t ->
+  vtype:int array ->
+  e_src:int array ->
+  e_dst:int array ->
+  e_type:int array ->
+  vprops:Props.t ->
+  eprops:Props.t ->
+  t
+(** Rebuild a frozen graph straight from raw topology arrays and
+    property tables — the inverse of {!internal_arrays} +
+    {!internal_props}, and the decode path of binary snapshots
+    ([Kaskade_store.Codec.graph]). O(V + E); the arrays are taken by
+    reference (frozen graphs are never mutated, so sharing is
+    safe). *)
+
 val pp_summary : Format.formatter -> t -> unit
 (** One-line [|V|, |E|] plus per-type counts. *)
 

@@ -132,4 +132,5 @@ val fault_point : stage -> site:string -> unit
     armed — via {!Faults.with_faults} or the [KASKADE_FAULTS]
     environment variable (read once, at the first call). Sites in this
     repository: ["executor.run"], ["enumerate"], ["maintain.refresh"],
-    ["materialize"]. *)
+    ["materialize"], ["store.wal_append"] (simulates a kill mid-WAL
+    write — see [Kaskade_store.Wal]). *)
