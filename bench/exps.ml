@@ -1441,8 +1441,14 @@ let serve_exp () =
       (Printf.sprintf "kaskade-bench-%d.sock" (Unix.getpid ()))
   in
   let max_sessions = 6 in
+  (* Tight sampler + a zero-tolerance stale-view threshold so the
+     health drill below can force ok -> degraded -> ok within the
+     run (stale views never escalate past degraded by design). *)
   let server =
-    Kaskade_serve.Server.create ~max_sessions ~max_inflight:4 ~max_queue:8 ~socket ks
+    Kaskade_serve.Server.create ~max_sessions ~max_inflight:4 ~max_queue:8
+      ~sample_every_s:0.05 ~timeseries_capacity:8192
+      ~thresholds:{ Kaskade_obs.Health.default_thresholds with Kaskade_obs.Health.max_stale_views = 0 }
+      ~socket ks
   in
   let server_th = Thread.create (fun () -> Kaskade_serve.Server.run server) () in
   let qtext = "MATCH (a:Job)-[:WRITES_TO]->(f:File) RETURN a, f" in
@@ -1469,6 +1475,15 @@ let serve_exp () =
     end;
     kvs
   in
+  (* Health baseline: a freshly started, unloaded server reports ok. *)
+  let c0 = Kaskade_serve.Client.connect socket in
+  let h0 = expect_ok (Kaskade_serve.Client.request c0 "HEALTH") in
+  if field h0 "status" <> "ok" then begin
+    Printf.eprintf "FAIL: fresh server health %s (reasons %s)\n" (field h0 "status")
+      (field h0 "reasons");
+    exit 1
+  end;
+  Kaskade_serve.Client.close c0;
   let readers = 4 in
   let reads_per_reader = if !smoke then 25 else 200 in
   let writer_batches = if !smoke then 60 else 1_000 in
@@ -1544,6 +1559,92 @@ let serve_exp () =
     exit 1
   end;
   ignore (expect_ok (Kaskade_serve.Client.request probe "PING"));
+  (* Health drill: force degraded with stale-view pressure (views
+     materialized, then an update through the wire), back to ok after
+     an in-process refresh — with the shed storm above and the stale
+     window both visible in the server's time-series ring. *)
+  let string_contains haystack needle =
+    let n = String.length needle and h = String.length haystack in
+    let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+    n = 0 || go 0
+  in
+  let wait_status want =
+    let deadline = now () +. 5.0 in
+    let rec go () =
+      let kvs = expect_ok (Kaskade_serve.Client.request probe "HEALTH") in
+      if field kvs "status" = want || now () > deadline then kvs
+      else begin
+        Thread.delay 0.02;
+        go ()
+      end
+    in
+    go ()
+  in
+  let sel = Kaskade.select_views ks ~queries:[ Kaskade.parse qtext ] ~budget_edges:(Graph.n_edges g) in
+  if Kaskade.materialize_selected ks sel = [] then begin
+    Printf.eprintf "FAIL: health drill materialized no views (vacuous stale pressure)\n";
+    exit 1
+  end;
+  ignore (expect_ok (Kaskade_serve.Client.request probe "UPDATE insert-vertex:File"));
+  let kvs = wait_status "degraded" in
+  if field kvs "status" <> "degraded" then begin
+    Printf.eprintf "FAIL: stale views did not degrade health (status %s, reasons %s)\n"
+      (field kvs "status") (field kvs "reasons");
+    exit 1
+  end;
+  if not (string_contains (field kvs "reasons") "stale_views") then begin
+    Printf.eprintf "FAIL: degraded reasons missing stale_views: %s\n" (field kvs "reasons");
+    exit 1
+  end;
+  (* Hold the degraded state across a few sampler ticks so the ring
+     records the stale window, not just the HEALTH responses. *)
+  Thread.delay 0.2;
+  ignore (Kaskade.Update.refresh_views ks);
+  let kvs = wait_status "ok" in
+  if field kvs "status" <> "ok" then begin
+    Printf.eprintf "FAIL: health did not recover after refresh (status %s, reasons %s)\n"
+      (field kvs "status") (field kvs "reasons");
+    exit 1
+  end;
+  let ts = Kaskade_serve.Server.timeseries server in
+  let ring_deadline = now () +. 5.0 in
+  let rec latest_recovered () =
+    let ok =
+      match Kaskade_obs.Timeseries.latest ts with
+      | Some p -> Kaskade_obs.Timeseries.gauge_level p "kaskade.stale_views" = Some 0.0
+      | None -> false
+    in
+    if ok || now () > ring_deadline then ok
+    else begin
+      Thread.delay 0.02;
+      latest_recovered ()
+    end
+  in
+  let recovered = latest_recovered () in
+  let pts = Kaskade_obs.Timeseries.points ts in
+  let shed_captured =
+    List.exists
+      (fun p -> Kaskade_obs.Timeseries.counter_delta p "kaskade.shed_requests" > 0)
+      pts
+  in
+  let stale_captured =
+    List.exists
+      (fun p ->
+        match Kaskade_obs.Timeseries.gauge_level p "kaskade.stale_views" with
+        | Some v -> v > 0.0
+        | None -> false)
+      pts
+  in
+  if not (shed_captured && stale_captured && recovered) then begin
+    Printf.eprintf
+      "FAIL: time-series ring missed the transition (shed %b, stale window %b, recovered %b)\n"
+      shed_captured stale_captured recovered;
+    exit 1
+  end;
+  Printf.printf
+    "health drill passed: ok -> degraded (stale views) -> ok after refresh; \
+     ring captured shed storm + stale window across %d points\n"
+    (List.length pts);
   ignore (expect_ok (Kaskade_serve.Client.request probe "SHUTDOWN"));
   Kaskade_serve.Client.close probe;
   List.iter (fun (c, _) -> Kaskade_serve.Client.close c) clients;

@@ -601,11 +601,20 @@ let log_cmd =
            ~doc:"Write the captured log as JSONL to FILE ($(b,-) for stdout) — the format \
                  $(b,kaskade_cli advise --log) replays.")
   in
+  let slow =
+    Arg.(value & opt (some float) None & info [ "slow" ] ~docv:"MS"
+           ~doc:"Slow-query view: only show/save records that took at least MS milliseconds. \
+                 Also sets the threshold the $(b,kaskade.slow_queries) counter applies while \
+                 the workload runs.")
+  in
   let run verbose name edges seed graph_file queries repeat budget shards shard_policy no_views
-      capacity out metrics =
+      capacity out slow metrics =
     setup_logs verbose;
     let qs = require_queries "log" queries in
     (match capacity with Some c -> Kaskade_obs.Qlog.set_capacity c | None -> ());
+    (match slow with
+    | Some ms -> Kaskade_obs.Qlog.set_slow_threshold (ms /. 1000.0)
+    | None -> ());
     let g = load_or_generate graph_file name edges seed in
     let ks = Kaskade.make ~config:{ Kaskade.Config.default with shards; shard_policy } g in
     if not no_views then begin
@@ -613,11 +622,28 @@ let log_cmd =
       ignore (Kaskade.materialize_selected ks sel)
     end;
     run_workload ks qs repeat;
+    let all = Kaskade_obs.Qlog.records () in
+    let selected =
+      match slow with
+      | None -> all
+      | Some ms ->
+        List.filter (fun (r : Kaskade_obs.Qlog.record) -> r.seconds *. 1000.0 >= ms) all
+    in
+    let jsonl rs =
+      String.concat ""
+        (List.map
+           (fun r ->
+             Kaskade_obs.Report.to_string ~pretty:false (Kaskade_obs.Qlog.record_to_json r)
+             ^ "\n")
+           rs)
+    in
     (match out with
-    | Some "-" -> print_string (Kaskade_obs.Qlog.to_jsonl ())
+    | Some "-" -> print_string (jsonl selected)
     | Some path ->
-      Kaskade_obs.Qlog.save path;
-      Printf.printf "wrote %d records to %s\n" (Kaskade_obs.Qlog.length ()) path
+      let oc = open_out path in
+      output_string oc (jsonl selected);
+      close_out oc;
+      Printf.printf "wrote %d records to %s\n" (List.length selected) path
     | None ->
       List.iter
         (fun (r : Kaskade_obs.Qlog.record) ->
@@ -625,7 +651,12 @@ let log_cmd =
             (outcome_label r) r.Kaskade_obs.Qlog.rows
             (r.Kaskade_obs.Qlog.seconds *. 1000.0)
             r.Kaskade_obs.Qlog.query)
-        (Kaskade_obs.Qlog.records ()));
+        selected);
+    (match slow with
+    | Some ms ->
+      Printf.printf "slow filter: %d of %d records >= %.1fms\n" (List.length selected)
+        (List.length all) ms
+    | None -> ());
     (if out = Some "-" then prerr_endline else print_endline) (Kaskade_obs.Qlog.summary ());
     dump_metrics metrics
   in
@@ -637,7 +668,7 @@ let log_cmd =
           fingerprint.")
     Term.(const run $ verbose_arg $ dataset_arg $ edges_arg $ seed_arg $ graph_file_arg
           $ queries_arg $ repeat_arg $ budget_arg $ shards_arg $ shard_policy_arg $ no_views
-          $ capacity $ out $ metrics_arg)
+          $ capacity $ out $ slow $ metrics_arg)
 
 let trace_cmd =
   let chrome =
@@ -746,8 +777,17 @@ let serve_cmd =
     Arg.(value & opt (some float) None & info [ "deadline-s" ] ~docv:"SECONDS"
            ~doc:"Per-request deadline budget, covering queue wait plus execution.")
   in
+  let sample_every =
+    Arg.(value & opt float 1.0 & info [ "sample-every-s" ] ~docv:"SECONDS"
+           ~doc:"Time-series sampler interval (counter deltas, gauge levels, histogram \
+                 quantiles into a bounded ring the HEALTH verb reads).")
+  in
+  let timeseries_out =
+    Arg.(value & opt (some string) None & info [ "timeseries" ] ~docv:"FILE"
+           ~doc:"After shutdown, dump the sampler ring as JSONL to FILE.")
+  in
   let run verbose name edges seed graph_file query budget data_dir fsync snapshot_every
-      max_sessions max_inflight max_queue deadline socket metrics =
+      max_sessions max_inflight max_queue deadline sample_every timeseries_out socket metrics =
     setup_logs verbose;
     let g = load_or_generate graph_file name edges seed in
     let ks =
@@ -762,21 +802,144 @@ let serve_cmd =
     Printf.printf "serving %d vertices / %d edges on %s (max-sessions %d, max-inflight %d, \
                    max-queue %d)\n%!"
       (Graph.n_vertices g) (Graph.n_edges g) socket max_sessions max_inflight max_queue;
-    Kaskade_serve.Server.serve ~max_sessions ~max_inflight ~max_queue ?deadline_s:deadline
-      ~socket ks;
+    let srv =
+      Kaskade_serve.Server.create ~max_sessions ~max_inflight ~max_queue
+        ?deadline_s:deadline ~sample_every_s:sample_every ~socket ks
+    in
+    Kaskade_serve.Server.run srv;
+    (match timeseries_out with
+    | Some path ->
+      Kaskade_obs.Timeseries.save (Kaskade_serve.Server.timeseries srv) path;
+      Printf.printf "wrote %d time-series points to %s\n"
+        (Kaskade_obs.Timeseries.length (Kaskade_serve.Server.timeseries srv))
+        path
+    | None -> ());
     dump_metrics metrics
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Serve queries over a Unix socket: newline-delimited protocol (OPEN / Q / ROWS / \
-          REPIN / UPDATE / STATS / CLOSE / SHUTDOWN), one MVCC-pinned session per \
-          connection, single-writer update serialization, and admission control with \
-          typed shed responses. With --data-dir every UPDATE batch is write-ahead logged \
-          before it applies.")
+          REPIN / UPDATE / STATS / HEALTH / METRICS / CLOSE / SHUTDOWN), one MVCC-pinned \
+          session per connection, single-writer update serialization, and admission \
+          control with typed shed responses. With --data-dir every UPDATE batch is \
+          write-ahead logged before it applies.")
     Term.(const run $ verbose_arg $ dataset_arg $ edges_arg $ seed_arg $ graph_file_arg
           $ query_opt_arg $ budget_arg $ data_dir_arg $ fsync_arg $ snapshot_every_arg
-          $ max_sessions $ max_inflight $ max_queue $ deadline $ socket $ metrics_arg)
+          $ max_sessions $ max_inflight $ max_queue $ deadline $ sample_every
+          $ timeseries_out $ socket $ metrics_arg)
+
+(* Live-server inspection: both commands speak the wire protocol as an
+   ordinary client, so they work against any running [serve]. *)
+
+let client_socket_arg =
+  Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+         ~doc:"Unix socket of a running $(b,kaskade_cli serve).")
+
+let field kvs k = Option.value ~default:"-" (List.assoc_opt k kvs)
+
+let health_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the raw response fields as JSON.")
+  in
+  let run verbose socket json =
+    setup_logs verbose;
+    let c = Kaskade_serve.Client.connect socket in
+    let health = Kaskade_serve.Client.status (Kaskade_serve.Client.request c "HEALTH") in
+    let stats = Kaskade_serve.Client.status (Kaskade_serve.Client.request c "STATS") in
+    Kaskade_serve.Client.close c;
+    if json then
+      print_endline
+        (Kaskade_obs.Report.to_string ~pretty:true
+           (Kaskade_obs.Report.Obj
+              (List.map
+                 (fun (k, v) -> (k, Kaskade_obs.Report.Str v))
+                 (List.filter (fun (k, _) -> k <> "_status") (health @ stats)))))
+    else begin
+      let reasons = field health "reasons" in
+      Printf.printf "status: %s%s\n" (field health "status")
+        (if reasons = "" || reasons = "-" then "" else "  (" ^ reasons ^ ")");
+      Printf.printf "sessions %s  queue_depth %s  shed %s  shed_rate %s\n"
+        (field health "sessions") (field health "queue_depth") (field stats "shed")
+        (field health "shed_rate");
+      Printf.printf "views: stale %s  breakers_open %s\n" (field health "stale_views")
+        (field health "breakers_open");
+      if List.mem_assoc "wal_seq" stats then
+        Printf.printf "store: wal_seq %s  snapshot_seq %s  lag %s  wal_bytes %s\n"
+          (field stats "wal_seq") (field stats "snapshot_seq") (field health "wal_lag")
+          (field stats "wal_bytes");
+      if List.mem_assoc "qps" health then
+        Printf.printf "window: qps %s  queue_wait_p95 %ss\n" (field health "qps")
+          (field health "queue_wait_p95")
+    end;
+    (* Scriptable verdict: ok 0, degraded 1, unhealthy 2. *)
+    match field health "status" with
+    | "ok" -> ()
+    | "degraded" -> exit 1
+    | _ -> exit 2
+  in
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:
+         "One-shot health probe of a running server (HEALTH + STATS over the socket): \
+          typed status with reasons, admission/store/view gauges. Exits 0 when ok, 1 \
+          when degraded, 2 when unhealthy.")
+    Term.(const run $ verbose_arg $ client_socket_arg $ json)
+
+let top_cmd =
+  let interval =
+    Arg.(value & opt float 2.0 & info [ "interval" ] ~docv:"SECONDS"
+           ~doc:"Refresh period.")
+  in
+  let count =
+    Arg.(value & opt int 0 & info [ "count" ] ~docv:"N"
+           ~doc:"Stop after N refreshes (0: run until interrupted or the server goes away).")
+  in
+  let run verbose socket interval count =
+    setup_logs verbose;
+    let c = Kaskade_serve.Client.connect socket in
+    let interval = Stdlib.max 0.05 interval in
+    let clear = Unix.isatty Unix.stdout in
+    let tick i =
+      let health = Kaskade_serve.Client.status (Kaskade_serve.Client.request c "HEALTH") in
+      let stats = Kaskade_serve.Client.status (Kaskade_serve.Client.request c "STATS") in
+      if clear then print_string "\027[2J\027[H";
+      let now = Unix.localtime (Unix.gettimeofday ()) in
+      Printf.printf "kaskade top — %s  refresh %.1fs  #%d  %02d:%02d:%02d\n" socket interval
+        i now.Unix.tm_hour now.Unix.tm_min now.Unix.tm_sec;
+      let reasons = field health "reasons" in
+      Printf.printf "health   %s%s\n" (field health "status")
+        (if reasons = "" || reasons = "-" then "" else "  (" ^ reasons ^ ")");
+      Printf.printf "serve    sessions %s  queue_depth %s  shed %s  version %s\n"
+        (field stats "sessions") (field stats "queue_depth") (field stats "shed")
+        (field stats "version");
+      if List.mem_assoc "qps" health then
+        Printf.printf "window   qps %s  queue_wait_p95 %ss  shed_rate %s\n"
+          (field health "qps") (field health "queue_wait_p95") (field health "shed_rate");
+      Printf.printf "views    stale %s  breakers_open %s\n" (field health "stale_views")
+        (field health "breakers_open");
+      if List.mem_assoc "wal_seq" stats then
+        Printf.printf "store    wal_seq %s  snapshot_seq %s  lag %s  wal_bytes %s\n"
+          (field stats "wal_seq") (field stats "snapshot_seq") (field health "wal_lag")
+          (field stats "wal_bytes");
+      flush stdout
+    in
+    let rec loop i =
+      tick i;
+      if count = 0 || i < count then begin
+        Unix.sleepf interval;
+        loop (i + 1)
+      end
+    in
+    (try loop 1 with End_of_file | Unix.Unix_error _ -> prerr_endline "server went away");
+    Kaskade_serve.Client.close c
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live dashboard over a running server: periodic HEALTH + STATS refresh showing \
+          sessions, QPS, queue-wait p95, shed rate, view freshness and WAL growth.")
+    Term.(const run $ verbose_arg $ client_socket_arg $ interval $ count)
 
 let repl_cmd =
   let run verbose name edges seed graph_file budget =
@@ -861,6 +1024,8 @@ let () =
         trace_cmd;
         advise_cmd;
         serve_cmd;
+        health_cmd;
+        top_cmd;
         repl_cmd;
       ]
   in

@@ -22,6 +22,7 @@ module Explain = Kaskade_obs.Explain
 module Metrics = Kaskade_obs.Metrics
 module Report = Kaskade_obs.Report
 module Trace = Kaskade_obs.Trace
+module Tracectx = Kaskade_obs.Tracectx
 module Qlog = Kaskade_obs.Qlog
 module Trace_export = Kaskade_obs.Trace_export
 
@@ -767,14 +768,18 @@ let run ?budget t q =
         plan_cache_store t key ~target:Raw ~executed:q ~fingerprint:(Qlog.fingerprint plan);
         ((result, Raw), plan))
   in
-  match body () with
-  | ((result, target) as out), plan ->
-    let outcome = match target with Via_view v -> Qlog.View_hit v | Raw -> Qlog.Fallback in
-    log_query ?budget ~plan t0 q ~outcome ~rows:(result_rows result);
-    out
-  | exception e ->
-    log_failure ?budget t0 q e;
-    raise e
+  (* Inherit the serving layer's request context, or mint one for a
+     direct facade call — every span under [body] and the qlog record
+     then share one trace id. *)
+  Tracectx.with_minted (fun _trace ->
+      match body () with
+      | ((result, target) as out), plan ->
+        let outcome = match target with Via_view v -> Qlog.View_hit v | Raw -> Qlog.Fallback in
+        log_query ?budget ~plan t0 q ~outcome ~rows:(result_rows result);
+        out
+      | exception e ->
+        log_failure ?budget t0 q e;
+        raise e)
 
 (* EXPLAIN / PROFILE ------------------------------------------------- *)
 
@@ -902,16 +907,17 @@ let profile ?budget t q =
     in
     (result, make_report ?budget t q ~target ~raw_cost ~cands ~refreshes ~executed ~plan)
   in
-  match body () with
-  | (result, report) as out ->
-    let outcome =
-      match report.target with Via_view v -> Qlog.View_hit v | Raw -> Qlog.Fallback
-    in
-    log_query ?budget ~plan:report.plan t0 q ~outcome ~rows:(result_rows result);
-    out
-  | exception e ->
-    log_failure ?budget t0 q e;
-    raise e
+  Tracectx.with_minted (fun _trace ->
+      match body () with
+      | (result, report) as out ->
+        let outcome =
+          match report.target with Via_view v -> Qlog.View_hit v | Raw -> Qlog.Fallback
+        in
+        log_query ?budget ~plan:report.plan t0 q ~outcome ~rows:(result_rows result);
+        out
+      | exception e ->
+        log_failure ?budget t0 q e;
+        raise e)
 
 let pp_report ppf r =
   let open Format in

@@ -1,0 +1,111 @@
+(* The health model is a pure function over a sample the caller
+   assembles — it reads no global state, so it is trivially testable
+   and the serving layer decides what "the store" means (facade
+   accessors + the latest time-series point). Reasons are compact
+   [key=value] tokens with no spaces, so they survive the wire
+   protocol's space-separated [OK k=v] responses joined by commas. *)
+
+type thresholds = {
+  max_wal_lag : int;
+  max_snapshot_age_s : float option;
+  max_stale_views : int;
+  max_breakers_open : int;
+  max_queue_depth : int;
+  max_shed_rate : float;
+  min_plan_cache_hit_rate : float;
+  min_plan_cache_lookups : int;
+}
+
+let default_thresholds =
+  {
+    max_wal_lag = 10_000;
+    max_snapshot_age_s = None;
+    max_stale_views = 8;
+    max_breakers_open = 0;
+    max_queue_depth = 32;
+    max_shed_rate = 0.1;
+    min_plan_cache_hit_rate = 0.1;
+    min_plan_cache_lookups = 64;
+  }
+
+type sample = {
+  wal_lag : int;
+  snapshot_age_s : float option;
+  stale_views : int;
+  breakers_open : int;
+  sessions : int;
+  queue_depth : int;
+  shed_rate : float;
+  plan_cache_hits : int;
+  plan_cache_misses : int;
+}
+
+let empty_sample =
+  {
+    wal_lag = 0;
+    snapshot_age_s = None;
+    stale_views = 0;
+    breakers_open = 0;
+    sessions = 0;
+    queue_depth = 0;
+    shed_rate = 0.0;
+    plan_cache_hits = 0;
+    plan_cache_misses = 0;
+  }
+
+type status = Ok | Degraded of string list | Unhealthy of string list
+
+(* Each check trips "degraded" at its threshold and "unhealthy" at 4x
+   the threshold — one documented rule instead of a second config
+   record. Checks that describe normal transients (stale views, a cold
+   plan cache) never escalate past degraded. *)
+let hard_factor = 4.0
+
+let evaluate ?(thresholds = default_thresholds) (s : sample) =
+  let t = thresholds in
+  let soft = ref [] and hard = ref [] in
+  let check ~escalates value limit reason =
+    if value > limit then
+      if escalates && value > limit *. hard_factor then hard := reason :: !hard
+      else soft := reason :: !soft
+  in
+  check ~escalates:true (float_of_int s.wal_lag) (float_of_int t.max_wal_lag)
+    (Printf.sprintf "wal_lag=%d" s.wal_lag);
+  (match (s.snapshot_age_s, t.max_snapshot_age_s) with
+  | Some age, Some limit ->
+    check ~escalates:true age limit (Printf.sprintf "snapshot_age=%.0fs" age)
+  | _ -> ());
+  check ~escalates:false (float_of_int s.stale_views) (float_of_int t.max_stale_views)
+    (Printf.sprintf "stale_views=%d" s.stale_views);
+  check ~escalates:true (float_of_int s.breakers_open) (float_of_int t.max_breakers_open)
+    (Printf.sprintf "breakers_open=%d" s.breakers_open);
+  check ~escalates:true (float_of_int s.queue_depth) (float_of_int t.max_queue_depth)
+    (Printf.sprintf "queue_depth=%d" s.queue_depth);
+  check ~escalates:true s.shed_rate t.max_shed_rate (Printf.sprintf "shed_rate=%.2f" s.shed_rate);
+  let lookups = s.plan_cache_hits + s.plan_cache_misses in
+  (if lookups >= t.min_plan_cache_lookups && t.min_plan_cache_lookups > 0 then
+     let rate = float_of_int s.plan_cache_hits /. float_of_int lookups in
+     if rate < t.min_plan_cache_hit_rate then
+       soft := Printf.sprintf "plan_cache_hit_rate=%.2f" rate :: !soft);
+  match (List.rev !hard, List.rev !soft) with
+  | [], [] -> Ok
+  | [], soft -> Degraded soft
+  | hard, soft -> Unhealthy (hard @ soft)
+
+let label = function Ok -> "ok" | Degraded _ -> "degraded" | Unhealthy _ -> "unhealthy"
+let reasons = function Ok -> [] | Degraded r -> r | Unhealthy r -> r
+
+let to_json (s : sample) status =
+  let opt f = function None -> Report.Null | Some v -> f v in
+  Report.Obj
+    [ ("status", Report.Str (label status));
+      ("reasons", Report.List (List.map (fun r -> Report.Str r) (reasons status)));
+      ("wal_lag", Report.Int s.wal_lag);
+      ("snapshot_age_s", opt (fun f -> Report.num f) s.snapshot_age_s);
+      ("stale_views", Report.Int s.stale_views);
+      ("breakers_open", Report.Int s.breakers_open);
+      ("sessions", Report.Int s.sessions);
+      ("queue_depth", Report.Int s.queue_depth);
+      ("shed_rate", Report.num s.shed_rate);
+      ("plan_cache_hits", Report.Int s.plan_cache_hits);
+      ("plan_cache_misses", Report.Int s.plan_cache_misses) ]

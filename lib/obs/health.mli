@@ -1,0 +1,61 @@
+(** Live health model for the serving stack: a pure aggregation of
+    store, catalog, and admission-control signals into a typed
+    three-level status with human-auditable reasons. The serving
+    layer assembles a {!sample} from facade accessors and the latest
+    {!Timeseries} point, and [HEALTH] wire responses / `kaskade
+    health` render {!evaluate}'s verdict — the module itself reads no
+    global state, which is what keeps the thresholds testable. *)
+
+type thresholds = {
+  max_wal_lag : int;  (** WAL ops since the last snapshot. *)
+  max_snapshot_age_s : float option;  (** [None] disables the age check. *)
+  max_stale_views : int;
+  max_breakers_open : int;
+  max_queue_depth : int;
+  max_shed_rate : float;  (** Shed fraction of requests over the sampling window. *)
+  min_plan_cache_hit_rate : float;
+  min_plan_cache_lookups : int;
+      (** Hit-rate is only judged after this many lookups ([0]
+          disables the check) — a cold cache is not a health signal. *)
+}
+
+val default_thresholds : thresholds
+(** [max_wal_lag = 10000]; snapshot-age check off; [max_stale_views =
+    8]; [max_breakers_open = 0]; [max_queue_depth = 32];
+    [max_shed_rate = 0.1]; hit-rate ≥ 0.1 after 64 lookups. *)
+
+type sample = {
+  wal_lag : int;
+  snapshot_age_s : float option;  (** [None] when never snapshotted / not tracked. *)
+  stale_views : int;
+  breakers_open : int;
+  sessions : int;  (** Informational — carried into {!to_json}, not judged. *)
+  queue_depth : int;
+  shed_rate : float;
+  plan_cache_hits : int;
+  plan_cache_misses : int;
+}
+
+val empty_sample : sample
+(** All-zero / all-[None] sample — evaluates to [Ok]; update the
+    fields you can observe. *)
+
+type status = Ok | Degraded of string list | Unhealthy of string list
+(** Reasons are compact space-free [key=value] tokens (e.g.
+    ["wal_lag=12000"; "shed_rate=0.34"]) so they embed directly in
+    wire responses. *)
+
+val evaluate : ?thresholds:thresholds -> sample -> status
+(** Judge a sample. Each check trips {e degraded} at its threshold and
+    {e unhealthy} at 4x the threshold, except stale-view count and
+    plan-cache hit rate, which describe normal transients and never
+    escalate past degraded. Reasons list hard failures first. *)
+
+val label : status -> string
+(** ["ok"] / ["degraded"] / ["unhealthy"]. *)
+
+val reasons : status -> string list
+
+val to_json : sample -> status -> Report.json
+(** Status, reasons, and every sample field — the `kaskade health
+    --json` payload. *)

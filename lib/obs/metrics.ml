@@ -200,6 +200,61 @@ let reset () =
 let sorted tbl =
   Hashtbl.fold (fun _ v acc -> v :: acc) tbl [] |> List.sort compare
 
+(* Registry iteration — the raw material for the Prometheus
+   exposition, the time-series sampler, and the docs lint test. Names
+   are sorted so consumers see a stable order. *)
+let counters_list () = sorted counters |> List.map (fun c -> (c.c_name, counter_value c))
+let gauges_list () = sorted gauges |> List.map (fun g -> (g.g_name, g.g_value))
+let histograms_list () = sorted histograms |> List.map (fun h -> (h.h_name, h))
+
+let names () =
+  let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] in
+  List.sort_uniq compare (keys counters @ keys histograms @ keys gauges)
+
+(* ---- Prometheus text exposition (format 0.0.4) ---- *)
+
+(* Metric names are dot-separated internally; Prometheus allows
+   [a-zA-Z0-9_:], so dots become underscores. *)
+let prom_name s =
+  String.map (fun c -> match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_') s
+
+let to_prometheus () =
+  let b = Buffer.create 4096 in
+  let meta name kind help =
+    if help <> "" then Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name help);
+    Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name kind)
+  in
+  List.iter
+    (fun (c : counter) ->
+      let n = prom_name c.c_name ^ "_total" in
+      meta n "counter" c.c_help;
+      Buffer.add_string b (Printf.sprintf "%s %d\n" n (counter_value c)))
+    (sorted counters);
+  List.iter
+    (fun (g : gauge) ->
+      let n = prom_name g.g_name in
+      meta n "gauge" g.g_help;
+      Buffer.add_string b (Printf.sprintf "%s %.12g\n" n g.g_value))
+    (sorted gauges);
+  List.iter
+    (fun (h : histogram) ->
+      let n = prom_name h.h_name in
+      meta n "histogram" h.h_help;
+      let cum = ref 0 in
+      for i = 0 to n_buckets - 1 do
+        let k = merged_bucket h i in
+        if k > 0 then begin
+          cum := !cum + k;
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket{le=\"%.12g\"} %d\n" n (bucket_le i) !cum)
+        end
+      done;
+      Buffer.add_string b (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n (histogram_count h));
+      Buffer.add_string b (Printf.sprintf "%s_sum %.12g\n" n (histogram_sum h));
+      Buffer.add_string b (Printf.sprintf "%s_count %d\n" n (histogram_count h)))
+    (sorted histograms);
+  Buffer.contents b
+
 let to_json () =
   let counter_fields =
     sorted counters |> List.map (fun (c : counter) -> (c.c_name, Report.Int (counter_value c)))

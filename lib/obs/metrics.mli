@@ -69,9 +69,29 @@ val reset : unit -> unit
     cleared independently, so a racing observation lands wholly before
     or wholly after the reset — never torn. *)
 
+val counters_list : unit -> (string * int) list
+(** Every registered counter as [(name, merged value)], name-sorted.
+    Registry iteration for the Prometheus exposition, the
+    {!Timeseries} sampler, and the metrics-name lint test. *)
+
+val gauges_list : unit -> (string * float) list
+val histograms_list : unit -> (string * histogram) list
+
+val names : unit -> string list
+(** Every registered instrument name (counters, histograms, gauges),
+    sorted and de-duplicated. *)
+
 val to_json : unit -> Report.json
 (** Snapshot of every registered instrument:
     [{"counters": {...}, "gauges": {...}, "histograms": {...}}].
     Histograms carry count/sum/min/max/mean, p50/p95/p99 quantile
     estimates ({!quantile}), plus non-empty [le]-labelled buckets.
     Names are emitted in sorted order so dumps diff cleanly. *)
+
+val to_prometheus : unit -> string
+(** The whole registry in Prometheus text exposition format (0.0.4):
+    dots in names become underscores, counters gain a [_total] suffix,
+    histograms emit cumulative [le]-labelled buckets (non-empty ones
+    plus [+Inf]) and [_sum]/[_count] series, [# HELP]/[# TYPE]
+    comments from the registration help strings. This is what the
+    serve layer's [METRICS] wire verb returns. *)

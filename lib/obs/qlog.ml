@@ -20,6 +20,7 @@ type record = {
   operators : op_row list;
   session : string option;
   queue_wait_s : float option;
+  trace : string option;
 }
 
 (* FNV-1a over Int64 — OCaml's native int is 63-bit, so the 64-bit
@@ -152,6 +153,16 @@ let summary () =
        p99 %.2fms"
       total n !hits !falls !fails (ms 0.5) (ms 0.95) (ms 0.99)
 
+(* Slow-query accounting lives at the append choke point so every
+   entry path — facade, serving layer, replayed records — is counted
+   by one rule. The threshold is process-global, like the ring. *)
+let slow_counter =
+  Metrics.counter ~help:"Qlog appends at or above the slow-query threshold" "kaskade.slow_queries"
+
+let slow_threshold = ref 1.0
+let set_slow_threshold s = slow_threshold := Stdlib.max 0.0 s
+let slow_threshold_s () = !slow_threshold
+
 let append r =
   let stored, notify =
     locked (fun () ->
@@ -170,12 +181,16 @@ let append r =
      domains, and a hook that reads the log must not deadlock. *)
   (match !sink with Some f -> f stored | None -> ());
   if notify then (match !notifier with Some (_, f) -> f (summary ()) | None -> ());
+  if stored.seconds >= !slow_threshold then Metrics.incr slow_counter;
   stored
 
-let add ?budget ?plan ?session ?queue_wait_s ~query ~outcome ~rows ~seconds () =
+let add ?budget ?plan ?session ?queue_wait_s ?trace ~query ~outcome ~rows ~seconds () =
   let plan_fingerprint, operators =
     match plan with None -> ("", []) | Some p -> (fingerprint p, ops_of_plan p)
   in
+  (* Default the trace id from the ambient request context, so the
+     facade does not have to thread it explicitly. *)
+  let trace = match trace with Some _ as t -> t | None -> Tracectx.current () in
   append
     { seq = 0;
       query;
@@ -187,7 +202,8 @@ let add ?budget ?plan ?session ?queue_wait_s ~query ~outcome ~rows ~seconds () =
       budget;
       operators;
       session;
-      queue_wait_s }
+      queue_wait_s;
+      trace }
 
 (* ---- JSON ---- *)
 
@@ -219,6 +235,7 @@ let record_to_json (r : record) =
         ("budget", opt (fun s -> Report.Str s) r.budget);
         ("session", opt (fun s -> Report.Str s) r.session);
         ("queue_wait_s", opt (fun f -> Report.Float f) r.queue_wait_s);
+        ("trace", opt (fun s -> Report.Str s) r.trace);
         ("operators", Report.List (List.map op_row_to_json r.operators)) ])
 
 let str_field k j = match Report.member k j with Some (Report.Str s) -> Some s | _ -> None
@@ -283,7 +300,8 @@ let record_of_json j =
       budget = str_field "budget" j;
       operators;
       session = str_field "session" j;
-      queue_wait_s = float_field "queue_wait_s" j }
+      queue_wait_s = float_field "queue_wait_s" j;
+      trace = str_field "trace" j }
 
 let to_jsonl () =
   let b = Buffer.create 1024 in

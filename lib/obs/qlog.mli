@@ -44,6 +44,9 @@ type record = {
   operators : op_row list;
   session : string option;  (** Serving-layer session id, when the query came through {!Kaskade_serve}. *)
   queue_wait_s : float option;  (** Admission-queue wait before execution started. *)
+  trace : string option;
+      (** Request trace id ({!Tracectx}) — correlates this record with
+          the query's Chrome-trace spans and its wire response. *)
 }
 
 val hash_query : string -> string
@@ -81,6 +84,7 @@ val add :
   ?plan:Explain.node ->
   ?session:string ->
   ?queue_wait_s:float ->
+  ?trace:string ->
   query:string ->
   outcome:outcome ->
   rows:int ->
@@ -90,7 +94,16 @@ val add :
 (** Build a record (hashing the query, fingerprinting and flattening
     [plan] when given), append it, and return it. This is the facade's
     entry point. Fires the sink and, on every [every]-th append, the
-    notifier — both outside the lock. *)
+    notifier — both outside the lock. When [?trace] is omitted the
+    ambient {!Tracectx.current} is recorded, so callers inside a
+    request context need no explicit plumbing. *)
+
+val set_slow_threshold : float -> unit
+(** Seconds at or above which an appended record counts toward the
+    [kaskade.slow_queries] counter (default [1.0]; clamped to ≥ 0).
+    Process-global, like the ring. *)
+
+val slow_threshold_s : unit -> float
 
 val append : record -> record
 (** Low-level append of a prebuilt record (e.g. replaying a {!load}ed

@@ -1,0 +1,151 @@
+(* Fixed-interval sampling of the metrics registry into a bounded
+   ring. Counters are recorded as deltas against the previous sample
+   (rates fall out by dividing by [interval_s]); gauges as current
+   levels; histograms as the count delta plus current p50/p95/p99
+   (quantiles are lifetime estimates — the log-bucketed histograms
+   cannot be windowed without per-window state, and for "is p95
+   drifting" the lifetime curve is the right signal anyway).
+
+   One mutex guards the ring and the baselines: the server's sampler
+   thread appends while HEALTH handler threads read the latest
+   point. *)
+
+type point = {
+  at_s : float;
+  wall_s : float;
+  interval_s : float;
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * (int * float * float * float)) list;
+}
+
+type t = {
+  lock : Mutex.t;
+  ring : point option array;
+  mutable head : int;  (* next write slot *)
+  mutable len : int;
+  prev_counters : (string, int) Hashtbl.t;
+  prev_hist_counts : (string, int) Hashtbl.t;
+  mutable last_at : float option;
+}
+
+let create ?(capacity = 120) () =
+  {
+    lock = Mutex.create ();
+    ring = Array.make (max 1 capacity) None;
+    head = 0;
+    len = 0;
+    prev_counters = Hashtbl.create 64;
+    prev_hist_counts = Hashtbl.create 16;
+    last_at = None;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let capacity t = Array.length t.ring
+
+let sample t =
+  let now = Kaskade_util.Mclock.now_s () in
+  let wall = Unix.gettimeofday () in
+  let counters_now = Metrics.counters_list () in
+  let gauges_now = Metrics.gauges_list () in
+  let hists_now = Metrics.histograms_list () in
+  locked t (fun () ->
+      let interval = match t.last_at with None -> 0.0 | Some prev -> now -. prev in
+      t.last_at <- Some now;
+      let counter_deltas =
+        List.map
+          (fun (name, v) ->
+            let prev = Option.value ~default:0 (Hashtbl.find_opt t.prev_counters name) in
+            Hashtbl.replace t.prev_counters name v;
+            (name, v - prev))
+          counters_now
+      in
+      let hist_points =
+        List.map
+          (fun (name, h) ->
+            let count = Metrics.histogram_count h in
+            let prev = Option.value ~default:0 (Hashtbl.find_opt t.prev_hist_counts name) in
+            Hashtbl.replace t.prev_hist_counts name count;
+            let q p = if count = 0 then 0.0 else Metrics.quantile h p in
+            (name, (count - prev, q 0.50, q 0.95, q 0.99)))
+          hists_now
+      in
+      let p =
+        {
+          at_s = now;
+          wall_s = wall;
+          interval_s = interval;
+          counters = counter_deltas;
+          gauges = gauges_now;
+          histograms = hist_points;
+        }
+      in
+      t.ring.(t.head) <- Some p;
+      t.head <- (t.head + 1) mod Array.length t.ring;
+      t.len <- min (Array.length t.ring) (t.len + 1);
+      p)
+
+let points t =
+  locked t (fun () ->
+      let cap = Array.length t.ring in
+      let out = ref [] in
+      for i = t.len - 1 downto 0 do
+        match t.ring.((t.head - t.len + i + (2 * cap)) mod cap) with
+        | Some p -> out := p :: !out
+        | None -> ()
+      done;
+      !out)
+
+let latest t =
+  locked t (fun () ->
+      if t.len = 0 then None
+      else t.ring.((t.head - 1 + Array.length t.ring) mod Array.length t.ring))
+
+let length t = locked t (fun () -> t.len)
+
+let counter_delta p name =
+  Option.value ~default:0 (List.assoc_opt name p.counters)
+
+let gauge_level p name = List.assoc_opt name p.gauges
+let histogram_point p name = List.assoc_opt name p.histograms
+
+let rate p name =
+  if p.interval_s <= 0.0 then 0.0 else float_of_int (counter_delta p name) /. p.interval_s
+
+let point_to_json p =
+  let nonzero_counters = List.filter (fun (_, d) -> d <> 0) p.counters in
+  let active_hists = List.filter (fun (_, (d, _, _, _)) -> d <> 0) p.histograms in
+  Report.Obj
+    [ ("at_s", Report.num p.at_s);
+      ("wall_s", Report.num p.wall_s);
+      ("interval_s", Report.num p.interval_s);
+      ( "counters",
+        Report.Obj (List.map (fun (n, d) -> (n, Report.Int d)) nonzero_counters) );
+      ("gauges", Report.Obj (List.map (fun (n, v) -> (n, Report.num v)) p.gauges));
+      ( "histograms",
+        Report.Obj
+          (List.map
+             (fun (n, (d, p50, p95, p99)) ->
+               ( n,
+                 Report.Obj
+                   [ ("count_delta", Report.Int d);
+                     ("p50", Report.num p50);
+                     ("p95", Report.num p95);
+                     ("p99", Report.num p99) ] ))
+             active_hists) ) ]
+
+let to_jsonl t =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun p ->
+      Buffer.add_string b (Report.to_string ~pretty:false (point_to_json p));
+      Buffer.add_char b '\n')
+    (points t);
+  Buffer.contents b
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_jsonl t))

@@ -38,10 +38,20 @@ let close (o : open_span) ~stop =
     children = List.rev o.o_children;
   }
 
+(* Every span minted while a request context is ambient carries the
+   trace id as a plain attribute — one [Domain.DLS.get] per span, only
+   while collecting. Explicit ["trace"] attrs win (a caller replaying
+   foreign spans keeps their ids). *)
+let stamp_ctx attrs =
+  match Tracectx.current () with
+  | Some id when not (List.mem_assoc "trace" attrs) -> ("trace", id) :: attrs
+  | _ -> attrs
+
 let with_span ?(attrs = []) name f =
   match !current with
   | None -> f ()
   | Some st ->
+    let attrs = stamp_ctx attrs in
     let o =
       { o_name = name; o_attrs = List.rev attrs; o_start = now_s () -. st.epoch; o_children = [] }
     in
@@ -76,7 +86,7 @@ let record_span ?(attrs = []) ~name ~start_s ~stop_s () =
     let closed =
       {
         name;
-        attrs;
+        attrs = stamp_ctx attrs;
         start_s = start_s -. st.epoch;
         duration_s = stop_s -. start_s;
         children = [];

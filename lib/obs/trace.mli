@@ -30,7 +30,10 @@ val now_s : unit -> float
 
 val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
 (** Run the thunk inside a named span (when collecting). The span is
-    recorded even when the thunk raises; the exception propagates. *)
+    recorded even when the thunk raises; the exception propagates.
+    While a {!Tracectx} is ambient, the span additionally carries a
+    [("trace", id)] attribute (unless the caller supplied one) — the
+    request-correlation hook. *)
 
 val add_attr : string -> string -> unit
 (** Attach a key/value to the innermost open span. No-op when not
@@ -45,7 +48,9 @@ val record_span :
     worker and replays the stamps here after the join, with a
     ["domain"] attribute naming the executing domain (0 = the calling
     domain) — {!Trace_export} maps it to per-thread tracks. No-op when
-    not collecting. Main-domain only. *)
+    not collecting. Main-domain only. Stamped with the ambient
+    {!Tracectx} like {!with_span} — because Pool observers replay on
+    the calling domain, morsel spans inherit the request's trace id. *)
 
 val collect : (unit -> 'a) -> 'a * span list
 (** Run with collection enabled and return the top-level spans in

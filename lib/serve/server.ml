@@ -1,23 +1,37 @@
 module Budget = Kaskade_util.Budget
 module Error = Kaskade.Error
+module Metrics = Kaskade_obs.Metrics
+module Timeseries = Kaskade_obs.Timeseries
+module Health = Kaskade_obs.Health
+module Tracectx = Kaskade_obs.Tracectx
+module Store = Kaskade_store.Store
 
 let log_src = Logs.Src.create "kaskade.serve" ~doc:"Kaskade serving layer"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let m_serve_requests =
+  Metrics.counter ~help:"Wire requests parsed by the server (any verb)" "kaskade.serve_requests"
 
 type t = {
   mgr : Session.manager;
   fd : Unix.file_descr;
   socket_path : string;
   deadline_s : float option;
+  thresholds : Health.thresholds;
+  ts : Timeseries.t;
+  sample_every_s : float;
   stop : bool Atomic.t;
+  mutable sampler : Thread.t option;  (* guarded by [hlock] *)
   mutable handlers : Thread.t list;  (* guarded by [hlock] *)
   hlock : Mutex.t;
 }
 
 let manager t = t.mgr
+let timeseries t = t.ts
 
-let create ?max_sessions ?max_inflight ?max_queue ?deadline_s ?mode ~socket ks =
+let create ?max_sessions ?max_inflight ?max_queue ?deadline_s ?mode ?thresholds
+    ?(sample_every_s = 1.0) ?timeseries_capacity ~socket ks =
   (* A dropped peer must be an [EPIPE] error on write, not a fatal
      SIGPIPE. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
@@ -30,7 +44,11 @@ let create ?max_sessions ?max_inflight ?max_queue ?deadline_s ?mode ~socket ks =
     fd;
     socket_path = socket;
     deadline_s;
+    thresholds = Option.value ~default:Health.default_thresholds thresholds;
+    ts = Timeseries.create ?capacity:timeseries_capacity ();
+    sample_every_s = Stdlib.max 0.01 sample_every_s;
     stop = Atomic.make false;
+    sampler = None;
     handlers = [];
     hlock = Mutex.create ();
   }
@@ -52,6 +70,27 @@ let respond oc line =
   output_char oc '\n';
   flush oc
 
+let counter_value name =
+  Option.value ~default:0 (List.assoc_opt name (Metrics.counters_list ()))
+
+let gauge_level name =
+  Option.value ~default:0.0 (List.assoc_opt name (Metrics.gauges_list ()))
+
+(* Store gauges ride along in STATS so operators can judge WAL growth
+   without file-system access; an in-memory facade reports nothing
+   extra. [wal_appends]/[wal_bytes] come from the metrics registry
+   (the WAL's own counters), the sequence numbers from the store. *)
+let store_fields mgr =
+  match Kaskade.store (Session.kaskade mgr) with
+  | None -> []
+  | Some st ->
+    [
+      ("wal_appends", string_of_int (counter_value "kaskade.wal_appends"));
+      ("wal_bytes", string_of_int (counter_value "kaskade.wal_bytes"));
+      ("wal_seq", string_of_int (Store.last_seq st));
+      ("snapshot_seq", string_of_int (Store.snapshot_seq st));
+    ]
+
 let stats_line mgr =
   let pinned =
     Session.pinned_versions mgr
@@ -59,13 +98,82 @@ let stats_line mgr =
     |> String.concat ","
   in
   Wire.ok
-    [
-      ("sessions", string_of_int (Session.sessions_active mgr));
-      ("queue_depth", string_of_int (Session.queue_depth mgr));
-      ("shed", string_of_int (Session.shed_total mgr));
-      ("version", string_of_int (Kaskade.version (Session.kaskade mgr)));
-      ("pinned", pinned);
-    ]
+    ([
+       ("sessions", string_of_int (Session.sessions_active mgr));
+       ("queue_depth", string_of_int (Session.queue_depth mgr));
+       ("shed", string_of_int (Session.shed_total mgr));
+       ("version", string_of_int (Kaskade.version (Session.kaskade mgr)));
+       ("pinned", pinned);
+     ]
+    @ store_fields mgr)
+
+(* The health sample is assembled from facade accessors plus the
+   latest time-series point (for the windowed shed rate — cumulative
+   sheds would keep a recovered server degraded forever). *)
+let health_sample t =
+  let ks = Session.kaskade t.mgr in
+  let wal_lag =
+    match Kaskade.store ks with
+    | None -> 0
+    | Some st -> Store.last_seq st - Stdlib.max 0 (Store.snapshot_seq st)
+  in
+  let breakers_open =
+    Kaskade.breaker_states ks
+    |> List.filter (fun (_, b) -> Kaskade_util.Breaker.state b = Kaskade_util.Breaker.Open)
+    |> List.length
+  in
+  let shed_rate =
+    match Timeseries.latest t.ts with
+    | Some p when p.Timeseries.interval_s > 0.0 ->
+      let sheds = Timeseries.counter_delta p "kaskade.shed_requests" in
+      let reqs = Timeseries.counter_delta p "kaskade.serve_requests" in
+      if sheds = 0 then 0.0 else float_of_int sheds /. float_of_int (Stdlib.max 1 reqs)
+    | _ ->
+      let sheds = Session.shed_total t.mgr in
+      if sheds = 0 then 0.0
+      else float_of_int sheds /. float_of_int (Stdlib.max 1 (counter_value "kaskade.serve_requests"))
+  in
+  {
+    Health.empty_sample with
+    Health.wal_lag;
+    stale_views = int_of_float (gauge_level "kaskade.stale_views");
+    breakers_open;
+    sessions = Session.sessions_active t.mgr;
+    queue_depth = Session.queue_depth t.mgr;
+    shed_rate;
+    plan_cache_hits = counter_value "kaskade.plan_cache_hits";
+    plan_cache_misses = counter_value "kaskade.plan_cache_misses";
+  }
+
+let health_line t =
+  let sample = health_sample t in
+  let status = Health.evaluate ~thresholds:t.thresholds sample in
+  let windowed =
+    match Timeseries.latest t.ts with
+    | Some p when p.Timeseries.interval_s > 0.0 ->
+      let p95 =
+        match Timeseries.histogram_point p "kaskade.queue_wait_seconds" with
+        | Some (_, _, p95, _) -> p95
+        | None -> 0.0
+      in
+      [
+        ("qps", Printf.sprintf "%.1f" (Timeseries.rate p "kaskade.serve_requests"));
+        ("queue_wait_p95", Printf.sprintf "%.6f" p95);
+      ]
+    | _ -> []
+  in
+  Wire.ok
+    ([
+       ("status", Health.label status);
+       ("reasons", String.concat "," (Health.reasons status));
+       ("wal_lag", string_of_int sample.Health.wal_lag);
+       ("stale_views", string_of_int sample.Health.stale_views);
+       ("breakers_open", string_of_int sample.Health.breakers_open);
+       ("sessions", string_of_int sample.Health.sessions);
+       ("queue_depth", string_of_int sample.Health.queue_depth);
+       ("shed_rate", Printf.sprintf "%.3f" sample.Health.shed_rate);
+     ]
+    @ windowed)
 
 (* One request -> one response (plus row lines for [ROWS]). Returns
    [`Continue], [`Close] (connection done) or [`Shutdown]. *)
@@ -75,17 +183,24 @@ let handle_request t ~session oc line =
     respond oc (Wire.err_msg ~label:"proto" reason);
     `Continue
   | Result.Ok req -> begin
+    Metrics.incr m_serve_requests;
     let with_session f =
       match !session with
       | Some s -> f s
       | None -> respond oc (Wire.err_msg ~label:"proto" "no session: send OPEN first")
     in
-    let query ~stream qtext =
+    let query ~stream ~trace qtext =
       with_session (fun s ->
           let budget = Option.map (fun d -> Budget.create ~deadline_s:d ()) t.deadline_s in
           let t0 = Kaskade_obs.Trace.now_s () in
+          (* The effective id — client-supplied or minted here — is
+             installed for the whole run (so the qlog record and any
+             collected spans carry it) and echoed in the response. *)
+          let trace =
+            match trace with Some id -> id | None -> Tracectx.mint ~session:(Session.id s) ()
+          in
           match
-            Result.bind (Kaskade.parse_result qtext) (fun q -> Session.run ?budget s q)
+            Result.bind (Kaskade.parse_result qtext) (fun q -> Session.run ?budget ~trace s q)
           with
           | Result.Error e -> respond oc (Wire.err e)
           | Result.Ok result ->
@@ -105,6 +220,7 @@ let handle_request t ~session oc line =
                    ("checksum", Wire.checksum rendered);
                    ("version", string_of_int (Session.pinned_version s));
                    ("seconds", Printf.sprintf "%.6f" (Kaskade_obs.Trace.now_s () -. t0));
+                   ("trace", trace);
                  ]))
     in
     match req with
@@ -132,11 +248,11 @@ let handle_request t ~session oc line =
           `Continue
       end
     end
-    | Wire.Query q ->
-      query ~stream:false q;
+    | Wire.Query { q; trace } ->
+      query ~stream:false ~trace q;
       `Continue
-    | Wire.Query_rows q ->
-      query ~stream:true q;
+    | Wire.Query_rows { q; trace } ->
+      query ~stream:true ~trace q;
       `Continue
     | Wire.Repin ->
       with_session (fun s ->
@@ -155,6 +271,19 @@ let handle_request t ~session oc line =
     end
     | Wire.Stats ->
       respond oc (stats_line t.mgr);
+      `Continue
+    | Wire.Health ->
+      respond oc (health_line t);
+      `Continue
+    | Wire.Metrics ->
+      (* Prometheus exposition streams like ROWS: "| "-prefixed lines,
+         then a terminal OK — so every existing client reads it. *)
+      let lines =
+        Metrics.to_prometheus () |> String.split_on_char '\n'
+        |> List.filter (fun l -> l <> "")
+      in
+      List.iter (fun l -> respond oc ("| " ^ l)) lines;
+      respond oc (Wire.ok [ ("lines", string_of_int (List.length lines)) ]);
       `Continue
     | Wire.Close -> begin
       match !session with
@@ -194,7 +323,38 @@ let handle_connection t conn =
   (match !session with Some s -> Session.close s | None -> ());
   try Unix.close conn with Unix.Unix_error _ -> ()
 
+(* The sampler thread drives the time-series ring for the server's
+   lifetime. An immediate first sample sets the delta baseline; the
+   loop then wakes every [sample_every_s] (sliced into short sleeps so
+   shutdown is prompt). *)
+let start_sampler t =
+  ignore (Timeseries.sample t.ts);
+  let th =
+    Thread.create
+      (fun () ->
+        let rec loop () =
+          if not (Atomic.get t.stop) then begin
+            let slept = ref 0.0 in
+            while (not (Atomic.get t.stop)) && !slept < t.sample_every_s do
+              let step = Stdlib.min 0.05 (t.sample_every_s -. !slept) in
+              Unix.sleepf step;
+              slept := !slept +. step
+            done;
+            if not (Atomic.get t.stop) then begin
+              ignore (Timeseries.sample t.ts);
+              loop ()
+            end
+          end
+        in
+        loop ())
+      ()
+  in
+  Mutex.lock t.hlock;
+  t.sampler <- Some th;
+  Mutex.unlock t.hlock
+
 let run t =
+  start_sampler t;
   let rec accept_loop () =
     if not (Atomic.get t.stop) then begin
       match Unix.accept t.fd with
@@ -224,7 +384,17 @@ let run t =
     hs
   in
   List.iter (fun th -> try Thread.join th with _ -> ()) handlers;
+  let sampler =
+    Mutex.lock t.hlock;
+    let s = t.sampler in
+    Mutex.unlock t.hlock;
+    s
+  in
+  (match sampler with Some th -> (try Thread.join th with _ -> ()) | None -> ());
   if Sys.file_exists t.socket_path then try Unix.unlink t.socket_path with Unix.Unix_error _ -> ()
 
-let serve ?max_sessions ?max_inflight ?max_queue ?deadline_s ?mode ~socket ks =
-  run (create ?max_sessions ?max_inflight ?max_queue ?deadline_s ?mode ~socket ks)
+let serve ?max_sessions ?max_inflight ?max_queue ?deadline_s ?mode ?thresholds ?sample_every_s
+    ?timeseries_capacity ~socket ks =
+  run
+    (create ?max_sessions ?max_inflight ?max_queue ?deadline_s ?mode ?thresholds ?sample_every_s
+       ?timeseries_capacity ~socket ks)

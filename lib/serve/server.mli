@@ -17,6 +17,9 @@ val create :
   ?max_queue:int ->
   ?deadline_s:float ->
   ?mode:Kaskade_exec.Executor.mode ->
+  ?thresholds:Kaskade_obs.Health.thresholds ->
+  ?sample_every_s:float ->
+  ?timeseries_capacity:int ->
   socket:string ->
   Kaskade.t ->
   t
@@ -24,18 +27,30 @@ val create :
     unlinked). [deadline_s], when given, attaches a fresh
     [Budget.create ~deadline_s] to every [Q]/[ROWS] request — the
     per-request deadline budget of the admission controller.
-    Capacity knobs are {!Session.create_manager}'s. Raises
-    [Unix.Unix_error] when binding fails (bad path, permissions). *)
+    Capacity knobs are {!Session.create_manager}'s. [thresholds]
+    configures the [HEALTH] verb's judgment
+    ({!Kaskade_obs.Health.default_thresholds} otherwise);
+    [sample_every_s] (default 1.0, clamped to ≥ 0.01) is the
+    time-series sampler interval and [timeseries_capacity] its ring
+    size. Raises [Unix.Unix_error] when binding fails (bad path,
+    permissions). *)
 
 val run : t -> unit
 (** Accept loop; blocks until a client sends [SHUTDOWN] or
-    {!shutdown} is called, then waits for open connection handlers to
-    drain and removes the socket file. *)
+    {!shutdown} is called, then waits for open connection handlers
+    (and the time-series sampler thread) to drain and removes the
+    socket file. Starts the sampler: one immediate baseline sample,
+    then one per [sample_every_s]. *)
 
 val shutdown : t -> unit
 (** Ask a running {!run} to stop (thread-safe, idempotent). *)
 
 val manager : t -> Session.manager
+
+val timeseries : t -> Kaskade_obs.Timeseries.t
+(** The server's sampler ring — what [HEALTH] reads its windowed
+    qps/shed-rate from, exported for the bench drill and for dumping
+    with [Timeseries.save] after {!run} returns. *)
 
 val serve :
   ?max_sessions:int ->
@@ -43,6 +58,9 @@ val serve :
   ?max_queue:int ->
   ?deadline_s:float ->
   ?mode:Kaskade_exec.Executor.mode ->
+  ?thresholds:Kaskade_obs.Health.thresholds ->
+  ?sample_every_s:float ->
+  ?timeseries_capacity:int ->
   socket:string ->
   Kaskade.t ->
   unit

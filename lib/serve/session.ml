@@ -204,7 +204,7 @@ let release mgr =
   Condition.broadcast mgr.cond;
   Mutex.unlock mgr.lock
 
-let run ?budget s q =
+let run_admitted ?budget s q =
   match admit ?budget s.mgr with
   | Result.Error e ->
     ignore
@@ -236,6 +236,14 @@ let run ?budget s q =
         | Result.Error e ->
           log (Qlog.Failed (Error.label e)) 0;
           Result.Error e)
+
+(* The request's trace context wraps admission *and* execution, so a
+   shed is attributable to the same id the client supplied — the qlog
+   record picks the ambient id up via [Qlog.add]'s default. *)
+let run ?budget ?trace s q =
+  match trace with
+  | None -> run_admitted ?budget s q
+  | Some id -> Kaskade_obs.Tracectx.with_ctx id (fun () -> run_admitted ?budget s q)
 
 let submit mgr ops =
   locked mgr (fun () ->

@@ -61,6 +61,7 @@ val pinned_graph : t -> Kaskade_graph.Graph.t
 
 val run :
   ?budget:Kaskade_util.Budget.t ->
+  ?trace:string ->
   t ->
   Kaskade_query.Ast.t ->
   (Kaskade_exec.Executor.result, Kaskade.Error.t) result
@@ -68,7 +69,9 @@ val run :
     Appends one [Kaskade_obs.Qlog] record per call (successes and
     governed failures alike) carrying this session's {!id} and the
     admission-queue wait. [budget]'s deadline covers queue wait plus
-    execution. *)
+    execution. [trace] installs a {!Kaskade_obs.Tracectx} for the
+    whole call (admission included), so the qlog record — and any
+    spans, if a collection is in flight — carry the request's id. *)
 
 val repin : t -> int
 (** Drop the session's pin and re-pin the {e current} overlay version

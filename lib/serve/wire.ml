@@ -6,11 +6,13 @@ module Qlog = Kaskade_obs.Qlog
 type request =
   | Ping
   | Open
-  | Query of string
-  | Query_rows of string
+  | Query of { q : string; trace : string option }
+  | Query_rows of { q : string; trace : string option }
   | Repin
   | Update of Kaskade.Update.op list
   | Stats
+  | Health
+  | Metrics
   | Close
   | Shutdown
 
@@ -45,6 +47,25 @@ let parse_ops specs =
     (List.filter (fun s -> String.trim s <> "") specs)
   |> Result.map List.rev
 
+(* An optional [trace=<16 hex>] token may lead the query text of [Q] /
+   [ROWS]; it never collides with a query because queries start with a
+   keyword. Malformed ids are a protocol error, not a query. *)
+let split_trace rest =
+  let prefix = "trace=" in
+  let plen = String.length prefix in
+  if String.length rest > plen && String.sub rest 0 plen = prefix then begin
+    let tid, q =
+      match String.index_opt rest ' ' with
+      | None -> (String.sub rest plen (String.length rest - plen), "")
+      | Some i ->
+        ( String.sub rest plen (i - plen),
+          String.trim (String.sub rest (i + 1) (String.length rest - i - 1)) )
+    in
+    if Kaskade_obs.Tracectx.is_valid tid then Ok (Some tid, q)
+    else Error (Printf.sprintf "bad trace id %S (want 16 hex digits)" tid)
+  end
+  else Ok (None, rest)
+
 let parse_request line =
   let line = String.trim line in
   let verb, rest =
@@ -53,17 +74,25 @@ let parse_request line =
     | Some i ->
       (String.sub line 0 i, String.trim (String.sub line (i + 1) (String.length line - i - 1)))
   in
+  let query mk rest =
+    match split_trace rest with
+    | Error e -> Error e
+    | Ok (_, "") -> Error (Printf.sprintf "%s needs a query" verb)
+    | Ok (trace, q) -> Ok (mk ~q ~trace)
+  in
   match (verb, rest) with
   | "PING", _ -> Ok Ping
   | "OPEN", _ -> Ok Open
   | "Q", "" -> Error "Q needs a query"
-  | "Q", q -> Ok (Query q)
+  | "Q", rest -> query (fun ~q ~trace -> Query { q; trace }) rest
   | "ROWS", "" -> Error "ROWS needs a query"
-  | "ROWS", q -> Ok (Query_rows q)
+  | "ROWS", rest -> query (fun ~q ~trace -> Query_rows { q; trace }) rest
   | "REPIN", _ -> Ok Repin
   | "UPDATE", "" -> Error "UPDATE needs at least one op"
   | "UPDATE", specs -> Result.map (fun ops -> Update ops) (parse_ops (String.split_on_char ';' specs))
   | "STATS", _ -> Ok Stats
+  | "HEALTH", _ -> Ok Health
+  | "METRICS", _ -> Ok Metrics
   | "CLOSE", _ -> Ok Close
   | "SHUTDOWN", _ -> Ok Shutdown
   | "", _ -> Error "empty request"

@@ -6,16 +6,28 @@
     {b Requests} (first token is the verb, case-sensitive):
     - [PING] — liveness probe.
     - [OPEN] — open a session pinned to the current version.
-    - [Q <query>] — evaluate on the session's pinned snapshot; the
-      response carries the row count and an FNV-1a checksum of the
-      canonically rendered result, so clients verify byte-identity
-      without streaming rows.
-    - [ROWS <query>] — like [Q] but streams the rendered rows first.
+    - [Q [trace=<id>] <query>] — evaluate on the session's pinned
+      snapshot; the response carries the row count and an FNV-1a
+      checksum of the canonically rendered result, so clients verify
+      byte-identity without streaming rows. The optional leading
+      [trace=] token (16 hex digits, {!Kaskade_obs.Tracectx}) names
+      the request's trace id; the server mints one when absent and
+      echoes the effective id as [trace=] in the response — the same
+      id its qlog record and spans carry.
+    - [ROWS [trace=<id>] <query>] — like [Q] but streams the rendered
+      rows first.
     - [REPIN] — re-pin to the current version.
     - [UPDATE <op>[;<op>...]] — writer batch; ops use the CLI's
       syntax: [insert-vertex:TYPE], [insert-edge:SRC:DST:ETYPE],
       [delete-edge:SRC:DST:ETYPE].
-    - [STATS] — manager counters.
+    - [STATS] — manager counters plus store gauges (WAL growth,
+      last snapshot).
+    - [HEALTH] — one-line health verdict: [status=ok|degraded|unhealthy]
+      with comma-joined reasons, plus windowed qps/p95 from the
+      server's time-series sampler.
+    - [METRICS] — the whole metrics registry in Prometheus text
+      exposition format, streamed as ["| "]-prefixed lines before the
+      terminal [OK lines=N].
     - [CLOSE] — close the session (the connection stays up).
     - [SHUTDOWN] — stop the server after this response.
 
@@ -26,11 +38,13 @@
 type request =
   | Ping
   | Open
-  | Query of string  (** [Q] — checksum only. *)
-  | Query_rows of string  (** [ROWS] — stream rendered rows. *)
+  | Query of { q : string; trace : string option }  (** [Q] — checksum only. *)
+  | Query_rows of { q : string; trace : string option }  (** [ROWS] — stream rendered rows. *)
   | Repin
   | Update of Kaskade.Update.op list
   | Stats
+  | Health
+  | Metrics
   | Close
   | Shutdown
 

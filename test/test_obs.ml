@@ -629,6 +629,284 @@ let test_advisor_keep_after_materialization () =
     advice.Kaskade.Advisor.calibration;
   Qlog.clear ()
 
+(* ------------------------------------------------------------------ *)
+(* Trace contexts: minting, scoping, span + qlog stamping              *)
+
+module Tracectx = Obs.Tracectx
+module Health = Obs.Health
+module Timeseries = Obs.Timeseries
+
+let test_tracectx_mint () =
+  let a = Tracectx.mint () and b = Tracectx.mint () in
+  check_bool "minted id is valid" true (Tracectx.is_valid a);
+  check_bool "second minted id is valid" true (Tracectx.is_valid b);
+  check_bool "consecutive mints differ" true (a <> b);
+  check_bool "session-salted mint is valid" true (Tracectx.is_valid (Tracectx.mint ~session:"s7" ()));
+  List.iter
+    (fun bad -> check_bool (Printf.sprintf "rejects %S" bad) false (Tracectx.is_valid bad))
+    [ ""; "xyz"; "00deadbeef123ab"; "00deadbeef123abcd"; "00DEADBEEF123ABC"; "00deadbeef123ab-" ]
+
+let test_tracectx_scoping () =
+  let a = String.make 16 'a' and b = String.make 16 'b' in
+  check_bool "no ambient ctx at rest" true (Tracectx.current () = None);
+  Tracectx.with_ctx a (fun () ->
+      check_bool "ctx visible inside" true (Tracectx.current () = Some a);
+      Tracectx.with_ctx b (fun () ->
+          check_bool "inner ctx shadows" true (Tracectx.current () = Some b));
+      check_bool "outer ctx restored" true (Tracectx.current () = Some a));
+  check_bool "ctx cleared after scope" true (Tracectx.current () = None);
+  (try Tracectx.with_ctx a (fun () -> raise Exit) with Exit -> ());
+  check_bool "ctx restored after raise" true (Tracectx.current () = None);
+  Tracectx.with_ctx a (fun () ->
+      Tracectx.with_minted (fun id -> check_string "with_minted inherits" a id));
+  Tracectx.with_minted (fun id ->
+      check_bool "with_minted mints when absent" true (Tracectx.is_valid id);
+      check_bool "minted id is the ambient ctx" true (Tracectx.current () = Some id));
+  check_bool "minted ctx cleared" true (Tracectx.current () = None)
+
+let test_span_trace_stamping () =
+  let id = Tracectx.mint () in
+  let (), spans =
+    Trace.collect (fun () ->
+        Tracectx.with_ctx id (fun () ->
+            Trace.with_span "stamped" (fun () ->
+                let t = Trace.now_s () in
+                Trace.record_span ~name:"leaf" ~start_s:t ~stop_s:t ());
+            Trace.with_span "explicit"
+              ~attrs:[ ("trace", String.make 16 'f') ]
+              (fun () -> ()));
+        Trace.with_span "bare" (fun () -> ()))
+  in
+  let all = List.concat_map flatten_spans spans in
+  let find n = List.find (fun s -> s.Trace.name = n) all in
+  check_bool "with_span stamps ambient trace" true
+    (List.assoc_opt "trace" (find "stamped").Trace.attrs = Some id);
+  check_bool "record_span stamps ambient trace" true
+    (List.assoc_opt "trace" (find "leaf").Trace.attrs = Some id);
+  check_bool "explicit trace attr wins" true
+    (List.assoc_opt "trace" (find "explicit").Trace.attrs = Some (String.make 16 'f'));
+  check_bool "no ctx, no stamp" true (List.assoc_opt "trace" (find "bare").Trace.attrs = None)
+
+let test_qlog_trace_stamping () =
+  Qlog.clear ();
+  let id = Tracectx.mint () in
+  let r1 = Qlog.add ~trace:id ~query:"Q1" ~outcome:Qlog.Fallback ~rows:1 ~seconds:0.001 () in
+  check_bool "explicit trace stored" true (r1.Qlog.trace = Some id);
+  let r2 =
+    Tracectx.with_ctx id (fun () ->
+        Qlog.add ~query:"Q2" ~outcome:Qlog.Fallback ~rows:0 ~seconds:0.0 ())
+  in
+  check_bool "ambient trace is the default" true (r2.Qlog.trace = Some id);
+  let r3 = Qlog.add ~query:"Q3" ~outcome:Qlog.Fallback ~rows:0 ~seconds:0.0 () in
+  check_bool "no ctx, no trace" true (r3.Qlog.trace = None);
+  (* The JSON shape keeps the field through a round-trip. *)
+  (match Qlog.record_of_json (Qlog.record_to_json r1) with
+  | Ok back -> check_bool "trace survives JSON round-trip" true (back.Qlog.trace = Some id)
+  | Error e -> Alcotest.fail ("record round-trip failed: " ^ e));
+  Qlog.clear ()
+
+let test_qlog_slow_counter () =
+  let counter_value name =
+    match List.assoc_opt name (Metrics.counters_list ()) with Some v -> v | None -> 0
+  in
+  let before = counter_value "kaskade.slow_queries" in
+  let old = Qlog.slow_threshold_s () in
+  Fun.protect
+    ~finally:(fun () -> Qlog.set_slow_threshold old)
+    (fun () ->
+      Qlog.set_slow_threshold 0.005;
+      check_bool "threshold readable" true (Qlog.slow_threshold_s () = 0.005);
+      ignore (Qlog.add ~query:"fast" ~outcome:Qlog.Fallback ~rows:0 ~seconds:0.004 ());
+      check_int "below threshold does not count" before (counter_value "kaskade.slow_queries");
+      ignore (Qlog.add ~query:"slow" ~outcome:Qlog.Fallback ~rows:0 ~seconds:0.005 ());
+      check_int "at threshold counts" (before + 1) (counter_value "kaskade.slow_queries"));
+  Qlog.clear ()
+
+(* Satellite: Chrome trace export under sharded scans — shard.scan
+   spans and their pool.morsel children all carry the originating
+   trace id, at shard counts 1 and 4, and the export stays valid JSON
+   with integer tids throughout. The graph is sized so every shard's
+   candidate array spans several morsels (default grain is >= 256). *)
+let test_shard_scan_trace_spans () =
+  let g = Kaskade_gen.Powerlaw_gen.(generate (scaled ~edges:30_000 ~seed:3)) in
+  let pool = Pool.create ~domains:2 ~oversubscribe:true () in
+  List.iter
+    (fun s ->
+      let sh = Shard.of_graph ~shards:s g in
+      let id = Tracectx.mint () in
+      let (rows, _), spans =
+        Trace.collect (fun () ->
+            Tracectx.with_ctx id (fun () -> Shard.typed_scan ~pool sh ~etype:0))
+      in
+      check_bool (Printf.sprintf "S=%d: scan produced rows" s) true (rows > 0);
+      let all = List.concat_map flatten_spans spans in
+      let scans = List.filter (fun sp -> sp.Trace.name = "shard.scan") all in
+      let morsels = List.filter (fun sp -> sp.Trace.name = "pool.morsel") all in
+      check_int (Printf.sprintf "S=%d: one shard.scan span per shard" s) s (List.length scans);
+      check_bool (Printf.sprintf "S=%d: morsel spans present" s) true (morsels <> []);
+      List.iter
+        (fun sp ->
+          check_bool
+            (Printf.sprintf "S=%d: %s span carries originating trace id" s sp.Trace.name)
+            true
+            (List.assoc_opt "trace" sp.Trace.attrs = Some id))
+        (scans @ morsels);
+      let chrome = Obs.Trace_export.to_chrome_string spans in
+      check_bool (Printf.sprintf "S=%d: trace id survives into export" s) true
+        (string_contains chrome id);
+      match Report.parse chrome with
+      | Error e -> Alcotest.fail ("chrome trace is not valid JSON: " ^ e)
+      | Ok j -> begin
+        match Report.member "traceEvents" j with
+        | Some (Report.List events) ->
+          check_bool (Printf.sprintf "S=%d: events exported" s) true (events <> []);
+          List.iter
+            (fun e ->
+              match Report.member "tid" e with
+              | Some (Report.Int t) ->
+                check_bool (Printf.sprintf "S=%d: tid non-negative" s) true (t >= 0)
+              | Some (Report.Float f) ->
+                check_bool (Printf.sprintf "S=%d: tid integral" s) true
+                  (Float.is_integer f && f >= 0.0)
+              | _ -> Alcotest.fail "trace event without an integer tid")
+            events
+        | _ -> Alcotest.fail "no traceEvents array"
+      end)
+    [ 1; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus exposition, health model, time series                    *)
+
+let test_prometheus_exposition () =
+  let c = Metrics.counter ~help:"test counter" "test.prom.counter" in
+  Metrics.incr ~by:3 c;
+  let g = Metrics.gauge "test.prom.gauge" in
+  Metrics.set_gauge g 2.5;
+  let h = Metrics.histogram "test.prom.hist" in
+  Metrics.observe h 0.004;
+  Metrics.observe h 0.2;
+  let text = Metrics.to_prometheus () in
+  check_bool "dots sanitized + _total suffix" true
+    (string_contains text "test_prom_counter_total 3");
+  check_bool "counter HELP line" true
+    (string_contains text "# HELP test_prom_counter_total test counter");
+  check_bool "counter TYPE line" true
+    (string_contains text "# TYPE test_prom_counter_total counter");
+  check_bool "gauge level" true (string_contains text "test_prom_gauge 2.5");
+  check_bool "gauge TYPE line" true (string_contains text "# TYPE test_prom_gauge gauge");
+  check_bool "histogram TYPE line" true
+    (string_contains text "# TYPE test_prom_hist histogram");
+  check_bool "histogram buckets" true (string_contains text "test_prom_hist_bucket{le=");
+  check_bool "+Inf bucket holds total count" true
+    (string_contains text "test_prom_hist_bucket{le=\"+Inf\"} 2");
+  check_bool "histogram _sum" true (string_contains text "test_prom_hist_sum");
+  check_bool "histogram _count" true (string_contains text "test_prom_hist_count 2");
+  (* Engine metrics registered at module init are in the same page. *)
+  check_bool "engine counters exposed" true (string_contains text "kaskade_view_hits_total")
+
+let test_health_evaluate () =
+  let t = Health.default_thresholds in
+  check_bool "empty sample is ok" true (Health.evaluate Health.empty_sample = Health.Ok);
+  check_string "ok label" "ok" (Health.label Health.Ok);
+  let degraded_on s key =
+    match Health.evaluate s with
+    | Health.Degraded rs ->
+      check_bool (key ^ " reason present") true (List.exists (fun r -> string_contains r key) rs);
+      check_bool "reasons are space-free tokens" true
+        (List.for_all (fun r -> not (String.contains r ' ')) rs)
+    | st -> Alcotest.failf "expected degraded on %s, got %s" key (Health.label st)
+  in
+  degraded_on
+    { Health.empty_sample with Health.queue_depth = t.Health.max_queue_depth + 1 }
+    "queue_depth";
+  degraded_on { Health.empty_sample with Health.wal_lag = t.Health.max_wal_lag + 1 } "wal_lag";
+  degraded_on { Health.empty_sample with Health.shed_rate = 0.2 } "shed_rate";
+  (* 4x a threshold escalates to unhealthy. *)
+  (match
+     Health.evaluate
+       { Health.empty_sample with Health.queue_depth = (t.Health.max_queue_depth * 4) + 1 }
+   with
+  | Health.Unhealthy rs -> check_bool "unhealthy carries reasons" true (rs <> [])
+  | st -> Alcotest.failf "expected unhealthy, got %s" (Health.label st));
+  (match Health.evaluate { Health.empty_sample with Health.shed_rate = 0.5 } with
+  | Health.Unhealthy _ -> ()
+  | st -> Alcotest.failf "expected unhealthy shed storm, got %s" (Health.label st));
+  (* Stale views and plan-cache hit rate are transients: degraded at
+     worst, no matter how extreme. *)
+  (match Health.evaluate { Health.empty_sample with Health.stale_views = 1_000_000 } with
+  | Health.Degraded _ -> ()
+  | st -> Alcotest.failf "stale views must cap at degraded, got %s" (Health.label st));
+  (match
+     Health.evaluate
+       { Health.empty_sample with Health.plan_cache_hits = 1; plan_cache_misses = 999 }
+   with
+  | Health.Degraded rs ->
+    check_bool "plan-cache reason" true (List.exists (fun r -> string_contains r "plan_cache") rs)
+  | st -> Alcotest.failf "plan-cache miss storm must degrade, got %s" (Health.label st));
+  (* A cold cache (under min lookups) is not judged. *)
+  check_bool "cold plan cache is ok" true
+    (Health.evaluate { Health.empty_sample with Health.plan_cache_misses = 10 } = Health.Ok);
+  (* Multiple hard failures: all reasons surface. *)
+  (match
+     Health.evaluate
+       { Health.empty_sample with
+         Health.queue_depth = (t.Health.max_queue_depth * 4) + 1;
+         shed_rate = 0.5;
+         stale_views = t.Health.max_stale_views + 1
+       }
+   with
+  | Health.Unhealthy rs -> check_bool "all reasons listed" true (List.length rs >= 3)
+  | st -> Alcotest.failf "expected unhealthy, got %s" (Health.label st));
+  (* to_json renders without raising and carries the status label. *)
+  let s = { Health.empty_sample with Health.queue_depth = t.Health.max_queue_depth + 1 } in
+  let j = Health.to_json s (Health.evaluate s) in
+  check_bool "json status" true (Report.member "status" j = Some (Report.Str "degraded"))
+
+let test_timeseries_sampler () =
+  let c = Metrics.counter ~help:"ts test" "test.ts.counter" in
+  let g = Metrics.gauge "test.ts.gauge" in
+  let h = Metrics.histogram "test.ts.hist" in
+  let ts = Timeseries.create ~capacity:3 () in
+  check_int "capacity" 3 (Timeseries.capacity ts);
+  let p0 = Timeseries.sample ts in
+  check_bool "baseline interval is zero" true (p0.Timeseries.interval_s = 0.0);
+  Metrics.incr ~by:5 c;
+  Metrics.set_gauge g 7.0;
+  Metrics.observe h 1.0;
+  Unix.sleepf 0.002;
+  let p1 = Timeseries.sample ts in
+  check_int "counter delta over the window" 5 (Timeseries.counter_delta p1 "test.ts.counter");
+  check_int "absent counter delta is zero" 0 (Timeseries.counter_delta p1 "test.ts.nosuch");
+  check_bool "gauge level" true (Timeseries.gauge_level p1 "test.ts.gauge" = Some 7.0);
+  (match Timeseries.histogram_point p1 "test.ts.hist" with
+  | Some (n, _, _, _) -> check_int "histogram count delta" 1 n
+  | None -> Alcotest.fail "histogram point missing");
+  check_bool "windowed rate is positive" true (Timeseries.rate p1 "test.ts.counter" > 0.0);
+  (* Deltas, not cumulative levels: an idle window reads zero. *)
+  let p2 = Timeseries.sample ts in
+  check_int "idle window delta" 0 (Timeseries.counter_delta p2 "test.ts.counter");
+  (* The ring is bounded and ordered oldest-first. *)
+  ignore (Timeseries.sample ts);
+  ignore (Timeseries.sample ts);
+  check_int "ring bounded at capacity" 3 (Timeseries.length ts);
+  let pts = Timeseries.points ts in
+  check_int "points match length" 3 (List.length pts);
+  check_bool "oldest first" true
+    (match pts with
+    | x :: y :: _ -> x.Timeseries.at_s <= y.Timeseries.at_s
+    | _ -> false);
+  check_bool "latest is last point" true
+    (match (Timeseries.latest ts, List.rev pts) with
+    | Some l, last :: _ -> l.Timeseries.at_s = last.Timeseries.at_s
+    | _ -> false);
+  (* Every JSONL line parses back. *)
+  List.iter
+    (fun line ->
+      match Report.parse line with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail ("timeseries JSONL line invalid: " ^ e))
+    (String.split_on_char '\n' (String.trim (Timeseries.to_jsonl ts)))
+
 let () =
   Alcotest.run "obs"
     [ ( "trace",
@@ -662,5 +940,17 @@ let () =
         [ Alcotest.test_case "matches static selection" `Quick
             test_advisor_matches_static_selection;
           Alcotest.test_case "keep after materialization" `Quick
-            test_advisor_keep_after_materialization ] )
+            test_advisor_keep_after_materialization ] );
+      ( "tracectx",
+        [ Alcotest.test_case "mint + validity" `Quick test_tracectx_mint;
+          Alcotest.test_case "scoping + restore" `Quick test_tracectx_scoping;
+          Alcotest.test_case "span stamping" `Quick test_span_trace_stamping;
+          Alcotest.test_case "qlog stamping + round-trip" `Quick test_qlog_trace_stamping;
+          Alcotest.test_case "slow-query counter" `Quick test_qlog_slow_counter;
+          Alcotest.test_case "sharded scan spans carry trace id" `Quick
+            test_shard_scan_trace_spans ] );
+      ( "telemetry",
+        [ Alcotest.test_case "prometheus exposition" `Quick test_prometheus_exposition;
+          Alcotest.test_case "health evaluation" `Quick test_health_evaluate;
+          Alcotest.test_case "timeseries sampler" `Quick test_timeseries_sampler ] )
     ]

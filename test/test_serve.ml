@@ -195,9 +195,20 @@ let test_wire_parse_request () =
   check_bool "ping" true (ok (Wire.parse_request "PING") = Wire.Ping);
   check_bool "open" true (ok (Wire.parse_request "OPEN") = Wire.Open);
   check_bool "query keeps spaces" true
-    (ok (Wire.parse_request "Q MATCH (a:Job) RETURN a") = Wire.Query "MATCH (a:Job) RETURN a");
+    (ok (Wire.parse_request "Q MATCH (a:Job) RETURN a")
+    = Wire.Query { q = "MATCH (a:Job) RETURN a"; trace = None });
   check_bool "rows variant" true
-    (ok (Wire.parse_request "ROWS MATCH (a:Job) RETURN a") = Wire.Query_rows "MATCH (a:Job) RETURN a");
+    (ok (Wire.parse_request "ROWS MATCH (a:Job) RETURN a")
+    = Wire.Query_rows { q = "MATCH (a:Job) RETURN a"; trace = None });
+  check_bool "query with trace id" true
+    (ok (Wire.parse_request "Q trace=00deadbeef123abc MATCH (a:Job) RETURN a")
+    = Wire.Query { q = "MATCH (a:Job) RETURN a"; trace = Some "00deadbeef123abc" });
+  check_bool "bad trace id rejected" true
+    (Result.is_error (Wire.parse_request "Q trace=xyz MATCH (a:Job) RETURN a"));
+  check_bool "trace without query rejected" true
+    (Result.is_error (Wire.parse_request "Q trace=00deadbeef123abc"));
+  check_bool "health verb" true (ok (Wire.parse_request "HEALTH") = Wire.Health);
+  check_bool "metrics verb" true (ok (Wire.parse_request "METRICS") = Wire.Metrics);
   (match ok (Wire.parse_request "UPDATE insert-vertex:File;insert-edge:3:4:WRITES_TO;delete-edge:1:2:IS_READ_BY") with
   | Wire.Update
       [ K.Update.Insert_vertex { vtype = "File"; props = [] };
@@ -261,6 +272,83 @@ let test_server_socket_roundtrip () =
   Thread.join th;
   check_bool "socket file removed" false (Sys.file_exists socket)
 
+(* One socket query = one trace id, observable end to end: echoed in
+   the wire response, stamped into the qlog record next to the session
+   id, and counted by the METRICS / HEALTH / STATS surfaces. Durable
+   config, so STATS carries the store gauges too. *)
+let test_server_trace_health_metrics () =
+  let rec rm_rf path =
+    match Unix.lstat path with
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+    | _ -> Sys.remove path
+  in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "kaskade-test-serve-obs-%d" (Unix.getpid ()))
+  in
+  rm_rf dir;
+  Unix.mkdir dir 0o755;
+  let ks = K.make ~config:{ K.Config.default with K.Config.data_dir = Some dir } (prov ()) in
+  let socket = Filename.concat dir "kaskade.sock" in
+  let server = Serve.Server.create ~max_sessions:4 ~sample_every_s:0.05 ~socket ks in
+  let th = Thread.create (fun () -> Serve.Server.run server) () in
+  let c = Serve.Client.connect socket in
+  let req line = Serve.Client.status (Serve.Client.request c line) in
+  ignore (req "OPEN");
+  Kaskade_obs.Qlog.clear ();
+  let q = List.hd mvcc_queries in
+  let id = Kaskade_obs.Tracectx.mint () in
+  let kvs = req (Printf.sprintf "Q trace=%s %s" id q) in
+  check_string "query ok" "ok" (List.assoc "_status" kvs);
+  check_string "client trace id echoed" id (List.assoc "trace" kvs);
+  (match List.rev (Kaskade_obs.Qlog.records ()) with
+  | last :: _ ->
+    check_bool "qlog record carries the trace id" true
+      (last.Kaskade_obs.Qlog.trace = Some id);
+    check_bool "qlog record names the session" true (last.Kaskade_obs.Qlog.session <> None)
+  | [] -> Alcotest.fail "no qlog record for the served query");
+  let minted = List.assoc "trace" (req ("Q " ^ q)) in
+  check_bool "server mints a valid trace id" true (Kaskade_obs.Tracectx.is_valid minted);
+  check_bool "minted id is fresh" true (minted <> id);
+  (* HEALTH: a quiet durable server is ok, and the response carries
+     the judged admission signals. *)
+  let h = req "HEALTH" in
+  check_string "health responds ok" "ok" (List.assoc "_status" h);
+  check_string "quiet server is healthy" "ok" (List.assoc "status" h);
+  check_bool "health reports queue depth" true (List.mem_assoc "queue_depth" h);
+  check_bool "health reports shed rate" true (List.mem_assoc "shed_rate" h);
+  (* STATS: store gauges ride along under a durable config. *)
+  let s = req "STATS" in
+  List.iter
+    (fun k -> check_bool ("stats has " ^ k) true (List.mem_assoc k s))
+    [ "wal_appends"; "wal_bytes"; "wal_seq"; "snapshot_seq" ];
+  (* METRICS: the Prometheus page streams as prefixed lines, and the
+     serve-request counter has counted this connection's requests. *)
+  let lines = Serve.Client.request c "METRICS" in
+  let body =
+    List.filter_map
+      (fun l ->
+        if String.length l >= 2 && String.sub l 0 2 = "| " then
+          Some (String.sub l 2 (String.length l - 2))
+        else None)
+      lines
+  in
+  check_bool "metrics lines streamed" true (body <> []);
+  let starts_with p l = String.length l >= String.length p && String.sub l 0 (String.length p) = p in
+  check_bool "serve request counter exposed" true
+    (List.exists (starts_with "kaskade_serve_requests_total") body);
+  check_bool "slow-query counter exposed" true
+    (List.exists (starts_with "kaskade_slow_queries_total") body);
+  check_string "metrics terminal ok" "ok" (List.assoc "_status" (Serve.Client.status lines));
+  ignore (req "CLOSE");
+  ignore (req "SHUTDOWN");
+  Serve.Client.close c;
+  Thread.join th;
+  rm_rf dir
+
 (* ------------------------------------------------------------------ *)
 (* Deprecated wrappers (out-of-tree compatibility)                     *)
 
@@ -305,7 +393,9 @@ let () =
           Alcotest.test_case "fields round-trip" `Quick test_wire_fields_roundtrip;
         ] );
       ( "server",
-        [ Alcotest.test_case "socket round-trip" `Slow test_server_socket_roundtrip ] );
+        [ Alcotest.test_case "socket round-trip" `Slow test_server_socket_roundtrip;
+          Alcotest.test_case "trace + health + metrics end to end" `Slow
+            test_server_trace_health_metrics ] );
       ( "compat",
         [ Alcotest.test_case "deprecated wrappers" `Quick Compat.test_deprecated_create_run ] );
     ]
